@@ -1,0 +1,202 @@
+//! Consent management.
+//!
+//! "Groups represent healthcare studies/programs to which PHI data is
+//! consented for" (§II-B); ingestion must "secure the consent of the
+//! patient/user for the uploaded data via a consent management service",
+//! and GDPR/HIPAA require *consent provenance* — every grant/revocation is
+//! recorded as an event the ledger can anchor.
+
+use std::collections::HashMap;
+
+use hc_common::clock::{SimClock, SimInstant};
+use hc_common::id::{GroupId, PatientId};
+use serde::{Deserialize, Serialize};
+
+/// What a consent grant covers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ConsentScope {
+    /// Data may be used in analytics/model training for the study.
+    pub analytics: bool,
+    /// Data may be exported (re-identified) to the study's CRO.
+    pub export: bool,
+}
+
+impl ConsentScope {
+    /// Analytics-only consent (no re-identified export).
+    pub const ANALYTICS_ONLY: ConsentScope = ConsentScope {
+        analytics: true,
+        export: false,
+    };
+
+    /// Full consent.
+    pub const FULL: ConsentScope = ConsentScope {
+        analytics: true,
+        export: true,
+    };
+}
+
+/// A consent change event (feeds the provenance ledger).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ConsentEvent {
+    /// The patient.
+    pub patient: PatientId,
+    /// The study group.
+    pub group: GroupId,
+    /// The scope granted, or `None` for a revocation.
+    pub scope: Option<ConsentScope>,
+    /// When it happened.
+    pub at: SimInstant,
+}
+
+/// The consent registry.
+#[derive(Debug)]
+pub struct ConsentRegistry {
+    clock: SimClock,
+    grants: HashMap<(PatientId, GroupId), ConsentScope>,
+    events: Vec<ConsentEvent>,
+}
+
+impl ConsentRegistry {
+    /// Creates an empty registry.
+    pub fn new(clock: SimClock) -> Self {
+        ConsentRegistry {
+            clock,
+            grants: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Records a grant (replacing any existing scope).
+    pub fn grant(&mut self, patient: PatientId, group: GroupId, scope: ConsentScope) {
+        self.grants.insert((patient, group), scope);
+        self.events.push(ConsentEvent {
+            patient,
+            group,
+            scope: Some(scope),
+            at: self.clock.now(),
+        });
+    }
+
+    /// Revokes consent (idempotent; the event is recorded regardless, as
+    /// regulators expect revocation attempts to be auditable).
+    pub fn revoke(&mut self, patient: PatientId, group: GroupId) {
+        self.grants.remove(&(patient, group));
+        self.events.push(ConsentEvent {
+            patient,
+            group,
+            scope: None,
+            at: self.clock.now(),
+        });
+    }
+
+    /// The current scope, if consented.
+    pub fn scope(&self, patient: PatientId, group: GroupId) -> Option<ConsentScope> {
+        self.grants.get(&(patient, group)).copied()
+    }
+
+    /// Whether analytics use is currently consented.
+    pub fn allows_analytics(&self, patient: PatientId, group: GroupId) -> bool {
+        self.scope(patient, group).map(|s| s.analytics).unwrap_or(false)
+    }
+
+    /// Whether re-identified export is currently consented.
+    pub fn allows_export(&self, patient: PatientId, group: GroupId) -> bool {
+        self.scope(patient, group).map(|s| s.export).unwrap_or(false)
+    }
+
+    /// Patients currently consented to a group (sorted).
+    pub fn consented_patients(&self, group: GroupId) -> Vec<PatientId> {
+        let mut v: Vec<PatientId> = self
+            .grants
+            .keys()
+            .filter(|(_, g)| *g == group)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The full event history (consent provenance).
+    pub fn events(&self) -> &[ConsentEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (PatientId, GroupId) {
+        (PatientId::from_raw(1), GroupId::from_raw(10))
+    }
+
+    #[test]
+    fn grant_then_check() {
+        let (p, g) = ids();
+        let mut reg = ConsentRegistry::new(SimClock::new());
+        reg.grant(p, g, ConsentScope::ANALYTICS_ONLY);
+        assert!(reg.allows_analytics(p, g));
+        assert!(!reg.allows_export(p, g));
+    }
+
+    #[test]
+    fn revoke_removes_consent() {
+        let (p, g) = ids();
+        let mut reg = ConsentRegistry::new(SimClock::new());
+        reg.grant(p, g, ConsentScope::FULL);
+        reg.revoke(p, g);
+        assert!(!reg.allows_analytics(p, g));
+        assert_eq!(reg.scope(p, g), None);
+    }
+
+    #[test]
+    fn unconsented_is_denied() {
+        let (p, g) = ids();
+        let reg = ConsentRegistry::new(SimClock::new());
+        assert!(!reg.allows_analytics(p, g));
+        assert!(!reg.allows_export(p, g));
+    }
+
+    #[test]
+    fn regrant_upgrades_scope() {
+        let (p, g) = ids();
+        let mut reg = ConsentRegistry::new(SimClock::new());
+        reg.grant(p, g, ConsentScope::ANALYTICS_ONLY);
+        reg.grant(p, g, ConsentScope::FULL);
+        assert!(reg.allows_export(p, g));
+    }
+
+    #[test]
+    fn events_record_history() {
+        let (p, g) = ids();
+        let clock = SimClock::new();
+        let mut reg = ConsentRegistry::new(clock.clone());
+        reg.grant(p, g, ConsentScope::FULL);
+        clock.advance_micros(100);
+        reg.revoke(p, g);
+        let events = reg.events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].scope.is_some());
+        assert!(events[1].scope.is_none());
+        assert!(events[1].at > events[0].at);
+    }
+
+    #[test]
+    fn consented_patients_lists_group_members() {
+        let g = GroupId::from_raw(10);
+        let mut reg = ConsentRegistry::new(SimClock::new());
+        for raw in [3u128, 1, 2] {
+            reg.grant(PatientId::from_raw(raw), g, ConsentScope::FULL);
+        }
+        reg.grant(PatientId::from_raw(9), GroupId::from_raw(99), ConsentScope::FULL);
+        let members = reg.consented_patients(g);
+        assert_eq!(
+            members,
+            vec![
+                PatientId::from_raw(1),
+                PatientId::from_raw(2),
+                PatientId::from_raw(3)
+            ]
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Privacy management: RBAC, federated identity, consent, API gateway.
+//!
+//! §II-B of the paper: "Access privileges are controlled by the role based
+//! access control (RBAC) system of the platform. The platform supports
+//! Tenant, Organizations, Groups, Environments, Users, Roles, and
+//! Permissions." Identity may be federated: "the platform user's identity
+//! could be managed and authenticated by an external (approved) system."
+//! Consent: "it is important to secure the consent of the patient/user for
+//! the uploaded data via a consent management service." And the gateway:
+//! "The API management system first authenticates the user requesting the
+//! APIs, and once successfully authenticated, it consults the Privacy
+//! Management system and allows API access accordingly."
+//!
+//! * [`model`] — the RBAC vocabulary: actions, resource kinds,
+//!   permissions, roles (with the platform's built-in role set).
+//! * [`rbac`] — tenants → organizations → environments/groups → users,
+//!   role assignments scoped per (organization, environment), and the
+//!   `check` entry point.
+//! * [`identity`] — local and approved-federated identity providers and
+//!   HMAC-signed bearer tokens with expiry on the simulated clock.
+//! * [`consent`] — per-(patient, study) consent with scopes, revocation
+//!   and an event history for provenance.
+//! * [`gateway`] — the API management layer: token → RBAC → rate limit →
+//!   audited allow/deny.
+
+pub mod consent;
+pub mod gateway;
+pub mod identity;
+pub mod model;
+pub mod rbac;

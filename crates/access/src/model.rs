@@ -1,0 +1,187 @@
+//! RBAC vocabulary: actions, resource kinds, permissions and roles.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// What a principal wants to do.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub enum Action {
+    /// Read a resource.
+    Read,
+    /// Create or modify a resource.
+    Write,
+    /// Administer (grant, configure, delete).
+    Admin,
+}
+
+/// The kinds of resources the platform protects.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub enum ResourceKind {
+    /// Identified protected health information.
+    PatientData,
+    /// De-identified / anonymized data.
+    AnonymizedData,
+    /// Analytics models and their artifacts.
+    Model,
+    /// Deployed services and their configuration.
+    Service,
+    /// Development/deployment environments.
+    Environment,
+    /// Audit logs and compliance reports.
+    AuditLog,
+    /// Encryption keys (KMS operations).
+    Key,
+}
+
+/// A permission: an action on a resource kind.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct Permission {
+    /// The protected resource kind.
+    pub kind: ResourceKind,
+    /// The permitted action.
+    pub action: Action,
+}
+
+impl Permission {
+    /// Creates a permission.
+    pub const fn new(kind: ResourceKind, action: Action) -> Self {
+        Permission { kind, action }
+    }
+}
+
+/// A named set of permissions.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Role {
+    /// Role name, unique within the platform.
+    pub name: String,
+    /// The permissions the role conveys.
+    pub permissions: BTreeSet<Permission>,
+}
+
+impl Role {
+    /// Creates a role from a permission list.
+    pub fn new(name: &str, permissions: impl IntoIterator<Item = Permission>) -> Self {
+        Role {
+            name: name.to_owned(),
+            permissions: permissions.into_iter().collect(),
+        }
+    }
+
+    /// Whether the role conveys `permission`.
+    pub fn allows(&self, permission: Permission) -> bool {
+        self.permissions.contains(&permission)
+    }
+
+    /// Platform administrator: everything.
+    pub fn admin() -> Self {
+        let mut permissions = BTreeSet::new();
+        for kind in [
+            ResourceKind::PatientData,
+            ResourceKind::AnonymizedData,
+            ResourceKind::Model,
+            ResourceKind::Service,
+            ResourceKind::Environment,
+            ResourceKind::AuditLog,
+            ResourceKind::Key,
+        ] {
+            for action in [Action::Read, Action::Write, Action::Admin] {
+                permissions.insert(Permission::new(kind, action));
+            }
+        }
+        Role {
+            name: "admin".into(),
+            permissions,
+        }
+    }
+
+    /// Clinician: read/write identified patient data.
+    pub fn clinician() -> Self {
+        Role::new(
+            "clinician",
+            [
+                Permission::new(ResourceKind::PatientData, Action::Read),
+                Permission::new(ResourceKind::PatientData, Action::Write),
+                Permission::new(ResourceKind::AnonymizedData, Action::Read),
+            ],
+        )
+    }
+
+    /// Researcher: anonymized data and models only — never identified PHI.
+    pub fn researcher() -> Self {
+        Role::new(
+            "researcher",
+            [
+                Permission::new(ResourceKind::AnonymizedData, Action::Read),
+                Permission::new(ResourceKind::Model, Action::Read),
+                Permission::new(ResourceKind::Model, Action::Write),
+            ],
+        )
+    }
+
+    /// Auditor: read-only on audit logs and anonymized data.
+    pub fn auditor() -> Self {
+        Role::new(
+            "auditor",
+            [
+                Permission::new(ResourceKind::AuditLog, Action::Read),
+                Permission::new(ResourceKind::AnonymizedData, Action::Read),
+            ],
+        )
+    }
+
+    /// Device: write-only ingestion of its own patient's data.
+    pub fn device() -> Self {
+        Role::new(
+            "device",
+            [Permission::new(ResourceKind::PatientData, Action::Write)],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admin_allows_everything() {
+        let admin = Role::admin();
+        assert!(admin.allows(Permission::new(ResourceKind::Key, Action::Admin)));
+        assert!(admin.allows(Permission::new(ResourceKind::PatientData, Action::Read)));
+    }
+
+    #[test]
+    fn researcher_cannot_touch_phi() {
+        let r = Role::researcher();
+        assert!(!r.allows(Permission::new(ResourceKind::PatientData, Action::Read)));
+        assert!(r.allows(Permission::new(ResourceKind::AnonymizedData, Action::Read)));
+        assert!(r.allows(Permission::new(ResourceKind::Model, Action::Write)));
+    }
+
+    #[test]
+    fn auditor_is_read_only() {
+        let a = Role::auditor();
+        assert!(a.allows(Permission::new(ResourceKind::AuditLog, Action::Read)));
+        assert!(!a.allows(Permission::new(ResourceKind::AuditLog, Action::Write)));
+    }
+
+    #[test]
+    fn device_write_only() {
+        let d = Role::device();
+        assert!(d.allows(Permission::new(ResourceKind::PatientData, Action::Write)));
+        assert!(!d.allows(Permission::new(ResourceKind::PatientData, Action::Read)));
+    }
+
+    #[test]
+    fn custom_role() {
+        let r = Role::new("x", [Permission::new(ResourceKind::Service, Action::Read)]);
+        assert_eq!(r.permissions.len(), 1);
+        assert_eq!(r.name, "x");
+    }
+}

@@ -1,0 +1,145 @@
+//! Ranking metrics: AUC-ROC, AUPR and precision@k.
+
+/// Area under the ROC curve for `(score, is_positive)` pairs.
+///
+/// Computed via the Mann–Whitney statistic with tie correction. Returns
+/// `0.5` when either class is empty (no ranking information).
+pub fn auc_roc(scored: &[(f64, bool)]) -> f64 {
+    let positives = scored.iter().filter(|(_, y)| *y).count();
+    let negatives = scored.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    // Rank all scores (average ranks for ties).
+    let mut indexed: Vec<(f64, bool)> = scored.to_vec();
+    indexed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < indexed.len() {
+        let mut j = i;
+        while j + 1 < indexed.len() && indexed[j + 1].0 == indexed[i].0 {
+            j += 1;
+        }
+        // Average 1-based rank of the tie group [i, j].
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &indexed[i..=j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let p = positives as f64;
+    let n = negatives as f64;
+    (rank_sum_pos - p * (p + 1.0) / 2.0) / (p * n)
+}
+
+/// Area under the precision–recall curve (step-wise interpolation).
+pub fn aupr(scored: &[(f64, bool)]) -> f64 {
+    let positives = scored.iter().filter(|(_, y)| *y).count();
+    if positives == 0 || scored.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let mut tp = 0usize;
+    let mut area = 0.0;
+    let mut prev_recall = 0.0;
+    for (rank, (_, y)) in sorted.iter().enumerate() {
+        if *y {
+            tp += 1;
+            let precision = tp as f64 / (rank + 1) as f64;
+            let recall = tp as f64 / positives as f64;
+            area += precision * (recall - prev_recall);
+            prev_recall = recall;
+        }
+    }
+    area
+}
+
+/// Precision among the top-`k` highest-scored items.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn precision_at_k(scored: &[(f64, bool)], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let k = k.min(sorted.len());
+    if k == 0 {
+        return 0.0;
+    }
+    sorted[..k].iter().filter(|(_, y)| *y).count() as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_ranking_auc_one() {
+        let scored = vec![(0.9, true), (0.8, true), (0.3, false), (0.1, false)];
+        assert!((auc_roc(&scored) - 1.0).abs() < 1e-12);
+        assert!((aupr(&scored) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_auc_zero() {
+        let scored = vec![(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert!(auc_roc(&scored).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_ties_auc_half() {
+        let scored = vec![(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((auc_roc(&scored) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_returns_half() {
+        assert_eq!(auc_roc(&[(0.5, true)]), 0.5);
+        assert_eq!(auc_roc(&[(0.5, false)]), 0.5);
+        assert_eq!(auc_roc(&[]), 0.5);
+    }
+
+    #[test]
+    fn precision_at_k_counts_top() {
+        let scored = vec![(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
+        assert!((precision_at_k(&scored, 1) - 1.0).abs() < 1e-12);
+        assert!((precision_at_k(&scored, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&scored, 10) - 0.5).abs() < 1e-12); // clamps
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = precision_at_k(&[(0.5, true)], 0);
+    }
+
+    #[test]
+    fn aupr_of_empty_or_negative_only() {
+        assert_eq!(aupr(&[]), 0.0);
+        assert_eq!(aupr(&[(0.4, false)]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn auc_is_in_unit_interval(
+            scores in proptest::collection::vec((0.0f64..1.0, any::<bool>()), 1..100)
+        ) {
+            let a = auc_roc(&scores);
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+
+        #[test]
+        fn auc_invariant_to_monotone_transform(
+            scores in proptest::collection::vec((0.01f64..1.0, any::<bool>()), 2..60)
+        ) {
+            let transformed: Vec<(f64, bool)> =
+                scores.iter().map(|(s, y)| (s * s * 3.0, *y)).collect();
+            prop_assert!((auc_roc(&scores) - auc_roc(&transformed)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! k-means clustering (Lloyd's algorithm) for factor-space group
+//! discovery.
+
+use rand::Rng;
+
+/// The clustering result.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Clustering {
+    /// Cluster index per point.
+    pub assignments: Vec<usize>,
+    /// Cluster centers.
+    pub centers: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centers.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs Lloyd's algorithm.
+///
+/// # Panics
+///
+/// Panics when `points` is empty, points are ragged, or `k` is zero.
+pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> Clustering {
+    assert!(!points.is_empty(), "kmeans needs points");
+    assert!(k > 0, "k must be positive");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+    let k = k.min(points.len());
+
+    let mut rng = hc_common::rng::seeded_stream(seed, 707);
+    // k-means++-style seeding: first center uniform, rest by distance².
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())].clone());
+    while centers.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centers
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 1e-12 {
+            centers.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = 0;
+        for (i, d) in dists.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centers.push(points[chosen].clone());
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..iters {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..centers.len())
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centers[a])
+                        .partial_cmp(&sq_dist(p, &centers[b]))
+                        .expect("finite")
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        for (ci, center) in centers.iter_mut().enumerate() {
+            let members: Vec<&Vec<f64>> = points
+                .iter()
+                .zip(&assignments)
+                .filter(|(_, &a)| a == ci)
+                .map(|(p, _)| p)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            for d in 0..dim {
+                center[d] = members.iter().map(|p| p[d]).sum::<f64>() / members.len() as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centers[a]))
+        .sum();
+
+    Clustering {
+        assignments,
+        centers,
+        inertia,
+    }
+}
+
+/// Cluster purity against ground-truth labels: the fraction of points
+/// whose cluster's majority label matches their own.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn purity(assignments: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), truth.len());
+    assert!(!assignments.is_empty(), "purity of empty clustering");
+    let n_clusters = assignments.iter().max().copied().unwrap_or(0) + 1;
+    let mut correct = 0usize;
+    for c in 0..n_clusters {
+        let labels: Vec<usize> = assignments
+            .iter()
+            .zip(truth)
+            .filter(|(&a, _)| a == c)
+            .map(|(_, &t)| t)
+            .collect();
+        if labels.is_empty() {
+            continue;
+        }
+        let mut counts = std::collections::HashMap::new();
+        for l in &labels {
+            *counts.entry(*l).or_insert(0usize) += 1;
+        }
+        correct += counts.values().max().copied().unwrap_or(0);
+    }
+    correct as f64 / assignments.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = hc_common::rng::seeded(3);
+        use rand::Rng as _;
+        for (label, center) in [(0usize, [0.0, 0.0]), (1, [10.0, 10.0]), (2, [0.0, 10.0])]
+            .iter()
+            .enumerate()
+        {
+            for _ in 0..30 {
+                points.push(vec![
+                    center.1[0] + rng.gen_range(-1.0..1.0),
+                    center.1[1] + rng.gen_range(-1.0..1.0),
+                ]);
+                labels.push(label);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let (points, labels) = blobs();
+        let clustering = kmeans(&points, 3, 50, 1);
+        assert!(purity(&clustering.assignments, &labels) > 0.95);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (points, _) = blobs();
+        let one = kmeans(&points, 1, 50, 1).inertia;
+        let three = kmeans(&points, 3, 50, 1).inertia;
+        assert!(three < one / 2.0);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let clustering = kmeans(&points, 10, 10, 1);
+        assert!(clustering.centers.len() <= 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (points, _) = blobs();
+        let a = kmeans(&points, 3, 50, 5);
+        let b = kmeans(&points, 3, 50, 5);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs points")]
+    fn empty_input_panics() {
+        let _ = kmeans(&[], 2, 10, 1);
+    }
+
+    #[test]
+    fn purity_of_perfect_match() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
+        assert_eq!(purity(&[0, 1, 0, 1], &[5, 5, 9, 9]), 0.5);
+    }
+}

@@ -1,0 +1,361 @@
+//! Model lifecycle management.
+//!
+//! §III-A: "The Analytics platform supports various lifecycle stages of
+//! analytics models, namely i) data cleaning, ii) initial model generation
+//! iii) model testing iv) model deployment and v) model update." Deployment
+//! is gated on recorded test metrics meeting a threshold, and each
+//! deployable version carries the hash of its packaged artifact so the
+//! image registry / attestation service can verify what actually runs.
+
+use std::collections::HashMap;
+
+use hc_common::id::ModelId;
+use hc_crypto::sha256::{self, Digest};
+
+/// Lifecycle stage of a model version.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// Input data being cleaned/prepared.
+    DataCleaning,
+    /// Initial model generated.
+    Generated,
+    /// Under evaluation.
+    Testing,
+    /// Serving in production.
+    Deployed,
+    /// Superseded by a newer version.
+    Retired,
+}
+
+/// One version of a model.
+#[derive(Clone, Debug)]
+pub struct ModelVersion {
+    /// Version number (1-based).
+    pub version: u32,
+    /// Current stage.
+    pub stage: Stage,
+    /// Recorded evaluation metrics.
+    pub metrics: HashMap<String, f64>,
+    /// Hash of the packaged artifact (what attestation verifies).
+    pub artifact_hash: Digest,
+}
+
+/// A registered model with its version history.
+#[derive(Clone, Debug)]
+pub struct ModelRecord {
+    /// Registry id.
+    pub id: ModelId,
+    /// Human-readable name.
+    pub name: String,
+    /// All versions, oldest first.
+    pub versions: Vec<ModelVersion>,
+}
+
+/// Errors from the lifecycle manager.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LifecycleError {
+    /// No such model.
+    UnknownModel(ModelId),
+    /// No such version.
+    UnknownVersion(u32),
+    /// Illegal stage transition.
+    BadTransition {
+        /// Current stage.
+        from: Stage,
+        /// Attempted stage.
+        to: Stage,
+    },
+    /// Deployment gate failed.
+    GateFailed {
+        /// The metric that was checked.
+        metric: String,
+        /// The measured value (None = metric missing).
+        value: Option<f64>,
+        /// The required minimum.
+        required: f64,
+    },
+}
+
+impl std::fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LifecycleError::UnknownModel(id) => write!(f, "unknown model {id}"),
+            LifecycleError::UnknownVersion(v) => write!(f, "unknown version {v}"),
+            LifecycleError::BadTransition { from, to } => {
+                write!(f, "cannot move from {from:?} to {to:?}")
+            }
+            LifecycleError::GateFailed {
+                metric,
+                value,
+                required,
+            } => write!(
+                f,
+                "deployment gate failed: {metric}={value:?} < required {required}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+/// The model registry + lifecycle state machine.
+#[derive(Debug, Default)]
+pub struct ModelLifecycle {
+    models: HashMap<ModelId, ModelRecord>,
+    next_raw: u128,
+}
+
+fn allowed(from: Stage, to: Stage) -> bool {
+    matches!(
+        (from, to),
+        (Stage::DataCleaning, Stage::Generated)
+            | (Stage::Generated, Stage::Testing)
+            | (Stage::Testing, Stage::Deployed)
+            | (Stage::Deployed, Stage::Retired)
+            | (Stage::Testing, Stage::Retired)
+            | (Stage::Generated, Stage::Retired)
+    )
+}
+
+impl ModelLifecycle {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ModelLifecycle::default()
+    }
+
+    /// Registers a model; version 1 starts in `DataCleaning`.
+    pub fn register(&mut self, name: &str, artifact: &[u8]) -> ModelId {
+        self.next_raw += 1;
+        let id = ModelId::from_raw(self.next_raw);
+        self.models.insert(
+            id,
+            ModelRecord {
+                id,
+                name: name.to_owned(),
+                versions: vec![ModelVersion {
+                    version: 1,
+                    stage: Stage::DataCleaning,
+                    metrics: HashMap::new(),
+                    artifact_hash: sha256::hash(artifact),
+                }],
+            },
+        );
+        id
+    }
+
+    /// Adds a new version (model update, stage v of the paper's cycle);
+    /// the previous deployed version is retired automatically.
+    ///
+    /// # Errors
+    ///
+    /// Fails for an unknown model.
+    pub fn add_version(&mut self, id: ModelId, artifact: &[u8]) -> Result<u32, LifecycleError> {
+        let record = self
+            .models
+            .get_mut(&id)
+            .ok_or(LifecycleError::UnknownModel(id))?;
+        for v in &mut record.versions {
+            if v.stage == Stage::Deployed {
+                v.stage = Stage::Retired;
+            }
+        }
+        let version = record.versions.len() as u32 + 1;
+        record.versions.push(ModelVersion {
+            version,
+            stage: Stage::DataCleaning,
+            metrics: HashMap::new(),
+            artifact_hash: sha256::hash(artifact),
+        });
+        Ok(version)
+    }
+
+    fn version_mut(&mut self, id: ModelId, version: u32) -> Result<&mut ModelVersion, LifecycleError> {
+        let record = self
+            .models
+            .get_mut(&id)
+            .ok_or(LifecycleError::UnknownModel(id))?;
+        record
+            .versions
+            .iter_mut()
+            .find(|v| v.version == version)
+            .ok_or(LifecycleError::UnknownVersion(version))
+    }
+
+    /// Advances a version's stage (deployment must use [`deploy`](Self::deploy)).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown ids or illegal transitions.
+    pub fn advance(&mut self, id: ModelId, version: u32, to: Stage) -> Result<(), LifecycleError> {
+        if to == Stage::Deployed {
+            return Err(LifecycleError::BadTransition {
+                from: Stage::Testing,
+                to,
+            });
+        }
+        let v = self.version_mut(id, version)?;
+        if !allowed(v.stage, to) {
+            return Err(LifecycleError::BadTransition { from: v.stage, to });
+        }
+        v.stage = to;
+        Ok(())
+    }
+
+    /// Records an evaluation metric on a version.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids.
+    pub fn record_metric(
+        &mut self,
+        id: ModelId,
+        version: u32,
+        metric: &str,
+        value: f64,
+    ) -> Result<(), LifecycleError> {
+        let v = self.version_mut(id, version)?;
+        v.metrics.insert(metric.to_owned(), value);
+        Ok(())
+    }
+
+    /// Deploys a tested version, gated on `metric >= required`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the version is not in `Testing`, the metric is missing,
+    /// or the gate is not met.
+    pub fn deploy(
+        &mut self,
+        id: ModelId,
+        version: u32,
+        metric: &str,
+        required: f64,
+    ) -> Result<(), LifecycleError> {
+        let v = self.version_mut(id, version)?;
+        if v.stage != Stage::Testing {
+            return Err(LifecycleError::BadTransition {
+                from: v.stage,
+                to: Stage::Deployed,
+            });
+        }
+        let value = v.metrics.get(metric).copied();
+        match value {
+            Some(m) if m >= required => {
+                v.stage = Stage::Deployed;
+                Ok(())
+            }
+            _ => Err(LifecycleError::GateFailed {
+                metric: metric.to_owned(),
+                value,
+                required,
+            }),
+        }
+    }
+
+    /// The currently deployed version of a model.
+    pub fn deployed_version(&self, id: ModelId) -> Option<&ModelVersion> {
+        self.models
+            .get(&id)?
+            .versions
+            .iter()
+            .find(|v| v.stage == Stage::Deployed)
+    }
+
+    /// Fetches a model record.
+    pub fn get(&self, id: ModelId) -> Option<&ModelRecord> {
+        self.models.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testing_version(lc: &mut ModelLifecycle) -> ModelId {
+        let id = lc.register("jmf-repositioning", b"artifact-v1");
+        lc.advance(id, 1, Stage::Generated).unwrap();
+        lc.advance(id, 1, Stage::Testing).unwrap();
+        id
+    }
+
+    #[test]
+    fn full_lifecycle_to_deployment() {
+        let mut lc = ModelLifecycle::new();
+        let id = testing_version(&mut lc);
+        lc.record_metric(id, 1, "auc", 0.91).unwrap();
+        lc.deploy(id, 1, "auc", 0.85).unwrap();
+        assert_eq!(lc.deployed_version(id).unwrap().version, 1);
+    }
+
+    #[test]
+    fn gate_blocks_weak_models() {
+        let mut lc = ModelLifecycle::new();
+        let id = testing_version(&mut lc);
+        lc.record_metric(id, 1, "auc", 0.70).unwrap();
+        let err = lc.deploy(id, 1, "auc", 0.85).unwrap_err();
+        assert!(matches!(err, LifecycleError::GateFailed { .. }));
+        assert!(lc.deployed_version(id).is_none());
+    }
+
+    #[test]
+    fn missing_metric_blocks_deployment() {
+        let mut lc = ModelLifecycle::new();
+        let id = testing_version(&mut lc);
+        assert!(matches!(
+            lc.deploy(id, 1, "auc", 0.5),
+            Err(LifecycleError::GateFailed { value: None, .. })
+        ));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut lc = ModelLifecycle::new();
+        let id = lc.register("m", b"a");
+        assert!(matches!(
+            lc.advance(id, 1, Stage::Testing),
+            Err(LifecycleError::BadTransition { .. })
+        ));
+        // Cannot advance straight to Deployed via advance().
+        assert!(lc.advance(id, 1, Stage::Deployed).is_err());
+    }
+
+    #[test]
+    fn update_retires_previous_deployment() {
+        let mut lc = ModelLifecycle::new();
+        let id = testing_version(&mut lc);
+        lc.record_metric(id, 1, "auc", 0.95).unwrap();
+        lc.deploy(id, 1, "auc", 0.9).unwrap();
+        let v2 = lc.add_version(id, b"artifact-v2").unwrap();
+        assert_eq!(v2, 2);
+        assert!(lc.deployed_version(id).is_none(), "v1 retired on update");
+        let record = lc.get(id).unwrap();
+        assert_eq!(record.versions[0].stage, Stage::Retired);
+    }
+
+    #[test]
+    fn artifact_hash_tracks_content() {
+        let mut lc = ModelLifecycle::new();
+        let id = lc.register("m", b"bytes-a");
+        lc.add_version(id, b"bytes-b").unwrap();
+        let record = lc.get(id).unwrap();
+        assert_ne!(
+            record.versions[0].artifact_hash,
+            record.versions[1].artifact_hash
+        );
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut lc = ModelLifecycle::new();
+        let bogus = ModelId::from_raw(99);
+        assert_eq!(
+            lc.record_metric(bogus, 1, "auc", 0.5).unwrap_err(),
+            LifecycleError::UnknownModel(bogus)
+        );
+        let id = lc.register("m", b"a");
+        assert_eq!(
+            lc.record_metric(id, 9, "auc", 0.5).unwrap_err(),
+            LifecycleError::UnknownVersion(9)
+        );
+    }
+}

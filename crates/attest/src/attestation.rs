@@ -1,0 +1,328 @@
+//! The attestation service.
+//!
+//! Holds golden measurements for approved components and the set of
+//! trusted (hardware-rooted) TPM identity keys. A node is *trusted* when
+//! it presents a fresh quote whose signature chains to a trusted root and
+//! whose PCR values match the golden expectation for its claimed stack.
+
+use std::collections::{HashMap, HashSet};
+
+use hc_crypto::ots::MerklePublicKey;
+use hc_crypto::sha256::Digest;
+
+use crate::measure::{expected_pcrs, Component};
+use crate::tpm::{self, Quote, VtpmCertificate};
+
+/// The verdict for one attestation request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Verdict {
+    /// Whether the node is trusted.
+    pub trusted: bool,
+    /// Every reason the attestation failed (empty when trusted).
+    pub failures: Vec<String>,
+}
+
+impl Verdict {
+    fn trusted() -> Self {
+        Verdict {
+            trusted: true,
+            failures: Vec::new(),
+        }
+    }
+
+    fn failed(failures: Vec<String>) -> Self {
+        Verdict {
+            trusted: false,
+            failures,
+        }
+    }
+}
+
+/// The attestation service (paper Fig. 1).
+#[derive(Debug, Default)]
+pub struct AttestationService {
+    golden: HashMap<String, Digest>,
+    trusted_roots: HashSet<MerklePublicKey>,
+    attestations: u64,
+    rejections: u64,
+}
+
+impl AttestationService {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        AttestationService::default()
+    }
+
+    /// Registers a component's golden measurement (from change management
+    /// or the compliant build pipeline).
+    pub fn register_golden(&mut self, component: &Component) {
+        self.golden
+            .insert(component.name.clone(), component.measurement);
+    }
+
+    /// Updates a golden value after an approved change.
+    pub fn update_golden(&mut self, name: &str, measurement: Digest) {
+        self.golden.insert(name.to_owned(), measurement);
+    }
+
+    /// The golden measurement for `name`, if registered.
+    pub fn golden(&self, name: &str) -> Option<Digest> {
+        self.golden.get(name).copied()
+    }
+
+    /// Marks a hardware TPM key as a trusted root.
+    pub fn trust_signer(&mut self, key: MerklePublicKey) {
+        self.trusted_roots.insert(key);
+    }
+
+    /// Verifies that `quote` proves an honest boot of `claimed_stack`.
+    ///
+    /// Checks, in order: nonce freshness (echo), signature validity,
+    /// signer trust, per-component golden membership, and PCR equality
+    /// with the expectation derived from the *golden* values (so a node
+    /// claiming component X but running a modified X fails even though its
+    /// claim is self-consistent).
+    pub fn verify_quote(
+        &mut self,
+        quote: &Quote,
+        claimed_stack: &[Component],
+        expected_nonce: &[u8],
+    ) -> Verdict {
+        let mut failures = Vec::new();
+
+        if quote.nonce != expected_nonce {
+            failures.push("stale or replayed nonce".to_owned());
+        }
+        if !tpm::verify_quote_signature(quote) {
+            failures.push("quote signature invalid".to_owned());
+        }
+        if !self.trusted_roots.contains(&quote.signer) {
+            failures.push("signer is not a trusted root".to_owned());
+        }
+
+        // Rebuild the expectation from golden values, not from the node's
+        // claimed measurements.
+        let mut golden_stack = Vec::with_capacity(claimed_stack.len());
+        for component in claimed_stack {
+            match self.golden.get(&component.name) {
+                Some(&golden) => golden_stack.push(Component {
+                    layer: component.layer,
+                    name: component.name.clone(),
+                    measurement: golden,
+                }),
+                None => failures.push(format!("component `{}` has no golden value", component.name)),
+            }
+        }
+        if failures.is_empty() {
+            let expected = expected_pcrs(&golden_stack);
+            if quote.pcrs != expected {
+                failures.push("PCR values diverge from golden expectation".to_owned());
+            }
+        }
+
+        self.attestations += 1;
+        if failures.is_empty() {
+            Verdict::trusted()
+        } else {
+            self.rejections += 1;
+            Verdict::failed(failures)
+        }
+    }
+
+    /// Verifies a quote from a vTPM by walking its certification chain up
+    /// to a trusted root, then checking the quote as usual.
+    ///
+    /// `chain` is ordered child-first (the quoting vTPM's certificate,
+    /// then its parent's, …); the last certificate's parent must be a
+    /// trusted root.
+    pub fn verify_chained_quote(
+        &mut self,
+        quote: &Quote,
+        chain: &[VtpmCertificate],
+        claimed_stack: &[Component],
+        expected_nonce: &[u8],
+    ) -> Verdict {
+        let mut failures = Vec::new();
+        // Walk the chain: quote.signer must equal chain[0].child, each
+        // cert's parent equals the next cert's child, and the topmost
+        // parent is a trusted root.
+        if let Some(first) = chain.first() {
+            if quote.signer != first.child {
+                failures.push("quote signer not bound by first certificate".to_owned());
+            }
+            for window in chain.windows(2) {
+                if window[0].parent != window[1].child {
+                    failures.push("broken certification chain".to_owned());
+                }
+            }
+            for cert in chain {
+                if !tpm::verify_certificate(cert) {
+                    failures.push(format!("invalid certificate for `{}`", cert.child_name));
+                }
+            }
+            let root = chain.last().expect("nonempty").parent;
+            if !self.trusted_roots.contains(&root) {
+                failures.push("chain does not terminate at a trusted root".to_owned());
+            }
+        } else if !self.trusted_roots.contains(&quote.signer) {
+            failures.push("no chain and signer is not a trusted root".to_owned());
+        }
+
+        if !failures.is_empty() {
+            self.attestations += 1;
+            self.rejections += 1;
+            return Verdict::failed(failures);
+        }
+
+        // Temporarily trust the leaf for the PCR check.
+        let inserted = self.trusted_roots.insert(quote.signer);
+        let verdict = self.verify_quote(quote, claimed_stack, expected_nonce);
+        if inserted {
+            self.trusted_roots.remove(&quote.signer);
+        }
+        verdict
+    }
+
+    /// `(total attestations, rejections)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.attestations, self.rejections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{measured_boot, Layer};
+    use crate::tpm::Tpm;
+
+    fn stack() -> Vec<Component> {
+        vec![
+            Component::new(Layer::Hardware, "bios", b"bios-1.0"),
+            Component::new(Layer::Hypervisor, "kvm", b"kvm-5.4"),
+            Component::new(Layer::Vm, "guest", b"linux-6.1"),
+        ]
+    }
+
+    fn service_with_golden() -> AttestationService {
+        let mut s = AttestationService::new();
+        for c in stack() {
+            s.register_golden(&c);
+        }
+        s
+    }
+
+    #[test]
+    fn honest_boot_is_trusted() {
+        let mut rng = hc_common::rng::seeded(1);
+        let mut service = service_with_golden();
+        let mut tpm = Tpm::generate(&mut rng, "host");
+        service.trust_signer(tpm.public_key());
+        let quote = measured_boot(&mut tpm, &stack(), b"nonce").unwrap();
+        let verdict = service.verify_quote(&quote, &stack(), b"nonce");
+        assert!(verdict.trusted, "{:?}", verdict.failures);
+    }
+
+    #[test]
+    fn tampered_component_detected() {
+        let mut rng = hc_common::rng::seeded(2);
+        let mut service = service_with_golden();
+        let mut tpm = Tpm::generate(&mut rng, "host");
+        service.trust_signer(tpm.public_key());
+        let mut bad_stack = stack();
+        bad_stack[2] = Component::new(Layer::Vm, "guest", b"linux-6.1-rootkit");
+        let quote = measured_boot(&mut tpm, &bad_stack, b"nonce").unwrap();
+        // Node claims the approved stack but booted a modified kernel.
+        let verdict = service.verify_quote(&quote, &stack(), b"nonce");
+        assert!(!verdict.trusted);
+        assert!(verdict.failures.iter().any(|f| f.contains("PCR")));
+    }
+
+    #[test]
+    fn untrusted_signer_rejected() {
+        let mut rng = hc_common::rng::seeded(3);
+        let mut service = service_with_golden();
+        let mut rogue = Tpm::generate(&mut rng, "rogue");
+        let quote = measured_boot(&mut rogue, &stack(), b"nonce").unwrap();
+        let verdict = service.verify_quote(&quote, &stack(), b"nonce");
+        assert!(!verdict.trusted);
+        assert!(verdict.failures.iter().any(|f| f.contains("trusted root")));
+    }
+
+    #[test]
+    fn replayed_nonce_rejected() {
+        let mut rng = hc_common::rng::seeded(4);
+        let mut service = service_with_golden();
+        let mut tpm = Tpm::generate(&mut rng, "host");
+        service.trust_signer(tpm.public_key());
+        let quote = measured_boot(&mut tpm, &stack(), b"old-nonce").unwrap();
+        let verdict = service.verify_quote(&quote, &stack(), b"fresh-nonce");
+        assert!(!verdict.trusted);
+    }
+
+    #[test]
+    fn unknown_component_rejected() {
+        let mut rng = hc_common::rng::seeded(5);
+        let mut service = AttestationService::new();
+        let mut tpm = Tpm::generate(&mut rng, "host");
+        service.trust_signer(tpm.public_key());
+        let quote = measured_boot(&mut tpm, &stack(), b"n").unwrap();
+        let verdict = service.verify_quote(&quote, &stack(), b"n");
+        assert!(!verdict.trusted);
+        assert!(verdict.failures.iter().any(|f| f.contains("golden")));
+    }
+
+    #[test]
+    fn chained_vtpm_quote_trusted() {
+        let mut rng = hc_common::rng::seeded(6);
+        let mut service = service_with_golden();
+        let container_stack = vec![Component::new(Layer::Container, "jmf-img", b"jmf:v3")];
+        service.register_golden(&container_stack[0]);
+
+        let mut hw = Tpm::generate(&mut rng, "hw");
+        service.trust_signer(hw.public_key());
+        let mut vm = hw.spawn_vtpm(&mut rng, "vm-1").unwrap();
+        let mut container = vm.spawn_vtpm(&mut rng, "c-1").unwrap();
+        let quote = measured_boot(&mut container, &container_stack, b"n").unwrap();
+        let chain = vec![
+            container.certificate().unwrap().clone(),
+            vm.certificate().unwrap().clone(),
+        ];
+        let verdict = service.verify_chained_quote(&quote, &chain, &container_stack, b"n");
+        assert!(verdict.trusted, "{:?}", verdict.failures);
+        // Leaf key was only trusted transiently.
+        let verdict2 = service.verify_quote(&quote, &container_stack, b"n");
+        assert!(!verdict2.trusted);
+    }
+
+    #[test]
+    fn broken_chain_rejected() {
+        let mut rng = hc_common::rng::seeded(7);
+        let mut service = service_with_golden();
+        let container_stack = vec![Component::new(Layer::Container, "img", b"img")];
+        service.register_golden(&container_stack[0]);
+
+        let hw = Tpm::generate(&mut rng, "hw");
+        let mut other_root = Tpm::generate(&mut rng, "other");
+        service.trust_signer(hw.public_key());
+        // Chain terminates at an *untrusted* root.
+        let mut vm = other_root.spawn_vtpm(&mut rng, "vm").unwrap();
+        let mut container = vm.spawn_vtpm(&mut rng, "c").unwrap();
+        let quote = measured_boot(&mut container, &container_stack, b"n").unwrap();
+        let chain = vec![
+            container.certificate().unwrap().clone(),
+            vm.certificate().unwrap().clone(),
+        ];
+        let verdict = service.verify_chained_quote(&quote, &chain, &container_stack, b"n");
+        assert!(!verdict.trusted);
+    }
+
+    #[test]
+    fn stats_count_rejections() {
+        let mut rng = hc_common::rng::seeded(8);
+        let mut service = service_with_golden();
+        let mut rogue = Tpm::generate(&mut rng, "rogue");
+        let quote = measured_boot(&mut rogue, &stack(), b"n").unwrap();
+        let _ = service.verify_quote(&quote, &stack(), b"n");
+        assert_eq!(service.stats(), (1, 1));
+    }
+}

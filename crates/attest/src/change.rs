@@ -1,0 +1,257 @@
+//! Change management.
+//!
+//! §II-B: "All authorized changes are first described, evaluated and
+//! finally approved in the change management system; thereafter the CM
+//! service accordingly updates the Attestation Service regarding the
+//! approved changes and their new signatures."
+//!
+//! [`ChangeManagement`] drives change requests through the
+//! described → evaluated → approved/rejected state machine; on approval it
+//! pushes the new golden measurement into the [`AttestationService`].
+
+use std::collections::HashMap;
+
+use hc_common::id::ChangeId;
+use hc_crypto::sha256::Digest;
+
+use crate::attestation::AttestationService;
+
+/// Lifecycle state of a change request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChangeState {
+    /// Submitted with a description.
+    Described,
+    /// Reviewed/evaluated by the compliance policy.
+    Evaluated,
+    /// Approved and applied to the attestation service.
+    Approved,
+    /// Rejected; never applied.
+    Rejected,
+}
+
+/// A change request against one component.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChangeRequest {
+    /// Request id.
+    pub id: ChangeId,
+    /// The component whose golden measurement changes.
+    pub component: String,
+    /// The new measurement proposed.
+    pub new_measurement: Digest,
+    /// Free-form description/justification.
+    pub description: String,
+    /// Current state.
+    pub state: ChangeState,
+}
+
+/// Errors from the change-management state machine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChangeError {
+    /// No request with this id.
+    Unknown(ChangeId),
+    /// The request is not in the state the operation requires.
+    WrongState {
+        /// The request.
+        id: ChangeId,
+        /// The state it is actually in.
+        actual: ChangeState,
+    },
+}
+
+impl std::fmt::Display for ChangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChangeError::Unknown(id) => write!(f, "unknown change request {id}"),
+            ChangeError::WrongState { id, actual } => {
+                write!(f, "change {id} is in state {actual:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChangeError {}
+
+/// The change management service.
+#[derive(Debug, Default)]
+pub struct ChangeManagement {
+    requests: HashMap<ChangeId, ChangeRequest>,
+    next_raw: u128,
+}
+
+impl ChangeManagement {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        ChangeManagement::default()
+    }
+
+    /// Describes (submits) a change, returning its id.
+    pub fn describe(
+        &mut self,
+        component: &str,
+        new_measurement: Digest,
+        description: &str,
+    ) -> ChangeId {
+        self.next_raw += 1;
+        let id = ChangeId::from_raw(self.next_raw);
+        self.requests.insert(
+            id,
+            ChangeRequest {
+                id,
+                component: component.to_owned(),
+                new_measurement,
+                description: description.to_owned(),
+                state: ChangeState::Described,
+            },
+        );
+        id
+    }
+
+    /// Marks a described change as evaluated.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id is unknown or the request is not `Described`.
+    pub fn evaluate(&mut self, id: ChangeId) -> Result<(), ChangeError> {
+        let req = self.requests.get_mut(&id).ok_or(ChangeError::Unknown(id))?;
+        if req.state != ChangeState::Described {
+            return Err(ChangeError::WrongState {
+                id,
+                actual: req.state,
+            });
+        }
+        req.state = ChangeState::Evaluated;
+        Ok(())
+    }
+
+    /// Approves an evaluated change, updating the attestation service's
+    /// golden value for the component.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id is unknown or the request is not `Evaluated`.
+    pub fn approve(
+        &mut self,
+        id: ChangeId,
+        attestation: &mut AttestationService,
+    ) -> Result<(), ChangeError> {
+        let req = self.requests.get_mut(&id).ok_or(ChangeError::Unknown(id))?;
+        if req.state != ChangeState::Evaluated {
+            return Err(ChangeError::WrongState {
+                id,
+                actual: req.state,
+            });
+        }
+        req.state = ChangeState::Approved;
+        attestation.update_golden(&req.component, req.new_measurement);
+        Ok(())
+    }
+
+    /// Rejects a change in any pre-approval state.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id is unknown or the request is already decided.
+    pub fn reject(&mut self, id: ChangeId) -> Result<(), ChangeError> {
+        let req = self.requests.get_mut(&id).ok_or(ChangeError::Unknown(id))?;
+        match req.state {
+            ChangeState::Described | ChangeState::Evaluated => {
+                req.state = ChangeState::Rejected;
+                Ok(())
+            }
+            actual => Err(ChangeError::WrongState { id, actual }),
+        }
+    }
+
+    /// Fetches a request.
+    pub fn get(&self, id: ChangeId) -> Option<&ChangeRequest> {
+        self.requests.get(&id)
+    }
+
+    /// All requests in a given state.
+    pub fn in_state(&self, state: ChangeState) -> Vec<&ChangeRequest> {
+        let mut v: Vec<&ChangeRequest> =
+            self.requests.values().filter(|r| r.state == state).collect();
+        v.sort_by_key(|r| r.id);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{Component, Layer};
+    use hc_crypto::sha256;
+
+    #[test]
+    fn full_lifecycle_updates_golden() {
+        let mut cm = ChangeManagement::new();
+        let mut svc = AttestationService::new();
+        svc.register_golden(&Component::new(Layer::Vm, "guest", b"v1"));
+        let new = sha256::hash(b"v2");
+        let id = cm.describe("guest", new, "kernel patch");
+        cm.evaluate(id).unwrap();
+        cm.approve(id, &mut svc).unwrap();
+        assert_eq!(svc.golden("guest"), Some(new));
+        assert_eq!(cm.get(id).unwrap().state, ChangeState::Approved);
+    }
+
+    #[test]
+    fn approval_requires_evaluation() {
+        let mut cm = ChangeManagement::new();
+        let mut svc = AttestationService::new();
+        let id = cm.describe("x", sha256::hash(b"v"), "d");
+        assert!(matches!(
+            cm.approve(id, &mut svc),
+            Err(ChangeError::WrongState { .. })
+        ));
+        assert_eq!(svc.golden("x"), None, "golden untouched");
+    }
+
+    #[test]
+    fn rejected_change_never_applies() {
+        let mut cm = ChangeManagement::new();
+        let mut svc = AttestationService::new();
+        let id = cm.describe("x", sha256::hash(b"v"), "d");
+        cm.evaluate(id).unwrap();
+        cm.reject(id).unwrap();
+        assert!(matches!(
+            cm.approve(id, &mut svc),
+            Err(ChangeError::WrongState { .. })
+        ));
+    }
+
+    #[test]
+    fn cannot_reject_approved() {
+        let mut cm = ChangeManagement::new();
+        let mut svc = AttestationService::new();
+        let id = cm.describe("x", sha256::hash(b"v"), "d");
+        cm.evaluate(id).unwrap();
+        cm.approve(id, &mut svc).unwrap();
+        assert!(cm.reject(id).is_err());
+    }
+
+    #[test]
+    fn unknown_id_errors() {
+        let mut cm = ChangeManagement::new();
+        let bogus = ChangeId::from_raw(999);
+        assert_eq!(cm.evaluate(bogus), Err(ChangeError::Unknown(bogus)));
+    }
+
+    #[test]
+    fn in_state_filters() {
+        let mut cm = ChangeManagement::new();
+        let a = cm.describe("a", sha256::hash(b"1"), "");
+        let _b = cm.describe("b", sha256::hash(b"2"), "");
+        cm.evaluate(a).unwrap();
+        assert_eq!(cm.in_state(ChangeState::Described).len(), 1);
+        assert_eq!(cm.in_state(ChangeState::Evaluated).len(), 1);
+    }
+
+    #[test]
+    fn double_evaluate_fails() {
+        let mut cm = ChangeManagement::new();
+        let id = cm.describe("a", sha256::hash(b"1"), "");
+        cm.evaluate(id).unwrap();
+        assert!(cm.evaluate(id).is_err());
+    }
+}

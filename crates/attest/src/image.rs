@@ -1,0 +1,254 @@
+//! The image management service.
+//!
+//! §II-A: "The Image Management Service accepts only those VM images that
+//! are signed by an approved list of keys managed by an attestation
+//! service." Images are content-addressed, signed with hash-based
+//! signatures by approved build keys, and verified again at deploy time.
+
+use std::collections::{HashMap, HashSet};
+
+use hc_common::id::ImageId;
+use hc_crypto::ots::{self, MerklePublicKey, MerkleSignature, MerkleSigner};
+use hc_crypto::sha256::{self, Digest};
+
+/// A signed VM/container image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedImage {
+    /// Registry id.
+    pub id: ImageId,
+    /// Human-readable name:tag.
+    pub name: String,
+    /// Content digest.
+    pub digest: Digest,
+    /// Image size in bytes (contents are not retained; the digest is).
+    pub size: u64,
+    /// Build signature over `name ‖ digest`.
+    pub signature: MerkleSignature,
+    /// The signing key.
+    pub signer: MerklePublicKey,
+}
+
+/// Errors from the image registry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ImageError {
+    /// The image's signer is not on the approved list.
+    UnapprovedSigner,
+    /// The signature does not verify.
+    BadSignature,
+    /// No image registered under this id.
+    Unknown(ImageId),
+    /// The builder's signing key is exhausted.
+    SignerExhausted,
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::UnapprovedSigner => f.write_str("image signer is not approved"),
+            ImageError::BadSignature => f.write_str("image signature invalid"),
+            ImageError::Unknown(id) => write!(f, "unknown image {id}"),
+            ImageError::SignerExhausted => f.write_str("builder signing key exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+fn image_message(name: &str, digest: &Digest) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(name.len() + 33);
+    msg.extend_from_slice(name.as_bytes());
+    msg.push(0);
+    msg.extend_from_slice(digest.as_bytes());
+    msg
+}
+
+/// Signs image content with a builder key (done in the compliant DevOps
+/// environment, per §IV-B2).
+///
+/// # Errors
+///
+/// Returns [`ImageError::SignerExhausted`] when the builder key is spent.
+pub fn sign_image<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    builder: &mut MerkleSigner,
+    name: &str,
+    content: &[u8],
+) -> Result<SignedImage, ImageError> {
+    let digest = sha256::hash(content);
+    let signature = builder
+        .sign(&image_message(name, &digest))
+        .map_err(|_| ImageError::SignerExhausted)?;
+    Ok(SignedImage {
+        id: ImageId::random(rng),
+        name: name.to_owned(),
+        digest,
+        size: content.len() as u64,
+        signature,
+        signer: builder.public_key(),
+    })
+}
+
+/// The image registry.
+#[derive(Debug, Default)]
+pub struct ImageRegistry {
+    approved_signers: HashSet<MerklePublicKey>,
+    images: HashMap<ImageId, SignedImage>,
+}
+
+impl ImageRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ImageRegistry::default()
+    }
+
+    /// Approves a builder key.
+    pub fn approve_signer(&mut self, key: MerklePublicKey) {
+        self.approved_signers.insert(key);
+    }
+
+    /// Revokes a builder key. Already-registered images remain but fail
+    /// future deploy-time verification.
+    pub fn revoke_signer(&mut self, key: &MerklePublicKey) {
+        self.approved_signers.remove(key);
+    }
+
+    /// Registers an image, verifying its signature and signer approval.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unapproved signers and invalid signatures.
+    pub fn register(&mut self, image: SignedImage) -> Result<ImageId, ImageError> {
+        self.check(&image)?;
+        let id = image.id;
+        self.images.insert(id, image);
+        Ok(id)
+    }
+
+    fn check(&self, image: &SignedImage) -> Result<(), ImageError> {
+        if !self.approved_signers.contains(&image.signer) {
+            return Err(ImageError::UnapprovedSigner);
+        }
+        if !ots::verify_merkle(
+            &image.signer,
+            &image_message(&image.name, &image.digest),
+            &image.signature,
+        ) {
+            return Err(ImageError::BadSignature);
+        }
+        Ok(())
+    }
+
+    /// Deploy-time verification: re-checks signature, approval and that
+    /// the bytes about to run still match the signed digest.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the image is unknown, its signer revoked, its signature
+    /// invalid, or `content` diverges from the signed digest.
+    pub fn verify_for_deploy(&self, id: ImageId, content: &[u8]) -> Result<&SignedImage, ImageError> {
+        let image = self.images.get(&id).ok_or(ImageError::Unknown(id))?;
+        self.check(image)?;
+        if sha256::hash(content) != image.digest {
+            return Err(ImageError::BadSignature);
+        }
+        Ok(image)
+    }
+
+    /// Fetches image metadata.
+    pub fn get(&self, id: ImageId) -> Option<&SignedImage> {
+        self.images.get(&id)
+    }
+
+    /// Number of registered images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> (MerkleSigner, rand::rngs::StdRng) {
+        let mut rng = hc_common::rng::seeded(20);
+        (MerkleSigner::generate(&mut rng, 3), rng)
+    }
+
+    #[test]
+    fn signed_image_registers_and_deploys() {
+        let (mut b, mut rng) = builder();
+        let mut reg = ImageRegistry::new();
+        reg.approve_signer(b.public_key());
+        let img = sign_image(&mut rng, &mut b, "jmf:v3", b"layers...").unwrap();
+        let id = reg.register(img).unwrap();
+        assert!(reg.verify_for_deploy(id, b"layers...").is_ok());
+    }
+
+    #[test]
+    fn unapproved_signer_rejected() {
+        let (mut b, mut rng) = builder();
+        let reg_empty = {
+            let mut r = ImageRegistry::new();
+            // approve a *different* key
+            let other = MerkleSigner::generate(&mut rng, 1);
+            r.approve_signer(other.public_key());
+            r
+        };
+        let img = sign_image(&mut rng, &mut b, "x", b"y").unwrap();
+        let mut reg = reg_empty;
+        assert_eq!(reg.register(img), Err(ImageError::UnapprovedSigner));
+    }
+
+    #[test]
+    fn tampered_content_fails_deploy() {
+        let (mut b, mut rng) = builder();
+        let mut reg = ImageRegistry::new();
+        reg.approve_signer(b.public_key());
+        let img = sign_image(&mut rng, &mut b, "x", b"original").unwrap();
+        let id = reg.register(img).unwrap();
+        assert_eq!(
+            reg.verify_for_deploy(id, b"trojaned").unwrap_err(),
+            ImageError::BadSignature
+        );
+    }
+
+    #[test]
+    fn revoked_signer_fails_deploy() {
+        let (mut b, mut rng) = builder();
+        let mut reg = ImageRegistry::new();
+        reg.approve_signer(b.public_key());
+        let img = sign_image(&mut rng, &mut b, "x", b"y").unwrap();
+        let id = reg.register(img).unwrap();
+        reg.revoke_signer(&b.public_key());
+        assert_eq!(
+            reg.verify_for_deploy(id, b"y").unwrap_err(),
+            ImageError::UnapprovedSigner
+        );
+    }
+
+    #[test]
+    fn renamed_image_fails_signature() {
+        let (mut b, mut rng) = builder();
+        let mut reg = ImageRegistry::new();
+        reg.approve_signer(b.public_key());
+        let mut img = sign_image(&mut rng, &mut b, "benign:v1", b"y").unwrap();
+        img.name = "privileged:v1".into();
+        assert_eq!(reg.register(img), Err(ImageError::BadSignature));
+    }
+
+    #[test]
+    fn unknown_image_errors() {
+        let reg = ImageRegistry::new();
+        let id = ImageId::from_raw(1);
+        assert_eq!(
+            reg.verify_for_deploy(id, b"").unwrap_err(),
+            ImageError::Unknown(id)
+        );
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Trusted infrastructure: software TPM/vTPM, measured boot, attestation,
+//! signed images and change management.
+//!
+//! The paper (§II-A, Fig. 5) creates "a root of trust at the hardware
+//! level (using TPMs and Attestation Service) for each server and then
+//! extends it, via a transitive trust model, to the hypervisor", and
+//! "leverages the vTPM to transitively extend the root of trust to the
+//! guest OS and the software stack therein" — down to containers, so
+//! trusted analytics workloads can be shipped between clouds (§II-C).
+//!
+//! * [`tpm`] — a software TPM: PCR banks, extend semantics, an event log,
+//!   and hash-based-signed quotes; plus vTPM instances whose identity keys
+//!   are *certified* by their parent TPM, forming the transitive chain.
+//! * [`measure`] — component measurements and the measured-boot procedure
+//!   over a layered software stack (hardware → hypervisor → VM →
+//!   container).
+//! * [`attestation`] — the attestation service: golden-value database,
+//!   quote verification, certification-chain walking, and trust verdicts.
+//! * [`image`] — the image management service: "accepts only those VM
+//!   images that are signed by an approved list of keys".
+//! * [`change`] — change management: described → evaluated → approved
+//!   changes that update the attestation service's golden values.
+//!
+//! # Examples
+//!
+//! ```
+//! use hc_attest::measure::{Component, Layer};
+//! use hc_attest::tpm::Tpm;
+//! use hc_attest::attestation::AttestationService;
+//!
+//! let mut rng = hc_common::rng::seeded(1);
+//! let stack = vec![
+//!     Component::new(Layer::Hardware, "bios", b"bios-v1"),
+//!     Component::new(Layer::Hypervisor, "xen", b"xen-v4"),
+//! ];
+//! let mut service = AttestationService::new();
+//! for c in &stack {
+//!     service.register_golden(c);
+//! }
+//! let mut tpm = Tpm::generate(&mut rng, "host-1");
+//! service.trust_signer(tpm.public_key());
+//! let quote = hc_attest::measure::measured_boot(&mut tpm, &stack, b"nonce").unwrap();
+//! assert!(service.verify_quote(&quote, &stack, b"nonce").trusted);
+//! ```
+
+pub mod attestation;
+pub mod change;
+pub mod image;
+pub mod measure;
+pub mod tpm;

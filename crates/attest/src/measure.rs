@@ -1,0 +1,159 @@
+//! Component measurements and measured boot.
+//!
+//! Mirrors the paper's Fig. 5 flow: "the Core Root of Trust Measurement
+//! (CRTM) code runs in the VM's BIOS … the trusted kernel extends the root
+//! of trust transitively to libraries and drivers". Each software layer is
+//! measured (hashed) into a dedicated PCR before control transfers to it.
+
+use serde::{Deserialize, Serialize};
+
+use hc_crypto::sha256::{self, Digest};
+
+use crate::tpm::{Quote, Tpm, TpmError};
+
+/// The stack layer a component belongs to, lowest first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Layer {
+    /// Bare-metal firmware/BIOS (the CRTM).
+    Hardware,
+    /// Host OS / hypervisor.
+    Hypervisor,
+    /// Guest VM kernel and base image.
+    Vm,
+    /// Container image and libraries.
+    Container,
+}
+
+impl Layer {
+    /// The PCR this layer is measured into.
+    pub const fn pcr(self) -> usize {
+        match self {
+            Layer::Hardware => 0,
+            Layer::Hypervisor => 1,
+            Layer::Vm => 2,
+            Layer::Container => 3,
+        }
+    }
+
+    /// All layers, boot order.
+    pub const ALL: [Layer; 4] = [Layer::Hardware, Layer::Hypervisor, Layer::Vm, Layer::Container];
+}
+
+/// A measured software component.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Component {
+    /// Which layer it boots in.
+    pub layer: Layer,
+    /// Component name (key into the golden-value database).
+    pub name: String,
+    /// The measurement: hash of the component's content.
+    pub measurement: Digest,
+}
+
+impl Component {
+    /// Measures `content` as a component.
+    pub fn new(layer: Layer, name: &str, content: &[u8]) -> Self {
+        Component {
+            layer,
+            name: name.to_owned(),
+            measurement: sha256::hash(content),
+        }
+    }
+}
+
+/// Boots a stack: measures every component into its layer's PCR in order,
+/// then returns a quote over the touched PCRs with the supplied nonce.
+///
+/// # Errors
+///
+/// Propagates TPM errors (exhausted identity key).
+pub fn measured_boot(tpm: &mut Tpm, stack: &[Component], nonce: &[u8]) -> Result<Quote, TpmError> {
+    let mut touched = Vec::new();
+    for component in stack {
+        let pcr = component.layer.pcr();
+        tpm.extend(pcr, component.measurement, &component.name)?;
+        if !touched.contains(&pcr) {
+            touched.push(pcr);
+        }
+    }
+    touched.sort_unstable();
+    tpm.quote(&touched, nonce)
+}
+
+/// Computes the PCR values an honest boot of `stack` must produce.
+///
+/// Used by the attestation service to derive expected values from its
+/// golden measurements without needing a TPM of its own.
+pub fn expected_pcrs(stack: &[Component]) -> Vec<(usize, Digest)> {
+    let mut pcrs = std::collections::BTreeMap::new();
+    for component in stack {
+        let pcr = component.layer.pcr();
+        let current = pcrs.entry(pcr).or_insert(Digest::ZERO);
+        *current = sha256::hash_parts(&[current.as_bytes(), component.measurement.as_bytes()]);
+    }
+    pcrs.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> Vec<Component> {
+        vec![
+            Component::new(Layer::Hardware, "bios", b"bios-1.0"),
+            Component::new(Layer::Hypervisor, "kvm", b"kvm-5.4"),
+            Component::new(Layer::Vm, "guest-kernel", b"linux-6.1"),
+            Component::new(Layer::Container, "analytics-img", b"jmf:v3"),
+        ]
+    }
+
+    #[test]
+    fn boot_produces_expected_pcrs() {
+        let mut rng = hc_common::rng::seeded(1);
+        let mut tpm = Tpm::generate(&mut rng, "host");
+        let quote = measured_boot(&mut tpm, &stack(), b"n").unwrap();
+        assert_eq!(quote.pcrs, expected_pcrs(&stack()));
+    }
+
+    #[test]
+    fn tampered_component_changes_pcr() {
+        let honest = expected_pcrs(&stack());
+        let mut tampered_stack = stack();
+        tampered_stack[2] = Component::new(Layer::Vm, "guest-kernel", b"linux-6.1-rootkit");
+        let tampered = expected_pcrs(&tampered_stack);
+        assert_ne!(honest, tampered);
+        // Only the VM layer PCR differs.
+        assert_eq!(honest[0], tampered[0]);
+        assert_eq!(honest[1], tampered[1]);
+        assert_ne!(honest[2], tampered[2]);
+    }
+
+    #[test]
+    fn layers_map_to_distinct_pcrs() {
+        let pcrs: std::collections::HashSet<usize> =
+            Layer::ALL.iter().map(|l| l.pcr()).collect();
+        assert_eq!(pcrs.len(), 4);
+    }
+
+    #[test]
+    fn multiple_components_per_layer_accumulate() {
+        let stack = vec![
+            Component::new(Layer::Container, "base", b"alpine"),
+            Component::new(Layer::Container, "libs", b"numpy"),
+        ];
+        let expected = expected_pcrs(&stack);
+        assert_eq!(expected.len(), 1);
+        let single = expected_pcrs(&stack[..1]);
+        assert_ne!(expected[0].1, single[0].1);
+    }
+
+    #[test]
+    fn quote_covers_only_touched_pcrs() {
+        let mut rng = hc_common::rng::seeded(2);
+        let mut tpm = Tpm::generate(&mut rng, "host");
+        let partial = vec![Component::new(Layer::Hardware, "bios", b"b")];
+        let quote = measured_boot(&mut tpm, &partial, b"n").unwrap();
+        assert_eq!(quote.pcrs.len(), 1);
+        assert_eq!(quote.pcrs[0].0, Layer::Hardware.pcr());
+    }
+}

@@ -1,0 +1,347 @@
+//! A software trusted platform module and its virtual descendants.
+//!
+//! The TPM holds 24 platform configuration registers (PCRs) with the
+//! standard extend semantics `PCR ← H(PCR ‖ measurement)`, an append-only
+//! event log, and an identity key used to sign *quotes* (attested PCR
+//! snapshots). A [`Tpm::spawn_vtpm`] call creates a virtual TPM whose
+//! identity key is certified by the parent — the transitive trust link of
+//! the paper's Fig. 5 (hardware TPM → per-VM vTPM → per-container vTPM).
+
+use serde::{Deserialize, Serialize};
+
+use hc_crypto::ots::{self, MerklePublicKey, MerkleSignature, MerkleSigner};
+use hc_crypto::sha256::{self, Digest};
+
+/// Number of PCR registers.
+pub const PCR_COUNT: usize = 24;
+
+/// One event-log entry: which PCR was extended with what.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// The extended PCR index.
+    pub pcr: usize,
+    /// Human-readable description (component name).
+    pub description: String,
+    /// The measurement that was folded in.
+    pub measurement: Digest,
+}
+
+/// A signed snapshot of selected PCRs.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Quote {
+    /// The quoting TPM's name.
+    pub tpm_name: String,
+    /// `(index, value)` pairs for the quoted PCRs.
+    pub pcrs: Vec<(usize, Digest)>,
+    /// Caller-supplied anti-replay nonce, echoed back.
+    pub nonce: Vec<u8>,
+    /// Signature over the canonical encoding of the above.
+    pub signature: MerkleSignature,
+    /// The signer's public key (verified against trusted roots or a
+    /// certification chain).
+    pub signer: MerklePublicKey,
+}
+
+/// A certificate binding a child vTPM's key to its parent TPM.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct VtpmCertificate {
+    /// The certified child key.
+    pub child: MerklePublicKey,
+    /// The child vTPM's name.
+    pub child_name: String,
+    /// The parent's key (which itself may be certified further up).
+    pub parent: MerklePublicKey,
+    /// Parent's signature over `child ‖ child_name`.
+    pub signature: MerkleSignature,
+}
+
+/// Errors from TPM operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TpmError {
+    /// PCR index out of range.
+    BadPcrIndex(usize),
+    /// The identity key ran out of one-time signatures.
+    KeysExhausted,
+}
+
+impl std::fmt::Display for TpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TpmError::BadPcrIndex(i) => write!(f, "PCR index {i} out of range"),
+            TpmError::KeysExhausted => f.write_str("TPM identity key exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for TpmError {}
+
+/// A software TPM (or vTPM — the state machine is identical; only the
+/// provenance of the identity key differs).
+#[derive(Debug)]
+pub struct Tpm {
+    name: String,
+    pcrs: [Digest; PCR_COUNT],
+    log: Vec<LogEntry>,
+    signer: MerkleSigner,
+    certificate: Option<VtpmCertificate>,
+}
+
+fn quote_message(name: &str, pcrs: &[(usize, Digest)], nonce: &[u8]) -> Vec<u8> {
+    let mut msg = Vec::new();
+    msg.extend_from_slice(name.as_bytes());
+    msg.push(0);
+    for (idx, digest) in pcrs {
+        msg.extend_from_slice(&(*idx as u64).to_le_bytes());
+        msg.extend_from_slice(digest.as_bytes());
+    }
+    msg.extend_from_slice(nonce);
+    msg
+}
+
+fn cert_message(child: &MerklePublicKey, child_name: &str) -> Vec<u8> {
+    let mut msg = Vec::new();
+    msg.extend_from_slice(child.0.as_bytes());
+    msg.extend_from_slice(child_name.as_bytes());
+    msg
+}
+
+impl Tpm {
+    /// Manufactures a hardware-rooted TPM with a fresh identity key.
+    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R, name: &str) -> Self {
+        Tpm {
+            name: name.to_owned(),
+            pcrs: [Digest::ZERO; PCR_COUNT],
+            log: Vec::new(),
+            signer: MerkleSigner::generate(rng, 5), // 32 quotes per TPM
+            certificate: None,
+        }
+    }
+
+    /// The TPM's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The identity public key.
+    pub fn public_key(&self) -> MerklePublicKey {
+        self.signer.public_key()
+    }
+
+    /// The certificate linking this vTPM to its parent (`None` for
+    /// hardware-rooted TPMs).
+    pub fn certificate(&self) -> Option<&VtpmCertificate> {
+        self.certificate.as_ref()
+    }
+
+    /// Extends a PCR: `PCR ← H(PCR ‖ measurement)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpmError::BadPcrIndex`] for `pcr >= 24`.
+    pub fn extend(&mut self, pcr: usize, measurement: Digest, description: &str) -> Result<(), TpmError> {
+        if pcr >= PCR_COUNT {
+            return Err(TpmError::BadPcrIndex(pcr));
+        }
+        self.pcrs[pcr] = sha256::hash_parts(&[self.pcrs[pcr].as_bytes(), measurement.as_bytes()]);
+        self.log.push(LogEntry {
+            pcr,
+            description: description.to_owned(),
+            measurement,
+        });
+        Ok(())
+    }
+
+    /// Reads a PCR value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpmError::BadPcrIndex`] for `pcr >= 24`.
+    pub fn read_pcr(&self, pcr: usize) -> Result<Digest, TpmError> {
+        self.pcrs
+            .get(pcr)
+            .copied()
+            .ok_or(TpmError::BadPcrIndex(pcr))
+    }
+
+    /// The append-only event log.
+    pub fn event_log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Produces a signed quote over the selected PCRs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad PCR index or an exhausted identity key.
+    pub fn quote(&mut self, pcr_indices: &[usize], nonce: &[u8]) -> Result<Quote, TpmError> {
+        let mut pcrs = Vec::with_capacity(pcr_indices.len());
+        for &i in pcr_indices {
+            pcrs.push((i, self.read_pcr(i)?));
+        }
+        let msg = quote_message(&self.name, &pcrs, nonce);
+        let signature = self.signer.sign(&msg).map_err(|_| TpmError::KeysExhausted)?;
+        Ok(Quote {
+            tpm_name: self.name.clone(),
+            pcrs,
+            nonce: nonce.to_vec(),
+            signature,
+            signer: self.signer.public_key(),
+        })
+    }
+
+    /// Spawns a child vTPM whose identity key this TPM certifies.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this TPM's identity key is exhausted.
+    pub fn spawn_vtpm<R: rand::Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        child_name: &str,
+    ) -> Result<Tpm, TpmError> {
+        let child_signer = MerkleSigner::generate(rng, 5);
+        let child_pk = child_signer.public_key();
+        let msg = cert_message(&child_pk, child_name);
+        let signature = self.signer.sign(&msg).map_err(|_| TpmError::KeysExhausted)?;
+        Ok(Tpm {
+            name: child_name.to_owned(),
+            pcrs: [Digest::ZERO; PCR_COUNT],
+            log: Vec::new(),
+            signer: child_signer,
+            certificate: Some(VtpmCertificate {
+                child: child_pk,
+                child_name: child_name.to_owned(),
+                parent: self.public_key(),
+                signature,
+            }),
+        })
+    }
+}
+
+/// Verifies a quote's signature (not its PCR *values* — that is the
+/// attestation service's job).
+pub fn verify_quote_signature(quote: &Quote) -> bool {
+    let msg = quote_message(&quote.tpm_name, &quote.pcrs, &quote.nonce);
+    ots::verify_merkle(&quote.signer, &msg, &quote.signature)
+}
+
+/// Verifies a vTPM certificate: the parent signed the child key.
+pub fn verify_certificate(cert: &VtpmCertificate) -> bool {
+    let msg = cert_message(&cert.child, &cert.child_name);
+    ots::verify_merkle(&cert.parent, &msg, &cert.signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_changes_pcr_deterministically() {
+        let mut rng = hc_common::rng::seeded(1);
+        let mut a = Tpm::generate(&mut rng, "a");
+        let mut b = Tpm::generate(&mut rng, "b");
+        let m = sha256::hash(b"component");
+        a.extend(0, m, "c").unwrap();
+        b.extend(0, m, "c").unwrap();
+        assert_eq!(a.read_pcr(0).unwrap(), b.read_pcr(0).unwrap());
+        assert_ne!(a.read_pcr(0).unwrap(), Digest::ZERO);
+    }
+
+    #[test]
+    fn extend_order_matters() {
+        let mut rng = hc_common::rng::seeded(2);
+        let mut a = Tpm::generate(&mut rng, "a");
+        let mut b = Tpm::generate(&mut rng, "b");
+        let m1 = sha256::hash(b"one");
+        let m2 = sha256::hash(b"two");
+        a.extend(0, m1, "1").unwrap();
+        a.extend(0, m2, "2").unwrap();
+        b.extend(0, m2, "2").unwrap();
+        b.extend(0, m1, "1").unwrap();
+        assert_ne!(a.read_pcr(0).unwrap(), b.read_pcr(0).unwrap());
+    }
+
+    #[test]
+    fn bad_pcr_index_rejected() {
+        let mut rng = hc_common::rng::seeded(3);
+        let mut tpm = Tpm::generate(&mut rng, "t");
+        assert_eq!(
+            tpm.extend(24, Digest::ZERO, "x"),
+            Err(TpmError::BadPcrIndex(24))
+        );
+        assert_eq!(tpm.read_pcr(99), Err(TpmError::BadPcrIndex(99)));
+    }
+
+    #[test]
+    fn quote_signature_verifies() {
+        let mut rng = hc_common::rng::seeded(4);
+        let mut tpm = Tpm::generate(&mut rng, "t");
+        tpm.extend(0, sha256::hash(b"x"), "x").unwrap();
+        let quote = tpm.quote(&[0, 1], b"nonce").unwrap();
+        assert!(verify_quote_signature(&quote));
+    }
+
+    #[test]
+    fn tampered_quote_rejected() {
+        let mut rng = hc_common::rng::seeded(5);
+        let mut tpm = Tpm::generate(&mut rng, "t");
+        let mut quote = tpm.quote(&[0], b"n").unwrap();
+        quote.pcrs[0].1 = sha256::hash(b"forged");
+        assert!(!verify_quote_signature(&quote));
+    }
+
+    #[test]
+    fn replayed_nonce_visible() {
+        let mut rng = hc_common::rng::seeded(6);
+        let mut tpm = Tpm::generate(&mut rng, "t");
+        let quote = tpm.quote(&[0], b"nonce-1").unwrap();
+        assert_eq!(quote.nonce, b"nonce-1");
+        // A verifier comparing against its own fresh nonce detects replay.
+        assert_ne!(quote.nonce, b"nonce-2".to_vec());
+    }
+
+    #[test]
+    fn vtpm_certificate_chain_verifies() {
+        let mut rng = hc_common::rng::seeded(7);
+        let mut hw = Tpm::generate(&mut rng, "hw");
+        let mut vm = hw.spawn_vtpm(&mut rng, "vm-1").unwrap();
+        let container = vm.spawn_vtpm(&mut rng, "container-1").unwrap();
+        assert!(verify_certificate(vm.certificate().unwrap()));
+        assert!(verify_certificate(container.certificate().unwrap()));
+        assert_eq!(
+            container.certificate().unwrap().parent,
+            vm.public_key()
+        );
+        assert!(hw.certificate().is_none());
+    }
+
+    #[test]
+    fn forged_certificate_rejected() {
+        let mut rng = hc_common::rng::seeded(8);
+        let mut hw = Tpm::generate(&mut rng, "hw");
+        let vm = hw.spawn_vtpm(&mut rng, "vm-1").unwrap();
+        let mut cert = vm.certificate().unwrap().clone();
+        cert.child_name = "evil-vm".into();
+        assert!(!verify_certificate(&cert));
+    }
+
+    #[test]
+    fn event_log_records_extends() {
+        let mut rng = hc_common::rng::seeded(9);
+        let mut tpm = Tpm::generate(&mut rng, "t");
+        tpm.extend(3, sha256::hash(b"kernel"), "kernel").unwrap();
+        assert_eq!(tpm.event_log().len(), 1);
+        assert_eq!(tpm.event_log()[0].pcr, 3);
+        assert_eq!(tpm.event_log()[0].description, "kernel");
+    }
+
+    #[test]
+    fn quotes_exhaust_eventually() {
+        let mut rng = hc_common::rng::seeded(10);
+        let mut tpm = Tpm::generate(&mut rng, "t");
+        for _ in 0..32 {
+            tpm.quote(&[0], b"n").unwrap();
+        }
+        assert_eq!(tpm.quote(&[0], b"n"), Err(TpmError::KeysExhausted));
+    }
+}

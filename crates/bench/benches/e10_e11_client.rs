@@ -1,0 +1,78 @@
+//! E10/E11 — enhanced-client operations and service selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_client::offload;
+use hc_client::sdk::{EnhancedClient, RemoteStore};
+use hc_client::services::{Capability, ServiceRegistry, SimulatedService};
+use hc_common::clock::{SimClock, SimDuration};
+use hc_core::platform::demo_bundle;
+use hc_crypto::aead::SecretKey;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_client(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_client");
+    let remote: RemoteStore = Arc::new(Mutex::new(HashMap::new()));
+    let mut rng = hc_common::rng::seeded(10);
+    let mut client = EnhancedClient::new(
+        SimClock::new(),
+        Arc::clone(&remote),
+        SecretKey::generate(&mut rng),
+        64,
+    );
+    client.put("hot", vec![1, 2, 3]);
+    group.bench_function("cached_get", |b| {
+        b.iter(|| black_box(client.get("hot").unwrap().latency))
+    });
+    group.bench_function("put_encrypted", |b| {
+        b.iter(|| client.put_encrypted("phi", b"hba1c=7.0"))
+    });
+    let bundle = demo_bundle("p1", true);
+    group.bench_function("anonymize_local", |b| {
+        b.iter(|| black_box(client.anonymize_local(&bundle, b"salt").pseudonyms.len()))
+    });
+    group.bench_function("offload_plans", |b| {
+        b.iter(|| {
+            let a = offload::client_side_plan(
+                &bundle,
+                SimDuration::from_millis(3),
+                SimDuration::from_millis(50),
+            );
+            let s = offload::server_side_plan(
+                &bundle,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(50),
+            );
+            black_box((a.latency, s.latency))
+        })
+    });
+    group.finish();
+}
+
+fn bench_services(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_services");
+    let mut registry = ServiceRegistry::new(SimClock::new());
+    for i in 0..5 {
+        registry.register(SimulatedService {
+            name: format!("svc-{i}"),
+            capability: Capability::NaturalLanguage,
+            mean_latency: SimDuration::from_millis(20 + i * 30),
+            jitter: 0.2,
+            availability: 0.95,
+            accuracy: 0.9,
+        });
+    }
+    let mut rng = hc_common::rng::seeded(11);
+    group.bench_function("invoke_tracked", |b| {
+        b.iter(|| black_box(registry.invoke("svc-0", &mut rng).is_ok()))
+    });
+    group.bench_function("select_best", |b| {
+        b.iter(|| black_box(registry.select_best(Capability::NaturalLanguage, 0.0).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_client, bench_services);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E12 — intercloud gateway plan computation and workload execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_cloudsim::gateway::IntercloudGateway;
+use hc_cloudsim::infra::InfraCloud;
+use hc_cloudsim::net::{Location, NetworkModel};
+use hc_cloudsim::workload::{execute, AnalyticsWorkload};
+use hc_common::clock::{SimClock, SimDuration};
+use std::hint::black_box;
+
+const MB: u64 = 1_000_000;
+
+fn bench_gateway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_gateway");
+    for dataset_mb in [100u64, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("plan_pair", dataset_mb),
+            &dataset_mb,
+            |b, &mb| {
+                b.iter(|| {
+                    let gateway = IntercloudGateway::new(
+                        SimClock::new(),
+                        Location::new(0, 0),
+                        Location::new(1, 0),
+                    );
+                    let data = gateway.ship_data(mb * MB, SimDuration::from_secs(5));
+                    let compute = gateway
+                        .ship_compute(200 * MB, SimDuration::from_secs(5), Ok(()))
+                        .unwrap();
+                    black_box((data.makespan(), compute.makespan()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_infra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_infra");
+    group.bench_function("provision_release_cycle", |b| {
+        let mut cloud = InfraCloud::new();
+        for _ in 0..8 {
+            cloud.add_host(0, 64, 10_000_000_000);
+        }
+        b.iter(|| {
+            let vm = cloud.provision_vm(0, 8).unwrap();
+            cloud.release_vm(vm).unwrap();
+        })
+    });
+    group.bench_function("workload_execute", |b| {
+        let mut cloud = InfraCloud::new();
+        cloud.add_host(0, 32, 20_000_000_000);
+        let vm = cloud.provision_vm(0, 16).unwrap();
+        let net = NetworkModel::default();
+        let w = AnalyticsWorkload {
+            flops: 1_000_000_000,
+            input_bytes: 50 * MB,
+            output_bytes: MB,
+        };
+        b.iter(|| {
+            black_box(
+                execute(&cloud, &net, vm, &w, Location::new(1, 0), Location::new(1, 0))
+                    .unwrap()
+                    .makespan(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gateway, bench_infra);
+criterion_main!(benches);

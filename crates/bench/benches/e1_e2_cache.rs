@@ -1,0 +1,61 @@
+//! E1/E2 — cache read paths and eviction policies (wall clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_bench::zipf_key;
+use hc_cache::multilevel::CacheHierarchy;
+use hc_cache::policy::{CachePolicy, LfuCache, LruCache};
+use hc_common::clock::{SimClock, SimDuration};
+use std::hint::black_box;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_hierarchy_read");
+    let mut h: CacheHierarchy<usize, u64> =
+        CacheHierarchy::new(SimClock::new(), SimDuration::from_millis(50));
+    h.add_level("client", Box::new(LruCache::new(256)), SimDuration::from_micros(2));
+    h.add_level("server", Box::new(LruCache::new(2048)), SimDuration::from_micros(500));
+    for k in 0..4096usize {
+        h.write(k, k as u64);
+    }
+    let _ = h.read(&1); // warm key 1 into the client level
+    group.bench_function("client_hit", |b| {
+        b.iter(|| black_box(h.read(&1).latency))
+    });
+    let mut rng = hc_common::rng::seeded(1);
+    group.bench_function("zipf_mixed", |b| {
+        b.iter(|| {
+            let k = zipf_key(&mut rng, 4096);
+            black_box(h.read(&k).latency)
+        })
+    });
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_policy_ops");
+    for capacity in [64usize, 512] {
+        group.bench_with_input(BenchmarkId::new("lru_get_put", capacity), &capacity, |b, &cap| {
+            let mut cache = LruCache::new(cap);
+            let mut rng = hc_common::rng::seeded(2);
+            b.iter(|| {
+                let k = zipf_key(&mut rng, 2048);
+                if cache.get(&k).is_none() {
+                    cache.put(k, k);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lfu_get_put", capacity), &capacity, |b, &cap| {
+            let mut cache = LfuCache::new(cap);
+            let mut rng = hc_common::rng::seeded(2);
+            b.iter(|| {
+                let k = zipf_key(&mut rng, 2048);
+                if cache.get(&k).is_none() {
+                    cache.put(k, k);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy, bench_policies);
+criterion_main!(benches);

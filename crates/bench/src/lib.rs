@@ -1,0 +1,41 @@
+//! Shared workload generators for the E1–E12 criterion benches.
+//!
+//! Each bench target regenerates the wall-clock side of one experiment
+//! from EXPERIMENTS.md; the simulated-latency side (the model) is printed
+//! by `cargo run --release --example experiments`.
+
+use rand::Rng;
+
+/// Draws a Zipf(≈1) key over `n` keys.
+pub fn zipf_key<R: Rng>(rng: &mut R, n: usize) -> usize {
+    loop {
+        let k = rng.gen_range(1..=n);
+        if rng.gen_bool(1.0 / k as f64) {
+            return k - 1;
+        }
+    }
+}
+
+/// A deterministic payload of `size` bytes.
+pub fn payload(size: usize) -> Vec<u8> {
+    (0..size).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_prefers_small_keys() {
+        let mut rng = hc_common::rng::seeded(1);
+        let draws: Vec<usize> = (0..2000).map(|_| zipf_key(&mut rng, 100)).collect();
+        let small = draws.iter().filter(|&&k| k < 10).count();
+        assert!(small > draws.len() / 3);
+    }
+
+    #[test]
+    fn payload_deterministic() {
+        assert_eq!(payload(16), payload(16));
+        assert_eq!(payload(4).len(), 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! Multi-level caching for the healthcare cloud platform.
+//!
+//! Caching is one of the paper's headline performance features: "The cost
+//! for accessing data from remote cloud servers can be orders of magnitude
+//! higher than the cost for accessing data locally. … Our system employs
+//! caching at multiple levels and not just at the client level" (§I), and
+//! "Caching works best for data which do not change frequently. If the
+//! data are changing frequently, cache consistency algorithms need to be
+//! applied" (§III).
+//!
+//! * [`policy`] — eviction policies: [`policy::LruCache`],
+//!   [`policy::LfuCache`], and a TTL wrapper [`policy::TtlCache`], all
+//!   behind the object-safe [`policy::CachePolicy`] trait.
+//! * [`stats`] — hit/miss/eviction accounting shared by every cache.
+//! * [`multilevel`] — the client → server → origin [`multilevel::CacheHierarchy`]
+//!   with per-level access latencies on the simulated clock, read-through
+//!   fills and write-invalidate consistency.
+//! * [`invalidation`] — the multi-client consistency protocol: a
+//!   versioned origin publishes invalidations to every subscribed client
+//!   cache (the "cache consistency algorithms" §III calls for).
+//!
+//! # Examples
+//!
+//! ```
+//! use hc_cache::policy::{CachePolicy, LruCache};
+//!
+//! let mut cache = LruCache::new(2);
+//! cache.put("a", 1);
+//! cache.put("b", 2);
+//! assert_eq!(cache.get(&"a"), Some(1)); // refresh "a"
+//! cache.put("c", 3);                    // evicts "b"
+//! assert_eq!(cache.get(&"b"), None);
+//! ```
+
+pub mod invalidation;
+pub mod multilevel;
+pub mod policy;
+pub mod stats;

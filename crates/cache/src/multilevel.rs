@@ -1,0 +1,315 @@
+//! The client → server → origin cache hierarchy (paper Fig. 4).
+//!
+//! Each level pairs a [`CachePolicy`] with an access latency charged to the
+//! shared [`SimClock`]. Reads probe levels nearest-first, fill on the way
+//! back (read-through), and a miss everywhere pays the origin latency —
+//! which in the paper's setting is "orders of magnitude higher" than a
+//! local hit (E1). Writes go through to the origin and *invalidate* every
+//! level (write-invalidate consistency, §III).
+
+use std::collections::HashMap;
+
+use hc_common::clock::{SimClock, SimDuration};
+
+use crate::policy::CachePolicy;
+use crate::stats::CacheStats;
+
+/// One level of the hierarchy.
+pub struct Level<K, V> {
+    /// Human-readable name ("client", "server", …).
+    pub name: String,
+    /// The cache at this level.
+    pub cache: Box<dyn CachePolicy<K, V> + Send>,
+    /// Cost of probing this level.
+    pub latency: SimDuration,
+}
+
+impl<K, V> std::fmt::Debug for Level<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Level")
+            .field("name", &self.name)
+            .field("latency_us", &self.latency.as_micros())
+            .finish()
+    }
+}
+
+/// Where a read was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HitLevel {
+    /// Served from cache level `index` (0 = nearest).
+    Cache {
+        /// The level index.
+        index: usize,
+    },
+    /// Served from the origin store.
+    Origin,
+    /// The key does not exist anywhere.
+    Absent,
+}
+
+/// The outcome of a hierarchical read.
+#[derive(Clone, Debug)]
+pub struct ReadOutcome<V> {
+    /// The value, if the key exists.
+    pub value: Option<V>,
+    /// Where it was found.
+    pub hit: HitLevel,
+    /// Total simulated latency charged for this read.
+    pub latency: SimDuration,
+}
+
+/// A multi-level read-through, write-invalidate cache over an origin map.
+///
+/// # Examples
+///
+/// ```
+/// use hc_cache::multilevel::CacheHierarchy;
+/// use hc_cache::policy::LruCache;
+/// use hc_common::clock::{SimClock, SimDuration};
+///
+/// let clock = SimClock::new();
+/// let mut h = CacheHierarchy::new(clock, SimDuration::from_millis(50));
+/// h.add_level("client", Box::new(LruCache::new(8)), SimDuration::from_micros(1));
+/// h.write("k".to_string(), 1u64);
+/// let cold = h.read(&"k".to_string());
+/// let warm = h.read(&"k".to_string());
+/// assert!(warm.latency < cold.latency);
+/// ```
+pub struct CacheHierarchy<K, V> {
+    clock: SimClock,
+    levels: Vec<Level<K, V>>,
+    origin: HashMap<K, V>,
+    origin_latency: SimDuration,
+    origin_reads: u64,
+}
+
+impl<K, V> std::fmt::Debug for CacheHierarchy<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheHierarchy")
+            .field("levels", &self.levels)
+            .field("origin_entries", &self.origin.len())
+            .finish()
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> CacheHierarchy<K, V> {
+    /// Creates a hierarchy with no cache levels yet.
+    pub fn new(clock: SimClock, origin_latency: SimDuration) -> Self {
+        CacheHierarchy {
+            clock,
+            levels: Vec::new(),
+            origin: HashMap::new(),
+            origin_latency,
+            origin_reads: 0,
+        }
+    }
+
+    /// Appends a level; levels are probed in insertion order (nearest first).
+    pub fn add_level(
+        &mut self,
+        name: &str,
+        cache: Box<dyn CachePolicy<K, V> + Send>,
+        latency: SimDuration,
+    ) {
+        self.levels.push(Level {
+            name: name.to_owned(),
+            cache,
+            latency,
+        });
+    }
+
+    /// Reads `key`, charging simulated latency and filling nearer levels.
+    pub fn read(&mut self, key: &K) -> ReadOutcome<V> {
+        let mut spent = SimDuration::ZERO;
+        for i in 0..self.levels.len() {
+            spent += self.levels[i].latency;
+            if let Some(value) = self.levels[i].cache.get(key) {
+                // Fill all nearer levels on the way back.
+                for nearer in &mut self.levels[..i] {
+                    nearer.cache.put(key.clone(), value.clone());
+                }
+                self.clock.advance(spent);
+                return ReadOutcome {
+                    value: Some(value),
+                    hit: HitLevel::Cache { index: i },
+                    latency: spent,
+                };
+            }
+        }
+        spent += self.origin_latency;
+        self.clock.advance(spent);
+        self.origin_reads += 1;
+        match self.origin.get(key).cloned() {
+            Some(value) => {
+                for level in &mut self.levels {
+                    level.cache.put(key.clone(), value.clone());
+                }
+                ReadOutcome {
+                    value: Some(value),
+                    hit: HitLevel::Origin,
+                    latency: spent,
+                }
+            }
+            None => ReadOutcome {
+                value: None,
+                hit: HitLevel::Absent,
+                latency: spent,
+            },
+        }
+    }
+
+    /// Writes through to the origin and invalidates every cache level.
+    ///
+    /// Returns the simulated latency charged (origin round trip).
+    pub fn write(&mut self, key: K, value: V) -> SimDuration {
+        for level in &mut self.levels {
+            level.cache.invalidate(&key);
+        }
+        self.origin.insert(key, value);
+        self.clock.advance(self.origin_latency);
+        self.origin_latency
+    }
+
+    /// Deletes from the origin and every level.
+    pub fn delete(&mut self, key: &K) {
+        for level in &mut self.levels {
+            level.cache.invalidate(key);
+        }
+        self.origin.remove(key);
+        self.clock.advance(self.origin_latency);
+    }
+
+    /// Per-level statistics, nearest first.
+    pub fn level_stats(&self) -> Vec<(String, CacheStats)> {
+        self.levels
+            .iter()
+            .map(|l| (l.name.clone(), l.cache.stats()))
+            .collect()
+    }
+
+    /// How many reads reached the origin.
+    pub fn origin_reads(&self) -> u64 {
+        self.origin_reads
+    }
+
+    /// Number of entries in the origin store.
+    pub fn origin_len(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// A handle to the shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LruCache;
+
+    fn hierarchy() -> CacheHierarchy<String, u64> {
+        let clock = SimClock::new();
+        let mut h = CacheHierarchy::new(clock, SimDuration::from_millis(50));
+        h.add_level(
+            "client",
+            Box::new(LruCache::new(4)),
+            SimDuration::from_micros(1),
+        );
+        h.add_level(
+            "server",
+            Box::new(LruCache::new(16)),
+            SimDuration::from_micros(500),
+        );
+        h
+    }
+
+    #[test]
+    fn cold_read_hits_origin_warm_read_hits_client() {
+        let mut h = hierarchy();
+        h.write("k".into(), 7);
+        let cold = h.read(&"k".to_string());
+        assert_eq!(cold.hit, HitLevel::Origin);
+        let warm = h.read(&"k".to_string());
+        assert_eq!(warm.hit, HitLevel::Cache { index: 0 });
+        assert_eq!(warm.value, Some(7));
+        // Orders of magnitude: 1 µs vs 50.501 ms.
+        assert!(cold.latency.as_nanos() > 1000 * warm.latency.as_nanos());
+    }
+
+    #[test]
+    fn server_hit_fills_client() {
+        let mut h = hierarchy();
+        h.write("k".into(), 7);
+        let _ = h.read(&"k".to_string()); // fills both
+                                          // Evict from the tiny client cache.
+        for i in 0..5 {
+            h.write(format!("other{i}"), 0);
+            let _ = h.read(&format!("other{i}"));
+        }
+        // "k" was evicted from client (cap 4) but lives in server (cap 16)?
+        // Writes invalidate, so re-read "k": it may be in server still.
+        let outcome = h.read(&"k".to_string());
+        assert!(outcome.value.is_some());
+    }
+
+    #[test]
+    fn write_invalidates_all_levels() {
+        let mut h = hierarchy();
+        h.write("k".into(), 1);
+        let _ = h.read(&"k".to_string());
+        h.write("k".into(), 2);
+        let outcome = h.read(&"k".to_string());
+        assert_eq!(outcome.hit, HitLevel::Origin, "stale copy must be gone");
+        assert_eq!(outcome.value, Some(2));
+    }
+
+    #[test]
+    fn absent_key_reported() {
+        let mut h = hierarchy();
+        let outcome = h.read(&"nope".to_string());
+        assert_eq!(outcome.hit, HitLevel::Absent);
+        assert!(outcome.value.is_none());
+    }
+
+    #[test]
+    fn delete_removes_everywhere() {
+        let mut h = hierarchy();
+        h.write("k".into(), 1);
+        let _ = h.read(&"k".to_string());
+        h.delete(&"k".to_string());
+        assert_eq!(h.read(&"k".to_string()).hit, HitLevel::Absent);
+        assert_eq!(h.origin_len(), 0);
+    }
+
+    #[test]
+    fn clock_advances_with_traffic() {
+        let mut h = hierarchy();
+        h.write("k".into(), 1);
+        let before = h.clock().now();
+        let _ = h.read(&"k".to_string());
+        assert!(h.clock().now() > before);
+    }
+
+    #[test]
+    fn stats_reflect_hits() {
+        let mut h = hierarchy();
+        h.write("k".into(), 1);
+        let _ = h.read(&"k".to_string());
+        let _ = h.read(&"k".to_string());
+        let stats = h.level_stats();
+        assert_eq!(stats[0].0, "client");
+        assert_eq!(stats[0].1.hits, 1);
+        assert_eq!(stats[0].1.misses, 1);
+        assert_eq!(h.origin_reads(), 1);
+    }
+
+    #[test]
+    fn no_levels_still_works() {
+        let clock = SimClock::new();
+        let mut h: CacheHierarchy<String, u64> =
+            CacheHierarchy::new(clock, SimDuration::from_millis(1));
+        h.write("k".into(), 1);
+        assert_eq!(h.read(&"k".to_string()).hit, HitLevel::Origin);
+    }
+}

@@ -1,0 +1,54 @@
+//! Cache statistics.
+
+/// Hit/miss/eviction counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed (absent or expired).
+    pub misses: u64,
+    /// Entries evicted by the policy (not explicit invalidations).
+    pub evictions: u64,
+    /// Entries removed by explicit invalidation.
+    pub invalidations: u64,
+    /// Entries that expired (TTL caches only).
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// The hit ratio in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_of_empty_is_zero() {
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratio_counts_hits() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(s.lookups(), 4);
+    }
+}

@@ -1,0 +1,21 @@
+//! The enhanced client SDK (§III-A, Fig. 4).
+//!
+//! "We provide enhanced clients which offer additional functionality for
+//! client machines … These enhanced clients provide features such as
+//! caching, data analytics, and encryption." Clients can also "perform
+//! processing and analysis while disconnected from servers" and
+//! "anonymize the data … before sending information to servers".
+//!
+//! * [`sdk`] — the [`sdk::EnhancedClient`]: client-side cache, client-side
+//!   encryption, client-side anonymization, offline operation with a
+//!   replay queue, and latency accounting against the simulated clock.
+//! * [`services`] — the external AI-service registry (§III): simulated
+//!   NLU/speech/vision services with drifting latency and availability,
+//!   response-time tracking, accuracy tests, user feedback, and
+//!   best-service selection.
+//! * [`offload`] — client-side vs server-side processing comparisons
+//!   (E10): where should anonymization and analytics run?
+
+pub mod offload;
+pub mod sdk;
+pub mod services;

@@ -1,0 +1,139 @@
+//! Client-side vs server-side processing comparisons (E10).
+//!
+//! §I: "Allowing processing to take place at the clients conceptually
+//! moves computing to the edges of networks. It offloads computing from
+//! servers … It can also improve performance by allowing certain
+//! computations to take place at the client without the need to incur
+//! latency for communication with a remote cloud server."
+
+use hc_common::clock::SimDuration;
+use hc_fhir::bundle::Bundle;
+use hc_privacy::phi::{deidentify_bundle, DeidConfig};
+
+/// The cost report of one processing plan.
+#[derive(Clone, Copy, Debug)]
+pub struct OffloadReport {
+    /// Round trips to the server.
+    pub round_trips: u32,
+    /// Total simulated latency.
+    pub latency: SimDuration,
+    /// Bytes that crossed the network.
+    pub bytes_sent: u64,
+    /// Whether PHI ever left the client in identifiable form.
+    pub phi_left_device: bool,
+}
+
+/// Plan A (the paper's design): anonymize on the client, then send the
+/// de-identified bundle once.
+pub fn client_side_plan(
+    bundle: &Bundle,
+    client_compute: SimDuration,
+    uplink_latency: SimDuration,
+) -> OffloadReport {
+    let deidentified = deidentify_bundle(bundle, &DeidConfig::default(), b"offload");
+    let bytes = deidentified.bundle.to_bytes().len() as u64;
+    OffloadReport {
+        round_trips: 1,
+        latency: client_compute + uplink_latency,
+        bytes_sent: bytes,
+        phi_left_device: false,
+    }
+}
+
+/// Plan B (the baseline): send raw PHI to the server, anonymize there,
+/// and fetch the acknowledgement — two round trips and identifiable data
+/// in flight.
+pub fn server_side_plan(
+    bundle: &Bundle,
+    server_compute: SimDuration,
+    uplink_latency: SimDuration,
+) -> OffloadReport {
+    let bytes = bundle.to_bytes().len() as u64;
+    OffloadReport {
+        round_trips: 2,
+        latency: uplink_latency + server_compute + uplink_latency,
+        bytes_sent: bytes,
+        phi_left_device: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_fhir::bundle::BundleKind;
+    use hc_fhir::resource::{Patient, Resource};
+
+    fn bundle() -> Bundle {
+        Bundle::new(
+            BundleKind::Transaction,
+            vec![Resource::Patient(
+                Patient::builder("p1")
+                    .name("Doe", "Jane")
+                    .phone("555-0100")
+                    .identifier("ssn", "000-11-2222")
+                    .build(),
+            )],
+        )
+    }
+
+    #[test]
+    fn client_plan_keeps_phi_on_device() {
+        let report = client_side_plan(
+            &bundle(),
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(50),
+        );
+        assert!(!report.phi_left_device);
+        assert_eq!(report.round_trips, 1);
+    }
+
+    #[test]
+    fn client_plan_is_faster_when_compute_is_cheap() {
+        let client = client_side_plan(
+            &bundle(),
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(50),
+        );
+        let server = server_side_plan(
+            &bundle(),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(50),
+        );
+        assert!(client.latency < server.latency);
+        assert!(server.phi_left_device);
+    }
+
+    #[test]
+    fn client_plan_sends_fewer_identifying_bytes() {
+        let client = client_side_plan(
+            &bundle(),
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(50),
+        );
+        let server = server_side_plan(
+            &bundle(),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(50),
+        );
+        // De-identified bundles drop names/identifiers → smaller.
+        assert!(client.bytes_sent < server.bytes_sent);
+    }
+
+    #[test]
+    fn slow_client_can_lose_on_latency() {
+        // A very weak device with huge compute cost loses on time (but
+        // still wins on privacy) — the trade-off E10 sweeps.
+        let client = client_side_plan(
+            &bundle(),
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(50),
+        );
+        let server = server_side_plan(
+            &bundle(),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(50),
+        );
+        assert!(client.latency > server.latency);
+        assert!(!client.phi_left_device);
+    }
+}

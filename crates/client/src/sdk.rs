@@ -1,0 +1,387 @@
+//! The enhanced client.
+//!
+//! A client machine holding: a local cache in front of the remote cloud
+//! server, a client-side encryption key (data leaves the device sealed),
+//! a client-side anonymizer, and an offline queue — operations performed
+//! while disconnected are replayed on reconnect.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use hc_cache::policy::{CachePolicy, LruCache};
+use hc_common::clock::{SimClock, SimDuration};
+use hc_crypto::aead::{self, SecretKey, Sealed};
+use hc_fhir::bundle::Bundle;
+use hc_privacy::phi::{deidentify_bundle, DeidConfig, Deidentified};
+
+/// A simulated remote cloud store shared by clients and servers.
+pub type RemoteStore = Arc<Mutex<HashMap<String, Vec<u8>>>>;
+
+/// Where a read was served from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Served {
+    /// From the client's local cache.
+    ClientCache,
+    /// From the remote server.
+    Remote,
+    /// The key does not exist.
+    Absent,
+}
+
+/// The outcome of a client read.
+#[derive(Clone, Debug)]
+pub struct ClientRead {
+    /// The bytes, if found.
+    pub value: Option<Vec<u8>>,
+    /// Where they came from.
+    pub served: Served,
+    /// Simulated latency charged.
+    pub latency: SimDuration,
+}
+
+/// Errors from client operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ClientError {
+    /// The client is offline and the operation needs the server now.
+    Offline,
+    /// Decryption of a fetched record failed.
+    DecryptFailed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Offline => f.write_str("client is offline"),
+            ClientError::DecryptFailed => f.write_str("client-side decryption failed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+#[derive(Clone, Debug)]
+enum Pending {
+    Put { key: String, value: Vec<u8> },
+    Delete { key: String },
+}
+
+/// The enhanced client.
+pub struct EnhancedClient {
+    clock: SimClock,
+    cache: LruCache<String, Vec<u8>>,
+    remote: RemoteStore,
+    key: SecretKey,
+    deid: DeidConfig,
+    offline: bool,
+    queue: Vec<Pending>,
+    /// Latency of a local cache hit.
+    pub local_latency: SimDuration,
+    /// Latency of a server round trip.
+    pub remote_latency: SimDuration,
+}
+
+impl std::fmt::Debug for EnhancedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnhancedClient")
+            .field("offline", &self.offline)
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl EnhancedClient {
+    /// Creates a client over a shared remote store.
+    pub fn new(clock: SimClock, remote: RemoteStore, key: SecretKey, cache_capacity: usize) -> Self {
+        EnhancedClient {
+            clock,
+            cache: LruCache::new(cache_capacity.max(1)),
+            remote,
+            key,
+            deid: DeidConfig::default(),
+            offline: false,
+            queue: Vec::new(),
+            local_latency: SimDuration::from_micros(5),
+            remote_latency: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Whether the client is currently disconnected.
+    pub fn is_offline(&self) -> bool {
+        self.offline
+    }
+
+    /// Disconnects the client; subsequent writes queue locally.
+    pub fn go_offline(&mut self) {
+        self.offline = true;
+    }
+
+    /// Reconnects, replaying every queued operation against the server.
+    /// Returns how many operations were replayed.
+    pub fn go_online(&mut self) -> usize {
+        self.offline = false;
+        let queued = std::mem::take(&mut self.queue);
+        let count = queued.len();
+        for op in queued {
+            match op {
+                Pending::Put { key, value } => {
+                    self.clock.advance(self.remote_latency);
+                    self.remote.lock().insert(key, value);
+                }
+                Pending::Delete { key } => {
+                    self.clock.advance(self.remote_latency);
+                    self.remote.lock().remove(&key);
+                }
+            }
+        }
+        count
+    }
+
+    /// Reads a key: local cache first, then (if online) the server.
+    pub fn get(&mut self, key: &str) -> Result<ClientRead, ClientError> {
+        if let Some(value) = self.cache.get(&key.to_owned()) {
+            self.clock.advance(self.local_latency);
+            return Ok(ClientRead {
+                value: Some(value),
+                served: Served::ClientCache,
+                latency: self.local_latency,
+            });
+        }
+        if self.offline {
+            return Err(ClientError::Offline);
+        }
+        self.clock.advance(self.remote_latency);
+        let value = self.remote.lock().get(key).cloned();
+        if let Some(v) = &value {
+            self.cache.put(key.to_owned(), v.clone());
+        }
+        Ok(ClientRead {
+            served: if value.is_some() {
+                Served::Remote
+            } else {
+                Served::Absent
+            },
+            value,
+            latency: self.remote_latency,
+        })
+    }
+
+    /// Writes raw bytes (queued while offline). The local cache is
+    /// updated immediately so disconnected reads see the client's own
+    /// writes.
+    pub fn put(&mut self, key: &str, value: Vec<u8>) {
+        self.cache.put(key.to_owned(), value.clone());
+        if self.offline {
+            self.queue.push(Pending::Put {
+                key: key.to_owned(),
+                value,
+            });
+        } else {
+            self.clock.advance(self.remote_latency);
+            self.remote.lock().insert(key.to_owned(), value);
+        }
+    }
+
+    /// Deletes a key everywhere (queued while offline).
+    pub fn delete(&mut self, key: &str) {
+        self.cache.invalidate(&key.to_owned());
+        if self.offline {
+            self.queue.push(Pending::Delete {
+                key: key.to_owned(),
+            });
+        } else {
+            self.clock.advance(self.remote_latency);
+            self.remote.lock().remove(key);
+        }
+    }
+
+    /// Client-side encryption: seals `plaintext` before it leaves the
+    /// device, then stores the envelope under `key_name`.
+    pub fn put_encrypted(&mut self, key_name: &str, plaintext: &[u8]) {
+        let sealed = aead::seal(&self.key, plaintext, key_name.as_bytes());
+        let bytes = serde_json::to_vec(&sealed).expect("sealed serializes");
+        self.put(key_name, bytes);
+    }
+
+    /// Fetches and opens a client-encrypted record.
+    ///
+    /// # Errors
+    ///
+    /// Fails when offline with a cold cache, or when the envelope fails
+    /// authentication (tampered server copy).
+    pub fn get_encrypted(&mut self, key_name: &str) -> Result<Option<Vec<u8>>, ClientError> {
+        let read = self.get(key_name)?;
+        let Some(bytes) = read.value else {
+            return Ok(None);
+        };
+        let sealed: Sealed =
+            serde_json::from_slice(&bytes).map_err(|_| ClientError::DecryptFailed)?;
+        let plain = aead::open(&self.key, &sealed, key_name.as_bytes())
+            .map_err(|_| ClientError::DecryptFailed)?;
+        Ok(Some(plain))
+    }
+
+    /// Client-side anonymization: de-identifies a bundle on the device,
+    /// keeping the pseudonym map local and returning the safe bundle.
+    /// ("Highly confidential data can be analyzed and encrypted or
+    /// anonymized at clients before being sent to servers", §I.)
+    pub fn anonymize_local(&self, bundle: &Bundle, salt: &[u8]) -> Deidentified {
+        deidentify_bundle(bundle, &self.deid, salt)
+    }
+
+    /// Runs an arbitrary computation over locally cached values without
+    /// any server round trip (client-side analytics / edge compute).
+    pub fn compute_local<T>(
+        &mut self,
+        keys: &[&str],
+        f: impl FnOnce(&[Option<Vec<u8>>]) -> T,
+    ) -> (T, SimDuration) {
+        let mut inputs = Vec::with_capacity(keys.len());
+        let mut latency = SimDuration::ZERO;
+        for k in keys {
+            inputs.push(self.cache.get(&(*k).to_owned()));
+            latency += self.local_latency;
+        }
+        self.clock.advance(SimDuration::ZERO); // compute time modelled by caller
+        (f(&inputs), latency)
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> hc_cache::stats::CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_fhir::bundle::BundleKind;
+    use hc_fhir::resource::{Patient, Resource};
+
+    fn setup() -> (EnhancedClient, RemoteStore, SimClock) {
+        let clock = SimClock::new();
+        let remote: RemoteStore = Arc::new(Mutex::new(HashMap::new()));
+        let client = EnhancedClient::new(
+            clock.clone(),
+            Arc::clone(&remote),
+            SecretKey::from_bytes([4u8; 32]),
+            16,
+        );
+        (client, remote, clock)
+    }
+
+    #[test]
+    fn cached_read_is_orders_of_magnitude_faster() {
+        let (mut client, _, _) = setup();
+        client.put("k", b"v".to_vec());
+        client.cache.invalidate(&"k".to_owned());
+        let cold = client.get("k").unwrap();
+        assert_eq!(cold.served, Served::Remote);
+        let warm = client.get("k").unwrap();
+        assert_eq!(warm.served, Served::ClientCache);
+        assert!(cold.latency.as_nanos() > 1000 * warm.latency.as_nanos());
+    }
+
+    #[test]
+    fn offline_writes_queue_and_replay() {
+        let (mut client, remote, _) = setup();
+        client.go_offline();
+        client.put("a", b"1".to_vec());
+        client.put("b", b"2".to_vec());
+        assert!(remote.lock().is_empty(), "nothing reached the server");
+        // Client still reads its own writes.
+        assert_eq!(client.get("a").unwrap().value, Some(b"1".to_vec()));
+        let replayed = client.go_online();
+        assert_eq!(replayed, 2);
+        assert_eq!(remote.lock().len(), 2);
+    }
+
+    #[test]
+    fn offline_cold_read_errors() {
+        let (mut client, remote, _) = setup();
+        remote.lock().insert("k".into(), b"v".to_vec());
+        client.go_offline();
+        assert_eq!(client.get("k").unwrap_err(), ClientError::Offline);
+    }
+
+    #[test]
+    fn offline_delete_replays() {
+        let (mut client, remote, _) = setup();
+        client.put("k", b"v".to_vec());
+        client.go_offline();
+        client.delete("k");
+        assert!(remote.lock().contains_key("k"));
+        client.go_online();
+        assert!(!remote.lock().contains_key("k"));
+    }
+
+    #[test]
+    fn encrypted_put_hides_plaintext_from_server() {
+        let (mut client, remote, _) = setup();
+        client.put_encrypted("phi", b"hba1c=9.1 patient=jane");
+        let server_copy = remote.lock().get("phi").cloned().unwrap();
+        let as_text = String::from_utf8_lossy(&server_copy);
+        assert!(!as_text.contains("jane"));
+        assert_eq!(
+            client.get_encrypted("phi").unwrap(),
+            Some(b"hba1c=9.1 patient=jane".to_vec())
+        );
+    }
+
+    #[test]
+    fn tampered_server_copy_detected() {
+        let (mut client, remote, _) = setup();
+        client.put_encrypted("phi", b"secret");
+        {
+            let mut store = remote.lock();
+            let bytes = store.get_mut("phi").unwrap();
+            let n = bytes.len();
+            bytes[n / 2] ^= 0x01;
+        }
+        client.cache.clear();
+        assert_eq!(
+            client.get_encrypted("phi").unwrap_err(),
+            ClientError::DecryptFailed
+        );
+    }
+
+    #[test]
+    fn anonymize_local_strips_phi() {
+        let (client, _, _) = setup();
+        let bundle = Bundle::new(
+            BundleKind::Transaction,
+            vec![Resource::Patient(
+                Patient::builder("p1").name("Doe", "Jane").phone("555").build(),
+            )],
+        );
+        let result = client.anonymize_local(&bundle, b"salt");
+        let json = result.bundle.to_json();
+        assert!(!json.contains("Jane"));
+        assert!(!json.contains("555"));
+        assert!(result.pseudonyms.contains_key("p1"));
+    }
+
+    #[test]
+    fn compute_local_avoids_server() {
+        let (mut client, _, clock) = setup();
+        client.put("x", vec![1, 2, 3]);
+        let before = clock.now();
+        let (sum, latency) = client.compute_local(&["x"], |inputs| {
+            inputs[0].as_ref().map(|v| v.iter().map(|b| u32::from(*b)).sum::<u32>())
+        });
+        assert_eq!(sum, Some(6));
+        assert!(latency < client.remote_latency);
+        // Clock advanced by at most the local work, not a round trip.
+        assert!(clock.now().duration_since(before) < client.remote_latency);
+    }
+
+    #[test]
+    fn absent_key_reported() {
+        let (mut client, _, _) = setup();
+        let read = client.get("missing").unwrap();
+        assert_eq!(read.served, Served::Absent);
+        assert!(read.value.is_none());
+        assert_eq!(client.get_encrypted("missing").unwrap(), None);
+    }
+}

@@ -1,0 +1,413 @@
+//! External AI services: simulation, tracking and selection (§III).
+//!
+//! "The AI services from different providers offer similar functionality
+//! but are not identical. We provide users with a choice of services for
+//! similar functionality. In addition, we maintain information on the
+//! different services to allow users to pick the best ones. This
+//! information includes response times and availability of the services.
+//! For some of the services (e.g. text extraction), we have standard
+//! tests which we run to test the accuracy of the services … Users can
+//! also provide feedback on services."
+
+use std::collections::HashMap;
+
+use hc_common::clock::{SimClock, SimDuration};
+use rand::Rng;
+
+/// The capability a service provides.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Capability {
+    /// Natural-language understanding.
+    NaturalLanguage,
+    /// Speech recognition.
+    Speech,
+    /// Visual recognition.
+    Vision,
+    /// Scientific text extraction.
+    TextExtraction,
+}
+
+/// A simulated external web service.
+#[derive(Clone, Debug)]
+pub struct SimulatedService {
+    /// Provider name.
+    pub name: String,
+    /// What it does.
+    pub capability: Capability,
+    /// Mean response time.
+    pub mean_latency: SimDuration,
+    /// Uniform jitter applied around the mean (fraction of mean, 0–1).
+    pub jitter: f64,
+    /// Probability a request succeeds.
+    pub availability: f64,
+    /// Probability an answer is correct (measured by standard tests).
+    pub accuracy: f64,
+}
+
+/// One invocation result.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceResponse {
+    /// How long it took.
+    pub latency: SimDuration,
+    /// Whether the answer was correct (observable only in tests).
+    pub correct: bool,
+}
+
+/// Tracked statistics for one service.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Exponentially weighted average response time (ns).
+    pub ewma_latency_ns: f64,
+    /// Requests attempted.
+    pub requests: u64,
+    /// Requests that failed (unavailable).
+    pub failures: u64,
+    /// Accuracy measured by the platform's standard tests, if run.
+    pub tested_accuracy: Option<f64>,
+    /// Mean user feedback rating in [1, 5], if any.
+    pub feedback: Option<f64>,
+    feedback_count: u64,
+}
+
+impl ServiceStats {
+    /// Observed availability in `[0, 1]` (1.0 when untried).
+    pub fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            1.0 - self.failures as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The registry of external services with tracking and selection.
+pub struct ServiceRegistry {
+    clock: SimClock,
+    services: Vec<SimulatedService>,
+    stats: HashMap<String, ServiceStats>,
+    ewma_alpha: f64,
+}
+
+impl std::fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRegistry")
+            .field("services", &self.services.len())
+            .finish()
+    }
+}
+
+/// Errors from service invocation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServiceError {
+    /// No registered service has the capability.
+    NoProvider(&'static str),
+    /// Unknown service name.
+    Unknown(String),
+    /// The service was unavailable for this request.
+    Unavailable(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::NoProvider(c) => write!(f, "no provider for {c}"),
+            ServiceError::Unknown(n) => write!(f, "unknown service `{n}`"),
+            ServiceError::Unavailable(n) => write!(f, "service `{n}` unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new(clock: SimClock) -> Self {
+        ServiceRegistry {
+            clock,
+            services: Vec::new(),
+            stats: HashMap::new(),
+            ewma_alpha: 0.3,
+        }
+    }
+
+    /// Registers a service.
+    pub fn register(&mut self, service: SimulatedService) {
+        self.stats
+            .insert(service.name.clone(), ServiceStats::default());
+        self.services.push(service);
+    }
+
+    /// Invokes a service by name, tracking latency and availability.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown names or when the provider is down this request.
+    pub fn invoke<R: Rng + ?Sized>(
+        &mut self,
+        name: &str,
+        rng: &mut R,
+    ) -> Result<ServiceResponse, ServiceError> {
+        let service = self
+            .services
+            .iter()
+            .find(|s| s.name == name)
+            .cloned()
+            .ok_or_else(|| ServiceError::Unknown(name.to_owned()))?;
+        let stats = self.stats.entry(service.name.clone()).or_default();
+        stats.requests += 1;
+        if !rng.gen_bool(service.availability.clamp(0.0, 1.0)) {
+            stats.failures += 1;
+            return Err(ServiceError::Unavailable(name.to_owned()));
+        }
+        let jitter_span = service.mean_latency.as_nanos() as f64 * service.jitter;
+        let latency_ns = service.mean_latency.as_nanos() as f64
+            + rng.gen_range(-jitter_span..=jitter_span.max(1e-9));
+        let latency = SimDuration::from_nanos(latency_ns.max(0.0) as u64);
+        self.clock.advance(latency);
+        if stats.ewma_latency_ns == 0.0 {
+            stats.ewma_latency_ns = latency.as_nanos() as f64;
+        } else {
+            stats.ewma_latency_ns = (1.0 - self.ewma_alpha) * stats.ewma_latency_ns
+                + self.ewma_alpha * latency.as_nanos() as f64;
+        }
+        Ok(ServiceResponse {
+            latency,
+            correct: rng.gen_bool(service.accuracy.clamp(0.0, 1.0)),
+        })
+    }
+
+    /// Runs the platform's standard accuracy test (`trials` invocations)
+    /// against a service and records the measured accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-service errors.
+    pub fn run_accuracy_test<R: Rng + ?Sized>(
+        &mut self,
+        name: &str,
+        trials: usize,
+        rng: &mut R,
+    ) -> Result<f64, ServiceError> {
+        let mut correct = 0usize;
+        let mut completed = 0usize;
+        for _ in 0..trials.max(1) {
+            match self.invoke(name, rng) {
+                Ok(r) => {
+                    completed += 1;
+                    if r.correct {
+                        correct += 1;
+                    }
+                }
+                Err(ServiceError::Unavailable(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let accuracy = if completed == 0 {
+            0.0
+        } else {
+            correct as f64 / completed as f64
+        };
+        self.stats
+            .get_mut(name)
+            .expect("stats exist after invoke")
+            .tested_accuracy = Some(accuracy);
+        Ok(accuracy)
+    }
+
+    /// Records a user feedback rating in `[1, 5]` (clamped). Note the
+    /// paper's caution: feedback "should be used with caution as it may
+    /// not be accurate" — selection only uses it as a tie-breaker.
+    pub fn record_feedback(&mut self, name: &str, rating: f64) {
+        if let Some(stats) = self.stats.get_mut(name) {
+            let rating = rating.clamp(1.0, 5.0);
+            let count = stats.feedback_count as f64;
+            let mean = stats.feedback.unwrap_or(0.0);
+            stats.feedback = Some((mean * count + rating) / (count + 1.0));
+            stats.feedback_count += 1;
+        }
+    }
+
+    /// Tracked statistics of a service.
+    pub fn stats(&self, name: &str) -> Option<&ServiceStats> {
+        self.stats.get(name)
+    }
+
+    /// Picks the best provider for a capability by expected cost:
+    /// `ewma_latency / availability`, with tested accuracy as a filter
+    /// (must be ≥ `min_accuracy` when measured) and feedback as a final
+    /// tie-breaker.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no provider of the capability qualifies.
+    pub fn select_best(
+        &self,
+        capability: Capability,
+        min_accuracy: f64,
+    ) -> Result<&str, ServiceError> {
+        let candidates: Vec<&SimulatedService> = self
+            .services
+            .iter()
+            .filter(|s| s.capability == capability)
+            .filter(|s| {
+                self.stats
+                    .get(&s.name)
+                    .and_then(|st| st.tested_accuracy)
+                    .map(|a| a >= min_accuracy)
+                    .unwrap_or(true)
+            })
+            .collect();
+        if candidates.is_empty() {
+            return Err(ServiceError::NoProvider("capability"));
+        }
+        let score = |s: &SimulatedService| -> (f64, f64) {
+            let st = self.stats.get(&s.name);
+            let latency = st
+                .map(|st| {
+                    if st.ewma_latency_ns > 0.0 {
+                        st.ewma_latency_ns
+                    } else {
+                        s.mean_latency.as_nanos() as f64
+                    }
+                })
+                .unwrap_or(s.mean_latency.as_nanos() as f64);
+            let availability = st.map(|st| st.availability()).unwrap_or(1.0).max(1e-6);
+            let feedback = st.and_then(|st| st.feedback).unwrap_or(3.0);
+            (latency / availability, -feedback)
+        };
+        let best = candidates
+            .into_iter()
+            .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite"))
+            .expect("nonempty");
+        Ok(&self
+            .services
+            .iter()
+            .find(|s| s.name == best.name)
+            .expect("exists")
+            .name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> ServiceRegistry {
+        let mut reg = ServiceRegistry::new(SimClock::new());
+        reg.register(SimulatedService {
+            name: "fast-nlu".into(),
+            capability: Capability::NaturalLanguage,
+            mean_latency: SimDuration::from_millis(30),
+            jitter: 0.1,
+            availability: 0.99,
+            accuracy: 0.9,
+        });
+        reg.register(SimulatedService {
+            name: "slow-nlu".into(),
+            capability: Capability::NaturalLanguage,
+            mean_latency: SimDuration::from_millis(300),
+            jitter: 0.1,
+            availability: 0.99,
+            accuracy: 0.95,
+        });
+        reg.register(SimulatedService {
+            name: "flaky-nlu".into(),
+            capability: Capability::NaturalLanguage,
+            mean_latency: SimDuration::from_millis(20),
+            jitter: 0.1,
+            availability: 0.4,
+            accuracy: 0.9,
+        });
+        reg.register(SimulatedService {
+            name: "vision-1".into(),
+            capability: Capability::Vision,
+            mean_latency: SimDuration::from_millis(80),
+            jitter: 0.2,
+            availability: 0.99,
+            accuracy: 0.85,
+        });
+        reg
+    }
+
+    #[test]
+    fn invocation_tracks_latency() {
+        let mut reg = registry();
+        let mut rng = hc_common::rng::seeded(1);
+        for _ in 0..20 {
+            let _ = reg.invoke("fast-nlu", &mut rng);
+        }
+        let stats = reg.stats("fast-nlu").unwrap();
+        assert!(stats.requests == 20);
+        let ewma_ms = stats.ewma_latency_ns / 1e6;
+        assert!((25.0..35.0).contains(&ewma_ms), "ewma={ewma_ms}ms");
+    }
+
+    #[test]
+    fn flaky_service_penalized_in_selection() {
+        let mut reg = registry();
+        let mut rng = hc_common::rng::seeded(2);
+        for _ in 0..60 {
+            let _ = reg.invoke("fast-nlu", &mut rng);
+            let _ = reg.invoke("flaky-nlu", &mut rng);
+            let _ = reg.invoke("slow-nlu", &mut rng);
+        }
+        let best = reg.select_best(Capability::NaturalLanguage, 0.0).unwrap();
+        assert_eq!(best, "fast-nlu", "fast + available beats flaky-but-fast");
+    }
+
+    #[test]
+    fn accuracy_gate_filters_providers() {
+        let mut reg = registry();
+        let mut rng = hc_common::rng::seeded(3);
+        let fast_acc = reg.run_accuracy_test("fast-nlu", 300, &mut rng).unwrap();
+        let flaky_acc = reg.run_accuracy_test("flaky-nlu", 300, &mut rng).unwrap();
+        let slow_acc = reg.run_accuracy_test("slow-nlu", 300, &mut rng).unwrap();
+        assert!((0.8..1.0).contains(&fast_acc), "acc={fast_acc}");
+        assert!(slow_acc > fast_acc.max(flaky_acc), "slow measures best");
+        // Demand accuracy above the cheaper providers → slow-nlu wins
+        // despite its latency.
+        let gate = fast_acc.max(flaky_acc) + 0.005;
+        let best = reg
+            .select_best(Capability::NaturalLanguage, gate.min(0.99))
+            .unwrap();
+        assert_eq!(best, "slow-nlu");
+    }
+
+    #[test]
+    fn unknown_and_missing_capability_errors() {
+        let mut reg = registry();
+        let mut rng = hc_common::rng::seeded(4);
+        assert!(matches!(
+            reg.invoke("nope", &mut rng),
+            Err(ServiceError::Unknown(_))
+        ));
+        assert!(matches!(
+            reg.select_best(Capability::Speech, 0.0),
+            Err(ServiceError::NoProvider(_))
+        ));
+    }
+
+    #[test]
+    fn feedback_recorded_and_clamped() {
+        let mut reg = registry();
+        reg.record_feedback("vision-1", 4.0);
+        reg.record_feedback("vision-1", 99.0); // clamped to 5
+        let stats = reg.stats("vision-1").unwrap();
+        assert!((stats.feedback.unwrap() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unavailable_requests_counted() {
+        let mut reg = registry();
+        let mut rng = hc_common::rng::seeded(5);
+        let mut failures = 0;
+        for _ in 0..100 {
+            if reg.invoke("flaky-nlu", &mut rng).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 30, "flaky service should fail often: {failures}");
+        let stats = reg.stats("flaky-nlu").unwrap();
+        assert!(stats.availability() < 0.7);
+    }
+}

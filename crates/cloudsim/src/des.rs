@@ -1,0 +1,152 @@
+//! A minimal discrete-event scheduler.
+//!
+//! Events are opaque labels scheduled at absolute simulated instants; the
+//! queue pops them in time order (FIFO among ties) and advances the shared
+//! [`SimClock`] to each event's timestamp as it fires.
+
+use std::collections::BinaryHeap;
+
+use hc_common::clock::{SimClock, SimDuration, SimInstant};
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimInstant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap; earlier time (then lower seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event queue over events of type `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    clock: SimClock,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates a queue driving `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            clock,
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimInstant, event: E) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` after `delay` from the current clock time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        let at = self.clock.now().saturating_add(delay);
+        self.schedule_at(at, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimInstant, E)> {
+        let next = self.heap.pop()?;
+        self.clock.advance_to(next.at);
+        Some((next.at, next.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains all events in time order, applying `handler`.
+    pub fn run(&mut self, mut handler: impl FnMut(SimInstant, E)) {
+        while let Some((at, e)) = self.pop() {
+            handler(at, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let clock = SimClock::new();
+        let mut q = EventQueue::new(clock);
+        q.schedule_at(SimInstant::from_nanos(30), "c");
+        q.schedule_at(SimInstant::from_nanos(10), "a");
+        q.schedule_at(SimInstant::from_nanos(20), "b");
+        let mut seen = Vec::new();
+        q.run(|_, e| seen.push(e));
+        assert_eq!(seen, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let clock = SimClock::new();
+        let mut q = EventQueue::new(clock);
+        q.schedule_at(SimInstant::from_nanos(5), 1);
+        q.schedule_at(SimInstant::from_nanos(5), 2);
+        q.schedule_at(SimInstant::from_nanos(5), 3);
+        let mut seen = Vec::new();
+        q.run(|_, e| seen.push(e));
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_to_event_times() {
+        let clock = SimClock::new();
+        let mut q = EventQueue::new(clock.clone());
+        q.schedule_after(SimDuration::from_millis(5), ());
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at.as_millis(), 5);
+        assert_eq!(clock.now().as_millis(), 5);
+    }
+
+    #[test]
+    fn schedule_during_run_via_two_phases() {
+        let clock = SimClock::new();
+        let mut q = EventQueue::new(clock);
+        q.schedule_at(SimInstant::from_nanos(1), "first");
+        assert_eq!(q.len(), 1);
+        let _ = q.pop();
+        assert!(q.is_empty());
+        // Scheduling after a pop starts from the advanced clock.
+        q.schedule_after(SimDuration::from_nanos(1), "second");
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at.as_nanos(), 2);
+    }
+}

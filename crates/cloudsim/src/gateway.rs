@@ -1,0 +1,226 @@
+//! The intercloud secure gateway (§II-C).
+//!
+//! "Many times the cloud designed to scale for data collection and
+//! authoring is not well equipped with other services … Our design of
+//! extending the root of trust to the level of containers allows transfer
+//! of trusted analytic workloads (packaged in containers) across different
+//! cloud instances … This allows the computation to be transferred to data
+//! instead of otherwise, thereby making it very efficient and secured. The
+//! intercloud secure gateway … also offers a service of Remote Attestation
+//! for the platform to attest when the analytics workload is started."
+//!
+//! [`IntercloudGateway::ship_compute`] moves a signed container image to
+//! the data's cloud and attests it on arrival;
+//! [`IntercloudGateway::ship_data`] is the baseline that hauls the dataset
+//! to the analytics cloud. E12 compares bytes moved and makespan.
+
+use hc_common::clock::{SimClock, SimDuration};
+
+use crate::net::{Location, NetworkModel};
+
+/// The plan comparison result for one intercloud execution.
+#[derive(Clone, Copy, Debug)]
+pub struct IntercloudReport {
+    /// Bytes that crossed the inter-cloud link.
+    pub bytes_moved: u64,
+    /// Transfer time.
+    pub transfer: SimDuration,
+    /// Attestation overhead (zero for ship-data, which runs in the
+    /// already-trusted analytics cloud).
+    pub attestation: SimDuration,
+    /// Compute time at the execution site.
+    pub compute: SimDuration,
+    /// Whether the remote workload was attested before starting.
+    pub attested: bool,
+}
+
+impl IntercloudReport {
+    /// End-to-end makespan.
+    pub fn makespan(&self) -> SimDuration {
+        self.transfer + self.attestation + self.compute
+    }
+}
+
+/// Errors from gateway operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GatewayError {
+    /// The destination refused the workload: attestation failed.
+    AttestationFailed {
+        /// The verifier's reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::AttestationFailed { reason } => {
+                write!(f, "remote attestation failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+/// The gateway between a data cloud and an analytics cloud.
+#[derive(Debug)]
+pub struct IntercloudGateway {
+    clock: SimClock,
+    net: NetworkModel,
+    /// Where the (large) dataset lives.
+    pub data_site: Location,
+    /// Where the analytics stack (and container registry) lives.
+    pub compute_site: Location,
+    /// Fixed attestation round-trip charged when a shipped container
+    /// starts remotely (quote + verification).
+    pub attestation_cost: SimDuration,
+}
+
+impl IntercloudGateway {
+    /// Creates a gateway over the default network model.
+    pub fn new(clock: SimClock, data_site: Location, compute_site: Location) -> Self {
+        IntercloudGateway {
+            clock,
+            net: NetworkModel::default(),
+            data_site,
+            compute_site,
+            attestation_cost: SimDuration::from_millis(120),
+        }
+    }
+
+    /// Overrides the network model.
+    #[must_use]
+    pub fn with_network(mut self, net: NetworkModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Baseline: ship the dataset to the analytics cloud and compute
+    /// there. No attestation needed (workload never leaves its trusted
+    /// home), but the whole dataset crosses the WAN.
+    pub fn ship_data(
+        &self,
+        dataset_bytes: u64,
+        compute: SimDuration,
+    ) -> IntercloudReport {
+        let transfer = self
+            .net
+            .transfer_time(self.data_site, self.compute_site, dataset_bytes);
+        let report = IntercloudReport {
+            bytes_moved: dataset_bytes,
+            transfer,
+            attestation: SimDuration::ZERO,
+            compute,
+            attested: false,
+        };
+        self.clock.advance(report.makespan());
+        report
+    }
+
+    /// The paper's design: ship the (much smaller) trusted container to
+    /// the data, attest it on arrival, and compute in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `attestation_verdict` rejects — the workload is never
+    /// started (the gateway still charges the transfer + attestation time
+    /// spent discovering that).
+    pub fn ship_compute(
+        &self,
+        container_bytes: u64,
+        compute: SimDuration,
+        attestation_verdict: Result<(), String>,
+    ) -> Result<IntercloudReport, GatewayError> {
+        let transfer = self
+            .net
+            .transfer_time(self.compute_site, self.data_site, container_bytes);
+        match attestation_verdict {
+            Ok(()) => {
+                let report = IntercloudReport {
+                    bytes_moved: container_bytes,
+                    transfer,
+                    attestation: self.attestation_cost,
+                    compute,
+                    attested: true,
+                };
+                self.clock.advance(report.makespan());
+                Ok(report)
+            }
+            Err(reason) => {
+                self.clock.advance(transfer + self.attestation_cost);
+                Err(GatewayError::AttestationFailed { reason })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gateway() -> IntercloudGateway {
+        IntercloudGateway::new(SimClock::new(), Location::new(0, 0), Location::new(1, 0))
+    }
+
+    const GB: u64 = 1_000_000_000;
+    const MB: u64 = 1_000_000;
+
+    #[test]
+    fn ship_compute_moves_fewer_bytes_and_finishes_faster() {
+        let g = gateway();
+        let compute = SimDuration::from_secs(5);
+        let data_plan = g.ship_data(10 * GB, compute);
+        let compute_plan = g.ship_compute(200 * MB, compute, Ok(())).unwrap();
+        assert!(compute_plan.bytes_moved < data_plan.bytes_moved / 10);
+        assert!(compute_plan.makespan() < data_plan.makespan());
+        assert!(compute_plan.attested);
+    }
+
+    #[test]
+    fn attestation_overhead_charged() {
+        let g = gateway();
+        let report = g
+            .ship_compute(MB, SimDuration::from_secs(1), Ok(()))
+            .unwrap();
+        assert_eq!(report.attestation, SimDuration::from_millis(120));
+    }
+
+    #[test]
+    fn failed_attestation_blocks_execution() {
+        let g = gateway();
+        let before = g.clock.now();
+        let err = g
+            .ship_compute(MB, SimDuration::from_secs(1), Err("PCR mismatch".into()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GatewayError::AttestationFailed {
+                reason: "PCR mismatch".into()
+            }
+        );
+        // Time was still spent discovering the failure, but no compute ran.
+        let elapsed = g.clock.now().duration_since(before);
+        assert!(elapsed >= SimDuration::from_millis(120));
+        assert!(elapsed < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn tiny_datasets_favor_ship_data() {
+        // Crossover: when the dataset is smaller than the container, the
+        // baseline wins — the bench sweeps this.
+        let g = gateway();
+        let compute = SimDuration::from_millis(10);
+        let data_plan = g.ship_data(MB, compute);
+        let compute_plan = g.ship_compute(200 * MB, compute, Ok(())).unwrap();
+        assert!(data_plan.makespan() < compute_plan.makespan());
+    }
+
+    #[test]
+    fn clock_advances_by_makespan() {
+        let clock = SimClock::new();
+        let g = IntercloudGateway::new(clock.clone(), Location::new(0, 0), Location::new(1, 0));
+        let report = g.ship_data(GB, SimDuration::from_secs(1));
+        assert_eq!(clock.now().as_nanos(), report.makespan().as_nanos());
+    }
+}

@@ -1,0 +1,25 @@
+//! The infrastructure-cloud simulator (paper §II, Fig. 1).
+//!
+//! Models the IaaS substrate the health cloud platform runs on: regions
+//! connected by a latency/bandwidth network model, hosts with finite
+//! capacity, VMs provisioned onto hosts, containers deployed onto VMs
+//! (gated on image verification and attestation), analytics workloads
+//! with compute and data-transfer costs, and the **intercloud secure
+//! gateway** of §II-C, which ships trusted analytics containers to the
+//! data instead of shipping data to the compute — "thereby making it very
+//! efficient and secured" (quantified by E12).
+//!
+//! * [`des`] — a minimal discrete-event scheduler used to sequence
+//!   simulated activities.
+//! * [`net`] — the network model: per-link-class latency and bandwidth.
+//! * [`infra`] — regions, hosts, VMs, containers and first-fit
+//!   provisioning.
+//! * [`workload`] — analytics workload cost model.
+//! * [`gateway`] — the intercloud secure gateway and the
+//!   ship-data-vs-ship-compute comparison.
+
+pub mod des;
+pub mod gateway;
+pub mod infra;
+pub mod net;
+pub mod workload;

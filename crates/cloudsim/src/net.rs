@@ -1,0 +1,141 @@
+//! The network model: latency and bandwidth by link class.
+//!
+//! Calibrated to the measurements the paper cites ([1–3]): local access
+//! is microseconds, intra-datacenter round trips are fractions of a
+//! millisecond, and remote-cloud access is tens of milliseconds — "orders
+//! of magnitude higher".
+
+use hc_common::clock::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A place in the topology: `(region, host)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Location {
+    /// Region (cloud/datacenter) index.
+    pub region: usize,
+    /// Host index within the region.
+    pub host: usize,
+}
+
+impl Location {
+    /// Creates a location.
+    pub const fn new(region: usize, host: usize) -> Self {
+        Location { region, host }
+    }
+}
+
+/// Link classification between two locations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkClass {
+    /// Same host (loopback / memory).
+    Local,
+    /// Same region, different hosts.
+    IntraRegion,
+    /// Different regions (intercloud WAN).
+    InterRegion,
+}
+
+/// Latency + bandwidth per link class.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// One-way latency on the local link.
+    pub local_latency: SimDuration,
+    /// One-way latency within a region.
+    pub intra_latency: SimDuration,
+    /// One-way latency between regions.
+    pub inter_latency: SimDuration,
+    /// Local "bandwidth" (memory-speed) in bytes/second.
+    pub local_bw: u64,
+    /// Intra-region bandwidth in bytes/second.
+    pub intra_bw: u64,
+    /// Inter-region bandwidth in bytes/second.
+    pub inter_bw: u64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            local_latency: SimDuration::from_micros(2),
+            intra_latency: SimDuration::from_micros(500),
+            inter_latency: SimDuration::from_millis(50),
+            local_bw: 10_000_000_000,  // 10 GB/s
+            intra_bw: 1_250_000_000,   // 10 Gbit/s
+            inter_bw: 125_000_000,     // 1 Gbit/s
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Classifies the link between two locations.
+    pub fn classify(&self, a: Location, b: Location) -> LinkClass {
+        if a.region != b.region {
+            LinkClass::InterRegion
+        } else if a.host != b.host {
+            LinkClass::IntraRegion
+        } else {
+            LinkClass::Local
+        }
+    }
+
+    /// One-way latency between two locations.
+    pub fn latency(&self, a: Location, b: Location) -> SimDuration {
+        match self.classify(a, b) {
+            LinkClass::Local => self.local_latency,
+            LinkClass::IntraRegion => self.intra_latency,
+            LinkClass::InterRegion => self.inter_latency,
+        }
+    }
+
+    /// Time to move `bytes` from `a` to `b`: latency + serialization.
+    pub fn transfer_time(&self, a: Location, b: Location, bytes: u64) -> SimDuration {
+        let bw = match self.classify(a, b) {
+            LinkClass::Local => self.local_bw,
+            LinkClass::IntraRegion => self.intra_bw,
+            LinkClass::InterRegion => self.inter_bw,
+        };
+        let ser_nanos = (bytes as u128 * 1_000_000_000u128 / bw as u128) as u64;
+        self.latency(a, b) + SimDuration::from_nanos(ser_nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let m = NetworkModel::default();
+        let a = Location::new(0, 0);
+        assert_eq!(m.classify(a, Location::new(0, 0)), LinkClass::Local);
+        assert_eq!(m.classify(a, Location::new(0, 1)), LinkClass::IntraRegion);
+        assert_eq!(m.classify(a, Location::new(1, 0)), LinkClass::InterRegion);
+    }
+
+    #[test]
+    fn latency_orders_of_magnitude() {
+        let m = NetworkModel::default();
+        let local = m.latency(Location::new(0, 0), Location::new(0, 0));
+        let remote = m.latency(Location::new(0, 0), Location::new(1, 0));
+        assert!(remote.as_nanos() > 1000 * local.as_nanos());
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let m = NetworkModel::default();
+        let a = Location::new(0, 0);
+        let b = Location::new(1, 0);
+        let small = m.transfer_time(a, b, 1_000);
+        let large = m.transfer_time(a, b, 1_000_000_000);
+        assert!(large.as_millis() > small.as_millis() + 1000);
+        // 1 GB over 1 Gbit/s ≈ 8 s.
+        assert!((7_500..9_000).contains(&large.as_millis()), "{}", large.as_millis());
+    }
+
+    #[test]
+    fn zero_bytes_is_pure_latency() {
+        let m = NetworkModel::default();
+        let a = Location::new(0, 0);
+        let b = Location::new(0, 1);
+        assert_eq!(m.transfer_time(a, b, 0), m.intra_latency);
+    }
+}

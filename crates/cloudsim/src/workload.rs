@@ -1,0 +1,133 @@
+//! Analytics workload cost model.
+
+use hc_common::clock::SimDuration;
+
+use crate::infra::InfraCloud;
+use crate::net::{Location, NetworkModel};
+use hc_common::id::VmId;
+
+/// An analytics workload: compute plus data movement.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyticsWorkload {
+    /// Total compute in floating-point operations.
+    pub flops: u64,
+    /// Input dataset size in bytes.
+    pub input_bytes: u64,
+    /// Result size in bytes.
+    pub output_bytes: u64,
+}
+
+/// The cost breakdown of one workload execution.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutionReport {
+    /// Time spent moving the input to the compute site.
+    pub input_transfer: SimDuration,
+    /// Pure compute time.
+    pub compute: SimDuration,
+    /// Time spent returning results.
+    pub output_transfer: SimDuration,
+    /// Bytes moved across the network in total.
+    pub bytes_moved: u64,
+}
+
+impl ExecutionReport {
+    /// End-to-end makespan.
+    pub fn makespan(&self) -> SimDuration {
+        self.input_transfer + self.compute + self.output_transfer
+    }
+}
+
+/// Runs `workload` on `vm`, with input data at `data_location` and
+/// results returned to `result_location`.
+///
+/// # Errors
+///
+/// Returns `None` when the VM does not exist.
+pub fn execute(
+    cloud: &InfraCloud,
+    net: &NetworkModel,
+    vm: VmId,
+    workload: &AnalyticsWorkload,
+    data_location: Location,
+    result_location: Location,
+) -> Option<ExecutionReport> {
+    let vm_loc = cloud.vm_location(vm)?;
+    let flops = cloud.vm_flops(vm)?.max(1);
+    let input_transfer = net.transfer_time(data_location, vm_loc, workload.input_bytes);
+    let compute_nanos = (workload.flops as u128 * 1_000_000_000u128 / flops as u128) as u64;
+    let compute = SimDuration::from_nanos(compute_nanos);
+    let output_transfer = net.transfer_time(vm_loc, result_location, workload.output_bytes);
+    let mut bytes_moved = 0;
+    if net.classify(data_location, vm_loc) != crate::net::LinkClass::Local {
+        bytes_moved += workload.input_bytes;
+    }
+    if net.classify(vm_loc, result_location) != crate::net::LinkClass::Local {
+        bytes_moved += workload.output_bytes;
+    }
+    Some(ExecutionReport {
+        input_transfer,
+        compute,
+        output_transfer,
+        bytes_moved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (InfraCloud, NetworkModel, VmId) {
+        let mut cloud = InfraCloud::new();
+        cloud.add_host(0, 16, 10_000_000_000);
+        let vm = cloud.provision_vm(0, 16).unwrap();
+        (cloud, NetworkModel::default(), vm)
+    }
+
+    #[test]
+    fn local_data_is_cheap() {
+        let (cloud, net, vm) = setup();
+        let vm_loc = cloud.vm_location(vm).unwrap();
+        let w = AnalyticsWorkload {
+            flops: 1_000_000_000,
+            input_bytes: 100_000_000,
+            output_bytes: 1_000,
+        };
+        let local = execute(&cloud, &net, vm, &w, vm_loc, vm_loc).unwrap();
+        let remote = execute(&cloud, &net, vm, &w, Location::new(1, 0), vm_loc).unwrap();
+        assert!(remote.makespan() > local.makespan());
+        assert_eq!(local.bytes_moved, 0);
+        assert_eq!(remote.bytes_moved, 100_000_000);
+    }
+
+    #[test]
+    fn compute_time_scales_with_flops() {
+        let (cloud, net, vm) = setup();
+        let vm_loc = cloud.vm_location(vm).unwrap();
+        let small = AnalyticsWorkload {
+            flops: 10_000_000_000,
+            input_bytes: 0,
+            output_bytes: 0,
+        };
+        let report = execute(&cloud, &net, vm, &small, vm_loc, vm_loc).unwrap();
+        assert_eq!(report.compute.as_millis(), 1_000); // 10 GFLOP at 10 GFLOP/s
+    }
+
+    #[test]
+    fn missing_vm_returns_none() {
+        let (cloud, net, _) = setup();
+        let w = AnalyticsWorkload {
+            flops: 1,
+            input_bytes: 0,
+            output_bytes: 0,
+        };
+        assert!(execute(
+            &cloud,
+            &net,
+            VmId::from_raw(999),
+            &w,
+            Location::new(0, 0),
+            Location::new(0, 0)
+        )
+        .is_none());
+    }
+}

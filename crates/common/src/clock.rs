@@ -1,0 +1,252 @@
+//! Simulated time.
+//!
+//! The platform's performance experiments (multi-level caching, intercloud
+//! transfers, consensus rounds) account for time against a shared
+//! [`SimClock`] rather than the wall clock. This keeps experiments
+//! deterministic and lets a laptop-scale simulator reproduce the *relative*
+//! costs the paper argues about (local access vs. remote cloud access).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct SimInstant(u64);
+
+impl SimInstant {
+    /// The start of the simulation.
+    pub const ZERO: SimInstant = SimInstant(0);
+
+    /// Creates an instant from nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimInstant(nanos)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration::from_nanos(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` must not be later than `self`"),
+        )
+    }
+
+    /// Adds a duration, saturating at the maximum representable instant.
+    #[must_use]
+    pub fn saturating_add(self, d: SimDuration) -> SimInstant {
+        SimInstant(self.0.saturating_add(d.0))
+    }
+}
+
+/// A span of simulated time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// The duration in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration in milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Checked addition.
+    #[must_use]
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Multiplies the duration by an integer factor, saturating.
+    #[must_use]
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl std::ops::Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+/// A shared, monotonically advancing simulated clock.
+///
+/// Cloning a `SimClock` yields a handle onto the *same* underlying clock,
+/// so every subsystem observes a consistent timeline.
+///
+/// # Examples
+///
+/// ```
+/// use hc_common::clock::{SimClock, SimDuration};
+///
+/// let clock = SimClock::new();
+/// let sibling = clock.clone();
+/// clock.advance(SimDuration::from_millis(5));
+/// assert_eq!(sibling.now().as_millis(), 5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimInstant {
+        SimInstant(self.nanos.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&self, d: SimDuration) -> SimInstant {
+        SimInstant(self.nanos.fetch_add(d.as_nanos(), Ordering::SeqCst) + d.as_nanos())
+    }
+
+    /// Advances the clock by `micros` microseconds.
+    pub fn advance_micros(&self, micros: u64) -> SimInstant {
+        self.advance(SimDuration::from_micros(micros))
+    }
+
+    /// Moves the clock forward to `instant` if it is in the future.
+    pub fn advance_to(&self, instant: SimInstant) {
+        self.nanos.fetch_max(instant.as_nanos(), Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), SimInstant::ZERO);
+        c.advance(SimDuration::from_millis(3));
+        assert_eq!(c.now().as_millis(), 3);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_micros(10);
+        assert_eq!(b.now().as_micros(), 10);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = SimClock::new();
+        c.advance_to(SimInstant::from_nanos(100));
+        c.advance_to(SimInstant::from_nanos(50)); // no-op: already past
+        assert_eq!(c.now().as_nanos(), 100);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_millis(1) + SimDuration::from_micros(500);
+        assert_eq!(d.as_micros(), 1_500);
+        assert_eq!(d.saturating_mul(2).as_micros(), 3_000);
+        let total: SimDuration = vec![d, d].into_iter().sum();
+        assert_eq!(total.as_micros(), 3_000);
+    }
+
+    #[test]
+    fn duration_since_measures_gap() {
+        let a = SimInstant::from_nanos(10);
+        let b = SimInstant::from_nanos(250);
+        assert_eq!(b.duration_since(a).as_nanos(), 240);
+    }
+
+    #[test]
+    #[should_panic(expected = "`earlier` must not be later")]
+    fn duration_since_panics_when_reversed() {
+        let a = SimInstant::from_nanos(10);
+        let b = SimInstant::from_nanos(250);
+        let _ = a.duration_since(b);
+    }
+
+    #[test]
+    fn secs_f64_conversion() {
+        assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

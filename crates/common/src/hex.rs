@@ -1,0 +1,133 @@
+//! Hexadecimal encoding and constant-time byte comparison.
+
+use std::fmt;
+
+/// Error returned when decoding malformed hexadecimal input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeHexError {
+    /// The input length was odd.
+    OddLength,
+    /// A character was not a hexadecimal digit.
+    InvalidDigit {
+        /// Byte offset of the offending character.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeHexError::OddLength => write!(f, "hex string has odd length"),
+            DecodeHexError::InvalidDigit { index } => {
+                write!(f, "invalid hex digit at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+/// Encodes bytes as lowercase hexadecimal.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hc_common::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (either case) into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] if the input has odd length or contains a
+/// non-hex character.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hc_common::hex::decode("DEad").unwrap(), vec![0xde, 0xad]);
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if s.len() % 2 != 0 {
+        return Err(DecodeHexError::OddLength);
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = (bytes[i] as char)
+            .to_digit(16)
+            .ok_or(DecodeHexError::InvalidDigit { index: i })?;
+        let lo = (bytes[i + 1] as char)
+            .to_digit(16)
+            .ok_or(DecodeHexError::InvalidDigit { index: i + 1 })?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+/// Compares two byte slices in time independent of their contents.
+///
+/// Returns `false` immediately only on length mismatch (length is public).
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_known_values() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+    }
+
+    #[test]
+    fn decode_rejects_odd_length() {
+        assert_eq!(decode("abc"), Err(DecodeHexError::OddLength));
+    }
+
+    #[test]
+    fn decode_rejects_bad_digit() {
+        assert_eq!(decode("zz"), Err(DecodeHexError::InvalidDigit { index: 0 }));
+        assert_eq!(decode("az"), Err(DecodeHexError::InvalidDigit { index: 1 }));
+    }
+
+    #[test]
+    fn constant_time_eq_behaviour() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+        assert!(constant_time_eq(b"", b""));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let enc = encode(&bytes);
+            prop_assert_eq!(decode(&enc).unwrap(), bytes);
+        }
+
+        #[test]
+        fn uppercase_decodes_too(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let enc = encode(&bytes).to_uppercase();
+            prop_assert_eq!(decode(&enc).unwrap(), bytes);
+        }
+    }
+}

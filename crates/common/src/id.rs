@@ -1,0 +1,238 @@
+//! Strongly typed identifiers.
+//!
+//! Every entity in the platform (tenants, users, patients, records, nodes,
+//! keys, …) is addressed by a 128-bit identifier. Each entity kind gets its
+//! own newtype via the `define_id!` macro, giving static distinction between, say,
+//! a [`PatientId`] and a [`TenantId`] (C-NEWTYPE).
+//!
+//! Identifiers are generated from a caller-provided random source so the
+//! whole platform stays deterministic under a fixed seed.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Defines a 128-bit identifier newtype.
+///
+/// The generated type implements the common traits, `Display` as 32 hex
+/// digits, and constructors [`from_raw`](TenantId::from_raw) (deterministic)
+/// and [`random`](TenantId::random) (from a caller-supplied RNG).
+#[macro_export]
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            serde::Serialize, serde::Deserialize,
+        )]
+        pub struct $name(u128);
+
+        impl $name {
+            /// Creates an identifier from a raw 128-bit value.
+            pub const fn from_raw(raw: u128) -> Self {
+                Self(raw)
+            }
+
+            /// Draws a fresh identifier from `rng`.
+            pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+                Self(rng.gen())
+            }
+
+            /// Returns the raw 128-bit value.
+            pub const fn as_u128(self) -> u128 {
+                self.0
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({:032x})"), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:032x}", self.0)
+            }
+        }
+
+        impl From<$name> for u128 {
+            fn from(id: $name) -> u128 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A tenant: the top-level namespace for metering, billing and RBAC.
+    TenantId
+);
+define_id!(
+    /// An organization (department) within a tenant.
+    OrgId
+);
+define_id!(
+    /// A group: a healthcare study/program PHI data is consented for.
+    GroupId
+);
+define_id!(
+    /// A development or deployment environment within an organization.
+    EnvId
+);
+define_id!(
+    /// A registered platform user.
+    UserId
+);
+define_id!(
+    /// A patient whose protected health information the platform stores.
+    PatientId
+);
+define_id!(
+    /// A stored data record (FHIR resource, blob, model artifact, …).
+    RecordId
+);
+define_id!(
+    /// The de-identified reference id pointing at a data-lake record.
+    ReferenceId
+);
+define_id!(
+    /// A cryptographic key held by the key management system.
+    KeyId
+);
+define_id!(
+    /// A physical host in the infrastructure cloud.
+    HostId
+);
+define_id!(
+    /// A virtual machine.
+    VmId
+);
+define_id!(
+    /// A container running on a VM.
+    ContainerId
+);
+define_id!(
+    /// A signed VM/container image.
+    ImageId
+);
+define_id!(
+    /// A blockchain transaction.
+    TxId
+);
+define_id!(
+    /// An analytics model tracked by the model lifecycle manager.
+    ModelId
+);
+define_id!(
+    /// A drug in the knowledge base.
+    DrugId
+);
+define_id!(
+    /// A disease in the knowledge base.
+    DiseaseId
+);
+define_id!(
+    /// A gene in the knowledge base.
+    GeneId
+);
+define_id!(
+    /// A change request tracked by change management.
+    ChangeId
+);
+define_id!(
+    /// An asynchronous ingestion job (the paper's "status URL").
+    IngestionId
+);
+
+/// A compact, human-readable principal naming an actor in audit records.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Principal {
+    /// A platform user.
+    User(UserId),
+    /// A patient-controlled device (enhanced client).
+    Device(PatientId),
+    /// An internal platform service, by name.
+    Service(String),
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Principal::User(u) => write!(f, "user:{u}"),
+            Principal::Device(p) => write!(f, "device:{p}"),
+            Principal::Service(s) => write!(f, "service:{s}"),
+        }
+    }
+}
+
+/// Generates `n` distinct deterministic ids for tests and generators.
+pub fn sequence<T, F: FnMut(u128) -> T>(n: usize, mut make: F) -> Vec<T> {
+    (0..n as u128).map(|i| make(i + 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_raw_round_trips() {
+        let id = RecordId::from_raw(0xdead_beef);
+        assert_eq!(id.as_u128(), 0xdead_beef);
+        assert_eq!(u128::from(id), 0xdead_beef);
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let id = TenantId::from_raw(0xabc);
+        let s = id.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.ends_with("abc"));
+    }
+
+    #[test]
+    fn debug_mentions_type_name() {
+        let id = PatientId::from_raw(7);
+        assert!(format!("{id:?}").starts_with("PatientId("));
+    }
+
+    #[test]
+    fn random_ids_are_deterministic_under_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        assert_eq!(UserId::random(&mut a), UserId::random(&mut b));
+    }
+
+    #[test]
+    fn distinct_types_do_not_compare() {
+        // Compile-time property: TenantId and OrgId are different types.
+        // (If this compiles at all the property holds; we assert values.)
+        let t = TenantId::from_raw(1);
+        let o = OrgId::from_raw(1);
+        assert_eq!(t.as_u128(), o.as_u128());
+    }
+
+    #[test]
+    fn principal_display_forms() {
+        assert!(Principal::Service("ingest".into()).to_string().starts_with("service:"));
+        assert!(Principal::User(UserId::from_raw(3)).to_string().starts_with("user:"));
+        assert!(Principal::Device(PatientId::from_raw(3)).to_string().starts_with("device:"));
+    }
+
+    #[test]
+    fn sequence_yields_distinct() {
+        let ids = sequence(10, RecordId::from_raw);
+        let mut uniq: Vec<_> = ids.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let id = KeyId::from_raw(55);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: KeyId = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+}

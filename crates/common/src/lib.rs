@@ -1,0 +1,32 @@
+//! Shared primitives for the trusted healthcare cloud platform reproduction.
+//!
+//! This crate hosts the small vocabulary types every subsystem speaks:
+//!
+//! * [`id`] — strongly typed 128-bit identifiers ([`id::TenantId`],
+//!   [`id::PatientId`], …) so that a patient id can never be passed where a
+//!   tenant id is expected.
+//! * [`clock`] — a [`clock::SimClock`] simulated clock that drives all
+//!   latency accounting, so experiments are reproducible bit-for-bit.
+//! * [`rng`] — deterministic seed-splitting helpers on top of `rand`.
+//! * [`hex`] — hexadecimal encoding/decoding and constant-time comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use hc_common::clock::SimClock;
+//! use hc_common::id::PatientId;
+//!
+//! let clock = SimClock::new();
+//! clock.advance_micros(250);
+//! assert_eq!(clock.now().as_micros(), 250);
+//!
+//! let id = PatientId::from_raw(42);
+//! assert_eq!(id.as_u128(), 42);
+//! ```
+
+pub mod clock;
+pub mod hex;
+pub mod id;
+pub mod rng;
+
+pub use clock::{SimClock, SimDuration, SimInstant};

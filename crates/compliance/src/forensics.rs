@@ -1,0 +1,240 @@
+//! Forensic audit-log analytics (§IV-E).
+//!
+//! "External and internal teams may be able to audit the data usage and
+//! processing … Log analytics systems are used for audit and forensic
+//! purposes." The analyzer consumes a stream of access events and raises
+//! typed findings: exfiltration-shaped volume spikes, after-hours access
+//! to PHI, and denial bursts (credential probing / privilege scanning).
+
+use hc_common::clock::SimInstant;
+use serde::{Deserialize, Serialize};
+
+/// One access event from the gateway/ledger, normalized for analysis.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// Who acted.
+    pub actor: String,
+    /// The operation name.
+    pub operation: String,
+    /// Whether it was allowed.
+    pub allowed: bool,
+    /// Whether the target was identified PHI.
+    pub touches_phi: bool,
+    /// When (simulated).
+    pub at: SimInstant,
+}
+
+/// A forensic finding.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Finding {
+    /// An actor's PHI-read volume exceeded `threshold ×` their peers'
+    /// median in the window.
+    VolumeSpike {
+        /// The suspicious actor.
+        actor: String,
+        /// Their event count in the window.
+        count: usize,
+        /// The peer median.
+        peer_median: usize,
+    },
+    /// PHI accessed outside working hours.
+    AfterHoursAccess {
+        /// The actor.
+        actor: String,
+        /// Number of after-hours PHI touches.
+        count: usize,
+    },
+    /// A run of consecutive denials from one actor (probing).
+    DenialBurst {
+        /// The actor.
+        actor: String,
+        /// Longest consecutive-denial run.
+        run: usize,
+    },
+}
+
+/// Analyzer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ForensicsConfig {
+    /// Volume-spike multiplier over the peer median.
+    pub spike_factor: usize,
+    /// Minimum events before volume analysis applies.
+    pub spike_min_events: usize,
+    /// Working-hours window in hours-of-day `[start, end)`.
+    pub working_hours: (u64, u64),
+    /// Denial-run length that counts as probing.
+    pub denial_run: usize,
+}
+
+impl Default for ForensicsConfig {
+    fn default() -> Self {
+        ForensicsConfig {
+            spike_factor: 5,
+            spike_min_events: 10,
+            working_hours: (8, 18),
+            denial_run: 5,
+        }
+    }
+}
+
+fn hour_of_day(at: SimInstant) -> u64 {
+    (at.as_nanos() / 3_600_000_000_000) % 24
+}
+
+/// Runs the full analysis over an event log.
+pub fn analyze(events: &[AccessEvent], config: &ForensicsConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Per-actor PHI-read volumes.
+    let mut volumes: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for e in events.iter().filter(|e| e.allowed && e.touches_phi) {
+        *volumes.entry(e.actor.as_str()).or_default() += 1;
+    }
+    if volumes.len() >= 2 {
+        let mut counts: Vec<usize> = volumes.values().copied().collect();
+        counts.sort_unstable();
+        let peer_median = counts[counts.len() / 2];
+        for (actor, &count) in &volumes {
+            if count >= config.spike_min_events
+                && peer_median > 0
+                && count >= config.spike_factor * peer_median
+            {
+                findings.push(Finding::VolumeSpike {
+                    actor: (*actor).to_owned(),
+                    count,
+                    peer_median,
+                });
+            }
+        }
+    }
+
+    // After-hours PHI access.
+    let mut after_hours: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for e in events.iter().filter(|e| e.allowed && e.touches_phi) {
+        let hour = hour_of_day(e.at);
+        if hour < config.working_hours.0 || hour >= config.working_hours.1 {
+            *after_hours.entry(e.actor.as_str()).or_default() += 1;
+        }
+    }
+    for (actor, count) in after_hours {
+        findings.push(Finding::AfterHoursAccess {
+            actor: actor.to_owned(),
+            count,
+        });
+    }
+
+    // Denial bursts per actor (consecutive in that actor's own stream).
+    let mut actors: Vec<&str> = events.iter().map(|e| e.actor.as_str()).collect();
+    actors.sort_unstable();
+    actors.dedup();
+    for actor in actors {
+        let mut longest = 0usize;
+        let mut current = 0usize;
+        for e in events.iter().filter(|e| e.actor == actor) {
+            if e.allowed {
+                current = 0;
+            } else {
+                current += 1;
+                longest = longest.max(current);
+            }
+        }
+        if longest >= config.denial_run {
+            findings.push(Finding::DenialBurst {
+                actor: actor.to_owned(),
+                run: longest,
+            });
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(actor: &str, allowed: bool, phi: bool, hour: u64) -> AccessEvent {
+        AccessEvent {
+            actor: actor.into(),
+            operation: "read".into(),
+            allowed,
+            touches_phi: phi,
+            at: SimInstant::from_nanos(hour * 3_600_000_000_000),
+        }
+    }
+
+    #[test]
+    fn volume_spike_detected() {
+        let mut events = Vec::new();
+        for _ in 0..3 {
+            events.push(event("alice", true, true, 10));
+            events.push(event("bob", true, true, 10));
+        }
+        for _ in 0..40 {
+            events.push(event("eve", true, true, 10));
+        }
+        let findings = analyze(&events, &ForensicsConfig::default());
+        assert!(findings.iter().any(
+            |f| matches!(f, Finding::VolumeSpike { actor, count, .. } if actor == "eve" && *count == 40)
+        ));
+        assert!(!findings
+            .iter()
+            .any(|f| matches!(f, Finding::VolumeSpike { actor, .. } if actor == "alice")));
+    }
+
+    #[test]
+    fn after_hours_access_detected() {
+        let events = vec![
+            event("dr-day", true, true, 11),
+            event("dr-night", true, true, 3),
+            event("dr-night", true, true, 23),
+        ];
+        let findings = analyze(&events, &ForensicsConfig::default());
+        assert!(findings.iter().any(
+            |f| matches!(f, Finding::AfterHoursAccess { actor, count } if actor == "dr-night" && *count == 2)
+        ));
+        assert!(!findings
+            .iter()
+            .any(|f| matches!(f, Finding::AfterHoursAccess { actor, .. } if actor == "dr-day")));
+    }
+
+    #[test]
+    fn denial_burst_detected() {
+        let mut events = Vec::new();
+        for _ in 0..6 {
+            events.push(event("prober", false, false, 10));
+        }
+        events.push(event("fumbler", false, false, 10));
+        events.push(event("fumbler", true, false, 10));
+        events.push(event("fumbler", false, false, 10));
+        let findings = analyze(&events, &ForensicsConfig::default());
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::DenialBurst { actor, run } if actor == "prober" && *run == 6)));
+        assert!(!findings
+            .iter()
+            .any(|f| matches!(f, Finding::DenialBurst { actor, .. } if actor == "fumbler")));
+    }
+
+    #[test]
+    fn quiet_log_is_clean() {
+        let events = vec![
+            event("alice", true, true, 9),
+            event("bob", true, true, 14),
+            event("alice", true, false, 16),
+        ];
+        assert!(analyze(&events, &ForensicsConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn non_phi_volume_does_not_spike() {
+        let mut events = vec![event("alice", true, true, 10), event("bob", true, true, 10)];
+        for _ in 0..100 {
+            events.push(event("batch-job", true, false, 10)); // not PHI
+        }
+        let findings = analyze(&events, &ForensicsConfig::default());
+        assert!(!findings
+            .iter()
+            .any(|f| matches!(f, Finding::VolumeSpike { actor, .. } if actor == "batch-job")));
+    }
+}

@@ -1,0 +1,25 @@
+//! Regulatory compliance: the paper's §IV-D/§IV-E machinery.
+//!
+//! "The HIPAA controls are categorized into four pillars: administrative,
+//! physical, technical and policies and documentation" (Fig. 8).
+//! "Compliance requirements are already defined by regulatory policies,
+//! and they need to be implemented by implementing security and privacy
+//! policies and mechanisms" — compliance is *top-down*: this crate turns
+//! the regulation into checkable controls evaluated against evidence the
+//! platform's subsystems supply. And §IV-E: "Log analytics systems are
+//! used for audit and forensic purposes … such logged events cannot
+//! contain sensitive data."
+//!
+//! * [`hipaa`] — the HIPAA control catalog across the four pillars
+//!   (Fig. 8), evidence-based evaluation, and a compliance report with a
+//!   per-pillar score.
+//! * [`logscrub`] — the log sanitizer: detects and redacts PHI patterns
+//!   (SSNs, phone numbers, MRNs, names-after-markers, email addresses)
+//!   before log lines are persisted.
+//! * [`forensics`] — audit-log analytics: per-actor activity profiles,
+//!   after-hours access detection, volume-spike (exfiltration) detection,
+//!   and denial-burst (probing) detection.
+
+pub mod forensics;
+pub mod hipaa;
+pub mod logscrub;

@@ -1,0 +1,211 @@
+//! The log sanitizer.
+//!
+//! §IV-E: "such logged events cannot contain sensitive data" — and
+//! §IV-A warns that logs "may be analyzed to carry out inference
+//! attacks". Every log line passes through [`scrub`] before persistence:
+//! SSN-shaped, phone-shaped, MRN-tagged and email-shaped tokens are
+//! replaced with typed redaction markers, and the count of redactions is
+//! reported so monitoring can flag services that keep logging PHI.
+
+/// The result of sanitizing one log line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScrubbedLine {
+    /// The sanitized text.
+    pub text: String,
+    /// How many redactions were applied, by kind.
+    pub redactions: Vec<(RedactionKind, usize)>,
+}
+
+impl ScrubbedLine {
+    /// Total redactions applied.
+    pub fn total_redactions(&self) -> usize {
+        self.redactions.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// What kind of sensitive token was found.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RedactionKind {
+    /// `ddd-dd-dddd` — SSN shaped.
+    Ssn,
+    /// `ddd-dddd` or `(ddd) ddd-dddd` — phone shaped.
+    Phone,
+    /// `mrn=<token>` / `mrn:<token>`.
+    Mrn,
+    /// `local@domain.tld`.
+    Email,
+}
+
+fn is_digits(s: &str, lens: &[usize]) -> bool {
+    let parts: Vec<&str> = s.split('-').collect();
+    parts.len() == lens.len()
+        && parts
+            .iter()
+            .zip(lens)
+            .all(|(p, &l)| p.len() == l && p.chars().all(|c| c.is_ascii_digit()))
+}
+
+fn classify(token: &str) -> Option<RedactionKind> {
+    let trimmed = token.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '-' && c != '@' && c != '.' && c != '=' && c != ':');
+    if is_digits(trimmed, &[3, 2, 4]) {
+        return Some(RedactionKind::Ssn);
+    }
+    if is_digits(trimmed, &[3, 4]) || is_digits(trimmed, &[3, 3, 4]) {
+        return Some(RedactionKind::Phone);
+    }
+    let lower = trimmed.to_ascii_lowercase();
+    if lower.starts_with("mrn=") || lower.starts_with("mrn:") {
+        return Some(RedactionKind::Mrn);
+    }
+    if let Some(at) = trimmed.find('@') {
+        let (local, domain) = trimmed.split_at(at);
+        let domain = &domain[1..];
+        if !local.is_empty() && domain.contains('.') && !domain.ends_with('.') {
+            return Some(RedactionKind::Email);
+        }
+    }
+    None
+}
+
+fn marker(kind: RedactionKind) -> &'static str {
+    match kind {
+        RedactionKind::Ssn => "[REDACTED:ssn]",
+        RedactionKind::Phone => "[REDACTED:phone]",
+        RedactionKind::Mrn => "[REDACTED:mrn]",
+        RedactionKind::Email => "[REDACTED:email]",
+    }
+}
+
+/// Sanitizes one log line.
+pub fn scrub(line: &str) -> ScrubbedLine {
+    let mut counts: Vec<(RedactionKind, usize)> = Vec::new();
+    let mut out: Vec<String> = Vec::new();
+    for token in line.split_whitespace() {
+        match classify(token) {
+            Some(kind) => {
+                match counts.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((kind, 1)),
+                }
+                out.push(marker(kind).to_owned());
+            }
+            None => out.push(token.to_owned()),
+        }
+    }
+    ScrubbedLine {
+        text: out.join(" "),
+        redactions: counts,
+    }
+}
+
+/// A persistent log that refuses to store unscrubbed PHI.
+#[derive(Debug, Default)]
+pub struct SanitizedLog {
+    lines: Vec<String>,
+    total_redactions: usize,
+}
+
+impl SanitizedLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        SanitizedLog::default()
+    }
+
+    /// Appends a line after sanitization; returns redactions applied.
+    pub fn append(&mut self, line: &str) -> usize {
+        let scrubbed = scrub(line);
+        let n = scrubbed.total_redactions();
+        self.total_redactions += n;
+        self.lines.push(scrubbed.text);
+        n
+    }
+
+    /// The stored (sanitized) lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Total redactions across the log's lifetime (a monitoring signal:
+    /// a service that keeps tripping the scrubber is logging PHI).
+    pub fn total_redactions(&self) -> usize {
+        self.total_redactions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ssn_redacted() {
+        let s = scrub("patient ssn 123-45-6789 admitted");
+        assert_eq!(s.text, "patient ssn [REDACTED:ssn] admitted");
+        assert_eq!(s.redactions, vec![(RedactionKind::Ssn, 1)]);
+    }
+
+    #[test]
+    fn phone_shapes_redacted() {
+        let s = scrub("call 555-0134 or 212-555-0134");
+        assert!(s.text.contains("[REDACTED:phone] or [REDACTED:phone]"));
+        assert_eq!(s.total_redactions(), 2);
+    }
+
+    #[test]
+    fn mrn_and_email_redacted() {
+        let s = scrub("lookup mrn=ABC123 notify jane.doe@example.org");
+        assert!(s.text.contains("[REDACTED:mrn]"));
+        assert!(s.text.contains("[REDACTED:email]"));
+    }
+
+    #[test]
+    fn clean_lines_untouched() {
+        let line = "ingestion 42 completed in 18 ms status=stored";
+        let s = scrub(line);
+        assert_eq!(s.text, line);
+        assert!(s.redactions.is_empty());
+    }
+
+    #[test]
+    fn punctuation_does_not_hide_phi() {
+        let s = scrub("ssn: 123-45-6789, phone (bad).");
+        assert!(s.text.contains("[REDACTED:ssn]"), "{}", s.text);
+    }
+
+    #[test]
+    fn non_phi_numbers_survive() {
+        let s = scrub("block 123-456 height 99 hash 00-11");
+        // 123-456 is not a valid SSN/phone shape (3-3), 00-11 neither.
+        assert_eq!(s.total_redactions(), 0);
+    }
+
+    #[test]
+    fn sanitized_log_accumulates() {
+        let mut log = SanitizedLog::new();
+        assert_eq!(log.append("clean line"), 0);
+        assert_eq!(log.append("ssn 123-45-6789"), 1);
+        assert_eq!(log.total_redactions(), 1);
+        assert_eq!(log.lines().len(), 2);
+        assert!(!log.lines()[1].contains("6789"));
+    }
+
+    proptest! {
+        #[test]
+        fn scrubbed_output_never_contains_ssn_shapes(
+            a in 100u32..999, b in 10u32..99, c in 1000u32..9999,
+            prefix in "[a-z ]{0,20}", suffix in "[a-z ]{0,20}",
+        ) {
+            let line = format!("{prefix} {a:03}-{b:02}-{c:04} {suffix}");
+            let s = scrub(&line);
+            let ssn = format!("{a:03}-{b:02}-{c:04}");
+            prop_assert!(!s.text.contains(&ssn));
+        }
+
+        #[test]
+        fn scrubbing_is_idempotent(line in "[ -~]{0,80}") {
+            let once = scrub(&line);
+            let twice = scrub(&once.text);
+            prop_assert_eq!(&once.text, &twice.text);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The trusted healthcare data analytics cloud platform.
+//!
+//! This crate is the paper's *system*: it wires every substrate —
+//! trusted infrastructure ([`hc_attest`], [`hc_cloudsim`]), secure data
+//! management ([`hc_crypto`], [`hc_storage`], [`hc_ingest`]), privacy
+//! management ([`hc_access`], [`hc_privacy`]), provenance ([`hc_ledger`])
+//! and analytics ([`hc_analytics`], [`hc_kb`]) — into one
+//! [`platform::HealthCloudPlatform`] exposing the end-to-end compliant
+//! flows of the paper:
+//!
+//! * register a tenant, users (RBAC-scoped) and patient devices;
+//! * ingest encrypted FHIR bundles through the asynchronous pipeline
+//!   (validate → scan → consent → de-identify → store → anchor);
+//! * attest hosts/VMs/containers before running workloads on them;
+//! * run the bioinformatics studies of §V (JMF repositioning, DELT) over
+//!   consented, de-identified data;
+//! * export (anonymized or consented-full), audit, and forget.
+//!
+//! # Examples
+//!
+//! ```
+//! use hc_core::platform::{HealthCloudPlatform, PlatformConfig};
+//!
+//! let platform = HealthCloudPlatform::bootstrap(PlatformConfig::default());
+//! let device = platform.register_patient_device(hc_common::id::PatientId::from_raw(1));
+//! let bundle = hc_core::platform::demo_bundle("p1", true);
+//! let url = platform.upload(&device, &bundle).unwrap();
+//! platform.process_ingestion();
+//! assert!(platform.ingestion_status(url).unwrap().is_stored());
+//! ```
+
+pub mod compliance;
+pub mod monitoring;
+pub mod platform;
+pub mod studies;

@@ -1,0 +1,184 @@
+//! ChaCha20 stream cipher (RFC 8439), the platform's shared-key cipher.
+//!
+//! The paper's ingestion path encrypts "with a well-established shared key
+//! (public key encryption is too expensive to maintain the scalability of
+//! the system)" (§IV-B1). ChaCha20 is that shared-key cipher here; it is
+//! validated against the RFC 8439 §2.3.2 block-function and §2.4.2
+//! encryption test vectors.
+
+const CONSTANTS: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+/// A 96-bit nonce. Must never repeat under the same key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Nonce(pub [u8; 12]);
+
+impl Nonce {
+    /// Builds a nonce from a 64-bit counter (upper 32 bits zero).
+    ///
+    /// Suitable when a single writer owns the key and increments the
+    /// counter for every message.
+    pub fn from_counter(counter: u64) -> Self {
+        let mut n = [0u8; 12];
+        n[4..].copy_from_slice(&counter.to_le_bytes());
+        Nonce(n)
+    }
+}
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+pub fn block(key: &[u8; 32], counter: u32, nonce: &Nonce) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[i * 4],
+            key[i * 4 + 1],
+            key[i * 4 + 2],
+            key[i * 4 + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce.0[i * 4],
+            nonce.0[i * 4 + 1],
+            nonce.0[i * 4 + 2],
+            nonce.0[i * 4 + 3],
+        ]);
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR keystream; its own inverse).
+///
+/// `initial_counter` is normally `1` for payload encryption, reserving
+/// counter `0` for MAC-key derivation as in RFC 8439.
+pub fn apply_keystream(key: &[u8; 32], nonce: &Nonce, initial_counter: u32, data: &mut [u8]) {
+    for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = block(key, initial_counter.wrapping_add(block_idx as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Encrypts `plaintext`, returning a fresh ciphertext vector.
+pub fn encrypt(key: &[u8; 32], nonce: &Nonce, plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    apply_keystream(key, nonce, 1, &mut out);
+    out
+}
+
+/// Decrypts `ciphertext`, returning the plaintext.
+pub fn decrypt(key: &[u8; 32], nonce: &Nonce, ciphertext: &[u8]) -> Vec<u8> {
+    encrypt(key, nonce, ciphertext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rfc_key() -> [u8; 32] {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        key
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key = rfc_key();
+        let nonce = Nonce([0, 0, 0, 0x09, 0, 0, 0, 0x4a, 0, 0, 0, 0]);
+        let ks = block(&key, 1, &nonce);
+        let expected = "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+                        d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e";
+        assert_eq!(hc_common::hex::encode(&ks), expected);
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key = rfc_key();
+        let nonce = Nonce([0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0]);
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let ct = encrypt(&key, &nonce, plaintext);
+        let expected_prefix = "6e2e359a2568f98041ba0728dd0d6981";
+        assert!(hc_common::hex::encode(&ct).starts_with(expected_prefix));
+        assert_eq!(
+            hc_common::hex::encode(&ct[ct.len() - 16..]),
+            "0bbf74a35be6b40b8eedf2785e42874d"
+        );
+    }
+
+    #[test]
+    fn nonce_from_counter_is_unique() {
+        assert_ne!(Nonce::from_counter(1), Nonce::from_counter(2));
+    }
+
+    proptest! {
+        #[test]
+        fn decrypt_inverts_encrypt(
+            key in proptest::array::uniform32(any::<u8>()),
+            ctr in any::<u64>(),
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let nonce = Nonce::from_counter(ctr);
+            let ct = encrypt(&key, &nonce, &data);
+            prop_assert_eq!(decrypt(&key, &nonce, &ct), data);
+        }
+
+        #[test]
+        fn ciphertext_differs_from_plaintext(
+            key in proptest::array::uniform32(any::<u8>()),
+            data in proptest::collection::vec(any::<u8>(), 16..256),
+        ) {
+            let nonce = Nonce::from_counter(7);
+            let ct = encrypt(&key, &nonce, &data);
+            prop_assert_ne!(ct, data);
+        }
+
+        #[test]
+        fn different_nonces_different_ciphertexts(
+            key in proptest::array::uniform32(any::<u8>()),
+            data in proptest::collection::vec(any::<u8>(), 16..128),
+        ) {
+            let c1 = encrypt(&key, &Nonce::from_counter(1), &data);
+            let c2 = encrypt(&key, &Nonce::from_counter(2), &data);
+            prop_assert_ne!(c1, c2);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Merkle hash trees with inclusion proofs.
+//!
+//! Used by the ledger (block transaction roots), the many-time signer
+//! ([`crate::ots::MerkleSigner`]) and as the basis of the redactable
+//! signature scheme. Leaves and interior nodes are domain-separated so a
+//! leaf can never be confused with an interior node (second-preimage
+//! hardening).
+
+use serde::{Deserialize, Serialize};
+
+use crate::sha256::{self, Digest};
+
+const LEAF_PREFIX: &[u8] = b"\x00hc-leaf";
+const NODE_PREFIX: &[u8] = b"\x01hc-node";
+
+/// Hashes a leaf value with domain separation.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    sha256::hash_parts(&[LEAF_PREFIX, data])
+}
+
+/// Hashes two child digests into a parent with domain separation.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    sha256::hash_parts(&[NODE_PREFIX, left.as_bytes(), right.as_bytes()])
+}
+
+/// A Merkle tree over a fixed list of leaves.
+///
+/// Odd nodes at any level are promoted (Bitcoin-style duplication is
+/// deliberately avoided to prevent CVE-2012-2459-style ambiguity).
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    levels: Vec<Vec<Digest>>, // levels[0] = leaf hashes
+}
+
+/// One step in an inclusion proof.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ProofStep {
+    /// The sibling digest to combine with.
+    pub sibling: Digest,
+    /// Whether the sibling sits to the left of the running hash.
+    pub sibling_on_left: bool,
+}
+
+/// An inclusion proof for one leaf.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct InclusionProof {
+    /// Bottom-up path of siblings.
+    pub steps: Vec<ProofStep>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from leaf byte values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is empty: an empty tree has no meaningful root.
+    pub fn from_leaves<I, B>(leaves: I) -> Self
+    where
+        I: IntoIterator<Item = B>,
+        B: AsRef<[u8]>,
+    {
+        let level0: Vec<Digest> = leaves.into_iter().map(|l| leaf_hash(l.as_ref())).collect();
+        assert!(!level0.is_empty(), "merkle tree requires at least one leaf");
+        Self::from_leaf_hashes(level0)
+    }
+
+    /// Builds a tree from already-hashed leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_hashes` is empty.
+    pub fn from_leaf_hashes(leaf_hashes: Vec<Digest>) -> Self {
+        assert!(!leaf_hashes.is_empty(), "merkle tree requires at least one leaf");
+        let mut levels = vec![leaf_hashes];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut i = 0;
+            while i < prev.len() {
+                if i + 1 < prev.len() {
+                    next.push(node_hash(&prev[i], &prev[i + 1]));
+                    i += 2;
+                } else {
+                    // Odd node: promote unchanged.
+                    next.push(prev[i]);
+                    i += 1;
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Whether the tree has no leaves (never true; trees are nonempty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Produces an inclusion proof for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn prove(&self, index: usize) -> InclusionProof {
+        assert!(index < self.len(), "leaf index out of bounds");
+        let mut steps = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            if sibling_idx < level.len() {
+                steps.push(ProofStep {
+                    sibling: level[sibling_idx],
+                    sibling_on_left: sibling_idx < idx,
+                });
+            }
+            idx /= 2;
+        }
+        InclusionProof { steps }
+    }
+}
+
+/// Verifies that `leaf_data` at some position hashes up to `root` via `proof`.
+pub fn verify_inclusion(leaf_data: &[u8], proof: &InclusionProof, root: &Digest) -> bool {
+    verify_inclusion_hash(leaf_hash(leaf_data), proof, root)
+}
+
+/// Verifies inclusion given an already-computed leaf hash.
+pub fn verify_inclusion_hash(leaf: Digest, proof: &InclusionProof, root: &Digest) -> bool {
+    let mut running = leaf;
+    for step in &proof.steps {
+        running = if step.sibling_on_left {
+            node_hash(&step.sibling, &running)
+        } else {
+            node_hash(&running, &step.sibling)
+        };
+    }
+    running == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let t = MerkleTree::from_leaves([b"only"]);
+        assert_eq!(t.root(), leaf_hash(b"only"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_tree_panics() {
+        let _ = MerkleTree::from_leaves(Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaves() {
+        let leaves: Vec<Vec<u8>> = (0..13u8).map(|i| vec![i; 4]).collect();
+        let t = MerkleTree::from_leaves(&leaves);
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = t.prove(i);
+            assert!(verify_inclusion(leaf, &proof, &t.root()), "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf() {
+        let t = MerkleTree::from_leaves([b"a".as_ref(), b"b".as_ref(), b"c".as_ref()]);
+        let proof = t.prove(0);
+        assert!(!verify_inclusion(b"b", &proof, &t.root()));
+    }
+
+    #[test]
+    fn proof_fails_against_wrong_root() {
+        let t1 = MerkleTree::from_leaves([b"a".as_ref(), b"b".as_ref()]);
+        let t2 = MerkleTree::from_leaves([b"a".as_ref(), b"c".as_ref()]);
+        let proof = t1.prove(0);
+        assert!(!verify_inclusion(b"a", &proof, &t2.root()));
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A 64-byte leaf that happens to be two digests must not hash the
+        // same as the interior node over those digests.
+        let a = leaf_hash(b"a");
+        let b = leaf_hash(b"b");
+        let mut concat = Vec::new();
+        concat.extend_from_slice(a.as_bytes());
+        concat.extend_from_slice(b.as_bytes());
+        assert_ne!(leaf_hash(&concat), node_hash(&a, &b));
+    }
+
+    #[test]
+    fn order_matters() {
+        let t1 = MerkleTree::from_leaves([b"a".as_ref(), b"b".as_ref()]);
+        let t2 = MerkleTree::from_leaves([b"b".as_ref(), b"a".as_ref()]);
+        assert_ne!(t1.root(), t2.root());
+    }
+
+    proptest! {
+        #[test]
+        fn inclusion_holds_for_random_trees(
+            leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..40),
+            pick in any::<usize>(),
+        ) {
+            let t = MerkleTree::from_leaves(&leaves);
+            let idx = pick % leaves.len();
+            let proof = t.prove(idx);
+            prop_assert!(verify_inclusion(&leaves[idx], &proof, &t.root()));
+        }
+
+        #[test]
+        fn changing_any_leaf_changes_root(
+            leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..8), 2..20),
+            pick in any::<usize>(),
+        ) {
+            let t = MerkleTree::from_leaves(&leaves);
+            let idx = pick % leaves.len();
+            let mut mutated = leaves.clone();
+            mutated[idx].push(0xff);
+            let t2 = MerkleTree::from_leaves(&mutated);
+            prop_assert_ne!(t.root(), t2.root());
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Hash-based signatures: Lamport one-time signatures and a Merkle
+//! many-time signer.
+//!
+//! The paper signs VM/container images and TPM quotes ("Each system
+//! component is signed using a digital signature", §IV-B2). Rather than
+//! depend on an external asymmetric-crypto library, the platform uses
+//! hash-based signatures built entirely on SHA-256: a [`LamportKeypair`]
+//! signs exactly one message; a [`MerkleSigner`] aggregates `2^h` one-time
+//! keys under a single Merkle-root public key (XMSS-style, without the
+//! WOTS+ compression), giving a bounded-use many-time signature suitable
+//! for attestation services and image registries.
+//!
+//! These are *real* signatures — existentially unforgeable assuming
+//! SHA-256 preimage resistance — at the cost of large signatures, which is
+//! exactly the "public-key operations are expensive" trade-off the paper
+//! invokes when arguing for shared-key encryption on the data path (E3).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::merkle::{self, InclusionProof, MerkleTree};
+use crate::sha256::{self, Digest};
+
+/// A Lamport one-time public key: two hash outputs per message bit.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LamportPublicKey {
+    pairs: Vec<[Digest; 2]>, // 256 pairs
+}
+
+impl LamportPublicKey {
+    /// A compact commitment to this public key (hash of all elements).
+    pub fn fingerprint(&self) -> Digest {
+        let mut h = sha256::Sha256::new();
+        for pair in &self.pairs {
+            h.update(pair[0].as_bytes());
+            h.update(pair[1].as_bytes());
+        }
+        h.finalize()
+    }
+}
+
+/// A Lamport one-time secret key.
+#[derive(Clone)]
+pub struct LamportSecretKey {
+    pairs: Vec<[[u8; 32]; 2]>,
+}
+
+impl std::fmt::Debug for LamportSecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LamportSecretKey(..)")
+    }
+}
+
+/// A one-time signature: one revealed preimage per digest bit.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LamportSignature {
+    revealed: Vec<[u8; 32]>, // 256 preimages
+}
+
+impl LamportSignature {
+    /// Signature size in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.revealed.len() * 32
+    }
+}
+
+/// A one-time keypair.
+#[derive(Clone, Debug)]
+pub struct LamportKeypair {
+    /// The private half; reveal nothing.
+    pub secret: LamportSecretKey,
+    /// The public half; publish freely.
+    pub public: LamportPublicKey,
+}
+
+impl LamportKeypair {
+    /// Generates a keypair from `rng`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut secret_pairs = Vec::with_capacity(256);
+        let mut public_pairs = Vec::with_capacity(256);
+        for _ in 0..256 {
+            let mut s0 = [0u8; 32];
+            let mut s1 = [0u8; 32];
+            rng.fill(&mut s0);
+            rng.fill(&mut s1);
+            public_pairs.push([sha256::hash(&s0), sha256::hash(&s1)]);
+            secret_pairs.push([s0, s1]);
+        }
+        LamportKeypair {
+            secret: LamportSecretKey { pairs: secret_pairs },
+            public: LamportPublicKey { pairs: public_pairs },
+        }
+    }
+
+    /// Signs `message` (the message is hashed first).
+    ///
+    /// A Lamport key must sign only one message; signing two distinct
+    /// messages with the same key leaks enough preimages to forge. The
+    /// [`MerkleSigner`] enforces one-time use automatically.
+    pub fn sign(&self, message: &[u8]) -> LamportSignature {
+        let digest = sha256::hash(message);
+        let mut revealed = Vec::with_capacity(256);
+        for (i, pair) in self.secret.pairs.iter().enumerate() {
+            let bit = (digest.as_bytes()[i / 8] >> (7 - (i % 8))) & 1;
+            revealed.push(pair[bit as usize]);
+        }
+        LamportSignature { revealed }
+    }
+}
+
+/// Verifies a one-time signature against a public key.
+pub fn verify_lamport(
+    public: &LamportPublicKey,
+    message: &[u8],
+    signature: &LamportSignature,
+) -> bool {
+    if signature.revealed.len() != 256 || public.pairs.len() != 256 {
+        return false;
+    }
+    let digest = sha256::hash(message);
+    for i in 0..256 {
+        let bit = (digest.as_bytes()[i / 8] >> (7 - (i % 8))) & 1;
+        if sha256::hash(&signature.revealed[i]) != public.pairs[i][bit as usize] {
+            return false;
+        }
+    }
+    true
+}
+
+/// A many-time signer: a Merkle tree over `2^height` one-time keys.
+///
+/// # Examples
+///
+/// ```
+/// let mut rng = hc_common::rng::seeded(1);
+/// let mut signer = hc_crypto::ots::MerkleSigner::generate(&mut rng, 2);
+/// let pk = signer.public_key();
+/// let sig = signer.sign(b"image-digest").unwrap();
+/// assert!(hc_crypto::ots::verify_merkle(&pk, b"image-digest", &sig));
+/// ```
+#[derive(Debug)]
+pub struct MerkleSigner {
+    keypairs: Vec<LamportKeypair>,
+    tree: MerkleTree,
+    next: usize,
+}
+
+/// The compact public key of a [`MerkleSigner`]: a Merkle root.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MerklePublicKey(pub Digest);
+
+/// A many-time signature.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MerkleSignature {
+    /// Index of the one-time key used.
+    pub leaf_index: usize,
+    /// The one-time signature itself.
+    pub ots: LamportSignature,
+    /// The one-time public key (verifier recomputes its fingerprint).
+    pub ots_public: LamportPublicKey,
+    /// Proof that the fingerprint is a leaf of the signer's Merkle root.
+    pub proof: InclusionProof,
+}
+
+impl MerkleSignature {
+    /// Approximate signature size in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.ots.wire_len() + self.ots_public.pairs.len() * 64 + self.proof.steps.len() * 33 + 8
+    }
+}
+
+/// Error returned when a [`MerkleSigner`] has exhausted its one-time keys.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KeysExhausted;
+
+impl std::fmt::Display for KeysExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("all one-time keys have been used")
+    }
+}
+
+impl std::error::Error for KeysExhausted {}
+
+impl MerkleSigner {
+    /// Generates a signer with `2^height` one-time keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height > 12` (4096 keys), which would be needlessly slow
+    /// for a simulation.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, height: u32) -> Self {
+        assert!(height <= 12, "height > 12 is unsupported");
+        let n = 1usize << height;
+        let keypairs: Vec<LamportKeypair> = (0..n).map(|_| LamportKeypair::generate(rng)).collect();
+        let leaf_hashes: Vec<Digest> = keypairs
+            .iter()
+            .map(|kp| merkle::leaf_hash(kp.public.fingerprint().as_bytes()))
+            .collect();
+        let tree = MerkleTree::from_leaf_hashes(leaf_hashes);
+        MerkleSigner {
+            keypairs,
+            tree,
+            next: 0,
+        }
+    }
+
+    /// The compact public key (Merkle root over one-time key fingerprints).
+    pub fn public_key(&self) -> MerklePublicKey {
+        MerklePublicKey(self.tree.root())
+    }
+
+    /// Remaining signatures before exhaustion.
+    pub fn remaining(&self) -> usize {
+        self.keypairs.len() - self.next
+    }
+
+    /// Signs `message` with the next unused one-time key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeysExhausted`] once every one-time key has been used.
+    pub fn sign(&mut self, message: &[u8]) -> Result<MerkleSignature, KeysExhausted> {
+        if self.next >= self.keypairs.len() {
+            return Err(KeysExhausted);
+        }
+        let idx = self.next;
+        self.next += 1;
+        let kp = &self.keypairs[idx];
+        Ok(MerkleSignature {
+            leaf_index: idx,
+            ots: kp.sign(message),
+            ots_public: kp.public.clone(),
+            proof: self.tree.prove(idx),
+        })
+    }
+}
+
+/// Verifies a many-time signature against a Merkle public key.
+pub fn verify_merkle(public: &MerklePublicKey, message: &[u8], sig: &MerkleSignature) -> bool {
+    if !verify_lamport(&sig.ots_public, message, &sig.ots) {
+        return false;
+    }
+    let leaf = merkle::leaf_hash(sig.ots_public.fingerprint().as_bytes());
+    merkle::verify_inclusion_hash(leaf, &sig.proof, &public.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lamport_round_trip() {
+        let mut rng = hc_common::rng::seeded(1);
+        let kp = LamportKeypair::generate(&mut rng);
+        let sig = kp.sign(b"hello");
+        assert!(verify_lamport(&kp.public, b"hello", &sig));
+        assert!(!verify_lamport(&kp.public, b"hullo", &sig));
+    }
+
+    #[test]
+    fn lamport_signature_from_other_key_fails() {
+        let mut rng = hc_common::rng::seeded(2);
+        let kp1 = LamportKeypair::generate(&mut rng);
+        let kp2 = LamportKeypair::generate(&mut rng);
+        let sig = kp1.sign(b"msg");
+        assert!(!verify_lamport(&kp2.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn merkle_signer_signs_many() {
+        let mut rng = hc_common::rng::seeded(3);
+        let mut signer = MerkleSigner::generate(&mut rng, 2);
+        let pk = signer.public_key();
+        for i in 0..4u8 {
+            let msg = [i; 8];
+            let sig = signer.sign(&msg).unwrap();
+            assert!(verify_merkle(&pk, &msg, &sig));
+        }
+        assert_eq!(signer.sign(b"fifth"), Err(KeysExhausted));
+    }
+
+    #[test]
+    fn merkle_signature_rejects_tampered_message() {
+        let mut rng = hc_common::rng::seeded(4);
+        let mut signer = MerkleSigner::generate(&mut rng, 1);
+        let pk = signer.public_key();
+        let sig = signer.sign(b"image-v1").unwrap();
+        assert!(!verify_merkle(&pk, b"image-v2", &sig));
+    }
+
+    #[test]
+    fn merkle_signature_rejects_foreign_root() {
+        let mut rng = hc_common::rng::seeded(5);
+        let mut signer1 = MerkleSigner::generate(&mut rng, 1);
+        let signer2 = MerkleSigner::generate(&mut rng, 1);
+        let sig = signer1.sign(b"msg").unwrap();
+        assert!(!verify_merkle(&signer2.public_key(), b"msg", &sig));
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut rng = hc_common::rng::seeded(6);
+        let mut signer = MerkleSigner::generate(&mut rng, 1);
+        assert_eq!(signer.remaining(), 2);
+        signer.sign(b"a").unwrap();
+        assert_eq!(signer.remaining(), 1);
+    }
+
+    #[test]
+    fn truncated_signature_rejected() {
+        let mut rng = hc_common::rng::seeded(7);
+        let kp = LamportKeypair::generate(&mut rng);
+        let mut sig = kp.sign(b"m");
+        sig.revealed.pop();
+        assert!(!verify_lamport(&kp.public, b"m", &sig));
+    }
+
+    #[test]
+    fn wire_len_is_nontrivial() {
+        let mut rng = hc_common::rng::seeded(8);
+        let mut signer = MerkleSigner::generate(&mut rng, 1);
+        let sig = signer.sign(b"m").unwrap();
+        // Hash-based signatures are big — that's the point of E3.
+        assert!(sig.wire_len() > 8 * 1024);
+    }
+}

@@ -1,0 +1,313 @@
+//! Leakage-free redactable signatures (Kundu-style).
+//!
+//! §IV-B1: "Often HCLS data is shared in parts and not as a whole …
+//! existing systems make use of Merkle hash techniques … However, they leak
+//! information, and leakage-free redactable and sanitizable signatures
+//! should be used for such data sharing."
+//!
+//! The construction here follows the salted-commitment approach of Kundu,
+//! Atallah and Bertino (CODASPY 2012): each field of a record is committed
+//! as `H(salt ‖ field)` with an independent random salt; the signer signs
+//! the Merkle root of the commitments with a hash-based signature. A holder
+//! can *redact* any subset of fields by replacing them with their bare
+//! commitments. Verification still succeeds on the disclosed fields, and —
+//! because the salt makes each commitment hiding — the redacted commitments
+//! leak nothing about the removed content (unlike plain Merkle hashes of
+//! unsalted fields, which are vulnerable to dictionary attacks on
+//! low-entropy PHI values such as diagnoses).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::merkle::{self, MerkleTree};
+use crate::ots::{self, MerklePublicKey, MerkleSignature, MerkleSigner};
+use crate::sha256::{self, Digest};
+
+/// One field of a signed record: either disclosed or redacted.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Field {
+    /// The field value and the salt proving its commitment.
+    Disclosed {
+        /// Field name (part of the commitment, so names cannot be swapped).
+        name: String,
+        /// Field content.
+        value: Vec<u8>,
+        /// The commitment salt.
+        salt: [u8; 32],
+    },
+    /// Only the hiding commitment remains.
+    Redacted {
+        /// The salted commitment of the removed field.
+        commitment: Digest,
+    },
+}
+
+impl Field {
+    fn commitment(&self) -> Digest {
+        match self {
+            Field::Disclosed { name, value, salt } => commit(name, value, salt),
+            Field::Redacted { commitment } => *commitment,
+        }
+    }
+
+    /// Whether this field is still disclosed.
+    pub fn is_disclosed(&self) -> bool {
+        matches!(self, Field::Disclosed { .. })
+    }
+}
+
+fn commit(name: &str, value: &[u8], salt: &[u8; 32]) -> Digest {
+    sha256::hash_parts(&[salt, &(name.len() as u64).to_le_bytes(), name.as_bytes(), value])
+}
+
+/// A record signed with a redactable signature.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RedactableDocument {
+    /// The fields, disclosed or redacted, in signing order.
+    pub fields: Vec<Field>,
+    /// Hash-based signature over the commitment Merkle root.
+    pub signature: MerkleSignature,
+}
+
+/// Errors from signing or verifying redactable documents.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RedactableError {
+    /// The underlying one-time signer ran out of keys.
+    SignerExhausted,
+    /// A document was constructed with no fields.
+    EmptyDocument,
+    /// A redaction index was out of bounds.
+    FieldOutOfBounds {
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for RedactableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RedactableError::SignerExhausted => f.write_str("signing keys exhausted"),
+            RedactableError::EmptyDocument => f.write_str("document has no fields"),
+            RedactableError::FieldOutOfBounds { index } => {
+                write!(f, "field index {index} out of bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RedactableError {}
+
+impl RedactableDocument {
+    /// Signs `fields` (name, value pairs), producing a fully disclosed
+    /// document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedactableError::EmptyDocument`] for an empty field list
+    /// and [`RedactableError::SignerExhausted`] if `signer` has no one-time
+    /// keys left.
+    pub fn sign<R: Rng + ?Sized>(
+        fields: &[(&str, &[u8])],
+        signer: &mut MerkleSigner,
+        rng: &mut R,
+    ) -> Result<Self, RedactableError> {
+        if fields.is_empty() {
+            return Err(RedactableError::EmptyDocument);
+        }
+        let mut out_fields = Vec::with_capacity(fields.len());
+        for (name, value) in fields {
+            let mut salt = [0u8; 32];
+            rng.fill(&mut salt);
+            out_fields.push(Field::Disclosed {
+                name: (*name).to_owned(),
+                value: value.to_vec(),
+                salt,
+            });
+        }
+        let root = Self::commitment_root(&out_fields);
+        let signature = signer
+            .sign(root.as_bytes())
+            .map_err(|_| RedactableError::SignerExhausted)?;
+        Ok(RedactableDocument {
+            fields: out_fields,
+            signature,
+        })
+    }
+
+    fn commitment_root(fields: &[Field]) -> Digest {
+        let commitments: Vec<Digest> = fields
+            .iter()
+            .map(|f| merkle::leaf_hash(f.commitment().as_bytes()))
+            .collect();
+        MerkleTree::from_leaf_hashes(commitments).root()
+    }
+
+    /// Redacts the field at `index`, removing its content irrecoverably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedactableError::FieldOutOfBounds`] for a bad index.
+    /// Redacting an already-redacted field is a no-op.
+    pub fn redact(&mut self, index: usize) -> Result<(), RedactableError> {
+        let field = self
+            .fields
+            .get_mut(index)
+            .ok_or(RedactableError::FieldOutOfBounds { index })?;
+        let commitment = field.commitment();
+        *field = Field::Redacted { commitment };
+        Ok(())
+    }
+
+    /// Redacts every field whose name is **not** in `keep`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors [`redact`](Self::redact) for
+    /// interface consistency.
+    pub fn redact_except(&mut self, keep: &[&str]) -> Result<(), RedactableError> {
+        for i in 0..self.fields.len() {
+            let retain = match &self.fields[i] {
+                Field::Disclosed { name, .. } => keep.contains(&name.as_str()),
+                Field::Redacted { .. } => true,
+            };
+            if !retain {
+                self.redact(i)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the signature over the (possibly redacted) document.
+    pub fn verify(&self, public: &MerklePublicKey) -> bool {
+        if self.fields.is_empty() {
+            return false;
+        }
+        let root = Self::commitment_root(&self.fields);
+        ots::verify_merkle(public, root.as_bytes(), &self.signature)
+    }
+
+    /// Returns the disclosed `(name, value)` pairs.
+    pub fn disclosed(&self) -> Vec<(&str, &[u8])> {
+        self.fields
+            .iter()
+            .filter_map(|f| match f {
+                Field::Disclosed { name, value, .. } => Some((name.as_str(), value.as_slice())),
+                Field::Redacted { .. } => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MerkleSigner, rand::rngs::StdRng) {
+        (
+            MerkleSigner::generate(&mut hc_common::rng::seeded(10), 2),
+            hc_common::rng::seeded(11),
+        )
+    }
+
+    fn sample_fields() -> Vec<(&'static str, &'static [u8])> {
+        vec![
+            ("name", b"Jane Doe".as_ref()),
+            ("diagnosis", b"E11.9 type 2 diabetes".as_ref()),
+            ("hba1c", b"7.2".as_ref()),
+            ("ssn", b"000-11-2222".as_ref()),
+        ]
+    }
+
+    #[test]
+    fn full_document_verifies() {
+        let (mut signer, mut rng) = setup();
+        let pk = signer.public_key();
+        let doc = RedactableDocument::sign(&sample_fields(), &mut signer, &mut rng).unwrap();
+        assert!(doc.verify(&pk));
+        assert_eq!(doc.disclosed().len(), 4);
+    }
+
+    #[test]
+    fn redacted_document_still_verifies() {
+        let (mut signer, mut rng) = setup();
+        let pk = signer.public_key();
+        let mut doc = RedactableDocument::sign(&sample_fields(), &mut signer, &mut rng).unwrap();
+        doc.redact(0).unwrap(); // drop name
+        doc.redact(3).unwrap(); // drop ssn
+        assert!(doc.verify(&pk));
+        let disclosed = doc.disclosed();
+        assert_eq!(disclosed.len(), 2);
+        assert!(disclosed.iter().all(|(n, _)| *n != "ssn" && *n != "name"));
+    }
+
+    #[test]
+    fn redact_except_keeps_only_named() {
+        let (mut signer, mut rng) = setup();
+        let pk = signer.public_key();
+        let mut doc = RedactableDocument::sign(&sample_fields(), &mut signer, &mut rng).unwrap();
+        doc.redact_except(&["hba1c"]).unwrap();
+        assert!(doc.verify(&pk));
+        assert_eq!(doc.disclosed(), vec![("hba1c", b"7.2".as_ref())]);
+    }
+
+    #[test]
+    fn tampering_with_disclosed_value_breaks_verification() {
+        let (mut signer, mut rng) = setup();
+        let pk = signer.public_key();
+        let mut doc = RedactableDocument::sign(&sample_fields(), &mut signer, &mut rng).unwrap();
+        if let Field::Disclosed { value, .. } = &mut doc.fields[2] {
+            value[0] = b'9';
+        }
+        assert!(!doc.verify(&pk));
+    }
+
+    #[test]
+    fn renaming_a_field_breaks_verification() {
+        let (mut signer, mut rng) = setup();
+        let pk = signer.public_key();
+        let mut doc = RedactableDocument::sign(&sample_fields(), &mut signer, &mut rng).unwrap();
+        if let Field::Disclosed { name, .. } = &mut doc.fields[2] {
+            *name = "glucose".into();
+        }
+        assert!(!doc.verify(&pk));
+    }
+
+    #[test]
+    fn redaction_is_leakage_free() {
+        // Two documents identical except in a redacted field must not
+        // expose matching commitments (salts differ).
+        let (mut signer, mut rng) = setup();
+        let doc1 = RedactableDocument::sign(&sample_fields(), &mut signer, &mut rng).unwrap();
+        let doc2 = RedactableDocument::sign(&sample_fields(), &mut signer, &mut rng).unwrap();
+        let c1 = doc1.fields[1].commitment();
+        let c2 = doc2.fields[1].commitment();
+        assert_ne!(c1, c2, "salted commitments must differ across signings");
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        let (mut signer, mut rng) = setup();
+        let err = RedactableDocument::sign(&[], &mut signer, &mut rng).unwrap_err();
+        assert_eq!(err, RedactableError::EmptyDocument);
+    }
+
+    #[test]
+    fn out_of_bounds_redaction_errors() {
+        let (mut signer, mut rng) = setup();
+        let mut doc = RedactableDocument::sign(&sample_fields(), &mut signer, &mut rng).unwrap();
+        assert_eq!(
+            doc.redact(99),
+            Err(RedactableError::FieldOutOfBounds { index: 99 })
+        );
+    }
+
+    #[test]
+    fn double_redaction_is_idempotent() {
+        let (mut signer, mut rng) = setup();
+        let pk = signer.public_key();
+        let mut doc = RedactableDocument::sign(&sample_fields(), &mut signer, &mut rng).unwrap();
+        doc.redact(1).unwrap();
+        doc.redact(1).unwrap();
+        assert!(doc.verify(&pk));
+    }
+}

@@ -1,0 +1,353 @@
+//! A pipe-delimited HL7v2-style adapter.
+//!
+//! The paper (§II-B) notes the platform "can be easily extended to support
+//! any other format by writing adapters that transform data from one
+//! exchange format to another, e.g. from HL7 to FHIR and back". This module
+//! is that adapter: a simplified HL7v2 message grammar —
+//!
+//! ```text
+//! PID|<id>|<family>^<given>|<gender M/F/O/U>|<birth year>
+//! OBX|<id>|<subject>|<code system>^<code>^<display>|<value>|<unit>|<day>
+//! RXE|<id>|<subject>|<code system>^<code>^<display>|<start day>|<end day>
+//! ```
+//!
+//! — converted to and from FHIR resources, with a lossless round trip for
+//! the supported fields.
+
+use crate::bundle::{Bundle, BundleKind};
+use crate::resource::{Gender, MedicationRequest, Observation, Patient, Resource};
+use crate::types::{CodeableConcept, Period, Quantity, SimDate};
+
+/// Errors produced while parsing an HL7v2-style message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Hl7Error {
+    /// A segment had an unknown type tag.
+    UnknownSegment {
+        /// The line number (0-based).
+        line: usize,
+        /// The unrecognized tag.
+        tag: String,
+    },
+    /// A segment was missing required fields.
+    MissingFields {
+        /// The line number (0-based).
+        line: usize,
+        /// How many fields were expected.
+        expected: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// The line number (0-based).
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A resource kind that cannot be represented in this HL7 subset.
+    Unrepresentable {
+        /// The FHIR type name.
+        type_name: &'static str,
+    },
+}
+
+impl std::fmt::Display for Hl7Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Hl7Error::UnknownSegment { line, tag } => {
+                write!(f, "line {line}: unknown segment `{tag}`")
+            }
+            Hl7Error::MissingFields { line, expected } => {
+                write!(f, "line {line}: expected {expected} fields")
+            }
+            Hl7Error::BadNumber { line, text } => {
+                write!(f, "line {line}: `{text}` is not a number")
+            }
+            Hl7Error::Unrepresentable { type_name } => {
+                write!(f, "{type_name} has no HL7v2 segment in this subset")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Hl7Error {}
+
+fn gender_code(g: Gender) -> &'static str {
+    match g {
+        Gender::Male => "M",
+        Gender::Female => "F",
+        Gender::Other => "O",
+        Gender::Unknown => "U",
+    }
+}
+
+fn parse_gender(s: &str) -> Gender {
+    match s {
+        "M" => Gender::Male,
+        "F" => Gender::Female,
+        "O" => Gender::Other,
+        _ => Gender::Unknown,
+    }
+}
+
+fn concept_to_field(c: &CodeableConcept) -> String {
+    format!("{}^{}^{}", c.system, c.code, c.display)
+}
+
+fn parse_concept(s: &str) -> CodeableConcept {
+    let mut parts = s.splitn(3, '^');
+    CodeableConcept::new(
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+    )
+}
+
+/// Renders a bundle to an HL7v2-style message.
+///
+/// # Errors
+///
+/// Returns [`Hl7Error::Unrepresentable`] for resource kinds outside the
+/// PID/OBX/RXE subset (e.g. `Consent`).
+pub fn to_hl7(bundle: &Bundle) -> Result<String, Hl7Error> {
+    let mut lines = Vec::with_capacity(bundle.len());
+    for resource in bundle {
+        let line = match resource {
+            Resource::Patient(p) => {
+                let name = p
+                    .name
+                    .as_ref()
+                    .map(|n| {
+                        format!(
+                            "{}^{}",
+                            n.family,
+                            n.given.first().cloned().unwrap_or_default()
+                        )
+                    })
+                    .unwrap_or_default();
+                format!(
+                    "PID|{}|{}|{}|{}",
+                    p.id,
+                    name,
+                    gender_code(p.gender),
+                    p.birth_year.map(|y| y.to_string()).unwrap_or_default()
+                )
+            }
+            Resource::Observation(o) => format!(
+                "OBX|{}|{}|{}|{}|{}|{}",
+                o.id,
+                o.subject,
+                concept_to_field(&o.code),
+                o.value.value,
+                o.value.unit,
+                o.effective.day()
+            ),
+            Resource::MedicationRequest(m) => format!(
+                "RXE|{}|{}|{}|{}|{}",
+                m.id,
+                m.subject,
+                concept_to_field(&m.medication),
+                m.period.start.day(),
+                m.period.end.day()
+            ),
+            other => {
+                return Err(Hl7Error::Unrepresentable {
+                    type_name: other.type_name(),
+                })
+            }
+        };
+        lines.push(line);
+    }
+    Ok(lines.join("\r"))
+}
+
+/// Parses an HL7v2-style message into a FHIR bundle.
+///
+/// # Errors
+///
+/// Returns an [`Hl7Error`] describing the first malformed segment.
+pub fn from_hl7(message: &str) -> Result<Bundle, Hl7Error> {
+    let mut entries = Vec::new();
+    for (line_no, line) in message
+        .split(['\r', '\n'])
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+    {
+        let fields: Vec<&str> = line.split('|').collect();
+        let tag = fields[0];
+        let need = |n: usize| -> Result<(), Hl7Error> {
+            if fields.len() < n {
+                Err(Hl7Error::MissingFields {
+                    line: line_no,
+                    expected: n,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let num = |text: &str| -> Result<u32, Hl7Error> {
+            text.parse().map_err(|_| Hl7Error::BadNumber {
+                line: line_no,
+                text: text.to_owned(),
+            })
+        };
+        match tag {
+            "PID" => {
+                need(5)?;
+                let mut builder = Patient::builder(fields[1]);
+                if !fields[2].is_empty() {
+                    let mut name_parts = fields[2].splitn(2, '^');
+                    let family = name_parts.next().unwrap_or_default();
+                    let given = name_parts.next().unwrap_or_default();
+                    builder = builder.name(family, given);
+                }
+                builder = builder.gender(parse_gender(fields[3]));
+                if !fields[4].is_empty() {
+                    builder = builder.birth_year(num(fields[4])?);
+                }
+                entries.push(Resource::Patient(builder.build()));
+            }
+            "OBX" => {
+                need(7)?;
+                let value: f64 = fields[4].parse().map_err(|_| Hl7Error::BadNumber {
+                    line: line_no,
+                    text: fields[4].to_owned(),
+                })?;
+                entries.push(Resource::Observation(Observation {
+                    id: fields[1].to_owned(),
+                    subject: fields[2].to_owned(),
+                    code: parse_concept(fields[3]),
+                    value: Quantity::new(value, fields[5]),
+                    effective: SimDate(num(fields[6])?),
+                }));
+            }
+            "RXE" => {
+                need(6)?;
+                entries.push(Resource::MedicationRequest(MedicationRequest {
+                    id: fields[1].to_owned(),
+                    subject: fields[2].to_owned(),
+                    medication: parse_concept(fields[3]),
+                    period: Period::new(SimDate(num(fields[4])?), SimDate(num(fields[5])?)),
+                }));
+            }
+            other => {
+                return Err(Hl7Error::UnknownSegment {
+                    line: line_no,
+                    tag: other.to_owned(),
+                })
+            }
+        }
+    }
+    Ok(Bundle::new(BundleKind::Transaction, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bundle {
+        Bundle::new(
+            BundleKind::Transaction,
+            vec![
+                Resource::Patient(
+                    Patient::builder("p1")
+                        .name("Doe", "Jane")
+                        .gender(Gender::Female)
+                        .birth_year(1980)
+                        .build(),
+                ),
+                Resource::Observation(Observation {
+                    id: "o1".into(),
+                    subject: "p1".into(),
+                    code: CodeableConcept::hba1c(),
+                    value: Quantity::new(6.5, "%"),
+                    effective: SimDate(120),
+                }),
+                Resource::MedicationRequest(MedicationRequest {
+                    id: "m1".into(),
+                    subject: "p1".into(),
+                    medication: CodeableConcept::new("rxnorm", "860975", "metformin"),
+                    period: Period::new(SimDate(100), SimDate(130)),
+                }),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_supported_fields() {
+        let original = sample();
+        let hl7 = to_hl7(&original).unwrap();
+        let back = from_hl7(&hl7).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn message_uses_segment_tags() {
+        let hl7 = to_hl7(&sample()).unwrap();
+        assert!(hl7.starts_with("PID|"));
+        assert!(hl7.contains("\rOBX|"));
+        assert!(hl7.contains("\rRXE|"));
+    }
+
+    #[test]
+    fn unknown_segment_rejected() {
+        let err = from_hl7("ZZZ|x").unwrap_err();
+        assert_eq!(
+            err,
+            Hl7Error::UnknownSegment {
+                line: 0,
+                tag: "ZZZ".into()
+            }
+        );
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(matches!(
+            from_hl7("PID|p1").unwrap_err(),
+            Hl7Error::MissingFields { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        assert!(matches!(
+            from_hl7("OBX|o1|p1|sys^c^d|abc|%|10").unwrap_err(),
+            Hl7Error::BadNumber { .. }
+        ));
+    }
+
+    #[test]
+    fn consent_is_unrepresentable() {
+        use crate::resource::Consent;
+        let b = Bundle::new(
+            BundleKind::Transaction,
+            vec![Resource::Consent(Consent {
+                id: "c".into(),
+                subject: "p".into(),
+                study: "s".into(),
+                granted: true,
+            })],
+        );
+        assert_eq!(
+            to_hl7(&b).unwrap_err(),
+            Hl7Error::Unrepresentable {
+                type_name: "Consent"
+            }
+        );
+    }
+
+    #[test]
+    fn newline_separated_messages_accepted() {
+        let b = from_hl7("PID|p1||U|\nPID|p2||M|1950").unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn patient_without_name_round_trips() {
+        let b = Bundle::new(
+            BundleKind::Transaction,
+            vec![Resource::Patient(Patient::builder("p9").build())],
+        );
+        let back = from_hl7(&to_hl7(&b).unwrap()).unwrap();
+        assert_eq!(back, b);
+    }
+}

@@ -1,0 +1,42 @@
+//! FHIR-subset resource model, validation, bundles and an HL7v2 adapter.
+//!
+//! §II-B of the paper: "Our system adopts FHIR as the data ingestion
+//! format; this is not a limitation of the system as the system can be
+//! easily extended to support any other format by writing adapters that
+//! transform data from one exchange format to another, e.g. from HL7 to
+//! FHIR and back."
+//!
+//! This crate provides:
+//!
+//! * [`types`] — common FHIR datatypes (identifiers, names, codeable
+//!   concepts, quantities, periods).
+//! * [`resource`] — the resource subset the platform ingests: `Patient`,
+//!   `Observation`, `Condition`, `MedicationRequest`, `Consent`.
+//! * [`bundle`] — transaction/collection bundles, the ingestion unit.
+//! * [`validation`] — the curation step of the ingestion flow: structural
+//!   and semantic validation with machine-readable issues.
+//! * [`hl7`] — a pipe-delimited HL7v2-style adapter (`PID`/`OBX`/`RXE`
+//!   segments ⇄ FHIR resources), demonstrating the paper's adapter layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use hc_fhir::resource::{Patient, Resource};
+//! use hc_fhir::bundle::{Bundle, BundleKind};
+//! use hc_fhir::validation::Validator;
+//!
+//! let patient = Patient::builder("pat-1")
+//!     .name("Doe", "Jane")
+//!     .birth_year(1980)
+//!     .gender(hc_fhir::resource::Gender::Female)
+//!     .build();
+//! let bundle = Bundle::new(BundleKind::Transaction, vec![Resource::Patient(patient)]);
+//! let report = Validator::strict().validate_bundle(&bundle);
+//! assert!(report.is_valid());
+//! ```
+
+pub mod bundle;
+pub mod hl7;
+pub mod resource;
+pub mod types;
+pub mod validation;

@@ -1,0 +1,274 @@
+//! The FHIR resource subset the platform ingests and analyzes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Address, CodeableConcept, HumanName, Identifier, Period, Quantity, SimDate};
+
+/// Administrative gender.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Gender {
+    /// Female.
+    Female,
+    /// Male.
+    Male,
+    /// Other / non-binary.
+    Other,
+    /// Unknown / not recorded.
+    Unknown,
+}
+
+/// A patient demographic record (contains PHI before de-identification).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Patient {
+    /// Logical resource id within its bundle/source system.
+    pub id: String,
+    /// Business identifiers (MRNs, SSNs, …) — direct identifiers.
+    pub identifiers: Vec<Identifier>,
+    /// Legal name — direct identifier.
+    pub name: Option<HumanName>,
+    /// Administrative gender — quasi-identifier.
+    pub gender: Gender,
+    /// Birth year (simulated) — quasi-identifier.
+    pub birth_year: Option<u32>,
+    /// Address — mixed direct/quasi identifiers.
+    pub address: Option<Address>,
+    /// Phone number — direct identifier.
+    pub phone: Option<String>,
+}
+
+impl Patient {
+    /// Starts building a patient with the given logical id.
+    pub fn builder(id: impl Into<String>) -> PatientBuilder {
+        PatientBuilder {
+            patient: Patient {
+                id: id.into(),
+                identifiers: Vec::new(),
+                name: None,
+                gender: Gender::Unknown,
+                birth_year: None,
+                address: None,
+                phone: None,
+            },
+        }
+    }
+}
+
+/// Builder for [`Patient`].
+#[derive(Clone, Debug)]
+pub struct PatientBuilder {
+    patient: Patient,
+}
+
+impl PatientBuilder {
+    /// Sets the legal name.
+    pub fn name(mut self, family: &str, given: &str) -> Self {
+        self.patient.name = Some(HumanName::new(family, given));
+        self
+    }
+
+    /// Sets the administrative gender.
+    pub fn gender(mut self, gender: Gender) -> Self {
+        self.patient.gender = gender;
+        self
+    }
+
+    /// Sets the birth year.
+    pub fn birth_year(mut self, year: u32) -> Self {
+        self.patient.birth_year = Some(year);
+        self
+    }
+
+    /// Adds a business identifier.
+    pub fn identifier(mut self, system: &str, value: &str) -> Self {
+        self.patient.identifiers.push(Identifier::new(system, value));
+        self
+    }
+
+    /// Sets the address.
+    pub fn address(mut self, line: &str, city: &str, state: &str, postal_code: &str) -> Self {
+        self.patient.address = Some(Address {
+            line: line.into(),
+            city: city.into(),
+            state: state.into(),
+            postal_code: postal_code.into(),
+        });
+        self
+    }
+
+    /// Sets the phone number.
+    pub fn phone(mut self, phone: &str) -> Self {
+        self.patient.phone = Some(phone.into());
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Patient {
+        self.patient
+    }
+}
+
+/// A laboratory or vital-sign observation (e.g. an HbA1c measurement).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Observation {
+    /// Logical resource id.
+    pub id: String,
+    /// Reference to the subject patient's logical id.
+    pub subject: String,
+    /// What was measured.
+    pub code: CodeableConcept,
+    /// The measured value.
+    pub value: Quantity,
+    /// When the measurement was taken.
+    pub effective: SimDate,
+}
+
+/// A diagnosed condition.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Condition {
+    /// Logical resource id.
+    pub id: String,
+    /// Reference to the subject patient's logical id.
+    pub subject: String,
+    /// The diagnosis code (e.g. ICD-style).
+    pub code: CodeableConcept,
+    /// Date of onset/diagnosis.
+    pub onset: SimDate,
+}
+
+/// A medication prescription with an exposure window.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MedicationRequest {
+    /// Logical resource id.
+    pub id: String,
+    /// Reference to the subject patient's logical id.
+    pub subject: String,
+    /// The prescribed drug.
+    pub medication: CodeableConcept,
+    /// The exposure period.
+    pub period: Period,
+}
+
+/// A patient's consent for a study/program (the paper's "Group").
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Consent {
+    /// Logical resource id.
+    pub id: String,
+    /// Reference to the consenting patient's logical id.
+    pub subject: String,
+    /// The study/program identifier the data is consented for.
+    pub study: String,
+    /// Whether consent is granted (false = explicitly refused/revoked).
+    pub granted: bool,
+}
+
+/// Any resource the platform can ingest.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(tag = "resourceType")]
+pub enum Resource {
+    /// A patient demographic record.
+    Patient(Patient),
+    /// A lab/vital observation.
+    Observation(Observation),
+    /// A diagnosed condition.
+    Condition(Condition),
+    /// A medication prescription.
+    MedicationRequest(MedicationRequest),
+    /// A study consent.
+    Consent(Consent),
+}
+
+impl Resource {
+    /// The resource's logical id.
+    pub fn id(&self) -> &str {
+        match self {
+            Resource::Patient(r) => &r.id,
+            Resource::Observation(r) => &r.id,
+            Resource::Condition(r) => &r.id,
+            Resource::MedicationRequest(r) => &r.id,
+            Resource::Consent(r) => &r.id,
+        }
+    }
+
+    /// The resource type name (as it appears in the JSON `resourceType`).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Resource::Patient(_) => "Patient",
+            Resource::Observation(_) => "Observation",
+            Resource::Condition(_) => "Condition",
+            Resource::MedicationRequest(_) => "MedicationRequest",
+            Resource::Consent(_) => "Consent",
+        }
+    }
+
+    /// The subject patient reference, if this resource has one.
+    pub fn subject(&self) -> Option<&str> {
+        match self {
+            Resource::Patient(_) => None,
+            Resource::Observation(r) => Some(&r.subject),
+            Resource::Condition(r) => Some(&r.subject),
+            Resource::MedicationRequest(r) => Some(&r.subject),
+            Resource::Consent(r) => Some(&r.subject),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patient() -> Patient {
+        Patient::builder("p1")
+            .name("Doe", "Jane")
+            .gender(Gender::Female)
+            .birth_year(1975)
+            .identifier("urn:mrn", "12345")
+            .address("1 Main St", "Springfield", "IL", "62701")
+            .phone("555-0100")
+            .build()
+    }
+
+    #[test]
+    fn builder_fills_fields() {
+        let p = patient();
+        assert_eq!(p.name.as_ref().unwrap().display(), "Jane Doe");
+        assert_eq!(p.birth_year, Some(1975));
+        assert_eq!(p.identifiers.len(), 1);
+    }
+
+    #[test]
+    fn resource_accessors() {
+        let obs = Observation {
+            id: "o1".into(),
+            subject: "p1".into(),
+            code: CodeableConcept::hba1c(),
+            value: Quantity::new(6.5, "%"),
+            effective: SimDate(100),
+        };
+        let r = Resource::Observation(obs);
+        assert_eq!(r.id(), "o1");
+        assert_eq!(r.type_name(), "Observation");
+        assert_eq!(r.subject(), Some("p1"));
+        assert_eq!(Resource::Patient(patient()).subject(), None);
+    }
+
+    #[test]
+    fn json_uses_resource_type_tag() {
+        let r = Resource::Patient(patient());
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"resourceType\":\"Patient\""));
+        let back: Resource = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn consent_round_trip() {
+        let c = Resource::Consent(Consent {
+            id: "c1".into(),
+            subject: "p1".into(),
+            study: "diabetes-rwe".into(),
+            granted: true,
+        });
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<Resource>(&json).unwrap(), c);
+    }
+}

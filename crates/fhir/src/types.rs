@@ -1,0 +1,224 @@
+//! Common FHIR datatypes used across resources.
+
+use serde::{Deserialize, Serialize};
+
+/// A business identifier: a `(system, value)` pair, e.g. an MRN.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Identifier {
+    /// The namespace the identifier belongs to (e.g. `"urn:mrn:hospital-a"`).
+    pub system: String,
+    /// The identifier value itself.
+    pub value: String,
+}
+
+impl Identifier {
+    /// Creates an identifier.
+    pub fn new(system: impl Into<String>, value: impl Into<String>) -> Self {
+        Identifier {
+            system: system.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// A human name (family + given parts).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct HumanName {
+    /// Family (last) name.
+    pub family: String,
+    /// Given (first/middle) names.
+    pub given: Vec<String>,
+}
+
+impl HumanName {
+    /// Creates a name from family and a single given name.
+    pub fn new(family: impl Into<String>, given: impl Into<String>) -> Self {
+        HumanName {
+            family: family.into(),
+            given: vec![given.into()],
+        }
+    }
+
+    /// Formats as `"Given Family"`.
+    pub fn display(&self) -> String {
+        let mut parts = self.given.clone();
+        parts.push(self.family.clone());
+        parts.join(" ")
+    }
+}
+
+/// A postal address, reduced to the fields relevant to de-identification.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Address {
+    /// Street line (direct identifier under HIPAA Safe Harbor).
+    pub line: String,
+    /// City.
+    pub city: String,
+    /// State or province.
+    pub state: String,
+    /// Postal/ZIP code (quasi-identifier; truncated on de-identification).
+    pub postal_code: String,
+}
+
+/// A coded concept: a code within a code system, plus display text.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct CodeableConcept {
+    /// The code system URI (e.g. `"http://loinc.org"`).
+    pub system: String,
+    /// The code itself (e.g. `"4548-4"` for HbA1c).
+    pub code: String,
+    /// Human-readable display.
+    pub display: String,
+}
+
+impl CodeableConcept {
+    /// Creates a coded concept.
+    pub fn new(
+        system: impl Into<String>,
+        code: impl Into<String>,
+        display: impl Into<String>,
+    ) -> Self {
+        CodeableConcept {
+            system: system.into(),
+            code: code.into(),
+            display: display.into(),
+        }
+    }
+
+    /// LOINC code for glycated hemoglobin (HbA1c), used by the DELT study.
+    pub fn hba1c() -> Self {
+        CodeableConcept::new("http://loinc.org", "4548-4", "Hemoglobin A1c")
+    }
+}
+
+/// A measured quantity with a unit.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Quantity {
+    /// Numeric value.
+    pub value: f64,
+    /// UCUM unit code (e.g. `"%"` or `"mg/dL"`).
+    pub unit: String,
+}
+
+impl Quantity {
+    /// Creates a quantity.
+    pub fn new(value: f64, unit: impl Into<String>) -> Self {
+        Quantity {
+            value,
+            unit: unit.into(),
+        }
+    }
+}
+
+/// A simulated calendar date: days since the simulation epoch.
+///
+/// The platform never needs real calendars; ordered day numbers preserve
+/// every property the analytics (exposure windows, measurement ordering)
+/// and de-identification (year generalization) rely on.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct SimDate(pub u32);
+
+impl SimDate {
+    /// Days since the epoch.
+    pub const fn day(self) -> u32 {
+        self.0
+    }
+
+    /// The (simulated) year, at 365 days per year.
+    pub const fn year(self) -> u32 {
+        self.0 / 365
+    }
+
+    /// Returns the date `days` later.
+    #[must_use]
+    pub const fn plus_days(self, days: u32) -> SimDate {
+        SimDate(self.0 + days)
+    }
+
+    /// Whole days between `self` and an earlier date (saturating).
+    pub const fn days_since(self, earlier: SimDate) -> u32 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+/// A half-open time period `[start, end)` in simulated days.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Period {
+    /// First day of the period.
+    pub start: SimDate,
+    /// First day *after* the period.
+    pub end: SimDate,
+}
+
+impl Period {
+    /// Creates a period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: SimDate, end: SimDate) -> Self {
+        assert!(end >= start, "period end must not precede start");
+        Period { start, end }
+    }
+
+    /// Whether `date` falls inside the period.
+    pub fn contains(&self, date: SimDate) -> bool {
+        date >= self.start && date < self.end
+    }
+
+    /// Length in days.
+    pub fn days(&self) -> u32 {
+        self.end.days_since(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_name_display() {
+        let n = HumanName::new("Doe", "Jane");
+        assert_eq!(n.display(), "Jane Doe");
+    }
+
+    #[test]
+    fn sim_date_arithmetic() {
+        let d = SimDate(730);
+        assert_eq!(d.year(), 2);
+        assert_eq!(d.plus_days(5).day(), 735);
+        assert_eq!(d.plus_days(5).days_since(d), 5);
+        assert_eq!(d.days_since(d.plus_days(5)), 0); // saturating
+    }
+
+    #[test]
+    fn period_contains_half_open() {
+        let p = Period::new(SimDate(10), SimDate(20));
+        assert!(p.contains(SimDate(10)));
+        assert!(p.contains(SimDate(19)));
+        assert!(!p.contains(SimDate(20)));
+        assert_eq!(p.days(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not precede")]
+    fn inverted_period_panics() {
+        let _ = Period::new(SimDate(5), SimDate(1));
+    }
+
+    #[test]
+    fn codeable_concept_hba1c() {
+        let c = CodeableConcept::hba1c();
+        assert_eq!(c.code, "4548-4");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = Quantity::new(6.5, "%");
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Quantity = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+}

@@ -1,0 +1,364 @@
+//! Bundle validation — the "curation" step of the paper's ingestion flow.
+//!
+//! §II-B: the background ingestion process "Validates the uploaded bundle
+//! for errors" before de-identification and storage. The [`Validator`]
+//! checks structural rules (non-empty ids, resolvable subject references)
+//! and semantic rules (plausible value ranges for known lab codes, sane
+//! periods, non-future dates), producing a machine-readable
+//! [`ValidationReport`] the pipeline attaches to rejected uploads.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bundle::Bundle;
+use crate::resource::Resource;
+use crate::types::SimDate;
+
+/// Severity of a validation issue.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Severity {
+    /// Advisory only; ingestion proceeds.
+    Warning,
+    /// The bundle is rejected.
+    Error,
+}
+
+/// A single validation finding.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Issue {
+    /// How bad it is.
+    pub severity: Severity,
+    /// The offending resource's logical id (empty for bundle-level issues).
+    pub resource_id: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The result of validating a bundle.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// All findings, errors first.
+    pub issues: Vec<Issue>,
+}
+
+impl ValidationReport {
+    /// Whether the bundle may proceed (no `Error`-severity issues).
+    pub fn is_valid(&self) -> bool {
+        !self.issues.iter().any(|i| i.severity == Severity::Error)
+    }
+
+    /// Count of error-severity issues.
+    pub fn error_count(&self) -> usize {
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Error)
+            .count()
+    }
+}
+
+/// Validates bundles against structural and semantic rules.
+#[derive(Clone, Debug)]
+pub struct Validator {
+    /// Latest acceptable date for any clinical timestamp ("today").
+    pub horizon: SimDate,
+    /// Whether observations must reference a patient in the same bundle.
+    pub require_local_subjects: bool,
+}
+
+impl Default for Validator {
+    fn default() -> Self {
+        Validator {
+            horizon: SimDate(u32::MAX),
+            require_local_subjects: false,
+        }
+    }
+}
+
+impl Validator {
+    /// A strict validator: local subject references required.
+    pub fn strict() -> Self {
+        Validator {
+            horizon: SimDate(u32::MAX),
+            require_local_subjects: true,
+        }
+    }
+
+    /// Sets the latest acceptable clinical date.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: SimDate) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Validates a bundle, returning every finding.
+    pub fn validate_bundle(&self, bundle: &Bundle) -> ValidationReport {
+        let mut issues = Vec::new();
+
+        if bundle.is_empty() {
+            issues.push(Issue {
+                severity: Severity::Error,
+                resource_id: String::new(),
+                message: "bundle has no entries".into(),
+            });
+        }
+
+        let mut seen_ids = HashSet::new();
+        let patient_ids: HashSet<&str> = bundle
+            .iter()
+            .filter_map(|r| match r {
+                Resource::Patient(p) => Some(p.id.as_str()),
+                _ => None,
+            })
+            .collect();
+
+        for resource in bundle {
+            let id = resource.id();
+            if id.is_empty() {
+                issues.push(Issue {
+                    severity: Severity::Error,
+                    resource_id: String::new(),
+                    message: format!("{} resource has empty id", resource.type_name()),
+                });
+            } else if !seen_ids.insert((resource.type_name(), id.to_owned())) {
+                issues.push(Issue {
+                    severity: Severity::Error,
+                    resource_id: id.to_owned(),
+                    message: format!("duplicate {} id `{id}`", resource.type_name()),
+                });
+            }
+
+            if self.require_local_subjects {
+                if let Some(subject) = resource.subject() {
+                    if !patient_ids.contains(subject) {
+                        issues.push(Issue {
+                            severity: Severity::Error,
+                            resource_id: id.to_owned(),
+                            message: format!("subject `{subject}` not found in bundle"),
+                        });
+                    }
+                }
+            }
+
+            self.validate_resource(resource, &mut issues);
+        }
+
+        issues.sort_by(|a, b| b.severity.cmp(&a.severity));
+        ValidationReport { issues }
+    }
+
+    fn validate_resource(&self, resource: &Resource, issues: &mut Vec<Issue>) {
+        match resource {
+            Resource::Patient(p) => {
+                if let Some(year) = p.birth_year {
+                    if !(1880..=2026).contains(&year) {
+                        issues.push(Issue {
+                            severity: Severity::Error,
+                            resource_id: p.id.clone(),
+                            message: format!("implausible birth year {year}"),
+                        });
+                    }
+                }
+            }
+            Resource::Observation(o) => {
+                if o.effective > self.horizon {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        resource_id: o.id.clone(),
+                        message: "observation dated in the future".into(),
+                    });
+                }
+                // Semantic range check for codes we know.
+                if o.code.code == "4548-4" && !(2.0..=20.0).contains(&o.value.value) {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        resource_id: o.id.clone(),
+                        message: format!("HbA1c value {} out of plausible range", o.value.value),
+                    });
+                }
+                if !o.value.value.is_finite() {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        resource_id: o.id.clone(),
+                        message: "observation value is not finite".into(),
+                    });
+                }
+                if o.value.unit.is_empty() {
+                    issues.push(Issue {
+                        severity: Severity::Warning,
+                        resource_id: o.id.clone(),
+                        message: "observation has no unit".into(),
+                    });
+                }
+            }
+            Resource::Condition(c) => {
+                if c.onset > self.horizon {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        resource_id: c.id.clone(),
+                        message: "condition onset in the future".into(),
+                    });
+                }
+                if c.code.code.is_empty() {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        resource_id: c.id.clone(),
+                        message: "condition has empty code".into(),
+                    });
+                }
+            }
+            Resource::MedicationRequest(m) => {
+                if m.period.days() == 0 {
+                    issues.push(Issue {
+                        severity: Severity::Warning,
+                        resource_id: m.id.clone(),
+                        message: "zero-length exposure period".into(),
+                    });
+                }
+                if m.medication.code.is_empty() {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        resource_id: m.id.clone(),
+                        message: "medication request has empty drug code".into(),
+                    });
+                }
+            }
+            Resource::Consent(c) => {
+                if c.study.is_empty() {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        resource_id: c.id.clone(),
+                        message: "consent names no study".into(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::BundleKind;
+    use crate::resource::{Condition, Gender, MedicationRequest, Observation, Patient};
+    use crate::types::{CodeableConcept, Period, Quantity};
+
+    fn patient(id: &str) -> Resource {
+        Resource::Patient(Patient::builder(id).gender(Gender::Unknown).build())
+    }
+
+    fn obs(id: &str, subject: &str, value: f64, day: u32) -> Resource {
+        Resource::Observation(Observation {
+            id: id.into(),
+            subject: subject.into(),
+            code: CodeableConcept::hba1c(),
+            value: Quantity::new(value, "%"),
+            effective: SimDate(day),
+        })
+    }
+
+    #[test]
+    fn valid_bundle_passes() {
+        let b = Bundle::new(
+            BundleKind::Transaction,
+            vec![patient("p1"), obs("o1", "p1", 6.5, 10)],
+        );
+        let report = Validator::strict().validate_bundle(&b);
+        assert!(report.is_valid(), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn empty_bundle_rejected() {
+        let b = Bundle::new(BundleKind::Transaction, vec![]);
+        assert!(!Validator::default().validate_bundle(&b).is_valid());
+    }
+
+    #[test]
+    fn dangling_subject_rejected_when_strict() {
+        let b = Bundle::new(BundleKind::Transaction, vec![obs("o1", "ghost", 6.5, 1)]);
+        assert!(!Validator::strict().validate_bundle(&b).is_valid());
+        // Lenient validator allows cross-bundle references.
+        assert!(Validator::default().validate_bundle(&b).is_valid());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let b = Bundle::new(BundleKind::Transaction, vec![patient("p1"), patient("p1")]);
+        let report = Validator::default().validate_bundle(&b);
+        assert_eq!(report.error_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_hba1c_rejected() {
+        let b = Bundle::new(
+            BundleKind::Transaction,
+            vec![patient("p1"), obs("o1", "p1", 55.0, 1)],
+        );
+        assert!(!Validator::strict().validate_bundle(&b).is_valid());
+    }
+
+    #[test]
+    fn nan_value_rejected() {
+        let b = Bundle::new(
+            BundleKind::Transaction,
+            vec![patient("p1"), obs("o1", "p1", f64::NAN, 1)],
+        );
+        assert!(!Validator::strict().validate_bundle(&b).is_valid());
+    }
+
+    #[test]
+    fn future_observation_rejected_with_horizon() {
+        let b = Bundle::new(
+            BundleKind::Transaction,
+            vec![patient("p1"), obs("o1", "p1", 6.0, 500)],
+        );
+        let v = Validator::strict().with_horizon(SimDate(365));
+        assert!(!v.validate_bundle(&b).is_valid());
+    }
+
+    #[test]
+    fn implausible_birth_year_rejected() {
+        let p = Resource::Patient(Patient::builder("p1").birth_year(1700).build());
+        let b = Bundle::new(BundleKind::Transaction, vec![p]);
+        assert!(!Validator::default().validate_bundle(&b).is_valid());
+    }
+
+    #[test]
+    fn zero_length_period_is_warning_only() {
+        let m = Resource::MedicationRequest(MedicationRequest {
+            id: "m1".into(),
+            subject: "p1".into(),
+            medication: CodeableConcept::new("rxnorm", "860975", "metformin"),
+            period: Period::new(SimDate(5), SimDate(5)),
+        });
+        let b = Bundle::new(BundleKind::Transaction, vec![patient("p1"), m]);
+        let report = Validator::strict().validate_bundle(&b);
+        assert!(report.is_valid());
+        assert_eq!(report.issues.len(), 1);
+    }
+
+    #[test]
+    fn empty_condition_code_rejected() {
+        let c = Resource::Condition(Condition {
+            id: "c1".into(),
+            subject: "p1".into(),
+            code: CodeableConcept::new("icd", "", ""),
+            onset: SimDate(1),
+        });
+        let b = Bundle::new(BundleKind::Transaction, vec![patient("p1"), c]);
+        assert!(!Validator::strict().validate_bundle(&b).is_valid());
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let m = Resource::MedicationRequest(MedicationRequest {
+            id: "m1".into(),
+            subject: "p1".into(),
+            medication: CodeableConcept::new("rxnorm", "", ""),
+            period: Period::new(SimDate(5), SimDate(5)),
+        });
+        let b = Bundle::new(BundleKind::Transaction, vec![patient("p1"), m]);
+        let report = Validator::strict().validate_bundle(&b);
+        assert_eq!(report.issues[0].severity, Severity::Error);
+    }
+}

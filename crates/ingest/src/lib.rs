@@ -1,0 +1,28 @@
+//! The asynchronous data ingestion and export pipeline (§II-B).
+//!
+//! The paper's flow, reproduced stage for stage: "Encrypted data, using a
+//! client's public certificate issued by the platform, is uploaded to a
+//! secure temporary storage area, and a message is left in the platform's
+//! internal messaging system for the background ingestion process … The
+//! platform returns a status URL to the uploading client … The background
+//! data-ingestion process picks the encrypted data from the staging area
+//! and performs the following three steps under Ingestion: i) Decrypts
+//! data using the client's private key … ii) Validates the uploaded bundle
+//! for errors. iii) After successful validation, the data is de-identified
+//! and stored in the backend storage system (Data Lake) with a
+//! reference-id". Plus §IV-B1's checks: integrity/authenticity
+//! verification, malware scanning, anonymization verification and patient
+//! consent — each failure rejects the upload and (for malware) posts to
+//! the malware blockchain channel.
+//!
+//! * [`scanner`] — the signature-based malware data-filtration service.
+//! * [`status`] — the status-URL state machine clients poll.
+//! * [`pipeline`] — the staged background ingestion process itself,
+//!   runnable inline or on worker threads.
+//! * [`export`] — the export service: anonymized export and consented,
+//!   re-identified full export (for CROs).
+
+pub mod export;
+pub mod pipeline;
+pub mod scanner;
+pub mod status;

@@ -1,0 +1,731 @@
+//! The background ingestion process.
+//!
+//! Stages, in the paper's order: decrypt (client key from the KMS) →
+//! validate/curate → malware scan (posting detections to the malware
+//! blockchain channel) → consent check → de-identify → anonymization
+//! verification → encrypt-at-rest with a *per-record* key (so secure
+//! deletion can crypto-shred exactly one record) → store in the data lake
+//! with a reference id → anchor `ingested`/`anonymized` provenance events
+//! on the ledger. Every upload gets a [`StatusUrl`] whose state advances
+//! through [`IngestionStatus`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use hc_access::consent::{ConsentRegistry, ConsentScope};
+use hc_common::clock::SimClock;
+use hc_common::id::{GroupId, IngestionId, KeyId, PatientId, Principal, ReferenceId};
+use hc_crypto::aead::Sealed;
+use hc_crypto::kms::KeyManagementSystem;
+use hc_crypto::sha256;
+use hc_fhir::bundle::Bundle;
+use hc_fhir::resource::Resource;
+use hc_fhir::validation::Validator;
+use hc_ledger::block::Transaction;
+use hc_ledger::provenance::{ProvenanceAction, ProvenanceEvent, ProvenanceNetwork};
+use hc_privacy::phi::{deidentify_bundle, DeidConfig};
+use hc_privacy::verify::scan_resource_for_phi;
+use hc_storage::datalake::DataLake;
+
+use crate::scanner::MalwareScanner;
+use crate::status::{IngestionStatus, StatusUrl};
+
+/// The credential a registered device uploads under: its patient identity
+/// and its platform-issued encryption key.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceCredential {
+    /// The patient the device belongs to.
+    pub patient: PatientId,
+    /// The device's KMS key (created at registration).
+    pub key: KeyId,
+}
+
+/// Counters the monitoring service scrapes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PipelineStats {
+    /// Uploads received.
+    pub received: u64,
+    /// Uploads stored successfully.
+    pub stored: u64,
+    /// Rejected at decryption (integrity/authenticity).
+    pub rejected_integrity: u64,
+    /// Rejected at validation.
+    pub rejected_validation: u64,
+    /// Rejected by the malware filter.
+    pub rejected_malware: u64,
+    /// Rejected for missing consent.
+    pub rejected_consent: u64,
+    /// Rejected by anonymization verification.
+    pub rejected_anonymization: u64,
+}
+
+/// State shared between the pipeline and the export service.
+pub(crate) struct SharedState {
+    pub(crate) kms: Arc<KeyManagementSystem>,
+    pub(crate) lake: Arc<Mutex<DataLake>>,
+    pub(crate) consent: Arc<Mutex<ConsentRegistry>>,
+    pub(crate) provenance: Arc<Mutex<ProvenanceNetwork>>,
+    /// Per-record storage keys: shredding one deletes one record.
+    pub(crate) record_keys: Mutex<HashMap<ReferenceId, KeyId>>,
+    /// Reference-id → (original id → pseudonym) maps; "the reference-id
+    /// to identity the mapping is stored in the metadata".
+    pub(crate) pseudonyms: Mutex<HashMap<ReferenceId, HashMap<String, String>>>,
+    /// The study this pipeline ingests for.
+    pub(crate) study: GroupId,
+    /// The study's display name (matched against in-bundle consents).
+    pub(crate) study_name: String,
+    /// Platform signing key for leakage-free redactable record sharing.
+    pub(crate) share_signer: Mutex<hc_crypto::ots::MerkleSigner>,
+    /// The verification key for shared redactable documents.
+    pub(crate) share_public: hc_crypto::ots::MerklePublicKey,
+}
+
+struct Job {
+    id: IngestionId,
+    credential: DeviceCredential,
+    sealed: Sealed,
+}
+
+/// The ingestion pipeline.
+pub struct IngestionPipeline {
+    pub(crate) shared: Arc<SharedState>,
+    scanner: MalwareScanner,
+    validator: Validator,
+    deid: DeidConfig,
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    statuses: Arc<Mutex<HashMap<IngestionId, IngestionStatus>>>,
+    stats: Mutex<PipelineStats>,
+    rng: Mutex<rand::rngs::StdRng>,
+    next_ingestion: Mutex<u128>,
+}
+
+impl std::fmt::Debug for IngestionPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestionPipeline")
+            .field("study", &self.shared.study_name)
+            .field("pending", &self.rx.len())
+            .finish()
+    }
+}
+
+/// Everything the pipeline needs from the rest of the platform.
+pub struct PipelineDeps {
+    /// The key management system.
+    pub kms: Arc<KeyManagementSystem>,
+    /// The data lake.
+    pub lake: Arc<Mutex<DataLake>>,
+    /// The consent registry.
+    pub consent: Arc<Mutex<ConsentRegistry>>,
+    /// The provenance blockchain network.
+    pub provenance: Arc<Mutex<ProvenanceNetwork>>,
+}
+
+impl IngestionPipeline {
+    /// Builds a pipeline for one study.
+    pub fn new(
+        deps: PipelineDeps,
+        study: GroupId,
+        study_name: &str,
+        seed: u64,
+    ) -> Self {
+        let (tx, rx) = unbounded();
+        let mut signer_rng = hc_common::rng::seeded_stream(seed, 910);
+        let share_signer = hc_crypto::ots::MerkleSigner::generate(&mut signer_rng, 6);
+        let share_public = share_signer.public_key();
+        IngestionPipeline {
+            shared: Arc::new(SharedState {
+                kms: deps.kms,
+                lake: deps.lake,
+                consent: deps.consent,
+                provenance: deps.provenance,
+                record_keys: Mutex::new(HashMap::new()),
+                pseudonyms: Mutex::new(HashMap::new()),
+                study,
+                study_name: study_name.to_owned(),
+                share_signer: Mutex::new(share_signer),
+                share_public,
+            }),
+            scanner: MalwareScanner::new(),
+            validator: Validator::strict(),
+            deid: DeidConfig::default(),
+            tx,
+            rx,
+            statuses: Arc::new(Mutex::new(HashMap::new())),
+            stats: Mutex::new(PipelineStats::default()),
+            rng: Mutex::new(hc_common::rng::seeded_stream(seed, 909)),
+            next_ingestion: Mutex::new(0),
+        }
+    }
+
+    /// Replaces the malware scanner (e.g. to add signatures).
+    pub fn set_scanner(&mut self, scanner: MalwareScanner) {
+        self.scanner = scanner;
+    }
+
+    /// Registers a patient device: issues its KMS key, authorized for the
+    /// device itself and the ingestion service.
+    pub fn register_device(&self, patient: PatientId) -> DeviceCredential {
+        let mut rng = self.rng.lock();
+        let key = self.shared.kms.create_key(
+            &mut *rng,
+            &[
+                Principal::Device(patient),
+                Principal::Service("ingest".into()),
+            ],
+        );
+        DeviceCredential { patient, key }
+    }
+
+    /// Client-side helper: seals a bundle under the device credential
+    /// (models the enhanced client encrypting before upload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates KMS errors (unknown key, unauthorized device).
+    pub fn seal_upload(
+        &self,
+        credential: &DeviceCredential,
+        bundle: &Bundle,
+    ) -> Result<Sealed, hc_crypto::kms::KmsError> {
+        self.shared.kms.seal(
+            &Principal::Device(credential.patient),
+            credential.key,
+            &bundle.to_bytes(),
+            &credential.patient.as_u128().to_le_bytes(),
+        )
+    }
+
+    /// Accepts an upload into the staging area and returns its status URL.
+    pub fn submit(&self, credential: DeviceCredential, sealed: Sealed) -> StatusUrl {
+        let id = {
+            let mut next = self.next_ingestion.lock();
+            *next += 1;
+            IngestionId::from_raw(*next)
+        };
+        self.statuses.lock().insert(id, IngestionStatus::Received);
+        self.stats.lock().received += 1;
+        self.tx
+            .send(Job {
+                id,
+                credential,
+                sealed,
+            })
+            .expect("queue never closes while the pipeline lives");
+        StatusUrl(id)
+    }
+
+    /// Polls an upload's status.
+    pub fn status(&self, url: StatusUrl) -> Option<IngestionStatus> {
+        self.statuses.lock().get(&url.0).cloned()
+    }
+
+    /// Processes one queued upload, returning its id; `None` if idle.
+    pub fn process_one(&self) -> Option<IngestionId> {
+        let job = self.rx.try_recv().ok()?;
+        let id = job.id;
+        let outcome = self.run_stages(&job);
+        self.statuses.lock().insert(id, outcome);
+        Some(id)
+    }
+
+    /// Drains the queue inline.
+    pub fn process_all(&self) -> usize {
+        let mut n = 0;
+        while self.process_one().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Drains the queue on `workers` threads (the "asynchronous
+    /// communication process" of §II-B).
+    pub fn process_all_parallel(&self, workers: usize) -> usize {
+        let processed = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.max(1) {
+                scope.spawn(|| {
+                    while self.process_one().is_some() {
+                        processed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        processed.into_inner()
+    }
+
+    fn set_status(&self, id: IngestionId, status: IngestionStatus) {
+        self.statuses.lock().insert(id, status);
+    }
+
+    fn reject(&self, stage: &str, reason: String) -> IngestionStatus {
+        IngestionStatus::Rejected {
+            stage: stage.to_owned(),
+            reason,
+        }
+    }
+
+    fn run_stages(&self, job: &Job) -> IngestionStatus {
+        // 1. Decrypt + integrity/authenticity verification.
+        self.set_status(job.id, IngestionStatus::Decrypting);
+        let ingest = Principal::Service("ingest".into());
+        let bytes = match self.shared.kms.open(
+            &ingest,
+            job.credential.key,
+            &job.sealed,
+            &job.credential.patient.as_u128().to_le_bytes(),
+        ) {
+            Ok(b) => b,
+            Err(e) => {
+                self.stats.lock().rejected_integrity += 1;
+                return self.reject("decrypt", e.to_string());
+            }
+        };
+
+        // 2. Validate / curate.
+        self.set_status(job.id, IngestionStatus::Validating);
+        let bundle = match Bundle::from_bytes(&bytes) {
+            Ok(b) => b,
+            Err(e) => {
+                self.stats.lock().rejected_validation += 1;
+                return self.reject("validate", format!("malformed bundle: {e}"));
+            }
+        };
+        let report = self.validator.validate_bundle(&bundle);
+        if !report.is_valid() {
+            self.stats.lock().rejected_validation += 1;
+            let first = report
+                .issues
+                .first()
+                .map(|i| i.message.clone())
+                .unwrap_or_default();
+            return self.reject("validate", first);
+        }
+
+        // 3. Malware filtration.
+        self.set_status(job.id, IngestionStatus::Scanning);
+        if let Some(detection) = self.scanner.scan(&bytes) {
+            self.stats.lock().rejected_malware += 1;
+            // "update the blockchain with the information that the
+            // corresponding record … contains malware".
+            let payload = format!(
+                "scanner={};record={};offset={}",
+                detection.signature_name, job.id, detection.offset
+            );
+            let mut provenance = self.shared.provenance.lock();
+            let clock = SimClock::new();
+            let tx = Transaction {
+                id: hc_common::id::TxId::from_raw(job.id.as_u128()),
+                channel: "malware".into(),
+                kind: "malware-detected".into(),
+                payload: payload.into_bytes(),
+                submitter: "malware-filter".into(),
+                timestamp: clock.now(),
+            };
+            let _ = provenance.ledger_mut().submit(vec![tx]);
+            return self.reject("malware-scan", format!("signature {}", detection.signature_name));
+        }
+
+        // 4. Consent: apply in-bundle consents, then verify.
+        self.set_status(job.id, IngestionStatus::CheckingConsent);
+        {
+            let mut consent = self.shared.consent.lock();
+            for resource in &bundle {
+                if let Resource::Consent(c) = resource {
+                    if c.study == self.shared.study_name {
+                        let action = if c.granted {
+                            consent.grant(job.credential.patient, self.shared.study, ConsentScope::FULL);
+                            ProvenanceAction::ConsentGranted
+                        } else {
+                            consent.revoke(job.credential.patient, self.shared.study);
+                            ProvenanceAction::ConsentRevoked
+                        };
+                        // Consent provenance "as required by GDPR and
+                        // HIPAA" (§IV-A) — anchored before the data is.
+                        let mut provenance = self.shared.provenance.lock();
+                        let _ = provenance.record(&ProvenanceEvent {
+                            record: ReferenceId::from_raw(job.id.as_u128()),
+                            data_hash: sha256::hash(c.study.as_bytes()),
+                            action,
+                            actor: format!("device:{}", job.credential.patient),
+                            detail: format!("study={}", c.study),
+                        });
+                    }
+                }
+            }
+            if !consent.allows_analytics(job.credential.patient, self.shared.study) {
+                drop(consent);
+                self.stats.lock().rejected_consent += 1;
+                return self.reject(
+                    "consent",
+                    format!(
+                        "patient has not consented to study `{}`",
+                        self.shared.study_name
+                    ),
+                );
+            }
+        }
+
+        // 5. De-identify + anonymization verification.
+        self.set_status(job.id, IngestionStatus::DeIdentifying);
+        let deidentified = deidentify_bundle(
+            &bundle,
+            &self.deid,
+            &self.shared.study.as_u128().to_le_bytes(),
+        );
+        for resource in &deidentified.bundle {
+            let violations = scan_resource_for_phi(resource);
+            if !violations.is_empty() {
+                self.stats.lock().rejected_anonymization += 1;
+                return self.reject("anonymization-verification", violations.join("; "));
+            }
+        }
+
+        // 6. Encrypt at rest under a fresh per-record key and store.
+        let deid_bytes = deidentified.bundle.to_bytes();
+        let data_hash = sha256::hash(&deid_bytes);
+        let record_key = {
+            let mut rng = self.rng.lock();
+            self.shared.kms.create_key(
+                &mut *rng,
+                &[
+                    Principal::Service("ingest".into()),
+                    Principal::Service("export".into()),
+                ],
+            )
+        };
+        let sealed_at_rest = match self.shared.kms.seal(&ingest, record_key, &deid_bytes, b"at-rest") {
+            Ok(s) => s,
+            Err(e) => return self.reject("store", e.to_string()),
+        };
+        let reference = {
+            let mut rng = self.rng.lock();
+            let mut lake = self.shared.lake.lock();
+            let reference = lake.put(
+                &mut *rng,
+                serde_json::to_vec(&sealed_at_rest).expect("sealed serializes"),
+                &[
+                    ("study", self.shared.study_name.as_str()),
+                    ("kind", "bundle"),
+                ],
+            );
+            lake.map_identity(reference, job.credential.patient);
+            reference
+        };
+        self.shared.record_keys.lock().insert(reference, record_key);
+        self.shared
+            .pseudonyms
+            .lock()
+            .insert(reference, deidentified.pseudonyms);
+
+        // 7. Anchor provenance.
+        {
+            let mut provenance = self.shared.provenance.lock();
+            let _ = provenance.record(&ProvenanceEvent {
+                record: reference,
+                data_hash,
+                action: ProvenanceAction::Ingested,
+                actor: "ingest-service".into(),
+                detail: format!("study={}", self.shared.study_name),
+            });
+            let _ = provenance.record(&ProvenanceEvent {
+                record: reference,
+                data_hash,
+                action: ProvenanceAction::Anonymized,
+                actor: "deid-service".into(),
+                detail: String::new(),
+            });
+        }
+
+        self.stats.lock().stored += 1;
+        IngestionStatus::Stored {
+            references: vec![reference],
+        }
+    }
+
+    /// Right-to-forget: purges and crypto-shreds every record of a
+    /// patient, anchoring `deleted` events.
+    ///
+    /// Returns the number of records destroyed.
+    pub fn forget_patient(&self, patient: PatientId) -> usize {
+        let references = self.shared.lake.lock().references_of(patient);
+        for &reference in &references {
+            {
+                let mut lake = self.shared.lake.lock();
+                let _ = lake.tombstone(reference);
+                let _ = lake.purge(reference);
+            }
+            if let Some(key) = self.shared.record_keys.lock().remove(&reference) {
+                self.shared.kms.shred(key);
+            }
+            self.shared.pseudonyms.lock().remove(&reference);
+            let mut provenance = self.shared.provenance.lock();
+            let _ = provenance.record(&ProvenanceEvent {
+                record: reference,
+                data_hash: sha256::hash(b""),
+                action: ProvenanceAction::Deleted,
+                actor: "gdpr-service".into(),
+                detail: "right-to-forget".into(),
+            });
+        }
+        references.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PipelineStats {
+        *self.stats.lock()
+    }
+
+    /// Creates the export service sharing this pipeline's state.
+    pub fn export_service(&self) -> crate::export::ExportService {
+        crate::export::ExportService::new(Arc::clone(&self.shared))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use hc_common::clock::SimDuration;
+    use hc_fhir::bundle::BundleKind;
+    use hc_fhir::resource::{Consent, Gender, Observation, Patient};
+    use hc_fhir::types::{CodeableConcept, Quantity, SimDate};
+    use hc_ledger::chain::Ledger;
+    use hc_ledger::consensus::PbftCluster;
+    use hc_ledger::policy::{MalwarePolicy, ProvenancePolicy};
+
+    pub(crate) fn build_pipeline(seed: u64) -> IngestionPipeline {
+        let clock = SimClock::new();
+        let mut rng = hc_common::rng::seeded(seed);
+        let kms = Arc::new(KeyManagementSystem::new(&mut rng));
+        let lake = Arc::new(Mutex::new(DataLake::new(clock.clone())));
+        let consent = Arc::new(Mutex::new(ConsentRegistry::new(clock.clone())));
+        let cluster = PbftCluster::new(4, SimDuration::from_millis(1), clock.clone()).unwrap();
+        let mut ledger = Ledger::new(cluster, clock.clone());
+        ledger.install_policy(Box::new(ProvenancePolicy));
+        ledger.install_policy(Box::new(MalwarePolicy));
+        let provenance = Arc::new(Mutex::new(ProvenanceNetwork::new(ledger, clock, 1)));
+        IngestionPipeline::new(
+            PipelineDeps {
+                kms,
+                lake,
+                consent,
+                provenance,
+            },
+            GroupId::from_raw(1),
+            "diabetes-rwe",
+            seed,
+        )
+    }
+
+    fn patient_bundle(with_consent: bool) -> Bundle {
+        let mut entries = vec![
+            Resource::Patient(
+                Patient::builder("p1")
+                    .name("Doe", "Jane")
+                    .gender(Gender::Female)
+                    .birth_year(1970)
+                    .phone("555-0100")
+                    .build(),
+            ),
+            Resource::Observation(Observation {
+                id: "o1".into(),
+                subject: "p1".into(),
+                code: CodeableConcept::hba1c(),
+                value: Quantity::new(7.1, "%"),
+                effective: SimDate(200),
+            }),
+        ];
+        if with_consent {
+            entries.push(Resource::Consent(Consent {
+                id: "c1".into(),
+                subject: "p1".into(),
+                study: "diabetes-rwe".into(),
+                granted: true,
+            }));
+        }
+        Bundle::new(BundleKind::Transaction, entries)
+    }
+
+    #[test]
+    fn happy_path_stores_and_anchors_provenance() {
+        let pipeline = build_pipeline(1);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        let sealed = pipeline.seal_upload(&credential, &patient_bundle(true)).unwrap();
+        let url = pipeline.submit(credential, sealed);
+        assert_eq!(pipeline.status(url), Some(IngestionStatus::Received));
+        assert_eq!(pipeline.process_all(), 1);
+        let status = pipeline.status(url).unwrap();
+        let IngestionStatus::Stored { references } = status else {
+            panic!("expected Stored, got {status:?}");
+        };
+        assert_eq!(references.len(), 1);
+        let provenance = pipeline.shared.provenance.lock();
+        let history = provenance.history(references[0]);
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].action, ProvenanceAction::Ingested);
+        assert_eq!(history[1].action, ProvenanceAction::Anonymized);
+        assert_eq!(pipeline.stats().stored, 1);
+    }
+
+    #[test]
+    fn tampered_upload_rejected_at_decrypt() {
+        let pipeline = build_pipeline(2);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        let mut sealed = pipeline.seal_upload(&credential, &patient_bundle(true)).unwrap();
+        sealed.ciphertext[0] ^= 0xff;
+        let url = pipeline.submit(credential, sealed);
+        pipeline.process_all();
+        let status = pipeline.status(url).unwrap();
+        assert!(matches!(status, IngestionStatus::Rejected { ref stage, .. } if stage == "decrypt"));
+        assert_eq!(pipeline.stats().rejected_integrity, 1);
+    }
+
+    #[test]
+    fn invalid_bundle_rejected() {
+        let pipeline = build_pipeline(3);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        // Observation with dangling subject (strict validator).
+        let bad = Bundle::new(
+            BundleKind::Transaction,
+            vec![Resource::Observation(Observation {
+                id: "o1".into(),
+                subject: "ghost".into(),
+                code: CodeableConcept::hba1c(),
+                value: Quantity::new(7.1, "%"),
+                effective: SimDate(1),
+            })],
+        );
+        let sealed = pipeline.seal_upload(&credential, &bad).unwrap();
+        let url = pipeline.submit(credential, sealed);
+        pipeline.process_all();
+        assert!(matches!(
+            pipeline.status(url).unwrap(),
+            IngestionStatus::Rejected { ref stage, .. } if stage == "validate"
+        ));
+    }
+
+    #[test]
+    fn malware_rejected_and_posted_to_chain() {
+        let pipeline = build_pipeline(4);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        let mut bundle = patient_bundle(true);
+        // Hide the signature inside a field value.
+        if let Resource::Patient(p) = &mut bundle.entries[0] {
+            p.name = Some(hc_fhir::types::HumanName::new(
+                String::from_utf8_lossy(crate::scanner::TEST_SIGNATURE).to_string(),
+                "Jane",
+            ));
+        }
+        let sealed = pipeline.seal_upload(&credential, &bundle).unwrap();
+        let url = pipeline.submit(credential, sealed);
+        pipeline.process_all();
+        assert!(matches!(
+            pipeline.status(url).unwrap(),
+            IngestionStatus::Rejected { ref stage, .. } if stage == "malware-scan"
+        ));
+        let provenance = pipeline.shared.provenance.lock();
+        let malware_txs = provenance.ledger().channel_transactions("malware");
+        assert_eq!(malware_txs.len(), 1);
+        assert!(String::from_utf8_lossy(&malware_txs[0].payload).contains("scanner="));
+    }
+
+    #[test]
+    fn missing_consent_rejected() {
+        let pipeline = build_pipeline(5);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        let sealed = pipeline.seal_upload(&credential, &patient_bundle(false)).unwrap();
+        let url = pipeline.submit(credential, sealed);
+        pipeline.process_all();
+        assert!(matches!(
+            pipeline.status(url).unwrap(),
+            IngestionStatus::Rejected { ref stage, .. } if stage == "consent"
+        ));
+        assert_eq!(pipeline.stats().rejected_consent, 1);
+    }
+
+    #[test]
+    fn consent_persists_across_uploads() {
+        let pipeline = build_pipeline(6);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        // First upload carries consent; second does not need it.
+        let s1 = pipeline.seal_upload(&credential, &patient_bundle(true)).unwrap();
+        let u1 = pipeline.submit(credential, s1);
+        pipeline.process_all();
+        assert!(pipeline.status(u1).unwrap().is_stored());
+        let s2 = pipeline.seal_upload(&credential, &patient_bundle(false)).unwrap();
+        let u2 = pipeline.submit(credential, s2);
+        pipeline.process_all();
+        assert!(pipeline.status(u2).unwrap().is_stored());
+    }
+
+    #[test]
+    fn stored_record_is_deidentified_and_encrypted() {
+        let pipeline = build_pipeline(7);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        let sealed = pipeline.seal_upload(&credential, &patient_bundle(true)).unwrap();
+        let url = pipeline.submit(credential, sealed);
+        pipeline.process_all();
+        let IngestionStatus::Stored { references } = pipeline.status(url).unwrap() else {
+            panic!("stored");
+        };
+        let raw = {
+            let mut lake = pipeline.shared.lake.lock();
+            lake.get_latest(references[0]).unwrap().data.clone()
+        };
+        // At-rest bytes are a sealed envelope, not plaintext PHI.
+        let as_text = String::from_utf8_lossy(&raw);
+        assert!(!as_text.contains("Jane"), "PHI must not be at rest in clear");
+        assert!(Bundle::from_bytes(&raw).is_err(), "not a plaintext bundle");
+    }
+
+    #[test]
+    fn forget_patient_destroys_records() {
+        let pipeline = build_pipeline(8);
+        let patient = PatientId::from_raw(5);
+        let credential = pipeline.register_device(patient);
+        let sealed = pipeline.seal_upload(&credential, &patient_bundle(true)).unwrap();
+        let url = pipeline.submit(credential, sealed);
+        pipeline.process_all();
+        let IngestionStatus::Stored { references } = pipeline.status(url).unwrap() else {
+            panic!("stored");
+        };
+        assert_eq!(pipeline.forget_patient(patient), 1);
+        // Record gone from the lake, key shredded, deletion anchored.
+        {
+            let mut lake = pipeline.shared.lake.lock();
+            assert!(lake.get_latest(references[0]).is_err());
+        }
+        let provenance = pipeline.shared.provenance.lock();
+        let history = provenance.history(references[0]);
+        assert_eq!(history.last().unwrap().action, ProvenanceAction::Deleted);
+    }
+
+    #[test]
+    fn parallel_workers_drain_queue() {
+        let pipeline = build_pipeline(9);
+        let patient = PatientId::from_raw(5);
+        let credential = pipeline.register_device(patient);
+        for _ in 0..20 {
+            let sealed = pipeline.seal_upload(&credential, &patient_bundle(true)).unwrap();
+            pipeline.submit(credential, sealed);
+        }
+        let processed = pipeline.process_all_parallel(4);
+        assert_eq!(processed, 20);
+        assert_eq!(pipeline.stats().stored, 20);
+    }
+
+    #[test]
+    fn foreign_device_cannot_use_anothers_key() {
+        let pipeline = build_pipeline(10);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        // A different patient's device tries to seal with this key.
+        let thief = DeviceCredential {
+            patient: PatientId::from_raw(6),
+            key: credential.key,
+        };
+        assert!(pipeline.seal_upload(&thief, &patient_bundle(true)).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! The malware data-filtration service.
+//!
+//! §IV-B1: "the ingestion service employs a data filtration system to
+//! determine if the data contains any malware. If so, the filtration
+//! services filter out the record and update the blockchain."
+//! Signature-based scanning over the decrypted upload bytes; the default
+//! database carries a test signature playing the role of the EICAR
+//! string.
+
+/// The built-in test signature (an EICAR-style marker for exercising the
+/// rejection path end to end).
+pub const TEST_SIGNATURE: &[u8] = b"X5O!HC-MALWARE-TEST-PAYLOAD!H+H*";
+
+/// A malware detection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Detection {
+    /// Which signature matched.
+    pub signature_name: String,
+    /// Byte offset of the first match.
+    pub offset: usize,
+}
+
+/// A signature-based scanner.
+#[derive(Clone, Debug)]
+pub struct MalwareScanner {
+    signatures: Vec<(String, Vec<u8>)>,
+}
+
+impl Default for MalwareScanner {
+    fn default() -> Self {
+        MalwareScanner {
+            signatures: vec![("hc-test-signature".to_owned(), TEST_SIGNATURE.to_vec())],
+        }
+    }
+}
+
+impl MalwareScanner {
+    /// A scanner with the built-in test signature.
+    pub fn new() -> Self {
+        MalwareScanner::default()
+    }
+
+    /// Adds a signature to the database.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pattern (it would match everything).
+    pub fn add_signature(&mut self, name: &str, pattern: &[u8]) {
+        assert!(!pattern.is_empty(), "empty signatures are not allowed");
+        self.signatures.push((name.to_owned(), pattern.to_vec()));
+    }
+
+    /// Number of signatures loaded.
+    pub fn signature_count(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Scans `data`, returning the first detection if any.
+    pub fn scan(&self, data: &[u8]) -> Option<Detection> {
+        for (name, pattern) in &self.signatures {
+            if let Some(offset) = find(data, pattern) {
+                return Some(Detection {
+                    signature_name: name.clone(),
+                    offset,
+                });
+            }
+        }
+        None
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.len() > haystack.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_data_passes() {
+        let scanner = MalwareScanner::new();
+        assert!(scanner.scan(b"{\"resourceType\":\"Patient\"}").is_none());
+        assert!(scanner.scan(b"").is_none());
+    }
+
+    #[test]
+    fn test_signature_detected() {
+        let scanner = MalwareScanner::new();
+        let mut payload = b"benign prefix ".to_vec();
+        payload.extend_from_slice(TEST_SIGNATURE);
+        let detection = scanner.scan(&payload).unwrap();
+        assert_eq!(detection.signature_name, "hc-test-signature");
+        assert_eq!(detection.offset, 14);
+    }
+
+    #[test]
+    fn custom_signature_detected() {
+        let mut scanner = MalwareScanner::new();
+        scanner.add_signature("evil-marker", b"\xde\xad\xbe\xef");
+        assert_eq!(scanner.signature_count(), 2);
+        let detection = scanner.scan(b"xx\xde\xad\xbe\xefyy").unwrap();
+        assert_eq!(detection.signature_name, "evil-marker");
+    }
+
+    #[test]
+    fn needle_longer_than_haystack() {
+        let scanner = MalwareScanner::new();
+        assert!(scanner.scan(b"x").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty signatures")]
+    fn empty_signature_panics() {
+        MalwareScanner::new().add_signature("bad", b"");
+    }
+}

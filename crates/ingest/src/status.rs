@@ -1,0 +1,92 @@
+//! The status-URL state machine.
+//!
+//! "The platform returns a status URL to the uploading client, which can
+//! be used to know the status of the data ingestion process as it goes
+//! through its ingestion flow sequence." (§II-B)
+
+use hc_common::id::{IngestionId, ReferenceId};
+use serde::{Deserialize, Serialize};
+
+/// The pipeline stage an upload is in (or finished with).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum IngestionStatus {
+    /// Staged; waiting for the background process.
+    Received,
+    /// Being decrypted with the client's platform-issued key.
+    Decrypting,
+    /// Bundle validation / curation in progress.
+    Validating,
+    /// Malware filtration in progress.
+    Scanning,
+    /// Consent verification in progress.
+    CheckingConsent,
+    /// De-identification in progress.
+    DeIdentifying,
+    /// Stored in the data lake.
+    Stored {
+        /// The reference ids of the stored record(s).
+        references: Vec<ReferenceId>,
+    },
+    /// Rejected; the upload was dropped.
+    Rejected {
+        /// Which stage rejected it.
+        stage: String,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl IngestionStatus {
+    /// Whether the pipeline has finished with this upload.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            IngestionStatus::Stored { .. } | IngestionStatus::Rejected { .. }
+        )
+    }
+
+    /// Whether the upload succeeded.
+    pub fn is_stored(&self) -> bool {
+        matches!(self, IngestionStatus::Stored { .. })
+    }
+}
+
+/// A status-URL handle, as returned to the uploading client.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct StatusUrl(pub IngestionId);
+
+impl std::fmt::Display for StatusUrl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "https://health-cloud.example/ingestions/{}/status", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(!IngestionStatus::Received.is_terminal());
+        assert!(!IngestionStatus::Scanning.is_terminal());
+        assert!(IngestionStatus::Stored { references: vec![] }.is_terminal());
+        assert!(IngestionStatus::Rejected {
+            stage: "validate".into(),
+            reason: "x".into()
+        }
+        .is_terminal());
+    }
+
+    #[test]
+    fn stored_flag() {
+        assert!(IngestionStatus::Stored { references: vec![] }.is_stored());
+        assert!(!IngestionStatus::Received.is_stored());
+    }
+
+    #[test]
+    fn status_url_renders() {
+        let url = StatusUrl(IngestionId::from_raw(7));
+        assert!(url.to_string().contains("/ingestions/"));
+        assert!(url.to_string().ends_with("/status"));
+    }
+}

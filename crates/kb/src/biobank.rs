@@ -1,0 +1,456 @@
+//! Drugs, diseases, and the planted drug–disease association matrix.
+//!
+//! Generation model: `n_clusters` latent archetypes in a `latent_dim`-
+//! dimensional space. Each drug and disease draws an archetype and a
+//! noisy latent vector around it; observable features (chemical
+//! fingerprint bits, target-gene sets, side-effect sets, phenotype
+//! vectors, ontology paths, disease genes) are deterministic noisy
+//! functions of the latent vector. The ground-truth association matrix is
+//! `R[d][s] = 1` when `σ(u_d · v_s)` exceeds a quantile threshold, so
+//! associated pairs are exactly the ones whose latent factors align — the
+//! structure JMF is designed to recover.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of fingerprint bits (PubChem-like substructure keys).
+pub const FINGERPRINT_BITS: usize = 128;
+
+/// A synthetic drug record (DrugBank/PubChem/SIDER-like features).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Drug {
+    /// Index within the biobank.
+    pub index: usize,
+    /// Display name.
+    pub name: String,
+    /// Hidden latent factor (generation-side only; not a "feature").
+    pub latent: Vec<f64>,
+    /// Chemical substructure fingerprint.
+    pub fingerprint: Vec<bool>,
+    /// Target gene ids (DrugBank-like).
+    pub targets: BTreeSet<u32>,
+    /// Side-effect ids (SIDER-like).
+    pub side_effects: BTreeSet<u32>,
+    /// Therapeutic class (the latent archetype id).
+    pub class: usize,
+}
+
+/// A synthetic disease record (DisGeNET/phenotype-like features).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Disease {
+    /// Index within the biobank.
+    pub index: usize,
+    /// Display name.
+    pub name: String,
+    /// Hidden latent factor.
+    pub latent: Vec<f64>,
+    /// Phenotype feature vector.
+    pub phenotype: Vec<f64>,
+    /// Ontology path from the root (cluster-derived).
+    pub ontology_path: Vec<u32>,
+    /// Associated gene ids (DisGeNET-like).
+    pub genes: BTreeSet<u32>,
+    /// Disease family (the latent archetype id).
+    pub family: usize,
+}
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BiobankConfig {
+    /// Number of drugs.
+    pub n_drugs: usize,
+    /// Number of diseases.
+    pub n_diseases: usize,
+    /// Latent dimensionality.
+    pub latent_dim: usize,
+    /// Number of archetype clusters.
+    pub n_clusters: usize,
+    /// Fraction of (drug, disease) pairs that are true associations.
+    pub association_rate: f64,
+    /// Observable-feature noise level in `[0, 1]`.
+    pub noise: f64,
+}
+
+impl Default for BiobankConfig {
+    fn default() -> Self {
+        BiobankConfig {
+            n_drugs: 200,
+            n_diseases: 150,
+            latent_dim: 8,
+            n_clusters: 6,
+            association_rate: 0.04,
+            noise: 0.15,
+        }
+    }
+}
+
+/// The generated biobank.
+#[derive(Clone, Debug)]
+pub struct Biobank {
+    /// All drugs.
+    pub drugs: Vec<Drug>,
+    /// All diseases.
+    pub diseases: Vec<Disease>,
+    /// Ground truth: `associations[d][s]`.
+    pub associations: Vec<Vec<bool>>,
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box-Muller.
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl Biobank {
+    /// Generates a biobank from `config` under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configs (zero drugs/diseases/clusters).
+    pub fn generate(config: &BiobankConfig, seed: u64) -> Self {
+        assert!(config.n_drugs > 0 && config.n_diseases > 0 && config.n_clusters > 0);
+        let mut rng = hc_common::rng::seeded_stream(seed, 101);
+
+        // Archetype centers.
+        let centers: Vec<Vec<f64>> = (0..config.n_clusters)
+            .map(|_| (0..config.latent_dim).map(|_| gauss(&mut rng)).collect())
+            .collect();
+        // Per-cluster feature profiles.
+        let fp_profiles: Vec<Vec<f64>> = (0..config.n_clusters)
+            .map(|_| (0..FINGERPRINT_BITS).map(|_| rng.gen_range(0.05..0.6)).collect())
+            .collect();
+        let n_genes = 400u32;
+        let n_effects = 250u32;
+
+        let drugs: Vec<Drug> = (0..config.n_drugs)
+            .map(|index| {
+                let class = rng.gen_range(0..config.n_clusters);
+                let latent: Vec<f64> = centers[class]
+                    .iter()
+                    .map(|c| c + 0.4 * gauss(&mut rng))
+                    .collect();
+                let fingerprint: Vec<bool> = (0..FINGERPRINT_BITS)
+                    .map(|b| {
+                        let p = fp_profiles[class][b] * (1.0 - config.noise)
+                            + config.noise * rng.gen_range(0.0..1.0);
+                        rng.gen_bool(p.clamp(0.0, 1.0))
+                    })
+                    .collect();
+                let targets: BTreeSet<u32> = (0..8)
+                    .map(|t| {
+                        if rng.gen_bool(1.0 - config.noise) {
+                            // Cluster-aligned gene block.
+                            (class as u32 * 50 + t * 6 + rng.gen_range(0..6)) % n_genes
+                        } else {
+                            rng.gen_range(0..n_genes)
+                        }
+                    })
+                    .collect();
+                let side_effects: BTreeSet<u32> = (0..10)
+                    .map(|t| {
+                        if rng.gen_bool(1.0 - config.noise) {
+                            (class as u32 * 35 + t * 3 + rng.gen_range(0..3)) % n_effects
+                        } else {
+                            rng.gen_range(0..n_effects)
+                        }
+                    })
+                    .collect();
+                Drug {
+                    index,
+                    name: format!("drug-{index:03}"),
+                    latent,
+                    fingerprint,
+                    targets,
+                    side_effects,
+                    class,
+                }
+            })
+            .collect();
+
+        let diseases: Vec<Disease> = (0..config.n_diseases)
+            .map(|index| {
+                let family = rng.gen_range(0..config.n_clusters);
+                let latent: Vec<f64> = centers[family]
+                    .iter()
+                    .map(|c| c + 0.4 * gauss(&mut rng))
+                    .collect();
+                let phenotype: Vec<f64> = latent
+                    .iter()
+                    .map(|l| l * (1.0 - config.noise) + config.noise * gauss(&mut rng))
+                    .collect();
+                let ontology_path = vec![0, 1 + family as u32, 100 + index as u32];
+                let genes: BTreeSet<u32> = (0..12)
+                    .map(|t| {
+                        if rng.gen_bool(1.0 - config.noise) {
+                            (family as u32 * 50 + t * 4 + rng.gen_range(0..4)) % 400
+                        } else {
+                            rng.gen_range(0..400)
+                        }
+                    })
+                    .collect();
+                Disease {
+                    index,
+                    name: format!("disease-{index:03}"),
+                    latent,
+                    phenotype,
+                    ontology_path,
+                    genes,
+                    family,
+                }
+            })
+            .collect();
+
+        // Associations: top `association_rate` fraction of latent scores.
+        let mut scores: Vec<f64> = Vec::with_capacity(config.n_drugs * config.n_diseases);
+        for d in &drugs {
+            for s in &diseases {
+                scores.push(dot(&d.latent, &s.latent));
+            }
+        }
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let cutoff_idx = ((scores.len() as f64) * config.association_rate) as usize;
+        let threshold = sorted[cutoff_idx.min(sorted.len() - 1)];
+
+        let associations: Vec<Vec<bool>> = (0..config.n_drugs)
+            .map(|i| {
+                (0..config.n_diseases)
+                    .map(|j| scores[i * config.n_diseases + j] >= threshold)
+                    .collect()
+            })
+            .collect();
+
+        Biobank {
+            drugs,
+            diseases,
+            associations,
+        }
+    }
+
+    /// Splits known associations into train/test: each positive pair is
+    /// held out with probability `test_fraction`. Returns
+    /// `(train_matrix, held_out_positives)`.
+    pub fn split_associations(
+        &self,
+        test_fraction: f64,
+        seed: u64,
+    ) -> (Vec<Vec<bool>>, Vec<(usize, usize)>) {
+        let mut rng = hc_common::rng::seeded_stream(seed, 202);
+        let mut train = self.associations.clone();
+        let mut held_out = Vec::new();
+        for (i, row) in self.associations.iter().enumerate() {
+            for (j, &assoc) in row.iter().enumerate() {
+                if assoc && rng.gen_bool(test_fraction) {
+                    train[i][j] = false;
+                    held_out.push((i, j));
+                }
+            }
+        }
+        (train, held_out)
+    }
+
+    /// Count of true associations.
+    pub fn association_count(&self) -> usize {
+        self.associations
+            .iter()
+            .map(|r| r.iter().filter(|&&b| b).count())
+            .sum()
+    }
+}
+
+/// Tanimoto similarity of two fingerprints.
+pub fn tanimoto(a: &[bool], b: &[bool]) -> f64 {
+    let both = a.iter().zip(b).filter(|(x, y)| **x && **y).count();
+    let either = a.iter().zip(b).filter(|(x, y)| **x || **y).count();
+    if either == 0 {
+        0.0
+    } else {
+        both as f64 / either as f64
+    }
+}
+
+/// Jaccard similarity of two id sets.
+pub fn jaccard(a: &BTreeSet<u32>, b: &BTreeSet<u32>) -> f64 {
+    let inter = a.intersection(b).count();
+    let union = a.union(b).count();
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Cosine similarity of two vectors.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+/// Ontology-path similarity: shared prefix / max depth.
+pub fn ontology_similarity(a: &[u32], b: &[u32]) -> f64 {
+    let shared = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+    let depth = a.len().max(b.len());
+    if depth == 0 {
+        0.0
+    } else {
+        shared as f64 / depth as f64
+    }
+}
+
+/// Builds the three drug-similarity matrices (chemical, target,
+/// side-effect), each `n_drugs × n_drugs` in `[0, 1]`.
+pub fn drug_similarity_sources(bank: &Biobank) -> Vec<Vec<Vec<f64>>> {
+    let n = bank.drugs.len();
+    let mut chem = vec![vec![0.0; n]; n];
+    let mut target = vec![vec![0.0; n]; n];
+    let mut side = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let c = tanimoto(&bank.drugs[i].fingerprint, &bank.drugs[j].fingerprint);
+            let t = jaccard(&bank.drugs[i].targets, &bank.drugs[j].targets);
+            let s = jaccard(&bank.drugs[i].side_effects, &bank.drugs[j].side_effects);
+            chem[i][j] = c;
+            chem[j][i] = c;
+            target[i][j] = t;
+            target[j][i] = t;
+            side[i][j] = s;
+            side[j][i] = s;
+        }
+    }
+    vec![chem, target, side]
+}
+
+/// Builds the three disease-similarity matrices (phenotype, ontology,
+/// gene), each `n_diseases × n_diseases` in `[0, 1]`.
+pub fn disease_similarity_sources(bank: &Biobank) -> Vec<Vec<Vec<f64>>> {
+    let n = bank.diseases.len();
+    let mut pheno = vec![vec![0.0; n]; n];
+    let mut onto = vec![vec![0.0; n]; n];
+    let mut gene = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let p = (cosine(&bank.diseases[i].phenotype, &bank.diseases[j].phenotype) + 1.0) / 2.0;
+            let o = ontology_similarity(
+                &bank.diseases[i].ontology_path,
+                &bank.diseases[j].ontology_path,
+            );
+            let g = jaccard(&bank.diseases[i].genes, &bank.diseases[j].genes);
+            pheno[i][j] = p;
+            pheno[j][i] = p;
+            onto[i][j] = o;
+            onto[j][i] = o;
+            gene[i][j] = g;
+            gene[j][i] = g;
+        }
+    }
+    vec![pheno, onto, gene]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Biobank {
+        Biobank::generate(
+            &BiobankConfig {
+                n_drugs: 40,
+                n_diseases: 30,
+                ..BiobankConfig::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.drugs, b.drugs);
+        assert_eq!(a.associations, b.associations);
+    }
+
+    #[test]
+    fn association_rate_respected() {
+        let bank = small();
+        let total = 40 * 30;
+        let count = bank.association_count();
+        let rate = count as f64 / total as f64;
+        assert!((0.02..=0.08).contains(&rate), "rate={rate}");
+    }
+
+    #[test]
+    fn same_class_drugs_more_similar() {
+        let bank = Biobank::generate(&BiobankConfig::default(), 11);
+        let sources = drug_similarity_sources(&bank);
+        // Average within-class vs cross-class tanimoto.
+        let mut within = (0.0, 0usize);
+        let mut cross = (0.0, 0usize);
+        for i in 0..bank.drugs.len() {
+            for j in (i + 1)..bank.drugs.len() {
+                let s = sources[0][i][j];
+                if bank.drugs[i].class == bank.drugs[j].class {
+                    within = (within.0 + s, within.1 + 1);
+                } else {
+                    cross = (cross.0 + s, cross.1 + 1);
+                }
+            }
+        }
+        let within_avg = within.0 / within.1 as f64;
+        let cross_avg = cross.0 / cross.1 as f64;
+        assert!(
+            within_avg > cross_avg + 0.02,
+            "within={within_avg} cross={cross_avg}"
+        );
+    }
+
+    #[test]
+    fn split_removes_only_positives() {
+        let bank = small();
+        let (train, held) = bank.split_associations(0.3, 1);
+        assert!(!held.is_empty());
+        for &(i, j) in &held {
+            assert!(bank.associations[i][j]);
+            assert!(!train[i][j]);
+        }
+        let train_count: usize = train.iter().map(|r| r.iter().filter(|&&b| b).count()).sum();
+        assert_eq!(train_count + held.len(), bank.association_count());
+    }
+
+    #[test]
+    fn similarity_metrics_sane() {
+        assert_eq!(tanimoto(&[true, false], &[true, false]), 1.0);
+        assert_eq!(tanimoto(&[true, false], &[false, true]), 0.0);
+        assert_eq!(tanimoto(&[false, false], &[false, false]), 0.0);
+        let a: BTreeSet<u32> = [1, 2, 3].into();
+        let b: BTreeSet<u32> = [2, 3, 4].into();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert!((cosine(&[1.0, 1.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(ontology_similarity(&[0, 1, 5], &[0, 1, 9]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn similarity_matrices_symmetric_unit_diagonal() {
+        let bank = small();
+        for m in drug_similarity_sources(&bank) {
+            for i in 0..m.len() {
+                assert!((m[i][i] - 1.0).abs() < 1e-9, "diag {}", m[i][i]);
+                for j in 0..m.len() {
+                    assert_eq!(m[i][j], m[j][i]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! A PubMed-like synthetic corpus with extractable planted facts.
+//!
+//! §I: "There are millions of scientific articles available in PubMed, and
+//! natural language processing techniques which can automatically extract
+//! important information from these papers are being used." This module
+//! generates abstracts containing treatment assertions in a few surface
+//! forms (plus distractor sentences), and a pattern-based extractor whose
+//! precision/recall against the plant is measurable — the platform's
+//! "standard tests which we run to test the accuracy of the services".
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A planted fact: drug treats disease.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TreatmentFact {
+    /// Drug index.
+    pub drug: usize,
+    /// Disease index.
+    pub disease: usize,
+}
+
+/// A synthetic abstract.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Article {
+    /// Article id.
+    pub id: usize,
+    /// Title.
+    pub title: String,
+    /// Abstract body.
+    pub body: String,
+    /// Facts actually asserted by the body (ground truth).
+    pub facts: Vec<TreatmentFact>,
+}
+
+/// The corpus.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// All articles.
+    pub articles: Vec<Article>,
+}
+
+fn drug_name(d: usize) -> String {
+    format!("drug-{d:03}")
+}
+
+fn disease_name(s: usize) -> String {
+    format!("disease-{s:03}")
+}
+
+impl Corpus {
+    /// Generates `n_articles` abstracts over the given entity universe.
+    pub fn generate(n_articles: usize, n_drugs: usize, n_diseases: usize, seed: u64) -> Self {
+        let mut rng = hc_common::rng::seeded_stream(seed, 404);
+        let articles = (0..n_articles)
+            .map(|id| {
+                let drug = rng.gen_range(0..n_drugs);
+                let disease = rng.gen_range(0..n_diseases);
+                let mut facts = vec![TreatmentFact { drug, disease }];
+                let surface = rng.gen_range(0..4);
+                let mut body = match surface {
+                    0 => format!(
+                        "In a randomized trial, {} was effective in treating {}.",
+                        drug_name(drug),
+                        disease_name(disease)
+                    ),
+                    1 => format!(
+                        "{} significantly improved outcomes in patients with {}.",
+                        drug_name(drug),
+                        disease_name(disease)
+                    ),
+                    2 => format!(
+                        "We report that {} reduces the severity of {}.",
+                        drug_name(drug),
+                        disease_name(disease)
+                    ),
+                    // A phrasing outside the extractor's pattern set —
+                    // a real fact it will miss (bounds recall).
+                    _ => format!(
+                        "{} markedly ameliorated the course of {}.",
+                        drug_name(drug),
+                        disease_name(disease)
+                    ),
+                };
+                // A negation trap: contains a positive pattern but the
+                // finding failed — naive extraction yields a false
+                // positive (bounds precision).
+                if rng.gen_bool(0.12) {
+                    let d5 = rng.gen_range(0..n_drugs);
+                    let s5 = rng.gen_range(0..n_diseases);
+                    body.push_str(&format!(
+                        " An early report that {} reduces the severity of {} was later retracted.",
+                        drug_name(d5),
+                        disease_name(s5)
+                    ));
+                }
+                // Distractors: mentions that are NOT treatment assertions.
+                if rng.gen_bool(0.5) {
+                    let d2 = rng.gen_range(0..n_drugs);
+                    let s2 = rng.gen_range(0..n_diseases);
+                    body.push_str(&format!(
+                        " However, {} showed no benefit for {}.",
+                        drug_name(d2),
+                        disease_name(s2)
+                    ));
+                }
+                if rng.gen_bool(0.3) {
+                    let d3 = rng.gen_range(0..n_drugs);
+                    let s3 = rng.gen_range(0..n_diseases);
+                    body.push_str(&format!(
+                        " Prior work studied {} and {} independently.",
+                        drug_name(d3),
+                        disease_name(s3)
+                    ));
+                }
+                // Occasionally a second true assertion.
+                if rng.gen_bool(0.2) {
+                    let d4 = rng.gen_range(0..n_drugs);
+                    let s4 = rng.gen_range(0..n_diseases);
+                    body.push_str(&format!(
+                        " Additionally, {} was effective in treating {}.",
+                        drug_name(d4),
+                        disease_name(s4)
+                    ));
+                    facts.push(TreatmentFact {
+                        drug: d4,
+                        disease: s4,
+                    });
+                }
+                Article {
+                    id,
+                    title: format!(
+                        "{} in the management of {}",
+                        drug_name(drug),
+                        disease_name(disease)
+                    ),
+                    body,
+                    facts,
+                }
+            })
+            .collect();
+        Corpus { articles }
+    }
+
+    /// The union of all planted facts.
+    pub fn all_facts(&self) -> Vec<TreatmentFact> {
+        let mut facts: Vec<TreatmentFact> =
+            self.articles.iter().flat_map(|a| a.facts.clone()).collect();
+        facts.sort();
+        facts.dedup();
+        facts
+    }
+}
+
+fn parse_entity(token: &str, prefix: &str) -> Option<usize> {
+    let token = token.trim_end_matches(['.', ',', ';']);
+    token.strip_prefix(prefix)?.parse().ok()
+}
+
+/// Extracts treatment facts from an abstract with sentence patterns.
+///
+/// Recognizes the positive surface forms ("effective in treating",
+/// "significantly improved outcomes in patients with", "reduces the
+/// severity of") and ignores negative/neutral mentions.
+pub fn extract_facts(body: &str) -> Vec<TreatmentFact> {
+    let mut facts = Vec::new();
+    for sentence in body.split('.') {
+        let sentence = sentence.trim();
+        let positive = sentence.contains("effective in treating")
+            || sentence.contains("significantly improved outcomes in patients with")
+            || sentence.contains("reduces the severity of");
+        if !positive || sentence.contains("no benefit") {
+            continue;
+        }
+        let tokens: Vec<&str> = sentence.split_whitespace().collect();
+        let drug = tokens.iter().find_map(|t| parse_entity(t, "drug-"));
+        let disease = tokens.iter().find_map(|t| parse_entity(t, "disease-"));
+        if let (Some(drug), Some(disease)) = (drug, disease) {
+            facts.push(TreatmentFact { drug, disease });
+        }
+    }
+    facts
+}
+
+/// Precision/recall of the extractor over a corpus.
+pub fn extraction_accuracy(corpus: &Corpus) -> (f64, f64) {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for article in &corpus.articles {
+        let extracted = extract_facts(&article.body);
+        for f in &extracted {
+            if article.facts.contains(f) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        for f in &article.facts {
+            if !extracted.contains(f) {
+                fn_ += 1;
+            }
+        }
+    }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extractor_finds_planted_fact() {
+        let facts = extract_facts("In a randomized trial, drug-007 was effective in treating disease-042.");
+        assert_eq!(
+            facts,
+            vec![TreatmentFact {
+                drug: 7,
+                disease: 42
+            }]
+        );
+    }
+
+    #[test]
+    fn extractor_ignores_negative_mentions() {
+        let facts = extract_facts("However, drug-001 showed no benefit for disease-002.");
+        assert!(facts.is_empty());
+    }
+
+    #[test]
+    fn extractor_ignores_neutral_mentions() {
+        let facts = extract_facts("Prior work studied drug-003 and disease-004 independently.");
+        assert!(facts.is_empty());
+    }
+
+    #[test]
+    fn corpus_accuracy_is_high_but_imperfect() {
+        // The "standard tests" of §III: good but measurably imperfect —
+        // unknown phrasings bound recall, negation traps bound precision.
+        let corpus = Corpus::generate(600, 50, 40, 9);
+        let (precision, recall) = extraction_accuracy(&corpus);
+        assert!((0.75..1.0).contains(&precision), "precision={precision}");
+        assert!((0.6..1.0).contains(&recall), "recall={recall}");
+    }
+
+    #[test]
+    fn negation_trap_fools_extractor() {
+        let facts = extract_facts(
+            "An early report that drug-001 reduces the severity of disease-002 was later retracted.",
+        );
+        assert_eq!(facts.len(), 1, "the naive extractor takes the bait");
+    }
+
+    #[test]
+    fn unknown_phrasing_is_missed() {
+        let facts = extract_facts("drug-001 markedly ameliorated the course of disease-002.");
+        assert!(facts.is_empty(), "recall is bounded by the pattern set");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = Corpus::generate(20, 10, 10, 1);
+        let b = Corpus::generate(20, 10, 10, 1);
+        assert_eq!(a.articles, b.articles);
+    }
+
+    #[test]
+    fn all_facts_deduplicated() {
+        let corpus = Corpus::generate(100, 5, 5, 2);
+        let facts = corpus.all_facts();
+        let mut sorted = facts.clone();
+        sorted.dedup();
+        assert_eq!(facts.len(), sorted.len());
+    }
+}

@@ -1,0 +1,398 @@
+//! Synthetic EMR cohorts with planted drug effects (the DELT substrate).
+//!
+//! Reproduces the generative structure of the paper's Figs. 10–11: each
+//! patient `i` has a personal baseline `α_i` ("different healthy patients
+//! may have different normal laboratory test values"), a time-varying
+//! confounder trend `t_ij` (aging/comorbidities), and drug exposures whose
+//! planted effects `β_d` shift the lab value while the exposure window
+//! covers the measurement. DELT must recover the planted `β` despite the
+//! confounders; the marginal-correlation baseline must be fooled by them.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hc_fhir::bundle::{Bundle, BundleKind};
+use hc_fhir::resource::{Gender, MedicationRequest, Observation, Patient, Resource};
+use hc_fhir::types::{CodeableConcept, Period, Quantity, SimDate};
+
+/// One drug exposure window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Exposure {
+    /// Drug index.
+    pub drug: usize,
+    /// Exposure period.
+    pub period: Period,
+}
+
+/// One lab measurement.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LabMeasurement {
+    /// Measurement day.
+    pub day: SimDate,
+    /// HbA1c value (%).
+    pub value: f64,
+}
+
+/// One synthetic patient.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct EmrPatient {
+    /// Patient index in the cohort.
+    pub index: usize,
+    /// The hidden baseline α_i.
+    pub baseline: f64,
+    /// The hidden aging/comorbidity drift per year.
+    pub drift_per_year: f64,
+    /// Demographics.
+    pub gender: Gender,
+    /// Birth year.
+    pub birth_year: u32,
+    /// Drug exposures.
+    pub exposures: Vec<Exposure>,
+    /// Lab measurements (time-ordered).
+    pub measurements: Vec<LabMeasurement>,
+}
+
+impl EmrPatient {
+    /// Drugs the patient was exposed to on `day`.
+    pub fn drugs_on(&self, day: SimDate) -> Vec<usize> {
+        self.exposures
+            .iter()
+            .filter(|e| e.period.contains(day))
+            .map(|e| e.drug)
+            .collect()
+    }
+}
+
+/// Cohort generator configuration.
+#[derive(Clone, Debug)]
+pub struct EmrConfig {
+    /// Number of patients.
+    pub n_patients: usize,
+    /// Number of distinct drugs in circulation.
+    pub n_drugs: usize,
+    /// Planted effects: `(drug index, effect on HbA1c while exposed)`.
+    /// Negative = lowers blood sugar (repositioning candidate).
+    pub planted_effects: Vec<(usize, f64)>,
+    /// Population baseline mean (HbA1c %).
+    pub baseline_mean: f64,
+    /// Population baseline standard deviation.
+    pub baseline_sd: f64,
+    /// Std-dev of per-patient drift per year.
+    pub drift_sd: f64,
+    /// Measurement noise std-dev.
+    pub noise_sd: f64,
+    /// Measurements per patient.
+    pub measurements_per_patient: usize,
+    /// Mean exposures per patient.
+    pub exposures_per_patient: f64,
+    /// Study horizon in days.
+    pub horizon_days: u32,
+    /// Co-prescription confounders: `(trigger, companion, probability)`
+    /// — whenever `trigger` is prescribed, `companion` is co-prescribed
+    /// over the same window with the given probability. This is the
+    /// confounder DELT must untangle (paper §V-B contribution 1).
+    pub comedications: Vec<(usize, usize, f64)>,
+}
+
+impl Default for EmrConfig {
+    fn default() -> Self {
+        EmrConfig {
+            n_patients: 2000,
+            n_drugs: 60,
+            planted_effects: vec![
+                (0, -0.9),
+                (1, -0.7),
+                (2, -0.5),
+                (3, -0.45),
+                (4, -0.4),
+                (5, 0.5),  // a drug that *raises* HbA1c
+                (6, 0.35),
+                (7, -0.3),
+            ],
+            baseline_mean: 6.1,
+            baseline_sd: 0.7,
+            drift_sd: 0.15,
+            noise_sd: 0.25,
+            measurements_per_patient: 10,
+            exposures_per_patient: 3.0,
+            horizon_days: 1460, // 4 years
+            comedications: Vec::new(),
+        }
+    }
+}
+
+/// The generated cohort.
+#[derive(Clone, Debug)]
+pub struct EmrCohort {
+    /// All patients.
+    pub patients: Vec<EmrPatient>,
+    /// The generator config (carries the planted ground truth).
+    pub config: EmrConfig,
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl EmrCohort {
+    /// Generates a cohort under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a planted effect references a drug `>= n_drugs`.
+    pub fn generate(config: EmrConfig, seed: u64) -> Self {
+        for (d, _) in &config.planted_effects {
+            assert!(*d < config.n_drugs, "planted drug {d} out of range");
+        }
+        let mut rng = hc_common::rng::seeded_stream(seed, 303);
+        let mut effect = vec![0.0f64; config.n_drugs];
+        for &(d, beta) in &config.planted_effects {
+            effect[d] = beta;
+        }
+
+        let patients = (0..config.n_patients)
+            .map(|index| {
+                let baseline = config.baseline_mean + config.baseline_sd * gauss(&mut rng);
+                let drift_per_year = config.drift_sd * gauss(&mut rng);
+                let gender = if rng.gen_bool(0.5) {
+                    Gender::Female
+                } else {
+                    Gender::Male
+                };
+                let birth_year = rng.gen_range(1935..2000);
+
+                // Exposures: Poisson-ish count, random windows.
+                let n_exp = {
+                    let lambda = config.exposures_per_patient;
+                    let mut count = 0usize;
+                    let mut acc = rng.gen_range(0.0f64..1.0).ln();
+                    while -acc < lambda {
+                        count += 1;
+                        acc += rng.gen_range(1e-12f64..1.0).ln();
+                    }
+                    count.min(10)
+                };
+                let mut exposures: Vec<Exposure> = (0..n_exp)
+                    .map(|_| {
+                        let start = rng.gen_range(0..config.horizon_days.saturating_sub(90));
+                        let len = rng.gen_range(60..360).min(config.horizon_days - start);
+                        Exposure {
+                            drug: rng.gen_range(0..config.n_drugs),
+                            period: Period::new(SimDate(start), SimDate(start + len)),
+                        }
+                    })
+                    .collect();
+                // Co-prescriptions ride along on the trigger's window.
+                let mut companions = Vec::new();
+                for e in &exposures {
+                    for &(trigger, companion, prob) in &config.comedications {
+                        if e.drug == trigger && rng.gen_bool(prob.clamp(0.0, 1.0)) {
+                            companions.push(Exposure {
+                                drug: companion,
+                                period: e.period,
+                            });
+                        }
+                    }
+                }
+                exposures.extend(companions);
+
+                // Measurements at random days, time-ordered.
+                let mut days: Vec<u32> = (0..config.measurements_per_patient)
+                    .map(|_| rng.gen_range(0..config.horizon_days))
+                    .collect();
+                days.sort_unstable();
+                days.dedup();
+                let measurements = days
+                    .into_iter()
+                    .map(|day| {
+                        let date = SimDate(day);
+                        let years = day as f64 / 365.0;
+                        let drug_term: f64 = exposures
+                            .iter()
+                            .filter(|e| e.period.contains(date))
+                            .map(|e| effect[e.drug])
+                            .sum();
+                        let value = baseline
+                            + drift_per_year * years
+                            + drug_term
+                            + config.noise_sd * gauss(&mut rng);
+                        LabMeasurement {
+                            day: date,
+                            value: value.clamp(3.5, 18.0),
+                        }
+                    })
+                    .collect();
+
+                EmrPatient {
+                    index,
+                    baseline,
+                    drift_per_year,
+                    gender,
+                    birth_year,
+                    exposures,
+                    measurements,
+                }
+            })
+            .collect();
+
+        EmrCohort { patients, config }
+    }
+
+    /// The planted effect of each drug (0 for inert drugs).
+    pub fn true_effects(&self) -> Vec<f64> {
+        let mut effect = vec![0.0f64; self.config.n_drugs];
+        for &(d, beta) in &self.config.planted_effects {
+            effect[d] = beta;
+        }
+        effect
+    }
+
+    /// Drugs planted to *lower* HbA1c (the repositioning targets of E9),
+    /// sorted by effect strength.
+    pub fn lowering_drugs(&self) -> Vec<usize> {
+        let mut v: Vec<(usize, f64)> = self
+            .config
+            .planted_effects
+            .iter()
+            .copied()
+            .filter(|(_, b)| *b < 0.0)
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        v.into_iter().map(|(d, _)| d).collect()
+    }
+
+    /// Renders one patient as a FHIR transaction bundle, so the cohort can
+    /// flow through the real ingestion pipeline.
+    pub fn patient_bundle(&self, index: usize) -> Bundle {
+        let p = &self.patients[index];
+        let pid = format!("emr-p{index}");
+        let mut entries = vec![Resource::Patient(
+            Patient::builder(&pid)
+                .gender(p.gender)
+                .birth_year(p.birth_year)
+                .name("Synth", &format!("Patient{index}"))
+                .build(),
+        )];
+        for (k, m) in p.measurements.iter().enumerate() {
+            entries.push(Resource::Observation(Observation {
+                id: format!("{pid}-obs{k}"),
+                subject: pid.clone(),
+                code: CodeableConcept::hba1c(),
+                value: Quantity::new((m.value * 100.0).round() / 100.0, "%"),
+                effective: m.day,
+            }));
+        }
+        for (k, e) in p.exposures.iter().enumerate() {
+            entries.push(Resource::MedicationRequest(MedicationRequest {
+                id: format!("{pid}-rx{k}"),
+                subject: pid.clone(),
+                medication: CodeableConcept::new("synthetic-rx", format!("D{}", e.drug), format!("drug-{}", e.drug)),
+                period: e.period,
+            }));
+        }
+        Bundle::new(BundleKind::Transaction, entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_fhir::validation::Validator;
+
+    fn small() -> EmrCohort {
+        EmrCohort::generate(
+            EmrConfig {
+                n_patients: 100,
+                ..EmrConfig::default()
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        assert_eq!(small().patients, small().patients);
+    }
+
+    #[test]
+    fn exposed_measurements_shift_by_planted_effect() {
+        let cohort = EmrCohort::generate(
+            EmrConfig {
+                n_patients: 800,
+                n_drugs: 10,
+                planted_effects: vec![(0, -1.5)],
+                drift_sd: 0.0,
+                noise_sd: 0.05,
+                ..EmrConfig::default()
+            },
+            6,
+        );
+        let mut exposed = (0.0, 0usize);
+        let mut unexposed = (0.0, 0usize);
+        for p in &cohort.patients {
+            for m in &p.measurements {
+                let on_drug = p.drugs_on(m.day).contains(&0);
+                let centered = m.value - p.baseline;
+                if on_drug {
+                    exposed = (exposed.0 + centered, exposed.1 + 1);
+                } else {
+                    unexposed = (unexposed.0 + centered, unexposed.1 + 1);
+                }
+            }
+        }
+        assert!(exposed.1 > 20, "enough exposed samples");
+        let diff = exposed.0 / exposed.1 as f64 - unexposed.0 / unexposed.1 as f64;
+        assert!((diff + 1.5).abs() < 0.3, "observed effect {diff}");
+    }
+
+    #[test]
+    fn lowering_drugs_sorted_by_strength() {
+        let cohort = small();
+        let lows = cohort.lowering_drugs();
+        assert_eq!(lows[0], 0, "strongest first");
+        assert!(lows.contains(&7));
+        assert!(!lows.contains(&5), "raiser excluded");
+    }
+
+    #[test]
+    fn true_effects_vector() {
+        let cohort = small();
+        let effects = cohort.true_effects();
+        assert_eq!(effects.len(), 60);
+        assert_eq!(effects[0], -0.9);
+        assert_eq!(effects[30], 0.0);
+    }
+
+    #[test]
+    fn bundles_pass_validation() {
+        let cohort = small();
+        let v = Validator::strict();
+        for i in 0..5 {
+            let bundle = cohort.patient_bundle(i);
+            let report = v.validate_bundle(&bundle);
+            assert!(report.is_valid(), "patient {i}: {:?}", report.issues);
+        }
+    }
+
+    #[test]
+    fn measurements_time_ordered() {
+        for p in &small().patients {
+            assert!(p.measurements.windows(2).all(|w| w[0].day < w[1].day));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_planted_drug_panics() {
+        let _ = EmrCohort::generate(
+            EmrConfig {
+                n_drugs: 3,
+                planted_effects: vec![(5, -1.0)],
+                ..EmrConfig::default()
+            },
+            1,
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic knowledge bases and cohorts with planted ground truth.
+//!
+//! The paper's platform draws on external databases — DisGeNET (gene ↔
+//! disease), PubChem (chemical structure), DrugBank (drug targets), SIDER
+//! (side effects) — plus PubMed text and proprietary EMR databases
+//! (Explorys, Truven MarketScan). None of those are redistributable, so
+//! this crate generates *synthetic equivalents with planted latent
+//! structure*: the generators first draw hidden drug/disease factors, then
+//! derive observable features (fingerprints, targets, side effects,
+//! phenotypes, gene sets) and ground-truth labels from them. An analytics
+//! method is then evaluated on how well it recovers the plant — the
+//! standard methodology when licensed clinical data is unavailable, and
+//! one that preserves the *shape* of the paper's comparisons (DESIGN.md).
+//!
+//! * [`biobank`] — drugs, diseases, similarity feature generation and the
+//!   ground-truth drug–disease association matrix (feeds JMF, E8).
+//! * [`emr`] — an EMR cohort generator with per-patient baselines, aging
+//!   drift and planted drug effects on HbA1c (feeds DELT, E9); cohorts
+//!   render to FHIR bundles so the ingestion pipeline can exercise them.
+//! * [`corpus`] — a PubMed-like abstract corpus with extractable planted
+//!   facts (exercises the platform's text-extraction claims).
+//! * [`service`] — the knowledge-base query service with remote-access
+//!   latency and a local cache, as in §III ("We cache data from these
+//!   knowledge bases locally").
+
+pub mod biobank;
+pub mod corpus;
+pub mod emr;
+pub mod service;

@@ -1,0 +1,178 @@
+//! Transactions and blocks.
+
+use hc_common::clock::SimInstant;
+use hc_common::id::TxId;
+use hc_crypto::merkle::MerkleTree;
+use hc_crypto::sha256::{self, Digest};
+use serde::{Deserialize, Serialize};
+
+/// A ledger transaction: an event record, never PHI itself.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Transaction id.
+    pub id: TxId,
+    /// The channel (sub-network) this transaction belongs to: the paper's
+    /// provenance / malware / privacy blockchain networks.
+    pub channel: String,
+    /// Event kind tag (interpreted by channel policies).
+    pub kind: String,
+    /// Serialized event payload (a handle + hash + metadata — no PHI).
+    pub payload: Vec<u8>,
+    /// The submitting party (peer or service name).
+    pub submitter: String,
+    /// Submission time.
+    pub timestamp: SimInstant,
+}
+
+impl Transaction {
+    /// The transaction's content hash (leaf of the block Merkle tree).
+    pub fn hash(&self) -> Digest {
+        sha256::hash_parts(&[
+            &self.id.as_u128().to_le_bytes(),
+            self.channel.as_bytes(),
+            &[0],
+            self.kind.as_bytes(),
+            &[0],
+            &self.payload,
+            self.submitter.as_bytes(),
+            &self.timestamp.as_nanos().to_le_bytes(),
+        ])
+    }
+}
+
+/// A block of the hash chain.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Block {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Hash of the previous block ([`Digest::ZERO`] for genesis).
+    pub prev_hash: Digest,
+    /// Merkle root over the transactions.
+    pub merkle_root: Digest,
+    /// Block timestamp.
+    pub timestamp: SimInstant,
+    /// The committed transactions.
+    pub transactions: Vec<Transaction>,
+    /// This block's hash.
+    pub hash: Digest,
+}
+
+impl Block {
+    /// Builds a block over `transactions`, computing roots and hashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transactions` is empty — empty blocks are not committed.
+    pub fn build(
+        height: u64,
+        prev_hash: Digest,
+        timestamp: SimInstant,
+        transactions: Vec<Transaction>,
+    ) -> Self {
+        assert!(!transactions.is_empty(), "blocks must carry transactions");
+        let leaf_hashes: Vec<Digest> = transactions
+            .iter()
+            .map(|t| hc_crypto::merkle::leaf_hash(t.hash().as_bytes()))
+            .collect();
+        let merkle_root = MerkleTree::from_leaf_hashes(leaf_hashes).root();
+        let hash = Self::compute_hash(height, &prev_hash, &merkle_root, timestamp);
+        Block {
+            height,
+            prev_hash,
+            merkle_root,
+            timestamp,
+            transactions,
+            hash,
+        }
+    }
+
+    /// The header hash function.
+    pub fn compute_hash(
+        height: u64,
+        prev_hash: &Digest,
+        merkle_root: &Digest,
+        timestamp: SimInstant,
+    ) -> Digest {
+        sha256::hash_parts(&[
+            &height.to_le_bytes(),
+            prev_hash.as_bytes(),
+            merkle_root.as_bytes(),
+            &timestamp.as_nanos().to_le_bytes(),
+        ])
+    }
+
+    /// Recomputes and checks this block's internal consistency: header
+    /// hash and Merkle root both match the contents.
+    pub fn is_internally_consistent(&self) -> bool {
+        if self.transactions.is_empty() {
+            return false;
+        }
+        let leaf_hashes: Vec<Digest> = self
+            .transactions
+            .iter()
+            .map(|t| hc_crypto::merkle::leaf_hash(t.hash().as_bytes()))
+            .collect();
+        let root = MerkleTree::from_leaf_hashes(leaf_hashes).root();
+        root == self.merkle_root
+            && Self::compute_hash(self.height, &self.prev_hash, &self.merkle_root, self.timestamp)
+                == self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(raw: u128, kind: &str) -> Transaction {
+        Transaction {
+            id: TxId::from_raw(raw),
+            channel: "provenance".into(),
+            kind: kind.into(),
+            payload: vec![1, 2, 3],
+            submitter: "ingest".into(),
+            timestamp: SimInstant::from_nanos(raw as u64),
+        }
+    }
+
+    #[test]
+    fn block_is_consistent() {
+        let b = Block::build(0, Digest::ZERO, SimInstant::ZERO, vec![tx(1, "ingested")]);
+        assert!(b.is_internally_consistent());
+    }
+
+    #[test]
+    fn tampered_tx_breaks_consistency() {
+        let mut b = Block::build(
+            0,
+            Digest::ZERO,
+            SimInstant::ZERO,
+            vec![tx(1, "ingested"), tx(2, "accessed")],
+        );
+        b.transactions[1].payload = vec![9, 9, 9];
+        assert!(!b.is_internally_consistent());
+    }
+
+    #[test]
+    fn tampered_header_breaks_consistency() {
+        let mut b = Block::build(0, Digest::ZERO, SimInstant::ZERO, vec![tx(1, "x")]);
+        b.height = 7;
+        assert!(!b.is_internally_consistent());
+    }
+
+    #[test]
+    fn tx_hash_covers_all_fields() {
+        let base = tx(1, "a");
+        let mut other = base.clone();
+        other.channel = "malware".into();
+        assert_ne!(base.hash(), other.hash());
+        let mut other = base.clone();
+        other.submitter = "evil".into();
+        assert_ne!(base.hash(), other.hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "must carry transactions")]
+    fn empty_block_panics() {
+        let _ = Block::build(0, Digest::ZERO, SimInstant::ZERO, vec![]);
+    }
+}

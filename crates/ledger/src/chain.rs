@@ -1,0 +1,316 @@
+//! The ledger: policy-validated append and full-chain verification.
+
+use std::collections::HashMap;
+
+use hc_common::clock::{SimClock, SimInstant};
+use hc_crypto::sha256::Digest;
+
+use crate::block::{Block, Transaction};
+use crate::consensus::{ConsensusError, ConsensusOutcome, PbftCluster};
+use crate::policy::ChainPolicy;
+
+/// Errors from ledger operations.
+#[derive(Debug)]
+pub enum LedgerError {
+    /// A transaction violated a channel policy.
+    PolicyViolation {
+        /// The policy that fired.
+        policy: String,
+        /// Its reason.
+        reason: String,
+    },
+    /// Consensus could not commit the block.
+    Consensus(ConsensusError),
+    /// The consensus round completed without a quorum.
+    NoQuorum,
+    /// An empty batch was submitted.
+    EmptyBatch,
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::PolicyViolation { policy, reason } => {
+                write!(f, "policy `{policy}` rejected transaction: {reason}")
+            }
+            LedgerError::Consensus(e) => write!(f, "consensus error: {e}"),
+            LedgerError::NoQuorum => f.write_str("no quorum"),
+            LedgerError::EmptyBatch => f.write_str("empty transaction batch"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<ConsensusError> for LedgerError {
+    fn from(e: ConsensusError) -> Self {
+        LedgerError::Consensus(e)
+    }
+}
+
+/// Result of a chain verification pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChainStatus {
+    /// Every link and every block checks out.
+    Valid,
+    /// Corruption found at the given height.
+    CorruptAt {
+        /// First bad block height.
+        height: u64,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+/// A consensus-committed, policy-guarded hash chain.
+pub struct Ledger {
+    blocks: Vec<Block>,
+    policies: Vec<Box<dyn ChainPolicy>>,
+    cluster: PbftCluster,
+    clock: SimClock,
+}
+
+impl std::fmt::Debug for Ledger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ledger")
+            .field("height", &self.blocks.len())
+            .field("peers", &self.cluster.peer_count())
+            .finish()
+    }
+}
+
+impl Ledger {
+    /// Creates a ledger committed by `cluster`.
+    pub fn new(cluster: PbftCluster, clock: SimClock) -> Self {
+        Ledger {
+            blocks: Vec::new(),
+            policies: Vec::new(),
+            cluster,
+            clock,
+        }
+    }
+
+    /// Installs a channel policy.
+    pub fn install_policy(&mut self, policy: Box<dyn ChainPolicy>) {
+        self.policies.push(policy);
+    }
+
+    /// Current chain height (number of blocks).
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Mutable block access — exists solely for tamper-injection tests.
+    #[doc(hidden)]
+    pub fn blocks_mut(&mut self) -> &mut Vec<Block> {
+        &mut self.blocks
+    }
+
+    /// The consensus cluster (to inject faults in tests/benches).
+    pub fn cluster_mut(&mut self) -> &mut PbftCluster {
+        &mut self.cluster
+    }
+
+    /// Validates a batch against channel policies, runs consensus, and
+    /// appends the committed block.
+    ///
+    /// # Errors
+    ///
+    /// Fails on policy violations, consensus configuration errors, or a
+    /// failed quorum; nothing is appended in those cases.
+    pub fn submit(&mut self, transactions: Vec<Transaction>) -> Result<ConsensusOutcome, LedgerError> {
+        if transactions.is_empty() {
+            return Err(LedgerError::EmptyBatch);
+        }
+        for tx in &transactions {
+            for policy in &self.policies {
+                if policy.channel() == tx.channel {
+                    policy
+                        .validate(tx)
+                        .map_err(|reason| LedgerError::PolicyViolation {
+                            policy: policy.name().to_owned(),
+                            reason,
+                        })?;
+                }
+            }
+        }
+        let outcome = self.cluster.propose()?;
+        if !outcome.committed {
+            return Err(LedgerError::NoQuorum);
+        }
+        let prev_hash = self.blocks.last().map(|b| b.hash).unwrap_or(Digest::ZERO);
+        let block = Block::build(self.height(), prev_hash, self.clock.now(), transactions);
+        self.blocks.push(block);
+        Ok(outcome)
+    }
+
+    /// Verifies the whole chain: internal block consistency plus link
+    /// hashes and height continuity.
+    pub fn verify_chain(&self) -> ChainStatus {
+        let mut prev_hash = Digest::ZERO;
+        for (i, block) in self.blocks.iter().enumerate() {
+            if block.height != i as u64 {
+                return ChainStatus::CorruptAt {
+                    height: i as u64,
+                    reason: "height discontinuity".to_owned(),
+                };
+            }
+            if block.prev_hash != prev_hash {
+                return ChainStatus::CorruptAt {
+                    height: i as u64,
+                    reason: "broken previous-hash link".to_owned(),
+                };
+            }
+            if !block.is_internally_consistent() {
+                return ChainStatus::CorruptAt {
+                    height: i as u64,
+                    reason: "block contents do not match header".to_owned(),
+                };
+            }
+            prev_hash = block.hash;
+        }
+        ChainStatus::Valid
+    }
+
+    /// All transactions on `channel`, oldest first.
+    pub fn channel_transactions(&self, channel: &str) -> Vec<&Transaction> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.transactions.iter())
+            .filter(|t| t.channel == channel)
+            .collect()
+    }
+
+    /// Transactions whose payload contains `needle` (simple audit search).
+    pub fn search_payloads(&self, needle: &[u8]) -> Vec<&Transaction> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.transactions.iter())
+            .filter(|t| t.payload.windows(needle.len().max(1)).any(|w| w == needle))
+            .collect()
+    }
+
+    /// Per-channel transaction counts.
+    pub fn channel_summary(&self) -> HashMap<String, usize> {
+        let mut summary = HashMap::new();
+        for tx in self.blocks.iter().flat_map(|b| b.transactions.iter()) {
+            *summary.entry(tx.channel.clone()).or_insert(0) += 1;
+        }
+        summary
+    }
+
+    /// Timestamp of the last committed block.
+    pub fn last_commit_time(&self) -> Option<SimInstant> {
+        self.blocks.last().map(|b| b.timestamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ProvenancePolicy;
+    use hc_common::clock::SimDuration;
+    use hc_common::id::TxId;
+
+    fn ledger() -> Ledger {
+        let clock = SimClock::new();
+        let cluster = PbftCluster::new(4, SimDuration::from_millis(1), clock.clone()).unwrap();
+        let mut ledger = Ledger::new(cluster, clock);
+        ledger.install_policy(Box::new(ProvenancePolicy));
+        ledger
+    }
+
+    fn tx(raw: u128, kind: &str, payload: &str) -> Transaction {
+        Transaction {
+            id: TxId::from_raw(raw),
+            channel: "provenance".into(),
+            kind: kind.into(),
+            payload: payload.as_bytes().to_vec(),
+            submitter: "ingest".into(),
+            timestamp: SimInstant::ZERO,
+        }
+    }
+
+    #[test]
+    fn submit_appends_blocks() {
+        let mut l = ledger();
+        l.submit(vec![tx(1, "ingested", "record=1")]).unwrap();
+        l.submit(vec![tx(2, "accessed", "record=1"), tx(3, "exported", "record=1")])
+            .unwrap();
+        assert_eq!(l.height(), 2);
+        assert_eq!(l.verify_chain(), ChainStatus::Valid);
+        assert_eq!(l.channel_transactions("provenance").len(), 3);
+    }
+
+    #[test]
+    fn policy_violation_blocks_whole_batch() {
+        let mut l = ledger();
+        let err = l
+            .submit(vec![tx(1, "ingested", "ok"), tx(2, "bogus-kind", "x")])
+            .unwrap_err();
+        assert!(matches!(err, LedgerError::PolicyViolation { .. }));
+        assert_eq!(l.height(), 0);
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let mut l = ledger();
+        assert!(matches!(l.submit(vec![]), Err(LedgerError::EmptyBatch)));
+    }
+
+    #[test]
+    fn tampering_detected_by_verify() {
+        let mut l = ledger();
+        for i in 0..5 {
+            l.submit(vec![tx(i, "ingested", "record=1")]).unwrap();
+        }
+        l.blocks_mut()[2].transactions[0].payload = b"record=999".to_vec();
+        match l.verify_chain() {
+            ChainStatus::CorruptAt { height, .. } => assert_eq!(height, 2),
+            ChainStatus::Valid => panic!("tampering must be detected"),
+        }
+    }
+
+    #[test]
+    fn relinking_attack_detected() {
+        let mut l = ledger();
+        for i in 0..3 {
+            l.submit(vec![tx(i, "ingested", "record=1")]).unwrap();
+        }
+        // Rebuild block 1 entirely (valid in isolation) — link to 2 breaks.
+        let forged = Block::build(
+            1,
+            l.blocks()[0].hash,
+            SimInstant::from_nanos(1),
+            vec![tx(99, "deleted", "record=1")],
+        );
+        l.blocks_mut()[1] = forged;
+        assert!(matches!(l.verify_chain(), ChainStatus::CorruptAt { height: 2, .. }));
+    }
+
+    #[test]
+    fn consensus_failure_prevents_append() {
+        let mut l = ledger();
+        l.cluster_mut().set_faulty(1, true);
+        l.cluster_mut().set_faulty(2, true); // > f for n=4
+        assert!(matches!(
+            l.submit(vec![tx(1, "ingested", "x")]),
+            Err(LedgerError::Consensus(_))
+        ));
+        assert_eq!(l.height(), 0);
+    }
+
+    #[test]
+    fn search_and_summary() {
+        let mut l = ledger();
+        l.submit(vec![tx(1, "ingested", "record=abc")]).unwrap();
+        l.submit(vec![tx(2, "deleted", "record=xyz")]).unwrap();
+        assert_eq!(l.search_payloads(b"abc").len(), 1);
+        assert_eq!(l.channel_summary().get("provenance"), Some(&2));
+    }
+}

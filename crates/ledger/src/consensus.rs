@@ -1,0 +1,269 @@
+//! PBFT-style consensus simulation.
+//!
+//! The permissioned network runs practical-Byzantine-fault-tolerant
+//! three-phase commit (pre-prepare → prepare → commit) among `n = 3f + 1`
+//! named peers. The simulation is *accounting-faithful*: it counts the
+//! messages each phase exchanges and charges one network round-trip of
+//! simulated latency per phase (plus view-change timeouts when the primary
+//! is faulty), which is what E4's peer-count sweep measures. Crash faults
+//! are injected per peer; safety holds as long as at most `f` peers are
+//! faulty.
+
+use hc_common::clock::{SimClock, SimDuration};
+
+/// The outcome of one consensus instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConsensusOutcome {
+    /// Whether the value committed.
+    pub committed: bool,
+    /// Total protocol messages exchanged.
+    pub messages: u64,
+    /// Simulated wall time from proposal to commit.
+    pub latency: SimDuration,
+    /// View changes performed before success (0 = primary was honest).
+    pub view_changes: u32,
+}
+
+/// Errors from cluster configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConsensusError {
+    /// Fewer than 4 peers cannot tolerate any fault (n = 3f+1, f ≥ 1).
+    TooFewPeers(usize),
+    /// More than f peers are faulty; liveness/safety is lost.
+    TooManyFaults {
+        /// Faulty peer count.
+        faulty: usize,
+        /// The tolerated maximum.
+        tolerated: usize,
+    },
+}
+
+impl std::fmt::Display for ConsensusError {
+    fn fmt(&self, f_: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsensusError::TooFewPeers(n) => write!(f_, "{n} peers is fewer than 4"),
+            ConsensusError::TooManyFaults { faulty, tolerated } => {
+                write!(f_, "{faulty} faulty peers exceeds tolerance {tolerated}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConsensusError {}
+
+/// A simulated PBFT cluster.
+#[derive(Debug)]
+pub struct PbftCluster {
+    n: usize,
+    faulty: Vec<bool>,
+    primary: usize,
+    link_latency: SimDuration,
+    view_change_timeout: SimDuration,
+    clock: SimClock,
+    total_messages: u64,
+}
+
+impl PbftCluster {
+    /// Creates a cluster of `n` peers (n ≥ 4) with the given link latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConsensusError::TooFewPeers`] for `n < 4`.
+    pub fn new(n: usize, link_latency: SimDuration, clock: SimClock) -> Result<Self, ConsensusError> {
+        if n < 4 {
+            return Err(ConsensusError::TooFewPeers(n));
+        }
+        Ok(PbftCluster {
+            n,
+            faulty: vec![false; n],
+            primary: 0,
+            link_latency,
+            view_change_timeout: link_latency.saturating_mul(10),
+            clock,
+            total_messages: 0,
+        })
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.n
+    }
+
+    /// The fault tolerance `f = ⌊(n-1)/3⌋`.
+    pub fn tolerated_faults(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// Marks a peer crashed (true) or recovered (false).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer >= n`.
+    pub fn set_faulty(&mut self, peer: usize, faulty: bool) {
+        self.faulty[peer] = faulty;
+    }
+
+    /// Current primary index.
+    pub fn primary(&self) -> usize {
+        self.primary
+    }
+
+    /// Total messages across all instances so far.
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    fn honest_count(&self) -> usize {
+        self.faulty.iter().filter(|f| !*f).count()
+    }
+
+    /// Runs one consensus instance over an opaque value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConsensusError::TooManyFaults`] when more than `f` peers
+    /// are crashed — the instance can never gather a quorum.
+    pub fn propose(&mut self) -> Result<ConsensusOutcome, ConsensusError> {
+        let f = self.tolerated_faults();
+        let faulty_count = self.n - self.honest_count();
+        if faulty_count > f {
+            return Err(ConsensusError::TooManyFaults {
+                faulty: faulty_count,
+                tolerated: f,
+            });
+        }
+
+        let quorum = 2 * f + 1;
+        let mut messages = 0u64;
+        let mut latency = SimDuration::ZERO;
+        let mut view_changes = 0u32;
+
+        // Rotate past faulty primaries, paying a view change each time.
+        while self.faulty[self.primary] {
+            view_changes += 1;
+            latency += self.view_change_timeout;
+            // View-change messages: every honest replica broadcasts.
+            messages += (self.honest_count() as u64) * (self.n as u64 - 1);
+            self.primary = (self.primary + 1) % self.n;
+        }
+
+        let honest = self.honest_count() as u64;
+        // Pre-prepare: primary → all others.
+        messages += self.n as u64 - 1;
+        latency += self.link_latency;
+        // Prepare: every honest non-primary broadcasts.
+        messages += (honest - 1) * (self.n as u64 - 1);
+        latency += self.link_latency;
+        // Commit: every honest replica broadcasts.
+        messages += honest * (self.n as u64 - 1);
+        latency += self.link_latency;
+
+        let committed = self.honest_count() >= quorum;
+        self.total_messages += messages;
+        self.clock.advance(latency);
+        Ok(ConsensusOutcome {
+            committed,
+            messages,
+            latency,
+            view_changes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> PbftCluster {
+        PbftCluster::new(n, SimDuration::from_millis(1), SimClock::new()).unwrap()
+    }
+
+    #[test]
+    fn healthy_cluster_commits() {
+        let mut c = cluster(4);
+        let out = c.propose().unwrap();
+        assert!(out.committed);
+        assert_eq!(out.view_changes, 0);
+        assert_eq!(out.latency, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn message_complexity_grows_quadratically() {
+        let m4 = cluster(4).propose().unwrap().messages;
+        let m13 = cluster(13).propose().unwrap().messages;
+        // n² scaling: 13 peers ≫ 4 peers, superlinear.
+        assert!(m13 > 9 * m4 / 2, "m4={m4} m13={m13}");
+    }
+
+    #[test]
+    fn tolerates_f_faults() {
+        let mut c = cluster(7); // f = 2
+        c.set_faulty(1, true);
+        c.set_faulty(2, true);
+        let out = c.propose().unwrap();
+        assert!(out.committed);
+    }
+
+    #[test]
+    fn too_many_faults_error() {
+        let mut c = cluster(4); // f = 1
+        c.set_faulty(1, true);
+        c.set_faulty(2, true);
+        assert_eq!(
+            c.propose().unwrap_err(),
+            ConsensusError::TooManyFaults {
+                faulty: 2,
+                tolerated: 1
+            }
+        );
+    }
+
+    #[test]
+    fn faulty_primary_triggers_view_change() {
+        let mut c = cluster(4);
+        c.set_faulty(0, true);
+        let out = c.propose().unwrap();
+        assert!(out.committed);
+        assert_eq!(out.view_changes, 1);
+        assert_eq!(c.primary(), 1);
+        assert!(out.latency > SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn consecutive_faulty_primaries() {
+        let mut c = cluster(7);
+        c.set_faulty(0, true);
+        c.set_faulty(1, true);
+        let out = c.propose().unwrap();
+        assert_eq!(out.view_changes, 2);
+        assert_eq!(c.primary(), 2);
+    }
+
+    #[test]
+    fn too_few_peers_rejected() {
+        assert_eq!(
+            PbftCluster::new(3, SimDuration::from_millis(1), SimClock::new()).unwrap_err(),
+            ConsensusError::TooFewPeers(3)
+        );
+    }
+
+    #[test]
+    fn clock_advances_and_messages_accumulate() {
+        let clock = SimClock::new();
+        let mut c = PbftCluster::new(4, SimDuration::from_millis(2), clock.clone()).unwrap();
+        let _ = c.propose().unwrap();
+        let _ = c.propose().unwrap();
+        assert_eq!(clock.now().as_millis(), 12);
+        assert!(c.total_messages() > 0);
+    }
+
+    #[test]
+    fn recovered_peer_counts_again() {
+        let mut c = cluster(4);
+        c.set_faulty(3, true);
+        let with_fault = c.propose().unwrap().messages;
+        c.set_faulty(3, false);
+        let healthy = c.propose().unwrap().messages;
+        assert!(healthy > with_fault);
+    }
+}

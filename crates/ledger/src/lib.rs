@@ -1,0 +1,33 @@
+//! A permissioned blockchain for HCLS data provenance.
+//!
+//! The paper (§IV, Fig. 6): "Blockchain enables data provenance and
+//! ensures data access and consent provenance as required by GDPR and
+//! HIPAA. Moreover blockchain supports audit capabilities … The blockchain
+//! network we are talking of is a permissioned blockchain system such as
+//! Hyperledger." PHI itself is *never* stored on-chain: "it is essential
+//! not to store the PHI data on the fully replicated de-centralized
+//! ledger" — the chain holds handles, hashes and event metadata.
+//!
+//! * [`block`] — transactions and hash-chained, Merkle-rooted blocks.
+//! * [`consensus`] — a PBFT-style three-phase consensus simulation over a
+//!   fixed peer set with crash-fault injection and view changes; it
+//!   accounts messages and simulated latency for E4.
+//! * [`chain`] — the ledger: policy-validated append, full-chain
+//!   verification, channel-scoped queries.
+//! * [`policy`] — "smart contract" validation hooks per channel (the
+//!   paper's malware / privacy / provenance networks).
+//! * [`provenance`] — the HCLS event vocabulary (ingested, accessed,
+//!   anonymized, exported, deleted, consent granted/revoked, malware
+//!   detected, privacy scored) and the high-level [`provenance::ProvenanceNetwork`].
+//! * [`identity`] — blockchain-based self-sovereign identity with
+//!   identity-mixer-style unlinkable per-context pseudonyms (§IV-B1).
+//! * [`audit`] — the Hyperledger-style auditor view, plus the
+//!   centralized-database baseline the paper contrasts against.
+
+pub mod audit;
+pub mod block;
+pub mod chain;
+pub mod consensus;
+pub mod identity;
+pub mod policy;
+pub mod provenance;

@@ -1,0 +1,266 @@
+//! The HCLS provenance event vocabulary and the provenance network.
+//!
+//! §IV-B1: "Upon each event or transaction such as data receipt, data
+//! retrieval, data anonymization and such other events, the blockchain
+//! ledger is updated with a 'handle/reference' to the encrypted data
+//! record, hash of the data, information about the event/transaction, and
+//! meta-data."
+
+use hc_common::clock::SimClock;
+use hc_common::id::{ReferenceId, TxId};
+use hc_crypto::sha256::Digest;
+use serde::{Deserialize, Serialize};
+
+use crate::block::Transaction;
+use crate::chain::{Ledger, LedgerError};
+use crate::consensus::ConsensusOutcome;
+
+/// What happened to a record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ProvenanceAction {
+    /// Data entered the platform.
+    Ingested,
+    /// Data was read by an authorized party.
+    Accessed,
+    /// Data was anonymized.
+    Anonymized,
+    /// Data left the platform (export).
+    Exported,
+    /// Data was securely deleted.
+    Deleted,
+    /// A patient granted consent.
+    ConsentGranted,
+    /// A patient revoked consent.
+    ConsentRevoked,
+    /// A model built from this data was deployed.
+    ModelDeployed,
+}
+
+impl ProvenanceAction {
+    /// The wire kind tag (must be in [`crate::policy::PROVENANCE_KINDS`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProvenanceAction::Ingested => "ingested",
+            ProvenanceAction::Accessed => "accessed",
+            ProvenanceAction::Anonymized => "anonymized",
+            ProvenanceAction::Exported => "exported",
+            ProvenanceAction::Deleted => "deleted",
+            ProvenanceAction::ConsentGranted => "consent-granted",
+            ProvenanceAction::ConsentRevoked => "consent-revoked",
+            ProvenanceAction::ModelDeployed => "model-deployed",
+        }
+    }
+}
+
+/// A provenance event: handle + hash + metadata, never PHI.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ProvenanceEvent {
+    /// The data-lake handle of the affected record.
+    pub record: ReferenceId,
+    /// Hash of the record contents at event time.
+    pub data_hash: Digest,
+    /// What happened.
+    pub action: ProvenanceAction,
+    /// Who did it (service/user name — not patient identity).
+    pub actor: String,
+    /// Free-form metadata (consent reference, export target, …).
+    pub detail: String,
+}
+
+impl ProvenanceEvent {
+    /// Serializes into a ledger transaction.
+    pub fn to_transaction(&self, id: TxId, clock: &SimClock) -> Transaction {
+        Transaction {
+            id,
+            channel: "provenance".to_owned(),
+            kind: self.action.kind().to_owned(),
+            payload: serde_json::to_vec(self).expect("event serializes"),
+            submitter: self.actor.clone(),
+            timestamp: clock.now(),
+        }
+    }
+
+    /// Parses an event back out of a transaction payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for foreign payloads.
+    pub fn from_transaction(tx: &Transaction) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(&tx.payload)
+    }
+}
+
+/// The provenance network: batches events into consensus-committed blocks.
+pub struct ProvenanceNetwork {
+    ledger: Ledger,
+    clock: SimClock,
+    pending: Vec<Transaction>,
+    batch_size: usize,
+    next_tx: u128,
+}
+
+impl std::fmt::Debug for ProvenanceNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProvenanceNetwork")
+            .field("height", &self.ledger.height())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl ProvenanceNetwork {
+    /// Wraps a ledger with batching (`batch_size` ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(ledger: Ledger, clock: SimClock, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        ProvenanceNetwork {
+            ledger,
+            clock,
+            pending: Vec::new(),
+            batch_size,
+            next_tx: 0,
+        }
+    }
+
+    /// Records an event; commits a block when the batch fills.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger/consensus errors from an automatic flush.
+    pub fn record(&mut self, event: &ProvenanceEvent) -> Result<Option<ConsensusOutcome>, LedgerError> {
+        self.next_tx += 1;
+        let tx = event.to_transaction(TxId::from_raw(self.next_tx), &self.clock);
+        self.pending.push(tx);
+        if self.pending.len() >= self.batch_size {
+            return self.flush().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Commits any pending events now.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the batch pending) on policy or consensus errors;
+    /// returns [`LedgerError::EmptyBatch`] if nothing is pending.
+    pub fn flush(&mut self) -> Result<ConsensusOutcome, LedgerError> {
+        if self.pending.is_empty() {
+            return Err(LedgerError::EmptyBatch);
+        }
+        let batch = std::mem::take(&mut self.pending);
+        match self.ledger.submit(batch) {
+            Ok(outcome) => Ok(outcome),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The committed history of one record, oldest first.
+    pub fn history(&self, record: ReferenceId) -> Vec<ProvenanceEvent> {
+        self.ledger
+            .channel_transactions("provenance")
+            .iter()
+            .filter_map(|tx| ProvenanceEvent::from_transaction(tx).ok())
+            .filter(|e| e.record == record)
+            .collect()
+    }
+
+    /// The underlying ledger (read).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The underlying ledger (mutable, for fault injection in tests).
+    pub fn ledger_mut(&mut self) -> &mut Ledger {
+        &mut self.ledger
+    }
+
+    /// Number of uncommitted events.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::PbftCluster;
+    use crate::policy::ProvenancePolicy;
+    use hc_common::clock::SimDuration;
+    use hc_crypto::sha256;
+
+    fn network(batch: usize) -> ProvenanceNetwork {
+        let clock = SimClock::new();
+        let cluster = PbftCluster::new(4, SimDuration::from_millis(1), clock.clone()).unwrap();
+        let mut ledger = Ledger::new(cluster, clock.clone());
+        ledger.install_policy(Box::new(ProvenancePolicy));
+        ProvenanceNetwork::new(ledger, clock, batch)
+    }
+
+    fn event(record: u128, action: ProvenanceAction) -> ProvenanceEvent {
+        ProvenanceEvent {
+            record: ReferenceId::from_raw(record),
+            data_hash: sha256::hash(&record.to_le_bytes()),
+            action,
+            actor: "ingest-service".into(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn batching_commits_on_fill() {
+        let mut net = network(3);
+        assert!(net.record(&event(1, ProvenanceAction::Ingested)).unwrap().is_none());
+        assert!(net.record(&event(1, ProvenanceAction::Accessed)).unwrap().is_none());
+        let outcome = net.record(&event(1, ProvenanceAction::Exported)).unwrap();
+        assert!(outcome.unwrap().committed);
+        assert_eq!(net.ledger().height(), 1);
+        assert_eq!(net.pending_count(), 0);
+    }
+
+    #[test]
+    fn history_reconstructs_lifecycle() {
+        let mut net = network(1);
+        let r = 42u128;
+        for action in [
+            ProvenanceAction::ConsentGranted,
+            ProvenanceAction::Ingested,
+            ProvenanceAction::Anonymized,
+            ProvenanceAction::Accessed,
+            ProvenanceAction::Deleted,
+        ] {
+            net.record(&event(r, action)).unwrap();
+        }
+        let history = net.history(ReferenceId::from_raw(r));
+        assert_eq!(history.len(), 5);
+        assert_eq!(history[0].action, ProvenanceAction::ConsentGranted);
+        assert_eq!(history[4].action, ProvenanceAction::Deleted);
+        assert!(net.history(ReferenceId::from_raw(777)).is_empty());
+    }
+
+    #[test]
+    fn flush_on_empty_errors() {
+        let mut net = network(10);
+        assert!(matches!(net.flush(), Err(LedgerError::EmptyBatch)));
+    }
+
+    #[test]
+    fn manual_flush_commits_partial_batch() {
+        let mut net = network(100);
+        net.record(&event(1, ProvenanceAction::Ingested)).unwrap();
+        let outcome = net.flush().unwrap();
+        assert!(outcome.committed);
+        assert_eq!(net.ledger().height(), 1);
+    }
+
+    #[test]
+    fn event_round_trips_through_transaction() {
+        let clock = SimClock::new();
+        let e = event(7, ProvenanceAction::Anonymized);
+        let tx = e.to_transaction(TxId::from_raw(1), &clock);
+        assert_eq!(tx.kind, "anonymized");
+        assert_eq!(ProvenanceEvent::from_transaction(&tx).unwrap(), e);
+    }
+}

@@ -1,0 +1,342 @@
+//! Mondrian-style multidimensional k-anonymity.
+//!
+//! Records are quasi-identifier vectors (age, ZIP, gender code) with a
+//! sensitive attribute. The greedy Mondrian algorithm recursively splits
+//! the cohort at the median of the widest (normalized) dimension while
+//! both halves keep at least `k` records; leaves become equivalence
+//! classes whose quasi-identifiers are generalized to ranges. Information
+//! loss is reported as Normalized Certainty Penalty (NCP), the standard
+//! utility metric for E7.
+
+use serde::{Deserialize, Serialize};
+
+use crate::generalize::Range;
+
+/// Number of quasi-identifier dimensions.
+pub const QI_DIMS: usize = 3;
+
+/// A record entering anonymization: quasi-identifiers + sensitive value.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct QiRecord {
+    /// Quasi-identifiers: `[age, zip, gender_code]`.
+    pub qi: [u32; QI_DIMS],
+    /// The sensitive attribute (e.g. diagnosis code).
+    pub sensitive: String,
+}
+
+impl QiRecord {
+    /// Creates a record.
+    pub fn new(age: u32, zip: u32, gender_code: u32, sensitive: &str) -> Self {
+        QiRecord {
+            qi: [age, zip, gender_code],
+            sensitive: sensitive.to_owned(),
+        }
+    }
+}
+
+/// An equivalence class of the anonymized output.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EquivalenceClass {
+    /// Generalized ranges, one per QI dimension.
+    pub ranges: [Range; QI_DIMS],
+    /// Sensitive values of the member records.
+    pub sensitive: Vec<String>,
+}
+
+impl EquivalenceClass {
+    /// Number of records in the class.
+    pub fn len(&self) -> usize {
+        self.sensitive.len()
+    }
+
+    /// Whether the class is empty (never true in valid output).
+    pub fn is_empty(&self) -> bool {
+        self.sensitive.is_empty()
+    }
+
+    /// Number of distinct sensitive values (the class's l-diversity).
+    pub fn distinct_sensitive(&self) -> usize {
+        let mut values: Vec<&str> = self.sensitive.iter().map(String::as_str).collect();
+        values.sort_unstable();
+        values.dedup();
+        values.len()
+    }
+}
+
+/// The anonymized dataset plus its quality metrics.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AnonymizedTable {
+    /// The equivalence classes.
+    pub classes: Vec<EquivalenceClass>,
+    /// The k that was requested.
+    pub requested_k: usize,
+    /// Information loss in `[0, 1]` (NCP; 0 = no generalization).
+    pub information_loss: f64,
+}
+
+impl AnonymizedTable {
+    /// The k actually achieved (smallest class size); 0 for empty output.
+    pub fn achieved_k(&self) -> usize {
+        self.classes.iter().map(EquivalenceClass::len).min().unwrap_or(0)
+    }
+
+    /// The l-diversity actually achieved (min distinct sensitive values).
+    pub fn achieved_l(&self) -> usize {
+        self.classes
+            .iter()
+            .map(EquivalenceClass::distinct_sensitive)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Average re-identification risk: mean over records of 1/|class|.
+    pub fn average_risk(&self) -> f64 {
+        let total: usize = self.classes.iter().map(EquivalenceClass::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let risk_sum: f64 = self
+            .classes
+            .iter()
+            .map(|c| c.len() as f64 * (1.0 / c.len() as f64))
+            .sum();
+        risk_sum / total as f64
+    }
+
+    /// Worst-case (maximum) re-identification risk: 1/min class size.
+    pub fn max_risk(&self) -> f64 {
+        match self.achieved_k() {
+            0 => 0.0,
+            k => 1.0 / k as f64,
+        }
+    }
+}
+
+/// Errors from anonymization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnonError {
+    /// Fewer records than `k`; no k-anonymous output exists.
+    TooFewRecords {
+        /// Records supplied.
+        have: usize,
+        /// The requested k.
+        k: usize,
+    },
+    /// k must be at least 1.
+    BadK,
+}
+
+impl std::fmt::Display for AnonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnonError::TooFewRecords { have, k } => {
+                write!(f, "{have} records cannot be {k}-anonymized")
+            }
+            AnonError::BadK => f.write_str("k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for AnonError {}
+
+fn dim_range(records: &[QiRecord], dim: usize) -> Range {
+    let lo = records.iter().map(|r| r.qi[dim]).min().expect("nonempty");
+    let hi = records.iter().map(|r| r.qi[dim]).max().expect("nonempty");
+    Range::new(lo, hi)
+}
+
+fn partition(records: Vec<QiRecord>, k: usize, domains: &[Range; QI_DIMS], out: &mut Vec<EquivalenceClass>) {
+    // Choose the dimension with the widest normalized range that admits a
+    // valid split.
+    let mut dims: Vec<usize> = (0..QI_DIMS).collect();
+    dims.sort_by(|&a, &b| {
+        let norm = |d: usize| {
+            let w = dim_range(&records, d).width() as f64;
+            let dw = domains[d].width().max(1) as f64;
+            w / dw
+        };
+        norm(b).partial_cmp(&norm(a)).expect("finite")
+    });
+
+    for &dim in &dims {
+        let mut values: Vec<u32> = records.iter().map(|r| r.qi[dim]).collect();
+        values.sort_unstable();
+        let median = values[values.len() / 2];
+        // Strict split: left < median ≤ right — guarantees progress.
+        let (left, right): (Vec<QiRecord>, Vec<QiRecord>) =
+            records.iter().cloned().partition(|r| r.qi[dim] < median);
+        if left.len() >= k && right.len() >= k {
+            partition(left, k, domains, out);
+            partition(right, k, domains, out);
+            return;
+        }
+    }
+
+    // No dimension splittable: this is a leaf equivalence class.
+    let ranges = [
+        dim_range(&records, 0),
+        dim_range(&records, 1),
+        dim_range(&records, 2),
+    ];
+    out.push(EquivalenceClass {
+        ranges,
+        sensitive: records.into_iter().map(|r| r.sensitive).collect(),
+    });
+}
+
+/// Anonymizes `records` to k-anonymity via Mondrian partitioning.
+///
+/// # Errors
+///
+/// Fails when `k == 0` or fewer than `k` records are supplied.
+pub fn mondrian(records: &[QiRecord], k: usize) -> Result<AnonymizedTable, AnonError> {
+    if k == 0 {
+        return Err(AnonError::BadK);
+    }
+    if records.len() < k {
+        return Err(AnonError::TooFewRecords {
+            have: records.len(),
+            k,
+        });
+    }
+    let domains = [
+        dim_range(records, 0),
+        dim_range(records, 1),
+        dim_range(records, 2),
+    ];
+    let mut classes = Vec::new();
+    partition(records.to_vec(), k, &domains, &mut classes);
+
+    // NCP information loss.
+    let total = records.len() as f64;
+    let mut loss = 0.0;
+    for class in &classes {
+        let mut ncp = 0.0;
+        for d in 0..QI_DIMS {
+            let dw = domains[d].width();
+            if dw > 0 {
+                ncp += class.ranges[d].width() as f64 / dw as f64;
+            }
+        }
+        loss += class.len() as f64 * (ncp / QI_DIMS as f64);
+    }
+
+    Ok(AnonymizedTable {
+        classes,
+        requested_k: k,
+        information_loss: loss / total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    fn cohort(n: usize, seed: u64) -> Vec<QiRecord> {
+        let mut rng = hc_common::rng::seeded(seed);
+        (0..n)
+            .map(|_| {
+                QiRecord::new(
+                    rng.gen_range(18..90),
+                    rng.gen_range(60000..63000),
+                    rng.gen_range(0..2),
+                    ["E11.9", "I10", "J45", "C50"][rng.gen_range(0..4)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn achieves_requested_k() {
+        let records = cohort(200, 1);
+        for k in [2, 5, 10, 25] {
+            let table = mondrian(&records, k).unwrap();
+            assert!(table.achieved_k() >= k, "k={k}");
+            let total: usize = table.classes.iter().map(|c| c.len()).sum();
+            assert_eq!(total, 200, "no records lost");
+        }
+    }
+
+    #[test]
+    fn loss_increases_with_k() {
+        let records = cohort(300, 2);
+        let l2 = mondrian(&records, 2).unwrap().information_loss;
+        let l25 = mondrian(&records, 25).unwrap().information_loss;
+        assert!(l25 > l2, "more anonymity costs more utility: {l2} vs {l25}");
+    }
+
+    #[test]
+    fn risk_decreases_with_k() {
+        let records = cohort(300, 3);
+        let r2 = mondrian(&records, 2).unwrap().max_risk();
+        let r25 = mondrian(&records, 25).unwrap().max_risk();
+        assert!(r25 < r2);
+        assert!(r25 <= 1.0 / 25.0);
+    }
+
+    #[test]
+    fn k1_is_identity_like() {
+        let records = cohort(50, 4);
+        let table = mondrian(&records, 1).unwrap();
+        assert!(table.achieved_k() >= 1);
+        // With k=1 Mondrian splits aggressively → low loss.
+        assert!(table.information_loss < 0.2);
+    }
+
+    #[test]
+    fn too_few_records_rejected() {
+        let records = cohort(3, 5);
+        assert_eq!(
+            mondrian(&records, 5).unwrap_err(),
+            AnonError::TooFewRecords { have: 3, k: 5 }
+        );
+        assert_eq!(mondrian(&records, 0).unwrap_err(), AnonError::BadK);
+    }
+
+    #[test]
+    fn identical_records_form_one_class() {
+        let records: Vec<QiRecord> = (0..10).map(|_| QiRecord::new(40, 62701, 1, "E11.9")).collect();
+        let table = mondrian(&records, 3).unwrap();
+        assert_eq!(table.classes.len(), 1);
+        assert_eq!(table.information_loss, 0.0);
+        assert_eq!(table.achieved_l(), 1);
+    }
+
+    #[test]
+    fn l_diversity_reported() {
+        let mut records = Vec::new();
+        for i in 0..10 {
+            records.push(QiRecord::new(30 + i, 62701, 0, if i % 2 == 0 { "A" } else { "B" }));
+        }
+        let table = mondrian(&records, 10).unwrap();
+        assert_eq!(table.achieved_l(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn every_class_at_least_k(n in 10usize..120, k in 2usize..8, seed in 0u64..100) {
+            let records = cohort(n, seed);
+            prop_assume!(n >= k);
+            let table = mondrian(&records, k).unwrap();
+            for class in &table.classes {
+                prop_assert!(class.len() >= k);
+            }
+        }
+
+        #[test]
+        fn records_stay_inside_their_ranges(seed in 0u64..50) {
+            let records = cohort(60, seed);
+            let table = mondrian(&records, 4).unwrap();
+            // Every original record must fit some class's ranges.
+            for r in &records {
+                let fits = table.classes.iter().any(|c| {
+                    (0..QI_DIMS).all(|d| c.ranges[d].contains(r.qi[d]))
+                });
+                prop_assert!(fits);
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! De-identification, anonymization and anonymization verification.
+//!
+//! The paper's privacy stack (§IV-C): "The enhanced client can anonymize
+//! the data it is sending to the system. Our anonymization verification
+//! service verifies the degree of anonymization of the receiving data …
+//! The degree of anonymization/privacy has two parts – one independent of
+//! other data objects and another that is determined holistically with
+//! respect to other data objects."
+//!
+//! * [`phi`] — HIPAA Safe Harbor de-identification of FHIR resources:
+//!   direct identifiers removed, quasi-identifiers generalized, and a
+//!   pseudonym map retained (separately!) for authorized re-identification.
+//! * [`generalize`] — generalization hierarchies (age bands, ZIP prefixes,
+//!   date → year).
+//! * [`kanon`] — Mondrian-style multidimensional k-anonymity with
+//!   information-loss (NCP) accounting, plus l-diversity checking.
+//! * [`verify`] — the anonymization verification service: measures the
+//!   *achieved* k, l and linkage risk of a dataset (record-independent and
+//!   holistic parts), so the platform can reject under-anonymized uploads.
+
+pub mod generalize;
+pub mod kanon;
+pub mod phi;
+pub mod verify;

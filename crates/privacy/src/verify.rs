@@ -1,0 +1,260 @@
+//! The anonymization verification service.
+//!
+//! §IV-B1: "the ingestion service may use another service, 'anonymization
+//! verification service', in order to verify how good the anonymization on
+//! the incoming record is. If the anonymization verification service
+//! determines that a claimed anonymized record is not properly anonymized,
+//! then such a record is dropped." §IV-C: the degree has a part
+//! "independent of other data objects and another that is determined
+//! holistically with respect to other data objects" — here: per-record
+//! direct-identifier checks (independent) and equivalence-class / linkage
+//! analysis over the whole dataset (holistic).
+
+use std::collections::HashMap;
+
+use hc_fhir::resource::{Patient, Resource};
+
+use crate::kanon::{EquivalenceClass, QI_DIMS};
+
+/// The measured degree of anonymization of a dataset.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AnonymizationDegree {
+    /// Achieved k (smallest equivalence class).
+    pub k: usize,
+    /// Achieved l-diversity (min distinct sensitive values per class).
+    pub l: usize,
+    /// Average re-identification risk (mean 1/|class|).
+    pub average_risk: f64,
+    /// Worst-case risk (1/min class size).
+    pub max_risk: f64,
+}
+
+/// The verdict on a claimed anonymization.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AnonVerdict {
+    /// Meets or exceeds the claimed k (and l, if demanded).
+    Accepted(AnonymizationDegree),
+    /// Fails the claim; the record set must be dropped per the paper.
+    Rejected {
+        /// What was measured.
+        degree: AnonymizationDegree,
+        /// Why it fails.
+        reasons: Vec<String>,
+    },
+}
+
+impl AnonVerdict {
+    /// Whether the dataset was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, AnonVerdict::Accepted(_))
+    }
+}
+
+/// Measures the holistic degree of anonymization of equivalence classes.
+pub fn measure(classes: &[EquivalenceClass]) -> AnonymizationDegree {
+    let k = classes.iter().map(EquivalenceClass::len).min().unwrap_or(0);
+    let l = classes
+        .iter()
+        .map(EquivalenceClass::distinct_sensitive)
+        .min()
+        .unwrap_or(0);
+    let total: usize = classes.iter().map(EquivalenceClass::len).sum();
+    // Average over records of 1/|class| = (#classes)/total records.
+    let average_risk = if total == 0 {
+        1.0
+    } else {
+        classes.len() as f64 / total as f64
+    };
+    AnonymizationDegree {
+        k,
+        l,
+        average_risk,
+        max_risk: if k == 0 { 1.0 } else { 1.0 / k as f64 },
+    }
+}
+
+/// Verifies a claimed `(k, l)` against the measured degree.
+pub fn verify_claim(classes: &[EquivalenceClass], claimed_k: usize, required_l: usize) -> AnonVerdict {
+    let degree = measure(classes);
+    let mut reasons = Vec::new();
+    if degree.k < claimed_k {
+        reasons.push(format!("claimed k={claimed_k} but measured k={}", degree.k));
+    }
+    if degree.l < required_l {
+        reasons.push(format!(
+            "required l={required_l} but measured l={}",
+            degree.l
+        ));
+    }
+    if reasons.is_empty() {
+        AnonVerdict::Accepted(degree)
+    } else {
+        AnonVerdict::Rejected { degree, reasons }
+    }
+}
+
+/// Record-independent check: does a claimed-anonymous FHIR resource still
+/// carry direct identifiers?
+///
+/// Returns the list of violations (empty = clean).
+pub fn scan_resource_for_phi(resource: &Resource) -> Vec<String> {
+    let mut violations = Vec::new();
+    if let Resource::Patient(p) = resource {
+        scan_patient(p, &mut violations);
+    }
+    violations
+}
+
+fn scan_patient(p: &Patient, violations: &mut Vec<String>) {
+    if p.name.is_some() {
+        violations.push("patient name present".to_owned());
+    }
+    if !p.identifiers.is_empty() {
+        violations.push("business identifiers present".to_owned());
+    }
+    if p.phone.is_some() {
+        violations.push("phone number present".to_owned());
+    }
+    if let Some(a) = &p.address {
+        if !a.line.is_empty() {
+            violations.push("street address present".to_owned());
+        }
+        if !a.city.is_empty() {
+            violations.push("city present".to_owned());
+        }
+        if a.postal_code.chars().filter(|c| c.is_ascii_digit()).count() > 3 {
+            violations.push("ZIP code beyond 3 digits".to_owned());
+        }
+    }
+}
+
+/// A holistic linkage attack: given an external identified dataset keyed
+/// by the same quasi-identifiers, what fraction of anonymized classes pin
+/// down a *unique* external identity?
+///
+/// `external` maps a QI vector to an identity; a class is linkable when
+/// exactly one external row falls inside its ranges.
+pub fn linkage_attack(
+    classes: &[EquivalenceClass],
+    external: &HashMap<[u32; QI_DIMS], String>,
+) -> f64 {
+    if classes.is_empty() {
+        return 0.0;
+    }
+    let mut linkable = 0usize;
+    for class in classes {
+        let matches = external
+            .keys()
+            .filter(|qi| (0..QI_DIMS).all(|d| class.ranges[d].contains(qi[d])))
+            .count();
+        if matches == 1 {
+            linkable += 1;
+        }
+    }
+    linkable as f64 / classes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalize::Range;
+    use crate::kanon::{mondrian, QiRecord};
+    use hc_fhir::resource::Gender;
+
+    fn records(n: usize) -> Vec<QiRecord> {
+        let mut rng = hc_common::rng::seeded(9);
+        use rand::Rng;
+        (0..n)
+            .map(|_| {
+                QiRecord::new(
+                    rng.gen_range(20..80),
+                    rng.gen_range(10000..20000),
+                    rng.gen_range(0..2),
+                    ["A", "B", "C"][rng.gen_range(0..3)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn honest_claim_accepted() {
+        let table = mondrian(&records(100), 5).unwrap();
+        let verdict = verify_claim(&table.classes, 5, 1);
+        assert!(verdict.is_accepted());
+    }
+
+    #[test]
+    fn inflated_claim_rejected() {
+        let table = mondrian(&records(100), 2).unwrap();
+        let verdict = verify_claim(&table.classes, 50, 1);
+        assert!(!verdict.is_accepted());
+        if let AnonVerdict::Rejected { reasons, .. } = verdict {
+            assert!(reasons[0].contains("claimed k=50"));
+        }
+    }
+
+    #[test]
+    fn l_diversity_requirement_enforced() {
+        // All-same sensitive values → l = 1 < 2.
+        let classes = vec![EquivalenceClass {
+            ranges: [Range::point(1), Range::point(2), Range::point(0)],
+            sensitive: vec!["X".into(); 10],
+        }];
+        let verdict = verify_claim(&classes, 10, 2);
+        assert!(!verdict.is_accepted());
+    }
+
+    #[test]
+    fn degree_measures_risk() {
+        let table = mondrian(&records(100), 10).unwrap();
+        let degree = measure(&table.classes);
+        assert!(degree.k >= 10);
+        assert!(degree.max_risk <= 0.1);
+        assert!(degree.average_risk <= degree.max_risk);
+    }
+
+    #[test]
+    fn scan_flags_identified_patient() {
+        let p = Resource::Patient(
+            Patient::builder("p")
+                .name("Doe", "Jane")
+                .phone("555")
+                .identifier("ssn", "1")
+                .address("1 Main", "Springfield", "IL", "62701")
+                .gender(Gender::Female)
+                .build(),
+        );
+        let violations = scan_resource_for_phi(&p);
+        assert!(violations.len() >= 4, "{violations:?}");
+    }
+
+    #[test]
+    fn scan_passes_scrubbed_patient() {
+        let mut patient = Patient::builder("p")
+            .address("", "", "IL", "627**")
+            .build();
+        patient.address.as_mut().unwrap().line.clear();
+        let violations = scan_resource_for_phi(&Resource::Patient(patient));
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn linkage_attack_measures_uniqueness() {
+        // One tight class around a unique external row → fully linkable.
+        let classes = vec![EquivalenceClass {
+            ranges: [Range::new(40, 41), Range::point(62701), Range::point(1)],
+            sensitive: vec!["X".into(); 5],
+        }];
+        let mut external = HashMap::new();
+        external.insert([40, 62701, 1], "Jane Doe".to_owned());
+        assert_eq!(linkage_attack(&classes, &external), 1.0);
+        // Add a second matching row → ambiguous → not linkable.
+        external.insert([41, 62701, 1], "John Roe".to_owned());
+        assert_eq!(linkage_attack(&classes, &external), 0.0);
+    }
+
+    #[test]
+    fn empty_classes_zero_linkage() {
+        assert_eq!(linkage_attack(&[], &HashMap::new()), 0.0);
+    }
+}

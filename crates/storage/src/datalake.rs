@@ -1,0 +1,592 @@
+//! The versioned, tiered data lake.
+//!
+//! Records are addressed by an opaque [`ReferenceId`] (the de-identified
+//! handle the rest of the platform passes around); the confidential
+//! reference-id → patient mapping lives in a separate metadata map, as the
+//! paper prescribes. Every mutation is logged to the WAL first. Records
+//! carry versions ("Both the original and anonymized versions of data
+//! objects are encrypted and stored"), a tag index supports retrieval, and
+//! a hot/cold tier split models the latency difference between online
+//! storage and archival storage. Deletion is two-phase: tombstone, then
+//! purge (the caller pairs purge with KMS crypto-shredding for true
+//! secure deletion).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use hc_common::clock::{SimClock, SimDuration};
+use hc_common::id::{PatientId, ReferenceId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::wal::{WalOp, WriteAheadLog};
+
+/// Storage tier of a record version.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Tier {
+    /// Online storage: fast access.
+    Hot,
+    /// Archival storage: slow access, cheap capacity.
+    Cold,
+}
+
+/// One stored version of a record.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StoredVersion {
+    /// 1-based version number.
+    pub version: u32,
+    /// The (normally sealed/encrypted) payload bytes.
+    pub data: Vec<u8>,
+    /// Free-form metadata tags.
+    pub tags: BTreeMap<String, String>,
+    /// Which tier the bytes live on.
+    pub tier: Tier,
+}
+
+/// Errors returned by the data lake.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LakeError {
+    /// No record under this reference id (or it was purged).
+    Unknown(ReferenceId),
+    /// The record is tombstoned and cannot be read.
+    Tombstoned(ReferenceId),
+    /// The requested version does not exist.
+    NoSuchVersion {
+        /// The record.
+        reference: ReferenceId,
+        /// The missing version.
+        version: u32,
+    },
+}
+
+impl std::fmt::Display for LakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LakeError::Unknown(r) => write!(f, "unknown record {r}"),
+            LakeError::Tombstoned(r) => write!(f, "record {r} is deleted"),
+            LakeError::NoSuchVersion { reference, version } => {
+                write!(f, "record {reference} has no version {version}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LakeError {}
+
+struct RecordEntry {
+    versions: Vec<StoredVersion>,
+    tombstoned: bool,
+}
+
+/// The data lake.
+pub struct DataLake {
+    clock: SimClock,
+    wal: WriteAheadLog,
+    records: HashMap<ReferenceId, RecordEntry>,
+    tag_index: HashMap<(String, String), HashSet<ReferenceId>>,
+    identity_map: HashMap<ReferenceId, PatientId>,
+    hot_latency: SimDuration,
+    cold_latency: SimDuration,
+}
+
+impl std::fmt::Debug for DataLake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataLake")
+            .field("records", &self.records.len())
+            .field("wal_records", &self.wal.record_count())
+            .finish()
+    }
+}
+
+impl DataLake {
+    /// Creates a lake with default tier latencies (100 µs hot, 20 ms cold).
+    pub fn new(clock: SimClock) -> Self {
+        DataLake {
+            clock,
+            wal: WriteAheadLog::new(),
+            records: HashMap::new(),
+            tag_index: HashMap::new(),
+            identity_map: HashMap::new(),
+            hot_latency: SimDuration::from_micros(100),
+            cold_latency: SimDuration::from_millis(20),
+        }
+    }
+
+    /// Overrides tier access latencies.
+    #[must_use]
+    pub fn with_tier_latencies(mut self, hot: SimDuration, cold: SimDuration) -> Self {
+        self.hot_latency = hot;
+        self.cold_latency = cold;
+        self
+    }
+
+    /// Stores a new record on the hot tier, returning its reference id.
+    pub fn put<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        data: Vec<u8>,
+        tags: &[(&str, &str)],
+    ) -> ReferenceId {
+        let reference = ReferenceId::random(rng);
+        self.put_version_internal(reference, data, tags);
+        reference
+    }
+
+    /// Appends a new version to an existing record.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record is unknown or tombstoned.
+    pub fn put_version(
+        &mut self,
+        reference: ReferenceId,
+        data: Vec<u8>,
+        tags: &[(&str, &str)],
+    ) -> Result<u32, LakeError> {
+        match self.records.get(&reference) {
+            None => return Err(LakeError::Unknown(reference)),
+            Some(e) if e.tombstoned => return Err(LakeError::Tombstoned(reference)),
+            Some(_) => {}
+        }
+        Ok(self.put_version_internal(reference, data, tags))
+    }
+
+    fn put_version_internal(
+        &mut self,
+        reference: ReferenceId,
+        data: Vec<u8>,
+        tags: &[(&str, &str)],
+    ) -> u32 {
+        self.wal.append(reference.as_u128(), WalOp::Put, &data);
+        let entry = self.records.entry(reference).or_insert(RecordEntry {
+            versions: Vec::new(),
+            tombstoned: false,
+        });
+        let version = entry.versions.len() as u32 + 1;
+        let tag_map: BTreeMap<String, String> = tags
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        for (k, v) in &tag_map {
+            self.tag_index
+                .entry((k.clone(), v.clone()))
+                .or_default()
+                .insert(reference);
+        }
+        entry.versions.push(StoredVersion {
+            version,
+            data,
+            tags: tag_map,
+            tier: Tier::Hot,
+        });
+        self.clock.advance(self.hot_latency);
+        version
+    }
+
+    /// Records the confidential reference-id → patient identity mapping.
+    pub fn map_identity(&mut self, reference: ReferenceId, patient: PatientId) {
+        self.identity_map.insert(reference, patient);
+    }
+
+    /// Looks up the patient behind a reference id (re-identification; the
+    /// caller must enforce authorization and consent first).
+    pub fn identity_of(&self, reference: ReferenceId) -> Option<PatientId> {
+        self.identity_map.get(&reference).copied()
+    }
+
+    /// All reference ids mapped to `patient` (for right-to-forget sweeps).
+    pub fn references_of(&self, patient: PatientId) -> Vec<ReferenceId> {
+        let mut refs: Vec<ReferenceId> = self
+            .identity_map
+            .iter()
+            .filter(|(_, p)| **p == patient)
+            .map(|(r, _)| *r)
+            .collect();
+        refs.sort();
+        refs
+    }
+
+    /// Reads the latest version, charging tier latency.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record is unknown or tombstoned.
+    pub fn get_latest(&mut self, reference: ReferenceId) -> Result<&StoredVersion, LakeError> {
+        let entry = self
+            .records
+            .get(&reference)
+            .ok_or(LakeError::Unknown(reference))?;
+        if entry.tombstoned {
+            return Err(LakeError::Tombstoned(reference));
+        }
+        let version = entry.versions.last().expect("records have >=1 version");
+        let latency = match version.tier {
+            Tier::Hot => self.hot_latency,
+            Tier::Cold => self.cold_latency,
+        };
+        self.clock.advance(latency);
+        Ok(self
+            .records
+            .get(&reference)
+            .expect("checked above")
+            .versions
+            .last()
+            .expect("non-empty"))
+    }
+
+    /// Reads a specific version.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record or version is missing, or the record deleted.
+    pub fn get_version(
+        &mut self,
+        reference: ReferenceId,
+        version: u32,
+    ) -> Result<&StoredVersion, LakeError> {
+        let entry = self
+            .records
+            .get(&reference)
+            .ok_or(LakeError::Unknown(reference))?;
+        if entry.tombstoned {
+            return Err(LakeError::Tombstoned(reference));
+        }
+        let idx = version
+            .checked_sub(1)
+            .map(|i| i as usize)
+            .filter(|&i| i < entry.versions.len())
+            .ok_or(LakeError::NoSuchVersion { reference, version })?;
+        let latency = match entry.versions[idx].tier {
+            Tier::Hot => self.hot_latency,
+            Tier::Cold => self.cold_latency,
+        };
+        self.clock.advance(latency);
+        Ok(&self.records.get(&reference).expect("checked").versions[idx])
+    }
+
+    /// Tombstones a record: reads fail, bytes remain until [`purge`](Self::purge).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record is unknown.
+    pub fn tombstone(&mut self, reference: ReferenceId) -> Result<(), LakeError> {
+        let entry = self
+            .records
+            .get_mut(&reference)
+            .ok_or(LakeError::Unknown(reference))?;
+        entry.tombstoned = true;
+        self.wal.append(reference.as_u128(), WalOp::Delete, b"");
+        Ok(())
+    }
+
+    /// Physically removes a tombstoned record and its index entries.
+    ///
+    /// Pair with KMS shredding of the record's DEK for cryptographic
+    /// deletion across backups.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record is unknown; purging a live (non-tombstoned)
+    /// record is allowed and acts as tombstone + purge.
+    pub fn purge(&mut self, reference: ReferenceId) -> Result<(), LakeError> {
+        let entry = self
+            .records
+            .remove(&reference)
+            .ok_or(LakeError::Unknown(reference))?;
+        for v in &entry.versions {
+            for (k, val) in &v.tags {
+                if let Some(set) = self.tag_index.get_mut(&(k.clone(), val.clone())) {
+                    set.remove(&reference);
+                }
+            }
+        }
+        self.identity_map.remove(&reference);
+        self.wal.append(reference.as_u128(), WalOp::Purge, b"");
+        Ok(())
+    }
+
+    /// Demotes all versions of a record to the cold tier.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record is unknown.
+    pub fn demote(&mut self, reference: ReferenceId) -> Result<(), LakeError> {
+        let entry = self
+            .records
+            .get_mut(&reference)
+            .ok_or(LakeError::Unknown(reference))?;
+        for v in &mut entry.versions {
+            v.tier = Tier::Cold;
+        }
+        Ok(())
+    }
+
+    /// Promotes the latest version back to hot (e.g. after a cold hit).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record is unknown.
+    pub fn promote_latest(&mut self, reference: ReferenceId) -> Result<(), LakeError> {
+        let entry = self
+            .records
+            .get_mut(&reference)
+            .ok_or(LakeError::Unknown(reference))?;
+        if let Some(v) = entry.versions.last_mut() {
+            v.tier = Tier::Hot;
+        }
+        Ok(())
+    }
+
+    /// Reference ids carrying the tag `(key, value)`, sorted.
+    pub fn find_by_tag(&self, key: &str, value: &str) -> Vec<ReferenceId> {
+        let mut refs: Vec<ReferenceId> = self
+            .tag_index
+            .get(&(key.to_owned(), value.to_owned()))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        refs.sort();
+        refs
+    }
+
+    /// Number of live (non-tombstoned) records.
+    pub fn live_count(&self) -> usize {
+        self.records.values().filter(|e| !e.tombstoned).count()
+    }
+
+    /// The WAL (for recovery and fault-injection tests).
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.wal
+    }
+
+    /// Crash-recovery check: replays the WAL and verifies that every
+    /// live record's versions match the logged `Put` payloads in order
+    /// and that tombstoned/purged records are absent. Returns the list
+    /// of discrepancies (empty = consistent).
+    pub fn verify_against_wal(&self) -> Vec<String> {
+        use std::collections::HashMap as Map;
+        let (records, err) = self.wal.replay();
+        let mut problems = Vec::new();
+        if let Some(e) = err {
+            problems.push(format!("wal corruption: {e}"));
+            return problems;
+        }
+        // Rebuild expected state from the log.
+        let mut expected: Map<u128, (Vec<Vec<u8>>, bool)> = Map::new(); // (versions, tombstoned)
+        for r in records {
+            match r.op {
+                WalOp::Put => expected.entry(r.key).or_default().0.push(r.payload),
+                WalOp::Delete => {
+                    expected.entry(r.key).or_default().1 = true;
+                }
+                WalOp::Purge => {
+                    expected.remove(&r.key);
+                }
+            }
+        }
+        for (key, (versions, tombstoned)) in &expected {
+            let reference = ReferenceId::from_raw(*key);
+            match self.records.get(&reference) {
+                None => problems.push(format!("record {reference} in WAL but not in lake")),
+                Some(entry) => {
+                    if entry.tombstoned != *tombstoned {
+                        problems.push(format!("record {reference} tombstone state diverges"));
+                    }
+                    if entry.versions.len() != versions.len() {
+                        problems.push(format!(
+                            "record {reference} has {} versions, WAL has {}",
+                            entry.versions.len(),
+                            versions.len()
+                        ));
+                    } else {
+                        for (i, (stored, logged)) in
+                            entry.versions.iter().zip(versions).enumerate()
+                        {
+                            if &stored.data != logged {
+                                problems.push(format!(
+                                    "record {reference} version {} diverges from WAL",
+                                    i + 1
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for reference in self.records.keys() {
+            if !expected.contains_key(&reference.as_u128()) {
+                problems.push(format!("record {reference} in lake but not in WAL"));
+            }
+        }
+        problems
+    }
+
+    /// The shared clock handle.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lake() -> (DataLake, rand::rngs::StdRng) {
+        (DataLake::new(SimClock::new()), hc_common::rng::seeded(7))
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (mut lake, mut rng) = lake();
+        let r = lake.put(&mut rng, b"v1".to_vec(), &[("kind", "obs")]);
+        let v = lake.get_latest(r).unwrap();
+        assert_eq!(v.data, b"v1");
+        assert_eq!(v.version, 1);
+        assert_eq!(v.tier, Tier::Hot);
+    }
+
+    #[test]
+    fn versions_accumulate() {
+        let (mut lake, mut rng) = lake();
+        let r = lake.put(&mut rng, b"v1".to_vec(), &[]);
+        let v2 = lake.put_version(r, b"v2".to_vec(), &[]).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(lake.get_latest(r).unwrap().data, b"v2");
+        assert_eq!(lake.get_version(r, 1).unwrap().data, b"v1");
+    }
+
+    #[test]
+    fn missing_version_errors() {
+        let (mut lake, mut rng) = lake();
+        let r = lake.put(&mut rng, b"v1".to_vec(), &[]);
+        assert!(matches!(
+            lake.get_version(r, 5),
+            Err(LakeError::NoSuchVersion { version: 5, .. })
+        ));
+        assert!(matches!(
+            lake.get_version(r, 0),
+            Err(LakeError::NoSuchVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn tombstone_blocks_reads_purge_removes() {
+        let (mut lake, mut rng) = lake();
+        let r = lake.put(&mut rng, b"v".to_vec(), &[("k", "v")]);
+        lake.tombstone(r).unwrap();
+        assert_eq!(lake.get_latest(r), Err(LakeError::Tombstoned(r)));
+        assert_eq!(lake.live_count(), 0);
+        lake.purge(r).unwrap();
+        assert_eq!(lake.get_latest(r), Err(LakeError::Unknown(r)));
+        assert!(lake.find_by_tag("k", "v").is_empty());
+    }
+
+    #[test]
+    fn identity_mapping_and_right_to_forget_sweep() {
+        let (mut lake, mut rng) = lake();
+        let p = PatientId::from_raw(42);
+        let r1 = lake.put(&mut rng, b"a".to_vec(), &[]);
+        let r2 = lake.put(&mut rng, b"b".to_vec(), &[]);
+        let r3 = lake.put(&mut rng, b"c".to_vec(), &[]);
+        lake.map_identity(r1, p);
+        lake.map_identity(r2, p);
+        lake.map_identity(r3, PatientId::from_raw(9));
+        let refs = lake.references_of(p);
+        assert_eq!(refs.len(), 2);
+        for r in refs {
+            lake.purge(r).unwrap();
+        }
+        assert!(lake.references_of(p).is_empty());
+        assert_eq!(lake.identity_of(r3), Some(PatientId::from_raw(9)));
+    }
+
+    #[test]
+    fn tag_index_finds_records() {
+        let (mut lake, mut rng) = lake();
+        let r1 = lake.put(&mut rng, b"a".to_vec(), &[("study", "s1")]);
+        let _r2 = lake.put(&mut rng, b"b".to_vec(), &[("study", "s2")]);
+        assert_eq!(lake.find_by_tag("study", "s1"), vec![r1]);
+        assert!(lake.find_by_tag("study", "s3").is_empty());
+    }
+
+    #[test]
+    fn cold_tier_costs_more() {
+        let (mut lake, mut rng) = lake();
+        let r = lake.put(&mut rng, b"v".to_vec(), &[]);
+        let t0 = lake.clock().now();
+        let _ = lake.get_latest(r).unwrap();
+        let hot_cost = lake.clock().now().duration_since(t0);
+        lake.demote(r).unwrap();
+        let t1 = lake.clock().now();
+        let _ = lake.get_latest(r).unwrap();
+        let cold_cost = lake.clock().now().duration_since(t1);
+        assert!(cold_cost.as_nanos() > 10 * hot_cost.as_nanos());
+        lake.promote_latest(r).unwrap();
+        assert_eq!(lake.get_latest(r).unwrap().tier, Tier::Hot);
+    }
+
+    #[test]
+    fn wal_records_every_mutation() {
+        let (mut lake, mut rng) = lake();
+        let r = lake.put(&mut rng, b"v".to_vec(), &[]);
+        lake.put_version(r, b"v2".to_vec(), &[]).unwrap();
+        lake.tombstone(r).unwrap();
+        lake.purge(r).unwrap();
+        let (records, err) = lake.wal().replay();
+        assert!(err.is_none());
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[2].op, WalOp::Delete);
+        assert_eq!(records[3].op, WalOp::Purge);
+    }
+
+    #[test]
+    fn put_version_on_tombstoned_fails() {
+        let (mut lake, mut rng) = lake();
+        let r = lake.put(&mut rng, b"v".to_vec(), &[]);
+        lake.tombstone(r).unwrap();
+        assert_eq!(
+            lake.put_version(r, b"v2".to_vec(), &[]),
+            Err(LakeError::Tombstoned(r))
+        );
+    }
+}
+
+#[cfg(test)]
+mod wal_recovery_tests {
+    use super::*;
+
+    #[test]
+    fn consistent_lake_verifies_against_wal() {
+        let mut lake = DataLake::new(SimClock::new());
+        let mut rng = hc_common::rng::seeded(60);
+        let r1 = lake.put(&mut rng, b"a".to_vec(), &[]);
+        lake.put_version(r1, b"a2".to_vec(), &[]).unwrap();
+        let r2 = lake.put(&mut rng, b"b".to_vec(), &[]);
+        lake.tombstone(r2).unwrap();
+        let r3 = lake.put(&mut rng, b"c".to_vec(), &[]);
+        lake.tombstone(r3).unwrap();
+        lake.purge(r3).unwrap();
+        assert!(lake.verify_against_wal().is_empty());
+    }
+
+    #[test]
+    fn silent_state_mutation_detected() {
+        let mut lake = DataLake::new(SimClock::new());
+        let mut rng = hc_common::rng::seeded(61);
+        let r = lake.put(&mut rng, b"original".to_vec(), &[]);
+        // Bypass the WAL: mutate in-memory state directly (simulated
+        // memory corruption / bug).
+        lake.records.get_mut(&r).unwrap().versions[0].data = b"corrupt".to_vec();
+        let problems = lake.verify_against_wal();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("diverges from WAL"));
+    }
+
+    #[test]
+    fn wal_corruption_reported() {
+        let mut lake = DataLake::new(SimClock::new());
+        let mut rng = hc_common::rng::seeded(62);
+        let _ = lake.put(&mut rng, b"x".to_vec(), &[]);
+        lake.wal.as_bytes_mut()[10] ^= 0xff;
+        let problems = lake.verify_against_wal();
+        assert!(problems[0].contains("wal corruption"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Drug repositioning with Joint Matrix Factorization (paper §V-A).
+//!
+//! Generates a synthetic biobank (DrugBank/PubChem/SIDER/DisGeNET-like
+//! features with planted latent structure), holds out 25% of the known
+//! drug–disease associations, and compares JMF (multi-source, learned
+//! weights) against plain matrix factorization and the unweighted
+//! ablation. Also demonstrates group discovery and the model-lifecycle
+//! deployment gate.
+//!
+//! Run with: `cargo run --release --example drug_repositioning`
+
+use hc_analytics::jmf::JmfConfig;
+use hc_core::platform::{HealthCloudPlatform, PlatformConfig};
+use hc_core::studies::{run_ddi_study, run_repositioning_study};
+use hc_kb::biobank::{Biobank, BiobankConfig};
+
+fn main() {
+    let platform = HealthCloudPlatform::bootstrap(PlatformConfig::default());
+    let bank = Biobank::generate(
+        &BiobankConfig {
+            n_drugs: 200,
+            n_diseases: 150,
+            n_clusters: 6,
+            association_rate: 0.04,
+            ..BiobankConfig::default()
+        },
+        2024,
+    );
+    println!(
+        "biobank: {} drugs x {} diseases, {} known associations",
+        bank.drugs.len(),
+        bank.diseases.len(),
+        bank.association_count()
+    );
+
+    let report = run_repositioning_study(
+        &platform,
+        &bank,
+        &JmfConfig {
+            k: 10,
+            iters: 200,
+            ..JmfConfig::default()
+        },
+        0.25,
+        7,
+    );
+
+    println!("\nhold-out ranking quality (AUC):");
+    println!("  JMF (learned weights)   {:.3}", report.jmf_auc);
+    println!("  JMF (uniform weights)   {:.3}", report.jmf_uniform_auc);
+    println!("  plain MF (associations) {:.3}", report.mf_auc);
+
+    println!("\nlearned source importance (paper novel aspect 2):");
+    for (name, w) in ["chemical", "target", "side-effect"]
+        .iter()
+        .zip(&report.drug_weights)
+    {
+        println!("  drug/{name:<12} {w:.3}");
+    }
+    for (name, w) in ["phenotype", "ontology", "disease-gene"]
+        .iter()
+        .zip(&report.disease_weights)
+    {
+        println!("  disease/{name:<9} {w:.3}");
+    }
+
+    println!("\ngroup discovery (paper novel aspect 3):");
+    println!(
+        "  drug-group purity vs generator classes: {:.3}",
+        report.group_purity
+    );
+
+    let ddi = run_ddi_study(&bank, 0.05, 7);
+    println!("\ndrug-drug interaction prediction (Tiresias-style):");
+    println!("  multi-source pair model AUC {:.3}", ddi.model_auc);
+    println!("  chemical-only baseline AUC  {:.3}", ddi.baseline_auc);
+
+    println!("\nmodel lifecycle:");
+    println!(
+        "  deployment gate (AUC >= 0.6): {}",
+        if report.deployed { "DEPLOYED" } else { "BLOCKED" }
+    );
+    println!("  ledger after deployment anchor: {:?}", platform.verify_ledger());
+}

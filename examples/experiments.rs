@@ -1,0 +1,832 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! Run all:        `cargo run --release --example experiments`
+//! Run one:        `cargo run --release --example experiments -- e4`
+//!
+//! Each experiment prints the exact rows EXPERIMENTS.md records. The
+//! paper (ICDCS 2018) publishes no quantitative tables; these experiments
+//! quantify its quantitative *claims* — see DESIGN.md for the mapping.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hc_analytics::delt::{self, DeltConfig};
+use hc_analytics::eval::{auc_roc, aupr};
+use hc_analytics::jmf::{self, holdout_scores, JmfConfig};
+use hc_analytics::mf::{self, MfConfig};
+use hc_cache::multilevel::{CacheHierarchy, HitLevel};
+use hc_cache::policy::{CachePolicy, LfuCache, LruCache, TtlCache};
+use hc_client::offload;
+use hc_client::sdk::RemoteStore;
+use hc_client::services::{Capability, ServiceRegistry, SimulatedService};
+use hc_cloudsim::gateway::IntercloudGateway;
+use hc_cloudsim::net::Location;
+use hc_common::clock::{SimClock, SimDuration};
+use hc_common::id::PatientId;
+use hc_core::platform::{demo_bundle, HealthCloudPlatform, PlatformConfig};
+use hc_core::studies;
+use hc_crypto::aead::{self, SecretKey};
+use hc_crypto::ots::{self, MerkleSigner};
+use hc_kb::biobank::{
+    disease_similarity_sources, drug_similarity_sources, Biobank, BiobankConfig,
+};
+use hc_kb::emr::{EmrCohort, EmrConfig};
+use hc_ledger::audit::CentralAuditDb;
+use hc_ledger::chain::Ledger;
+use hc_ledger::consensus::PbftCluster;
+use hc_ledger::policy::ProvenancePolicy;
+use hc_ledger::provenance::{ProvenanceAction, ProvenanceEvent, ProvenanceNetwork};
+use hc_privacy::kanon::{mondrian, QiRecord};
+use hc_privacy::verify::measure;
+use parking_lot::Mutex;
+use rand::Rng;
+
+fn zipf_key<R: Rng>(rng: &mut R, n: usize) -> usize {
+    loop {
+        let k = rng.gen_range(1..=n);
+        if rng.gen_bool(1.0 / k as f64) {
+            return k - 1;
+        }
+    }
+}
+
+fn header(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// E1 — multi-level cache latency: local vs remote "orders of magnitude".
+fn e1() {
+    header("E1", "cache hit latency vs remote access (Fig. 4, §I claim)");
+    let clock = SimClock::new();
+    let mut h: CacheHierarchy<usize, u64> =
+        CacheHierarchy::new(clock, SimDuration::from_millis(50));
+    h.add_level("client", Box::new(LruCache::new(256)), SimDuration::from_micros(2));
+    h.add_level("server", Box::new(LruCache::new(2048)), SimDuration::from_micros(500));
+    let n_keys = 10_000;
+    for k in 0..n_keys {
+        h.write(k, 0);
+    }
+    let mut rng = hc_common::rng::seeded(1);
+    let mut by_tier: HashMap<&str, (u64, u64)> = HashMap::new(); // (count, total_us)
+    for _ in 0..20_000 {
+        let k = zipf_key(&mut rng, n_keys);
+        let outcome = h.read(&k);
+        let tier = match outcome.hit {
+            HitLevel::Cache { index: 0 } => "client-hit",
+            HitLevel::Cache { .. } => "server-hit",
+            HitLevel::Origin => "origin",
+            HitLevel::Absent => "absent",
+        };
+        let entry = by_tier.entry(tier).or_default();
+        entry.0 += 1;
+        entry.1 += outcome.latency.as_micros();
+    }
+    println!("{:<12} {:>8} {:>14}", "tier", "reads", "avg latency µs");
+    let mut rows: Vec<_> = by_tier.iter().collect();
+    rows.sort_by_key(|(_, (_, total))| *total);
+    let mut tier_avg: HashMap<&str, f64> = HashMap::new();
+    for (tier, (count, total)) in rows {
+        let avg = *total as f64 / *count as f64;
+        tier_avg.insert(tier, avg);
+        println!("{tier:<12} {count:>8} {avg:>14.1}");
+    }
+    if let (Some(client), Some(origin)) = (tier_avg.get("client-hit"), tier_avg.get("origin")) {
+        println!("speedup client-hit vs origin: {:.0}x", origin / client);
+    }
+}
+
+/// E2 — eviction policy sweep: hit ratio vs cache size.
+fn e2() {
+    header("E2", "hit ratio vs cache size and policy (§III consistency/design)");
+    let n_keys = 2_000;
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}",
+        "size", "LRU", "LFU", "TTL(LRU)"
+    );
+    for pct in [1usize, 5, 10, 25, 50] {
+        let capacity = (n_keys * pct / 100).max(1);
+        let run = |mut cache: Box<dyn CachePolicy<usize, usize>>| -> f64 {
+            let mut rng = hc_common::rng::seeded(2);
+            for _ in 0..30_000 {
+                let k = zipf_key(&mut rng, n_keys);
+                if cache.get(&k).is_none() {
+                    cache.put(k, k);
+                }
+            }
+            cache.stats().hit_ratio()
+        };
+        let lru = run(Box::new(LruCache::new(capacity)));
+        let lfu = run(Box::new(LfuCache::new(capacity)));
+        let ttl = {
+            let mut cache = TtlCache::new(LruCache::new(capacity), 5_000);
+            let mut rng = hc_common::rng::seeded(2);
+            for _ in 0..30_000 {
+                cache.advance(1);
+                let k = zipf_key(&mut rng, n_keys);
+                if cache.get(&k).is_none() {
+                    cache.put(k, k);
+                }
+            }
+            cache.stats().hit_ratio()
+        };
+        println!("{pct:>7}%  {lru:>8.3} {lfu:>8.3} {ttl:>8.3}");
+    }
+}
+
+/// E3 — shared-key vs hash-based-signature cost (§IV-B1 claim).
+fn e3() {
+    header("E3", "shared-key AEAD vs hash-based signatures (§IV-B1 claim)");
+    let mut rng = hc_common::rng::seeded(3);
+    let key = SecretKey::generate(&mut rng);
+    println!(
+        "{:<10} {:>16} {:>16} {:>12}",
+        "payload", "aead µs/op", "lamport µs/op", "ratio"
+    );
+    for size in [1_024usize, 16_384, 262_144, 1_048_576] {
+        let payload = vec![0xAAu8; size];
+        let reps: usize = if size >= 262_144 { 20 } else { 100 };
+        let start = Instant::now();
+        for _ in 0..reps {
+            let sealed = aead::seal(&key, &payload, b"e3");
+            let _ = aead::open(&key, &sealed, b"e3").unwrap();
+        }
+        let aead_us = start.elapsed().as_micros() as f64 / reps as f64;
+
+        let sig_reps = 5usize;
+        let start = Instant::now();
+        let mut sig_wire = 0usize;
+        for _ in 0..sig_reps {
+            let mut signer = MerkleSigner::generate(&mut rng, 0);
+            let pk = signer.public_key();
+            let sig = signer.sign(&payload).unwrap();
+            sig_wire = sig.wire_len();
+            assert!(ots::verify_merkle(&pk, &payload, &sig));
+        }
+        let sig_us = start.elapsed().as_micros() as f64 / sig_reps as f64;
+        let aead_wire = aead::seal(&key, &payload, b"e3").wire_len() - size;
+        println!(
+            "{:>7} KB {aead_us:>16.1} {sig_us:>16.1} {:>11.1}x   wire +{aead_wire} B vs +{sig_wire} B",
+            size / 1024,
+            sig_us / aead_us
+        );
+    }
+    println!("(signature cost includes keygen — the recurring cost of one-time keys;");
+    println!(" at large payloads both are hash-bound, but the per-message wire and CPU");
+    println!(" overhead at typical 1-16 KB FHIR bundles is what limits scalability)");
+}
+
+/// E4 — blockchain provenance vs centralized DB (Fig. 6).
+fn e4() {
+    header("E4", "ledger commit cost vs peers; batching; central-DB baseline (Fig. 6)");
+    println!(
+        "{:<18} {:>10} {:>12} {:>14}",
+        "configuration", "batch", "msgs/event", "sim ms/event"
+    );
+    for peers in [4usize, 7, 10, 13] {
+        for batch in [1usize, 16, 64] {
+            let clock = SimClock::new();
+            let cluster =
+                PbftCluster::new(peers, SimDuration::from_millis(1), clock.clone()).unwrap();
+            let mut ledger = Ledger::new(cluster, clock.clone());
+            ledger.install_policy(Box::new(ProvenancePolicy));
+            let mut net = ProvenanceNetwork::new(ledger, clock.clone(), batch);
+            let events = 512usize;
+            let before = clock.now();
+            for i in 0..events {
+                net.record(&ProvenanceEvent {
+                    record: hc_common::id::ReferenceId::from_raw(i as u128),
+                    data_hash: hc_crypto::sha256::hash(&(i as u64).to_le_bytes()),
+                    action: ProvenanceAction::Ingested,
+                    actor: "e4".into(),
+                    detail: String::new(),
+                })
+                .unwrap();
+            }
+            let _ = net.flush();
+            let sim_ms = clock.now().duration_since(before).as_millis() as f64 / events as f64;
+            let msgs = net.ledger().blocks().len() as f64; // blocks committed
+            let total_msgs = {
+                // recompute messages per event from cluster counters
+                let mut c2 =
+                    PbftCluster::new(peers, SimDuration::from_millis(1), SimClock::new()).unwrap();
+                let per_commit = c2.propose().unwrap().messages as f64;
+                per_commit * msgs / events as f64
+            };
+            println!(
+                "{:>3} peers          {batch:>10} {total_msgs:>12.1} {sim_ms:>14.3}",
+                peers
+            );
+        }
+    }
+    // Central DB baseline.
+    let clock = SimClock::new();
+    let mut db = CentralAuditDb::new(clock.clone(), SimDuration::from_micros(100));
+    let before = clock.now();
+    for i in 0..512u64 {
+        db.record(ProvenanceEvent {
+            record: hc_common::id::ReferenceId::from_raw(i as u128),
+            data_hash: hc_crypto::sha256::hash(&i.to_le_bytes()),
+            action: ProvenanceAction::Ingested,
+            actor: "e4".into(),
+            detail: String::new(),
+        });
+    }
+    let sim_ms = clock.now().duration_since(before).as_millis() as f64 / 512.0;
+    println!("central DB (no consensus)  {:>10} {:>12} {sim_ms:>14.3}", "-", "0");
+    println!("(central DB is faster but undetectably rewritable — see provenance_audit example)");
+}
+
+/// E5 — attestation chain depth and tamper detection (Fig. 5).
+fn e5() {
+    header("E5", "measured boot + attestation vs stack depth; tamper detection (Fig. 5)");
+    use hc_attest::attestation::AttestationService;
+    use hc_attest::measure::{measured_boot, Component, Layer};
+    use hc_attest::tpm::Tpm;
+    let layers = [Layer::Hardware, Layer::Hypervisor, Layer::Vm, Layer::Container];
+    println!("{:<8} {:>16} {:>14}", "depth", "wall µs/attest", "trusted");
+    for depth in 1..=4usize {
+        let stack: Vec<Component> = (0..depth)
+            .map(|i| Component::new(layers[i], &format!("layer-{i}"), format!("v{i}").as_bytes()))
+            .collect();
+        let mut rng = hc_common::rng::seeded(5);
+        let mut service = AttestationService::new();
+        for c in &stack {
+            service.register_golden(c);
+        }
+        let reps = 8;
+        let start = Instant::now();
+        let mut all_trusted = true;
+        for r in 0..reps {
+            let mut tpm = Tpm::generate(&mut rng, &format!("host-{r}"));
+            service.trust_signer(tpm.public_key());
+            let quote = measured_boot(&mut tpm, &stack, b"e5").unwrap();
+            all_trusted &= service.verify_quote(&quote, &stack, b"e5").trusted;
+        }
+        let us = start.elapsed().as_micros() as f64 / reps as f64;
+        println!("{depth:<8} {us:>16.0} {all_trusted:>14}");
+    }
+    // Tamper detection rate: mutate one component per trial.
+    let stack: Vec<Component> = (0..4)
+        .map(|i| Component::new(layers[i], &format!("layer-{i}"), format!("v{i}").as_bytes()))
+        .collect();
+    let mut rng = hc_common::rng::seeded(6);
+    let mut service = AttestationService::new();
+    for c in &stack {
+        service.register_golden(c);
+    }
+    let trials = 100;
+    let mut detected = 0;
+    for t in 0..trials {
+        let mut tampered = stack.clone();
+        let victim = t % 4;
+        tampered[victim] = Component::new(
+            layers[victim],
+            &format!("layer-{victim}"),
+            format!("v{victim}-tampered-{t}").as_bytes(),
+        );
+        let mut tpm = Tpm::generate(&mut rng, &format!("t-{t}"));
+        service.trust_signer(tpm.public_key());
+        let quote = measured_boot(&mut tpm, &tampered, b"e5").unwrap();
+        if !service.verify_quote(&quote, &stack, b"e5").trusted {
+            detected += 1;
+        }
+    }
+    println!("tamper detection: {detected}/{trials} (expected 100%)");
+}
+
+/// E6 — ingestion pipeline throughput and rejection accounting (§II-B).
+fn e6() {
+    header("E6", "ingestion throughput, stage rejections, worker scaling (§II-B)");
+    let build = || {
+        HealthCloudPlatform::bootstrap(PlatformConfig {
+            ledger_batch: 32,
+            ..PlatformConfig::default()
+        })
+    };
+    // Mixed workload: valid / unconsented / malware.
+    let platform = build();
+    let n = if cfg!(debug_assertions) { 120 } else { 600 };
+    for i in 0..n {
+        let patient = PatientId::from_raw(i as u128 + 1);
+        let device = platform.register_patient_device(patient);
+        let bundle = match i % 10 {
+            8 => demo_bundle(&format!("p{i}"), false), // no consent
+            9 => {
+                let mut b = demo_bundle(&format!("p{i}"), true);
+                if let hc_fhir::resource::Resource::Patient(p) = &mut b.entries[0] {
+                    p.name = Some(hc_fhir::types::HumanName::new(
+                        String::from_utf8_lossy(hc_ingest::scanner::TEST_SIGNATURE).to_string(),
+                        "X",
+                    ));
+                }
+                b
+            }
+            _ => demo_bundle(&format!("p{i}"), true),
+        };
+        platform.upload(&device, &bundle).unwrap();
+    }
+    let start = Instant::now();
+    platform.pipeline.process_all_parallel(4);
+    let wall = start.elapsed().as_secs_f64();
+    let stats = platform.pipeline.stats();
+    println!("mixed workload ({n} uploads, 4 workers): {:.0} uploads/s wall", n as f64 / wall);
+    println!(
+        "  stored={} consent-rejected={} malware-rejected={} validation-rejected={}",
+        stats.stored, stats.rejected_consent, stats.rejected_malware, stats.rejected_validation
+    );
+
+    println!("worker scaling (valid-only workload of {n}):");
+    println!("{:<10} {:>14}", "workers", "uploads/s wall");
+    for workers in [1usize, 2, 4, 8] {
+        let platform = build();
+        for i in 0..n {
+            let device = platform.register_patient_device(PatientId::from_raw(i as u128 + 1));
+            platform
+                .upload(&device, &demo_bundle(&format!("p{i}"), true))
+                .unwrap();
+        }
+        let start = Instant::now();
+        platform.pipeline.process_all_parallel(workers);
+        let rate = n as f64 / start.elapsed().as_secs_f64();
+        println!("{workers:<10} {rate:>14.0}");
+    }
+}
+
+/// E7 — anonymization level vs utility and risk (§IV-C).
+fn e7() {
+    header("E7", "k-anonymity: information loss vs re-identification risk (§IV-C)");
+    let mut rng = hc_common::rng::seeded(7);
+    let records: Vec<QiRecord> = (0..2_000)
+        .map(|_| {
+            QiRecord::new(
+                rng.gen_range(18..95),
+                60_000 + rng.gen_range(0..5_000),
+                rng.gen_range(0..3),
+                ["E11.9", "I10", "J45.0", "C50.9", "F32.1"][rng.gen_range(0..5)],
+            )
+        })
+        .collect();
+    println!(
+        "{:<6} {:>10} {:>12} {:>10} {:>10} {:>8}",
+        "k", "classes", "info loss", "avg risk", "max risk", "l-div"
+    );
+    for k in [2usize, 5, 10, 25, 50] {
+        let table = mondrian(&records, k).unwrap();
+        let degree = measure(&table.classes);
+        println!(
+            "{k:<6} {:>10} {:>12.4} {:>10.4} {:>10.4} {:>8}",
+            table.classes.len(),
+            table.information_loss,
+            degree.average_risk,
+            degree.max_risk,
+            degree.l
+        );
+    }
+}
+
+/// E8 — JMF vs baselines on hold-out association recovery (Fig. 9).
+fn e8() {
+    header("E8", "JMF drug repositioning vs baselines (Fig. 9)");
+    let (n_drugs, n_diseases, iters) = if cfg!(debug_assertions) {
+        (60, 45, 120)
+    } else {
+        (200, 150, 200)
+    };
+    let bank = Biobank::generate(
+        &BiobankConfig {
+            n_drugs,
+            n_diseases,
+            n_clusters: 6,
+            association_rate: 0.04,
+            ..BiobankConfig::default()
+        },
+        2024,
+    );
+    let (train, held) = bank.split_associations(0.25, 7);
+    let drug_sims = drug_similarity_sources(&bank);
+    let disease_sims = disease_similarity_sources(&bank);
+    let config = JmfConfig {
+        k: 10,
+        iters,
+        ..JmfConfig::default()
+    };
+
+    println!("{:<28} {:>8} {:>8}", "method", "AUC", "AUPR");
+    let report = |name: &str, scores: Vec<(f64, bool)>| {
+        println!("{name:<28} {:>8.3} {:>8.3}", auc_roc(&scores), aupr(&scores));
+    };
+
+    let jmf_model = jmf::fit(&train, &drug_sims, &disease_sims, &config, 7);
+    report(
+        "JMF (all sources, learned)",
+        holdout_scores(&jmf_model.score_matrix(), &train, &held),
+    );
+    let uniform = jmf::fit(
+        &train,
+        &drug_sims,
+        &disease_sims,
+        &JmfConfig {
+            learn_weights: false,
+            ..config
+        },
+        7,
+    );
+    report(
+        "JMF (uniform weights)",
+        holdout_scores(&uniform.score_matrix(), &train, &held),
+    );
+    for (i, name) in ["chemical only", "target only", "side-effect only"].iter().enumerate() {
+        let single = jmf::fit(
+            &train,
+            &drug_sims[i..=i],
+            &disease_sims[0..0],
+            &config,
+            7,
+        );
+        report(
+            &format!("JMF ({name})"),
+            holdout_scores(&single.score_matrix(), &train, &held),
+        );
+    }
+    let mf_model = mf::factorize(
+        &train,
+        &MfConfig {
+            k: 10,
+            iters,
+            ..MfConfig::default()
+        },
+        7,
+    );
+    report(
+        "MF (associations only)",
+        holdout_scores(&mf_model.score_matrix(), &train, &held),
+    );
+    println!(
+        "learned drug weights (chem/target/side): {:.2}/{:.2}/{:.2}",
+        jmf_model.drug_weights[0], jmf_model.drug_weights[1], jmf_model.drug_weights[2]
+    );
+    let groups = jmf_model.drug_groups(6, 7);
+    let truth: Vec<usize> = bank.drugs.iter().map(|d| d.class).collect();
+    println!(
+        "drug group purity: {:.3} (random ≈ {:.3})",
+        hc_analytics::kmeans::purity(&groups, &truth),
+        1.0 / 6.0
+    );
+    let (ddi_model, ddi_baseline) = hc_analytics::ddi::evaluate(&bank, 0.05, 7);
+    println!("DDI link prediction: multi-source AUC {ddi_model:.3} vs chemical-only {ddi_baseline:.3}");
+}
+
+/// E9 — DELT vs baselines on planted HbA1c effects (Figs. 10–11).
+fn e9() {
+    header("E9", "DELT drug-effect detection vs baselines (Figs. 10-11)");
+    let n_patients = if cfg!(debug_assertions) { 400 } else { 2_000 };
+    // Inert drugs 10 and 11 are co-prescribed with the strongest
+    // lowering drugs — the co-medication confounder of §V-B.
+    let cohort = EmrCohort::generate(
+        EmrConfig {
+            n_patients,
+            comedications: vec![(0, 10, 0.9), (1, 11, 0.85)],
+            ..EmrConfig::default()
+        },
+        2024,
+    );
+    let truth = cohort.true_effects();
+    let lowering = cohort.lowering_drugs();
+    let k = lowering.len();
+    let rmse = |est: &[f64]| -> f64 {
+        let sq: f64 = est.iter().zip(&truth).map(|(e, t)| (e - t) * (e - t)).sum();
+        (sq / truth.len() as f64).sqrt()
+    };
+    println!("{:<34} {:>10} {:>8}", "method", "β RMSE", "P@k");
+    let run = |name: &str, config: &DeltConfig| {
+        let model = delt::fit(&cohort, config);
+        println!(
+            "{name:<34} {:>10.3} {:>8.2}",
+            model.beta_rmse(&truth),
+            delt::lowering_precision_at_k(&model.lowering_candidates(), &lowering, k)
+        );
+    };
+    run("DELT (baseline α + time t)", &DeltConfig::default());
+    run(
+        "DELT w/o time term (ablation)",
+        &DeltConfig {
+            time_term: false,
+            ..DeltConfig::default()
+        },
+    );
+    run(
+        "SCCS w/o patient baseline",
+        &DeltConfig {
+            patient_baseline: false,
+            time_term: false,
+            ..DeltConfig::default()
+        },
+    );
+    let marginal = delt::marginal_effects(&cohort);
+    let mut ranking: Vec<usize> = (0..marginal.len()).collect();
+    ranking.sort_by(|&a, &b| marginal[a].partial_cmp(&marginal[b]).unwrap());
+    println!(
+        "{:<34} {:>10.3} {:>8.2}",
+        "marginal correlation",
+        rmse(&marginal),
+        delt::lowering_precision_at_k(&ranking, &lowering, k)
+    );
+}
+
+/// E10 — client-side vs server-side processing (§I, §III).
+fn e10() {
+    header("E10", "enhanced-client offload: anonymize at client vs server (§I, §III)");
+    let bundle = demo_bundle("p1", true);
+    println!(
+        "{:<26} {:>10} {:>12} {:>10} {:>14}",
+        "plan", "trips", "latency ms", "bytes", "PHI in flight"
+    );
+    for (device, compute_ms) in [("phone (fast)", 3u64), ("wearable (slow)", 400)] {
+        let client = offload::client_side_plan(
+            &bundle,
+            SimDuration::from_millis(compute_ms),
+            SimDuration::from_millis(50),
+        );
+        println!(
+            "client @ {device:<16} {:>10} {:>12} {:>10} {:>14}",
+            client.round_trips,
+            client.latency.as_millis(),
+            client.bytes_sent,
+            client.phi_left_device
+        );
+    }
+    let server = offload::server_side_plan(
+        &bundle,
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(50),
+    );
+    println!(
+        "{:<26} {:>10} {:>12} {:>10} {:>14}",
+        "server-side",
+        server.round_trips,
+        server.latency.as_millis(),
+        server.bytes_sent,
+        server.phi_left_device
+    );
+
+    // Disconnected operation.
+    let clock = SimClock::new();
+    let remote: RemoteStore = Arc::new(Mutex::new(HashMap::new()));
+    let mut rng = hc_common::rng::seeded(10);
+    let mut client = hc_client::sdk::EnhancedClient::new(
+        clock,
+        remote,
+        SecretKey::generate(&mut rng),
+        16,
+    );
+    client.go_offline();
+    for i in 0..5 {
+        client.put(&format!("k{i}"), vec![i]);
+    }
+    let replayed = client.go_online();
+    println!("offline queue: 5 writes while disconnected, {replayed} replayed on reconnect");
+}
+
+/// E11 — external service selection (§III).
+fn e11() {
+    header("E11", "external AI service tracking and selection (§III)");
+    let clock = SimClock::new();
+    let mut registry = ServiceRegistry::new(clock.clone());
+    let profiles = [
+        ("provider-a", 40u64, 0.99),
+        ("provider-b", 150, 0.999),
+        ("provider-c", 25, 0.55),
+        ("provider-d", 60, 0.95),
+        ("provider-e", 90, 0.98),
+    ];
+    for (name, ms, avail) in profiles {
+        registry.register(SimulatedService {
+            name: name.into(),
+            capability: Capability::TextExtraction,
+            mean_latency: SimDuration::from_millis(ms),
+            jitter: 0.2,
+            availability: avail,
+            accuracy: 0.9,
+        });
+    }
+    let mut rng = hc_common::rng::seeded(11);
+    // Exploration phase.
+    for _ in 0..60 {
+        for (name, _, _) in profiles {
+            let _ = registry.invoke(name, &mut rng);
+        }
+    }
+    // Exploitation: selector vs static choices.
+    let calls = 500;
+    let mut policies: Vec<(&str, f64, u64)> = Vec::new(); // (policy, total_ms, failures)
+    for policy in ["selector", "static-first", "static-cheapest-mean"] {
+        let mut total = 0.0f64;
+        let mut failures = 0u64;
+        for _ in 0..calls {
+            let name = match policy {
+                "selector" => registry
+                    .select_best(Capability::TextExtraction, 0.0)
+                    .unwrap()
+                    .to_owned(),
+                "static-first" => "provider-a".to_owned(),
+                _ => "provider-c".to_owned(), // lowest mean latency, poor availability
+            };
+            match registry.invoke(&name, &mut rng) {
+                Ok(r) => total += r.latency.as_nanos() as f64 / 1e6,
+                Err(_) => {
+                    failures += 1;
+                    total += 1_000.0; // timeout penalty
+                }
+            }
+        }
+        policies.push((policy, total / calls as f64, failures));
+    }
+    println!("{:<24} {:>16} {:>10}", "policy", "mean ms/call", "failures");
+    for (policy, mean, failures) in policies {
+        println!("{policy:<24} {mean:>16.1} {failures:>10}");
+    }
+}
+
+/// E12 — intercloud: ship compute to data vs data to compute (§II-C).
+fn e12() {
+    header("E12", "intercloud gateway: ship-compute vs ship-data (§II-C)");
+    const MB: u64 = 1_000_000;
+    let container = 200 * MB;
+    let compute = SimDuration::from_secs(5);
+    println!(
+        "{:<12} {:>16} {:>16} {:>14} {:>14}",
+        "dataset", "ship-data ms", "ship-compute ms", "bytes saved", "winner"
+    );
+    for dataset_mb in [10u64, 100, 500, 1_000, 10_000] {
+        let clock = SimClock::new();
+        let gateway = IntercloudGateway::new(clock, Location::new(0, 0), Location::new(1, 0));
+        let data_plan = gateway.ship_data(dataset_mb * MB, compute);
+        let compute_plan = gateway.ship_compute(container, compute, Ok(())).unwrap();
+        let winner = if compute_plan.makespan() < data_plan.makespan() {
+            "ship-compute"
+        } else {
+            "ship-data"
+        };
+        println!(
+            "{:>9} MB {:>16} {:>16} {:>14} {:>14}",
+            dataset_mb,
+            data_plan.makespan().as_millis(),
+            compute_plan.makespan().as_millis(),
+            (dataset_mb * MB) as i64 - container as i64,
+            winner
+        );
+    }
+    println!("(attestation adds {} ms to every ship-compute start)", 120);
+}
+
+/// End-to-end study through the actual platform (supplement to E9).
+fn e9_platform() {
+    header("E9b", "DELT over the real pipeline (ingest → export → analyze)");
+    let platform = HealthCloudPlatform::bootstrap(PlatformConfig {
+        ledger_batch: 64,
+        ..PlatformConfig::default()
+    });
+    let n = if cfg!(debug_assertions) { 80 } else { 300 };
+    let cohort = EmrCohort::generate(
+        EmrConfig {
+            n_patients: n,
+            n_drugs: 20,
+            planted_effects: vec![(0, -0.9), (1, -0.6), (2, 0.5), (3, -0.4)],
+            ..EmrConfig::default()
+        },
+        9,
+    );
+    let stored = studies::ingest_emr_cohort(&platform, &cohort);
+    let report = studies::run_delt_study(&platform, &cohort, &DeltConfig::default());
+    println!("cohort of {n}: {stored} bundles stored through the compliant pipeline");
+    println!(
+        "DELT     : RMSE={:.3} P@{}={:.2}",
+        report.delt_rmse, report.k, report.delt_precision
+    );
+    println!(
+        "marginal : RMSE={:.3} P@{}={:.2}",
+        report.marginal_rmse, report.k, report.marginal_precision
+    );
+}
+
+/// E13 — HIPAA compliance assessment and forensic analytics (Fig. 8, §IV-E).
+fn e13() {
+    header("E13", "HIPAA assessment + forensic log analytics (Fig. 8, §IV-E)");
+    use hc_compliance::hipaa::Pillar;
+    let platform = HealthCloudPlatform::bootstrap(PlatformConfig {
+        ledger_batch: 1,
+        ..PlatformConfig::default()
+    });
+    for i in 0..10u128 {
+        let device = platform.register_patient_device(PatientId::from_raw(i + 1));
+        platform
+            .upload(&device, &demo_bundle(&format!("p{i}"), true))
+            .unwrap();
+    }
+    platform.process_ingestion();
+    let report = hc_core::compliance::assess(&platform);
+    println!("healthy platform: compliant = {}", report.is_compliant());
+    for pillar in [
+        Pillar::Administrative,
+        Pillar::Physical,
+        Pillar::Technical,
+        Pillar::PoliciesAndDocumentation,
+    ] {
+        println!(
+            "  {pillar:?}: {:.0}%",
+            report.pillar_score(pillar).unwrap_or(0.0) * 100.0
+        );
+    }
+    {
+        let mut provenance = platform.provenance.lock();
+        provenance.ledger_mut().blocks_mut()[0].transactions[0].payload = b"{}".to_vec();
+    }
+    let after = hc_core::compliance::assess(&platform);
+    println!(
+        "after ledger tampering: compliant = {} ({} findings)",
+        after.is_compliant(),
+        after.findings().len()
+    );
+    // Probing scenario.
+    let (_eve, token) = platform.register_user("eve", b"pw", "researcher");
+    for _ in 0..6 {
+        let _ = platform.authorize(
+            &token,
+            hc_access::model::Permission::new(
+                hc_access::model::ResourceKind::PatientData,
+                hc_access::model::Action::Read,
+            ),
+            "read-phi",
+        );
+    }
+    let findings = hc_core::compliance::forensic_audit(
+        &platform,
+        &["read-phi"],
+        &hc_compliance::forensics::ForensicsConfig::default(),
+    );
+    println!("forensic findings after probing: {}", findings.len());
+}
+
+/// E14 — scientific text extraction accuracy (§I, §III "standard tests").
+fn e14() {
+    header("E14", "text extraction accuracy on the synthetic corpus (§III)");
+    use hc_kb::corpus::{extraction_accuracy, Corpus};
+    println!("{:<12} {:>12} {:>10}", "articles", "precision", "recall");
+    for n in [100usize, 500, 2_000] {
+        let corpus = Corpus::generate(n, 200, 150, 14);
+        let (precision, recall) = extraction_accuracy(&corpus);
+        println!("{n:<12} {precision:>12.3} {recall:>10.3}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |id: &str| all || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+    if want("e1") {
+        e1();
+    }
+    if want("e2") {
+        e2();
+    }
+    if want("e3") {
+        e3();
+    }
+    if want("e4") {
+        e4();
+    }
+    if want("e5") {
+        e5();
+    }
+    if want("e6") {
+        e6();
+    }
+    if want("e7") {
+        e7();
+    }
+    if want("e8") {
+        e8();
+    }
+    if want("e9") {
+        e9();
+    }
+    if want("e9b") {
+        e9_platform();
+    }
+    if want("e10") {
+        e10();
+    }
+    if want("e11") {
+        e11();
+    }
+    if want("e12") {
+        e12();
+    }
+    if want("e13") {
+        e13();
+    }
+    if want("e14") {
+        e14();
+    }
+}

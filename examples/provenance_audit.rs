@@ -1,0 +1,76 @@
+//! Blockchain provenance and auditability (paper §IV, Fig. 6).
+//!
+//! Walks a record through its full lifecycle, opens the auditor view,
+//! demonstrates tamper detection on the chain — and contrasts it with the
+//! silently-rewritable centralized database the paper argues against.
+//!
+//! Run with: `cargo run --example provenance_audit`
+
+use hc_common::clock::{SimClock, SimDuration};
+use hc_common::id::{PatientId, ReferenceId};
+use hc_core::platform::{demo_bundle, HealthCloudPlatform, PlatformConfig};
+use hc_ingest::status::IngestionStatus;
+use hc_ledger::audit::{AuditorView, CentralAuditDb};
+use hc_ledger::provenance::{ProvenanceAction, ProvenanceEvent};
+
+fn main() {
+    let platform = HealthCloudPlatform::bootstrap(PlatformConfig {
+        ledger_batch: 1,
+        ..PlatformConfig::default()
+    });
+
+    // Lifecycle: ingest → export (anonymized + full) → forget.
+    let patient = PatientId::from_raw(9);
+    let device = platform.register_patient_device(patient);
+    let url = platform.upload(&device, &demo_bundle("p9", true)).unwrap();
+    platform.process_ingestion();
+    let IngestionStatus::Stored { references } = platform.ingestion_status(url).unwrap() else {
+        panic!("stored")
+    };
+    let record = references[0];
+    let export = platform.export_service();
+    let _ = export.export_anonymized().unwrap();
+    let _ = export.export_full(patient).unwrap();
+    platform.forget_patient(patient);
+
+    // Auditor view.
+    {
+        let provenance = platform.provenance.lock();
+        let view = AuditorView::new(provenance.ledger());
+        println!("chain integrity: {:?}", view.integrity());
+        println!("record {record} history:");
+        for event in view.record_history(record) {
+            println!("  {:?} by {} ({})", event.action, event.actor, event.detail);
+        }
+        println!(
+            "deletion compliance (no access after delete): {}",
+            view.verify_deletion_compliance(record)
+        );
+        println!("event counts: {:?}", view.action_counts());
+    }
+
+    // Insider attack on the chain: detected.
+    {
+        let mut provenance = platform.provenance.lock();
+        provenance.ledger_mut().blocks_mut()[1].transactions[0].submitter = "innocent".into();
+        let view = AuditorView::new(provenance.ledger());
+        println!("\nafter insider rewrite of block 1: {:?}", view.integrity());
+        // Restore for a clean exit (simulation convenience).
+    }
+
+    // The same attack on a centralized audit DB: invisible.
+    let clock = SimClock::new();
+    let mut db = CentralAuditDb::new(clock, SimDuration::from_micros(100));
+    db.record(ProvenanceEvent {
+        record: ReferenceId::from_raw(1),
+        data_hash: hc_crypto::sha256::hash(b"x"),
+        action: ProvenanceAction::Accessed,
+        actor: "eve".into(),
+        detail: String::new(),
+    });
+    db.tamper(ReferenceId::from_raw(1), "innocent");
+    println!(
+        "\ncentralized baseline after the same rewrite: actor now reads `{}` — no detection mechanism exists",
+        db.record_history(ReferenceId::from_raw(1))[0].actor
+    );
+}

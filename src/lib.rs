@@ -1,0 +1,30 @@
+//! Workspace root crate: re-exports the platform facade for the
+//! cross-crate integration tests in `tests/` and the runnable examples in
+//! `examples/`.
+//!
+//! The implementation lives in the `crates/` workspace members; start at
+//! [`hc_core::platform::HealthCloudPlatform`].
+
+pub use hc_analytics;
+pub use hc_attest;
+pub use hc_cache;
+pub use hc_client;
+pub use hc_compliance;
+pub use hc_cloudsim;
+pub use hc_common;
+pub use hc_core;
+pub use hc_crypto;
+pub use hc_fhir;
+pub use hc_ingest;
+pub use hc_kb;
+pub use hc_ledger;
+pub use hc_privacy;
+pub use hc_storage;
+
+pub use hc_access;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use hc_core::platform::{demo_bundle, HealthCloudPlatform, PlatformConfig};
+    pub use hc_core::studies;
+}

@@ -1,0 +1,131 @@
+//! Integration: compliance assessment, forensic analytics and
+//! self-sovereign identity across the live platform.
+
+use hc_access::model::{Action, Permission, ResourceKind};
+use hc_common::id::PatientId;
+use hc_compliance::forensics::{Finding, ForensicsConfig};
+use hc_compliance::hipaa::Pillar;
+use hc_compliance::logscrub::scrub;
+use hc_core::compliance::{assess, forensic_audit};
+use hc_core::platform::{demo_bundle, HealthCloudPlatform, PlatformConfig};
+
+#[test]
+fn platform_with_activity_passes_hipaa_catalog() {
+    let platform = HealthCloudPlatform::bootstrap(PlatformConfig::default());
+    for i in 0..5u128 {
+        let device = platform.register_patient_device(PatientId::from_raw(i + 1));
+        platform
+            .upload(&device, &demo_bundle(&format!("p{i}"), true))
+            .unwrap();
+    }
+    platform.process_ingestion();
+    let report = assess(&platform);
+    assert!(report.is_compliant(), "{:?}", report.findings());
+    // Every pillar fully scored.
+    for pillar in [
+        Pillar::Administrative,
+        Pillar::Physical,
+        Pillar::Technical,
+        Pillar::PoliciesAndDocumentation,
+    ] {
+        assert!(report.pillar_score(pillar).unwrap() > 0.99);
+    }
+}
+
+#[test]
+fn incident_degrades_exactly_the_affected_controls() {
+    let platform = HealthCloudPlatform::bootstrap(PlatformConfig {
+        ledger_batch: 1,
+        ..PlatformConfig::default()
+    });
+    let device = platform.register_patient_device(PatientId::from_raw(1));
+    platform.upload(&device, &demo_bundle("p1", true)).unwrap();
+    platform.process_ingestion();
+    {
+        let mut provenance = platform.provenance.lock();
+        provenance.ledger_mut().blocks_mut()[0].transactions[0].payload = b"{}".to_vec();
+    }
+    let report = assess(&platform);
+    assert!(!report.is_compliant());
+    let finding_ids: Vec<&str> = report.findings().iter().map(|c| c.id.as_str()).collect();
+    assert!(finding_ids.contains(&"164.312(b)"), "{finding_ids:?}");
+    // Physical pillar is unaffected by a ledger incident.
+    assert_eq!(report.pillar_score(Pillar::Physical), Some(1.0));
+}
+
+#[test]
+fn forensics_distinguishes_probers_from_legitimate_users() {
+    let platform = HealthCloudPlatform::bootstrap(PlatformConfig::default());
+    let (_c, clinician) = platform.register_user("dr-ok", b"pw", "clinician");
+    let (_e, prober) = platform.register_user("eve", b"pw", "researcher");
+    // Clinician legitimately reads PHI a few times.
+    for _ in 0..4 {
+        platform
+            .authorize(
+                &clinician,
+                Permission::new(ResourceKind::PatientData, Action::Read),
+                "read-phi",
+            )
+            .unwrap();
+    }
+    // Researcher probes PHI endpoints (denied every time).
+    for _ in 0..7 {
+        let _ = platform.authorize(
+            &prober,
+            Permission::new(ResourceKind::PatientData, Action::Read),
+            "read-phi",
+        );
+    }
+    let findings = forensic_audit(&platform, &["read-phi"], &ForensicsConfig::default());
+    let bursts: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| matches!(f, Finding::DenialBurst { .. }))
+        .collect();
+    assert_eq!(bursts.len(), 1, "{findings:?}");
+}
+
+#[test]
+fn ssi_credentials_survive_key_rotation() {
+    let platform = HealthCloudPlatform::bootstrap(PlatformConfig::default());
+    let mut holder = platform.register_ssi_holder().unwrap();
+    let before = platform
+        .issue_context_credential(&mut holder, "ctx-1")
+        .unwrap();
+
+    // Rotate the holder's key and anchor it.
+    let (new_key, signature) = {
+        let mut rng = hc_common::rng::seeded(99);
+        holder.rotate(&mut rng).unwrap()
+    };
+    platform
+        .identity_network
+        .lock()
+        .rotate(holder.did(), new_key, signature)
+        .unwrap();
+
+    // Old credential still verifies (pseudonyms derive from the master
+    // secret, not the rotated key), and new issuance works under the new
+    // key.
+    assert!(platform.mixer.verify(&before, "ctx-1"));
+    let after = platform
+        .issue_context_credential(&mut holder, "ctx-2")
+        .unwrap();
+    assert!(platform.mixer.verify(&after, "ctx-2"));
+    assert_ne!(before.pseudonym, after.pseudonym);
+
+    let registry = platform.identity_network.lock();
+    let doc = registry.resolve(holder.did()).unwrap();
+    assert_eq!(doc.version, 2);
+}
+
+#[test]
+fn gateway_log_lines_can_be_scrubbed_before_retention() {
+    // Simulate a sloppy service composing log lines with PHI, then the
+    // §IV-E rule: "logged events cannot contain sensitive data".
+    let line = "denied read for user jane.doe@hospital.org mrn=MRN-7 phone 555-0100";
+    let scrubbed = scrub(line);
+    assert!(!scrubbed.text.contains("jane.doe@hospital.org"));
+    assert!(!scrubbed.text.contains("MRN-7"));
+    assert!(!scrubbed.text.contains("555-0100"));
+    assert_eq!(scrubbed.total_redactions(), 3);
+}

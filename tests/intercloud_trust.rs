@@ -1,0 +1,115 @@
+//! Intercloud workload movement with real trust machinery: signed images,
+//! vTPM certification chains, provisioning and the secure gateway.
+
+use hc_attest::attestation::AttestationService;
+use hc_attest::image::{sign_image, ImageRegistry};
+use hc_attest::measure::{measured_boot, Component, Layer};
+use hc_attest::tpm::Tpm;
+use hc_cloudsim::gateway::IntercloudGateway;
+use hc_cloudsim::infra::InfraCloud;
+use hc_cloudsim::net::Location;
+use hc_cloudsim::workload::{execute, AnalyticsWorkload};
+use hc_common::clock::{SimClock, SimDuration};
+use hc_crypto::ots::MerkleSigner;
+
+const GB: u64 = 1_000_000_000;
+const MB: u64 = 1_000_000;
+
+#[test]
+fn trusted_container_ships_to_data_and_runs() {
+    let mut rng = hc_common::rng::seeded(100);
+    let clock = SimClock::new();
+
+    // Build + sign the analytics image in the compliant environment.
+    let mut builder = MerkleSigner::generate(&mut rng, 2);
+    let mut registry = ImageRegistry::new();
+    registry.approve_signer(builder.public_key());
+    let image_bytes = vec![0xAB; 1024];
+    let image = sign_image(&mut rng, &mut builder, "jmf:v3", &image_bytes).unwrap();
+    let image_id = registry.register(image).unwrap();
+
+    // Attestation golden values for the data cloud's stack.
+    let stack = vec![
+        Component::new(Layer::Hardware, "bios", b"bios"),
+        Component::new(Layer::Vm, "guest", b"guest"),
+        Component::new(Layer::Container, "jmf:v3", &image_bytes),
+    ];
+    let mut attestation = AttestationService::new();
+    for c in &stack {
+        attestation.register_golden(c);
+    }
+
+    // The data cloud's host boots measured and is trusted.
+    let mut host_tpm = Tpm::generate(&mut rng, "data-cloud-host");
+    attestation.trust_signer(host_tpm.public_key());
+    let quote = measured_boot(&mut host_tpm, &stack, b"gw-nonce").unwrap();
+    let verdict = attestation.verify_quote(&quote, &stack, b"gw-nonce");
+    assert!(verdict.trusted, "{:?}", verdict.failures);
+
+    // Provision a VM at the data site and admit the verified container.
+    let mut cloud = InfraCloud::new();
+    cloud.add_host(0, 32, 50_000_000_000); // data cloud (region 0)
+    cloud.add_host(1, 32, 50_000_000_000); // analytics cloud (region 1)
+    let vm = cloud.provision_vm(0, 16).unwrap();
+    assert!(registry.verify_for_deploy(image_id, &image_bytes).is_ok());
+    let container = cloud
+        .deploy_container(vm, image_id, Ok(verdict.trusted))
+        .unwrap();
+    assert!(cloud.container(container).unwrap().attested);
+
+    // Gateway comparison: shipping 200 MB of container beats 10 GB of PHI.
+    let gateway = IntercloudGateway::new(clock, Location::new(0, 0), Location::new(1, 0));
+    let compute = {
+        // Compute time from the actual workload model on the actual VM.
+        let w = AnalyticsWorkload {
+            flops: 100_000_000_000,
+            input_bytes: 0,
+            output_bytes: 0,
+        };
+        let vm_loc = cloud.vm_location(vm).unwrap();
+        execute(&cloud, &hc_cloudsim::net::NetworkModel::default(), vm, &w, vm_loc, vm_loc)
+            .unwrap()
+            .compute
+    };
+    let ship_data = gateway.ship_data(10 * GB, compute);
+    let ship_compute = gateway.ship_compute(200 * MB, compute, Ok(())).unwrap();
+    assert!(ship_compute.bytes_moved * 10 < ship_data.bytes_moved);
+    assert!(ship_compute.makespan() < ship_data.makespan());
+}
+
+#[test]
+fn untrusted_workload_never_starts_remotely() {
+    let clock = SimClock::new();
+    let gateway = IntercloudGateway::new(clock, Location::new(0, 0), Location::new(1, 0));
+    let err = gateway
+        .ship_compute(
+            50 * MB,
+            SimDuration::from_secs(3),
+            Err("container PCR diverges from golden".into()),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("PCR"));
+}
+
+#[test]
+fn capacity_pressure_forces_remote_placement() {
+    // When the data region is full, the workload must run remotely and
+    // pay the data-transfer price — motivating intercloud shipping.
+    let mut cloud = InfraCloud::new();
+    cloud.add_host(0, 4, 10_000_000_000);
+    cloud.add_host(1, 64, 10_000_000_000);
+    let _occupier = cloud.provision_vm(0, 4).unwrap();
+    assert!(cloud.provision_vm(0, 2).is_err(), "region 0 is full");
+    let remote_vm = cloud.provision_vm(1, 8).unwrap();
+
+    let net = hc_cloudsim::net::NetworkModel::default();
+    let w = AnalyticsWorkload {
+        flops: 1_000_000_000,
+        input_bytes: GB,
+        output_bytes: MB,
+    };
+    let data_loc = Location::new(0, 0);
+    let report = execute(&cloud, &net, remote_vm, &w, data_loc, data_loc).unwrap();
+    assert_eq!(report.bytes_moved, GB + MB);
+    assert!(report.input_transfer > report.compute);
+}

@@ -1,0 +1,136 @@
+//! Property-based tests on the provenance ledger: any committed chain
+//! verifies; any single-bit tamper is detected; consensus tolerates
+//! exactly f faults.
+
+use hc_common::clock::{SimClock, SimDuration, SimInstant};
+use hc_common::id::TxId;
+use hc_ledger::block::Transaction;
+use hc_ledger::chain::{ChainStatus, Ledger};
+use hc_ledger::consensus::PbftCluster;
+use hc_ledger::policy::ProvenancePolicy;
+use proptest::prelude::*;
+
+fn tx(i: u128, kind_idx: usize, payload: &[u8]) -> Transaction {
+    let kinds = ["ingested", "accessed", "anonymized", "exported", "deleted"];
+    Transaction {
+        id: TxId::from_raw(i),
+        channel: "provenance".into(),
+        kind: kinds[kind_idx % kinds.len()].into(),
+        payload: if payload.is_empty() {
+            vec![0]
+        } else {
+            payload.to_vec()
+        },
+        submitter: "prop".into(),
+        timestamp: SimInstant::from_nanos(i as u64),
+    }
+}
+
+fn ledger(peers: usize) -> Ledger {
+    let clock = SimClock::new();
+    let cluster = PbftCluster::new(peers, SimDuration::from_millis(1), clock.clone()).unwrap();
+    let mut ledger = Ledger::new(cluster, clock);
+    ledger.install_policy(Box::new(ProvenancePolicy));
+    ledger
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn committed_chains_always_verify(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0usize..5, proptest::collection::vec(any::<u8>(), 1..24)), 1..6),
+            1..12,
+        ),
+    ) {
+        let mut l = ledger(4);
+        let mut i = 0u128;
+        for batch in &batches {
+            let txs: Vec<Transaction> = batch
+                .iter()
+                .map(|(kind, payload)| {
+                    i += 1;
+                    tx(i, *kind, payload)
+                })
+                .collect();
+            l.submit(txs).unwrap();
+        }
+        prop_assert_eq!(l.verify_chain(), ChainStatus::Valid);
+        prop_assert_eq!(l.height(), batches.len() as u64);
+    }
+
+    #[test]
+    fn any_payload_tamper_is_detected(
+        n_blocks in 2usize..10,
+        victim_block in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut l = ledger(4);
+        for i in 0..n_blocks {
+            l.submit(vec![tx(i as u128 + 1, i, b"record=x")]).unwrap();
+        }
+        let victim = victim_block % n_blocks;
+        l.blocks_mut()[victim].transactions[0].payload[0] ^= 1 << flip_bit;
+        match l.verify_chain() {
+            ChainStatus::CorruptAt { height, .. } => prop_assert_eq!(height, victim as u64),
+            ChainStatus::Valid => prop_assert!(false, "tamper must be detected"),
+        }
+    }
+
+    #[test]
+    fn consensus_commits_iff_faults_within_tolerance(
+        peers in 4usize..14,
+        fault_mask in any::<u16>(),
+    ) {
+        let clock = SimClock::new();
+        let mut cluster =
+            PbftCluster::new(peers, SimDuration::from_millis(1), clock).unwrap();
+        let mut faulty = 0usize;
+        for p in 0..peers {
+            if fault_mask & (1 << p) != 0 {
+                cluster.set_faulty(p, true);
+                faulty += 1;
+            }
+        }
+        let f = cluster.tolerated_faults();
+        match cluster.propose() {
+            Ok(outcome) => {
+                prop_assert!(faulty <= f);
+                prop_assert!(outcome.committed);
+            }
+            Err(_) => prop_assert!(faulty > f),
+        }
+    }
+
+    #[test]
+    fn view_changes_equal_leading_faulty_primaries(
+        leading_faults in 0usize..4,
+    ) {
+        let peers = 13; // f = 4
+        let clock = SimClock::new();
+        let mut cluster =
+            PbftCluster::new(peers, SimDuration::from_millis(1), clock).unwrap();
+        for p in 0..leading_faults {
+            cluster.set_faulty(p, true);
+        }
+        let outcome = cluster.propose().unwrap();
+        prop_assert_eq!(outcome.view_changes as usize, leading_faults);
+        prop_assert!(outcome.committed);
+    }
+}
+
+#[test]
+fn truncating_the_chain_tail_is_detectable_by_height() {
+    let mut l = ledger(4);
+    for i in 0..5u128 {
+        l.submit(vec![tx(i + 1, 0, b"x")]).unwrap();
+    }
+    let full_height = l.height();
+    l.blocks_mut().pop();
+    // A truncated chain still verifies internally (prefix property) —
+    // auditors must therefore also compare expected height, which the
+    // consensus layer provides.
+    assert_eq!(l.verify_chain(), ChainStatus::Valid);
+    assert_eq!(l.height(), full_height - 1, "height mismatch exposes truncation");
+}

@@ -1,0 +1,126 @@
+//! Property-based cross-crate privacy tests: anonymization, redactable
+//! sharing, and the verification service, driven by random cohorts.
+
+use std::collections::HashMap;
+
+use hc_crypto::ots::MerkleSigner;
+use hc_crypto::redactable::RedactableDocument;
+use hc_privacy::kanon::{mondrian, QiRecord};
+use hc_privacy::verify::{linkage_attack, measure, verify_claim};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn cohort(n: usize, seed: u64, zip_spread: u32) -> Vec<QiRecord> {
+    let mut rng = hc_common::rng::seeded(seed);
+    (0..n)
+        .map(|_| {
+            QiRecord::new(
+                rng.gen_range(18..95),
+                60000 + rng.gen_range(0..zip_spread.max(1)),
+                rng.gen_range(0..3),
+                ["E11.9", "I10", "J45.0", "C50.9", "F32.1"][rng.gen_range(0..5)],
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mondrian_always_meets_k_and_covers_all_records(
+        n in 20usize..150,
+        k in 2usize..12,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(n >= k);
+        let records = cohort(n, seed, 3000);
+        let table = mondrian(&records, k).unwrap();
+        prop_assert!(table.achieved_k() >= k);
+        let total: usize = table.classes.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, n);
+        prop_assert!(table.information_loss >= 0.0 && table.information_loss <= 1.0);
+    }
+
+    #[test]
+    fn verification_accepts_honest_and_rejects_inflated_claims(
+        n in 30usize..120,
+        k in 2usize..8,
+        seed in 0u64..200,
+    ) {
+        prop_assume!(n >= 4 * k);
+        let records = cohort(n, seed, 3000);
+        let table = mondrian(&records, k).unwrap();
+        let honest = verify_claim(&table.classes, k, 1);
+        prop_assert!(honest.is_accepted());
+        let inflated = verify_claim(&table.classes, n + 1, 1);
+        prop_assert!(!inflated.is_accepted());
+    }
+
+    #[test]
+    fn higher_k_never_increases_reidentification_risk(
+        seed in 0u64..100,
+    ) {
+        let records = cohort(200, seed, 3000);
+        let low = mondrian(&records, 2).unwrap();
+        let high = mondrian(&records, 20).unwrap();
+        prop_assert!(high.max_risk() <= low.max_risk());
+        prop_assert!(measure(&high.classes).k >= measure(&low.classes).k);
+    }
+
+    #[test]
+    fn redacted_documents_always_verify_and_leak_nothing(
+        n_fields in 1usize..10,
+        redact_mask in any::<u16>(),
+        seed in 0u64..100,
+    ) {
+        let mut signer = MerkleSigner::generate(&mut hc_common::rng::seeded(seed), 4);
+        let mut rng = hc_common::rng::seeded(seed + 1);
+        let pk = signer.public_key();
+        let values: Vec<(String, Vec<u8>)> = (0..n_fields)
+            .map(|i| (format!("field-{i}"), vec![i as u8; 4]))
+            .collect();
+        let fields: Vec<(&str, &[u8])> = values
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_slice()))
+            .collect();
+        let mut doc = RedactableDocument::sign(&fields, &mut signer, &mut rng).unwrap();
+        for i in 0..n_fields {
+            if redact_mask & (1 << i) != 0 {
+                doc.redact(i).unwrap();
+            }
+        }
+        prop_assert!(doc.verify(&pk));
+        let disclosed = doc.disclosed().len();
+        let expected = (0..n_fields).filter(|i| redact_mask & (1 << i) == 0).count();
+        prop_assert_eq!(disclosed, expected);
+    }
+}
+
+#[test]
+fn tight_zip_codes_stay_linkable_until_k_grows() {
+    // A holistic property: with very few ZIP values and tiny k, an
+    // attacker holding an external identified roster can still link some
+    // classes; raising k shrinks linkage.
+    let records = cohort(300, 9, 40_000);
+    let mut external: HashMap<[u32; 3], String> = HashMap::new();
+    let mut rng = hc_common::rng::seeded(10);
+    for i in 0..400 {
+        external.insert(
+            [
+                rng.gen_range(18..95),
+                60000 + rng.gen_range(0..40_000u32),
+                rng.gen_range(0..3),
+            ],
+            format!("citizen-{i}"),
+        );
+    }
+    let loose = mondrian(&records, 2).unwrap();
+    let tight = mondrian(&records, 30).unwrap();
+    let loose_linkage = linkage_attack(&loose.classes, &external);
+    let tight_linkage = linkage_attack(&tight.classes, &external);
+    assert!(
+        tight_linkage <= loose_linkage,
+        "linkage must not grow with k: {loose_linkage} -> {tight_linkage}"
+    );
+}
