@@ -112,6 +112,7 @@ impl ApiGateway {
     /// Returns the first [`Denial`] encountered (authentication, then
     /// rate limit, then authorization), and records the decision in the
     /// audit log either way.
+    #[allow(clippy::too_many_arguments)] // mirrors the request's full context
     pub fn authorize(
         &mut self,
         tokens: &TokenService,

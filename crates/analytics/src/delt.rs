@@ -210,6 +210,7 @@ pub fn fit(cohort: &EmrCohort, config: &DeltConfig) -> DeltModel {
 /// the mean lab value while exposed and while unexposed. Confounded by
 /// co-medication and patient baselines — the effect the paper's DELT
 /// design corrects.
+#[allow(clippy::needless_range_loop)] // drug index is the identity being tested
 pub fn marginal_effects(cohort: &EmrCohort) -> Vec<f64> {
     let n_drugs = cohort.config.n_drugs;
     let samples = samples_of(cohort);

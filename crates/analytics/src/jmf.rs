@@ -105,7 +105,7 @@ impl JmfModel {
 }
 
 fn sim_to_mat(sim: &[Vec<f64>]) -> Mat {
-    Mat::from_rows(&sim.iter().cloned().collect::<Vec<_>>())
+    Mat::from_rows(sim)
 }
 
 /// `‖S − F Fᵀ‖²` and its gradient contribution `−4 (S − F Fᵀ) F`.
@@ -351,6 +351,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn noisy_source_loses_weight() {
         let bank = small_bank();
         let (train, _) = bank.split_associations(0.25, 3);

@@ -186,6 +186,7 @@ impl Mat {
 /// # Panics
 ///
 /// Panics if `A` is not square or `b` has the wrong length.
+#[allow(clippy::needless_range_loop)] // Gaussian elimination is clearest indexed
 pub fn solve(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "solve requires a square matrix");

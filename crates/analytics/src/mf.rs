@@ -63,6 +63,7 @@ impl MfModel {
 }
 
 /// Computes the weighted residual `W ∘ (R − U Vᵀ)` and the loss.
+#[allow(clippy::needless_range_loop)] // index math mirrors the formula
 pub(crate) fn weighted_residual(
     r: &[Vec<bool>],
     u: &Mat,

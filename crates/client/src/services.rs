@@ -12,7 +12,14 @@
 use std::collections::HashMap;
 
 use hc_common::clock::{SimClock, SimDuration};
+use hc_common::fault::{FaultInjector, FaultKind};
+use hc_resilience::{BreakerState, CircuitBreaker};
 use rand::Rng;
+
+/// Prefix for per-service fault points: scheduling a fault at
+/// `service.<name>` on the registry's [`FaultInjector`] makes requests
+/// to that provider fail (see [`hc_common::fault`]).
+pub const SERVICE_FAULT_PREFIX: &str = "service.";
 
 /// The capability a service provides.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -62,6 +69,9 @@ pub struct ServiceStats {
     pub requests: u64,
     /// Requests that failed (unavailable).
     pub failures: u64,
+    /// Failures since the last success — what the circuit breaker
+    /// watches, and a leading indicator monitoring scrapes.
+    pub consecutive_failures: u32,
     /// Accuracy measured by the platform's standard tests, if run.
     pub tested_accuracy: Option<f64>,
     /// Mean user feedback rating in [1, 5], if any.
@@ -86,6 +96,8 @@ pub struct ServiceRegistry {
     services: Vec<SimulatedService>,
     stats: HashMap<String, ServiceStats>,
     ewma_alpha: f64,
+    breakers: HashMap<String, CircuitBreaker>,
+    injector: FaultInjector,
 }
 
 impl std::fmt::Debug for ServiceRegistry {
@@ -105,6 +117,12 @@ pub enum ServiceError {
     Unknown(String),
     /// The service was unavailable for this request.
     Unavailable(String),
+    /// The service's circuit breaker is open; the provider was not
+    /// consulted.
+    CircuitOpen(String),
+    /// Every qualifying provider of the capability failed or is
+    /// circuit-broken.
+    AllProvidersFailed(&'static str),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -113,6 +131,12 @@ impl std::fmt::Display for ServiceError {
             ServiceError::NoProvider(c) => write!(f, "no provider for {c}"),
             ServiceError::Unknown(n) => write!(f, "unknown service `{n}`"),
             ServiceError::Unavailable(n) => write!(f, "service `{n}` unavailable"),
+            ServiceError::CircuitOpen(n) => {
+                write!(f, "circuit breaker for `{n}` is open")
+            }
+            ServiceError::AllProvidersFailed(c) => {
+                write!(f, "all providers for {c} failed")
+            }
         }
     }
 }
@@ -127,6 +151,8 @@ impl ServiceRegistry {
             services: Vec::new(),
             stats: HashMap::new(),
             ewma_alpha: 0.3,
+            breakers: HashMap::new(),
+            injector: FaultInjector::disabled(),
         }
     }
 
@@ -134,7 +160,24 @@ impl ServiceRegistry {
     pub fn register(&mut self, service: SimulatedService) {
         self.stats
             .insert(service.name.clone(), ServiceStats::default());
+        self.breakers.insert(
+            service.name.clone(),
+            CircuitBreaker::new(self.clock.clone())
+                .with_trip_threshold(3)
+                .with_cooldown(SimDuration::from_millis(500)),
+        );
         self.services.push(service);
+    }
+
+    /// Installs a fault injector consulted (at `service.<name>`) on
+    /// every resilient invocation.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = injector;
+    }
+
+    /// The circuit breaker state for a service, if registered.
+    pub fn breaker_state(&mut self, name: &str) -> Option<BreakerState> {
+        self.breakers.get_mut(name).map(|b| b.state())
     }
 
     /// Invokes a service by name, tracking latency and availability.
@@ -153,12 +196,25 @@ impl ServiceRegistry {
             .find(|s| s.name == name)
             .cloned()
             .ok_or_else(|| ServiceError::Unknown(name.to_owned()))?;
+        // A scripted outage at `service.<name>` beats the availability
+        // draw: the provider is down, full stop.
+        let scripted_outage = matches!(
+            self.injector
+                .check(&format!("{SERVICE_FAULT_PREFIX}{name}")),
+            Some(
+                FaultKind::HostCrash
+                    | FaultKind::TransientError
+                    | FaultKind::NetworkPartition
+            )
+        );
         let stats = self.stats.entry(service.name.clone()).or_default();
         stats.requests += 1;
-        if !rng.gen_bool(service.availability.clamp(0.0, 1.0)) {
+        if scripted_outage || !rng.gen_bool(service.availability.clamp(0.0, 1.0)) {
             stats.failures += 1;
+            stats.consecutive_failures += 1;
             return Err(ServiceError::Unavailable(name.to_owned()));
         }
+        stats.consecutive_failures = 0;
         let jitter_span = service.mean_latency.as_nanos() as f64 * service.jitter;
         let latency_ns = service.mean_latency.as_nanos() as f64
             + rng.gen_range(-jitter_span..=jitter_span.max(1e-9));
@@ -174,6 +230,66 @@ impl ServiceRegistry {
             latency,
             correct: rng.gen_bool(service.accuracy.clamp(0.0, 1.0)),
         })
+    }
+
+    /// Invokes a service through its circuit breaker: an open breaker
+    /// rejects immediately without consulting the provider, and the
+    /// outcome feeds the breaker's state machine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::CircuitOpen`] when the breaker rejects, plus all
+    /// [`invoke`](Self::invoke) errors.
+    pub fn invoke_resilient<R: Rng + ?Sized>(
+        &mut self,
+        name: &str,
+        rng: &mut R,
+    ) -> Result<ServiceResponse, ServiceError> {
+        if let Some(breaker) = self.breakers.get_mut(name) {
+            if !breaker.allow() {
+                return Err(ServiceError::CircuitOpen(name.to_owned()));
+            }
+        }
+        let outcome = self.invoke(name, rng);
+        if let Some(breaker) = self.breakers.get_mut(name) {
+            match &outcome {
+                Ok(_) => breaker.record_success(),
+                Err(ServiceError::Unavailable(_)) => breaker.record_failure(),
+                Err(_) => {}
+            }
+        }
+        outcome
+    }
+
+    /// Invokes the best provider of a capability, failing over past
+    /// circuit-broken or unavailable providers in ranked order. Returns
+    /// the provider that answered along with its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoProvider`] when nothing offers the capability;
+    /// [`ServiceError::AllProvidersFailed`] when every ranked provider
+    /// was circuit-broken or failed this request.
+    pub fn invoke_with_failover<R: Rng + ?Sized>(
+        &mut self,
+        capability: Capability,
+        min_accuracy: f64,
+        rng: &mut R,
+    ) -> Result<(String, ServiceResponse), ServiceError> {
+        let ranked = self.ranked_candidates(capability, min_accuracy);
+        if ranked.is_empty() {
+            return Err(ServiceError::NoProvider("capability"));
+        }
+        for name in ranked {
+            match self.invoke_resilient(&name, rng) {
+                Ok(response) => return Ok((name, response)),
+                Err(ServiceError::CircuitOpen(_) | ServiceError::Unavailable(_)) => {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ServiceError::AllProvidersFailed("capability"))
     }
 
     /// Runs the platform's standard accuracy test (`trials` invocations)
@@ -245,7 +361,24 @@ impl ServiceRegistry {
         capability: Capability,
         min_accuracy: f64,
     ) -> Result<&str, ServiceError> {
-        let candidates: Vec<&SimulatedService> = self
+        let ranked = self.ranked_candidates(capability, min_accuracy);
+        let best = ranked.first().ok_or(ServiceError::NoProvider("capability"))?;
+        Ok(&self
+            .services
+            .iter()
+            .find(|s| &s.name == best)
+            .expect("exists")
+            .name)
+    }
+
+    /// Qualifying providers of a capability, best first, by the same
+    /// expected-cost score [`select_best`](Self::select_best) uses.
+    pub fn ranked_candidates(
+        &self,
+        capability: Capability,
+        min_accuracy: f64,
+    ) -> Vec<String> {
+        let mut candidates: Vec<&SimulatedService> = self
             .services
             .iter()
             .filter(|s| s.capability == capability)
@@ -257,9 +390,6 @@ impl ServiceRegistry {
                     .unwrap_or(true)
             })
             .collect();
-        if candidates.is_empty() {
-            return Err(ServiceError::NoProvider("capability"));
-        }
         let score = |s: &SimulatedService| -> (f64, f64) {
             let st = self.stats.get(&s.name);
             let latency = st
@@ -275,16 +405,8 @@ impl ServiceRegistry {
             let feedback = st.and_then(|st| st.feedback).unwrap_or(3.0);
             (latency / availability, -feedback)
         };
-        let best = candidates
-            .into_iter()
-            .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite"))
-            .expect("nonempty");
-        Ok(&self
-            .services
-            .iter()
-            .find(|s| s.name == best.name)
-            .expect("exists")
-            .name)
+        candidates.sort_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite"));
+        candidates.into_iter().map(|s| s.name.clone()).collect()
     }
 }
 
@@ -359,9 +481,12 @@ mod tests {
     fn accuracy_gate_filters_providers() {
         let mut reg = registry();
         let mut rng = hc_common::rng::seeded(3);
-        let fast_acc = reg.run_accuracy_test("fast-nlu", 300, &mut rng).unwrap();
-        let flaky_acc = reg.run_accuracy_test("flaky-nlu", 300, &mut rng).unwrap();
-        let slow_acc = reg.run_accuracy_test("slow-nlu", 300, &mut rng).unwrap();
+        // 2000 trials keeps the 0.90-vs-0.95 separation many standard
+        // deviations wide, so the ordering assertion below is stable for
+        // any RNG stream rather than marginal at ~3σ.
+        let fast_acc = reg.run_accuracy_test("fast-nlu", 2000, &mut rng).unwrap();
+        let flaky_acc = reg.run_accuracy_test("flaky-nlu", 2000, &mut rng).unwrap();
+        let slow_acc = reg.run_accuracy_test("slow-nlu", 2000, &mut rng).unwrap();
         assert!((0.8..1.0).contains(&fast_acc), "acc={fast_acc}");
         assert!(slow_acc > fast_acc.max(flaky_acc), "slow measures best");
         // Demand accuracy above the cheaper providers → slow-nlu wins
@@ -394,6 +519,74 @@ mod tests {
         reg.record_feedback("vision-1", 99.0); // clamped to 5
         let stats = reg.stats("vision-1").unwrap();
         assert!((stats.feedback.unwrap() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breaker_opens_on_scripted_outage_and_failover_routes_around() {
+        use hc_common::fault::{FaultInjector, FaultKind, FaultSpec};
+        let clock = SimClock::new();
+        let mut reg = ServiceRegistry::new(clock.clone());
+        for (name, latency_ms) in [("primary-nlu", 20), ("backup-nlu", 200)] {
+            reg.register(SimulatedService {
+                name: name.into(),
+                capability: Capability::NaturalLanguage,
+                mean_latency: SimDuration::from_millis(latency_ms),
+                jitter: 0.0,
+                availability: 1.0,
+                accuracy: 0.9,
+            });
+        }
+        let injector = FaultInjector::new(clock.clone(), 21);
+        injector.schedule(
+            "service.primary-nlu",
+            FaultSpec::always(FaultKind::HostCrash),
+        );
+        reg.set_fault_injector(injector.clone());
+        let mut rng = hc_common::rng::seeded(21);
+        // The outage makes direct calls fail; three in a row trip the
+        // primary's breaker.
+        for _ in 0..3 {
+            assert!(matches!(
+                reg.invoke_resilient("primary-nlu", &mut rng),
+                Err(ServiceError::Unavailable(_))
+            ));
+        }
+        assert_eq!(reg.breaker_state("primary-nlu"), Some(BreakerState::Open));
+        assert!(matches!(
+            reg.invoke_resilient("primary-nlu", &mut rng),
+            Err(ServiceError::CircuitOpen(_))
+        ));
+        // Failover keeps answering through the backup, without even
+        // consulting the circuit-broken primary.
+        let before = reg.stats("primary-nlu").unwrap().requests;
+        for _ in 0..3 {
+            let (who, _) = reg
+                .invoke_with_failover(Capability::NaturalLanguage, 0.0, &mut rng)
+                .unwrap();
+            assert_eq!(who, "backup-nlu");
+        }
+        assert_eq!(
+            reg.stats("primary-nlu").unwrap().requests,
+            before,
+            "open breaker short-circuits the dead provider"
+        );
+        assert!(reg.stats("primary-nlu").unwrap().consecutive_failures >= 3);
+        // Heal + cooldown: probes close the breaker and the primary wins
+        // selection again.
+        injector.heal("service.primary-nlu");
+        clock.advance(SimDuration::from_millis(500));
+        for _ in 0..3 {
+            let _ = reg.invoke_resilient("primary-nlu", &mut rng);
+        }
+        assert_eq!(
+            reg.breaker_state("primary-nlu"),
+            Some(BreakerState::Closed)
+        );
+        assert_eq!(
+            reg.stats("primary-nlu").unwrap().consecutive_failures,
+            0,
+            "success resets the consecutive-failure counter"
+        );
     }
 
     #[test]

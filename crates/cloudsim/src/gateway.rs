@@ -15,8 +15,18 @@
 //! to the analytics cloud. E12 compares bytes moved and makespan.
 
 use hc_common::clock::{SimClock, SimDuration};
+use hc_common::fault::FaultInjector;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+
+use hc_resilience::RetryPolicy;
 
 use crate::net::{Location, NetworkModel};
+
+/// Fault point consulted before every intercloud shipment: while a
+/// [`hc_common::fault::FaultKind::NetworkPartition`] is active here the
+/// WAN link is severed.
+pub const INTERCLOUD_PARTITION: &str = "intercloud.partition";
 
 /// The plan comparison result for one intercloud execution.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +59,8 @@ pub enum GatewayError {
         /// The verifier's reason.
         reason: String,
     },
+    /// The inter-cloud link is partitioned; nothing crossed it.
+    LinkPartitioned,
 }
 
 impl std::fmt::Display for GatewayError {
@@ -56,6 +68,9 @@ impl std::fmt::Display for GatewayError {
         match self {
             GatewayError::AttestationFailed { reason } => {
                 write!(f, "remote attestation failed: {reason}")
+            }
+            GatewayError::LinkPartitioned => {
+                write!(f, "intercloud link partitioned")
             }
         }
     }
@@ -75,6 +90,8 @@ pub struct IntercloudGateway {
     /// Fixed attestation round-trip charged when a shipped container
     /// starts remotely (quote + verification).
     pub attestation_cost: SimDuration,
+    injector: FaultInjector,
+    partitioned: Mutex<bool>,
 }
 
 impl IntercloudGateway {
@@ -86,6 +103,8 @@ impl IntercloudGateway {
             data_site,
             compute_site,
             attestation_cost: SimDuration::from_millis(120),
+            injector: FaultInjector::disabled(),
+            partitioned: Mutex::new(false),
         }
     }
 
@@ -94,6 +113,28 @@ impl IntercloudGateway {
     pub fn with_network(mut self, net: NetworkModel) -> Self {
         self.net = net;
         self
+    }
+
+    /// Attaches a fault injector; a fault scheduled at
+    /// [`INTERCLOUD_PARTITION`] severs the WAN link for its window.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = injector;
+    }
+
+    /// Manually severs the inter-cloud link (e.g. from a DES event).
+    pub fn partition_link(&self) {
+        *self.partitioned.lock() = true;
+    }
+
+    /// Manually heals the inter-cloud link.
+    pub fn heal_link(&self) {
+        *self.partitioned.lock() = false;
+    }
+
+    /// Whether the link is currently severed, by manual flag or by an
+    /// active [`INTERCLOUD_PARTITION`] fault window.
+    pub fn link_is_partitioned(&self) -> bool {
+        *self.partitioned.lock() || self.injector.is_active(INTERCLOUD_PARTITION)
     }
 
     /// Baseline: ship the dataset to the analytics cloud and compute
@@ -123,15 +164,23 @@ impl IntercloudGateway {
     ///
     /// # Errors
     ///
-    /// Fails when `attestation_verdict` rejects — the workload is never
-    /// started (the gateway still charges the transfer + attestation time
-    /// spent discovering that).
+    /// Fails when the link is partitioned (nothing moves; only the probe
+    /// latency of discovering the severed link is charged) or when
+    /// `attestation_verdict` rejects — the workload is never started (the
+    /// gateway still charges the transfer + attestation time spent
+    /// discovering that).
     pub fn ship_compute(
         &self,
         container_bytes: u64,
         compute: SimDuration,
         attestation_verdict: Result<(), String>,
     ) -> Result<IntercloudReport, GatewayError> {
+        if self.link_is_partitioned() {
+            // The gateway probes the peer and times out after one WAN RTT.
+            self.clock
+                .advance(self.net.latency(self.compute_site, self.data_site));
+            return Err(GatewayError::LinkPartitioned);
+        }
         let transfer = self
             .net
             .transfer_time(self.compute_site, self.data_site, container_bytes);
@@ -150,6 +199,40 @@ impl IntercloudGateway {
             Err(reason) => {
                 self.clock.advance(transfer + self.attestation_cost);
                 Err(GatewayError::AttestationFailed { reason })
+            }
+        }
+    }
+
+    /// [`ship_compute`](Self::ship_compute) with retry: a partitioned
+    /// link is retried with `policy`'s backoff (each delay advances the
+    /// sim clock, so a fault window scheduled against the same clock
+    /// heals while the gateway backs off). Attestation failures are
+    /// terminal and never retried.
+    ///
+    /// On success returns the report plus the number of retries spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`GatewayError::LinkPartitioned`] when the
+    /// partition outlasts the retry budget, or
+    /// [`GatewayError::AttestationFailed`] immediately.
+    pub fn ship_compute_with_retry(
+        &self,
+        container_bytes: u64,
+        compute: SimDuration,
+        attestation_verdict: Result<(), String>,
+        policy: &RetryPolicy,
+        rng: &mut StdRng,
+    ) -> Result<(IntercloudReport, u32), GatewayError> {
+        let mut attempt = 1u32;
+        loop {
+            match self.ship_compute(container_bytes, compute, attestation_verdict.clone()) {
+                Ok(report) => return Ok((report, attempt - 1)),
+                Err(GatewayError::LinkPartitioned) if attempt < policy.max_attempts() => {
+                    self.clock.advance(policy.delay_after(attempt, rng));
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
             }
         }
     }
@@ -214,6 +297,71 @@ mod tests {
         let data_plan = g.ship_data(MB, compute);
         let compute_plan = g.ship_compute(200 * MB, compute, Ok(())).unwrap();
         assert!(data_plan.makespan() < compute_plan.makespan());
+    }
+
+    #[test]
+    fn partitioned_link_fails_fast_and_heals_manually() {
+        let g = gateway();
+        g.partition_link();
+        assert!(g.link_is_partitioned());
+        let err = g
+            .ship_compute(MB, SimDuration::from_secs(1), Ok(()))
+            .unwrap_err();
+        assert_eq!(err, GatewayError::LinkPartitioned);
+        g.heal_link();
+        assert!(!g.link_is_partitioned());
+        assert!(g.ship_compute(MB, SimDuration::from_secs(1), Ok(())).is_ok());
+    }
+
+    #[test]
+    fn retry_outlasts_scripted_partition_window() {
+        use hc_common::fault::{FaultKind, FaultSpec};
+        use hc_common::clock::SimInstant;
+
+        let clock = SimClock::new();
+        let mut g =
+            IntercloudGateway::new(clock.clone(), Location::new(0, 0), Location::new(1, 0));
+        let injector = FaultInjector::new(clock.clone(), 0xBEEF);
+        // Link down for the first 50ms of sim time.
+        injector.schedule(
+            INTERCLOUD_PARTITION,
+            FaultSpec::always(FaultKind::NetworkPartition)
+                .window(SimInstant::ZERO, SimInstant::ZERO + SimDuration::from_millis(50)),
+        );
+        g.set_fault_injector(injector);
+
+        let policy = RetryPolicy::new(8, SimDuration::from_millis(10))
+            .with_total_budget(SimDuration::from_secs(2));
+        let mut rng = hc_common::rng::seeded(7);
+        let (report, retries) = g
+            .ship_compute_with_retry(MB, SimDuration::from_secs(1), Ok(()), &policy, &mut rng)
+            .unwrap();
+        assert!(retries >= 1, "first attempt lands inside the window");
+        assert!(report.attested);
+        // The clock crossed the fault window while backing off.
+        assert!(clock.now() >= SimInstant::ZERO + SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn attestation_failure_is_never_retried() {
+        let g = gateway();
+        let policy = RetryPolicy::new(5, SimDuration::from_millis(10));
+        let mut rng = hc_common::rng::seeded(7);
+        let err = g
+            .ship_compute_with_retry(
+                MB,
+                SimDuration::from_secs(1),
+                Err("PCR mismatch".into()),
+                &policy,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GatewayError::AttestationFailed {
+                reason: "PCR mismatch".into()
+            }
+        );
     }
 
     #[test]

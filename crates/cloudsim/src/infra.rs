@@ -26,6 +26,17 @@ pub struct Host {
     pub cores: u32,
     /// Cores currently allocated to VMs.
     pub cores_used: u32,
+    /// Whether the host is up (crashed hosts take no placements).
+    pub up: bool,
+}
+
+/// What a host crash took down with it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CrashReport {
+    /// VMs killed by the crash.
+    pub vms_lost: usize,
+    /// Containers killed (they die with their VMs).
+    pub containers_lost: usize,
 }
 
 /// A provisioned VM.
@@ -112,8 +123,56 @@ impl InfraCloud {
             flops,
             cores,
             cores_used: 0,
+            up: true,
         });
         id
+    }
+
+    /// Crashes a host: everything placed on it dies, and it accepts no
+    /// further placements until [`restore_host`](Self::restore_host).
+    /// Unknown hosts report an empty crash.
+    pub fn crash_host(&mut self, host: HostId) -> CrashReport {
+        let mut report = CrashReport::default();
+        let Some(entry) = self.hosts.iter_mut().find(|h| h.id == host) else {
+            return report;
+        };
+        entry.up = false;
+        entry.cores_used = 0;
+        let dead_vms: Vec<VmId> = self
+            .vms
+            .values()
+            .filter(|vm| vm.host == host)
+            .map(|vm| vm.id)
+            .collect();
+        report.vms_lost = dead_vms.len();
+        for vm in &dead_vms {
+            self.vms.remove(vm);
+        }
+        let before = self.containers.len();
+        self.containers.retain(|_, c| !dead_vms.contains(&c.vm));
+        report.containers_lost = before - self.containers.len();
+        report
+    }
+
+    /// Brings a crashed host back (empty: its workloads died with it).
+    pub fn restore_host(&mut self, host: HostId) {
+        if let Some(entry) = self.hosts.iter_mut().find(|h| h.id == host) {
+            entry.up = true;
+        }
+    }
+
+    /// Whether a host is up; `None` for unknown hosts.
+    pub fn host_is_up(&self, host: HostId) -> Option<bool> {
+        self.hosts.iter().find(|h| h.id == host).map(|h| h.up)
+    }
+
+    /// Ids of the hosts in a region.
+    pub fn hosts_in_region(&self, region: usize) -> Vec<HostId> {
+        self.hosts
+            .iter()
+            .filter(|h| h.location.region == region)
+            .map(|h| h.id)
+            .collect()
     }
 
     /// Provisions a VM with `cores` cores in `region`, first-fit.
@@ -125,7 +184,7 @@ impl InfraCloud {
         let host = self
             .hosts
             .iter_mut()
-            .find(|h| h.location.region == region && h.cores - h.cores_used >= cores)
+            .find(|h| h.up && h.location.region == region && h.cores - h.cores_used >= cores)
             .ok_or(InfraError::NoCapacity { region, cores })?;
         host.cores_used += cores;
         let host_id = host.id;
@@ -210,11 +269,11 @@ impl InfraCloud {
         self.containers.get(&id)
     }
 
-    /// Total and used cores in a region.
+    /// Total and used cores across the *live* hosts of a region.
     pub fn region_utilization(&self, region: usize) -> (u32, u32) {
         self.hosts
             .iter()
-            .filter(|h| h.location.region == region)
+            .filter(|h| h.up && h.location.region == region)
             .fold((0, 0), |(t, u), h| (t + h.cores, u + h.cores_used))
     }
 
@@ -292,6 +351,36 @@ mod tests {
         let mut c = cloud();
         let vm = c.provision_vm(0, 8).unwrap(); // half of the 16-core host
         assert_eq!(c.vm_flops(vm), Some(5_000_000_000));
+    }
+
+    #[test]
+    fn host_crash_kills_workloads_and_blocks_placement() {
+        let mut c = InfraCloud::new();
+        let host = c.add_host(0, 16, 10_000_000_000);
+        let vm = c.provision_vm(0, 8).unwrap();
+        let container = c
+            .deploy_container(vm, ImageId::from_raw(1), Ok(true))
+            .unwrap();
+        let report = c.crash_host(host);
+        assert_eq!(
+            report,
+            CrashReport {
+                vms_lost: 1,
+                containers_lost: 1
+            }
+        );
+        assert_eq!(c.host_is_up(host), Some(false));
+        assert!(c.container(container).is_none());
+        assert_eq!(c.vm_count(), 0);
+        assert!(
+            c.provision_vm(0, 1).is_err(),
+            "crashed host takes no placements"
+        );
+        assert_eq!(c.region_utilization(0), (0, 0));
+        // Recovery: the host comes back empty and usable.
+        c.restore_host(host);
+        assert_eq!(c.host_is_up(host), Some(true));
+        assert!(c.provision_vm(0, 16).is_ok());
     }
 
     #[test]

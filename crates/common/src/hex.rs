@@ -56,7 +56,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// assert_eq!(hc_common::hex::decode("DEad").unwrap(), vec![0xde, 0xad]);
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(DecodeHexError::OddLength);
     }
     let bytes = s.as_bytes();

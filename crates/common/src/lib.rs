@@ -9,6 +9,10 @@
 //!   latency accounting, so experiments are reproducible bit-for-bit.
 //! * [`rng`] — deterministic seed-splitting helpers on top of `rand`.
 //! * [`hex`] — hexadecimal encoding/decoding and constant-time comparison.
+//! * [`fault`] — a seeded, [`clock::SimClock`]-driven [`fault::FaultInjector`]
+//!   that subsystems consult at named fault points, so resilience
+//!   experiments can script crashes, partitions, and latency spikes
+//!   reproducibly.
 //!
 //! # Examples
 //!
@@ -25,6 +29,7 @@
 //! ```
 
 pub mod clock;
+pub mod fault;
 pub mod hex;
 pub mod id;
 pub mod rng;

@@ -8,6 +8,7 @@
 
 use hc_ingest::pipeline::PipelineStats;
 use hc_ledger::chain::ChainStatus;
+use hc_resilience::HealthState;
 
 use crate::platform::HealthCloudPlatform;
 
@@ -30,6 +31,8 @@ pub struct HealthReport {
     pub gateway_denials: usize,
     /// Live (non-tombstoned) records in the data lake.
     pub live_records: usize,
+    /// Aggregate platform health (refreshed at collection time).
+    pub health: HealthState,
     /// Simulated time elapsed since boot, in milliseconds.
     pub uptime_ms: u64,
 }
@@ -48,6 +51,13 @@ pub enum Alarm {
     },
     /// Malware detections occurred.
     MalwareDetected(u64),
+    /// The platform is running in degraded mode.
+    DegradedOperation {
+        /// The impaired subsystems.
+        subsystems: Vec<String>,
+    },
+    /// A critical subsystem is down; the platform is unavailable.
+    PlatformUnavailable,
 }
 
 /// Collects a health report from a running platform.
@@ -67,6 +77,10 @@ pub fn collect(platform: &HealthCloudPlatform) -> HealthReport {
         gateway_log_len = log.len();
         gateway_denials = log.iter().filter(|r| !r.allowed).count();
     }
+    // refresh_health takes the lake/provenance locks itself, so it must
+    // run before the struct literal below keeps guards alive.
+    let health = platform.refresh_health();
+    let live_records = platform.lake.lock().live_count();
     HealthReport {
         pipeline: platform.pipeline.stats(),
         ledger_height,
@@ -75,7 +89,8 @@ pub fn collect(platform: &HealthCloudPlatform) -> HealthReport {
         kms_events: platform.kms.audit_log().len(),
         gateway_decisions: gateway_log_len,
         gateway_denials,
-        live_records: platform.lake.lock().live_count(),
+        live_records,
+        health,
         uptime_ms: platform.clock.now().as_millis(),
     }
 }
@@ -94,6 +109,13 @@ pub fn alarms(report: &HealthReport) -> Vec<Alarm> {
     }
     if report.pipeline.rejected_malware > 0 {
         alarms.push(Alarm::MalwareDetected(report.pipeline.rejected_malware));
+    }
+    match &report.health {
+        HealthState::Healthy => {}
+        HealthState::Degraded(subsystems) => alarms.push(Alarm::DegradedOperation {
+            subsystems: subsystems.clone(),
+        }),
+        HealthState::Unavailable => alarms.push(Alarm::PlatformUnavailable),
     }
     alarms
 }
@@ -132,6 +154,54 @@ mod tests {
         let report = collect(&platform);
         let raised = alarms(&report);
         assert!(matches!(raised.first(), Some(Alarm::LedgerCorrupt(_))));
+    }
+
+    #[test]
+    fn health_state_machine_degrades_and_recovers() {
+        use hc_common::fault::{FaultInjector, FaultKind, FaultSpec};
+        use hc_ingest::pipeline::fault_points;
+        use hc_resilience::SubsystemStatus;
+
+        let platform = HealthCloudPlatform::bootstrap(PlatformConfig::default());
+        let injector = FaultInjector::new(platform.clock.clone(), 0xAB);
+        platform
+            .pipeline
+            .enable_resilience(platform.clock.clone(), injector.clone(), 77);
+        assert_eq!(platform.refresh_health(), hc_resilience::HealthState::Healthy);
+
+        // Partition the provenance ledger mid-ingestion: anchors buffer,
+        // the pipeline keeps storing, and the platform reports Degraded.
+        injector.schedule(
+            fault_points::LEDGER_PARTITION,
+            FaultSpec::always(FaultKind::NetworkPartition),
+        );
+        let device = platform.register_patient_device(PatientId::from_raw(5));
+        platform.upload(&device, &demo_bundle("p5", true)).unwrap();
+        platform.process_ingestion();
+        let report = collect(&platform);
+        assert_eq!(report.pipeline.stored, 1);
+        assert_eq!(
+            report.health,
+            hc_resilience::HealthState::Degraded(vec!["ingest".into()])
+        );
+        assert!(alarms(&report).contains(&Alarm::DegradedOperation {
+            subsystems: vec!["ingest".into()]
+        }));
+
+        // A critical subsystem going down escalates to Unavailable.
+        platform.set_subsystem_status("storage", SubsystemStatus::Down);
+        assert_eq!(
+            platform.health_state(),
+            hc_resilience::HealthState::Unavailable
+        );
+        platform.set_subsystem_status("storage", SubsystemStatus::Up);
+
+        // Heal the partition, replay the buffered anchors: Healthy again.
+        injector.heal(fault_points::LEDGER_PARTITION);
+        assert!(platform.pipeline.replay_buffered_anchors() > 0);
+        let report = collect(&platform);
+        assert_eq!(report.health, hc_resilience::HealthState::Healthy);
+        assert!(alarms(&report).is_empty(), "{:?}", alarms(&report));
     }
 
     #[test]

@@ -30,6 +30,7 @@ use hc_ledger::chain::{ChainStatus, Ledger};
 use hc_ledger::consensus::PbftCluster;
 use hc_ledger::policy::{MalwarePolicy, PrivacyPolicy, ProvenancePolicy};
 use hc_ledger::provenance::{ProvenanceEvent, ProvenanceNetwork};
+use hc_resilience::{DegradationTracker, HealthState, SubsystemStatus};
 use hc_storage::datalake::DataLake;
 
 /// Platform bootstrap configuration.
@@ -103,6 +104,8 @@ pub struct HealthCloudPlatform {
     pub identity_network: Mutex<DidRegistry>,
     /// The identity-mixer credential issuer.
     pub mixer: IdentityMixer,
+    /// Subsystem health aggregation (Healthy → Degraded → Unavailable).
+    pub health: Mutex<DegradationTracker>,
     rng: Mutex<StdRng>,
 }
 
@@ -184,6 +187,15 @@ impl HealthCloudPlatform {
         );
         let mixer = IdentityMixer::new(&mut rng);
 
+        // The health tracker mirrors Fig. 1: the ledger and the data
+        // lake are load-bearing (losing either takes the platform
+        // down); ingestion and external AI services degrade gracefully.
+        let mut health = DegradationTracker::new();
+        health.register("ledger", true);
+        health.register("storage", true);
+        health.register("ingest", false);
+        health.register("ai-services", false);
+
         HealthCloudPlatform {
             clock: clock.clone(),
             kms,
@@ -206,8 +218,68 @@ impl HealthCloudPlatform {
             study,
             identity_network: Mutex::new(identity_network),
             mixer,
+            health: Mutex::new(health),
             rng: Mutex::new(hc_common::rng::seeded_stream(config.seed, 1001)),
         }
+    }
+
+    /// Re-derives subsystem statuses from live platform signals and
+    /// returns the aggregate health state:
+    ///
+    /// * `ledger` — [`SubsystemStatus::Down`] when the provenance chain
+    ///   fails verification (critical: the platform goes
+    ///   [`HealthState::Unavailable`]).
+    /// * `storage` — `Down` when the data lake diverges from its WAL
+    ///   (critical), e.g. after a crash mid-append before recovery.
+    /// * `ingest` — [`SubsystemStatus::Degraded`] while the pipeline is
+    ///   buffering provenance anchors through a ledger partition.
+    ///
+    /// Other subsystems (e.g. `ai-services`) are reported externally via
+    /// [`set_subsystem_status`](Self::set_subsystem_status).
+    pub fn refresh_health(&self) -> HealthState {
+        let ledger_ok = matches!(
+            self.provenance.lock().ledger().verify_chain(),
+            ChainStatus::Valid
+        );
+        let storage_ok = self.lake.lock().verify_against_wal().is_empty();
+        let ingest_degraded = self.pipeline.is_degraded();
+        let mut health = self.health.lock();
+        health.set_status(
+            "ledger",
+            if ledger_ok {
+                SubsystemStatus::Up
+            } else {
+                SubsystemStatus::Down
+            },
+        );
+        health.set_status(
+            "storage",
+            if storage_ok {
+                SubsystemStatus::Up
+            } else {
+                SubsystemStatus::Down
+            },
+        );
+        health.set_status(
+            "ingest",
+            if ingest_degraded {
+                SubsystemStatus::Degraded
+            } else {
+                SubsystemStatus::Up
+            },
+        );
+        health.state()
+    }
+
+    /// Reports a subsystem's status into the health tracker (for signals
+    /// the platform cannot observe itself, like external AI services).
+    pub fn set_subsystem_status(&self, subsystem: &str, status: SubsystemStatus) {
+        self.health.lock().set_status(subsystem, status);
+    }
+
+    /// The aggregate health state as last refreshed.
+    pub fn health_state(&self) -> HealthState {
+        self.health.lock().state()
     }
 
     /// Creates and registers a self-sovereign identity on the identity

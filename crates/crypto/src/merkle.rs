@@ -116,7 +116,7 @@ impl MerkleTree {
         let mut steps = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling_idx = if idx.is_multiple_of(2) { idx + 1 } else { idx - 1 };
             if sibling_idx < level.len() {
                 steps.push(ProofStep {
                     sibling: level[sibling_idx],

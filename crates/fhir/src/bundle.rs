@@ -167,7 +167,7 @@ mod tests {
     fn collect_and_extend() {
         let mut b: Bundle = sample().into_iter().collect();
         assert_eq!(b.kind, BundleKind::Collection);
-        b.extend(sample().into_iter());
+        b.extend(sample());
         assert_eq!(b.len(), 4);
         assert!(!b.is_empty());
     }

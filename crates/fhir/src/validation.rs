@@ -143,7 +143,7 @@ impl Validator {
             self.validate_resource(resource, &mut issues);
         }
 
-        issues.sort_by(|a, b| b.severity.cmp(&a.severity));
+        issues.sort_by_key(|issue| std::cmp::Reverse(issue.severity));
         ValidationReport { issues }
     }
 

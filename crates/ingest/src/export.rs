@@ -122,7 +122,7 @@ impl ExportService {
         for reference in references {
             match self.open_record(reference) {
                 Ok(bundle) => {
-                    merged.extend(bundle.into_iter());
+                    merged.extend(bundle);
                     self.anchor_export(reference, "anonymized");
                 }
                 Err(ExportError::Unreadable(_)) => continue, // shredded/tombstoned
@@ -207,7 +207,7 @@ impl ExportService {
         let mut reidentification = HashMap::new();
         for reference in references {
             let bundle = self.open_record(reference)?;
-            merged.extend(bundle.into_iter());
+            merged.extend(bundle);
             if let Some(map) = self.shared.pseudonyms.lock().get(&reference) {
                 for (original, pseudonym) in map {
                     reidentification.insert(pseudonym.clone(), original.clone());

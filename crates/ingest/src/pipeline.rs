@@ -17,7 +17,9 @@ use parking_lot::Mutex;
 
 use hc_access::consent::{ConsentRegistry, ConsentScope};
 use hc_common::clock::SimClock;
+use hc_common::fault::{FaultInjector, FaultKind};
 use hc_common::id::{GroupId, IngestionId, KeyId, PatientId, Principal, ReferenceId};
+use hc_resilience::{DeadLetterQueue, ReplayReport, RetryPolicy};
 use hc_crypto::aead::Sealed;
 use hc_crypto::kms::KeyManagementSystem;
 use hc_crypto::sha256;
@@ -43,6 +45,27 @@ pub struct DeviceCredential {
     pub key: KeyId,
 }
 
+/// Fault-point names the pipeline consults on its [`FaultInjector`]
+/// (see [`hc_common::fault`]). Scheduling a fault at one of these names
+/// makes the corresponding stage fail.
+pub mod fault_points {
+    /// Decryption / integrity verification.
+    pub const DECRYPT: &str = "ingest.decrypt";
+    /// Bundle parsing and validation.
+    pub const VALIDATE: &str = "ingest.validate";
+    /// Malware filtration.
+    pub const SCAN: &str = "ingest.scan";
+    /// Consent verification.
+    pub const CONSENT: &str = "ingest.consent";
+    /// De-identification + anonymization verification.
+    pub const DEID: &str = "ingest.deid";
+    /// Encrypt-at-rest and data-lake write.
+    pub const STORE: &str = "ingest.store";
+    /// Stateful partition between the pipeline and the provenance
+    /// ledger: while active, anchors are buffered, not recorded.
+    pub const LEDGER_PARTITION: &str = "ledger.partition";
+}
+
 /// Counters the monitoring service scrapes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct PipelineStats {
@@ -60,6 +83,14 @@ pub struct PipelineStats {
     pub rejected_consent: u64,
     /// Rejected by anonymization verification.
     pub rejected_anonymization: u64,
+    /// Stage attempts retried after a transient fault.
+    pub retried: u64,
+    /// Uploads parked in the dead-letter queue.
+    pub dead_lettered: u64,
+    /// Provenance anchors buffered while the ledger was unreachable.
+    pub anchors_buffered: u64,
+    /// Buffered anchors successfully replayed after the ledger healed.
+    pub anchors_replayed: u64,
 }
 
 /// State shared between the pipeline and the export service.
@@ -83,10 +114,21 @@ pub(crate) struct SharedState {
     pub(crate) share_public: hc_crypto::ots::MerklePublicKey,
 }
 
+#[derive(Clone)]
 struct Job {
     id: IngestionId,
     credential: DeviceCredential,
     sealed: Sealed,
+}
+
+/// Resilience state, installed by [`IngestionPipeline::enable_resilience`].
+struct Resilience {
+    clock: SimClock,
+    injector: FaultInjector,
+    retry: RetryPolicy,
+    rng: rand::rngs::StdRng,
+    dlq: DeadLetterQueue<Job>,
+    buffered_anchors: Vec<ProvenanceEvent>,
 }
 
 /// The ingestion pipeline.
@@ -101,6 +143,7 @@ pub struct IngestionPipeline {
     stats: Mutex<PipelineStats>,
     rng: Mutex<rand::rngs::StdRng>,
     next_ingestion: Mutex<u128>,
+    resilience: Mutex<Option<Resilience>>,
 }
 
 impl std::fmt::Debug for IngestionPipeline {
@@ -158,7 +201,113 @@ impl IngestionPipeline {
             stats: Mutex::new(PipelineStats::default()),
             rng: Mutex::new(hc_common::rng::seeded_stream(seed, 909)),
             next_ingestion: Mutex::new(0),
+            resilience: Mutex::new(None),
         }
+    }
+
+    /// Turns on the resilience layer: stage-level retries against
+    /// `injector` faults, dead-lettering of poison uploads, and
+    /// buffering of provenance anchors while `ledger.partition` is
+    /// active (degraded mode). Backoff delays advance `clock`.
+    pub fn enable_resilience(&self, clock: SimClock, injector: FaultInjector, seed: u64) {
+        *self.resilience.lock() = Some(Resilience {
+            clock,
+            injector,
+            retry: RetryPolicy::new(4, hc_common::clock::SimDuration::from_micros(100)),
+            rng: hc_common::rng::seeded_stream(seed, 911),
+            dlq: DeadLetterQueue::new(256),
+            buffered_anchors: Vec::new(),
+        });
+    }
+
+    /// Replaces the per-stage retry policy (resilience must be enabled).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        if let Some(res) = self.resilience.lock().as_mut() {
+            res.retry = policy;
+        }
+    }
+
+    /// Whether the pipeline is operating in degraded mode (anchors
+    /// buffered, waiting for the ledger partition to heal).
+    pub fn is_degraded(&self) -> bool {
+        self.resilience
+            .lock()
+            .as_ref()
+            .is_some_and(|r| !r.buffered_anchors.is_empty())
+    }
+
+    /// Number of provenance anchors currently buffered.
+    pub fn buffered_anchor_count(&self) -> usize {
+        self.resilience
+            .lock()
+            .as_ref()
+            .map_or(0, |r| r.buffered_anchors.len())
+    }
+
+    /// Replays buffered anchors onto the (healed) ledger, oldest first,
+    /// stopping at the first anchor that still fails. Returns how many
+    /// committed.
+    pub fn replay_buffered_anchors(&self) -> usize {
+        let events = match self.resilience.lock().as_mut() {
+            Some(res) => std::mem::take(&mut res.buffered_anchors),
+            None => return 0,
+        };
+        let mut replayed = 0;
+        let mut remaining = events.into_iter();
+        for event in remaining.by_ref() {
+            let outcome = self.shared.provenance.lock().record(&event);
+            if outcome.is_ok() {
+                replayed += 1;
+                self.stats.lock().anchors_replayed += 1;
+            } else {
+                // Still partitioned: put this one back and stop.
+                if let Some(res) = self.resilience.lock().as_mut() {
+                    res.buffered_anchors.push(event);
+                    res.buffered_anchors.extend(remaining);
+                }
+                break;
+            }
+        }
+        replayed
+    }
+
+    /// Dead letters currently parked, as `(ingestion, reason)` pairs.
+    pub fn dead_letters(&self) -> Vec<(IngestionId, String)> {
+        self.resilience.lock().as_ref().map_or_else(Vec::new, |r| {
+            r.dlq
+                .iter()
+                .map(|l| (l.item.id, l.reason.clone()))
+                .collect()
+        })
+    }
+
+    /// Re-runs every dead-lettered upload through the full stage
+    /// sequence. Uploads that fail again are re-parked.
+    pub fn replay_dead_letters(&self) -> ReplayReport {
+        let letters = match self.resilience.lock().as_mut() {
+            Some(res) => res.dlq.drain(),
+            None => return ReplayReport::default(),
+        };
+        let mut report = ReplayReport::default();
+        for letter in letters {
+            let outcome = self.run_stages(&letter.item);
+            if let IngestionStatus::DeadLettered { ref stage, ref reason } = outcome {
+                report.requeued += 1;
+                if let Some(res) = self.resilience.lock().as_mut() {
+                    let at = res.clock.now();
+                    res.dlq.push(
+                        letter.item.clone(),
+                        format!("{stage}: {reason}"),
+                        letter.attempts + 1,
+                        at,
+                    );
+                }
+            } else {
+                report.replayed += 1;
+            }
+            self.statuses.lock().insert(letter.item.id, outcome);
+        }
+        report
     }
 
     /// Replaces the malware scanner (e.g. to add signatures).
@@ -199,6 +348,26 @@ impl IngestionPipeline {
         )
     }
 
+    /// Seals arbitrary bytes under the device credential — models a
+    /// buggy or malicious client shipping a payload that is not a valid
+    /// bundle (a *poison* upload the resilience layer dead-letters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates KMS errors (unknown key, unauthorized device).
+    pub fn seal_raw_upload(
+        &self,
+        credential: &DeviceCredential,
+        payload: &[u8],
+    ) -> Result<Sealed, hc_crypto::kms::KmsError> {
+        self.shared.kms.seal(
+            &Principal::Device(credential.patient),
+            credential.key,
+            payload,
+            &credential.patient.as_u128().to_le_bytes(),
+        )
+    }
+
     /// Accepts an upload into the staging area and returns its status URL.
     pub fn submit(&self, credential: DeviceCredential, sealed: Sealed) -> StatusUrl {
         let id = {
@@ -228,6 +397,15 @@ impl IngestionPipeline {
         let job = self.rx.try_recv().ok()?;
         let id = job.id;
         let outcome = self.run_stages(&job);
+        if let IngestionStatus::DeadLettered { ref stage, ref reason } = outcome {
+            if let Some(res) = self.resilience.lock().as_mut() {
+                let at = res.clock.now();
+                let attempts = res.retry.max_attempts();
+                res.dlq
+                    .push(job.clone(), format!("{stage}: {reason}"), attempts, at);
+            }
+            self.stats.lock().dead_lettered += 1;
+        }
         self.statuses.lock().insert(id, outcome);
         Some(id)
     }
@@ -268,9 +446,80 @@ impl IngestionPipeline {
         }
     }
 
+    /// Consults the fault injector at a stage boundary. Transient
+    /// faults are retried with backoff (advancing the resilience
+    /// clock); crash faults, or transients that outlast the attempt
+    /// budget, fail the stage.
+    fn stage_guard(&self, point: &str) -> Result<(), String> {
+        let mut guard = self.resilience.lock();
+        let Some(res) = guard.as_mut() else {
+            return Ok(());
+        };
+        let mut attempt = 0u32;
+        loop {
+            match res.injector.check(point) {
+                None => return Ok(()),
+                Some(FaultKind::LatencySpike(delay)) => {
+                    // Absorbed: the stage just takes longer.
+                    res.clock.advance(delay);
+                    return Ok(());
+                }
+                Some(FaultKind::TransientError | FaultKind::NetworkPartition) => {
+                    attempt += 1;
+                    if attempt >= res.retry.max_attempts() {
+                        return Err(format!(
+                            "transient fault persisted across {attempt} attempts"
+                        ));
+                    }
+                    let delay = res.retry.delay_after(attempt, &mut res.rng);
+                    res.clock.advance(delay);
+                    self.stats.lock().retried += 1;
+                }
+                Some(kind @ (FaultKind::HostCrash | FaultKind::StorageCrash)) => {
+                    return Err(format!("unrecoverable fault: {kind:?}"));
+                }
+            }
+        }
+    }
+
+    /// Anchors a provenance event, buffering it instead when the ledger
+    /// is partitioned (injected or real) and resilience is enabled.
+    fn anchor(&self, event: ProvenanceEvent) {
+        {
+            let mut guard = self.resilience.lock();
+            if let Some(res) = guard.as_mut() {
+                if res.injector.is_active(fault_points::LEDGER_PARTITION) {
+                    res.buffered_anchors.push(event);
+                    self.stats.lock().anchors_buffered += 1;
+                    return;
+                }
+            }
+        }
+        let outcome = self.shared.provenance.lock().record(&event);
+        if outcome.is_err() {
+            // A real consensus failure (e.g. partitioned quorum): the
+            // network dropped the batch, so keep our copy for replay.
+            let mut guard = self.resilience.lock();
+            if let Some(res) = guard.as_mut() {
+                res.buffered_anchors.push(event);
+                self.stats.lock().anchors_buffered += 1;
+            }
+        }
+    }
+
+    fn dead_letter_status(stage: &str, reason: String) -> IngestionStatus {
+        IngestionStatus::DeadLettered {
+            stage: stage.to_owned(),
+            reason,
+        }
+    }
+
     fn run_stages(&self, job: &Job) -> IngestionStatus {
         // 1. Decrypt + integrity/authenticity verification.
         self.set_status(job.id, IngestionStatus::Decrypting);
+        if let Err(reason) = self.stage_guard(fault_points::DECRYPT) {
+            return Self::dead_letter_status("decrypt", reason);
+        }
         let ingest = Principal::Service("ingest".into());
         let bytes = match self.shared.kms.open(
             &ingest,
@@ -287,10 +536,22 @@ impl IngestionPipeline {
 
         // 2. Validate / curate.
         self.set_status(job.id, IngestionStatus::Validating);
+        if let Err(reason) = self.stage_guard(fault_points::VALIDATE) {
+            return Self::dead_letter_status("validate", reason);
+        }
         let bundle = match Bundle::from_bytes(&bytes) {
             Ok(b) => b,
             Err(e) => {
                 self.stats.lock().rejected_validation += 1;
+                // A payload that decrypts cleanly but cannot even be
+                // parsed is a poison message: with resilience on it is
+                // parked for triage instead of silently dropped.
+                if self.resilience.lock().is_some() {
+                    return Self::dead_letter_status(
+                        "validate",
+                        format!("malformed bundle: {e}"),
+                    );
+                }
                 return self.reject("validate", format!("malformed bundle: {e}"));
             }
         };
@@ -307,6 +568,9 @@ impl IngestionPipeline {
 
         // 3. Malware filtration.
         self.set_status(job.id, IngestionStatus::Scanning);
+        if let Err(reason) = self.stage_guard(fault_points::SCAN) {
+            return Self::dead_letter_status("malware-scan", reason);
+        }
         if let Some(detection) = self.scanner.scan(&bytes) {
             self.stats.lock().rejected_malware += 1;
             // "update the blockchain with the information that the
@@ -331,6 +595,9 @@ impl IngestionPipeline {
 
         // 4. Consent: apply in-bundle consents, then verify.
         self.set_status(job.id, IngestionStatus::CheckingConsent);
+        if let Err(reason) = self.stage_guard(fault_points::CONSENT) {
+            return Self::dead_letter_status("consent", reason);
+        }
         {
             let mut consent = self.shared.consent.lock();
             for resource in &bundle {
@@ -345,8 +612,7 @@ impl IngestionPipeline {
                         };
                         // Consent provenance "as required by GDPR and
                         // HIPAA" (§IV-A) — anchored before the data is.
-                        let mut provenance = self.shared.provenance.lock();
-                        let _ = provenance.record(&ProvenanceEvent {
+                        self.anchor(ProvenanceEvent {
                             record: ReferenceId::from_raw(job.id.as_u128()),
                             data_hash: sha256::hash(c.study.as_bytes()),
                             action,
@@ -371,6 +637,9 @@ impl IngestionPipeline {
 
         // 5. De-identify + anonymization verification.
         self.set_status(job.id, IngestionStatus::DeIdentifying);
+        if let Err(reason) = self.stage_guard(fault_points::DEID) {
+            return Self::dead_letter_status("de-identify", reason);
+        }
         let deidentified = deidentify_bundle(
             &bundle,
             &self.deid,
@@ -385,6 +654,9 @@ impl IngestionPipeline {
         }
 
         // 6. Encrypt at rest under a fresh per-record key and store.
+        if let Err(reason) = self.stage_guard(fault_points::STORE) {
+            return Self::dead_letter_status("store", reason);
+        }
         let deid_bytes = deidentified.bundle.to_bytes();
         let data_hash = sha256::hash(&deid_bytes);
         let record_key = {
@@ -421,24 +693,23 @@ impl IngestionPipeline {
             .lock()
             .insert(reference, deidentified.pseudonyms);
 
-        // 7. Anchor provenance.
-        {
-            let mut provenance = self.shared.provenance.lock();
-            let _ = provenance.record(&ProvenanceEvent {
-                record: reference,
-                data_hash,
-                action: ProvenanceAction::Ingested,
-                actor: "ingest-service".into(),
-                detail: format!("study={}", self.shared.study_name),
-            });
-            let _ = provenance.record(&ProvenanceEvent {
-                record: reference,
-                data_hash,
-                action: ProvenanceAction::Anonymized,
-                actor: "deid-service".into(),
-                detail: String::new(),
-            });
-        }
+        // 7. Anchor provenance. Under a ledger partition these buffer
+        // in degraded mode and replay on heal, so a reachable ledger is
+        // not a prerequisite for accepting patient data.
+        self.anchor(ProvenanceEvent {
+            record: reference,
+            data_hash,
+            action: ProvenanceAction::Ingested,
+            actor: "ingest-service".into(),
+            detail: format!("study={}", self.shared.study_name),
+        });
+        self.anchor(ProvenanceEvent {
+            record: reference,
+            data_hash,
+            action: ProvenanceAction::Anonymized,
+            actor: "deid-service".into(),
+            detail: String::new(),
+        });
 
         self.stats.lock().stored += 1;
         IngestionStatus::Stored {
@@ -715,6 +986,88 @@ pub(crate) mod tests {
         let processed = pipeline.process_all_parallel(4);
         assert_eq!(processed, 20);
         assert_eq!(pipeline.stats().stored, 20);
+    }
+
+    #[test]
+    fn transient_stage_fault_is_retried_to_success() {
+        use hc_common::fault::FaultSpec;
+        let pipeline = build_pipeline(11);
+        let clock = SimClock::new();
+        let injector = hc_common::fault::FaultInjector::new(clock.clone(), 11);
+        // Two transient hits, well inside the 4-attempt budget.
+        injector.schedule(
+            fault_points::DECRYPT,
+            FaultSpec::always(hc_common::fault::FaultKind::TransientError).limit(2),
+        );
+        pipeline.enable_resilience(clock, injector, 11);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        let sealed = pipeline.seal_upload(&credential, &patient_bundle(true)).unwrap();
+        let url = pipeline.submit(credential, sealed);
+        pipeline.process_all();
+        assert!(pipeline.status(url).unwrap().is_stored());
+        assert_eq!(pipeline.stats().retried, 2);
+        assert_eq!(pipeline.stats().dead_lettered, 0);
+    }
+
+    #[test]
+    fn poison_upload_dead_lettered_and_replayable() {
+        let pipeline = build_pipeline(12);
+        let clock = SimClock::new();
+        let injector = hc_common::fault::FaultInjector::disabled();
+        pipeline.enable_resilience(clock, injector, 12);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        // Valid upload + poison (unparseable) upload.
+        let good = pipeline.seal_upload(&credential, &patient_bundle(true)).unwrap();
+        let poison = pipeline
+            .seal_raw_upload(&credential, b"{not a bundle")
+            .unwrap();
+        let good_url = pipeline.submit(credential, good);
+        let poison_url = pipeline.submit(credential, poison);
+        pipeline.process_all();
+        assert!(pipeline.status(good_url).unwrap().is_stored());
+        assert!(matches!(
+            pipeline.status(poison_url).unwrap(),
+            IngestionStatus::DeadLettered { ref stage, .. } if stage == "validate"
+        ));
+        assert_eq!(pipeline.dead_letters().len(), 1);
+        // Replay without fixing anything: the poison stays parked.
+        let report = pipeline.replay_dead_letters();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.requeued, 1);
+        assert_eq!(pipeline.dead_letters().len(), 1);
+    }
+
+    #[test]
+    fn ledger_partition_buffers_anchors_then_replays() {
+        use hc_common::fault::{FaultKind, FaultSpec};
+        let pipeline = build_pipeline(13);
+        let clock = SimClock::new();
+        let injector = hc_common::fault::FaultInjector::new(clock.clone(), 13);
+        injector.schedule(
+            fault_points::LEDGER_PARTITION,
+            FaultSpec::always(FaultKind::NetworkPartition),
+        );
+        pipeline.enable_resilience(clock, injector.clone(), 13);
+        let credential = pipeline.register_device(PatientId::from_raw(5));
+        let sealed = pipeline.seal_upload(&credential, &patient_bundle(true)).unwrap();
+        let url = pipeline.submit(credential, sealed);
+        pipeline.process_all();
+        // Data accepted in degraded mode; nothing anchored yet.
+        let IngestionStatus::Stored { references } = pipeline.status(url).unwrap() else {
+            panic!("stored despite partition");
+        };
+        assert!(pipeline.is_degraded());
+        // consent + ingested + anonymized
+        assert_eq!(pipeline.buffered_anchor_count(), 3);
+        assert!(pipeline.shared.provenance.lock().history(references[0]).is_empty());
+        // Heal and replay: zero provenance loss.
+        injector.heal(fault_points::LEDGER_PARTITION);
+        assert_eq!(pipeline.replay_buffered_anchors(), 3);
+        assert!(!pipeline.is_degraded());
+        let history = pipeline.shared.provenance.lock().history(references[0]);
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].action, ProvenanceAction::Ingested);
+        assert_eq!(history[1].action, ProvenanceAction::Anonymized);
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub enum IngestionStatus {
         /// Why.
         reason: String,
     },
+    /// Parked in the dead-letter queue after exhausting its processing
+    /// budget; eligible for replay once the cause is fixed.
+    DeadLettered {
+        /// The stage that kept failing.
+        stage: String,
+        /// The final failure reason.
+        reason: String,
+    },
 }
 
 impl IngestionStatus {
@@ -41,7 +49,9 @@ impl IngestionStatus {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            IngestionStatus::Stored { .. } | IngestionStatus::Rejected { .. }
+            IngestionStatus::Stored { .. }
+                | IngestionStatus::Rejected { .. }
+                | IngestionStatus::DeadLettered { .. }
         )
     }
 

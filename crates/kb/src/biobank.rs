@@ -391,6 +391,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn same_class_drugs_more_similar() {
         let bank = Biobank::generate(&BiobankConfig::default(), 11);
         let sources = drug_similarity_sources(&bank);
@@ -442,6 +443,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn similarity_matrices_symmetric_unit_diagonal() {
         let bank = small();
         for m in drug_similarity_sources(&bank) {

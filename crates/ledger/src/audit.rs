@@ -189,7 +189,7 @@ mod tests {
         let view = AuditorView::new(net.ledger());
         assert!(view.verify_deletion_compliance(ReferenceId::from_raw(1)));
         assert!(view.verify_deletion_compliance(ReferenceId::from_raw(2)));
-        drop(view);
+        let _ = view;
         // Access after deletion → violation.
         net.record(&event(1, ProvenanceAction::Accessed, "eve")).unwrap();
         let view = AuditorView::new(net.ledger());

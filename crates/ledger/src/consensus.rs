@@ -240,6 +240,33 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_quorum_blocks_commit_until_heal() {
+        // Partition a 7-peer cluster (f = 2) so only f + 1 = 3 peers stay
+        // reachable: 4 unreachable > f, so liveness is lost and propose
+        // surfaces it as an error rather than committing on a minority.
+        let mut c = cluster(7);
+        for peer in 3..7 {
+            c.set_faulty(peer, true);
+        }
+        assert_eq!(
+            c.propose().unwrap_err(),
+            ConsensusError::TooManyFaults {
+                faulty: 4,
+                tolerated: 2
+            }
+        );
+        // Still no commit on a second try — the partition is stateful.
+        assert!(c.propose().is_err());
+
+        // Heal the partition: the very next instance commits.
+        for peer in 3..7 {
+            c.set_faulty(peer, false);
+        }
+        let out = c.propose().unwrap();
+        assert!(out.committed);
+    }
+
+    #[test]
     fn too_few_peers_rejected() {
         assert_eq!(
             PbftCluster::new(3, SimDuration::from_millis(1), SimClock::new()).unwrap_err(),

@@ -241,6 +241,31 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_network_surfaces_liveness_error() {
+        use crate::consensus::ConsensusError;
+
+        let mut net = network(1);
+        // Partition 2 of 4 peers away (f = 1): quorum is unreachable.
+        net.ledger_mut().cluster_mut().set_faulty(2, true);
+        net.ledger_mut().cluster_mut().set_faulty(3, true);
+        let err = net.record(&event(9, ProvenanceAction::Ingested)).unwrap_err();
+        assert!(matches!(
+            err,
+            LedgerError::Consensus(ConsensusError::TooManyFaults { faulty: 2, tolerated: 1 })
+        ));
+        // The failed batch is dropped — callers (the ingestion pipeline's
+        // degraded mode) must buffer and re-record after the heal.
+        assert_eq!(net.pending_count(), 0);
+        assert_eq!(net.ledger().height(), 0);
+
+        net.ledger_mut().cluster_mut().set_faulty(2, false);
+        net.ledger_mut().cluster_mut().set_faulty(3, false);
+        let outcome = net.record(&event(9, ProvenanceAction::Ingested)).unwrap();
+        assert!(outcome.unwrap().committed);
+        assert_eq!(net.ledger().height(), 1);
+    }
+
+    #[test]
     fn flush_on_empty_errors() {
         let mut net = network(10);
         assert!(matches!(net.flush(), Err(LedgerError::EmptyBatch)));

@@ -212,10 +212,10 @@ pub fn mondrian(records: &[QiRecord], k: usize) -> Result<AnonymizedTable, AnonE
     let mut loss = 0.0;
     for class in &classes {
         let mut ncp = 0.0;
-        for d in 0..QI_DIMS {
-            let dw = domains[d].width();
+        for (range, domain) in class.ranges.iter().zip(domains.iter()) {
+            let dw = domain.width();
             if dw > 0 {
-                ncp += class.ranges[d].width() as f64 / dw as f64;
+                ncp += range.width() as f64 / dw as f64;
             }
         }
         loss += class.len() as f64 * (ncp / QI_DIMS as f64);

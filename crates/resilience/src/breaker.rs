@@ -1,0 +1,315 @@
+//! Circuit breakers: stop hammering a dependency that keeps failing.
+
+use hc_common::clock::{SimClock, SimDuration, SimInstant};
+
+/// Where the breaker is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally; failures are being counted.
+    Closed,
+    /// Requests are rejected without touching the dependency.
+    Open,
+    /// After the cooldown, a limited number of probe requests are let
+    /// through to test whether the dependency recovered.
+    HalfOpen,
+}
+
+/// Error from [`CircuitBreaker::call`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BreakerError<E> {
+    /// The breaker is open; the dependency was not consulted.
+    Open,
+    /// The dependency was consulted and failed.
+    Inner(E),
+}
+
+/// A closed / open / half-open circuit breaker on the simulated clock.
+///
+/// The breaker trips to [`BreakerState::Open`] when either
+/// `trip_threshold` consecutive failures accumulate, or — within a
+/// rolling observation window holding at least `min_requests` calls —
+/// the failure rate reaches `rate_threshold`. After `cooldown` it
+/// half-opens; `probe_successes` consecutive successful probes close it
+/// again, and any probe failure re-opens it.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    clock: SimClock,
+    state: BreakerState,
+    opened_at: SimInstant,
+    cooldown: SimDuration,
+    trip_threshold: u32,
+    consecutive_failures: u32,
+    rate_threshold: f64,
+    min_requests: u32,
+    window: SimDuration,
+    window_start: SimInstant,
+    window_requests: u32,
+    window_failures: u32,
+    probe_successes: u32,
+    probes_succeeded: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker with library defaults: trip after 5 consecutive
+    /// failures or a ≥ 50% failure rate across ≥ 10 requests in a 1 s
+    /// window; 500 ms cooldown; 2 successful probes to close.
+    pub fn new(clock: SimClock) -> Self {
+        let now = clock.now();
+        CircuitBreaker {
+            clock,
+            state: BreakerState::Closed,
+            opened_at: now,
+            cooldown: SimDuration::from_millis(500),
+            trip_threshold: 5,
+            consecutive_failures: 0,
+            rate_threshold: 0.5,
+            min_requests: 10,
+            window: SimDuration::from_secs(1),
+            window_start: now,
+            window_requests: 0,
+            window_failures: 0,
+            probe_successes: 2,
+            probes_succeeded: 0,
+            trips: 0,
+        }
+    }
+
+    /// Sets the consecutive-failure trip threshold (≥ 1).
+    #[must_use]
+    pub fn with_trip_threshold(mut self, failures: u32) -> Self {
+        self.trip_threshold = failures.max(1);
+        self
+    }
+
+    /// Sets how long the breaker stays open before probing.
+    #[must_use]
+    pub fn with_cooldown(mut self, cooldown: SimDuration) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Sets the windowed failure-rate trip condition.
+    #[must_use]
+    pub fn with_failure_rate(
+        mut self,
+        rate: f64,
+        min_requests: u32,
+        window: SimDuration,
+    ) -> Self {
+        self.rate_threshold = rate.clamp(0.0, 1.0);
+        self.min_requests = min_requests.max(1);
+        self.window = window;
+        self
+    }
+
+    /// Sets how many consecutive probe successes close the breaker.
+    #[must_use]
+    pub fn with_probe_successes(mut self, probes: u32) -> Self {
+        self.probe_successes = probes.max(1);
+        self
+    }
+
+    /// Current state, transitioning Open → HalfOpen if the cooldown has
+    /// elapsed.
+    pub fn state(&mut self) -> BreakerState {
+        if self.state == BreakerState::Open
+            && self.clock.now().duration_since(self.opened_at) >= self.cooldown
+        {
+            self.state = BreakerState::HalfOpen;
+            self.probes_succeeded = 0;
+        }
+        self.state
+    }
+
+    /// Whether a request may proceed right now.
+    pub fn allow(&mut self) -> bool {
+        self.state() != BreakerState::Open
+    }
+
+    /// Records a successful call.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.observe(false);
+        if self.state() == BreakerState::HalfOpen {
+            self.probes_succeeded += 1;
+            if self.probes_succeeded >= self.probe_successes {
+                self.state = BreakerState::Closed;
+                self.window_start = self.clock.now();
+                self.window_requests = 0;
+                self.window_failures = 0;
+            }
+        }
+    }
+
+    /// Records a failed call.
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures += 1;
+        self.observe(true);
+        match self.state() {
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Closed => {
+                let rate_tripped = self.window_requests >= self.min_requests
+                    && f64::from(self.window_failures)
+                        >= self.rate_threshold * f64::from(self.window_requests);
+                if self.consecutive_failures >= self.trip_threshold
+                    || rate_tripped
+                {
+                    self.trip();
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Runs `op` through the breaker, recording the outcome.
+    pub fn call<T, E>(
+        &mut self,
+        op: impl FnOnce() -> Result<T, E>,
+    ) -> Result<T, BreakerError<E>> {
+        if !self.allow() {
+            return Err(BreakerError::Open);
+        }
+        match op() {
+            Ok(value) => {
+                self.record_success();
+                Ok(value)
+            }
+            Err(error) => {
+                self.record_failure();
+                Err(BreakerError::Inner(error))
+            }
+        }
+    }
+
+    /// Consecutive failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.opened_at = self.clock.now();
+        self.trips += 1;
+    }
+
+    fn observe(&mut self, failed: bool) {
+        let now = self.clock.now();
+        if now.duration_since(self.window_start) >= self.window {
+            self.window_start = now;
+            self.window_requests = 0;
+            self.window_failures = 0;
+        }
+        self.window_requests += 1;
+        if failed {
+            self.window_failures += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(clock: &SimClock) -> CircuitBreaker {
+        CircuitBreaker::new(clock.clone())
+            .with_trip_threshold(3)
+            .with_cooldown(SimDuration::from_millis(100))
+            .with_probe_successes(2)
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures() {
+        let clock = SimClock::new();
+        let mut b = breaker(&clock);
+        for _ in 0..2 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let clock = SimClock::new();
+        let mut b = breaker(&clock);
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        assert_eq!(b.consecutive_failures(), 0);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_after_cooldown_then_closes_on_probes() {
+        let clock = SimClock::new();
+        let mut b = breaker(&clock);
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert!(!b.allow());
+        clock.advance(SimDuration::from_millis(100));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_failure_reopens() {
+        let clock = SimClock::new();
+        let mut b = breaker(&clock);
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        clock.advance(SimDuration::from_millis(100));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn windowed_failure_rate_trips() {
+        let clock = SimClock::new();
+        let mut b = CircuitBreaker::new(clock.clone())
+            .with_trip_threshold(100)
+            .with_failure_rate(0.5, 10, SimDuration::from_secs(1));
+        // Alternate success/failure: never 100 consecutive, but the
+        // windowed rate reaches 50% over ≥ 10 requests.
+        for i in 0..10 {
+            if i % 2 == 0 {
+                b.record_success();
+            } else {
+                b.record_failure();
+            }
+        }
+        assert_eq!(b.state(), BreakerState::Open, "rate condition tripped");
+    }
+
+    #[test]
+    fn call_wraps_outcomes() {
+        let clock = SimClock::new();
+        let mut b = breaker(&clock);
+        assert_eq!(b.call(|| Ok::<_, ()>(1)), Ok(1));
+        for _ in 0..3 {
+            let _ = b.call(|| Err::<(), _>("down"));
+        }
+        assert_eq!(
+            b.call(|| Ok::<_, &str>(2)),
+            Err(BreakerError::Open),
+            "open breaker short-circuits"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Dead-letter queues: park poison inputs instead of wedging pipelines.
+
+use std::collections::VecDeque;
+
+use hc_common::clock::SimInstant;
+
+/// One parked item with the context needed to triage or replay it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadLetter<T> {
+    /// The item that could not be processed.
+    pub item: T,
+    /// Why it was dead-lettered.
+    pub reason: String,
+    /// Processing attempts made before giving up.
+    pub attempts: u32,
+    /// When it was parked, on the simulated timeline.
+    pub at: SimInstant,
+}
+
+/// Outcome of a [`DeadLetterQueue::replay`] drain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Items that processed successfully on replay.
+    pub replayed: usize,
+    /// Items that failed again and were re-parked.
+    pub requeued: usize,
+}
+
+/// A bounded FIFO of items that permanently failed processing.
+///
+/// When `capacity` is reached the oldest letter is evicted (and
+/// counted), favoring recent failures for triage.
+#[derive(Clone, Debug)]
+pub struct DeadLetterQueue<T> {
+    entries: VecDeque<DeadLetter<T>>,
+    capacity: usize,
+    total_dead: u64,
+    total_replayed: u64,
+    total_evicted: u64,
+}
+
+impl<T> DeadLetterQueue<T> {
+    /// A queue holding at most `capacity` letters (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        DeadLetterQueue {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            total_dead: 0,
+            total_replayed: 0,
+            total_evicted: 0,
+        }
+    }
+
+    /// Parks an item.
+    pub fn push(&mut self, item: T, reason: impl Into<String>, attempts: u32, at: SimInstant) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.total_evicted += 1;
+        }
+        self.entries.push_back(DeadLetter {
+            item,
+            reason: reason.into(),
+            attempts,
+            at,
+        });
+        self.total_dead += 1;
+    }
+
+    /// Parked letters, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &DeadLetter<T>> {
+        self.entries.iter()
+    }
+
+    /// Number of currently parked letters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes and returns every parked letter, oldest first.
+    pub fn drain(&mut self) -> Vec<DeadLetter<T>> {
+        self.entries.drain(..).collect()
+    }
+
+    /// Replays every parked letter through `process`, oldest first.
+    /// Letters that fail again are re-parked with the new reason and an
+    /// incremented attempt count.
+    pub fn replay(
+        &mut self,
+        mut process: impl FnMut(&T) -> Result<(), String>,
+    ) -> ReplayReport {
+        let mut report = ReplayReport::default();
+        for letter in self.drain() {
+            match process(&letter.item) {
+                Ok(()) => {
+                    report.replayed += 1;
+                    self.total_replayed += 1;
+                }
+                Err(reason) => {
+                    report.requeued += 1;
+                    // Re-park directly: replay failures should not count
+                    // as fresh dead letters.
+                    self.entries.push_back(DeadLetter {
+                        item: letter.item,
+                        reason,
+                        attempts: letter.attempts + 1,
+                        at: letter.at,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    /// Letters ever parked (including later replayed or evicted ones).
+    pub fn total_dead(&self) -> u64 {
+        self.total_dead
+    }
+
+    /// Letters successfully replayed out of the queue.
+    pub fn total_replayed(&self) -> u64 {
+        self.total_replayed
+    }
+
+    /// Letters dropped because the queue was full.
+    pub fn total_evicted(&self) -> u64 {
+        self.total_evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parks_and_reports() {
+        let mut dlq = DeadLetterQueue::new(8);
+        dlq.push("bundle-1", "schema violation", 3, SimInstant::ZERO);
+        assert_eq!(dlq.len(), 1);
+        assert_eq!(dlq.iter().next().unwrap().reason, "schema violation");
+        assert_eq!(dlq.total_dead(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut dlq = DeadLetterQueue::new(2);
+        for i in 0..3 {
+            dlq.push(i, "r", 1, SimInstant::ZERO);
+        }
+        assert_eq!(dlq.len(), 2);
+        let kept: Vec<i32> = dlq.iter().map(|l| l.item).collect();
+        assert_eq!(kept, vec![1, 2]);
+        assert_eq!(dlq.total_evicted(), 1);
+    }
+
+    #[test]
+    fn replay_splits_outcomes() {
+        let mut dlq = DeadLetterQueue::new(8);
+        for i in 0..4 {
+            dlq.push(i, "initial", 1, SimInstant::ZERO);
+        }
+        let report = dlq.replay(|&i| {
+            if i % 2 == 0 {
+                Ok(())
+            } else {
+                Err("still failing".to_string())
+            }
+        });
+        assert_eq!(report, ReplayReport { replayed: 2, requeued: 2 });
+        assert_eq!(dlq.len(), 2);
+        assert!(dlq.iter().all(|l| l.attempts == 2));
+        assert_eq!(dlq.total_dead(), 4, "requeues are not fresh deaths");
+        assert_eq!(dlq.total_replayed(), 2);
+    }
+}

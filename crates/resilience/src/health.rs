@@ -1,0 +1,140 @@
+//! Platform health: `Healthy → Degraded → Unavailable`.
+
+use std::collections::BTreeMap;
+
+/// Status one subsystem reports about itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubsystemStatus {
+    /// Operating normally.
+    Up,
+    /// Operating with reduced capability (buffering, failing over,
+    /// shedding load).
+    Degraded,
+    /// Not serving at all.
+    Down,
+}
+
+/// Aggregate platform health derived from subsystem statuses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Every subsystem is up.
+    Healthy,
+    /// The platform serves, but the named subsystems are degraded or
+    /// down (sorted, deduplicated).
+    Degraded(Vec<String>),
+    /// A critical subsystem is down; the platform cannot serve.
+    Unavailable,
+}
+
+/// Tracks per-subsystem status and folds it into a [`HealthState`].
+///
+/// Subsystems register once, optionally as *critical*: a critical
+/// subsystem going [`SubsystemStatus::Down`] makes the whole platform
+/// [`HealthState::Unavailable`], while any other deviation from
+/// [`SubsystemStatus::Up`] only degrades it.
+#[derive(Clone, Debug, Default)]
+pub struct DegradationTracker {
+    subsystems: BTreeMap<String, (SubsystemStatus, bool)>,
+    transitions: u64,
+}
+
+impl DegradationTracker {
+    /// An empty tracker (reports [`HealthState::Healthy`]).
+    pub fn new() -> Self {
+        DegradationTracker::default()
+    }
+
+    /// Registers a subsystem as up. `critical` marks it as required for
+    /// availability.
+    pub fn register(&mut self, name: impl Into<String>, critical: bool) {
+        self.subsystems
+            .insert(name.into(), (SubsystemStatus::Up, critical));
+    }
+
+    /// Updates a subsystem's status. Unknown names are registered
+    /// non-critical on the fly.
+    pub fn set_status(&mut self, name: &str, status: SubsystemStatus) {
+        match self.subsystems.get_mut(name) {
+            Some(entry) => {
+                if entry.0 != status {
+                    self.transitions += 1;
+                }
+                entry.0 = status;
+            }
+            None => {
+                self.subsystems.insert(name.to_string(), (status, false));
+                if status != SubsystemStatus::Up {
+                    self.transitions += 1;
+                }
+            }
+        }
+    }
+
+    /// One subsystem's current status.
+    pub fn status_of(&self, name: &str) -> Option<SubsystemStatus> {
+        self.subsystems.get(name).map(|(s, _)| *s)
+    }
+
+    /// The aggregate platform health.
+    pub fn state(&self) -> HealthState {
+        let mut impaired = Vec::new();
+        for (name, (status, critical)) in &self.subsystems {
+            match status {
+                SubsystemStatus::Up => {}
+                SubsystemStatus::Down if *critical => {
+                    return HealthState::Unavailable;
+                }
+                _ => impaired.push(name.clone()),
+            }
+        }
+        if impaired.is_empty() {
+            HealthState::Healthy
+        } else {
+            HealthState::Degraded(impaired)
+        }
+    }
+
+    /// Number of status transitions observed.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_until_something_degrades() {
+        let mut t = DegradationTracker::new();
+        t.register("ingest", false);
+        t.register("ledger", true);
+        assert_eq!(t.state(), HealthState::Healthy);
+        t.set_status("ingest", SubsystemStatus::Degraded);
+        assert_eq!(
+            t.state(),
+            HealthState::Degraded(vec!["ingest".to_string()])
+        );
+    }
+
+    #[test]
+    fn critical_down_is_unavailable() {
+        let mut t = DegradationTracker::new();
+        t.register("storage", true);
+        t.register("ai", false);
+        t.set_status("ai", SubsystemStatus::Down);
+        assert_eq!(t.state(), HealthState::Degraded(vec!["ai".to_string()]));
+        t.set_status("storage", SubsystemStatus::Down);
+        assert_eq!(t.state(), HealthState::Unavailable);
+    }
+
+    #[test]
+    fn recovery_returns_to_healthy() {
+        let mut t = DegradationTracker::new();
+        t.register("ledger", true);
+        t.set_status("ledger", SubsystemStatus::Degraded);
+        t.set_status("ledger", SubsystemStatus::Up);
+        assert_eq!(t.state(), HealthState::Healthy);
+        assert_eq!(t.transitions(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Resilience primitives for the healthcare cloud platform.
+//!
+//! Every distributed subsystem in the reproduction — ingestion, AI
+//! service invocation, intercloud shipment, ledger anchoring — fails in
+//! the same handful of ways: transient errors worth retrying, slow
+//! dependencies worth cutting off, persistently failing dependencies
+//! worth routing around, and inputs that will never succeed and must be
+//! parked instead of wedging the pipeline. This crate packages the four
+//! corresponding mechanisms so subsystems share one tested
+//! implementation instead of five ad-hoc ones:
+//!
+//! * [`retry::RetryPolicy`] — exponential backoff with deterministic,
+//!   seeded jitter, an attempt budget, and a total-delay budget.
+//! * [`timeout::TimeoutBudget`] — a [`SimClock`](hc_common::SimClock)
+//!   deadline handed down through a call chain.
+//! * [`breaker::CircuitBreaker`] — closed / open / half-open state
+//!   machine tripped by consecutive failures or windowed failure rate.
+//! * [`dlq::DeadLetterQueue`] — a typed parking lot for poison inputs,
+//!   with replay support for post-recovery drains.
+//! * [`health`] — the `Healthy → Degraded → Unavailable` platform
+//!   health state machine fed by per-subsystem status.
+//!
+//! Everything runs on the simulated clock and seeded RNG from
+//! [`hc_common`], so resilience behavior under a scripted fault schedule
+//! (see [`hc_common::fault`]) is reproducible bit-for-bit.
+
+pub mod breaker;
+pub mod dlq;
+pub mod health;
+pub mod retry;
+pub mod timeout;
+
+pub use breaker::{BreakerError, BreakerState, CircuitBreaker};
+pub use dlq::{DeadLetter, DeadLetterQueue, ReplayReport};
+pub use health::{DegradationTracker, HealthState, SubsystemStatus};
+pub use retry::{RetryError, RetryPolicy};
+pub use timeout::TimeoutBudget;

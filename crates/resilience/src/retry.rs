@@ -1,0 +1,235 @@
+//! Exponential-backoff retries with deterministic jitter and budgets.
+
+use hc_common::clock::{SimClock, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// When and how often an operation is retried.
+///
+/// Backoff after failed attempt `n` (1-based) is
+/// `base_delay * 2^(n-1)`, jittered multiplicatively by up to
+/// ±`jitter`, and always clamped to `max_delay`. Retrying stops when
+/// either `max_attempts` is reached or the cumulative delay would
+/// exceed `total_budget`. Jitter draws come from the caller's seeded
+/// RNG, so a fixed seed produces a fixed schedule.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base_delay: SimDuration,
+    max_delay: SimDuration,
+    total_budget: SimDuration,
+    jitter: f64,
+}
+
+/// Why a retried operation ultimately gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryError<E> {
+    /// Attempts actually made (≥ 1).
+    pub attempts: u32,
+    /// The error from the final attempt.
+    pub error: E,
+    /// Whether the time budget (rather than the attempt budget) stopped
+    /// the retries.
+    pub budget_exhausted: bool,
+}
+
+impl RetryPolicy {
+    /// A policy making up to `max_attempts` attempts (≥ 1) with the
+    /// given first backoff delay. Defaults: per-delay cap at
+    /// `base_delay * 32`, a generous total budget of `base_delay * 128`,
+    /// and ±10% jitter.
+    pub fn new(max_attempts: u32, base_delay: SimDuration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay,
+            max_delay: base_delay.saturating_mul(32),
+            total_budget: base_delay.saturating_mul(128),
+            jitter: 0.1,
+        }
+    }
+
+    /// Caps every individual backoff delay.
+    #[must_use]
+    pub fn with_max_delay(mut self, cap: SimDuration) -> Self {
+        self.max_delay = cap;
+        self
+    }
+
+    /// Caps the cumulative delay spent across all retries.
+    #[must_use]
+    pub fn with_total_budget(mut self, budget: SimDuration) -> Self {
+        self.total_budget = budget;
+        self
+    }
+
+    /// Sets the multiplicative jitter fraction, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Maximum number of attempts this policy allows.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The per-delay cap.
+    pub fn max_delay(&self) -> SimDuration {
+        self.max_delay
+    }
+
+    /// The cumulative delay budget.
+    pub fn total_budget(&self) -> SimDuration {
+        self.total_budget
+    }
+
+    /// The jittered backoff delay after failed attempt `attempt`
+    /// (1-based). Always ≤ [`max_delay`](Self::max_delay).
+    pub fn delay_after<R: RngCore + ?Sized>(
+        &self,
+        attempt: u32,
+        rng: &mut R,
+    ) -> SimDuration {
+        let doublings = attempt.saturating_sub(1).min(62);
+        let raw = self.base_delay.saturating_mul(1u64 << doublings);
+        let capped = raw.min(self.max_delay);
+        if self.jitter <= 0.0 {
+            return capped;
+        }
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * rng.gen::<f64>();
+        let jittered =
+            SimDuration::from_nanos((capped.as_nanos() as f64 * factor) as u64);
+        jittered.min(self.max_delay)
+    }
+
+    /// The full backoff schedule for a fixed `seed`: the delays taken
+    /// after attempts `1..max_attempts`, truncated where the cumulative
+    /// sum would exceed `total_budget`. Deterministic per seed.
+    pub fn backoff_schedule(&self, seed: u64) -> Vec<SimDuration> {
+        let mut rng = hc_common::rng::seeded_stream(seed, 0x7e7);
+        let mut delays = Vec::new();
+        let mut spent = SimDuration::ZERO;
+        for attempt in 1..self.max_attempts {
+            let delay = self.delay_after(attempt, &mut rng);
+            if spent.as_nanos() + delay.as_nanos() > self.total_budget.as_nanos()
+            {
+                break;
+            }
+            spent = spent.saturating_add(delay);
+            delays.push(delay);
+        }
+        delays
+    }
+
+    /// Runs `op` under this policy, advancing `clock` by each backoff
+    /// delay. `op` receives the 1-based attempt number.
+    pub fn run<T, E>(
+        &self,
+        clock: &SimClock,
+        rng: &mut StdRng,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, RetryError<E>> {
+        let mut spent = SimDuration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(error) => {
+                    if attempt >= self.max_attempts {
+                        return Err(RetryError {
+                            attempts: attempt,
+                            error,
+                            budget_exhausted: false,
+                        });
+                    }
+                    let delay = self.delay_after(attempt, rng);
+                    if spent.as_nanos() + delay.as_nanos()
+                        > self.total_budget.as_nanos()
+                    {
+                        return Err(RetryError {
+                            attempts: attempt,
+                            error,
+                            budget_exhausted: true,
+                        });
+                    }
+                    spent = spent.saturating_add(delay);
+                    clock.advance(delay);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_common::rng::seeded;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::new(5, SimDuration::from_micros(100))
+    }
+
+    #[test]
+    fn succeeds_without_delay_on_first_attempt() {
+        let clock = SimClock::new();
+        let mut rng = seeded(1);
+        let out: Result<u32, RetryError<()>> =
+            policy().run(&clock, &mut rng, |_| Ok(7));
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(clock.now().as_nanos(), 0);
+    }
+
+    #[test]
+    fn retries_until_success_and_advances_clock() {
+        let clock = SimClock::new();
+        let mut rng = seeded(2);
+        let out = policy().run(&clock, &mut rng, |attempt| {
+            if attempt < 3 {
+                Err("transient")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        assert!(clock.now().as_nanos() > 0, "backoff advanced the clock");
+    }
+
+    #[test]
+    fn attempt_budget_enforced() {
+        let clock = SimClock::new();
+        let mut rng = seeded(3);
+        let out: Result<(), _> =
+            policy().run(&clock, &mut rng, |_| Err("always"));
+        let err = out.unwrap_err();
+        assert_eq!(err.attempts, 5);
+        assert!(!err.budget_exhausted);
+    }
+
+    #[test]
+    fn time_budget_enforced() {
+        let clock = SimClock::new();
+        let mut rng = seeded(4);
+        let tight = policy().with_total_budget(SimDuration::from_micros(150));
+        let out: Result<(), _> = tight.run(&clock, &mut rng, |_| Err("always"));
+        let err = out.unwrap_err();
+        assert!(err.budget_exhausted);
+        assert!(err.attempts < 5);
+        assert!(
+            clock.now().as_nanos() <= 150_000,
+            "never slept past the budget"
+        );
+    }
+
+    #[test]
+    fn schedule_deterministic_and_capped() {
+        let p = policy().with_max_delay(SimDuration::from_micros(250));
+        let a = p.backoff_schedule(42);
+        let b = p.backoff_schedule(42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|d| *d <= p.max_delay()));
+        let total: u64 = a.iter().map(|d| d.as_nanos()).sum();
+        assert!(total <= p.total_budget().as_nanos());
+    }
+}

@@ -1,0 +1,62 @@
+//! Deadline budgets on the simulated clock.
+
+use hc_common::clock::{SimClock, SimDuration, SimInstant};
+
+/// A deadline established when an operation starts, consulted at each
+/// step of a call chain. Cheap to copy and pass down.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeoutBudget {
+    deadline: SimInstant,
+}
+
+impl TimeoutBudget {
+    /// Starts a budget of `limit` from the clock's current instant.
+    pub fn starting_now(clock: &SimClock, limit: SimDuration) -> Self {
+        TimeoutBudget {
+            deadline: clock.now().saturating_add(limit),
+        }
+    }
+
+    /// The absolute deadline.
+    pub fn deadline(&self) -> SimInstant {
+        self.deadline
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self, clock: &SimClock) -> bool {
+        clock.now() >= self.deadline
+    }
+
+    /// Time left before the deadline (zero once expired).
+    pub fn remaining(&self, clock: &SimClock) -> SimDuration {
+        let now = clock.now();
+        if now >= self.deadline {
+            SimDuration::ZERO
+        } else {
+            self.deadline.duration_since(now)
+        }
+    }
+
+    /// Whether an additional `cost` still fits inside the budget.
+    pub fn admits(&self, clock: &SimClock, cost: SimDuration) -> bool {
+        cost <= self.remaining(clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expires_after_limit() {
+        let clock = SimClock::new();
+        let budget =
+            TimeoutBudget::starting_now(&clock, SimDuration::from_micros(10));
+        assert!(!budget.expired(&clock));
+        assert!(budget.admits(&clock, SimDuration::from_micros(10)));
+        assert!(!budget.admits(&clock, SimDuration::from_micros(11)));
+        clock.advance(SimDuration::from_micros(10));
+        assert!(budget.expired(&clock));
+        assert_eq!(budget.remaining(&clock), SimDuration::ZERO);
+    }
+}

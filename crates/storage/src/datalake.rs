@@ -14,11 +14,18 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use hc_common::clock::{SimClock, SimDuration};
+use hc_common::fault::{FaultInjector, FaultKind};
 use hc_common::id::{PatientId, ReferenceId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::wal::{WalOp, WriteAheadLog};
+use crate::wal::{WalError, WalOp, WriteAheadLog};
+
+/// Fault point consulted by [`DataLake::try_put`]: an active
+/// [`FaultKind::StorageCrash`] here crashes the store mid-WAL-append,
+/// leaving a torn record at the log tail for
+/// [`DataLake::recover_from_wal`] to clean up.
+pub const STORAGE_CRASH: &str = "storage.crash";
 
 /// Storage tier of a record version.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -56,6 +63,10 @@ pub enum LakeError {
         /// The missing version.
         version: u32,
     },
+    /// The store crashed mid-WAL-append: the write was lost and the log
+    /// tail is torn. Run [`DataLake::recover_from_wal`] before trusting
+    /// [`DataLake::verify_against_wal`] again.
+    CrashedMidWrite,
 }
 
 impl std::fmt::Display for LakeError {
@@ -66,8 +77,22 @@ impl std::fmt::Display for LakeError {
             LakeError::NoSuchVersion { reference, version } => {
                 write!(f, "record {reference} has no version {version}")
             }
+            LakeError::CrashedMidWrite => {
+                write!(f, "storage crashed mid-write; WAL tail is torn")
+            }
         }
     }
+}
+
+/// What [`DataLake::recover_from_wal`] found and fixed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WalRecoveryReport {
+    /// Intact records replayed from the log.
+    pub records_replayed: usize,
+    /// Torn-tail bytes discarded.
+    pub torn_bytes_discarded: usize,
+    /// Whether the lake verified clean against the repaired log.
+    pub consistent: bool,
 }
 
 impl std::error::Error for LakeError {}
@@ -86,6 +111,7 @@ pub struct DataLake {
     identity_map: HashMap<ReferenceId, PatientId>,
     hot_latency: SimDuration,
     cold_latency: SimDuration,
+    injector: FaultInjector,
 }
 
 impl std::fmt::Debug for DataLake {
@@ -108,7 +134,14 @@ impl DataLake {
             identity_map: HashMap::new(),
             hot_latency: SimDuration::from_micros(100),
             cold_latency: SimDuration::from_millis(20),
+            injector: FaultInjector::disabled(),
         }
+    }
+
+    /// Attaches a fault injector; [`STORAGE_CRASH`] faults hit
+    /// [`try_put`](Self::try_put).
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = injector;
     }
 
     /// Overrides tier access latencies.
@@ -129,6 +162,62 @@ impl DataLake {
         let reference = ReferenceId::random(rng);
         self.put_version_internal(reference, data, tags);
         reference
+    }
+
+    /// Fault-aware [`put`](Self::put): consults the [`STORAGE_CRASH`]
+    /// fault point first. A [`FaultKind::StorageCrash`] (or other hard
+    /// fault) there crashes the store mid-WAL-append — the in-memory
+    /// state never sees the write and the log is left with a torn tail.
+    /// A latency spike just slows the write down. With no injector (or
+    /// no active fault) this is exactly `put`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError::CrashedMidWrite`] when the scripted crash
+    /// fires.
+    pub fn try_put<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        data: Vec<u8>,
+        tags: &[(&str, &str)],
+    ) -> Result<ReferenceId, LakeError> {
+        match self.injector.check(STORAGE_CRASH) {
+            None => {}
+            Some(FaultKind::LatencySpike(extra)) => {
+                self.clock.advance(extra);
+            }
+            Some(_) => {
+                // Crash mid-append: the length prefix and most of the
+                // body hit the log, the tail did not, and the in-memory
+                // maps were never touched.
+                let reference = ReferenceId::random(rng);
+                self.wal.append_torn(reference.as_u128(), WalOp::Put, &data);
+                self.clock.advance(self.hot_latency);
+                return Err(LakeError::CrashedMidWrite);
+            }
+        }
+        Ok(self.put(rng, data, tags))
+    }
+
+    /// Crash recovery: replays the WAL, discards any torn tail, and
+    /// re-verifies the lake against the repaired log.
+    pub fn recover_from_wal(&mut self) -> WalRecoveryReport {
+        let (records, err) = self.wal.replay();
+        let mut report = WalRecoveryReport {
+            records_replayed: records.len(),
+            ..WalRecoveryReport::default()
+        };
+        if let Some(e) = err {
+            let offset = match e {
+                WalError::ChecksumMismatch { offset }
+                | WalError::TruncatedRecord { offset }
+                | WalError::MalformedRecord { offset } => offset,
+            };
+            report.torn_bytes_discarded = self.wal.byte_len() - offset;
+            self.wal.truncate_to(offset);
+        }
+        report.consistent = self.verify_against_wal().is_empty();
+        report
     }
 
     /// Appends a new version to an existing record.
@@ -578,6 +667,48 @@ mod wal_recovery_tests {
         let problems = lake.verify_against_wal();
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("diverges from WAL"));
+    }
+
+    #[test]
+    fn crash_mid_wal_append_recovers_consistently() {
+        use hc_common::fault::FaultSpec;
+
+        let clock = SimClock::new();
+        let mut lake = DataLake::new(clock.clone());
+        let mut rng = hc_common::rng::seeded(63);
+        let injector = FaultInjector::new(clock, 0xD1E);
+        injector.schedule(
+            STORAGE_CRASH,
+            FaultSpec::always(FaultKind::StorageCrash).limit(1),
+        );
+        lake.set_fault_injector(injector);
+
+        let r1 = lake.put(&mut rng, b"before".to_vec(), &[]);
+        let err = lake.try_put(&mut rng, b"doomed".to_vec(), &[]).unwrap_err();
+        assert_eq!(err, LakeError::CrashedMidWrite);
+        // The torn tail makes the log unverifiable until recovery runs.
+        assert!(lake.verify_against_wal()[0].contains("wal corruption"));
+
+        let report = lake.recover_from_wal();
+        assert_eq!(report.records_replayed, 1);
+        assert!(report.torn_bytes_discarded > 0);
+        assert!(report.consistent);
+        assert!(lake.verify_against_wal().is_empty());
+
+        // The crash budget is spent: writes work again and the durable
+        // record survived untouched.
+        let r2 = lake.try_put(&mut rng, b"after".to_vec(), &[]).unwrap();
+        assert_eq!(lake.get_latest(r1).unwrap().data, b"before");
+        assert_eq!(lake.get_latest(r2).unwrap().data, b"after");
+    }
+
+    #[test]
+    fn try_put_without_faults_is_plain_put() {
+        let mut lake = DataLake::new(SimClock::new());
+        let mut rng = hc_common::rng::seeded(64);
+        let r = lake.try_put(&mut rng, b"v".to_vec(), &[("k", "v")]).unwrap();
+        assert_eq!(lake.get_latest(r).unwrap().data, b"v");
+        assert!(lake.verify_against_wal().is_empty());
     }
 
     #[test]

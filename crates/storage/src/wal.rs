@@ -114,6 +114,25 @@ impl WriteAheadLog {
         seq
     }
 
+    /// Appends a record but tears its tail (the final 4 body bytes never
+    /// hit the log), simulating a crash mid-append. The record never
+    /// became durable, so its sequence number is not consumed. Returns
+    /// the byte offset of the torn record.
+    pub fn append_torn(&mut self, key: u128, op: WalOp, payload: &[u8]) -> usize {
+        let offset = self.buf.len();
+        self.append(key, op, payload);
+        self.next_seq -= 1;
+        let keep = self.buf.len().saturating_sub(4).max(offset);
+        self.buf.truncate(keep);
+        offset
+    }
+
+    /// Truncates the log to `offset` bytes — crash recovery discarding a
+    /// torn tail.
+    pub fn truncate_to(&mut self, offset: usize) {
+        self.buf.truncate(offset);
+    }
+
     /// Total log size in bytes.
     pub fn byte_len(&self) -> usize {
         self.buf.len()

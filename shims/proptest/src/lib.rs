@@ -1,0 +1,408 @@
+//! Offline shim of `proptest`.
+//!
+//! Re-implements the surface the workspace's property tests use:
+//! `proptest! { #[test] fn f(x in strategy, ...) { ... } }` with
+//! integer/float range strategies, `any::<T>()`,
+//! `proptest::collection::vec`, `proptest::array::uniform32`, regex-lite
+//! string strategies (`"[a-z ]{0,20}"`), tuple strategies, and the
+//! `prop_assert*` / `prop_assume` macros. Unlike upstream there is no
+//! shrinking and no persisted failure seeds: each test function derives
+//! a fixed RNG seed from its own name, so runs are fully deterministic
+//! and failures reproduce immediately.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to every strategy.
+pub type TestRng = StdRng;
+
+/// Derives the deterministic per-test RNG from the test's name.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the name: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Runner configuration.
+pub mod config {
+    /// Mirrors `proptest::test_runner::Config` for the fields used here.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the suite fast while
+            // still exercising each property broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A recipe for producing random values of one type.
+    pub trait Strategy {
+        /// The produced type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64
+    );
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    /// Regex-lite string strategy: a sequence of literal characters and
+    /// `[class]{m,n}` atoms, where a class holds literals and `a-z`
+    /// ranges. Covers the patterns used in this workspace (e.g.
+    /// `"[a-z ]{0,20}"`, `"[ -~]{0,80}"`).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let chars: Vec<char> = self.chars().collect();
+            let mut out = String::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let (choices, next) = parse_atom(&chars, i);
+                i = next;
+                let (lo, hi, next) = parse_repetition(&chars, i);
+                i = next;
+                let count = rng.gen_range(lo..=hi);
+                for _ in 0..count {
+                    out.push(choices[rng.gen_range(0..choices.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    fn parse_atom(chars: &[char], start: usize) -> (Vec<char>, usize) {
+        if chars[start] == '[' {
+            let mut choices = Vec::new();
+            let mut i = start + 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                    for code in lo..=hi {
+                        if let Some(c) = char::from_u32(code) {
+                            choices.push(c);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    choices.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(!choices.is_empty(), "empty character class in strategy pattern");
+            (choices, i + 1)
+        } else {
+            (vec![chars[start]], start + 1)
+        }
+    }
+
+    fn parse_repetition(chars: &[char], start: usize) -> (usize, usize, usize) {
+        if start >= chars.len() || chars[start] != '{' {
+            return (1, 1, start);
+        }
+        let close = chars[start..]
+            .iter()
+            .position(|&c| c == '}')
+            .expect("unclosed repetition in strategy pattern")
+            + start;
+        let body: String = chars[start + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("bad repetition bound"),
+                hi.trim().parse().expect("bad repetition bound"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("bad repetition bound");
+                (n, n)
+            }
+        };
+        (lo, hi, close + 1)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(
+        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+    );
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `proptest::collection` strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` of `element`-generated values with length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::array` strategies.
+pub mod array {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// The strategy returned by [`uniform32`].
+    pub struct Uniform32<S>(S);
+
+    /// A `[T; 32]` where every element comes from `element`.
+    pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+        Uniform32(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+/// The glob-imported convenience surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg (<$crate::config::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::config::ProptestConfig = $cfg;
+            let __strategies = ($($strat,)+);
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                $body
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Upstream regenerates rejected cases; the shim simply moves on, which
+/// preserves determinism at a small cost in effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_strategy_obeys_class_and_bounds() {
+        let mut rng = crate::test_rng("string_pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z ]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+            let t = Strategy::generate(&"[ -~]{0,80}", &mut rng);
+            assert!(t.len() <= 80);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_vecs_fit_bounds(
+            items in crate::collection::vec(any::<u8>(), 1..9),
+            flag in any::<bool>(),
+            scale in 0.5f64..2.0,
+        ) {
+            prop_assume!(items.len() != 3);
+            prop_assert!(!items.is_empty() && items.len() < 9);
+            prop_assert!((0.5..2.0).contains(&scale));
+            prop_assert!(u8::from(flag) <= 1);
+        }
+
+        #[test]
+        fn uniform32_has_32_entries(arr in crate::array::uniform32(any::<u8>())) {
+            prop_assert_eq!(arr.len(), 32);
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        use rand::Rng;
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -1,0 +1,536 @@
+//! Offline shim of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this macro parses the item's `TokenStream` by hand and
+//! emits impl code as a formatted string. It supports the shapes the
+//! workspace actually derives: named structs, tuple/newtype structs,
+//! and enums with unit / newtype / tuple / struct variants, in the
+//! default externally-tagged form or the internally-tagged
+//! `#[serde(tag = "...")]` form. Generic types are rejected.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Item {
+    name: String,
+    tag: Option<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (the shim's value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (the shim's value-tree rebuilding).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter: TokenIter = input.into_iter().peekable();
+    let mut tag = None;
+
+    // Leading attributes (doc comments arrive as `#[doc = ...]`) and
+    // visibility, capturing `#[serde(tag = "...")]` along the way.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    if let Some(t) = serde_tag_attr(&g) {
+                        tag = Some(t);
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(
+                    iter.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    iter.next();
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "type name");
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(&g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(&g))
+            }
+            other => panic!("unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive supports structs and enums, got `{other}`"),
+    };
+
+    Item { name, tag, kind }
+}
+
+/// Extracts `tag = "..."` from a `#[serde(...)]` attribute group body.
+fn serde_tag_attr(attr_body: &Group) -> Option<String> {
+    if attr_body.delimiter() != Delimiter::Bracket {
+        return None;
+    }
+    let mut iter = attr_body.stream().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else {
+        return None;
+    };
+    let mut args = args.stream().into_iter();
+    while let Some(tok) = args.next() {
+        if matches!(&tok, TokenTree::Ident(id) if id.to_string() == "tag") {
+            match (args.next(), args.next()) {
+                (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                    if eq.as_char() == '=' =>
+                {
+                    return Some(unquote(&lit.to_string()));
+                }
+                _ => return None,
+            }
+        }
+    }
+    None
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn expect_ident(iter: &mut TokenIter, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, got {other:?}"),
+    }
+}
+
+/// Skips `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(
+                    iter.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    iter.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes one type, tracking `<`/`>` nesting so commas inside generic
+/// arguments don't end the field early; stops after the field's
+/// trailing comma (or at end of stream).
+fn skip_type(iter: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    for tok in iter.by_ref() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+fn parse_named_fields(body: &Group) -> Vec<String> {
+    let mut iter: TokenIter = body.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected `:` after field, got {other:?}"),
+                }
+                skip_type(&mut iter);
+            }
+            None => break,
+            Some(other) => panic!("unexpected token in field list: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: &Group) -> usize {
+    let mut iter: TokenIter = body.stream().into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut iter);
+    }
+    count
+}
+
+fn parse_variants(body: &Group) -> Vec<Variant> {
+    let mut iter: TokenIter = body.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("unexpected token in variant list: {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&g.clone());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(&g.clone());
+                iter.next();
+                if arity == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(arity)
+                }
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(other) => panic!("expected `,` after variant, got {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut out = String::from(
+                "let mut __map = ::std::collections::BTreeMap::new();\n",
+            );
+            for f in fields {
+                out.push_str(&format!(
+                    "__map.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(__map)");
+            out
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => gen_serialize_enum(name, item.tag.as_deref(), variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_enum(name: &str, tag: Option<&str>, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        let arm = match (&v.kind, tag) {
+            (VariantKind::Unit, None) => format!(
+                "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+            ),
+            (VariantKind::Unit, Some(tag)) => format!(
+                "{name}::{vn} => {{\n\
+                     let mut __map = ::std::collections::BTreeMap::new();\n\
+                     __map.insert(\"{tag}\".to_string(), ::serde::Value::Str(\"{vn}\".to_string()));\n\
+                     ::serde::Value::Object(__map)\n\
+                 }}\n"
+            ),
+            (VariantKind::Newtype, None) => format!(
+                "{name}::{vn}(__f0) => {{\n\
+                     let mut __map = ::std::collections::BTreeMap::new();\n\
+                     __map.insert(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0));\n\
+                     ::serde::Value::Object(__map)\n\
+                 }}\n"
+            ),
+            (VariantKind::Newtype, Some(tag)) => format!(
+                "{name}::{vn}(__f0) => {{\n\
+                     match ::serde::Serialize::to_value(__f0) {{\n\
+                         ::serde::Value::Object(mut __map) => {{\n\
+                             __map.insert(\"{tag}\".to_string(), ::serde::Value::Str(\"{vn}\".to_string()));\n\
+                             ::serde::Value::Object(__map)\n\
+                         }}\n\
+                         __other => panic!(\"internally tagged variant {name}::{vn} must serialize to an object\"),\n\
+                     }}\n\
+                 }}\n"
+            ),
+            (VariantKind::Tuple(n), _) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vn}({}) => {{\n\
+                         let mut __map = ::std::collections::BTreeMap::new();\n\
+                         __map.insert(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]));\n\
+                         ::serde::Value::Object(__map)\n\
+                     }}\n",
+                    binds.join(", "),
+                    elems.join(", ")
+                )
+            }
+            (VariantKind::Struct(fields), tag) => {
+                let binds = fields.join(", ");
+                let mut inner = String::from(
+                    "let mut __inner = ::std::collections::BTreeMap::new();\n",
+                );
+                for f in fields {
+                    inner.push_str(&format!(
+                        "__inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                    ));
+                }
+                match tag {
+                    None => format!(
+                        "{name}::{vn} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut __map = ::std::collections::BTreeMap::new();\n\
+                             __map.insert(\"{vn}\".to_string(), ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__map)\n\
+                         }}\n"
+                    ),
+                    Some(tag) => format!(
+                        "{name}::{vn} {{ {binds} }} => {{\n\
+                             {inner}\
+                             __inner.insert(\"{tag}\".to_string(), ::serde::Value::Str(\"{vn}\".to_string()));\n\
+                             ::serde::Value::Object(__inner)\n\
+                         }}\n"
+                    ),
+                }
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut out = format!(
+                "let __map = ::serde::__private::as_object(__value, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                out.push_str(&format!("{f}: ::serde::__private::field(__map, \"{f}\")?,\n"));
+            }
+            out.push_str("})");
+            out
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let mut out = format!(
+                "let __items = ::serde::__private::as_array(__value, \"{name}\")?;\n\
+                 if __items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::msg(\n\
+                         format!(\"{name} expects {n} elements, got {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                out.push_str(&format!("::serde::Deserialize::from_value(&__items[{i}])?,\n"));
+            }
+            out.push_str("))");
+            out
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => match item.tag.as_deref() {
+            Some(tag) => gen_deserialize_tagged_enum(name, tag, variants),
+            None => gen_deserialize_plain_enum(name, variants),
+        },
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_plain_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            VariantKind::Newtype => payload_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(__payload)?)),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let mut arm = format!(
+                    "\"{vn}\" => {{\n\
+                         let __items = ::serde::__private::as_array(__payload, \"{name}::{vn}\")?;\n\
+                         if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::msg(\n\
+                                 format!(\"{name}::{vn} expects {n} elements, got {{}}\", __items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vn}(\n"
+                );
+                for i in 0..*n {
+                    arm.push_str(&format!("::serde::Deserialize::from_value(&__items[{i}])?,\n"));
+                }
+                arm.push_str("))\n}\n");
+                payload_arms.push_str(&arm);
+            }
+            VariantKind::Struct(fields) => {
+                let mut arm = format!(
+                    "\"{vn}\" => {{\n\
+                         let __inner = ::serde::__private::as_object(__payload, \"{name}::{vn}\")?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{\n"
+                );
+                for f in fields {
+                    arm.push_str(&format!(
+                        "{f}: ::serde::__private::field(__inner, \"{f}\")?,\n"
+                    ));
+                }
+                arm.push_str("})\n}\n");
+                payload_arms.push_str(&arm);
+            }
+        }
+    }
+    format!(
+        "match __value {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(\n\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__outer) if __outer.len() == 1 => {{\n\
+                 let (__variant, __payload) = __outer.iter().next().unwrap();\n\
+                 match __variant.as_str() {{\n\
+                     {payload_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::msg(\n\
+                         format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(::serde::DeError::msg(\n\
+                 format!(\"cannot deserialize {name} from {{__other:?}}\"))),\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_tagged_enum(name: &str, tag: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            VariantKind::Newtype => arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(__value)?)),\n"
+            )),
+            VariantKind::Tuple(_) => panic!(
+                "internally tagged enum {name} cannot hold tuple variant {vn}"
+            ),
+            VariantKind::Struct(fields) => {
+                let mut arm = format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{\n"
+                );
+                for f in fields {
+                    arm.push_str(&format!(
+                        "{f}: ::serde::__private::field(__map, \"{f}\")?,\n"
+                    ));
+                }
+                arm.push_str("}),\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!(
+        "let __map = ::serde::__private::as_object(__value, \"{name}\")?;\n\
+         let __tag = ::serde::__private::tag(__map, \"{tag}\", \"{name}\")?;\n\
+         match __tag {{\n\
+             {arms}\
+             __other => ::std::result::Result::Err(::serde::DeError::msg(\n\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         }}"
+    )
+}

@@ -164,8 +164,9 @@ fn invalidation_bus_keeps_many_clients_consistent() {
     use hc_cache::invalidation::{ConsistentClient, VersionedOrigin};
     use hc_cache::policy::LruCache;
 
+    type Client = ConsistentClient<String, u64, LruCache<String, (u64, u64)>>;
     let origin: std::sync::Arc<VersionedOrigin<String, u64>> = VersionedOrigin::new();
-    let mut clients: Vec<ConsistentClient<String, u64, LruCache<String, (u64, u64)>>> = (0..8)
+    let mut clients: Vec<Client> = (0..8)
         .map(|_| ConsistentClient::subscribe(std::sync::Arc::clone(&origin), LruCache::new(64)))
         .collect();
 
@@ -177,7 +178,7 @@ fn invalidation_bus_keeps_many_clients_consistent() {
         let key = format!("k{}", round % 16);
         origin.write(key.clone(), round);
         for c in &mut clients {
-            assert_eq!(c.read(&key), Some(round as u64), "round {round}");
+            assert_eq!(c.read(&key), Some(round), "round {round}");
         }
         // Random extra traffic.
         let other = format!("k{}", rng.gen_range(0..16));

@@ -1,0 +1,208 @@
+//! Platform-wide fault-injection scenario (E15's correctness side).
+//!
+//! One scripted schedule drives three overlapping failures through a
+//! booted platform — a provenance-ledger partition during ingestion, an
+//! external AI-service outage, and a storage crash mid-WAL-append — and
+//! verifies the resilience layer's end state:
+//!
+//! * only poison uploads are dead-lettered; clean and merely-unconsented
+//!   uploads keep their normal outcomes;
+//! * provenance anchors buffered through the partition are replayed after
+//!   the heal with zero loss;
+//! * the circuit breaker routes requests around the dead AI service;
+//! * WAL recovery leaves the data lake consistent;
+//! * the whole run is deterministic — same seed, identical fault trace.
+
+use hc_client::services::{
+    Capability, ServiceError, ServiceRegistry, SimulatedService, SERVICE_FAULT_PREFIX,
+};
+use hc_common::clock::SimDuration;
+use hc_common::fault::{FaultEvent, FaultInjector, FaultKind, FaultSpec};
+use hc_common::id::PatientId;
+use hc_core::platform::{demo_bundle, HealthCloudPlatform, PlatformConfig};
+use hc_ingest::pipeline::fault_points;
+use hc_ingest::status::IngestionStatus;
+use hc_ledger::chain::ChainStatus;
+use hc_ledger::provenance::ProvenanceAction;
+use hc_resilience::{BreakerState, HealthState};
+use hc_storage::datalake::{LakeError, STORAGE_CRASH};
+
+/// Runs the scripted scenario and returns the injector's fault trace
+/// (used by the determinism test) after asserting every invariant.
+fn run_scenario(seed: u64) -> Vec<FaultEvent> {
+    let platform = HealthCloudPlatform::bootstrap(PlatformConfig {
+        seed,
+        ledger_batch: 1,
+        ..PlatformConfig::default()
+    });
+    let injector = FaultInjector::new(platform.clock.clone(), seed);
+    platform
+        .pipeline
+        .enable_resilience(platform.clock.clone(), injector.clone(), seed);
+
+    // --- Phase 1: ledger partition during ingestion -------------------
+    injector.schedule(
+        fault_points::LEDGER_PARTITION,
+        FaultSpec::always(FaultKind::NetworkPartition),
+    );
+
+    let patient = PatientId::from_raw(900);
+    let device = platform.register_patient_device(patient);
+
+    // A clean consented bundle, a poison payload, and an unconsented
+    // bundle all arrive while the ledger is unreachable.
+    let clean_url = platform.upload(&device, &demo_bundle("p900", true)).unwrap();
+    let poison_sealed = platform
+        .pipeline
+        .seal_raw_upload(&device, b"{ this is not a bundle }")
+        .unwrap();
+    let poison_url = platform.pipeline.submit(device, poison_sealed);
+    // A different patient whose bundle carries no consent resource.
+    let other_device = platform.register_patient_device(PatientId::from_raw(901));
+    let unconsented_url = platform
+        .upload(&other_device, &demo_bundle("p901", false))
+        .unwrap();
+    assert_eq!(platform.process_ingestion(), 3);
+
+    // Ingestion succeeded in degraded mode: data stored, anchors buffered.
+    let IngestionStatus::Stored { references } = platform.ingestion_status(clean_url).unwrap()
+    else {
+        panic!("clean bundle must store through the partition");
+    };
+    let record = references[0];
+    assert!(platform.pipeline.is_degraded());
+    assert!(platform.pipeline.buffered_anchor_count() > 0);
+    assert_eq!(platform.refresh_health(), HealthState::Degraded(vec!["ingest".into()]));
+
+    // Only the poison payload was dead-lettered.
+    assert!(matches!(
+        platform.ingestion_status(poison_url).unwrap(),
+        IngestionStatus::DeadLettered { ref stage, .. } if stage == "validate"
+    ));
+    assert!(matches!(
+        platform.ingestion_status(unconsented_url).unwrap(),
+        IngestionStatus::Rejected { ref stage, .. } if stage == "consent"
+    ));
+    let stats = platform.pipeline.stats();
+    assert_eq!(stats.dead_lettered, 1);
+    assert_eq!(stats.stored, 1);
+    assert_eq!(platform.pipeline.dead_letters().len(), 1);
+
+    // --- Phase 2: AI-service outage, breaker routes around it ---------
+    let mut registry = ServiceRegistry::new(platform.clock.clone());
+    registry.set_fault_injector(injector.clone());
+    registry.register(SimulatedService {
+        name: "primary-nlu".into(),
+        capability: Capability::NaturalLanguage,
+        mean_latency: SimDuration::from_millis(20),
+        jitter: 0.1,
+        availability: 0.999,
+        accuracy: 0.95,
+    });
+    registry.register(SimulatedService {
+        name: "backup-nlu".into(),
+        capability: Capability::NaturalLanguage,
+        mean_latency: SimDuration::from_millis(45),
+        jitter: 0.1,
+        availability: 0.999,
+        accuracy: 0.93,
+    });
+    let outage_point = format!("{SERVICE_FAULT_PREFIX}primary-nlu");
+    injector.schedule(&outage_point, FaultSpec::always(FaultKind::HostCrash));
+
+    let mut rng = hc_common::rng::seeded_stream(seed, 0xE15);
+    // The scripted outage fails every direct call until the breaker trips.
+    for _ in 0..3 {
+        assert!(matches!(
+            registry.invoke_resilient("primary-nlu", &mut rng),
+            Err(ServiceError::Unavailable(_))
+        ));
+    }
+    assert_eq!(registry.breaker_state("primary-nlu"), Some(BreakerState::Open));
+    assert!(matches!(
+        registry.invoke_resilient("primary-nlu", &mut rng),
+        Err(ServiceError::CircuitOpen(_))
+    ));
+    // Failover serves the capability from the healthy backup.
+    let (provider, _response) = registry
+        .invoke_with_failover(Capability::NaturalLanguage, 0.9, &mut rng)
+        .unwrap();
+    assert_eq!(provider, "backup-nlu");
+
+    // --- Phase 3: storage crash mid-WAL-append ------------------------
+    injector.schedule(
+        STORAGE_CRASH,
+        FaultSpec::always(FaultKind::StorageCrash).limit(1),
+    );
+    {
+        let mut lake = platform.lake.lock();
+        lake.set_fault_injector(injector.clone());
+        let mut lake_rng = hc_common::rng::seeded_stream(seed, 0x1A4E);
+        assert_eq!(
+            lake.try_put(&mut lake_rng, b"doomed write".to_vec(), &[]),
+            Err(LakeError::CrashedMidWrite)
+        );
+        // Torn tail detected, discarded, and the lake verifies clean.
+        let recovery = lake.recover_from_wal();
+        assert!(recovery.torn_bytes_discarded > 0);
+        assert!(recovery.consistent);
+        assert!(lake.verify_against_wal().is_empty());
+        // The crash budget is spent; the next write lands durably.
+        let r = lake.try_put(&mut lake_rng, b"after".to_vec(), &[]).unwrap();
+        assert_eq!(lake.get_latest(r).unwrap().data, b"after");
+    }
+
+    // --- Phase 4: heal everything, replay, verify zero loss -----------
+    injector.heal(fault_points::LEDGER_PARTITION);
+    injector.heal(&outage_point);
+    let replayed = platform.pipeline.replay_buffered_anchors();
+    assert!(replayed > 0, "buffered anchors must replay after the heal");
+    assert_eq!(platform.pipeline.buffered_anchor_count(), 0);
+
+    assert_eq!(platform.verify_ledger(), ChainStatus::Valid);
+    let history = platform.audit_record(record);
+    let actions: Vec<ProvenanceAction> = history.iter().map(|e| e.action).collect();
+    assert_eq!(
+        actions,
+        vec![ProvenanceAction::Ingested, ProvenanceAction::Anonymized],
+        "no provenance event lost across the partition"
+    );
+
+    // The parked poison upload replays — and dead-letters again, since
+    // the payload is still malformed (replay is idempotent, not magic).
+    let report = platform.pipeline.replay_dead_letters();
+    assert_eq!(report.replayed, 0);
+    assert_eq!(report.requeued, 1);
+
+    assert_eq!(platform.refresh_health(), HealthState::Healthy);
+    injector.trace()
+}
+
+#[test]
+fn scripted_fault_schedule_end_to_end() {
+    let trace = run_scenario(0xF00D);
+    // The schedule actually fired: partition hits, outage hits, one
+    // storage crash, and three heals.
+    assert!(trace.iter().any(|e| matches!(
+        e,
+        FaultEvent::Injected { kind: FaultKind::StorageCrash, .. }
+    )));
+    assert!(trace.iter().any(|e| matches!(
+        e,
+        FaultEvent::Injected { kind: FaultKind::HostCrash, .. }
+    )));
+    assert!(trace.iter().filter(|e| matches!(e, FaultEvent::Healed { .. })).count() >= 2);
+}
+
+#[test]
+fn same_seed_same_fault_trace() {
+    let first = run_scenario(0xD0_0D);
+    let second = run_scenario(0xD0_0D);
+    assert_eq!(first, second, "fault injection must be deterministic");
+    let other = run_scenario(0xD0_0E);
+    // A different seed still passes every invariant; the traces may
+    // differ in timestamps/ordering details but both runs are internally
+    // consistent. (No assertion on inequality: the schedule here is
+    // mostly deterministic by construction.)
+    assert!(!other.is_empty());
+}

@@ -1,0 +1,76 @@
+//! Property-based tests on the resilience retry policy: the backoff
+//! schedule is a pure function of the seed, every delay respects the
+//! exponential-cap contract, and the whole schedule fits the time budget.
+
+use hc_common::clock::SimDuration;
+use hc_resilience::RetryPolicy;
+use proptest::prelude::*;
+
+fn policy(
+    max_attempts: u32,
+    base_us: u64,
+    max_delay_us: u64,
+    budget_us: u64,
+    jitter: f64,
+) -> RetryPolicy {
+    RetryPolicy::new(max_attempts, SimDuration::from_micros(base_us))
+        .with_max_delay(SimDuration::from_micros(max_delay_us))
+        .with_total_budget(SimDuration::from_micros(budget_us))
+        .with_jitter(jitter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        max_attempts in 1u32..12,
+        base_us in 1u64..10_000,
+        jitter in 0.0f64..0.9,
+    ) {
+        let p = policy(max_attempts, base_us, base_us * 64, base_us * 512, jitter);
+        let first = p.backoff_schedule(seed);
+        let second = p.backoff_schedule(seed);
+        prop_assert_eq!(first, second, "same seed must yield the same schedule");
+    }
+
+    #[test]
+    fn every_delay_bounded_by_cap(
+        seed in any::<u64>(),
+        max_attempts in 1u32..16,
+        base_us in 1u64..5_000,
+        cap_factor in 1u64..64,
+        jitter in 0.0f64..0.9,
+    ) {
+        let cap = base_us * cap_factor;
+        let p = policy(max_attempts, base_us, cap, u64::MAX / 2_000, jitter);
+        for delay in p.backoff_schedule(seed) {
+            prop_assert!(
+                delay <= SimDuration::from_micros(cap),
+                "delay {delay:?} exceeds cap {cap}us"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_total_fits_budget(
+        seed in any::<u64>(),
+        max_attempts in 1u32..16,
+        base_us in 1u64..5_000,
+        budget_factor in 1u64..256,
+        jitter in 0.0f64..0.9,
+    ) {
+        let budget_us = base_us * budget_factor;
+        let p = policy(max_attempts, base_us, base_us * 32, budget_us, jitter);
+        let schedule = p.backoff_schedule(seed);
+        prop_assert!(schedule.len() < max_attempts as usize + 1);
+        let total = schedule
+            .iter()
+            .fold(SimDuration::ZERO, |acc, d| acc.saturating_add(*d));
+        prop_assert!(
+            total <= SimDuration::from_micros(budget_us),
+            "total {total:?} exceeds budget {budget_us}us"
+        );
+    }
+}
