@@ -123,7 +123,12 @@ pub fn fit(cohort: &EmrCohort, config: &DeltConfig) -> DeltModel {
         by_patient[s.patient].push(idx);
     }
 
+    let iter_hist = crate::telemetry::histogram("analytics.delt.iter_wall_ns");
+    if let Some(fits) = crate::telemetry::counter("analytics.delt.fits") {
+        fits.inc();
+    }
     for _ in 0..config.outer_iters {
+        let iter_start = std::time::Instant::now();
         // (a) Per-patient (α_i, γ_i) on drug-adjusted residuals.
         if config.patient_baseline {
             for (pi, sample_ids) in by_patient.iter().enumerate() {
@@ -184,6 +189,9 @@ pub fn fit(cohort: &EmrCohort, config: &DeltConfig) -> DeltModel {
         }
         if let Some(solved) = solve(&xtx, &xtz) {
             beta = solved;
+        }
+        if let Some(h) = &iter_hist {
+            h.record(iter_start.elapsed().as_nanos() as u64);
         }
     }
 

@@ -163,8 +163,13 @@ pub fn fit(
     let mut drug_weights = uniform_d.clone();
     let mut disease_weights = uniform_s.clone();
 
+    let iter_hist = crate::telemetry::histogram("analytics.jmf.iter_wall_ns");
+    if let Some(fits) = crate::telemetry::counter("analytics.jmf.fits") {
+        fits.inc();
+    }
     let mut final_loss = f64::INFINITY;
     for iter in 0..config.iters {
+        let iter_start = std::time::Instant::now();
         let (res, assoc_loss) = weighted_residual(r, &u, &v, config.negative_weight);
         final_loss = assoc_loss;
 
@@ -208,6 +213,9 @@ pub fn fit(
                 config.weight_temperature,
                 m,
             );
+        }
+        if let Some(h) = &iter_hist {
+            h.record(iter_start.elapsed().as_nanos() as u64);
         }
     }
 

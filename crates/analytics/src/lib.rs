@@ -30,3 +30,4 @@ pub mod kmeans;
 pub mod lifecycle;
 pub mod matrix;
 pub mod mf;
+pub mod telemetry;

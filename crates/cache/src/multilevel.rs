@@ -10,9 +10,37 @@
 use std::collections::HashMap;
 
 use hc_common::clock::{SimClock, SimDuration};
+use hc_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::policy::CachePolicy;
 use crate::stats::CacheStats;
+
+/// Registry handles for one cache level (`cache.<level>.*`).
+struct LevelInstruments {
+    hits: Counter,
+    misses: Counter,
+    evictions: Gauge,
+}
+
+/// Registry handles for the whole hierarchy.
+struct HierarchyInstruments {
+    registry: Registry,
+    levels: Vec<LevelInstruments>,
+    origin_reads: Counter,
+    absent: Counter,
+    writes: Counter,
+    read_latency: Histogram,
+}
+
+impl HierarchyInstruments {
+    fn for_level(registry: &Registry, name: &str) -> LevelInstruments {
+        LevelInstruments {
+            hits: registry.counter(&format!("cache.{name}.hits")),
+            misses: registry.counter(&format!("cache.{name}.misses")),
+            evictions: registry.gauge(&format!("cache.{name}.evictions")),
+        }
+    }
+}
 
 /// One level of the hierarchy.
 pub struct Level<K, V> {
@@ -81,6 +109,7 @@ pub struct CacheHierarchy<K, V> {
     origin: HashMap<K, V>,
     origin_latency: SimDuration,
     origin_reads: u64,
+    instruments: Option<HierarchyInstruments>,
 }
 
 impl<K, V> std::fmt::Debug for CacheHierarchy<K, V> {
@@ -101,6 +130,38 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> CacheHierarchy<K, V> {
             origin: HashMap::new(),
             origin_latency,
             origin_reads: 0,
+            instruments: None,
+        }
+    }
+
+    /// Mirrors this hierarchy's counters into `registry` under
+    /// `cache.<level>.*` / `cache.origin.*` / `cache.read.*`. The
+    /// per-level [`CacheStats`] keep working unchanged; the registry
+    /// handles are updated lock-free on every read and write.
+    pub fn instrument(&mut self, registry: &Registry) {
+        let levels = self
+            .levels
+            .iter()
+            .map(|l| HierarchyInstruments::for_level(registry, &l.name))
+            .collect();
+        self.instruments = Some(HierarchyInstruments {
+            registry: registry.clone(),
+            levels,
+            origin_reads: registry.counter("cache.origin.reads"),
+            absent: registry.counter("cache.read.absent"),
+            writes: registry.counter("cache.write.count"),
+            read_latency: registry.histogram("cache.read.sim_latency_ns"),
+        });
+        self.sync_eviction_gauges();
+    }
+
+    /// Copies each level's eviction total from its [`CacheStats`] into
+    /// the corresponding `cache.<level>.evictions` gauge.
+    fn sync_eviction_gauges(&self) {
+        if let Some(inst) = &self.instruments {
+            for (level, li) in self.levels.iter().zip(&inst.levels) {
+                li.evictions.set(level.cache.stats().evictions as i64);
+            }
         }
     }
 
@@ -116,6 +177,9 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> CacheHierarchy<K, V> {
             cache,
             latency,
         });
+        if let Some(inst) = &mut self.instruments {
+            inst.levels.push(HierarchyInstruments::for_level(&inst.registry, name));
+        }
     }
 
     /// Reads `key`, charging simulated latency and filling nearer levels.
@@ -129,6 +193,17 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> CacheHierarchy<K, V> {
                     nearer.cache.put(key.clone(), value.clone());
                 }
                 self.clock.advance(spent);
+                if let Some(inst) = &self.instruments {
+                    inst.levels[i].hits.inc();
+                    for li in &inst.levels[..i] {
+                        li.misses.inc();
+                    }
+                    inst.read_latency.record(spent.as_nanos());
+                }
+                if i > 0 {
+                    // A fill happened, which may have evicted upstream.
+                    self.sync_eviction_gauges();
+                }
                 return ReadOutcome {
                     value: Some(value),
                     hit: HitLevel::Cache { index: i },
@@ -139,6 +214,14 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> CacheHierarchy<K, V> {
         spent += self.origin_latency;
         self.clock.advance(spent);
         self.origin_reads += 1;
+        if let Some(inst) = &self.instruments {
+            for li in &inst.levels {
+                li.misses.inc();
+            }
+            inst.origin_reads.inc();
+            inst.read_latency.record(spent.as_nanos());
+        }
+        self.sync_eviction_gauges();
         match self.origin.get(key).cloned() {
             Some(value) => {
                 for level in &mut self.levels {
@@ -150,11 +233,16 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> CacheHierarchy<K, V> {
                     latency: spent,
                 }
             }
-            None => ReadOutcome {
-                value: None,
-                hit: HitLevel::Absent,
-                latency: spent,
-            },
+            None => {
+                if let Some(inst) = &self.instruments {
+                    inst.absent.inc();
+                }
+                ReadOutcome {
+                    value: None,
+                    hit: HitLevel::Absent,
+                    latency: spent,
+                }
+            }
         }
     }
 
@@ -167,6 +255,9 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> CacheHierarchy<K, V> {
         }
         self.origin.insert(key, value);
         self.clock.advance(self.origin_latency);
+        if let Some(inst) = &self.instruments {
+            inst.writes.inc();
+        }
         self.origin_latency
     }
 
@@ -302,6 +393,25 @@ mod tests {
         assert_eq!(stats[0].1.hits, 1);
         assert_eq!(stats[0].1.misses, 1);
         assert_eq!(h.origin_reads(), 1);
+    }
+
+    #[test]
+    fn instrumented_reads_mirror_into_registry() {
+        let mut h = hierarchy();
+        let registry = Registry::new();
+        h.instrument(&registry);
+        h.write("k".into(), 1);
+        let _ = h.read(&"k".to_string()); // origin (miss both levels)
+        let _ = h.read(&"k".to_string()); // client hit
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cache.client.hits"), Some(1));
+        assert_eq!(snap.counter("cache.client.misses"), Some(1));
+        assert_eq!(snap.counter("cache.server.misses"), Some(1));
+        assert_eq!(snap.counter("cache.origin.reads"), Some(1));
+        assert_eq!(snap.counter("cache.write.count"), Some(1));
+        let lat = snap.histogram("cache.read.sim_latency_ns").unwrap();
+        assert_eq!(lat.count, 2);
+        assert!(lat.max > lat.min, "origin read must be slower than a hit");
     }
 
     #[test]

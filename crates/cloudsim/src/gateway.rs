@@ -16,12 +16,38 @@
 
 use hc_common::clock::{SimClock, SimDuration};
 use hc_common::fault::FaultInjector;
+use hc_telemetry::{Counter, Histogram, Registry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 
 use hc_resilience::RetryPolicy;
 
-use crate::net::{Location, NetworkModel};
+use crate::net::{LinkClass, Location, NetworkModel};
+
+/// Registry handles for gateway traffic (`cloudsim.gateway.*` and
+/// per-link-class `cloudsim.link.<class>.*`).
+#[derive(Debug)]
+struct GatewayInstruments {
+    ship_data: Counter,
+    ship_compute: Counter,
+    partition_hits: Counter,
+    attestation_failures: Counter,
+    retries: Counter,
+    bytes_moved: Counter,
+    /// Makespan histograms indexed by [`LinkClass`] order: local,
+    /// intra-region, inter-region.
+    link_latency: [Histogram; 3],
+}
+
+impl GatewayInstruments {
+    fn link_histogram(&self, class: LinkClass) -> &Histogram {
+        match class {
+            LinkClass::Local => &self.link_latency[0],
+            LinkClass::IntraRegion => &self.link_latency[1],
+            LinkClass::InterRegion => &self.link_latency[2],
+        }
+    }
+}
 
 /// Fault point consulted before every intercloud shipment: while a
 /// [`hc_common::fault::FaultKind::NetworkPartition`] is active here the
@@ -92,6 +118,7 @@ pub struct IntercloudGateway {
     pub attestation_cost: SimDuration,
     injector: FaultInjector,
     partitioned: Mutex<bool>,
+    instruments: Option<GatewayInstruments>,
 }
 
 impl IntercloudGateway {
@@ -105,7 +132,28 @@ impl IntercloudGateway {
             attestation_cost: SimDuration::from_millis(120),
             injector: FaultInjector::disabled(),
             partitioned: Mutex::new(false),
+            instruments: None,
         }
+    }
+
+    /// Mirrors gateway traffic into `registry`: shipment and failure
+    /// counters under `cloudsim.gateway.*`, bytes moved, and a
+    /// simulated transfer-latency histogram per link class under
+    /// `cloudsim.link.<class>.sim_latency_ns`.
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.instruments = Some(GatewayInstruments {
+            ship_data: registry.counter("cloudsim.gateway.ship_data"),
+            ship_compute: registry.counter("cloudsim.gateway.ship_compute"),
+            partition_hits: registry.counter("cloudsim.gateway.partition_hits"),
+            attestation_failures: registry.counter("cloudsim.gateway.attestation_failures"),
+            retries: registry.counter("cloudsim.gateway.retries"),
+            bytes_moved: registry.counter("cloudsim.gateway.bytes_moved"),
+            link_latency: [
+                registry.histogram("cloudsim.link.local.sim_latency_ns"),
+                registry.histogram("cloudsim.link.intra_region.sim_latency_ns"),
+                registry.histogram("cloudsim.link.inter_region.sim_latency_ns"),
+            ],
+        });
     }
 
     /// Overrides the network model.
@@ -156,6 +204,12 @@ impl IntercloudGateway {
             attested: false,
         };
         self.clock.advance(report.makespan());
+        if let Some(inst) = &self.instruments {
+            inst.ship_data.inc();
+            inst.bytes_moved.add(dataset_bytes);
+            inst.link_histogram(self.net.classify(self.data_site, self.compute_site))
+                .record(transfer.as_nanos());
+        }
         report
     }
 
@@ -179,6 +233,9 @@ impl IntercloudGateway {
             // The gateway probes the peer and times out after one WAN RTT.
             self.clock
                 .advance(self.net.latency(self.compute_site, self.data_site));
+            if let Some(inst) = &self.instruments {
+                inst.partition_hits.inc();
+            }
             return Err(GatewayError::LinkPartitioned);
         }
         let transfer = self
@@ -194,10 +251,21 @@ impl IntercloudGateway {
                     attested: true,
                 };
                 self.clock.advance(report.makespan());
+                if let Some(inst) = &self.instruments {
+                    inst.ship_compute.inc();
+                    inst.bytes_moved.add(container_bytes);
+                    inst.link_histogram(
+                        self.net.classify(self.compute_site, self.data_site),
+                    )
+                    .record(transfer.as_nanos());
+                }
                 Ok(report)
             }
             Err(reason) => {
                 self.clock.advance(transfer + self.attestation_cost);
+                if let Some(inst) = &self.instruments {
+                    inst.attestation_failures.inc();
+                }
                 Err(GatewayError::AttestationFailed { reason })
             }
         }
@@ -231,6 +299,9 @@ impl IntercloudGateway {
                 Err(GatewayError::LinkPartitioned) if attempt < policy.max_attempts() => {
                     self.clock.advance(policy.delay_after(attempt, rng));
                     attempt += 1;
+                    if let Some(inst) = &self.instruments {
+                        inst.retries.inc();
+                    }
                 }
                 Err(err) => return Err(err),
             }

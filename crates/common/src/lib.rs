@@ -28,6 +28,8 @@
 //! assert_eq!(id.as_u128(), 42);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod fault;
 pub mod hex;

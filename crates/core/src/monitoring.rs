@@ -9,6 +9,7 @@
 use hc_ingest::pipeline::PipelineStats;
 use hc_ledger::chain::ChainStatus;
 use hc_resilience::HealthState;
+use hc_telemetry::TelemetrySnapshot;
 
 use crate::platform::HealthCloudPlatform;
 
@@ -58,6 +59,22 @@ pub enum Alarm {
     },
     /// A critical subsystem is down; the platform is unavailable.
     PlatformUnavailable,
+    /// The ingestion dead-letter queue holds a backlog of failed jobs.
+    DeadLetterBacklog {
+        /// Jobs currently parked in the DLQ (`ingest.dlq.depth`).
+        depth: i64,
+    },
+    /// A circuit breaker is currently open — a dependency is being
+    /// shielded from further calls.
+    BreakerOpen {
+        /// The breaker's registered name.
+        name: String,
+    },
+    /// Anchor transactions are buffered awaiting ledger reachability.
+    AnchorsBuffered {
+        /// Anchors waiting for replay (`ingest.anchors.buffered`).
+        count: i64,
+    },
 }
 
 /// Collects a health report from a running platform.
@@ -118,6 +135,48 @@ pub fn alarms(report: &HealthReport) -> Vec<Alarm> {
         HealthState::Unavailable => alarms.push(Alarm::PlatformUnavailable),
     }
     alarms
+}
+
+/// Dead-letter depth at or above this raises [`Alarm::DeadLetterBacklog`].
+pub const DLQ_BACKLOG_THRESHOLD: i64 = 3;
+
+/// Evaluates the alarm rules over a report *and* a telemetry snapshot.
+///
+/// Extends [`alarms`] with rules that read the metrics registry
+/// (see [`crate::platform::HealthCloudPlatform::telemetry_snapshot`]):
+///
+/// * `ingest.dlq.depth` ≥ [`DLQ_BACKLOG_THRESHOLD`] →
+///   [`Alarm::DeadLetterBacklog`];
+/// * any `resilience.breaker.<name>.state` gauge at
+///   `Open` → [`Alarm::BreakerOpen`];
+/// * `ingest.anchors.buffered` > 0 → [`Alarm::AnchorsBuffered`].
+pub fn alarms_with_telemetry(
+    report: &HealthReport,
+    telemetry: &TelemetrySnapshot,
+) -> Vec<Alarm> {
+    let mut raised = alarms(report);
+    if let Some(depth) = telemetry.gauge("ingest.dlq.depth") {
+        if depth >= DLQ_BACKLOG_THRESHOLD {
+            raised.push(Alarm::DeadLetterBacklog { depth });
+        }
+    }
+    for gauge in &telemetry.gauges {
+        let Some(rest) = gauge.name.strip_prefix("resilience.breaker.") else {
+            continue;
+        };
+        let Some(name) = rest.strip_suffix(".state") else {
+            continue;
+        };
+        if gauge.value == hc_resilience::BreakerState::Open.as_gauge() {
+            raised.push(Alarm::BreakerOpen { name: name.to_string() });
+        }
+    }
+    if let Some(count) = telemetry.gauge("ingest.anchors.buffered") {
+        if count > 0 {
+            raised.push(Alarm::AnchorsBuffered { count });
+        }
+    }
+    raised
 }
 
 #[cfg(test)]
@@ -202,6 +261,38 @@ mod tests {
         let report = collect(&platform);
         assert_eq!(report.health, hc_resilience::HealthState::Healthy);
         assert!(alarms(&report).is_empty(), "{:?}", alarms(&report));
+    }
+
+    #[test]
+    fn telemetry_snapshot_feeds_alarm_rules() {
+        let platform = HealthCloudPlatform::bootstrap(PlatformConfig::default());
+        let device = platform.register_patient_device(PatientId::from_raw(1));
+        platform.upload(&device, &demo_bundle("p1", true)).unwrap();
+        platform.process_ingestion();
+        let report = collect(&platform);
+        let snap = platform.telemetry_snapshot();
+        assert!(
+            !snap.is_empty(),
+            "bootstrap wires the pipeline into the registry"
+        );
+        assert!(alarms_with_telemetry(&report, &snap).is_empty());
+
+        // Simulate a DLQ backlog and an open breaker via a synthetic
+        // registry: both telemetry-only rules must fire.
+        let registry = hc_telemetry::Registry::new();
+        registry.gauge("ingest.dlq.depth").set(DLQ_BACKLOG_THRESHOLD);
+        registry
+            .gauge("resilience.breaker.ledger.state")
+            .set(hc_resilience::BreakerState::Open.as_gauge());
+        registry.gauge("ingest.anchors.buffered").set(2);
+        let raised = alarms_with_telemetry(&report, &registry.snapshot());
+        assert!(raised.contains(&Alarm::DeadLetterBacklog {
+            depth: DLQ_BACKLOG_THRESHOLD
+        }));
+        assert!(raised.contains(&Alarm::BreakerOpen {
+            name: "ledger".into()
+        }));
+        assert!(raised.contains(&Alarm::AnchorsBuffered { count: 2 }));
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct HealthCloudPlatform {
     pub mixer: IdentityMixer,
     /// Subsystem health aggregation (Healthy → Degraded → Unavailable).
     pub health: Mutex<DegradationTracker>,
+    /// The platform-wide metric registry (see `OBSERVABILITY.md`).
+    /// Every subsystem bootstrapped here reports into it; snapshot it
+    /// via [`HealthCloudPlatform::telemetry_snapshot`].
+    pub telemetry: hc_telemetry::Registry,
     rng: Mutex<StdRng>,
 }
 
@@ -125,8 +129,20 @@ impl HealthCloudPlatform {
     ///
     /// Panics if `consensus_peers < 4` (PBFT needs 3f+1 ≥ 4).
     pub fn bootstrap(config: PlatformConfig) -> Self {
+        Self::bootstrap_instrumented(config, true)
+    }
+
+    /// [`bootstrap`](Self::bootstrap) with telemetry optional.
+    ///
+    /// With `telemetry_on = false` no subsystem is instrumented and the
+    /// platform's registry stays empty — the baseline E16 measures
+    /// instrumentation overhead against. Note the analytics recorder is
+    /// crate-global, so an uninstrumented platform should not share a
+    /// process with an instrumented one whose analytics metrics matter.
+    pub fn bootstrap_instrumented(config: PlatformConfig, telemetry_on: bool) -> Self {
         let clock = SimClock::new();
         let mut rng = hc_common::rng::seeded(config.seed);
+        let telemetry = hc_telemetry::Registry::new();
 
         let kms = Arc::new(KeyManagementSystem::new(&mut rng));
         let lake = Arc::new(Mutex::new(DataLake::new(clock.clone())));
@@ -142,11 +158,11 @@ impl HealthCloudPlatform {
         ledger.install_policy(Box::new(ProvenancePolicy));
         ledger.install_policy(Box::new(MalwarePolicy));
         ledger.install_policy(Box::new(PrivacyPolicy { min_k: 2 }));
-        let provenance = Arc::new(Mutex::new(ProvenanceNetwork::new(
-            ledger,
-            clock.clone(),
-            config.ledger_batch,
-        )));
+        let mut provenance_net = ProvenanceNetwork::new(ledger, clock.clone(), config.ledger_batch);
+        if telemetry_on {
+            provenance_net.instrument(&telemetry);
+        }
+        let provenance = Arc::new(Mutex::new(provenance_net));
 
         let mut rbac = RbacEngine::new();
         let (tenant, org, _dev_env) = rbac.register_tenant(&mut rng, &config.tenant_name);
@@ -172,6 +188,12 @@ impl HealthCloudPlatform {
             &config.study_name,
             config.seed,
         );
+        if telemetry_on {
+            pipeline.enable_telemetry(&telemetry);
+            // Analytics kernels (JMF/DELT) report through the crate-wide
+            // recorder; the platform's registry is the natural home.
+            hc_analytics::telemetry::install(&telemetry);
+        }
 
         // The identity blockchain is a *separate* permissioned network,
         // as the paper describes for its per-purpose networks.
@@ -219,8 +241,17 @@ impl HealthCloudPlatform {
             identity_network: Mutex::new(identity_network),
             mixer,
             health: Mutex::new(health),
+            telemetry,
             rng: Mutex::new(hc_common::rng::seeded_stream(config.seed, 1001)),
         }
+    }
+
+    /// A point-in-time view of every metric the platform's subsystems
+    /// have reported (see `OBSERVABILITY.md` for the name catalogue).
+    /// Feed it to [`crate::monitoring::alarms_with_telemetry`] or an
+    /// exporter in [`hc_telemetry::export`].
+    pub fn telemetry_snapshot(&self) -> hc_telemetry::TelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// Re-derives subsystem statuses from live platform signals and

@@ -121,6 +121,29 @@ struct Job {
     sealed: Sealed,
 }
 
+/// Stage names in pipeline order, used for `ingest.stage.<name>.wall_ns`
+/// histograms (the seventh entry times provenance anchoring).
+const STAGE_NAMES: [&str; 7] =
+    ["decrypt", "validate", "malware_scan", "consent", "deid", "store", "anchor"];
+
+/// Registry handles, installed by [`IngestionPipeline::enable_telemetry`].
+///
+/// Stage histograms record *wall* nanoseconds a job spent in each stage
+/// it passed; jobs rejected or dead-lettered at a stage count in the
+/// outcome counters instead.
+struct PipelineInstruments {
+    stage_wall: Vec<hc_telemetry::Histogram>,
+    received: hc_telemetry::Counter,
+    stored: hc_telemetry::Counter,
+    rejected: hc_telemetry::Counter,
+    dead_lettered: hc_telemetry::Counter,
+    retries: hc_telemetry::Counter,
+    queue_depth: hc_telemetry::Gauge,
+    dlq_depth: hc_telemetry::Gauge,
+    anchors_buffered: hc_telemetry::Gauge,
+    anchors_replayed: hc_telemetry::Counter,
+}
+
 /// Resilience state, installed by [`IngestionPipeline::enable_resilience`].
 struct Resilience {
     clock: SimClock,
@@ -144,6 +167,7 @@ pub struct IngestionPipeline {
     rng: Mutex<rand::rngs::StdRng>,
     next_ingestion: Mutex<u128>,
     resilience: Mutex<Option<Resilience>>,
+    telemetry: Mutex<Option<Arc<PipelineInstruments>>>,
 }
 
 impl std::fmt::Debug for IngestionPipeline {
@@ -202,7 +226,35 @@ impl IngestionPipeline {
             rng: Mutex::new(hc_common::rng::seeded_stream(seed, 909)),
             next_ingestion: Mutex::new(0),
             resilience: Mutex::new(None),
+            telemetry: Mutex::new(None),
         }
+    }
+
+    /// Turns on telemetry: per-stage wall-clock histograms
+    /// (`ingest.stage.<name>.wall_ns`), outcome counters and queue/DLQ
+    /// depth gauges, all under the `ingest.*` prefix. The existing
+    /// [`PipelineStats`] counters keep working unchanged.
+    pub fn enable_telemetry(&self, registry: &hc_telemetry::Registry) {
+        *self.telemetry.lock() = Some(Arc::new(PipelineInstruments {
+            stage_wall: STAGE_NAMES
+                .iter()
+                .map(|s| registry.histogram(&format!("ingest.stage.{s}.wall_ns")))
+                .collect(),
+            received: registry.counter("ingest.jobs.received"),
+            stored: registry.counter("ingest.jobs.stored"),
+            rejected: registry.counter("ingest.jobs.rejected"),
+            dead_lettered: registry.counter("ingest.jobs.dead_lettered"),
+            retries: registry.counter("ingest.retry.count"),
+            queue_depth: registry.gauge("ingest.queue.depth"),
+            dlq_depth: registry.gauge("ingest.dlq.depth"),
+            anchors_buffered: registry.gauge("ingest.anchors.buffered"),
+            anchors_replayed: registry.counter("ingest.anchors.replayed"),
+        }));
+    }
+
+    /// The installed telemetry handles, if any (cheap `Arc` clone).
+    fn instruments(&self) -> Option<Arc<PipelineInstruments>> {
+        self.telemetry.lock().clone()
     }
 
     /// Turns on the resilience layer: stage-level retries against
@@ -267,6 +319,10 @@ impl IngestionPipeline {
                 }
                 break;
             }
+        }
+        if let Some(inst) = self.instruments() {
+            inst.anchors_replayed.add(replayed as u64);
+            inst.anchors_buffered.set(self.buffered_anchor_count() as i64);
         }
         replayed
     }
@@ -384,6 +440,10 @@ impl IngestionPipeline {
                 sealed,
             })
             .expect("queue never closes while the pipeline lives");
+        if let Some(inst) = self.instruments() {
+            inst.received.inc();
+            inst.queue_depth.set(self.rx.len() as i64);
+        }
         StatusUrl(id)
     }
 
@@ -405,6 +465,20 @@ impl IngestionPipeline {
                     .push(job.clone(), format!("{stage}: {reason}"), attempts, at);
             }
             self.stats.lock().dead_lettered += 1;
+        }
+        if let Some(inst) = self.instruments() {
+            match &outcome {
+                IngestionStatus::Stored { .. } => inst.stored.inc(),
+                IngestionStatus::Rejected { .. } => inst.rejected.inc(),
+                IngestionStatus::DeadLettered { .. } => {
+                    inst.dead_lettered.inc();
+                    let depth =
+                        self.resilience.lock().as_ref().map_or(0, |r| r.dlq.len());
+                    inst.dlq_depth.set(depth as i64);
+                }
+                _ => {}
+            }
+            inst.queue_depth.set(self.rx.len() as i64);
         }
         self.statuses.lock().insert(id, outcome);
         Some(id)
@@ -474,6 +548,9 @@ impl IngestionPipeline {
                     let delay = res.retry.delay_after(attempt, &mut res.rng);
                     res.clock.advance(delay);
                     self.stats.lock().retried += 1;
+                    if let Some(inst) = self.instruments() {
+                        inst.retries.inc();
+                    }
                 }
                 Some(kind @ (FaultKind::HostCrash | FaultKind::StorageCrash)) => {
                     return Err(format!("unrecoverable fault: {kind:?}"));
@@ -490,7 +567,11 @@ impl IngestionPipeline {
             if let Some(res) = guard.as_mut() {
                 if res.injector.is_active(fault_points::LEDGER_PARTITION) {
                     res.buffered_anchors.push(event);
+                    let depth = res.buffered_anchors.len();
                     self.stats.lock().anchors_buffered += 1;
+                    if let Some(inst) = self.instruments() {
+                        inst.anchors_buffered.set(depth as i64);
+                    }
                     return;
                 }
             }
@@ -502,7 +583,11 @@ impl IngestionPipeline {
             let mut guard = self.resilience.lock();
             if let Some(res) = guard.as_mut() {
                 res.buffered_anchors.push(event);
+                let depth = res.buffered_anchors.len();
                 self.stats.lock().anchors_buffered += 1;
+                if let Some(inst) = self.instruments() {
+                    inst.anchors_buffered.set(depth as i64);
+                }
             }
         }
     }
@@ -515,6 +600,16 @@ impl IngestionPipeline {
     }
 
     fn run_stages(&self, job: &Job) -> IngestionStatus {
+        let inst = self.instruments();
+        let mut stage_start = std::time::Instant::now();
+        // Records the wall time of stage `idx` and restarts the stopwatch.
+        let mark = |idx: usize, start: &mut std::time::Instant| {
+            if let Some(inst) = &inst {
+                inst.stage_wall[idx].record(start.elapsed().as_nanos() as u64);
+            }
+            *start = std::time::Instant::now();
+        };
+
         // 1. Decrypt + integrity/authenticity verification.
         self.set_status(job.id, IngestionStatus::Decrypting);
         if let Err(reason) = self.stage_guard(fault_points::DECRYPT) {
@@ -533,6 +628,7 @@ impl IngestionPipeline {
                 return self.reject("decrypt", e.to_string());
             }
         };
+        mark(0, &mut stage_start);
 
         // 2. Validate / curate.
         self.set_status(job.id, IngestionStatus::Validating);
@@ -565,6 +661,7 @@ impl IngestionPipeline {
                 .unwrap_or_default();
             return self.reject("validate", first);
         }
+        mark(1, &mut stage_start);
 
         // 3. Malware filtration.
         self.set_status(job.id, IngestionStatus::Scanning);
@@ -592,6 +689,7 @@ impl IngestionPipeline {
             let _ = provenance.ledger_mut().submit(vec![tx]);
             return self.reject("malware-scan", format!("signature {}", detection.signature_name));
         }
+        mark(2, &mut stage_start);
 
         // 4. Consent: apply in-bundle consents, then verify.
         self.set_status(job.id, IngestionStatus::CheckingConsent);
@@ -634,6 +732,7 @@ impl IngestionPipeline {
                 );
             }
         }
+        mark(3, &mut stage_start);
 
         // 5. De-identify + anonymization verification.
         self.set_status(job.id, IngestionStatus::DeIdentifying);
@@ -652,6 +751,7 @@ impl IngestionPipeline {
                 return self.reject("anonymization-verification", violations.join("; "));
             }
         }
+        mark(4, &mut stage_start);
 
         // 6. Encrypt at rest under a fresh per-record key and store.
         if let Err(reason) = self.stage_guard(fault_points::STORE) {
@@ -692,6 +792,7 @@ impl IngestionPipeline {
             .pseudonyms
             .lock()
             .insert(reference, deidentified.pseudonyms);
+        mark(5, &mut stage_start);
 
         // 7. Anchor provenance. Under a ledger partition these buffer
         // in degraded mode and replay on heal, so a reachable ledger is
@@ -710,6 +811,7 @@ impl IngestionPipeline {
             actor: "deid-service".into(),
             detail: String::new(),
         });
+        mark(6, &mut stage_start);
 
         self.stats.lock().stored += 1;
         IngestionStatus::Stored {

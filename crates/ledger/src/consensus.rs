@@ -10,6 +10,18 @@
 //! faulty.
 
 use hc_common::clock::{SimClock, SimDuration};
+use hc_telemetry::{Counter, Histogram, Registry};
+
+/// Registry handles for consensus metrics (`ledger.consensus.*`).
+#[derive(Clone, Debug)]
+struct ConsensusInstruments {
+    rounds: Counter,
+    commits: Counter,
+    messages: Counter,
+    view_changes: Counter,
+    quorum_failures: Counter,
+    latency: Histogram,
+}
 
 /// The outcome of one consensus instance.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -61,6 +73,7 @@ pub struct PbftCluster {
     view_change_timeout: SimDuration,
     clock: SimClock,
     total_messages: u64,
+    instruments: Option<ConsensusInstruments>,
 }
 
 impl PbftCluster {
@@ -81,7 +94,22 @@ impl PbftCluster {
             view_change_timeout: link_latency.saturating_mul(10),
             clock,
             total_messages: 0,
+            instruments: None,
         })
+    }
+
+    /// Mirrors per-instance consensus metrics into `registry` under
+    /// `ledger.consensus.*` (rounds, commits, messages, view changes,
+    /// quorum failures, and a simulated commit-latency histogram).
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.instruments = Some(ConsensusInstruments {
+            rounds: registry.counter("ledger.consensus.rounds"),
+            commits: registry.counter("ledger.consensus.commits"),
+            messages: registry.counter("ledger.consensus.messages"),
+            view_changes: registry.counter("ledger.consensus.view_changes"),
+            quorum_failures: registry.counter("ledger.consensus.quorum_failures"),
+            latency: registry.histogram("ledger.consensus.sim_latency_ns"),
+        });
     }
 
     /// Number of peers.
@@ -127,6 +155,10 @@ impl PbftCluster {
         let f = self.tolerated_faults();
         let faulty_count = self.n - self.honest_count();
         if faulty_count > f {
+            if let Some(inst) = &self.instruments {
+                inst.rounds.inc();
+                inst.quorum_failures.inc();
+            }
             return Err(ConsensusError::TooManyFaults {
                 faulty: faulty_count,
                 tolerated: f,
@@ -161,6 +193,15 @@ impl PbftCluster {
         let committed = self.honest_count() >= quorum;
         self.total_messages += messages;
         self.clock.advance(latency);
+        if let Some(inst) = &self.instruments {
+            inst.rounds.inc();
+            if committed {
+                inst.commits.inc();
+            }
+            inst.messages.add(messages);
+            inst.view_changes.add(view_changes as u64);
+            inst.latency.record(latency.as_nanos());
+        }
         Ok(ConsensusOutcome {
             committed,
             messages,

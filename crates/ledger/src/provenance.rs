@@ -9,6 +9,7 @@
 use hc_common::clock::SimClock;
 use hc_common::id::{ReferenceId, TxId};
 use hc_crypto::sha256::Digest;
+use hc_telemetry::{Counter, Gauge, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::block::Transaction;
@@ -90,6 +91,15 @@ impl ProvenanceEvent {
     }
 }
 
+/// Registry handles for the provenance plane (`ledger.provenance.*`).
+struct ProvenanceInstruments {
+    events: Counter,
+    blocks: Counter,
+    flush_failures: Counter,
+    pending: Gauge,
+    anchor_latency: Histogram,
+}
+
 /// The provenance network: batches events into consensus-committed blocks.
 pub struct ProvenanceNetwork {
     ledger: Ledger,
@@ -97,6 +107,7 @@ pub struct ProvenanceNetwork {
     pending: Vec<Transaction>,
     batch_size: usize,
     next_tx: u128,
+    instruments: Option<ProvenanceInstruments>,
 }
 
 impl std::fmt::Debug for ProvenanceNetwork {
@@ -122,7 +133,23 @@ impl ProvenanceNetwork {
             pending: Vec::new(),
             batch_size,
             next_tx: 0,
+            instruments: None,
         }
+    }
+
+    /// Mirrors provenance-plane metrics into `registry` under
+    /// `ledger.provenance.*` (events recorded, blocks anchored, flush
+    /// failures, pending-batch depth, and a simulated anchor-latency
+    /// histogram). Also instruments the underlying consensus cluster.
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.ledger.cluster_mut().instrument(registry);
+        self.instruments = Some(ProvenanceInstruments {
+            events: registry.counter("ledger.provenance.events"),
+            blocks: registry.counter("ledger.provenance.blocks"),
+            flush_failures: registry.counter("ledger.provenance.flush_failures"),
+            pending: registry.gauge("ledger.provenance.pending"),
+            anchor_latency: registry.histogram("ledger.provenance.anchor_sim_latency_ns"),
+        });
     }
 
     /// Records an event; commits a block when the batch fills.
@@ -134,6 +161,10 @@ impl ProvenanceNetwork {
         self.next_tx += 1;
         let tx = event.to_transaction(TxId::from_raw(self.next_tx), &self.clock);
         self.pending.push(tx);
+        if let Some(inst) = &self.instruments {
+            inst.events.inc();
+            inst.pending.set(self.pending.len() as i64);
+        }
         if self.pending.len() >= self.batch_size {
             return self.flush().map(Some);
         }
@@ -151,10 +182,18 @@ impl ProvenanceNetwork {
             return Err(LedgerError::EmptyBatch);
         }
         let batch = std::mem::take(&mut self.pending);
-        match self.ledger.submit(batch) {
-            Ok(outcome) => Ok(outcome),
-            Err(e) => Err(e),
+        let outcome = self.ledger.submit(batch);
+        if let Some(inst) = &self.instruments {
+            inst.pending.set(self.pending.len() as i64);
+            match &outcome {
+                Ok(o) => {
+                    inst.blocks.inc();
+                    inst.anchor_latency.record(o.latency.as_nanos());
+                }
+                Err(_) => inst.flush_failures.inc(),
+            }
         }
+        outcome
     }
 
     /// The committed history of one record, oldest first.

@@ -1,6 +1,7 @@
 //! Circuit breakers: stop hammering a dependency that keeps failing.
 
 use hc_common::clock::{SimClock, SimDuration, SimInstant};
+use hc_telemetry::{Counter, Gauge, Registry};
 
 /// Where the breaker is in its lifecycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -12,6 +13,26 @@ pub enum BreakerState {
     /// After the cooldown, a limited number of probe requests are let
     /// through to test whether the dependency recovered.
     HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric encoding used by the `resilience.breaker.<name>.state`
+    /// gauge: 0 = Closed, 1 = HalfOpen, 2 = Open.
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// Registry handles for one breaker (`resilience.breaker.<name>.*`).
+#[derive(Clone, Debug)]
+struct BreakerInstruments {
+    transitions: Counter,
+    trips: Counter,
+    state: Gauge,
 }
 
 /// Error from [`CircuitBreaker::call`].
@@ -48,6 +69,7 @@ pub struct CircuitBreaker {
     probe_successes: u32,
     probes_succeeded: u32,
     trips: u64,
+    instruments: Option<BreakerInstruments>,
 }
 
 impl CircuitBreaker {
@@ -72,6 +94,32 @@ impl CircuitBreaker {
             probe_successes: 2,
             probes_succeeded: 0,
             trips: 0,
+            instruments: None,
+        }
+    }
+
+    /// Mirrors this breaker's lifecycle into `registry` under
+    /// `resilience.breaker.<name>.*`: a state gauge (see
+    /// [`BreakerState::as_gauge`]), a transition counter, and a trip
+    /// counter.
+    pub fn instrument(&mut self, name: &str, registry: &Registry) {
+        let inst = BreakerInstruments {
+            transitions: registry.counter(&format!("resilience.breaker.{name}.transitions")),
+            trips: registry.counter(&format!("resilience.breaker.{name}.trips")),
+            state: registry.gauge(&format!("resilience.breaker.{name}.state")),
+        };
+        inst.state.set(self.state.as_gauge());
+        self.instruments = Some(inst);
+    }
+
+    /// Moves to `next`, recording the transition if instrumented.
+    fn set_state(&mut self, next: BreakerState) {
+        if next != self.state {
+            self.state = next;
+            if let Some(inst) = &self.instruments {
+                inst.transitions.inc();
+                inst.state.set(next.as_gauge());
+            }
         }
     }
 
@@ -116,7 +164,7 @@ impl CircuitBreaker {
         if self.state == BreakerState::Open
             && self.clock.now().duration_since(self.opened_at) >= self.cooldown
         {
-            self.state = BreakerState::HalfOpen;
+            self.set_state(BreakerState::HalfOpen);
             self.probes_succeeded = 0;
         }
         self.state
@@ -134,7 +182,7 @@ impl CircuitBreaker {
         if self.state() == BreakerState::HalfOpen {
             self.probes_succeeded += 1;
             if self.probes_succeeded >= self.probe_successes {
-                self.state = BreakerState::Closed;
+                self.set_state(BreakerState::Closed);
                 self.window_start = self.clock.now();
                 self.window_requests = 0;
                 self.window_failures = 0;
@@ -193,9 +241,12 @@ impl CircuitBreaker {
     }
 
     fn trip(&mut self) {
-        self.state = BreakerState::Open;
+        self.set_state(BreakerState::Open);
         self.opened_at = self.clock.now();
         self.trips += 1;
+        if let Some(inst) = &self.instruments {
+            inst.trips.inc();
+        }
     }
 
     fn observe(&mut self, failed: bool) {
@@ -296,6 +347,28 @@ mod tests {
             }
         }
         assert_eq!(b.state(), BreakerState::Open, "rate condition tripped");
+    }
+
+    #[test]
+    fn instrumented_breaker_reports_lifecycle() {
+        let clock = SimClock::new();
+        let registry = Registry::new();
+        let mut b = breaker(&clock);
+        b.instrument("ledger", &registry);
+        for _ in 0..3 {
+            b.record_failure(); // Closed → Open
+        }
+        clock.advance(SimDuration::from_millis(100));
+        assert_eq!(b.state(), BreakerState::HalfOpen); // Open → HalfOpen
+        b.record_success();
+        b.record_success(); // HalfOpen → Closed
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("resilience.breaker.ledger.transitions"), Some(3));
+        assert_eq!(snap.counter("resilience.breaker.ledger.trips"), Some(1));
+        assert_eq!(
+            snap.gauge("resilience.breaker.ledger.state"),
+            Some(BreakerState::Closed.as_gauge())
+        );
     }
 
     #[test]

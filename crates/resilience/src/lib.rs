@@ -24,6 +24,8 @@
 //! [`hc_common`], so resilience behavior under a scripted fault schedule
 //! (see [`hc_common::fault`]) is reproducible bit-for-bit.
 
+#![warn(missing_docs)]
+
 pub mod breaker;
 pub mod dlq;
 pub mod health;

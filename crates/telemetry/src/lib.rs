@@ -1,0 +1,47 @@
+//! `hc-telemetry` — the platform's observability plane (paper §V,
+//! "Operational Monitoring").
+//!
+//! The paper argues that a trusted healthcare cloud must expose auditable
+//! runtime evidence of its own behaviour; this crate supplies the
+//! mechanism the rest of the workspace instruments itself with:
+//!
+//! * a lock-cheap [`Registry`] of named [`Counter`]s, [`Gauge`]s and
+//!   log₂-bucketed [`Histogram`]s (p50/p95/p99 with ≤2× bucket error) —
+//!   hot paths pay a few relaxed atomics per observation;
+//! * a [`Tracer`] recording spans against **both** the simulated clock
+//!   (modelled latency) and the wall clock (implementation cost);
+//! * exporters in [`export`]: Prometheus text exposition, JSON, and an
+//!   ASCII span-tree "flame" dump — plus parsers that round-trip both
+//!   formats back into a [`TelemetrySnapshot`].
+//!
+//! Metric names follow `subsystem.component.metric` (see
+//! `OBSERVABILITY.md` at the repository root for the full catalogue and
+//! how experiments E1–E16 map onto it).
+//!
+//! ```
+//! use hc_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! registry.counter("cache.l0.hits").inc();
+//! registry.histogram("ingest.stage.decrypt.wall_ns").record(1_500);
+//!
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter("cache.l0.hits"), Some(1));
+//! assert_eq!(snapshot.subsystems(), vec!["cache", "ingest"]);
+//! let text = hc_telemetry::export::prometheus(&snapshot);
+//! assert!(text.contains("cache_l0_hits 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{
+    BucketCount, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot,
+};
+pub use registry::{Registry, TelemetrySnapshot};
+pub use span::{SpanGuard, SpanSnapshot, Tracer};

@@ -1,0 +1,323 @@
+//! Lock-free metric instruments: counters, gauges and log₂-bucketed
+//! histograms.
+//!
+//! Every instrument is a cheap clonable handle around shared atomics, so
+//! hot paths pay one `fetch_add` (relaxed) per observation and never take
+//! a lock. Locks exist only at registration time, in
+//! [`Registry`](crate::Registry).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing `u64` counter.
+///
+/// Cloning shares the underlying atomic; increments from any clone are
+/// visible to all.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, open breakers, …).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Returns the bucket index for a recorded value.
+///
+/// Value `0` lands in bucket `0`; any other `v` lands in bucket
+/// `64 − v.leading_zeros()`, so bucket `b ≥ 1` covers `[2^(b−1), 2^b − 1]`
+/// and the bucket upper bound over-estimates the true value by at most 2×.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `b` (`le` in Prometheus terms).
+#[inline]
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A log₂-bucketed histogram of `u64` observations (typically
+/// nanoseconds).
+///
+/// Recording is a handful of relaxed atomic operations; quantiles are
+/// estimated from bucket upper bounds at snapshot time, with relative
+/// error bounded by the bucket width (estimate ∈ `[exact, 2·exact+1]`).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let inner = &self.0;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        // Guarded extrema: `fetch_min`/`fetch_max` lower to CAS loops on
+        // x86, so skip the RMW entirely when the extremum won't move —
+        // after warm-up that turns two CAS loops into two plain loads.
+        if v < inner.min.load(Ordering::Relaxed) {
+            inner.min.fetch_min(v, Ordering::Relaxed);
+        }
+        if v > inner.max.load(Ordering::Relaxed) {
+            inner.max.fetch_max(v, Ordering::Relaxed);
+        }
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Captures an immutable snapshot (counts, extrema, quantile
+    /// estimates and the non-empty buckets).
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let inner = &self.0;
+        let count = inner.count.load(Ordering::Relaxed);
+        let mut buckets = Vec::new();
+        let mut raw = [0u64; BUCKETS];
+        for (b, slot) in inner.buckets.iter().enumerate() {
+            let n = slot.load(Ordering::Relaxed);
+            raw[b] = n;
+            if n > 0 {
+                buckets.push(BucketCount { le: bucket_upper_bound(b), count: n });
+            }
+        }
+        let (p50, p95, p99) = quantiles_from_buckets(&raw, count);
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { inner.min.load(Ordering::Relaxed) },
+            max: inner.max.load(Ordering::Relaxed),
+            p50,
+            p95,
+            p99,
+            buckets,
+        }
+    }
+}
+
+/// Nearest-rank quantile estimates (p50, p95, p99) from raw bucket
+/// counts. Each estimate is the upper bound of the bucket holding the
+/// rank-`⌈q·n⌉` observation.
+pub(crate) fn quantiles_from_buckets(raw: &[u64; BUCKETS], count: u64) -> (u64, u64, u64) {
+    let q = |quantile: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((quantile * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (b, &n) in raw.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper_bound(b);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    };
+    (q(0.50), q(0.95), q(0.99))
+}
+
+/// One non-empty histogram bucket: `count` observations with value
+/// `≤ le` (and greater than the previous bucket's bound).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Observations that fell in this bucket.
+    pub count: u64,
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Dotted metric name (`subsystem.component.metric`).
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Estimated median (≤ 2× the exact value).
+    pub p50: u64,
+    /// Estimated 95th percentile (≤ 2× the exact value).
+    pub p95: u64,
+    /// Estimated 99th percentile (≤ 2× the exact value).
+    pub p99: u64,
+    /// Non-empty buckets in ascending `le` order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Point-in-time view of one counter.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// Point-in-time view of one gauge.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Gauge value.
+    pub value: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's bound is the largest value mapping to it.
+        for b in 1..64 {
+            let hi = bucket_upper_bound(b);
+            assert_eq!(bucket_index(hi), b);
+            assert_eq!(bucket_index(hi + 1), b + 1);
+            assert_eq!(bucket_index(hi / 2 + 1), b);
+        }
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_tracks_extrema_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 100, 1000, 1000, 4096] {
+            h.record(v);
+        }
+        let s = h.snapshot("test.metric");
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 4096);
+        assert_eq!(s.sum, 6202);
+        // p50 rank = ceil(3.5) = 4 → value 100 → bucket [64,127] → le 127.
+        assert_eq!(s.p50, 127);
+        assert!(s.p99 >= 4096);
+        assert_eq!(s.buckets.iter().map(|b| b.count).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let s = Histogram::new().snapshot("empty");
+        assert_eq!((s.count, s.min, s.max, s.p50), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! The metric registry: name → instrument, plus whole-registry
+//! snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{
+    Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot,
+};
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A cheaply clonable handle to a shared metric registry.
+///
+/// Subsystems call [`Registry::counter`] / [`Registry::gauge`] /
+/// [`Registry::histogram`] once at instrumentation time, keep the
+/// returned handle, and then update it lock-free on every observation.
+/// The internal maps are only locked during registration and
+/// [`Registry::snapshot`].
+///
+/// Names follow the `subsystem.component.metric` convention documented
+/// in `OBSERVABILITY.md` (e.g. `cache.l0.hits`,
+/// `ingest.stage.decrypt.wall_ns`).
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. The same name always yields handles to the same
+    /// underlying counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Captures a consistent-enough point-in-time view of every
+    /// registered metric, sorted by name.
+    ///
+    /// Individual instruments are read without stopping writers, so a
+    /// snapshot taken mid-workload may interleave updates; totals are
+    /// exact once writers quiesce.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| CounterSnapshot { name: name.clone(), value: c.get() })
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, g)| GaugeSnapshot { name: name.clone(), value: g.get() })
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        TelemetrySnapshot { counters, gauges, histograms }
+    }
+}
+
+/// Point-in-time view of a whole [`Registry`], serializable to JSON and
+/// Prometheus text (see [`crate::export`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Total number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// True when no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distinct top-level subsystems reporting (the first dotted
+    /// segment of each metric name), sorted.
+    pub fn subsystems(&self) -> Vec<String> {
+        let mut set: Vec<String> = self
+            .counters
+            .iter()
+            .map(|c| c.name.as_str())
+            .chain(self.gauges.iter().map(|g| g.name.as_str()))
+            .chain(self.histograms.iter().map(|h| h.name.as_str()))
+            .map(|name| name.split('.').next().unwrap_or(name).to_string())
+            .collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+
+    /// Looks up a counter value by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram snapshot by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_instrument() {
+        let reg = Registry::new();
+        reg.counter("a.b.c").inc();
+        reg.counter("a.b.c").add(2);
+        assert_eq!(reg.snapshot().counter("a.b.c"), Some(3));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").inc();
+        reg.gauge("m.depth").set(-4);
+        reg.histogram("m.lat_ns").record(1000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "a.first");
+        assert_eq!(snap.counters[1].name, "z.last");
+        assert_eq!(snap.gauge("m.depth"), Some(-4));
+        assert_eq!(snap.histogram("m.lat_ns").unwrap().count, 1);
+        assert_eq!(snap.subsystems(), vec!["a", "m", "z"]);
+        assert_eq!(snap.len(), 4);
+    }
+}

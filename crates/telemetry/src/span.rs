@@ -1,0 +1,167 @@
+//! Span tracing keyed to both the simulated clock and the wall clock.
+//!
+//! A [`Tracer`] records a tree of named spans. Each span captures two
+//! durations: *simulated* time (how far the shared [`SimClock`] advanced
+//! while the span was open — the latency the platform model charges) and
+//! *wall* time (how long the host actually spent — the implementation
+//! cost). Comparing the two is exactly the observability the ROADMAP's
+//! "as fast as the hardware allows" goal needs.
+//!
+//! The tracer keeps one implicit span stack, so span enter/exit must
+//! happen on a single thread (matching the platform facade, which is
+//! single-threaded; worker pools record into histograms instead).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use hc_common::SimClock;
+
+struct SpanRecord {
+    name: String,
+    depth: usize,
+    sim_start_ns: u64,
+    wall_start: Instant,
+    sim_ns: Option<u64>,
+    wall_ns: Option<u64>,
+}
+
+#[derive(Default)]
+struct TracerInner {
+    spans: Vec<SpanRecord>,
+    stack: Vec<usize>,
+}
+
+/// A clonable handle recording a single-threaded tree of timed spans.
+#[derive(Clone)]
+pub struct Tracer {
+    clock: SimClock,
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+impl Tracer {
+    /// Creates a tracer reading simulated time from `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        Tracer { clock, inner: Arc::new(Mutex::new(TracerInner::default())) }
+    }
+
+    /// Opens a span named `name`, nested under the innermost open span.
+    /// The span closes (and its durations freeze) when the returned
+    /// guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let mut inner = self.inner.lock().unwrap();
+        let depth = inner.stack.len();
+        let index = inner.spans.len();
+        inner.spans.push(SpanRecord {
+            name: name.to_string(),
+            depth,
+            sim_start_ns: self.clock.now().as_nanos(),
+            wall_start: Instant::now(),
+            sim_ns: None,
+            wall_ns: None,
+        });
+        inner.stack.push(index);
+        SpanGuard { tracer: self, index }
+    }
+
+    fn close(&self, index: usize) {
+        let sim_now = self.clock.now().as_nanos();
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(pos) = inner.stack.iter().rposition(|&i| i == index) {
+            inner.stack.truncate(pos);
+        }
+        let span = &mut inner.spans[index];
+        span.sim_ns = Some(sim_now.saturating_sub(span.sim_start_ns));
+        span.wall_ns = Some(span.wall_start.elapsed().as_nanos() as u64);
+    }
+
+    /// Snapshots all spans recorded so far, in open order. Spans still
+    /// open report the durations accumulated up to this call.
+    pub fn spans(&self) -> Vec<SpanSnapshot> {
+        let sim_now = self.clock.now().as_nanos();
+        let inner = self.inner.lock().unwrap();
+        inner
+            .spans
+            .iter()
+            .map(|s| SpanSnapshot {
+                name: s.name.clone(),
+                depth: s.depth,
+                sim_ns: s.sim_ns.unwrap_or_else(|| sim_now.saturating_sub(s.sim_start_ns)),
+                wall_ns: s.wall_ns.unwrap_or_else(|| s.wall_start.elapsed().as_nanos() as u64),
+            })
+            .collect()
+    }
+
+    /// Number of spans recorded (open or closed).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().spans.len()
+    }
+
+    /// True when no span has been opened yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`]; dropping it closes the span.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    index: usize,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.close(self.index);
+    }
+}
+
+/// One finished (or still-open) span as seen at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// Nesting depth (0 = root).
+    pub depth: usize,
+    /// Simulated time elapsed while the span was open.
+    pub sim_ns: u64,
+    /// Wall-clock time elapsed while the span was open.
+    pub wall_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_common::SimDuration;
+
+    #[test]
+    fn spans_nest_and_measure_sim_time() {
+        let clock = SimClock::new();
+        let tracer = Tracer::new(clock.clone());
+        {
+            let _outer = tracer.span("outer");
+            clock.advance(SimDuration::from_micros(10));
+            {
+                let _inner = tracer.span("inner");
+                clock.advance(SimDuration::from_micros(5));
+            }
+            clock.advance(SimDuration::from_micros(1));
+        }
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[0].sim_ns, 16_000);
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].sim_ns, 5_000);
+    }
+
+    #[test]
+    fn open_spans_report_partial_durations() {
+        let clock = SimClock::new();
+        let tracer = Tracer::new(clock.clone());
+        let _open = tracer.span("open");
+        clock.advance(SimDuration::from_micros(3));
+        let spans = tracer.spans();
+        assert_eq!(spans[0].sim_ns, 3_000);
+    }
+}

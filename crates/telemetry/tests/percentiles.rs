@@ -1,0 +1,68 @@
+//! Property tests pinning the histogram quantile estimator against an
+//! exact nearest-rank sort, and the exporters against round-trip
+//! equality.
+
+use hc_telemetry::export::{from_json, json, parse_prometheus, prometheus};
+use hc_telemetry::{Histogram, Registry};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile: the rank-`⌈q·n⌉` element of the sorted
+/// sample — the same rank definition the bucket estimator uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    /// The bucket estimate never undershoots the exact quantile and
+    /// overshoots by at most the width of its log₂ bucket
+    /// (`estimate ≤ 2·exact + 1`).
+    #[test]
+    fn quantile_estimate_within_bucket_error(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..300),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot("prop.quantiles");
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (q, est) in [(0.50, snap.p50), (0.95, snap.p95), (0.99, snap.p99)] {
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(est >= exact, "q{q}: estimate {est} < exact {exact}");
+            prop_assert!(
+                est <= 2 * exact + 1,
+                "q{q}: estimate {est} > 2*{exact}+1"
+            );
+        }
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        prop_assert_eq!(snap.sum, sorted.iter().sum::<u64>());
+    }
+
+    /// Any registry snapshot survives Prometheus-text and JSON
+    /// round-trips bit-for-bit.
+    #[test]
+    fn snapshot_round_trips(
+        counts in proptest::collection::vec(0u64..u64::MAX / 2, 1..8),
+        gauges in proptest::collection::vec(-1_000_000i64..1_000_000, 1..8),
+        observations in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let reg = Registry::new();
+        for (i, &v) in counts.iter().enumerate() {
+            reg.counter(&format!("prop.counter.c{i}")).add(v);
+        }
+        for (i, &v) in gauges.iter().enumerate() {
+            reg.gauge(&format!("prop.gauge.g{i}")).set(v);
+        }
+        let h = reg.histogram("prop.hist.latency_ns");
+        for &v in &observations {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        prop_assert_eq!(parse_prometheus(&prometheus(&snap)).unwrap(), snap.clone());
+        prop_assert_eq!(from_json(&json(&snap)).unwrap(), snap);
+    }
+}
