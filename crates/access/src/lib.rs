@@ -23,6 +23,8 @@
 //! * [`gateway`] — the API management layer: token → RBAC → rate limit →
 //!   audited allow/deny.
 
+#![forbid(unsafe_code)]
+
 pub mod consent;
 pub mod gateway;
 pub mod identity;

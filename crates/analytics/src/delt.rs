@@ -128,6 +128,9 @@ pub fn fit(cohort: &EmrCohort, config: &DeltConfig) -> DeltModel {
         fits.inc();
     }
     for _ in 0..config.outer_iters {
+        // Feeds `analytics.delt.iter_wall_ns`: wall time per outer
+        // iteration for solver profiling; no simulated-latency result
+        // depends on it. hc-lint: allow(det-wallclock)
         let iter_start = std::time::Instant::now();
         // (a) Per-patient (α_i, γ_i) on drug-adjusted residuals.
         if config.patient_baseline {

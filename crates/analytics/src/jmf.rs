@@ -169,6 +169,9 @@ pub fn fit(
     }
     let mut final_loss = f64::INFINITY;
     for iter in 0..config.iters {
+        // Feeds `analytics.jmf.iter_wall_ns`: wall time per iteration
+        // for solver profiling; no simulated-latency result depends on
+        // it. hc-lint: allow(det-wallclock)
         let iter_start = std::time::Instant::now();
         let (res, assoc_loss) = weighted_residual(r, &u, &v, config.negative_weight);
         final_loss = assoc_loss;

@@ -22,6 +22,8 @@
 //!   (§III-A: data cleaning → generation → testing → deployment →
 //!   update), with approval gating and signed artifacts.
 
+#![forbid(unsafe_code)]
+
 pub mod ddi;
 pub mod delt;
 pub mod eval;

@@ -43,6 +43,8 @@
 //! assert!(service.verify_quote(&quote, &stack, b"nonce").trusted);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod attestation;
 pub mod change;
 pub mod image;

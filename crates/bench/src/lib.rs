@@ -4,6 +4,8 @@
 //! from EXPERIMENTS.md; the simulated-latency side (the model) is printed
 //! by `cargo run --release --example experiments`.
 
+#![forbid(unsafe_code)]
+
 use rand::Rng;
 
 /// Draws a Zipf(≈1) key over `n` keys.

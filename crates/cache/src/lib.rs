@@ -32,6 +32,8 @@
 //! assert_eq!(cache.get(&"b"), None);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod invalidation;
 pub mod multilevel;
 pub mod policy;

@@ -91,8 +91,8 @@ impl<K: Eq + Hash + Clone, V: Clone> CachePolicy<K, V> for LruCache<K, V> {
     }
 
     fn put(&mut self, key: K, value: V) {
-        if self.entries.contains_key(&key) {
-            self.entries.get_mut(&key).expect("present").0 = value;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.0 = value;
             self.touch(&key);
             return;
         }
@@ -193,8 +193,8 @@ impl<K: Eq + Hash + Ord + Clone, V: Clone> CachePolicy<K, V> for LfuCache<K, V> 
     }
 
     fn put(&mut self, key: K, value: V) {
-        if self.entries.contains_key(&key) {
-            self.entries.get_mut(&key).expect("present").0 = value;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.0 = value;
             self.bump(&key);
             return;
         }

@@ -16,6 +16,8 @@
 //! * [`offload`] — client-side vs server-side processing comparisons
 //!   (E10): where should anonymization and analytics run?
 
+#![forbid(unsafe_code)]
+
 pub mod offload;
 pub mod sdk;
 pub mod services;

@@ -7,7 +7,10 @@
 //! onto VMs only when their image verifies and (for trusted pools) an
 //! attestation verdict is presented.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: `crash_host` iterates these maps to collect
+// casualties, and the DES must replay identically run-to-run
+// (hc-lint: det-unordered-map).
+use std::collections::BTreeMap;
 
 use hc_common::id::{ContainerId, HostId, ImageId, VmId};
 
@@ -101,8 +104,8 @@ impl std::error::Error for InfraError {}
 #[derive(Debug, Default)]
 pub struct InfraCloud {
     hosts: Vec<Host>,
-    vms: HashMap<VmId, Vm>,
-    containers: HashMap<ContainerId, Container>,
+    vms: BTreeMap<VmId, Vm>,
+    containers: BTreeMap<ContainerId, Container>,
     next_raw: u128,
 }
 

@@ -18,6 +18,8 @@
 //! * [`gateway`] — the intercloud secure gateway and the
 //!   ship-data-vs-ship-compute comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod des;
 pub mod gateway;
 pub mod infra;

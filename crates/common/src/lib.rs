@@ -28,6 +28,7 @@
 //! assert_eq!(id.as_u128(), 42);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;

@@ -20,6 +20,8 @@
 //!   after-hours access detection, volume-spike (exfiltration) detection,
 //!   and denial-burst (probing) detection.
 
+#![forbid(unsafe_code)]
+
 pub mod forensics;
 pub mod hipaa;
 pub mod logscrub;

@@ -29,6 +29,8 @@
 //! assert!(platform.ingestion_status(url).unwrap().is_stored());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod compliance;
 pub mod monitoring;
 pub mod platform;

@@ -40,6 +40,8 @@
 //! assert_eq!(plain, b"phi record");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aead;
 pub mod chacha20;
 pub mod hmac;

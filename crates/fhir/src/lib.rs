@@ -35,6 +35,8 @@
 //! assert!(report.is_valid());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bundle;
 pub mod hl7;
 pub mod resource;

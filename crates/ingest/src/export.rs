@@ -156,12 +156,11 @@ impl ExportService {
         let named: Vec<(String, Vec<u8>)> = bundle
             .iter()
             .map(|r| {
-                (
-                    format!("{}/{}", r.type_name(), r.id()),
-                    serde_json::to_vec(r).expect("resource serializes"),
-                )
+                let bytes = serde_json::to_vec(r)
+                    .map_err(|_| ExportError::Unreadable(reference))?;
+                Ok((format!("{}/{}", r.type_name(), r.id()), bytes))
             })
-            .collect();
+            .collect::<Result<_, ExportError>>()?;
         let fields: Vec<(&str, &[u8])> = named
             .iter()
             .map(|(n, v)| (n.as_str(), v.as_slice()))

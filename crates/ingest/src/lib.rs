@@ -22,6 +22,8 @@
 //! * [`export`] — the export service: anonymized export and consented,
 //!   re-identified full export (for CROs).
 
+#![forbid(unsafe_code)]
+
 pub mod export;
 pub mod pipeline;
 pub mod scanner;

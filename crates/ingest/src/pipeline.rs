@@ -433,13 +433,25 @@ impl IngestionPipeline {
         };
         self.statuses.lock().insert(id, IngestionStatus::Received);
         self.stats.lock().received += 1;
-        self.tx
+        if self.tx
             .send(Job {
                 id,
                 credential,
                 sealed,
             })
-            .expect("queue never closes while the pipeline lives");
+            .is_err()
+        {
+            // Worker threads are gone (shutdown race): dead-letter the
+            // upload so the caller sees a terminal status, not a panic.
+            self.statuses.lock().insert(
+                id,
+                IngestionStatus::DeadLettered {
+                    stage: "submit".to_owned(),
+                    reason: "ingest worker queue closed".to_owned(),
+                },
+            );
+            return StatusUrl(id);
+        }
         if let Some(inst) = self.instruments() {
             inst.received.inc();
             inst.queue_depth.set(self.rx.len() as i64);
@@ -601,12 +613,17 @@ impl IngestionPipeline {
 
     fn run_stages(&self, job: &Job) -> IngestionStatus {
         let inst = self.instruments();
+        // Stage timings feed the `ingest.stage.*_wall_ns` histograms,
+        // which deliberately measure wall time (pipeline overhead), not
+        // simulated latency — sim costs are charged via the DES clock.
+        // hc-lint: allow(det-wallclock)
         let mut stage_start = std::time::Instant::now();
         // Records the wall time of stage `idx` and restarts the stopwatch.
         let mark = |idx: usize, start: &mut std::time::Instant| {
             if let Some(inst) = &inst {
                 inst.stage_wall[idx].record(start.elapsed().as_nanos() as u64);
             }
+            // hc-lint: allow(det-wallclock) — wall-clock stopwatch restart (see above)
             *start = std::time::Instant::now();
         };
 
@@ -714,7 +731,10 @@ impl IngestionPipeline {
                             record: ReferenceId::from_raw(job.id.as_u128()),
                             data_hash: sha256::hash(c.study.as_bytes()),
                             action,
-                            actor: format!("device:{}", job.credential.patient),
+                            // `credential.patient` is the pseudonymous PatientId (an
+                // opaque 128-bit id), not an identified Patient record.
+                // hc-lint: allow(phi-fmt-leak)
+                actor: format!("device:{}", job.credential.patient),
                             detail: format!("study={}", c.study),
                         });
                     }
@@ -773,12 +793,16 @@ impl IngestionPipeline {
             Ok(s) => s,
             Err(e) => return self.reject("store", e.to_string()),
         };
+        let at_rest_bytes = match serde_json::to_vec(&sealed_at_rest) {
+            Ok(b) => b,
+            Err(e) => return self.reject("store", e.to_string()),
+        };
         let reference = {
             let mut rng = self.rng.lock();
             let mut lake = self.shared.lake.lock();
             let reference = lake.put(
                 &mut *rng,
-                serde_json::to_vec(&sealed_at_rest).expect("sealed serializes"),
+                at_rest_bytes,
                 &[
                     ("study", self.shared.study_name.as_str()),
                     ("kind", "bundle"),

@@ -23,6 +23,8 @@
 //!   latency and a local cache, as in §III ("We cache data from these
 //!   knowledge bases locally").
 
+#![forbid(unsafe_code)]
+
 pub mod biobank;
 pub mod corpus;
 pub mod emr;

@@ -25,6 +25,8 @@ pub enum LedgerError {
     NoQuorum,
     /// An empty batch was submitted.
     EmptyBatch,
+    /// A transaction payload could not be serialised.
+    Encoding(String),
 }
 
 impl std::fmt::Display for LedgerError {
@@ -36,6 +38,7 @@ impl std::fmt::Display for LedgerError {
             LedgerError::Consensus(e) => write!(f, "consensus error: {e}"),
             LedgerError::NoQuorum => f.write_str("no quorum"),
             LedgerError::EmptyBatch => f.write_str("empty transaction batch"),
+            LedgerError::Encoding(e) => write!(f, "transaction payload encoding failed: {e}"),
         }
     }
 }

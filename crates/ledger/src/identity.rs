@@ -241,7 +241,8 @@ impl DidRegistry {
             id: TxId::from_raw(self.next_tx),
             channel: "identity".into(),
             kind: kind.into(),
-            payload: serde_json::to_vec(event).expect("event serializes"),
+            payload: serde_json::to_vec(event)
+                .map_err(|e| DidError::Ledger(LedgerError::Encoding(e.to_string())))?,
             submitter: event.did.to_string(),
             timestamp: self.clock.now(),
         };

@@ -24,6 +24,8 @@
 //! * [`audit`] — the Hyperledger-style auditor view, plus the
 //!   centralized-database baseline the paper contrasts against.
 
+#![forbid(unsafe_code)]
+
 pub mod audit;
 pub mod block;
 pub mod chain;

@@ -70,15 +70,20 @@ pub struct ProvenanceEvent {
 
 impl ProvenanceEvent {
     /// Serializes into a ledger transaction.
-    pub fn to_transaction(&self, id: TxId, clock: &SimClock) -> Transaction {
-        Transaction {
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error when the event cannot be
+    /// serialised (foreign payload types injected via Detail, etc.).
+    pub fn to_transaction(&self, id: TxId, clock: &SimClock) -> Result<Transaction, serde_json::Error> {
+        Ok(Transaction {
             id,
             channel: "provenance".to_owned(),
             kind: self.action.kind().to_owned(),
-            payload: serde_json::to_vec(self).expect("event serializes"),
+            payload: serde_json::to_vec(self)?,
             submitter: self.actor.clone(),
             timestamp: clock.now(),
-        }
+        })
     }
 
     /// Parses an event back out of a transaction payload.
@@ -159,7 +164,9 @@ impl ProvenanceNetwork {
     /// Propagates ledger/consensus errors from an automatic flush.
     pub fn record(&mut self, event: &ProvenanceEvent) -> Result<Option<ConsensusOutcome>, LedgerError> {
         self.next_tx += 1;
-        let tx = event.to_transaction(TxId::from_raw(self.next_tx), &self.clock);
+        let tx = event
+            .to_transaction(TxId::from_raw(self.next_tx), &self.clock)
+            .map_err(|e| LedgerError::Encoding(e.to_string()))?;
         self.pending.push(tx);
         if let Some(inst) = &self.instruments {
             inst.events.inc();
@@ -323,7 +330,7 @@ mod tests {
     fn event_round_trips_through_transaction() {
         let clock = SimClock::new();
         let e = event(7, ProvenanceAction::Anonymized);
-        let tx = e.to_transaction(TxId::from_raw(1), &clock);
+        let tx = e.to_transaction(TxId::from_raw(1), &clock).expect("event serializes");
         assert_eq!(tx.kind, "anonymized");
         assert_eq!(ProvenanceEvent::from_transaction(&tx).unwrap(), e);
     }

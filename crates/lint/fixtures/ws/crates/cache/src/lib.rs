@@ -1,0 +1,53 @@
+//! Fixture: panic-path violations in library code.
+//!
+//! Seeded findings:
+//! * 2 × `panic-unwrap` (one more suppressed inline)
+//! * 1 × `panic-expect`
+//! * 2 × `panic-macro` (`panic!`, `todo!`)
+//! * 2 × `panic-index`
+//! Test-module and `#[test]` code below must produce nothing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn eager(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn chained(v: Option<Option<u32>>) -> u32 {
+    v.unwrap().expect("inner")
+}
+
+pub fn allowed(v: Option<u32>) -> u32 {
+    v.unwrap() // hc-lint: allow(panic-unwrap)
+}
+
+pub fn boom(flag: bool) {
+    if flag {
+        panic!("seeded violation");
+    }
+    todo!()
+}
+
+pub fn index_twice(xs: &[u32], i: usize) -> u32 {
+    let row = xs[i];
+    let raw = [1u32, 2, 3];
+    row + raw[0]
+}
+
+pub fn careful(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_are_exempt() {
+        assert_eq!(eager(Some(1)), 1);
+        let xs = [1u32, 2];
+        let _ = xs[1];
+        let _ = Some(3).unwrap();
+    }
+}

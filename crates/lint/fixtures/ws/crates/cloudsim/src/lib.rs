@@ -1,0 +1,44 @@
+//! Fixture: determinism violations in a DES-core crate.
+//!
+//! Seeded findings (see `tests/fixtures.rs` for the expected counts):
+//! * 2 × `det-wallclock` (Instant + SystemTime)
+//! * 2 × `det-unordered-map` (use + field type)
+//! * 1 × `hygiene-forbid-unsafe`, 1 × `hygiene-missing-docs` (no headers)
+//! plus one wallclock call and one HashMap use suppressed inline.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub struct Scheduler {
+    pending: HashMap<u64, u64>,
+}
+
+pub fn wrong_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn wrong_epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn allowed_wall_clock() -> Instant {
+    // Wall time wanted here on purpose: overhead profiling.
+    // hc-lint: allow(det-wallclock)
+    Instant::now()
+}
+
+pub fn allowed_map() -> usize {
+    let m: std::collections::BTreeMap<u64, u64> = Default::default();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_use_wall_clock() {
+        let _ = Instant::now();
+        let _: HashMap<u8, u8> = HashMap::new();
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: the defining/de-identification module — PHI derives are
+//! legitimate here and must produce no `phi-derive-leak`/`phi-impl-leak`
+//! findings. A format-macro leak still fires even here (1 × `phi-fmt-leak`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Patient {
+    pub id: String,
+}
+
+impl std::fmt::Display for Patient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+pub fn debug_dump(patient: &Patient) {
+    eprintln!("{:?}", patient);
+}

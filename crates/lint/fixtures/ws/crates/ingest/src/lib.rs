@@ -1,0 +1,46 @@
+//! Fixture: PHI-leak violations outside the de-identification layer.
+//!
+//! Seeded findings:
+//! * 1 × `phi-derive-leak` (Debug + Serialize on `Patient`)
+//! * 1 × `phi-impl-leak` (`Display for Patient`)
+//! * 2 × `phi-fmt-leak` (`patient` into `println!`, `human_name` into `format!`;
+//!   one more suppressed inline)
+//! The `#[cfg_attr(test, derive(Debug))]` type must NOT fire.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Patient {
+    pub id: String,
+    pub name: String,
+}
+
+impl std::fmt::Display for Patient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+#[cfg_attr(test, derive(Debug))]
+pub struct Observation {
+    pub value: f64,
+}
+
+pub fn log_patient(patient: &Patient) {
+    println!("ingested {:?}", patient);
+}
+
+pub fn describe(human_name: &str) -> String {
+    format!("name: {human_name}")
+}
+
+pub fn audited(patient: &Patient) {
+    // Pseudonymous id only — reviewed.
+    // hc-lint: allow(phi-fmt-leak)
+    println!("ingested {}", patient.id);
+}
+
+pub fn safe_log(count: usize) {
+    println!("ingested {count} records");
+}

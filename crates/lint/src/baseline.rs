@@ -1,0 +1,165 @@
+//! Baseline ("ratchet") support.
+//!
+//! The workspace predates `hc-lint`, so hundreds of findings exist on day
+//! one. Rather than drowning the signal, a checked-in baseline records the
+//! accepted debt as *fingerprint → count* pairs. A run fails only on
+//! findings beyond the baseline; fixing debt and re-running with
+//! `--write-baseline` shrinks the file. The ratchet only goes down: the
+//! baseline is regenerated from current findings, never hand-edited up.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::diag::Finding;
+
+/// Serialized baseline file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Accepted findings, sorted by fingerprint for stable diffs.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// One accepted fingerprint with its occurrence count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// Normalised offending source line.
+    pub key: String,
+    /// How many identical findings are accepted.
+    pub count: u32,
+}
+
+/// Outcome of comparing findings to a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings not covered by the baseline — these fail the run.
+    pub new_findings: Vec<Finding>,
+    /// Number of findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Baseline entries whose counts exceed current findings (debt paid
+    /// down; `--write-baseline` will drop them).
+    pub stale_entries: usize,
+}
+
+impl Baseline {
+    /// An empty baseline (everything is new).
+    pub fn empty() -> Self {
+        Baseline { version: 1, entries: Vec::new() }
+    }
+
+    /// Builds a baseline that accepts exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.rule.clone(), f.file.clone(), f.snippet.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            version: 1,
+            entries: counts
+                .into_iter()
+                .map(|((rule, file, key), count)| BaselineEntry { rule, file, key, count })
+                .collect(),
+        }
+    }
+
+    /// Parses a baseline from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error message for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{\"version\":1,\"entries\":[]}".to_string())
+    }
+
+    /// Splits `findings` into baselined and new, consuming baseline budget
+    /// per fingerprint.
+    pub fn diff(&self, findings: &[Finding]) -> BaselineDiff {
+        let mut budget: BTreeMap<String, u32> = BTreeMap::new();
+        for e in &self.entries {
+            *budget.entry(format!("{}|{}|{}", e.rule, e.file, e.key)).or_insert(0) += e.count;
+        }
+        let mut diff = BaselineDiff::default();
+        for f in findings {
+            let fp = f.fingerprint();
+            match budget.get_mut(&fp) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    diff.baselined += 1;
+                }
+                _ => diff.new_findings.push(f.clone()),
+            }
+        }
+        diff.stale_entries = budget.values().filter(|&&n| n > 0).count();
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn finding(rule: &str, file: &str, snippet: &str, line: u32) -> Finding {
+        Finding {
+            rule: rule.into(),
+            severity: Severity::Warning,
+            file: file.into(),
+            line,
+            col: 1,
+            message: String::new(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_diff() {
+        let existing = vec![
+            finding("panic-unwrap", "a.rs", "x.unwrap();", 3),
+            finding("panic-unwrap", "a.rs", "x.unwrap();", 9),
+            finding("panic-expect", "b.rs", "y.expect(\"e\");", 4),
+        ];
+        let base = Baseline::from_findings(&existing);
+        let json = base.to_json();
+        let back = Baseline::from_json(&json).expect("roundtrips");
+
+        // Same findings (lines moved): fully absorbed.
+        let moved = vec![
+            finding("panic-unwrap", "a.rs", "x.unwrap();", 30),
+            finding("panic-unwrap", "a.rs", "x.unwrap();", 90),
+            finding("panic-expect", "b.rs", "y.expect(\"e\");", 40),
+        ];
+        let d = back.diff(&moved);
+        assert!(d.new_findings.is_empty());
+        assert_eq!(d.baselined, 3);
+        assert_eq!(d.stale_entries, 0);
+
+        // One extra occurrence of a known fingerprint: flagged as new.
+        let mut extra = moved.clone();
+        extra.push(finding("panic-unwrap", "a.rs", "x.unwrap();", 120));
+        let d = back.diff(&extra);
+        assert_eq!(d.new_findings.len(), 1);
+
+        // Debt paid down: stale entry reported.
+        let d = back.diff(&moved[..2]);
+        assert!(d.new_findings.is_empty());
+        assert_eq!(d.stale_entries, 1);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Baseline::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Findings, severities, and the stable rule catalogue.
+
+use serde::{Deserialize, Serialize};
+
+/// How bad a finding is. Any *new* (non-baselined, non-allowed) finding
+/// fails the run regardless of severity — severity exists for triage.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Severity {
+    /// Advisory; tracked so it can only ratchet down.
+    Info,
+    /// Should be fixed; baselined occurrences tolerated.
+    Warning,
+    /// Must never be introduced.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A rule's identity and metadata. Rule ids are stable API: they appear in
+/// baselines, suppression comments, and CI output.
+#[derive(Clone, Copy, Debug)]
+pub struct Rule {
+    /// Stable kebab-case id, e.g. `phi-derive-leak`.
+    pub id: &'static str,
+    /// Rule family for grouping (`phi`, `panic`, `determinism`, `hygiene`).
+    pub family: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// The full rule catalogue, in stable order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "phi-derive-leak",
+        family: "phi",
+        severity: Severity::Error,
+        description: "PHI-tagged type derives Debug/Display/Serialize outside de-identification modules",
+    },
+    Rule {
+        id: "phi-impl-leak",
+        family: "phi",
+        severity: Severity::Error,
+        description: "Manual Debug/Display/Serialize impl for a PHI-tagged type outside de-identification modules",
+    },
+    Rule {
+        id: "phi-fmt-leak",
+        family: "phi",
+        severity: Severity::Error,
+        description: "PHI-typed value appears in a println!/format!/log macro argument",
+    },
+    Rule {
+        id: "panic-unwrap",
+        family: "panic",
+        severity: Severity::Warning,
+        description: ".unwrap() in non-test library code",
+    },
+    Rule {
+        id: "panic-expect",
+        family: "panic",
+        severity: Severity::Warning,
+        description: ".expect(…) in non-test library code",
+    },
+    Rule {
+        id: "panic-macro",
+        family: "panic",
+        severity: Severity::Warning,
+        description: "panic!/todo!/unimplemented!/unreachable! in non-test library code",
+    },
+    Rule {
+        id: "panic-index",
+        family: "panic",
+        severity: Severity::Info,
+        description: "Slice/array indexing (can panic) in non-test library code",
+    },
+    Rule {
+        id: "det-wallclock",
+        family: "determinism",
+        severity: Severity::Error,
+        description: "Instant::now()/SystemTime::now() in simulation-scoped code; use hc_common::clock",
+    },
+    Rule {
+        id: "det-unordered-map",
+        family: "determinism",
+        severity: Severity::Warning,
+        description: "HashMap/HashSet in DES-core code; iteration order is nondeterministic — use BTreeMap/BTreeSet",
+    },
+    Rule {
+        id: "hygiene-forbid-unsafe",
+        family: "hygiene",
+        severity: Severity::Warning,
+        description: "Crate root missing #![forbid(unsafe_code)]",
+    },
+    Rule {
+        id: "hygiene-missing-docs",
+        family: "hygiene",
+        severity: Severity::Info,
+        description: "Crate root missing #![warn(missing_docs)]",
+    },
+];
+
+/// Looks a rule up by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One diagnostic produced by the engine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Finding {
+    /// Stable rule id.
+    pub rule: String,
+    /// Severity at emission time.
+    pub severity: Severity,
+    /// Repo-relative, `/`-separated file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable message.
+    pub message: String,
+    /// The offending source line, whitespace-trimmed (also the baseline
+    /// fingerprint key, so findings survive unrelated line renumbering).
+    pub snippet: String,
+}
+
+impl Finding {
+    /// The baseline fingerprint: rule + file + normalised snippet.
+    /// Line numbers are deliberately excluded so that edits elsewhere in
+    /// the file do not invalidate the baseline.
+    pub fn fingerprint(&self) -> String {
+        format!("{}|{}|{}", self.rule, self.file, self.snippet)
+    }
+}
+
+/// Extracts the trimmed source line `line` (1-based) from `src`,
+/// collapsing interior whitespace runs so formatting churn does not move
+/// fingerprints.
+pub fn snippet_for(src: &str, line: u32) -> String {
+    let raw = src
+        .lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or_default();
+    let mut out = String::with_capacity(raw.len());
+    let mut last_ws = false;
+    for c in raw.trim().chars() {
+        if c.is_whitespace() {
+            if !last_ws {
+                out.push(' ');
+            }
+            last_ws = true;
+        } else {
+            out.push(c);
+            last_ws = false;
+        }
+    }
+    out.truncate(160);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_unique_and_resolvable() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(RULES.iter().skip(i + 1).all(|o| o.id != r.id), "duplicate id {}", r.id);
+            assert!(rule_by_id(r.id).is_some());
+        }
+        assert!(rule_by_id("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn snippet_collapses_whitespace() {
+        let src = "a\n   let   x =\t1;   \nb";
+        assert_eq!(snippet_for(src, 2), "let x = 1;");
+        assert_eq!(snippet_for(src, 99), "");
+    }
+
+    #[test]
+    fn fingerprint_ignores_line_numbers() {
+        let mut f = Finding {
+            rule: "panic-unwrap".into(),
+            severity: Severity::Warning,
+            file: "crates/x/src/lib.rs".into(),
+            line: 10,
+            col: 4,
+            message: "m".into(),
+            snippet: "x.unwrap();".into(),
+        };
+        let fp1 = f.fingerprint();
+        f.line = 99;
+        assert_eq!(fp1, f.fingerprint());
+    }
+}

@@ -1,0 +1,106 @@
+//! Workspace walker: discovers `crates/*/src/**/*.rs`, runs the parser and
+//! rule engine over each file, and aggregates a report.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::LintConfig;
+use crate::diag::Finding;
+use crate::parser::parse_file;
+use crate::rules::{apply_rules, FileContext};
+
+/// Aggregated result of one analysis run (before baseline filtering).
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Every finding, ordered by file then line.
+    pub findings: Vec<Finding>,
+    /// Number of files analysed.
+    pub files_scanned: usize,
+    /// Files that could not be read (reported, not fatal).
+    pub unreadable: Vec<String>,
+}
+
+/// Analyses every crate under `<root>/crates/*/src`, plus the workspace
+/// root package's own `src/`. Shims under `shims/` are excluded: they
+/// emulate external crates' APIs and are not platform code.
+pub fn analyze_workspace(root: &Path, cfg: &LintConfig) -> Report {
+    let mut report = Report::default();
+
+    let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(root.join("crates")) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("src").is_dir())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    crate_dirs.sort();
+
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        analyze_src_tree(root, &crate_dir.join("src"), &crate_name, cfg, &mut report);
+    }
+
+    // Workspace root package (integration helpers in `src/`).
+    if root.join("src").is_dir() {
+        analyze_src_tree(root, &root.join("src"), "hc-repro", cfg, &mut report);
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (a.file.clone(), a.line, a.col).cmp(&(b.file.clone(), b.line, b.col)));
+    report
+}
+
+/// Analyses a single source string as if it lived at `rel_path` inside
+/// `crate_name` — the entry point fixture tests use.
+pub fn analyze_source(cfg: &LintConfig, crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
+    let ctx = FileContext {
+        crate_name: crate_name.to_string(),
+        rel_path: rel_path.to_string(),
+        is_crate_root: rel_path.ends_with("src/lib.rs"),
+    };
+    apply_rules(cfg, &ctx, src, &parse_file(src))
+}
+
+fn analyze_src_tree(root: &Path, src_dir: &Path, crate_name: &str, cfg: &LintConfig, report: &mut Report) {
+    let mut files = Vec::new();
+    collect_rs_files(src_dir, &mut files);
+    files.sort();
+
+    for path in files {
+        let rel_path = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = match fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(_) => {
+                report.unreadable.push(rel_path);
+                continue;
+            }
+        };
+        let ctx = FileContext {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.clone(),
+            is_crate_root: rel_path.ends_with("src/lib.rs"),
+        };
+        report.files_scanned += 1;
+        report.findings.extend(apply_rules(cfg, &ctx, &src, &parse_file(&src)));
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    for entry in rd.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

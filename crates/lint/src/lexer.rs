@@ -1,0 +1,493 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The build environment has no crates.io access, so `hc-lint` cannot lean
+//! on `syn`/`proc-macro2`. This lexer produces just enough structure for
+//! item-level analysis: identifiers, literals (including raw strings and
+//! byte strings), lifetimes vs. char literals, punctuation, and comments.
+//! Comments are kept as tokens because `// hc-lint: allow(...)` suppression
+//! directives live in them.
+//!
+//! The lexer is lossy in ways that do not matter for the rule engine: it
+//! does not join multi-character operators (the parser inspects adjacent
+//! punctuation when it needs `::` or `->`) and it does not validate
+//! numeric literal grammar beyond finding the token's end.
+
+/// What kind of token was lexed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// Integer or float literal.
+    Number,
+    /// String literal of any flavour: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A single punctuation character.
+    Punct,
+    /// Line comment (`//…`, `///…`, `//!…`), text includes the slashes.
+    Comment,
+    /// Block comment (`/* … */`, possibly nested), text includes delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when the token is punctuation equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for comment tokens of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::Comment | TokKind::BlockComment)
+    }
+}
+
+/// Character cursor with line/column tracking.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor { chars: src.chars().collect(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                out.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream. Never fails: unknown bytes become
+/// single-character punctuation tokens, and an unterminated literal simply
+/// runs to end of input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        let col = cur.col;
+
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            let mut text = String::new();
+            cur.eat_while(&mut text, |c| c != '\n');
+            toks.push(Tok { kind: TokKind::Comment, text, line, col });
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            loop {
+                match cur.peek() {
+                    Some('/') if cur.peek_at(1) == Some('*') => {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        cur.bump();
+                        cur.bump();
+                    }
+                    Some('*') if cur.peek_at(1) == Some('/') => {
+                        depth = depth.saturating_sub(1);
+                        text.push('*');
+                        text.push('/');
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Some(other) => {
+                        text.push(other);
+                        cur.bump();
+                    }
+                    None => break,
+                }
+            }
+            toks.push(Tok { kind: TokKind::BlockComment, text, line, col });
+            continue;
+        }
+
+        // Raw strings / raw byte strings / raw identifiers: r"…", r#"…"#, br#"…"#, r#ident.
+        if (c == 'r' || c == 'b') && lex_raw_or_byte(&mut cur, &mut toks, line, col) {
+            continue;
+        }
+
+        // Plain identifiers and keywords.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            cur.eat_while(&mut text, is_ident_continue);
+            toks.push(Tok { kind: TokKind::Ident, text, line, col });
+            continue;
+        }
+
+        // Numbers (the exact grammar does not matter; consume the token).
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            cur.eat_while(&mut text, |c| {
+                c.is_ascii_alphanumeric() || c == '_' || c == '.'
+            });
+            // `1..10`: the greedy scan swallows the range dots — give them
+            // back so they lex as punctuation. (All swallowed chars are
+            // ASCII and non-newline, so a plain pos/col rewind is safe.)
+            if let Some(idx) = text.find("..") {
+                let give_back = text.len() - idx;
+                text.truncate(idx);
+                cur.pos -= give_back;
+                cur.col -= give_back as u32;
+            }
+            toks.push(Tok { kind: TokKind::Number, text, line, col });
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            let text = lex_quoted(&mut cur, '"');
+            toks.push(Tok { kind: TokKind::Str, text, line, col });
+            continue;
+        }
+
+        // Lifetime vs char literal.
+        if c == '\'' {
+            if let Some(tok) = lex_tick(&mut cur, line, col) {
+                toks.push(tok);
+                continue;
+            }
+        }
+
+        // Anything else: single punctuation char.
+        let mut text = String::new();
+        if let Some(p) = cur.bump() {
+            text.push(p);
+        }
+        toks.push(Tok { kind: TokKind::Punct, text, line, col });
+    }
+
+    toks
+}
+
+/// Consumes a `'`-introduced token: lifetime (`'a`) or char literal (`'x'`,
+/// `'\n'`). Returns `None` only when input ends right at the tick, in which
+/// case the caller emits punctuation.
+fn lex_tick(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    // cur.peek() == '\''
+    let next = cur.peek_at(1)?;
+    if next == '\\' {
+        // Escaped char literal '\n', '\'', '\u{…}'.
+        let mut text = String::new();
+        text.push(cur.bump()?); // '
+        text.push(cur.bump()?); // \
+        while let Some(c) = cur.bump() {
+            text.push(c);
+            if c == '\'' {
+                break;
+            }
+        }
+        return Some(Tok { kind: TokKind::Char, text, line, col });
+    }
+    if is_ident_start(next) || next.is_ascii_digit() {
+        // Could be a lifetime ('a) or a char ('a'). Scan the ident run.
+        let mut len = 1;
+        while let Some(c) = cur.peek_at(1 + len) {
+            if is_ident_continue(c) {
+                len += 1;
+            } else {
+                break;
+            }
+        }
+        let closes = cur.peek_at(1 + len) == Some('\'');
+        let mut text = String::new();
+        text.push(cur.bump()?); // '
+        for _ in 0..len {
+            text.push(cur.bump()?);
+        }
+        if closes && len == 1 {
+            text.push(cur.bump()?); // closing '
+            return Some(Tok { kind: TokKind::Char, text, line, col });
+        }
+        return Some(Tok { kind: TokKind::Lifetime, text, line, col });
+    }
+    // Something like '(' as a char literal: '(' .
+    let mut text = String::new();
+    text.push(cur.bump()?); // '
+    if let Some(c) = cur.bump() {
+        text.push(c);
+    }
+    if cur.peek() == Some('\'') {
+        text.push(cur.bump()?);
+    }
+    Some(Tok { kind: TokKind::Char, text, line, col })
+}
+
+/// Consumes a quoted string starting at the opening `quote`, honouring
+/// backslash escapes. Returns the full text including quotes.
+fn lex_quoted(cur: &mut Cursor, quote: char) -> String {
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q);
+    }
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        if c == quote {
+            break;
+        }
+    }
+    text
+}
+
+/// Tries to lex `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, or a raw
+/// identifier `r#ident` at the cursor. Returns true when a token was
+/// produced (pushed into `toks`).
+fn lex_raw_or_byte(cur: &mut Cursor, toks: &mut Vec<Tok>, line: u32, col: u32) -> bool {
+    let c0 = match cur.peek() {
+        Some(c) => c,
+        None => return false,
+    };
+    // Offsets of the candidate prefix: r / b / br / rb.
+    let mut off = 1usize;
+    let mut saw_r = c0 == 'r';
+    if c0 == 'b' {
+        match cur.peek_at(1) {
+            Some('r') => {
+                saw_r = true;
+                off = 2;
+            }
+            Some('"') => {
+                // b"…": byte string.
+                let mut text = String::new();
+                text.push('b');
+                cur.bump();
+                text.push_str(&lex_quoted(cur, '"'));
+                toks.push(Tok { kind: TokKind::Str, text, line, col });
+                return true;
+            }
+            Some('\'') => {
+                // b'…': byte literal.
+                let mut text = String::new();
+                text.push('b');
+                cur.bump();
+                if let Some(mut tok) = lex_tick(cur, line, col) {
+                    tok.text.insert(0, 'b');
+                    tok.kind = TokKind::Char;
+                    tok.line = line;
+                    tok.col = col;
+                    toks.push(tok);
+                } else {
+                    toks.push(Tok { kind: TokKind::Char, text, line, col });
+                }
+                return true;
+            }
+            _ => return false,
+        }
+    }
+    if !saw_r {
+        return false;
+    }
+    // Count hashes after the r.
+    let mut hashes = 0usize;
+    while cur.peek_at(off + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek_at(off + hashes) {
+        Some('"') => {
+            // Raw (byte) string: consume prefix, hashes, then scan for `"###`.
+            let mut text = String::new();
+            for _ in 0..(off + hashes + 1) {
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+            }
+            loop {
+                match cur.bump() {
+                    Some('"') => {
+                        text.push('"');
+                        let mut matched = 0;
+                        while matched < hashes && cur.peek() == Some('#') {
+                            text.push('#');
+                            cur.bump();
+                            matched += 1;
+                        }
+                        if matched == hashes {
+                            break;
+                        }
+                    }
+                    Some(c) => text.push(c),
+                    None => break,
+                }
+            }
+            toks.push(Tok { kind: TokKind::Str, text, line, col });
+            true
+        }
+        Some(c) if hashes == 1 && is_ident_start(c) && c0 == 'r' => {
+            // Raw identifier r#ident: token text keeps the ident only.
+            cur.bump(); // r
+            cur.bump(); // #
+            let mut text = String::new();
+            cur.eat_while(&mut text, is_ident_continue);
+            toks.push(Tok { kind: TokKind::Ident, text, line, col });
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn main() { let x = 1; }");
+        assert_eq!(toks.first(), Some(&(TokKind::Ident, "fn".to_string())));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "1"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_embedded_quote() {
+        let toks = kinds(r###"let s = r#"contains "quotes" and \ backslash"#;"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs.first().is_some_and(|(_, t)| t.contains("quotes")));
+    }
+
+    #[test]
+    fn raw_string_without_hashes() {
+        let toks = kinds(r#"r"plain raw""#);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks.first().map(|(k, _)| *k), Some(TokKind::Str));
+    }
+
+    #[test]
+    fn byte_string_and_byte_char() {
+        let toks = kinds(r#"b"bytes" b'\n'"#);
+        assert_eq!(toks.first().map(|(k, _)| *k), Some(TokKind::Str));
+        assert_eq!(toks.get(1).map(|(k, _)| *k), Some(TokKind::Char));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* outer /* inner */ still outer */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks.first().map(|(k, _)| *k), Some(TokKind::BlockComment));
+        assert_eq!(toks.get(1).map(|(_, t)| t.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn line_comment_keeps_text() {
+        let toks = lex("let x = 1; // hc-lint: allow(panic-unwrap)");
+        let c = toks.iter().find(|t| t.kind == TokKind::Comment);
+        assert!(c.is_some_and(|t| t.text.contains("hc-lint: allow")));
+    }
+
+    #[test]
+    fn raw_ident() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn string_with_escapes_does_not_leak() {
+        let toks = kinds(r#"let s = "escaped \" quote"; x"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn range_after_number() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "10"));
+        let dots = toks.iter().filter(|(k, t)| *k == TokKind::Punct && t == ".").count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("a\n  b");
+        assert_eq!(toks.first().map(|t| (t.line, t.col)), Some((1, 1)));
+        assert_eq!(toks.get(1).map(|t| (t.line, t.col)), Some((2, 3)));
+    }
+}

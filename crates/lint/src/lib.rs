@@ -1,0 +1,54 @@
+//! `hc-lint` — workspace-native static analysis for the trusted healthcare
+//! analytics platform.
+//!
+//! The platform's premise is *trust*: PHI must never leave un-de-identified,
+//! library paths must not abort a worker mid-request, and the discrete-event
+//! simulation must stay bit-for-bit deterministic. The compiler enforces
+//! none of those — this crate does, with four rule families over every
+//! `crates/*/src` tree (see `LINTS.md` for the full catalogue):
+//!
+//! * **PHI-leak** (`phi-*`): PHI-tagged types must not gain
+//!   `Debug`/`Display`/`Serialize` outside de-identification modules, and
+//!   PHI values must not flow into `println!`/`format!`/log macros.
+//! * **Panic-path** (`panic-*`): `unwrap`/`expect`/`panic!`/indexing in
+//!   non-test library code.
+//! * **Determinism** (`det-*`): wall-clock reads and unordered-map
+//!   iteration where the simulation clock (`hc_common::clock`) must rule.
+//! * **Hygiene** (`hygiene-*`): missing `#![forbid(unsafe_code)]` /
+//!   `#![warn(missing_docs)]` crate headers.
+//!
+//! Because the build environment has no crates.io access, analysis rides on
+//! a small hand-rolled lexer ([`lexer`]) and item-level parser ([`parser`])
+//! rather than `syn`. Existing debt is held in a checked-in baseline
+//! ([`baseline`]) that can only ratchet down; new findings fail CI.
+//!
+//! ```
+//! use hc_lint::{analyze_source, LintConfig};
+//!
+//! let cfg = LintConfig::workspace_default();
+//! let findings = analyze_source(
+//!     &cfg,
+//!     "cache",
+//!     "crates/cache/src/demo.rs",
+//!     "fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+//! );
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "panic-unwrap");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod parser;
+pub mod report;
+pub mod rules;
+
+pub use baseline::{Baseline, BaselineDiff};
+pub use config::LintConfig;
+pub use diag::{Finding, Rule, Severity, RULES};
+pub use engine::{analyze_source, analyze_workspace, Report};

@@ -1,0 +1,175 @@
+//! `hc-lint` CLI.
+//!
+//! ```text
+//! hc-lint [--root DIR] [--format human|json] [--baseline FILE]
+//!         [--write-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (vs. baseline), `1` new findings, `2` usage or
+//! I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hc_lint::baseline::Baseline;
+use hc_lint::config::LintConfig;
+use hc_lint::engine::analyze_workspace;
+use hc_lint::report::{json_report, render_human, render_rule_list};
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: hc-lint [--root DIR] [--format human|json] [--baseline FILE] [--write-baseline] [--list-rules]\n\
+     \n\
+     Runs the workspace static-analysis rules (PHI-leak, panic-path,\n\
+     determinism, hygiene) over crates/*/src. See LINTS.md for the rule\n\
+     catalogue and suppression syntax.\n"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: default_root(),
+        format: Format::Human,
+        baseline: None,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format must be human|json, got {other:?}")),
+                };
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Finds the workspace root: the current directory if it has `crates/`,
+/// else walk up from the binary's manifest.
+fn default_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    // Fall back to the manifest location baked in at compile time
+    // (crates/lint → workspace root is two levels up).
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(cwd)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hc-lint: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        print!("{}", render_rule_list());
+        return ExitCode::SUCCESS;
+    }
+
+    if !args.root.join("crates").is_dir() {
+        eprintln!("hc-lint: {} does not look like the workspace root (no crates/)", args.root.display());
+        return ExitCode::from(2);
+    }
+
+    let cfg = LintConfig::workspace_default();
+    let report = analyze_workspace(&args.root, &cfg);
+
+    if args.write_baseline {
+        let base = Baseline::from_findings(&report.findings);
+        let path = args
+            .baseline
+            .clone()
+            .unwrap_or_else(|| args.root.join("lint-baseline.json"));
+        if let Err(e) = std::fs::write(&path, base.to_json()) {
+            eprintln!("hc-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "hc-lint: wrote baseline with {} entr{} ({} finding(s)) to {}",
+            base.entries.len(),
+            if base.entries.len() == 1 { "y" } else { "ies" },
+            report.findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match &args.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(json) => match Baseline::from_json(&json) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("hc-lint: malformed baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("hc-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => Baseline::empty(),
+    };
+
+    let diff = baseline.diff(&report.findings);
+
+    match args.format {
+        Format::Human => print!("{}", render_human(&report, &diff)),
+        Format::Json => {
+            match serde_json::to_string(&json_report(&report, &diff)) {
+                Ok(json) => println!("{json}"),
+                Err(e) => {
+                    eprintln!("hc-lint: cannot serialise report: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    if diff.new_findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

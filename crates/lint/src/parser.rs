@@ -1,0 +1,872 @@
+//! Item-level fact extraction over the token stream.
+//!
+//! A single forward pass recognises the constructs the rule engine cares
+//! about — crate-level inner attributes, `#[derive(...)]` sites, `impl
+//! Trait for Type` headers, panic-prone expressions, wall-clock calls,
+//! format-macro invocations — while tracking just enough context (brace
+//! depth, `#[cfg(test)]` regions, `#[test]` functions) to tell library
+//! code apart from test code.
+//!
+//! It is deliberately *not* a full parser: recognition is heuristic at the
+//! token level, which is the right trade-off for a linter that must run
+//! with zero external dependencies. Known imprecision is documented on
+//! each fact.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Everything the parser learned about one source file.
+#[derive(Clone, Debug, Default)]
+pub struct FileFacts {
+    /// Crate-level inner attributes (`#![…]`), whitespace-normalised,
+    /// e.g. `forbid(unsafe_code)`.
+    pub inner_attrs: Vec<String>,
+    /// `#[derive(...)]` sites attached to a named type.
+    pub derives: Vec<DeriveSite>,
+    /// `impl Trait for Type` headers (trait impls only).
+    pub trait_impls: Vec<ImplSite>,
+    /// `.unwrap()` / `.expect(` calls in non-test code.
+    pub panic_calls: Vec<PanicCall>,
+    /// `panic!` / `todo!` / `unimplemented!` / `unreachable!` in non-test code.
+    pub panic_macros: Vec<PanicMacroSite>,
+    /// Heuristic `expr[index]` sites inside non-test function bodies.
+    pub index_sites: Vec<IndexSite>,
+    /// `Instant::now()` / `SystemTime::now()` calls in non-test code.
+    pub wallclock_calls: Vec<WallclockCall>,
+    /// `HashMap` / `HashSet` identifier occurrences in non-test code.
+    pub unordered_types: Vec<UnorderedTypeSite>,
+    /// Format-family macro invocations with the identifiers appearing in
+    /// their arguments (for PHI-in-log detection).
+    pub fmt_macros: Vec<FmtMacroSite>,
+    /// Lines carrying an `hc-lint: allow(rule, …)` directive, with the
+    /// rule ids they allow (`*` allows everything).
+    pub allows: Vec<AllowDirective>,
+}
+
+/// A `#[derive(...)]` applied to a struct/enum/union.
+#[derive(Clone, Debug)]
+pub struct DeriveSite {
+    /// Name of the type the derive is attached to.
+    pub type_name: String,
+    /// Derived trait names (path tails: `serde::Serialize` → `Serialize`).
+    pub traits: Vec<String>,
+    /// True when the derive came from `#[cfg_attr(…test…, derive(…))]` or
+    /// the item sits inside a test region.
+    pub test_only: bool,
+    /// Line of the item name.
+    pub line: u32,
+}
+
+/// An `impl Trait for Type` header.
+#[derive(Clone, Debug)]
+pub struct ImplSite {
+    /// Trait path tail (`fmt::Display` → `Display`).
+    pub trait_name: String,
+    /// Implementing type path tail.
+    pub type_name: String,
+    /// True inside a `#[cfg(test)]` region.
+    pub test_only: bool,
+    /// Line of the `impl` keyword.
+    pub line: u32,
+}
+
+/// A `.unwrap()` / `.expect(…)` method call.
+#[derive(Clone, Debug)]
+pub struct PanicCall {
+    /// `"unwrap"` or `"expect"`.
+    pub method: String,
+    /// Line of the method name.
+    pub line: u32,
+    /// Column of the method name.
+    pub col: u32,
+}
+
+/// A panicking macro invocation (`panic!`, `todo!`, …).
+#[derive(Clone, Debug)]
+pub struct PanicMacroSite {
+    /// Macro name without the bang.
+    pub name: String,
+    /// Line of the macro name.
+    pub line: u32,
+    /// Column of the macro name.
+    pub col: u32,
+}
+
+/// A heuristic indexing expression `recv[…]`.
+///
+/// Recognised as `[` directly preceded by an identifier (non-keyword), a
+/// closing paren/bracket, or a numeric literal (tuple-field access like
+/// `self.0[i]`). Type positions (`: [u8; 4]`), attributes (`#[…]`), slice
+/// patterns (`let [a, b] = …`) and macro brackets (`vec![…]`) are excluded
+/// by that predecessor test.
+#[derive(Clone, Debug)]
+pub struct IndexSite {
+    /// Line of the `[`.
+    pub line: u32,
+    /// Column of the `[`.
+    pub col: u32,
+}
+
+/// An `Instant::now()` / `SystemTime::now()` call.
+#[derive(Clone, Debug)]
+pub struct WallclockCall {
+    /// `"Instant"` or `"SystemTime"`.
+    pub clock_type: String,
+    /// Line of the `now` identifier.
+    pub line: u32,
+    /// Column of the `now` identifier.
+    pub col: u32,
+}
+
+/// A `HashMap` / `HashSet` identifier occurrence.
+#[derive(Clone, Debug)]
+pub struct UnorderedTypeSite {
+    /// `"HashMap"` or `"HashSet"`.
+    pub type_name: String,
+    /// Line of the identifier.
+    pub line: u32,
+    /// Column of the identifier.
+    pub col: u32,
+}
+
+/// A format-family macro invocation (`println!`, `format!`, `log::info!`, …).
+#[derive(Clone, Debug)]
+pub struct FmtMacroSite {
+    /// Macro path tail without the bang (`log::info` → `info`).
+    pub name: String,
+    /// Identifiers appearing anywhere in the argument tokens.
+    pub arg_idents: Vec<(String, u32, u32)>,
+    /// Line of the macro name.
+    pub line: u32,
+}
+
+/// An inline suppression comment.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Line the comment sits on. The directive suppresses findings on its
+    /// own line and on the line directly below (comment-above style).
+    pub line: u32,
+    /// Allowed rule ids; `*` means all rules.
+    pub rules: Vec<String>,
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+const FMT_MACROS: &[&str] = &[
+    "println", "print", "eprintln", "eprint", "format", "format_args", "write", "writeln",
+    // log-facade style macros, with or without a `log::` path prefix.
+    "info", "warn", "error", "debug", "trace",
+];
+
+/// Rust keywords that cannot be the receiver of an index expression.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "do", "dyn", "else",
+    "enum", "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "trait", "type", "union", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// A code region with an extent, used for test tracking and function bodies.
+#[derive(Clone, Copy, Debug)]
+struct Region {
+    /// Depth *before* the opening brace; the region ends when a `}` would
+    /// return to this depth.
+    close_depth: u32,
+    is_test: bool,
+    is_fn_body: bool,
+}
+
+/// Attributes collected ahead of the next item.
+#[derive(Clone, Debug, Default)]
+struct PendingAttrs {
+    derives: Vec<String>,
+    test_derives: Vec<String>,
+    cfg_test: bool,
+    is_test_fn: bool,
+    line: u32,
+}
+
+/// Parses one file's source into [`FileFacts`].
+pub fn parse_file(src: &str) -> FileFacts {
+    let toks = lex(src);
+    let mut facts = FileFacts::default();
+
+    // Allow directives come from comment tokens.
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        if let Some(rules) = parse_allow_directive(&t.text) {
+            facts.allows.push(AllowDirective { line: t.line, rules });
+        }
+    }
+
+    // Syntax pass ignores comments entirely.
+    let syn: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+
+    let mut depth: u32 = 0;
+    let mut regions: Vec<Region> = Vec::new();
+    let mut pending = PendingAttrs::default();
+    let mut i = 0usize;
+
+    while i < syn.len() {
+        let Some(&tok) = syn.get(i) else { break };
+        let in_test = regions.iter().any(|r| r.is_test);
+        let in_fn_body = regions.iter().any(|r| r.is_fn_body);
+
+        // Attributes: `#[…]` (outer) and `#![…]` (inner).
+        if tok.is_punct('#') {
+            let inner = syn.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            let open = i + if inner { 2 } else { 1 };
+            if syn.get(open).is_some_and(|t| t.is_punct('[')) {
+                let close = match_delim(&syn, open, '[', ']');
+                let body: Vec<&Tok> = syn
+                    .get(open + 1..close)
+                    .map(|s| s.to_vec())
+                    .unwrap_or_default();
+                if inner {
+                    if depth == 0 {
+                        facts.inner_attrs.push(join_tokens(&body));
+                    }
+                } else {
+                    absorb_outer_attr(&body, &mut pending, tok.line);
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+
+        match tok.kind {
+            TokKind::Punct => {
+                match tok.text.as_str() {
+                    "{" => {
+                        depth += 1;
+                    }
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        while regions.last().is_some_and(|r| r.close_depth >= depth) {
+                            regions.pop();
+                        }
+                        pending = PendingAttrs::default();
+                    }
+                    ";" => {
+                        // End of an item without a body (`use …;`, `const …;`):
+                        // any attributes collected for it must not leak to the
+                        // next item.
+                        pending = PendingAttrs::default();
+                    }
+                    "[" => {
+                        // Heuristic index detection (see IndexSite docs).
+                        if in_fn_body && !in_test && is_index_receiver(syn.get(i.wrapping_sub(1)).copied(), i > 0) {
+                            facts.index_sites.push(IndexSite { line: tok.line, col: tok.col });
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            TokKind::Ident => {
+                let text = tok.text.as_str();
+                match text {
+                    "mod" => {
+                        // `mod name { … }` or `mod name;`
+                        let name = syn.get(i + 1).filter(|t| t.kind == TokKind::Ident);
+                        let has_body = syn.get(i + 2).is_some_and(|t| t.is_punct('{'));
+                        if has_body {
+                            let is_test = pending.cfg_test
+                                || in_test
+                                || name.is_some_and(|t| t.text == "tests" || t.text == "test");
+                            regions.push(Region { close_depth: depth, is_test, is_fn_body: false });
+                            depth += 1;
+                            i += 3;
+                        } else {
+                            i += 1;
+                        }
+                        pending = PendingAttrs::default();
+                    }
+                    "struct" | "enum" | "union" => {
+                        if let Some(name) = syn.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                            if !pending.derives.is_empty() || !pending.test_derives.is_empty() {
+                                let mut traits = pending.derives.clone();
+                                let mut test_traits = pending.test_derives.clone();
+                                let item_test = in_test || pending.cfg_test;
+                                if item_test {
+                                    test_traits.append(&mut traits);
+                                }
+                                if !traits.is_empty() {
+                                    facts.derives.push(DeriveSite {
+                                        type_name: name.text.clone(),
+                                        traits,
+                                        test_only: false,
+                                        line: name.line,
+                                    });
+                                }
+                                if !test_traits.is_empty() {
+                                    facts.derives.push(DeriveSite {
+                                        type_name: name.text.clone(),
+                                        traits: test_traits,
+                                        test_only: true,
+                                        line: name.line,
+                                    });
+                                }
+                            }
+                        }
+                        pending = PendingAttrs::default();
+                        i += 1;
+                    }
+                    "impl" => {
+                        if let Some(site) = parse_impl_header(&syn, i, in_test || pending.cfg_test) {
+                            facts.trait_impls.push(site);
+                        }
+                        if pending.cfg_test {
+                            // `#[cfg(test)] impl … { … }`: mark the body as test.
+                            if let Some(open) = find_body_open(&syn, i) {
+                                // Region opens when we later hit that `{`; simplest is
+                                // to push now keyed on current depth — the `{` at
+                                // `open` raises depth past close_depth as required.
+                                let _ = open;
+                                regions.push(Region { close_depth: depth, is_test: true, is_fn_body: false });
+                            }
+                        }
+                        pending = PendingAttrs::default();
+                        i += 1;
+                    }
+                    "fn" => {
+                        let is_test = in_test || pending.is_test_fn || pending.cfg_test;
+                        if body_follows(&syn, i) {
+                            regions.push(Region { close_depth: depth, is_test, is_fn_body: true });
+                        }
+                        pending = PendingAttrs::default();
+                        i += 1;
+                    }
+                    "unwrap" | "expect" => {
+                        let after_dot = i > 0 && syn.get(i - 1).is_some_and(|t| t.is_punct('.'));
+                        let called = syn.get(i + 1).is_some_and(|t| t.is_punct('('));
+                        if after_dot && called && !in_test {
+                            facts.panic_calls.push(PanicCall {
+                                method: text.to_string(),
+                                line: tok.line,
+                                col: tok.col,
+                            });
+                        }
+                        i += 1;
+                    }
+                    "now" => {
+                        // `Instant::now` / `SystemTime::now` — look back over `::`.
+                        if !in_test {
+                            if let Some(ty) = path_head_before(&syn, i) {
+                                if ty == "Instant" || ty == "SystemTime" {
+                                    facts.wallclock_calls.push(WallclockCall {
+                                        clock_type: ty,
+                                        line: tok.line,
+                                        col: tok.col,
+                                    });
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                    "HashMap" | "HashSet" => {
+                        if !in_test {
+                            facts.unordered_types.push(UnorderedTypeSite {
+                                type_name: text.to_string(),
+                                line: tok.line,
+                                col: tok.col,
+                            });
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        // Macro invocations: `name!` or `path::name!`.
+                        if syn.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                            && syn
+                                .get(i + 2)
+                                .is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{'))
+                        {
+                            if !in_test && PANIC_MACROS.contains(&text) {
+                                facts.panic_macros.push(PanicMacroSite {
+                                    name: text.to_string(),
+                                    line: tok.line,
+                                    col: tok.col,
+                                });
+                            }
+                            if FMT_MACROS.contains(&text) {
+                                // Collect argument identifiers (lookahead only —
+                                // the main scan still walks the group so nested
+                                // facts are not lost).
+                                let (open_c, close_c) = match syn.get(i + 2).map(|t| t.text.as_str()) {
+                                    Some("[") => ('[', ']'),
+                                    Some("{") => ('{', '}'),
+                                    _ => ('(', ')'),
+                                };
+                                let close = match_delim(&syn, i + 2, open_c, close_c);
+                                let mut idents = Vec::new();
+                                for t in syn.get(i + 3..close).map(|s| s.iter()).into_iter().flatten() {
+                                    if t.kind == TokKind::Ident {
+                                        idents.push((t.text.clone(), t.line, t.col));
+                                    } else if t.kind == TokKind::Str {
+                                        // Inline format captures: `"{patient}"`,
+                                        // `"{patient:?}"`.
+                                        for name in inline_captures(&t.text) {
+                                            idents.push((name, t.line, t.col));
+                                        }
+                                    }
+                                }
+                                if !in_test {
+                                    facts.fmt_macros.push(FmtMacroSite {
+                                        name: text.to_string(),
+                                        arg_idents: idents,
+                                        line: tok.line,
+                                    });
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    facts
+}
+
+/// True when a comment is an `hc-lint: allow(a, b)` directive; returns the
+/// allowed rule ids.
+fn parse_allow_directive(comment: &str) -> Option<Vec<String>> {
+    let idx = comment.find("hc-lint:")?;
+    let rest = comment.get(idx + "hc-lint:".len()..)?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let end = rest.find(')')?;
+    let inner = rest.get(..end)?;
+    let rules: Vec<String> = inner
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+/// Extracts inline-capture identifiers from a format string literal:
+/// `"x {patient} {count:>3} {{escaped}}"` → `["patient", "count"]`.
+fn inline_captures(literal: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = literal.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars.get(i).copied().unwrap_or_default();
+        if c == '{' {
+            if chars.get(i + 1).copied() == Some('{') {
+                i += 2; // escaped brace
+                continue;
+            }
+            let mut name = String::new();
+            let mut j = i + 1;
+            while let Some(&nc) = chars.get(j) {
+                if nc == '}' || nc == ':' {
+                    break;
+                }
+                name.push(nc);
+                j += 1;
+            }
+            if !name.is_empty()
+                && name.chars().all(|c| c == '_' || c.is_alphanumeric())
+                && name.chars().next().is_some_and(|c| c == '_' || c.is_alphabetic())
+            {
+                out.push(name);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Joins token texts without whitespace (`forbid` `(` `unsafe_code` `)` →
+/// `forbid(unsafe_code)`), used to normalise attribute bodies.
+fn join_tokens(body: &[&Tok]) -> String {
+    let mut out = String::new();
+    for t in body {
+        out.push_str(&t.text);
+    }
+    out
+}
+
+/// Collects derive / cfg(test) / #[test] information from one outer attribute.
+fn absorb_outer_attr(body: &[&Tok], pending: &mut PendingAttrs, line: u32) {
+    pending.line = line;
+    let Some(head) = body.first().filter(|t| t.kind == TokKind::Ident) else { return };
+    match head.text.as_str() {
+        "derive" => collect_derive_traits(body, &mut pending.derives),
+        "cfg" => {
+            if body.iter().any(|t| t.is_ident("test")) {
+                pending.cfg_test = true;
+            }
+        }
+        "cfg_attr" => {
+            // `#[cfg_attr(pred, derive(...), …)]` — a derive guarded by a
+            // test predicate is test-only.
+            let test_pred = body.iter().any(|t| t.is_ident("test"));
+            let mut traits = Vec::new();
+            collect_derive_traits(body, &mut traits);
+            if test_pred {
+                pending.test_derives.extend(traits);
+            } else {
+                pending.derives.extend(traits);
+            }
+        }
+        "test" => pending.is_test_fn = true,
+        _ => {
+            // `#[tokio::test]`, `#[rstest]`, bench attributes.
+            if body.iter().any(|t| t.is_ident("test") || t.is_ident("bench")) {
+                pending.is_test_fn = true;
+            }
+        }
+    }
+}
+
+/// Pulls trait path tails out of a `derive(...)` group inside `body`.
+fn collect_derive_traits(body: &[&Tok], out: &mut Vec<String>) {
+    let mut j = 0usize;
+    while j < body.len() {
+        if body.get(j).is_some_and(|t| t.is_ident("derive"))
+            && body.get(j + 1).is_some_and(|t| t.is_punct('('))
+        {
+            let close = match_delim(body, j + 1, '(', ')');
+            let mut last_ident: Option<String> = None;
+            for t in body.get(j + 2..close).map(|s| s.iter()).into_iter().flatten() {
+                if t.kind == TokKind::Ident {
+                    last_ident = Some(t.text.clone());
+                } else if t.is_punct(',') {
+                    if let Some(name) = last_ident.take() {
+                        out.push(name);
+                    }
+                } else if t.is_punct(':') {
+                    // path separator: keep scanning, tail wins.
+                }
+            }
+            if let Some(name) = last_ident.take() {
+                out.push(name);
+            }
+            j = close + 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Finds the matching close delimiter for the open delimiter at `open`,
+/// returning its index (or the slice end when unbalanced).
+fn match_delim<T: std::borrow::Borrow<Tok>>(toks: &[T], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        let t = t.borrow();
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// True when the previous token can be the receiver of an indexing
+/// expression.
+fn is_index_receiver(prev: Option<&Tok>, has_prev: bool) -> bool {
+    if !has_prev {
+        return false;
+    }
+    match prev {
+        Some(t) => match t.kind {
+            TokKind::Ident => !KEYWORDS.contains(&t.text.as_str()),
+            TokKind::Number => true,
+            TokKind::Punct => t.text == ")" || t.text == "]" || t.text == "?",
+            _ => false,
+        },
+        None => false,
+    }
+}
+
+/// Walks back over `::` to find the path segment two tokens before `now`.
+fn path_head_before(syn: &[&Tok], now_idx: usize) -> Option<String> {
+    // … Ident ':' ':' now
+    if now_idx < 3 {
+        return None;
+    }
+    let c1 = syn.get(now_idx - 1)?;
+    let c2 = syn.get(now_idx - 2)?;
+    if !(c1.is_punct(':') && c2.is_punct(':')) {
+        return None;
+    }
+    let head = syn.get(now_idx - 3)?;
+    if head.kind == TokKind::Ident {
+        Some(head.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Parses `impl [<generics>] TraitPath for TypePath` starting at the
+/// `impl` keyword index. Returns `None` for inherent impls.
+fn parse_impl_header(syn: &[&Tok], impl_idx: usize, test_only: bool) -> Option<ImplSite> {
+    let line = syn.get(impl_idx)?.line;
+    let mut j = impl_idx + 1;
+    // Skip generic parameters `<…>` (angle brackets never contain braces
+    // in a header; track nesting).
+    if syn.get(j).is_some_and(|t| t.is_punct('<')) {
+        let mut angle = 0i32;
+        while let Some(t) = syn.get(j) {
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+                if angle == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Read path A until `for`, `{`, or `where`.
+    let mut path_a_tail: Option<String> = None;
+    let mut saw_for = false;
+    while let Some(t) = syn.get(j) {
+        if t.is_punct('{') || t.is_ident("where") {
+            break;
+        }
+        if t.is_ident("for") {
+            saw_for = true;
+            j += 1;
+            break;
+        }
+        if t.kind == TokKind::Ident {
+            path_a_tail = Some(t.text.clone());
+        }
+        if t.is_punct('<') {
+            // Skip trait generics `Display<…>`.
+            let mut angle = 0i32;
+            while let Some(t2) = syn.get(j) {
+                if t2.is_punct('<') {
+                    angle += 1;
+                } else if t2.is_punct('>') {
+                    angle -= 1;
+                    if angle == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        j += 1;
+    }
+    if !saw_for {
+        return None;
+    }
+    // Read path B until `{` or `where`.
+    let mut path_b_tail: Option<String> = None;
+    while let Some(t) = syn.get(j) {
+        if t.is_punct('{') || t.is_ident("where") {
+            break;
+        }
+        if t.kind == TokKind::Ident {
+            path_b_tail = Some(t.text.clone());
+        }
+        if t.is_punct('<') {
+            let mut angle = 0i32;
+            while let Some(t2) = syn.get(j) {
+                if t2.is_punct('<') {
+                    angle += 1;
+                } else if t2.is_punct('>') {
+                    angle -= 1;
+                    if angle == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        j += 1;
+    }
+    Some(ImplSite {
+        trait_name: path_a_tail?,
+        type_name: path_b_tail?,
+        test_only,
+        line,
+    })
+}
+
+/// Finds the `{` that opens the body of the item starting at `idx`
+/// (scanning past the header). Returns `None` when a `;` ends the item
+/// first (trait method declarations, `mod x;`).
+fn find_body_open(syn: &[&Tok], idx: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut j = idx;
+    while let Some(t) = syn.get(j) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" if paren == 0 && bracket == 0 => return Some(j),
+                ";" if paren == 0 && bracket == 0 => return None,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True when the `fn` at `idx` has a body (is not a trait declaration).
+fn body_follows(syn: &[&Tok], idx: usize) -> bool {
+    find_body_open(syn, idx).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_site_with_nested_generics() {
+        let facts = parse_file(
+            "#[derive(Clone, Debug, serde::Serialize)]\npub struct Wrapper<T: Into<Vec<u8>>> { inner: Vec<Map<String, T>> }",
+        );
+        assert_eq!(facts.derives.len(), 1);
+        let d = facts.derives.first().expect("one derive");
+        assert_eq!(d.type_name, "Wrapper");
+        assert_eq!(d.traits, vec!["Clone", "Debug", "Serialize"]);
+        assert!(!d.test_only);
+    }
+
+    #[test]
+    fn cfg_attr_test_derive_is_test_only() {
+        let facts = parse_file("#[cfg_attr(test, derive(Debug))]\nstruct S;");
+        assert_eq!(facts.derives.len(), 1);
+        assert!(facts.derives.first().is_some_and(|d| d.test_only));
+    }
+
+    #[test]
+    fn cfg_attr_non_test_derive_counts() {
+        let facts = parse_file("#[cfg_attr(feature = \"x\", derive(Serialize))]\nstruct S;");
+        assert_eq!(facts.derives.len(), 1);
+        assert!(facts.derives.first().is_some_and(|d| !d.test_only));
+    }
+
+    #[test]
+    fn impl_display_for_type() {
+        let facts = parse_file(
+            "impl fmt::Display for Patient { fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) } }",
+        );
+        assert_eq!(facts.trait_impls.len(), 1);
+        let s = facts.trait_impls.first().expect("one impl");
+        assert_eq!(s.trait_name, "Display");
+        assert_eq!(s.type_name, "Patient");
+    }
+
+    #[test]
+    fn generic_impl_for_type() {
+        let facts = parse_file("impl<'a, T: Clone> From<Vec<T>> for Holder<T> {}");
+        let s = facts.trait_impls.first().expect("one impl");
+        assert_eq!(s.trait_name, "From");
+        assert_eq!(s.type_name, "Holder");
+    }
+
+    #[test]
+    fn unwrap_in_library_code_found() {
+        let facts = parse_file("fn f() { let x = g().unwrap(); }");
+        assert_eq!(facts.panic_calls.len(), 1);
+        assert!(facts.panic_calls.first().is_some_and(|c| c.method == "unwrap"));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let facts = parse_file("fn f() { let x = g().unwrap_or(0); let y = h().unwrap_or_default(); }");
+        assert!(facts.panic_calls.is_empty());
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_mod_skipped() {
+        let facts = parse_file(
+            "#[cfg(test)]\nmod tests {\n fn helper() { g().unwrap(); }\n #[test]\n fn t() { g().expect(\"x\"); }\n}",
+        );
+        assert!(facts.panic_calls.is_empty());
+    }
+
+    #[test]
+    fn test_fn_outside_test_mod_skipped() {
+        let facts = parse_file("#[test]\nfn t() { g().unwrap(); }\nfn lib() { g().unwrap(); }");
+        assert_eq!(facts.panic_calls.len(), 1);
+    }
+
+    #[test]
+    fn panic_macro_found_and_vec_macro_ignored() {
+        let facts = parse_file("fn f() { let v = vec![1]; panic!(\"boom\"); }");
+        assert_eq!(facts.panic_macros.len(), 1);
+        assert!(facts.index_sites.is_empty(), "vec![…] is not indexing");
+    }
+
+    #[test]
+    fn indexing_heuristics() {
+        let facts = parse_file(
+            "fn f(a: &[u8], m: [u8; 4]) -> u8 { let [x, y] = [1u8, 2]; let _ = a[0]; g()[1]; self.0[2]; x + y + m[3] }",
+        );
+        // a[0], g()[1], .0[2], m[3] — but not the type `[u8; 4]`, the
+        // slice pattern, or the array literal.
+        assert_eq!(facts.index_sites.len(), 4);
+    }
+
+    #[test]
+    fn wallclock_and_hashmap_found() {
+        let facts = parse_file(
+            "use std::collections::HashMap;\nfn f() { let t = std::time::Instant::now(); let m: HashMap<u32, u32> = HashMap::new(); }",
+        );
+        assert_eq!(facts.wallclock_calls.len(), 1);
+        assert_eq!(facts.unordered_types.len(), 3);
+    }
+
+    #[test]
+    fn fmt_macro_args_collected() {
+        let facts = parse_file("fn f(patient: &Patient) { println!(\"{:?}\", patient); }");
+        assert_eq!(facts.fmt_macros.len(), 1);
+        let m = facts.fmt_macros.first().expect("one macro");
+        assert!(m.arg_idents.iter().any(|(name, _, _)| name == "patient"));
+    }
+
+    #[test]
+    fn inner_attrs_collected_at_crate_level_only() {
+        let facts = parse_file(
+            "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nmod m { fn f() {} }",
+        );
+        assert_eq!(facts.inner_attrs, vec!["forbid(unsafe_code)", "warn(missing_docs)"]);
+    }
+
+    #[test]
+    fn allow_directive_parsed() {
+        let facts = parse_file("fn f() { g().unwrap(); } // hc-lint: allow(panic-unwrap, panic-expect)");
+        assert_eq!(facts.allows.len(), 1);
+        let a = facts.allows.first().expect("one allow");
+        assert_eq!(a.rules, vec!["panic-unwrap", "panic-expect"]);
+    }
+
+    #[test]
+    fn raw_string_containing_code_is_inert() {
+        let facts = parse_file(
+            r####"fn f() { let s = r#"g().unwrap() panic!() HashMap"#; let _ = s; }"####,
+        );
+        assert!(facts.panic_calls.is_empty());
+        assert!(facts.panic_macros.is_empty());
+        assert!(facts.unordered_types.is_empty());
+    }
+}

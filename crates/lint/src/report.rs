@@ -1,0 +1,112 @@
+//! Human and JSON rendering of analysis results.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::baseline::BaselineDiff;
+use crate::diag::{Finding, RULES};
+use crate::engine::Report;
+
+/// JSON report shape — stable output contract for CI artifact consumers.
+#[derive(Clone, Debug, Serialize)]
+pub struct JsonReport {
+    /// Always `"hc-lint"`.
+    pub tool: String,
+    /// Report schema version.
+    pub schema_version: u32,
+    /// Files analysed.
+    pub files_scanned: usize,
+    /// Total findings before baseline filtering.
+    pub total_findings: usize,
+    /// Findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Baseline entries with unused budget (debt paid down).
+    pub stale_baseline_entries: usize,
+    /// Findings that fail the run.
+    pub new_findings: Vec<Finding>,
+    /// Per-rule totals (before baseline filtering), rule id → count.
+    pub totals_by_rule: BTreeMap<String, usize>,
+}
+
+/// Builds the JSON report object.
+pub fn json_report(report: &Report, diff: &BaselineDiff) -> JsonReport {
+    let mut totals: BTreeMap<String, usize> = BTreeMap::new();
+    for f in &report.findings {
+        *totals.entry(f.rule.clone()).or_insert(0) += 1;
+    }
+    JsonReport {
+        tool: "hc-lint".to_string(),
+        schema_version: 1,
+        files_scanned: report.files_scanned,
+        total_findings: report.findings.len(),
+        baselined: diff.baselined,
+        stale_baseline_entries: diff.stale_entries,
+        new_findings: diff.new_findings.clone(),
+        totals_by_rule: totals,
+    }
+}
+
+/// Renders the human-readable report.
+pub fn render_human(report: &Report, diff: &BaselineDiff) -> String {
+    let mut out = String::new();
+
+    for f in &diff.new_findings {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {} — {}\n    {}\n",
+            f.file,
+            f.line,
+            f.col,
+            f.severity.as_str(),
+            f.rule,
+            f.message,
+            f.snippet,
+        ));
+    }
+
+    let mut totals: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &report.findings {
+        *totals.entry(f.rule.as_str()).or_insert(0) += 1;
+    }
+
+    out.push_str(&format!(
+        "\nhc-lint: {} file(s) scanned, {} finding(s) total ({} baselined, {} new)\n",
+        report.files_scanned,
+        report.findings.len(),
+        diff.baselined,
+        diff.new_findings.len(),
+    ));
+    for rule in RULES {
+        if let Some(n) = totals.get(rule.id) {
+            out.push_str(&format!("  {:22} {:5}  [{}]\n", rule.id, n, rule.severity.as_str()));
+        }
+    }
+    if diff.stale_entries > 0 {
+        out.push_str(&format!(
+            "  note: {} baseline entr{} no longer matched — debt paid down; run --write-baseline to ratchet\n",
+            diff.stale_entries,
+            if diff.stale_entries == 1 { "y" } else { "ies" },
+        ));
+    }
+    for u in &report.unreadable {
+        out.push_str(&format!("  warning: could not read {u}\n"));
+    }
+    if diff.new_findings.is_empty() {
+        out.push_str("hc-lint: PASS\n");
+    } else {
+        out.push_str("hc-lint: FAIL (new findings above)\n");
+    }
+    out
+}
+
+/// Renders the rule catalogue for `--list-rules`.
+pub fn render_rule_list() -> String {
+    let mut out = String::from("rule                    family        severity  description\n");
+    for r in RULES {
+        out.push_str(&format!(
+            "{:22}  {:12}  {:8}  {}\n",
+            r.id, r.family, r.severity.as_str(), r.description
+        ));
+    }
+    out
+}

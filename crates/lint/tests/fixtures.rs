@@ -1,0 +1,113 @@
+//! Rule-engine fixture tests: every rule family catches its seeded
+//! violation in `fixtures/ws`, inline `hc-lint: allow(...)` comments
+//! suppress, and injecting a fresh violation is detected against a
+//! baseline built from the fixture state.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use hc_lint::baseline::Baseline;
+use hc_lint::config::LintConfig;
+use hc_lint::engine::{analyze_source, analyze_workspace};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn counts_by_rule() -> BTreeMap<String, usize> {
+    let report = analyze_workspace(&fixture_root(), &LintConfig::workspace_default());
+    let mut counts = BTreeMap::new();
+    for f in &report.findings {
+        *counts.entry(f.rule.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[test]
+fn every_rule_family_catches_its_seeded_violations() {
+    let counts = counts_by_rule();
+
+    // PHI family (ingest fixture; fhir fixture is an allowed module but
+    // its eprintln!("{:?}", patient) still fires).
+    assert_eq!(counts.get("phi-derive-leak"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("phi-impl-leak"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("phi-fmt-leak"), Some(&3), "{counts:?}");
+
+    // Panic family (cache fixture).
+    assert_eq!(counts.get("panic-unwrap"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("panic-expect"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("panic-macro"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("panic-index"), Some(&2), "{counts:?}");
+
+    // Determinism family (cloudsim fixture).
+    assert_eq!(counts.get("det-wallclock"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("det-unordered-map"), Some(&2), "{counts:?}");
+
+    // Hygiene (cloudsim fixture lacks both headers; the others have them).
+    assert_eq!(counts.get("hygiene-forbid-unsafe"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("hygiene-missing-docs"), Some(&1), "{counts:?}");
+}
+
+#[test]
+fn fixture_workspace_is_clean_against_its_own_baseline() {
+    let cfg = LintConfig::workspace_default();
+    let report = analyze_workspace(&fixture_root(), &cfg);
+    let baseline = Baseline::from_findings(&report.findings);
+    let diff = baseline.diff(&report.findings);
+    assert!(diff.new_findings.is_empty());
+    assert_eq!(diff.baselined, report.findings.len());
+    assert_eq!(diff.stale_entries, 0);
+}
+
+#[test]
+fn injected_violation_is_caught_against_baseline() {
+    let cfg = LintConfig::workspace_default();
+    let report = analyze_workspace(&fixture_root(), &cfg);
+    let baseline = Baseline::from_findings(&report.findings);
+
+    // Inject a fresh violation into a previously-clean location.
+    let mut findings = report.findings.clone();
+    findings.extend(analyze_source(
+        &cfg,
+        "cache",
+        "crates/cache/src/new_module.rs",
+        "pub fn fresh(v: Option<u8>) -> u8 { v.unwrap() }",
+    ));
+    let diff = baseline.diff(&findings);
+    assert_eq!(diff.new_findings.len(), 1);
+    assert_eq!(
+        diff.new_findings.first().map(|f| f.rule.as_str()),
+        Some("panic-unwrap")
+    );
+}
+
+#[test]
+fn allow_directive_respects_rule_ids() {
+    let cfg = LintConfig::workspace_default();
+    // The wrong rule id in the allow does not suppress.
+    let findings = analyze_source(
+        &cfg,
+        "cache",
+        "crates/cache/src/x.rs",
+        "// hc-lint: allow(panic-expect)\nfn f(v: Option<u8>) -> u8 { v.unwrap() }",
+    );
+    assert_eq!(findings.len(), 1);
+    // The right rule id does.
+    let findings = analyze_source(
+        &cfg,
+        "cache",
+        "crates/cache/src/x.rs",
+        "// hc-lint: allow(panic-unwrap)\nfn f(v: Option<u8>) -> u8 { v.unwrap() }",
+    );
+    assert!(findings.is_empty());
+}
+
+#[test]
+fn baseline_roundtrips_through_json() {
+    let cfg = LintConfig::workspace_default();
+    let report = analyze_workspace(&fixture_root(), &cfg);
+    let baseline = Baseline::from_findings(&report.findings);
+    let reloaded = Baseline::from_json(&baseline.to_json()).expect("baseline JSON roundtrips");
+    let diff = reloaded.diff(&report.findings);
+    assert!(diff.new_findings.is_empty());
+}

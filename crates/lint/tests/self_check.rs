@@ -1,0 +1,65 @@
+//! Workspace self-check: `cargo test` fails if the real workspace has any
+//! finding not covered by the checked-in `lint-baseline.json`. This is
+//! the same gate CI runs via `cargo run -p hc-lint -- --baseline
+//! lint-baseline.json`, wired into the test suite so it cannot be skipped.
+
+use std::path::{Path, PathBuf};
+
+use hc_lint::baseline::Baseline;
+use hc_lint::config::LintConfig;
+use hc_lint::engine::analyze_workspace;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_findings_beyond_baseline() {
+    let root = workspace_root();
+    let baseline_path = root.join("lint-baseline.json");
+    let json = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path.display()));
+    let baseline = Baseline::from_json(&json).expect("lint-baseline.json parses");
+
+    let report = analyze_workspace(&root, &LintConfig::workspace_default());
+    assert!(report.files_scanned > 100, "workspace walk looks broken: {} files", report.files_scanned);
+
+    let diff = baseline.diff(&report.findings);
+    let rendered: Vec<String> = diff
+        .new_findings
+        .iter()
+        .map(|f| format!("{}:{}:{} [{}] {}", f.file, f.line, f.col, f.rule, f.message))
+        .collect();
+    assert!(
+        diff.new_findings.is_empty(),
+        "hc-lint found {} new finding(s) not in lint-baseline.json \
+         (fix them or, if accepted debt, run `cargo run -p hc-lint -- --write-baseline`):\n{}",
+        diff.new_findings.len(),
+        rendered.join("\n"),
+    );
+}
+
+#[test]
+fn workspace_error_severity_rules_have_no_baselined_debt_growth() {
+    // The PHI and determinism families are `error` severity: the baseline
+    // may carry historical entries, but every entry must still correspond
+    // to a real finding (no stale error-severity debt hiding regressions).
+    let root = workspace_root();
+    let report = analyze_workspace(&root, &LintConfig::workspace_default());
+    let errors = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == hc_lint::Severity::Error)
+        .count();
+    // All error-severity findings must be inline-allowed (with a written
+    // justification), never silently baselined: after this PR's audit the
+    // workspace carries zero of them.
+    assert_eq!(
+        errors, 0,
+        "error-severity findings must be fixed or inline-allowed with a justification, not baselined"
+    );
+}

@@ -18,6 +18,8 @@
 //!   *achieved* k, l and linkage risk of a dataset (record-independent and
 //!   holistic parts), so the platform can reject under-anonymized uploads.
 
+#![forbid(unsafe_code)]
+
 pub mod generalize;
 pub mod kanon;
 pub mod phi;

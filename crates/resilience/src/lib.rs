@@ -24,6 +24,7 @@
 //! [`hc_common`], so resilience behavior under a scripted fault schedule
 //! (see [`hc_common::fault`]) is reproducible bit-for-bit.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod breaker;

@@ -307,19 +307,18 @@ impl DataLake {
         if entry.tombstoned {
             return Err(LakeError::Tombstoned(reference));
         }
-        let version = entry.versions.last().expect("records have >=1 version");
+        let version = entry.versions.last().ok_or(LakeError::Unknown(reference))?;
         let latency = match version.tier {
             Tier::Hot => self.hot_latency,
             Tier::Cold => self.cold_latency,
         };
         self.clock.advance(latency);
-        Ok(self
-            .records
+        // Re-borrow after the clock mutation; the entry cannot have
+        // vanished, but return an error rather than trusting that.
+        self.records
             .get(&reference)
-            .expect("checked above")
-            .versions
-            .last()
-            .expect("non-empty"))
+            .and_then(|e| e.versions.last())
+            .ok_or(LakeError::Unknown(reference))
     }
 
     /// Reads a specific version.
@@ -344,12 +343,16 @@ impl DataLake {
             .map(|i| i as usize)
             .filter(|&i| i < entry.versions.len())
             .ok_or(LakeError::NoSuchVersion { reference, version })?;
-        let latency = match entry.versions[idx].tier {
-            Tier::Hot => self.hot_latency,
-            Tier::Cold => self.cold_latency,
+        let latency = match entry.versions.get(idx).map(|v| v.tier) {
+            Some(Tier::Hot) => self.hot_latency,
+            Some(Tier::Cold) => self.cold_latency,
+            None => return Err(LakeError::NoSuchVersion { reference, version }),
         };
         self.clock.advance(latency);
-        Ok(&self.records.get(&reference).expect("checked").versions[idx])
+        self.records
+            .get(&reference)
+            .and_then(|e| e.versions.get(idx))
+            .ok_or(LakeError::NoSuchVersion { reference, version })
     }
 
     /// Tombstones a record: reads fail, bytes remain until [`purge`](Self::purge).

@@ -26,5 +26,7 @@
 //! assert_eq!(lake.find_by_tag("kind", "observation"), vec![rid]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod datalake;
 pub mod wal;

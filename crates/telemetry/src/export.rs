@@ -58,7 +58,9 @@ pub fn prometheus(snapshot: &TelemetrySnapshot) -> String {
 
 /// Serializes the snapshot as JSON.
 pub fn json(snapshot: &TelemetrySnapshot) -> String {
-    serde_json::to_string(snapshot).expect("snapshot serialization cannot fail")
+    // A telemetry exporter must never take the platform down: fall back
+    // to an empty document if serialisation ever fails.
+    serde_json::to_string(snapshot).unwrap_or_else(|_| "{}".to_string())
 }
 
 /// Rebuilds a snapshot from [`json`] output.

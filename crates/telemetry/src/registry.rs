@@ -43,21 +43,21 @@ impl Registry {
     /// first use. The same name always yields handles to the same
     /// underlying counter.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.inner.counters.lock().unwrap();
+        let mut map = self.inner.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns the gauge registered under `name`, creating it on first
     /// use.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.inner.gauges.lock().unwrap();
+        let mut map = self.inner.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns the histogram registered under `name`, creating it on
     /// first use.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self.inner.histograms.lock().unwrap();
+        let mut map = self.inner.histograms.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
@@ -72,7 +72,7 @@ impl Registry {
             .inner
             .counters
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, c)| CounterSnapshot { name: name.clone(), value: c.get() })
             .collect();
@@ -80,7 +80,7 @@ impl Registry {
             .inner
             .gauges
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, g)| GaugeSnapshot { name: name.clone(), value: g.get() })
             .collect();
@@ -88,7 +88,7 @@ impl Registry {
             .inner
             .histograms
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, h)| h.snapshot(name))
             .collect();

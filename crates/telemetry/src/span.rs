@@ -48,13 +48,16 @@ impl Tracer {
     /// The span closes (and its durations freeze) when the returned
     /// guard drops.
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let depth = inner.stack.len();
         let index = inner.spans.len();
         inner.spans.push(SpanRecord {
             name: name.to_string(),
             depth,
             sim_start_ns: self.clock.now().as_nanos(),
+            // Spans report wall time *alongside* sim time by design
+            // (overhead accounting wants real elapsed nanoseconds).
+            // hc-lint: allow(det-wallclock)
             wall_start: Instant::now(),
             sim_ns: None,
             wall_ns: None,
@@ -65,7 +68,7 @@ impl Tracer {
 
     fn close(&self, index: usize) {
         let sim_now = self.clock.now().as_nanos();
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(pos) = inner.stack.iter().rposition(|&i| i == index) {
             inner.stack.truncate(pos);
         }
@@ -78,7 +81,7 @@ impl Tracer {
     /// open report the durations accumulated up to this call.
     pub fn spans(&self) -> Vec<SpanSnapshot> {
         let sim_now = self.clock.now().as_nanos();
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         inner
             .spans
             .iter()
@@ -93,7 +96,7 @@ impl Tracer {
 
     /// Number of spans recorded (open or closed).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().spans.len()
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).spans.len()
     }
 
     /// True when no span has been opened yet.

@@ -5,6 +5,8 @@
 //! The implementation lives in the `crates/` workspace members; start at
 //! [`hc_core::platform::HealthCloudPlatform`].
 
+#![forbid(unsafe_code)]
+
 pub use hc_analytics;
 pub use hc_attest;
 pub use hc_cache;
