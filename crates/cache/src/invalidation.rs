@@ -47,6 +47,10 @@ impl<K: Clone> InvalidationBus<K> {
     }
 
     fn subscribe(&self) -> Receiver<K> {
+        // Invalidation keys are tiny and drained on every cache access;
+        // a bounded channel would deadlock the single-threaded simulation
+        // when a burst of invalidations outruns the reader.
+        // hc-lint: allow(sync-unbounded-channel)
         let (tx, rx) = unbounded();
         self.subscribers.lock().push(tx);
         rx

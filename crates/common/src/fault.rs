@@ -206,6 +206,9 @@ impl FaultInjector {
     /// Firing consumes a hit and is appended to the trace.
     pub fn check(&self, point: &str) -> Option<FaultKind> {
         let inner = self.inner.as_ref()?;
+        // The whole fire-or-not decision must be atomic (hit budgets and
+        // the RNG draw), and the spec scan is bounded by the plan size.
+        // hc-lint: allow(lock-held-long)
         let mut inner = inner.lock();
         let now = inner.clock.now();
         // Find the first eligible spec without holding a borrow across

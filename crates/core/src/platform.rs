@@ -427,6 +427,9 @@ impl HealthCloudPlatform {
         let mut rng = self.rng.lock();
         let mut tpm = Tpm::generate(&mut *rng, host_name);
         drop(rng);
+        // Golden-value registration and quote verification must be one
+        // atomic attestation transaction; the loop is bounded by the
+        // host's component stack. hc-lint: allow(lock-held-long)
         let mut attestation = self.attestation.lock();
         if register_golden {
             for c in stack {

@@ -199,6 +199,10 @@ impl IngestionPipeline {
         study_name: &str,
         seed: u64,
     ) -> Self {
+        // Producers and the worker share one thread in the simulation; a
+        // bounded queue would deadlock on enqueue before `process_all`
+        // ever runs. Backpressure comes from the job budget instead.
+        // hc-lint: allow(sync-unbounded-channel)
         let (tx, rx) = unbounded();
         let mut signer_rng = hc_common::rng::seeded_stream(seed, 910);
         let share_signer = hc_crypto::ots::MerkleSigner::generate(&mut signer_rng, 6);
@@ -537,6 +541,10 @@ impl IngestionPipeline {
     /// clock); crash faults, or transients that outlast the attempt
     /// budget, fail the stage.
     fn stage_guard(&self, point: &str) -> Result<(), String> {
+        // The retry loop mutates resilience state (budgets, backoff
+        // clock) on every attempt and the attempt budget bounds it; the
+        // pipeline is single-threaded per job, so nothing else contends.
+        // hc-lint: allow(lock-held-long)
         let mut guard = self.resilience.lock();
         let Some(res) = guard.as_mut() else {
             return Ok(());
@@ -714,6 +722,10 @@ impl IngestionPipeline {
             return Self::dead_letter_status("consent", reason);
         }
         {
+            // All of a bundle's consent changes must land atomically —
+            // a reader between grant and revoke would see a half-applied
+            // bundle; the loop is bounded by the bundle's resources.
+            // hc-lint: allow(lock-held-long)
             let mut consent = self.shared.consent.lock();
             for resource in &bundle {
                 if let Resource::Consent(c) = resource {
@@ -731,10 +743,11 @@ impl IngestionPipeline {
                             record: ReferenceId::from_raw(job.id.as_u128()),
                             data_hash: sha256::hash(c.study.as_bytes()),
                             action,
-                            // `credential.patient` is the pseudonymous PatientId (an
-                // opaque 128-bit id), not an identified Patient record.
-                // hc-lint: allow(phi-fmt-leak)
-                actor: format!("device:{}", job.credential.patient),
+                            // `credential.patient` is the pseudonymous
+                            // PatientId (an opaque 128-bit id), not an
+                            // identified Patient record.
+                            // hc-lint: allow(phi-fmt-leak, taint-phi-to-sink)
+                            actor: format!("device:{}", job.credential.patient),
                             detail: format!("study={}", c.study),
                         });
                     }

@@ -1,0 +1,81 @@
+//! Fixture: concurrency-lint violations on the CFG lock tracker.
+//!
+//! Seeded findings:
+//! * 1 × `lock-held-across-await` (guard still live at the yield point)
+//! * 1 × `lock-held-long` (guard spans a whole loop)
+//! * 2 × `lock-order-inversion` (`post` and `unpost` disagree on order;
+//!   each side of the disagreement is reported once)
+//! * 1 × `sync-unbounded-channel` (one more suppressed inline)
+//! The drop-before-await and per-iteration-guard twins must stay clean.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Mutex;
+
+/// Shared pair of accounts used by the ordering fixtures.
+pub struct Ledger {
+    /// Debit side.
+    pub debit: Mutex<u64>,
+    /// Credit side.
+    pub credit: Mutex<u64>,
+}
+
+/// Violation: the guard is still live when the task yields.
+pub async fn refresh(state: &Mutex<u64>) {
+    let guard = state.lock();
+    fetch_remote().await;
+    drop(guard);
+}
+
+/// Clean twin: the guard dies in its own scope before the yield point.
+pub async fn refresh_then_fetch(state: &Mutex<u64>) {
+    {
+        let guard = state.lock();
+        drop(guard);
+    }
+    fetch_remote().await;
+}
+
+/// Violation: the guard spans the whole drain loop.
+pub fn drain(queue: &Mutex<Vec<u64>>) {
+    let guard = queue.lock();
+    for item in pending() {
+        guard.push(item);
+    }
+}
+
+/// Clean twin: a per-iteration guard bounds the critical section.
+pub fn drain_per_item(queue: &Mutex<Vec<u64>>) {
+    for item in pending() {
+        let guard = queue.lock();
+        guard.push(item);
+    }
+}
+
+/// Takes debit before credit.
+pub fn post(ledger: &Ledger) {
+    let d = ledger.debit.lock();
+    let c = ledger.credit.lock();
+    settle(d, c);
+}
+
+/// Violation: the reverse order — deadlocks against `post`.
+pub fn unpost(ledger: &Ledger) {
+    let c = ledger.credit.lock();
+    let d = ledger.debit.lock();
+    settle(d, c);
+}
+
+/// Violation: no backpressure between producer and consumer.
+pub fn spawn_bus() -> (Sender<u64>, Receiver<u64>) {
+    let (tx, rx) = unbounded();
+    (tx, rx)
+}
+
+/// Reviewed: drained synchronously in the same simulation tick.
+pub fn spawn_reviewed_bus() -> (Sender<u64>, Receiver<u64>) {
+    // hc-lint: allow(sync-unbounded-channel)
+    let (tx, rx) = unbounded();
+    (tx, rx)
+}

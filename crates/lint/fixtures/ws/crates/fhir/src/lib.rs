@@ -1,6 +1,8 @@
 //! Fixture: the defining/de-identification module — PHI derives are
 //! legitimate here and must produce no `phi-derive-leak`/`phi-impl-leak`
-//! findings. A format-macro leak still fires even here (1 × `phi-fmt-leak`).
+//! findings. Dataflow leaks still fire even here: 1 × `phi-fmt-leak`
+//! (`eprintln!` of a patient) and 1 × `taint-phi-to-sink` (the `write!`
+//! inside `Display`, where `self` of a PHI impl is tainted).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,79 @@
+//! Fixture: inter-procedural PHI taint flows and their sanitised twins.
+//!
+//! Seeded findings:
+//! * 2 × `taint-phi-to-sink` (PHI param straight into `export_rows`;
+//!   a renamed tainted local into `println!` — the lexical pass cannot
+//!   see that one; one more suppressed inline)
+//! * 1 × `taint-unsanitized-export` (tainted argument through `forward`,
+//!   whose summary routes its parameter to an export sink)
+//! Every flow's `privacy::deidentify` twin below must stay clean.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// PHI record under test.
+pub struct Patient {
+    /// Medical record number (a direct identifier).
+    pub id: u64,
+}
+
+/// De-identification layer: calls through this path sanitise their input.
+pub mod privacy {
+    /// Strips direct identifiers; the result is safe to egress.
+    pub fn deidentify(record: super::Patient) -> String {
+        let bucket = record.id % 97;
+        bucket.to_string()
+    }
+}
+
+/// Pretend egress: rows handed here leave the trust boundary.
+pub fn export_rows(rows: String) -> usize {
+    rows.len()
+}
+
+/// Ships one serialised row; callers must pass de-identified data.
+pub fn forward(row: String) -> usize {
+    export_rows(row)
+}
+
+/// Violation: raw PHI is exported without de-identification.
+pub fn export_raw(patient: Patient) -> usize {
+    export_rows(patient)
+}
+
+/// The sanitised twin: the same egress is fine after `privacy::deidentify`.
+pub fn export_clean(patient: Patient) -> usize {
+    let rows = privacy::deidentify(patient);
+    export_rows(rows)
+}
+
+/// Violation: the export happens inside `forward`, one call away.
+pub fn relay_raw(patient: Patient) -> usize {
+    forward(patient)
+}
+
+/// The sanitised twin of the relayed flow.
+pub fn relay_clean(patient: Patient) -> usize {
+    let row = privacy::deidentify(patient);
+    forward(row)
+}
+
+/// Violation: the PHI value is renamed, but taint follows the value into
+/// the log line (lexical `phi-fmt-leak` cannot see this one).
+pub fn log_renamed(patient: Patient) {
+    let row = patient;
+    println!("row {:?}", row);
+}
+
+/// Clean: aggregates declassify — a cohort count is not PHI.
+pub fn log_cohort_size(cohort: Vec<Patient>) {
+    let total = cohort.len();
+    println!("cohort of {total}");
+}
+
+/// Reviewed: pseudonymous bucket only; both the taint rule and the
+/// name-based rule would fire, so the allow lists both.
+pub fn log_reviewed(patient: Patient) {
+    // hc-lint: allow(taint-phi-to-sink, phi-fmt-leak)
+    println!("bucket {:?}", patient);
+}

@@ -84,6 +84,37 @@ impl Baseline {
         serde_json::to_string(self).unwrap_or_else(|_| "{\"version\":1,\"entries\":[]}".to_string())
     }
 
+    /// Returns a copy with entry counts clamped to the findings that still
+    /// occur: paid-down debt disappears instead of lingering as silent
+    /// budget a regression could hide under. Entries are merged by
+    /// fingerprint and re-sorted, so pruning also canonicalises a
+    /// hand-edited file.
+    pub fn pruned(&self, findings: &[Finding]) -> Baseline {
+        let mut current: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+        for f in findings {
+            *current
+                .entry((f.rule.clone(), f.file.clone(), f.snippet.clone()))
+                .or_insert(0) += 1;
+        }
+        let mut kept: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+        for e in &self.entries {
+            let key = (e.rule.clone(), e.file.clone(), e.key.clone());
+            let still = current.get(&key).copied().unwrap_or(0);
+            if still == 0 {
+                continue;
+            }
+            let slot = kept.entry(key).or_insert(0);
+            *slot = (*slot + e.count).min(still);
+        }
+        Baseline {
+            version: self.version,
+            entries: kept
+                .into_iter()
+                .map(|((rule, file, key), count)| BaselineEntry { rule, file, key, count })
+                .collect(),
+        }
+    }
+
     /// Splits `findings` into baselined and new, consuming baseline budget
     /// per fingerprint.
     pub fn diff(&self, findings: &[Finding]) -> BaselineDiff {
@@ -161,5 +192,33 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(Baseline::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn prune_drops_paid_down_debt_and_clamps_counts() {
+        let base = Baseline::from_findings(&[
+            finding("panic-unwrap", "a.rs", "x.unwrap();", 3),
+            finding("panic-unwrap", "a.rs", "x.unwrap();", 9),
+            finding("panic-expect", "b.rs", "y.expect(\"e\");", 4),
+        ]);
+
+        // One unwrap fixed, the expect fixed entirely.
+        let current = vec![finding("panic-unwrap", "a.rs", "x.unwrap();", 3)];
+        let pruned = base.pruned(&current);
+        assert_eq!(pruned.entries.len(), 1);
+        let e = pruned.entries.first().expect("one entry");
+        assert_eq!((e.rule.as_str(), e.count), ("panic-unwrap", 1));
+
+        // Pruned baseline still absorbs the remaining finding, no staleness.
+        let d = pruned.diff(&current);
+        assert!(d.new_findings.is_empty());
+        assert_eq!(d.stale_entries, 0);
+
+        // A *new* occurrence is not absorbed by pruning artefacts.
+        let two = vec![
+            finding("panic-unwrap", "a.rs", "x.unwrap();", 3),
+            finding("panic-unwrap", "a.rs", "x.unwrap();", 50),
+        ];
+        assert_eq!(pruned.diff(&two).new_findings.len(), 1);
     }
 }

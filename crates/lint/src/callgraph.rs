@@ -1,0 +1,93 @@
+//! Workspace call graph over parsed function declarations.
+//!
+//! Resolution is by bare name — the same convention the summary table
+//! uses — so `cache.fetch_patient(id)` and `fetch_patient(id)` both edge
+//! to any function named `fetch_patient`. Overloads across types merge;
+//! that over-approximation matches the conservative summary merge in
+//! [`crate::summaries`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::parser::FnDecl;
+
+/// Caller → callees adjacency over bare function names.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// `edges[caller]` = set of callee names (only names that resolve to
+    /// a parsed function).
+    pub edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for a set of functions: an edge exists when a
+    /// body contains `name(` or `.name(` for a known function `name`.
+    pub fn build(fns: &[&FnDecl]) -> CallGraph {
+        let known: BTreeSet<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for f in fns {
+            let entry = edges.entry(f.name.clone()).or_default();
+            for (i, t) in f.body.iter().enumerate() {
+                if t.kind != TokKind::Ident || !known.contains(t.text.as_str()) {
+                    continue;
+                }
+                if f.body.get(i + 1).is_some_and(|n| n.is_punct('(')) && t.text != f.name {
+                    entry.insert(t.text.clone());
+                }
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// Direct callees of `name` (empty if unknown).
+    pub fn callees_of(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.edges.get(name).into_iter().flatten().map(String::as_str)
+    }
+
+    /// Direct callers of `name`.
+    pub fn callers_of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> {
+        self.edges
+            .iter()
+            .filter(move |(_, callees)| callees.contains(name))
+            .map(|(caller, _)| caller.as_str())
+    }
+
+    /// Total edge count (for the taint report).
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn graph(src: &str) -> CallGraph {
+        let facts = parse_file(src);
+        let fns: Vec<&FnDecl> = facts.fns.iter().collect();
+        CallGraph::build(&fns)
+    }
+
+    #[test]
+    fn direct_and_method_calls_resolve() {
+        let g = graph(
+            r#"
+            fn leaf() {}
+            fn helper(x: u32) -> u32 { x }
+            fn top(s: &S) { leaf(); let v = helper(1); s.leaf(); ignore(v); }
+            "#,
+        );
+        let callees: Vec<&str> = g.callees_of("top").collect();
+        assert_eq!(callees, vec!["helper", "leaf"]);
+        assert_eq!(g.callers_of("leaf").collect::<Vec<_>>(), vec!["top"]);
+    }
+
+    #[test]
+    fn unknown_names_and_self_recursion_excluded() {
+        let g = graph("fn a() { a(); b(); extern_call(); } fn b() {}");
+        let callees: Vec<&str> = g.callees_of("a").collect();
+        assert_eq!(callees, vec!["b"], "no self edge, no unknown callee");
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,1056 @@
+//! Per-function control-flow graphs over the token stream.
+//!
+//! [`build_cfg`] turns a function body (the token slice captured by the
+//! item parser in [`crate::parser::FnDecl`]) into basic blocks with
+//! successor edges. Statement-position control flow — `if`/`else`,
+//! `match`, `while`/`loop`/`for`, `return`, `break`/`continue`, the `?`
+//! operator, `let … else` — produces real branch/loop/early-return
+//! structure. Expression-position control flow (`let x = if c { a } else
+//! { b }`) is deliberately flattened: the whole expression becomes one
+//! statement whose tokens are the union of both branches, which
+//! over-approximates dataflow (safe for taint analysis, where union
+//! merging is the join anyway).
+//!
+//! The builder never fails: pathological input degrades to coarser
+//! statements, and a block budget marks the graph
+//! [`Cfg::inconclusive`] instead of looping. Consumers treat
+//! inconclusive graphs as "analysis unavailable" and fall back to
+//! lexical rules.
+
+use std::borrow::Borrow;
+
+use crate::lexer::{Tok, TokKind};
+
+/// A statement's dataflow role.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `let <pat> = <toks>;` — binds every name in `names` to the value
+    /// of the statement tokens.
+    Let {
+        /// Names bound by the pattern.
+        names: Vec<String>,
+    },
+    /// `<target> = <toks>;` or `<target> op= …`. `weak` is true for
+    /// projections (`x.f = v`) and compound assignments, where the old
+    /// value of `target` survives.
+    Assign {
+        /// Base variable of the assignment target.
+        target: String,
+        /// True when the old value is merged rather than replaced.
+        weak: bool,
+    },
+    /// Expression statement (calls, macros, method chains).
+    Expr,
+    /// Branch condition, match scrutinee, or loop iteration expression.
+    Cond,
+    /// `return <toks>` or the function's trailing expression.
+    Return,
+}
+
+/// One statement inside a basic block.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// Dataflow role.
+    pub kind: StmtKind,
+    /// The value/expression tokens the statement evaluates.
+    pub toks: Vec<Tok>,
+    /// 1-based line of the statement's first token.
+    pub line: u32,
+    /// Lexical scope id (index into [`Cfg::scope_parent`]).
+    pub scope: u32,
+    /// True when the statement contains a `?` (adds an early-return edge).
+    pub has_question: bool,
+}
+
+/// A basic block.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Statements in execution order.
+    pub stmts: Vec<Stmt>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// True for loop-head blocks (`while`/`loop`/`for`).
+    pub loop_head: bool,
+}
+
+/// A function body's control-flow graph.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Blocks; `blocks[entry]` is the entry.
+    pub blocks: Vec<Block>,
+    /// Entry block index (always 0).
+    pub entry: usize,
+    /// Exit block index (always 1, always empty).
+    pub exit: usize,
+    /// Lexical scope tree: `scope_parent[s]` is the parent of scope `s`;
+    /// scope 0 is the function body and is its own parent.
+    pub scope_parent: Vec<u32>,
+    /// True when the builder hit its block budget and gave up — the
+    /// graph is incomplete and rule consumers must fall back to lexical
+    /// behaviour.
+    pub inconclusive: bool,
+}
+
+impl Cfg {
+    /// True when scope `inner` is `outer` or lexically nested inside it.
+    pub fn scope_within(&self, mut inner: u32, outer: u32) -> bool {
+        loop {
+            if inner == outer {
+                return true;
+            }
+            let parent = self.scope_parent.get(inner as usize).copied().unwrap_or(0);
+            if parent == inner {
+                return false;
+            }
+            inner = parent;
+        }
+    }
+
+    /// Iterates `(block_idx, stmt_idx, &stmt)` over all statements.
+    pub fn stmts(&self) -> impl Iterator<Item = (usize, usize, &Stmt)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(b, blk)| blk.stmts.iter().enumerate().map(move |(s, st)| (b, s, st)))
+    }
+}
+
+/// Keywords that begin a new statement — used to end an expression
+/// statement that closed with a `{…}` group and no semicolon.
+const STMT_KEYWORDS: &[&str] = &[
+    "let", "if", "while", "for", "loop", "match", "return", "break", "continue",
+];
+
+/// Identifiers that never bind in a pattern.
+const NON_BINDING: &[&str] = &["mut", "ref", "box", "_", "true", "false", "if", "in", "as"];
+
+/// Maximum blocks per function before the builder declares the graph
+/// inconclusive (a 4k-block function is generated code, not a hot path).
+const BLOCK_BUDGET: usize = 4096;
+
+struct LoopCtx {
+    head: usize,
+    exit: usize,
+}
+
+struct Builder<'a> {
+    toks: &'a [Tok],
+    blocks: Vec<Block>,
+    exit: usize,
+    scope_parent: Vec<u32>,
+    loops: Vec<LoopCtx>,
+    inconclusive: bool,
+}
+
+/// Builds the CFG for one function body (tokens inside the outer braces,
+/// comments excluded).
+pub fn build_cfg(toks: &[Tok]) -> Cfg {
+    let mut b = Builder {
+        toks,
+        blocks: vec![Block::default(), Block::default()],
+        exit: 1,
+        scope_parent: vec![0],
+        loops: Vec::new(),
+        inconclusive: false,
+    };
+    let last = b.stmts_range(0, toks.len(), 0, 0, true);
+    b.edge(last, b.exit);
+    Cfg {
+        blocks: b.blocks,
+        entry: 0,
+        exit: b.exit,
+        scope_parent: b.scope_parent,
+        inconclusive: b.inconclusive,
+    }
+}
+
+impl Builder<'_> {
+    fn new_block(&mut self) -> usize {
+        if self.blocks.len() >= BLOCK_BUDGET {
+            self.inconclusive = true;
+            return self.exit;
+        }
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn new_scope(&mut self, parent: u32) -> u32 {
+        self.scope_parent.push(parent);
+        (self.scope_parent.len() - 1) as u32
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if from == self.exit {
+            return;
+        }
+        if let Some(blk) = self.blocks.get_mut(from) {
+            if !blk.succs.contains(&to) {
+                blk.succs.push(to);
+            }
+        }
+    }
+
+    fn push_stmt(&mut self, block: usize, kind: StmtKind, range: (usize, usize), scope: u32) {
+        let toks: Vec<Tok> = self.toks.get(range.0..range.1).unwrap_or_default().to_vec();
+        let line = toks.first().map_or(0, |t| t.line);
+        let has_question = toks.iter().any(|t| t.is_punct('?'));
+        if has_question {
+            self.edge(block, self.exit);
+        }
+        if let Some(blk) = self.blocks.get_mut(block) {
+            blk.stmts.push(Stmt { kind, toks, line, scope, has_question });
+        }
+    }
+
+    fn tok(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    fn is_ident_at(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn is_punct_at(&self, i: usize, c: char) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    /// Index just past the group opened at `open` (which holds `open_c`).
+    fn group_end(&self, open: usize, open_c: char, close_c: char, limit: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < limit {
+            if self.is_punct_at(j, open_c) {
+                depth += 1;
+            } else if self.is_punct_at(j, close_c) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        limit
+    }
+
+    /// Finds the first index in `[from, limit)` where `pred` holds at
+    /// paren/bracket/brace depth 0.
+    fn find_top_level(&self, from: usize, limit: usize, pred: impl Fn(&Tok) -> bool) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut j = from;
+        while j < limit {
+            let Some(t) = self.tok(j) else { break };
+            let is_open = t.kind == TokKind::Punct && matches!(t.text.as_str(), "(" | "[" | "{");
+            let is_close = t.kind == TokKind::Punct && matches!(t.text.as_str(), ")" | "]" | "}");
+            if is_close {
+                depth -= 1;
+            }
+            if depth == 0 && pred(t) {
+                return Some(j);
+            }
+            if is_open {
+                depth += 1;
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Builds statements from `[from, limit)` starting in block `cur`;
+    /// returns the block open after the last statement. `tail_return` is
+    /// true for the outermost body: a trailing expression becomes a
+    /// `Return` statement.
+    fn stmts_range(&mut self, from: usize, limit: usize, mut cur: usize, scope: u32, tail_return: bool) -> usize {
+        let mut i = from;
+        while i < limit {
+            if self.inconclusive {
+                return cur;
+            }
+            let start = i;
+            let Some(t) = self.tok(i) else { break };
+
+            // Empty statement.
+            if t.is_punct(';') {
+                i += 1;
+                continue;
+            }
+            // Statement attributes `#[…]` (e.g. `#[allow(...)] let x = …;`)
+            // and inner doc attrs `#![doc = …]`.
+            if t.is_punct('#') {
+                let open = i + if self.is_punct_at(i + 1, '!') { 2 } else { 1 };
+                if self.is_punct_at(open, '[') {
+                    i = self.group_end(open, '[', ']', limit);
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            // Bare / unsafe / async / labelled blocks run inline.
+            if t.kind == TokKind::Ident && matches!(t.text.as_str(), "unsafe" | "async" | "move") {
+                i += 1;
+                continue;
+            }
+            if t.kind == TokKind::Lifetime && self.is_punct_at(i + 1, ':') {
+                // Loop label `'outer:` — skip; the loop keyword follows.
+                i += 2;
+                continue;
+            }
+            if t.is_punct('{') {
+                let end = self.group_end(i, '{', '}', limit);
+                let child = self.new_scope(scope);
+                cur = self.stmts_range(i + 1, end.saturating_sub(1), cur, child, false);
+                i = end;
+                continue;
+            }
+
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "let" => {
+                        i = self.handle_let(i, limit, cur, scope);
+                        continue;
+                    }
+                    "if" => {
+                        let (ni, ncur) = self.handle_if(i, limit, cur, scope);
+                        i = ni;
+                        cur = ncur;
+                        continue;
+                    }
+                    "match" => {
+                        let (ni, ncur) = self.handle_match(i, limit, cur, scope);
+                        i = ni;
+                        cur = ncur;
+                        continue;
+                    }
+                    "while" => {
+                        let (ni, ncur) = self.handle_loop_kw(i, limit, cur, scope, LoopKw::While);
+                        i = ni;
+                        cur = ncur;
+                        continue;
+                    }
+                    "loop" => {
+                        let (ni, ncur) = self.handle_loop_kw(i, limit, cur, scope, LoopKw::Loop);
+                        i = ni;
+                        cur = ncur;
+                        continue;
+                    }
+                    "for" => {
+                        let (ni, ncur) = self.handle_loop_kw(i, limit, cur, scope, LoopKw::For);
+                        i = ni;
+                        cur = ncur;
+                        continue;
+                    }
+                    "return" => {
+                        let end = self
+                            .find_top_level(i + 1, limit, |t| t.is_punct(';'))
+                            .unwrap_or(limit);
+                        self.push_stmt(cur, StmtKind::Return, (i + 1, end), scope);
+                        self.edge(cur, self.exit);
+                        cur = self.new_block();
+                        i = end + 1;
+                        continue;
+                    }
+                    "break" | "continue" => {
+                        let is_break = t.text == "break";
+                        let end = self
+                            .find_top_level(i + 1, limit, |t| t.is_punct(';') || t.is_punct(','))
+                            .unwrap_or(limit);
+                        if !(i + 1..end).is_empty() {
+                            self.push_stmt(cur, StmtKind::Expr, (i + 1, end), scope);
+                        }
+                        let target = self.loops.last().map(|l| if is_break { l.exit } else { l.head });
+                        match target {
+                            Some(tgt) => self.edge(cur, tgt),
+                            // break outside a tracked loop (e.g. inside a
+                            // flattened match arm): conservatively exit.
+                            None => self.edge(cur, self.exit),
+                        }
+                        cur = self.new_block();
+                        i = end + 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+
+            // Plain expression statement (possibly an assignment).
+            let (end, next_i) = self.expr_stmt_end(i, limit);
+            let kind = self.classify_expr_stmt(i, end, &mut i);
+            let is_tail = tail_return && next_i >= limit && !self.ends_with_semi(end, limit);
+            let final_kind = if is_tail { StmtKind::Return } else { kind };
+            self.push_stmt(cur, final_kind, (i, end), scope);
+            if is_tail {
+                self.edge(cur, self.exit);
+                cur = self.new_block();
+            }
+            i = next_i.max(start + 1);
+        }
+        cur
+    }
+
+    fn ends_with_semi(&self, end: usize, limit: usize) -> bool {
+        end < limit && self.is_punct_at(end, ';')
+    }
+
+    /// Finds the end of an expression statement starting at `i`: the
+    /// top-level `;`, or — for block-ended expressions like `foo! { … }`
+    /// — the close of a top-level brace group followed by a statement
+    /// keyword or the end of input. Returns `(end_exclusive, next_i)`.
+    fn expr_stmt_end(&self, i: usize, limit: usize) -> (usize, usize) {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < limit {
+            let Some(t) = self.tok(j) else { break };
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" => {
+                        if depth == 0 {
+                            let close = self.group_end(j, '{', '}', limit);
+                            let next_is_stmt = close >= limit
+                                || self
+                                    .tok(close)
+                                    .is_some_and(|t| t.kind == TokKind::Ident && STMT_KEYWORDS.contains(&t.text.as_str()));
+                            if next_is_stmt {
+                                return (close, close);
+                            }
+                            j = close;
+                            continue;
+                        }
+                        depth += 1;
+                    }
+                    "}" => depth -= 1,
+                    ";" if depth == 0 => return (j, j + 1),
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        (limit, limit)
+    }
+
+    /// Classifies an expression statement as assignment or plain
+    /// expression, adjusting `stmt_start` to the RHS for strong
+    /// assignments.
+    fn classify_expr_stmt(&self, start: usize, end: usize, stmt_start: &mut usize) -> StmtKind {
+        // Find a top-level single `=` (not ==, !=, <=, >=, =>, += …).
+        let eq = self.find_top_level(start, end, |t| t.is_punct('='));
+        let Some(eq) = eq else { return StmtKind::Expr };
+        let prev = self.tok(eq.wrapping_sub(1));
+        let next = self.tok(eq + 1);
+        let compound_ops = ['=', '!', '<', '>', '+', '-', '*', '/', '%', '&', '|', '^'];
+        let prev_is_op = eq > start
+            && prev.is_some_and(|t| t.kind == TokKind::Punct && t.text.chars().all(|c| compound_ops.contains(&c)));
+        if next.is_some_and(|t| t.is_punct('=') || t.is_punct('>')) {
+            return StmtKind::Expr; // `==` or `=>` — not an assignment here
+        }
+        // Base variable: first identifier of the LHS path.
+        let lhs_end = if prev_is_op { eq - 1 } else { eq };
+        let lhs = self.toks.get(start..lhs_end).unwrap_or_default();
+        let target = lhs
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && !NON_BINDING.contains(&t.text.as_str()))
+            .map(|t| t.text.clone());
+        let Some(target) = target else { return StmtKind::Expr };
+        let projected = lhs.iter().any(|t| t.is_punct('.') || t.is_punct('['));
+        if prev_is_op {
+            // Compound `x += v`: keep the whole statement as the value so
+            // the old taint of `x` flows through naturally.
+            StmtKind::Assign { target, weak: false }
+        } else {
+            *stmt_start = eq + 1;
+            StmtKind::Assign { target, weak: projected }
+        }
+    }
+
+    fn handle_let(&mut self, i: usize, limit: usize, cur: usize, scope: u32) -> usize {
+        // Pattern: until top-level `:` or `=`.
+        let pat_end = self
+            .find_top_level(i + 1, limit, |t| t.is_punct(':') || t.is_punct('=') || t.is_punct(';'))
+            .unwrap_or(limit);
+        let pattern: Vec<&Tok> = self.toks.get(i + 1..pat_end).unwrap_or_default().iter().collect();
+        let names = pattern_bindings(&pattern);
+
+        let mut j = pat_end;
+        // Type annotation: skip (angle-aware) until top-level `=` or `;`.
+        if self.is_punct_at(j, ':') {
+            j = self.skip_type(j + 1, limit);
+        }
+        if self.is_punct_at(j, ';') || j >= limit {
+            self.push_stmt(cur, StmtKind::Let { names }, (j, j), scope);
+            return j + 1;
+        }
+        // Initializer: after `=`, until top-level `;`, watching for a
+        // top-level `else {` (let-else).
+        let init_start = j + 1;
+        let stmt_end = self
+            .find_top_level(init_start, limit, |t| t.is_punct(';'))
+            .unwrap_or(limit);
+        let else_at = self.find_top_level(init_start, stmt_end, |t| t.is_ident("else"));
+        let init_end = else_at.unwrap_or(stmt_end);
+        self.push_stmt(cur, StmtKind::Let { names }, (init_start, init_end), scope);
+        if let Some(e) = else_at {
+            if self.is_punct_at(e + 1, '{') {
+                // The else block diverges; model it as a branch to a block
+                // whose fallthrough reaches exit.
+                let else_blk = self.new_block();
+                self.edge(cur, else_blk);
+                let end = self.group_end(e + 1, '{', '}', stmt_end + 1);
+                let child = self.new_scope(scope);
+                let else_end = self.stmts_range(e + 2, end.saturating_sub(1), else_blk, child, false);
+                self.edge(else_end, self.exit);
+            }
+        }
+        stmt_end + 1
+    }
+
+    /// Skips a type annotation starting at `from`, angle-aware: stops at
+    /// the first `=` or `;` at all-delimiter depth 0 (angles included,
+    /// `->` does not close an angle).
+    fn skip_type(&self, from: usize, limit: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = from;
+        while j < limit {
+            let Some(t) = self.tok(j) else { break };
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ">" => {
+                        if !self.tok(j.wrapping_sub(1)).is_some_and(|p| p.is_punct('-')) {
+                            depth -= 1;
+                        }
+                    }
+                    "=" | ";" if depth == 0 => return j,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        limit
+    }
+
+    fn handle_if(&mut self, i: usize, limit: usize, cur: usize, scope: u32) -> (usize, usize) {
+        // `if let pat = scrut {` or `if cond {`.
+        let body_open = self
+            .find_top_level(i + 1, limit, |t| t.is_punct('{'))
+            .unwrap_or(limit);
+        let is_if_let = self.is_ident_at(i + 1, "let");
+        let mut bindings = Vec::new();
+        let cond_range = if is_if_let {
+            let eq = self
+                .find_top_level(i + 2, body_open, |t| t.is_punct('='))
+                .unwrap_or(body_open);
+            let pattern: Vec<&Tok> = self.toks.get(i + 2..eq).unwrap_or_default().iter().collect();
+            bindings = pattern_bindings(&pattern);
+            (eq + 1, body_open)
+        } else {
+            (i + 1, body_open)
+        };
+        self.push_stmt(cur, StmtKind::Cond, cond_range, scope);
+
+        let then_blk = self.new_block();
+        self.edge(cur, then_blk);
+        if !bindings.is_empty() {
+            self.push_stmt(then_blk, StmtKind::Let { names: bindings }, cond_range, scope);
+        }
+        let body_end = self.group_end(body_open, '{', '}', limit);
+        let child = self.new_scope(scope);
+        let then_end = self.stmts_range(body_open + 1, body_end.saturating_sub(1), then_blk, child, false);
+
+        if self.is_ident_at(body_end, "else") {
+            if self.is_ident_at(body_end + 1, "if") {
+                // `else if …`: recurse; its join becomes ours.
+                let else_blk = self.new_block();
+                self.edge(cur, else_blk);
+                let (ni, join) = self.handle_if(body_end + 1, limit, else_blk, scope);
+                self.edge(then_end, join);
+                return (ni, join);
+            }
+            if self.is_punct_at(body_end + 1, '{') {
+                let else_blk = self.new_block();
+                self.edge(cur, else_blk);
+                let else_close = self.group_end(body_end + 1, '{', '}', limit);
+                let child = self.new_scope(scope);
+                let else_end =
+                    self.stmts_range(body_end + 2, else_close.saturating_sub(1), else_blk, child, false);
+                let join = self.new_block();
+                self.edge(then_end, join);
+                self.edge(else_end, join);
+                return (else_close, join);
+            }
+        }
+        let join = self.new_block();
+        self.edge(then_end, join);
+        self.edge(cur, join); // condition false
+        (body_end, join)
+    }
+
+    fn handle_match(&mut self, i: usize, limit: usize, cur: usize, scope: u32) -> (usize, usize) {
+        let body_open = self
+            .find_top_level(i + 1, limit, |t| t.is_punct('{'))
+            .unwrap_or(limit);
+        let scrut = (i + 1, body_open);
+        self.push_stmt(cur, StmtKind::Cond, scrut, scope);
+        let body_end = self.group_end(body_open, '{', '}', limit);
+        let inner_end = body_end.saturating_sub(1);
+
+        let join = self.new_block();
+        let mut j = body_open + 1;
+        let mut any_arm = false;
+        while j < inner_end {
+            // Pattern (+ optional guard) until `=>`.
+            let arrow = self.find_top_level(j, inner_end, |t| t.is_punct('='));
+            let Some(arrow) = arrow else { break };
+            if !self.is_punct_at(arrow + 1, '>') {
+                j = arrow + 1;
+                continue;
+            }
+            let pat_region: Vec<&Tok> = self.toks.get(j..arrow).unwrap_or_default().iter().collect();
+            let guard_at = pat_region.iter().position(|t| t.is_ident("if"));
+            let (pat_part, guard_part) = match guard_at {
+                Some(g) => pat_region.split_at(g),
+                None => (pat_region.as_slice(), &[] as &[&Tok]),
+            };
+            let names = pattern_bindings(pat_part);
+
+            let arm_blk = self.new_block();
+            self.edge(cur, arm_blk);
+            if !names.is_empty() {
+                self.push_stmt(arm_blk, StmtKind::Let { names }, scrut, scope);
+            }
+            if !guard_part.is_empty() {
+                let guard_start = j + guard_at.unwrap_or(0) + 1;
+                self.push_stmt(arm_blk, StmtKind::Cond, (guard_start, arrow), scope);
+            }
+
+            // Arm body: a `{…}` group, or an expression until top-level `,`.
+            let body_start = arrow + 2;
+            let child = self.new_scope(scope);
+            let (arm_end_blk, next_j) = if self.is_punct_at(body_start, '{') {
+                let close = self.group_end(body_start, '{', '}', inner_end);
+                let endb = self.stmts_range(body_start + 1, close.saturating_sub(1), arm_blk, child, false);
+                let after = if self.is_punct_at(close, ',') { close + 1 } else { close };
+                (endb, after)
+            } else {
+                let comma = self
+                    .find_top_level(body_start, inner_end, |t| t.is_punct(','))
+                    .unwrap_or(inner_end);
+                let endb = self.stmts_range(body_start, comma, arm_blk, child, false);
+                (endb, comma + 1)
+            };
+            self.edge(arm_end_blk, join);
+            any_arm = true;
+            j = next_j;
+        }
+        if !any_arm {
+            self.edge(cur, join);
+        }
+        (body_end, join)
+    }
+
+    fn handle_loop_kw(&mut self, i: usize, limit: usize, cur: usize, scope: u32, kw: LoopKw) -> (usize, usize) {
+        let body_open = self
+            .find_top_level(i + 1, limit, |t| t.is_punct('{'))
+            .unwrap_or(limit);
+        let head = self.new_block();
+        if let Some(blk) = self.blocks.get_mut(head) {
+            blk.loop_head = true;
+        }
+        self.edge(cur, head);
+        let exit_blk = self.new_block();
+        self.edge(head, exit_blk);
+
+        let mut bindings = Vec::new();
+        let mut value_range = (i + 1, body_open);
+        match kw {
+            LoopKw::While => {
+                if self.is_ident_at(i + 1, "let") {
+                    let eq = self
+                        .find_top_level(i + 2, body_open, |t| t.is_punct('='))
+                        .unwrap_or(body_open);
+                    let pattern: Vec<&Tok> =
+                        self.toks.get(i + 2..eq).unwrap_or_default().iter().collect();
+                    bindings = pattern_bindings(&pattern);
+                    value_range = (eq + 1, body_open);
+                }
+                self.push_stmt(head, StmtKind::Cond, value_range, scope);
+            }
+            LoopKw::For => {
+                let in_at = self
+                    .find_top_level(i + 1, body_open, |t| t.is_ident("in"))
+                    .unwrap_or(body_open);
+                let pattern: Vec<&Tok> = self.toks.get(i + 1..in_at).unwrap_or_default().iter().collect();
+                bindings = pattern_bindings(&pattern);
+                value_range = (in_at + 1, body_open);
+                self.push_stmt(head, StmtKind::Cond, value_range, scope);
+            }
+            LoopKw::Loop => {
+                // Empty marker so scope-based consumers (lock liveness)
+                // see the loop head even without a condition.
+                self.push_stmt(head, StmtKind::Cond, (i + 1, i + 1), scope);
+            }
+        }
+
+        let body_blk = self.new_block();
+        self.edge(head, body_blk);
+        if !bindings.is_empty() {
+            self.push_stmt(body_blk, StmtKind::Let { names: bindings }, value_range, scope);
+        }
+        let body_end = self.group_end(body_open, '{', '}', limit);
+        let child = self.new_scope(scope);
+        self.loops.push(LoopCtx { head, exit: exit_blk });
+        let body_last = self.stmts_range(body_open + 1, body_end.saturating_sub(1), body_blk, child, false);
+        self.loops.pop();
+        self.edge(body_last, head); // back edge
+        (body_end, exit_blk)
+    }
+}
+
+enum LoopKw {
+    While,
+    Loop,
+    For,
+}
+
+/// Names bound by a pattern: identifiers that are not keywords, path
+/// segments (`Foo::Bar`), constructors (`Some(…)`, `Point { … }`), or
+/// struct-pattern field names (`Point { x: renamed }` binds `renamed`).
+pub fn pattern_bindings<T: Borrow<Tok>>(pattern: &[T]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut brace_depth = 0i32;
+    for (j, t) in pattern.iter().enumerate() {
+        let t = t.borrow();
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => brace_depth += 1,
+                "}" => brace_depth -= 1,
+                _ => {}
+            }
+            continue;
+        }
+        if t.kind != TokKind::Ident || NON_BINDING.contains(&t.text.as_str()) {
+            continue;
+        }
+        let next = pattern.get(j + 1).map(Borrow::borrow);
+        let prev = pattern.get(j.wrapping_sub(1)).filter(|_| j > 0).map(Borrow::borrow);
+        // Constructors / paths: `Some(`, `Point {`, `mod::`.
+        if next.is_some_and(|n| n.is_punct('(') || n.is_punct('{') || n.is_punct(':')) {
+            // `field: binding` inside braces: the field name is skipped
+            // here and the binding ident is picked up on its own. But a
+            // `name` directly before `:` at depth 0 cannot occur (the
+            // caller cuts patterns at top-level `:`), and `Foo::Bar` path
+            // segments are skipped via the `:` check.
+            continue;
+        }
+        if prev.is_some_and(|p| p.is_punct(':')) && brace_depth == 0 {
+            // Path tail `Foo::Bar` — the second `:` precedes it.
+            continue;
+        }
+        // Capitalized idents in patterns are unit variants (`None`,
+        // `Status::Active`) or const matches (`MAX_RETRIES`) by Rust
+        // naming convention, not bindings.
+        if t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            continue;
+        }
+        if !out.contains(&t.text) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn body(src: &str) -> Vec<Tok> {
+        // Strip comments the way the engine does.
+        lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+    }
+
+    fn cfg_of(src: &str) -> Cfg {
+        build_cfg(&body(src))
+    }
+
+    /// All `Let` binding name lists, in statement order.
+    fn lets(cfg: &Cfg) -> Vec<Vec<String>> {
+        cfg.stmts()
+            .filter_map(|(_, _, s)| match &s.kind {
+                StmtKind::Let { names } => Some(names.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_is_single_block() {
+        let cfg = cfg_of("let a = 1; let b = a + 2; f(b);");
+        assert!(!cfg.inconclusive);
+        assert_eq!(cfg.blocks[cfg.entry].stmts.len(), 3);
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn if_else_produces_diamond() {
+        let cfg = cfg_of("let a = 1; if a > 0 { f(a); } else { g(a); } h();");
+        // entry(with cond) → then, else; both → join.
+        let entry_succs = &cfg.blocks[cfg.entry].succs;
+        assert_eq!(entry_succs.len(), 2, "{cfg:#?}");
+        let join_targets: Vec<usize> = entry_succs
+            .iter()
+            .map(|&b| *cfg.blocks[b].succs.first().expect("arm has successor"))
+            .collect();
+        assert_eq!(join_targets[0], join_targets[1], "both arms join");
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let cfg = cfg_of("if c { f(); } g();");
+        let entry_succs = &cfg.blocks[cfg.entry].succs;
+        assert_eq!(entry_succs.len(), 2);
+        // One successor is the then-block, the other the join itself.
+        let joins: Vec<usize> = entry_succs
+            .iter()
+            .filter(|&&b| cfg.blocks[b].stmts.iter().any(|s| s.kind == StmtKind::Expr))
+            .cloned()
+            .collect();
+        assert_eq!(joins.len(), 2, "then-block and join both carry Expr stmts: {cfg:#?}");
+    }
+
+    #[test]
+    fn else_if_chain_joins_once() {
+        let cfg = cfg_of("if a { f(); } else if b { g(); } else { h(); } tail();");
+        let tail_blocks: Vec<usize> = cfg
+            .stmts()
+            .filter(|(_, _, s)| s.toks.iter().any(|t| t.is_ident("tail")))
+            .map(|(b, _, _)| b)
+            .collect();
+        assert_eq!(tail_blocks.len(), 1);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge_and_loop_head() {
+        let cfg = cfg_of("while x < 10 { x += 1; } done();");
+        let head = cfg
+            .blocks
+            .iter()
+            .position(|b| b.loop_head)
+            .expect("loop head exists");
+        // Some block points back at the head.
+        let has_back_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| i != cfg.entry && b.succs.contains(&head));
+        assert!(has_back_edge, "{cfg:#?}");
+    }
+
+    #[test]
+    fn for_loop_binds_pattern_from_iterated_expr() {
+        let cfg = cfg_of("for (k, v) in map { use_it(k, v); }");
+        let bindings = lets(&cfg);
+        assert_eq!(bindings, vec![vec!["k".to_string(), "v".to_string()]]);
+        // The binding's value tokens are the iterated expression.
+        let (_, _, stmt) = cfg
+            .stmts()
+            .find(|(_, _, s)| matches!(s.kind, StmtKind::Let { .. }))
+            .expect("binding stmt");
+        assert!(stmt.toks.iter().any(|t| t.is_ident("map")));
+    }
+
+    #[test]
+    fn loop_with_break_reaches_exit_block() {
+        let cfg = cfg_of("loop { if done { break; } step(); } after();");
+        assert!(cfg.blocks.iter().any(|b| b.loop_head));
+        let after: Vec<usize> = cfg
+            .stmts()
+            .filter(|(_, _, s)| s.toks.iter().any(|t| t.is_ident("after")))
+            .map(|(b, _, _)| b)
+            .collect();
+        assert_eq!(after.len(), 1);
+    }
+
+    #[test]
+    fn early_return_splits_block_and_edges_exit() {
+        let cfg = cfg_of("if bad { return Err(e); } ok();");
+        let ret_block = cfg
+            .stmts()
+            .find(|(_, _, s)| s.kind == StmtKind::Return)
+            .map(|(b, _, _)| b)
+            .expect("return stmt");
+        assert!(cfg.blocks[ret_block].succs.contains(&cfg.exit));
+    }
+
+    #[test]
+    fn question_mark_adds_exit_edge() {
+        let cfg = cfg_of("let x = fallible()?; use_it(x);");
+        assert!(cfg.blocks[cfg.entry].succs.contains(&cfg.exit), "{cfg:#?}");
+        let (_, _, stmt) = cfg.stmts().next().expect("stmt");
+        assert!(stmt.has_question);
+    }
+
+    #[test]
+    fn trailing_expression_is_return() {
+        let cfg = cfg_of("let x = 1; x + 1");
+        let kinds: Vec<&StmtKind> = cfg.stmts().map(|(_, _, s)| &s.kind).collect();
+        assert!(matches!(kinds.last(), Some(StmtKind::Return)));
+    }
+
+    #[test]
+    fn match_arms_bind_scrutinee_and_join() {
+        let cfg = cfg_of("match opt { Some(v) => f(v), None => g(), } tail();");
+        let bindings = lets(&cfg);
+        assert_eq!(bindings, vec![vec!["v".to_string()]]);
+        let tails: Vec<usize> = cfg
+            .stmts()
+            .filter(|(_, _, s)| s.toks.iter().any(|t| t.is_ident("tail")))
+            .map(|(b, _, _)| b)
+            .collect();
+        assert_eq!(tails.len(), 1);
+    }
+
+    #[test]
+    fn match_arm_with_block_body_and_guard() {
+        let cfg = cfg_of("match v { x if x > 2 => { big(x); } _ => {} }");
+        assert!(cfg
+            .stmts()
+            .any(|(_, _, s)| s.kind == StmtKind::Cond && s.toks.iter().any(|t| t.is_ident("x"))));
+        assert!(cfg.stmts().any(|(_, _, s)| s.toks.iter().any(|t| t.is_ident("big"))));
+    }
+
+    #[test]
+    fn let_else_divergence_modelled() {
+        let cfg = cfg_of("let Some(x) = lookup(k) else { return; }; use_it(x);");
+        assert_eq!(lets(&cfg), vec![vec!["x".to_string()]]);
+        // Some block other than the main flow reaches exit (the else).
+        let exit_preds = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.succs.contains(&cfg.exit))
+            .count();
+        assert!(exit_preds >= 2, "{cfg:#?}");
+    }
+
+    #[test]
+    fn if_let_binds_in_then_branch_only() {
+        let cfg = cfg_of("if let Some(p) = fetch(id) { show(p); } done();");
+        assert_eq!(lets(&cfg), vec![vec!["p".to_string()]]);
+        // The binding lives in the then-block, not the entry block.
+        let (b, _, _) = cfg
+            .stmts()
+            .find(|(_, _, s)| matches!(s.kind, StmtKind::Let { .. }))
+            .expect("binding");
+        assert_ne!(b, cfg.entry);
+    }
+
+    #[test]
+    fn assignment_classification() {
+        let cfg = cfg_of("x = f(); y.field = g(); z += h();");
+        let kinds: Vec<StmtKind> = cfg.stmts().map(|(_, _, s)| s.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                StmtKind::Assign { target: "x".into(), weak: false },
+                StmtKind::Assign { target: "y".into(), weak: true },
+                StmtKind::Assign { target: "z".into(), weak: false },
+            ]
+        );
+        // Compound assignment keeps the target in its value tokens.
+        let (_, _, z) = cfg.stmts().nth(2).expect("z stmt");
+        assert!(z.toks.iter().any(|t| t.is_ident("z")));
+    }
+
+    #[test]
+    fn equality_is_not_assignment() {
+        let cfg = cfg_of("assert(a == b); f(c != d);");
+        assert!(cfg.stmts().all(|(_, _, s)| s.kind == StmtKind::Expr));
+    }
+
+    #[test]
+    fn nested_generics_in_type_annotation() {
+        let cfg = cfg_of("let m: BTreeMap<String, Vec<Vec<u8>>> = source(); sink(m);");
+        assert_eq!(lets(&cfg), vec![vec!["m".to_string()]]);
+        let (_, _, stmt) = cfg
+            .stmts()
+            .find(|(_, _, s)| matches!(s.kind, StmtKind::Let { .. }))
+            .expect("let");
+        // The value tokens are the initializer, not the type.
+        assert!(stmt.toks.iter().any(|t| t.is_ident("source")));
+        assert!(!stmt.toks.iter().any(|t| t.is_ident("BTreeMap")));
+    }
+
+    #[test]
+    fn shift_in_initializer_not_confused_with_generics() {
+        let cfg = cfg_of("let x: u64 = a >> 2; f(x);");
+        assert_eq!(lets(&cfg), vec![vec!["x".to_string()]]);
+        let (_, _, stmt) = cfg.stmts().next().expect("let stmt");
+        assert!(stmt.toks.iter().any(|t| t.is_ident("a")));
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let cfg = cfg_of("let a = 1; { let b = 2; { let c = 3; } } let d = 4;");
+        assert!(cfg.scope_parent.len() >= 3);
+        let scopes: Vec<u32> = cfg.stmts().map(|(_, _, s)| s.scope).collect();
+        // a and d in scope 0; b deeper; c deeper still.
+        assert_eq!(scopes.first(), Some(&0));
+        assert_eq!(scopes.last(), Some(&0));
+        let b_scope = scopes[1];
+        let c_scope = scopes[2];
+        assert!(cfg.scope_within(c_scope, b_scope));
+        assert!(cfg.scope_within(b_scope, 0));
+        assert!(!cfg.scope_within(b_scope, c_scope));
+    }
+
+    #[test]
+    fn statement_attributes_are_skipped() {
+        let cfg = cfg_of("#[allow(unused)] let x = f(); g(x);");
+        assert_eq!(lets(&cfg), vec![vec!["x".to_string()]]);
+    }
+
+    #[test]
+    fn macro_statement_with_braces() {
+        let cfg = cfg_of("observe! { x: 1 } let y = 2;");
+        assert_eq!(lets(&cfg), vec![vec!["y".to_string()]]);
+    }
+
+    #[test]
+    fn tuple_field_chain_statement() {
+        // Regression companion to the lexer fix: `pair.0.clone()` must
+        // stay one expression statement.
+        let cfg = cfg_of("let x = pair.0.clone(); use_it(x);");
+        assert_eq!(lets(&cfg), vec![vec!["x".to_string()]]);
+        assert_eq!(cfg.blocks[cfg.entry].stmts.len(), 2);
+    }
+
+    #[test]
+    fn pattern_binding_heuristics() {
+        let toks = body("(a, b)");
+        let refs: Vec<&Tok> = toks.iter().collect();
+        assert_eq!(pattern_bindings(&refs), vec!["a", "b"]);
+
+        let toks = body("Some(x)");
+        let refs: Vec<&Tok> = toks.iter().collect();
+        assert_eq!(pattern_bindings(&refs), vec!["x"]);
+
+        let toks = body("Event::Arrival { vm, host: h }");
+        let refs: Vec<&Tok> = toks.iter().collect();
+        assert_eq!(pattern_bindings(&refs), vec!["vm", "h"]);
+
+        let toks = body("mut count");
+        let refs: Vec<&Tok> = toks.iter().collect();
+        assert_eq!(pattern_bindings(&refs), vec!["count"]);
+
+        let toks = body("MAX_RETRIES");
+        let refs: Vec<&Tok> = toks.iter().collect();
+        assert!(pattern_bindings(&refs).is_empty(), "const pattern is not a binding");
+    }
+
+    #[test]
+    fn loop_label_does_not_derail_parsing() {
+        let cfg = cfg_of("'outer: for i in 0..3 { if i == 1 { break; } } after();");
+        assert!(cfg.blocks.iter().any(|b| b.loop_head));
+        assert!(cfg.stmts().any(|(_, _, s)| s.toks.iter().any(|t| t.is_ident("after"))));
+    }
+}

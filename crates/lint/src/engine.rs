@@ -6,8 +6,9 @@ use std::path::{Path, PathBuf};
 
 use crate::config::LintConfig;
 use crate::diag::Finding;
-use crate::parser::parse_file;
+use crate::parser::{parse_file, FileFacts};
 use crate::rules::{apply_rules, FileContext};
+use crate::summaries::WorkspaceIndex;
 
 /// Aggregated result of one analysis run (before baseline filtering).
 #[derive(Clone, Debug, Default)]
@@ -18,13 +19,31 @@ pub struct Report {
     pub files_scanned: usize,
     /// Files that could not be read (reported, not fatal).
     pub unreadable: Vec<String>,
+    /// The cross-file dataflow index the rule pass ran against (function
+    /// summaries, call graph, lock ordering) — exported by
+    /// `--taint-report`.
+    pub index: WorkspaceIndex,
+}
+
+/// One parsed file awaiting the rule pass.
+struct ParsedFile {
+    ctx: FileContext,
+    src: String,
+    facts: FileFacts,
 }
 
 /// Analyses every crate under `<root>/crates/*/src`, plus the workspace
 /// root package's own `src/`. Shims under `shims/` are excluded: they
 /// emulate external crates' APIs and are not platform code.
+///
+/// Runs in two phases: first every file is parsed and the cross-file
+/// [`WorkspaceIndex`] (function summaries, call graph, lock-order pairs)
+/// is computed over the whole workspace; then per-file rules run against
+/// that shared index, so inter-procedural findings see callees in other
+/// crates.
 pub fn analyze_workspace(root: &Path, cfg: &LintConfig) -> Report {
     let mut report = Report::default();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
 
     let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(root.join("crates")) {
         Ok(rd) => rd
@@ -40,12 +59,20 @@ pub fn analyze_workspace(root: &Path, cfg: &LintConfig) -> Report {
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
-        analyze_src_tree(root, &crate_dir.join("src"), &crate_name, cfg, &mut report);
+        parse_src_tree(root, &crate_dir.join("src"), &crate_name, &mut parsed, &mut report);
     }
 
     // Workspace root package (integration helpers in `src/`).
     if root.join("src").is_dir() {
-        analyze_src_tree(root, &root.join("src"), "hc-repro", cfg, &mut report);
+        parse_src_tree(root, &root.join("src"), "hc-repro", &mut parsed, &mut report);
+    }
+
+    let file_facts: Vec<(&str, &FileFacts)> =
+        parsed.iter().map(|p| (p.ctx.rel_path.as_str(), &p.facts)).collect();
+    report.index = WorkspaceIndex::build(cfg, &file_facts);
+
+    for p in &parsed {
+        report.findings.extend(apply_rules(cfg, &p.ctx, &p.src, &p.facts, &report.index));
     }
 
     report
@@ -55,17 +82,27 @@ pub fn analyze_workspace(root: &Path, cfg: &LintConfig) -> Report {
 }
 
 /// Analyses a single source string as if it lived at `rel_path` inside
-/// `crate_name` — the entry point fixture tests use.
+/// `crate_name` — the entry point fixture tests use. The dataflow index
+/// is built from this file alone, so summaries resolve only same-file
+/// callees.
 pub fn analyze_source(cfg: &LintConfig, crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
     let ctx = FileContext {
         crate_name: crate_name.to_string(),
         rel_path: rel_path.to_string(),
         is_crate_root: rel_path.ends_with("src/lib.rs"),
     };
-    apply_rules(cfg, &ctx, src, &parse_file(src))
+    let facts = parse_file(src);
+    let index = WorkspaceIndex::for_file(cfg, rel_path, &facts);
+    apply_rules(cfg, &ctx, src, &facts, &index)
 }
 
-fn analyze_src_tree(root: &Path, src_dir: &Path, crate_name: &str, cfg: &LintConfig, report: &mut Report) {
+fn parse_src_tree(
+    root: &Path,
+    src_dir: &Path,
+    crate_name: &str,
+    parsed: &mut Vec<ParsedFile>,
+    report: &mut Report,
+) {
     let mut files = Vec::new();
     collect_rs_files(src_dir, &mut files);
     files.sort();
@@ -83,13 +120,14 @@ fn analyze_src_tree(root: &Path, src_dir: &Path, crate_name: &str, cfg: &LintCon
                 continue;
             }
         };
+        let facts = parse_file(&src);
         let ctx = FileContext {
             crate_name: crate_name.to_string(),
             rel_path: rel_path.clone(),
             is_crate_root: rel_path.ends_with("src/lib.rs"),
         };
         report.files_scanned += 1;
-        report.findings.extend(apply_rules(cfg, &ctx, &src, &parse_file(&src)));
+        parsed.push(ParsedFile { ctx, src, facts });
     }
 }
 

@@ -61,6 +61,19 @@ impl Tok {
     pub fn is_comment(&self) -> bool {
         matches!(self.kind, TokKind::Comment | TokKind::BlockComment)
     }
+
+    /// True when the token is a Rust expression/statement keyword that can
+    /// sit directly before an expression (`match self.x…`). Receiver-chain
+    /// walks must stop here or the keyword gets glued onto the receiver.
+    pub fn is_expr_keyword(&self) -> bool {
+        self.kind == TokKind::Ident
+            && matches!(
+                self.text.as_str(),
+                "match" | "if" | "while" | "for" | "loop" | "return" | "else" | "in" | "let"
+                    | "mut" | "ref" | "move" | "async" | "await" | "break" | "continue" | "box"
+                    | "dyn" | "as" | "where" | "yield" | "unsafe" | "impl" | "fn" | "use"
+            )
+    }
 }
 
 /// Character cursor with line/column tracking.
@@ -186,21 +199,13 @@ pub fn lex(src: &str) -> Vec<Tok> {
             continue;
         }
 
-        // Numbers (the exact grammar does not matter; consume the token).
+        // Numbers. The grammar is followed closely enough that the token
+        // boundary is correct in the cases body parsing meets: tuple-field
+        // access (`self.0.clone()` must not swallow `.clone`), ranges
+        // (`0..10`), float exponents (`1e-3`, `2.5E+7`), type suffixes
+        // (`1u8`, `1_000_f64`) and radix prefixes (`0xFF`, `0b1_01`).
         if c.is_ascii_digit() {
-            let mut text = String::new();
-            cur.eat_while(&mut text, |c| {
-                c.is_ascii_alphanumeric() || c == '_' || c == '.'
-            });
-            // `1..10`: the greedy scan swallows the range dots — give them
-            // back so they lex as punctuation. (All swallowed chars are
-            // ASCII and non-newline, so a plain pos/col rewind is safe.)
-            if let Some(idx) = text.find("..") {
-                let give_back = text.len() - idx;
-                text.truncate(idx);
-                cur.pos -= give_back;
-                cur.col -= give_back as u32;
-            }
+            let text = lex_number(&mut cur);
             toks.push(Tok { kind: TokKind::Number, text, line, col });
             continue;
         }
@@ -229,6 +234,60 @@ pub fn lex(src: &str) -> Vec<Tok> {
     }
 
     toks
+}
+
+/// Consumes a numeric literal at the cursor (first char is a digit).
+///
+/// Handles integer/float bodies with `_` separators, radix prefixes
+/// (`0x`/`0o`/`0b`), a fractional part only when the `.` is followed by a
+/// digit (so `0.max(x)` and `self.0.clone()` keep the dot as punctuation
+/// and `0..10` keeps the range), an exponent with optional sign
+/// (`1e-3`, `2.5E+7`), and a trailing alphanumeric type suffix (`u8`,
+/// `f64`).
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+
+    // Radix prefix: the body may contain hex letters.
+    let radix_prefixed = cur.peek() == Some('0')
+        && matches!(cur.peek_at(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'))
+        // `0b'…'` never occurs; but `0x` must be followed by a digit-ish
+        // char to count (else `0x` in `0x_var`? — accept `_` too).
+        && cur
+            .peek_at(2)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+    if radix_prefixed {
+        text.push(cur.bump().unwrap_or_default()); // 0
+        text.push(cur.bump().unwrap_or_default()); // x/o/b
+        cur.eat_while(&mut text, |c| c.is_ascii_alphanumeric() || c == '_');
+        return text;
+    }
+
+    // Integer part.
+    cur.eat_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+
+    // Fractional part: only when `.` is directly followed by a digit.
+    // (`1.` alone is valid Rust, but treating the dot as punctuation is
+    // harmless for analysis and keeps `x.0.clone()` well-formed.)
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push(cur.bump().unwrap_or_default()); // .
+        cur.eat_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+    }
+
+    // Exponent: `e`/`E`, optional sign, at least one digit.
+    if matches!(cur.peek(), Some('e' | 'E')) {
+        let sign_len = usize::from(matches!(cur.peek_at(1), Some('+' | '-')));
+        if cur.peek_at(1 + sign_len).is_some_and(|c| c.is_ascii_digit()) {
+            text.push(cur.bump().unwrap_or_default()); // e
+            if sign_len == 1 {
+                text.push(cur.bump().unwrap_or_default()); // + / -
+            }
+            cur.eat_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+        }
+    }
+
+    // Type suffix (`u8`, `i64`, `f32`, `usize`) — any trailing ident run.
+    cur.eat_while(&mut text, |c| c.is_ascii_alphanumeric() || c == '_');
+    text
 }
 
 /// Consumes a `'`-introduced token: lifetime (`'a`) or char literal (`'x'`,
@@ -489,5 +548,71 @@ mod tests {
         let toks = lex("a\n  b");
         assert_eq!(toks.first().map(|t| (t.line, t.col)), Some((1, 1)));
         assert_eq!(toks.get(1).map(|t| (t.line, t.col)), Some((2, 3)));
+    }
+
+    #[test]
+    fn tuple_field_chain_does_not_swallow_method() {
+        // Regression: the old scanner lexed `0.clone` as one Number token,
+        // breaking every statement parse after a tuple-field access.
+        let toks = kinds("let x = pair.0.clone();");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "clone"));
+        assert!(!toks.iter().any(|(_, t)| t.contains("0.clone")));
+    }
+
+    #[test]
+    fn method_on_integer_literal() {
+        let toks = kinds("let m = 0.max(7);");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn float_exponents_lex_as_one_token() {
+        let toks = kinds("a(1e-3, 2.5E+7, 1.5e9, 3e4f64)");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1e-3", "2.5E+7", "1.5e9", "3e4f64"]);
+    }
+
+    #[test]
+    fn radix_prefixes_and_suffixes() {
+        let toks = kinds("0xFF_u8 0b1_01 0o77 1_000_f64 1usize");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0xFF_u8", "0b1_01", "0o77", "1_000_f64", "1usize"]);
+    }
+
+    #[test]
+    fn shift_right_is_two_angle_puncts() {
+        // `>>` is never joined by the lexer: nested-generic closers
+        // (`Vec<Vec<u8>>`) and the shift operator both lex as two `>`
+        // puncts, and the parser disambiguates by position.
+        let toks = kinds("let x: Vec<Vec<u8>> = y >> 2;");
+        let closers = toks.iter().filter(|(k, t)| *k == TokKind::Punct && t == ">").count();
+        assert_eq!(closers, 4);
+    }
+
+    #[test]
+    fn lifetime_then_shift_in_generic_fn() {
+        let toks = kinds("fn f<'a, T>(x: &'a [Vec<Vec<T>>]) -> u8 { 1u8 >> 2 }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 0);
+    }
+
+    #[test]
+    fn doc_comment_attribute_forms() {
+        // `///` and `//!` are comments; `#[doc = "…"]` is ordinary tokens
+        // with the string intact — neither may disturb adjacent tokens.
+        let toks = lex("/// summary line\n#[doc = \"detail\"]\nfn documented() {}\n//! inner doc\n");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Comment).count(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text == "\"detail\""));
+        assert!(toks.iter().any(|t| t.is_ident("documented")));
     }
 }

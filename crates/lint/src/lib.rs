@@ -40,13 +40,18 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod cfg;
 pub mod config;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod locks;
 pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod summaries;
+pub mod taint;
 
 pub use baseline::{Baseline, BaselineDiff};
 pub use config::LintConfig;

@@ -1,0 +1,520 @@
+//! Concurrency lints over per-function CFGs: lock-guard liveness,
+//! acquisition ordering, and await-under-lock.
+//!
+//! A *guard* is born at a `let g = x.lock()…;` statement (`.lock()` on
+//! anything; `.read()`/`.write()` only when the receiver looks like a
+//! lock) and lives through every CFG-reachable statement whose lexical
+//! scope is inside the binding's scope, until a `drop(g)` kills it.
+//! Within that live region the pass reports:
+//!
+//! * another acquisition of a *different* lock → an ordered pair that
+//!   the workspace-level `lock-order-inversion` rule cross-references
+//!   against the reversed pair observed anywhere else;
+//! * a `.await` point → `lock-held-across-await` (the guard blocks the
+//!   executor thread while parked);
+//! * a loop head → `lock-held-long` (the guard spans an unbounded number
+//!   of iterations).
+//!
+//! Lock identity is the receiver text; `self.…` receivers are prefixed
+//! with the impl type (`Registry.inner`), so two different types using a
+//! field called `inner` do not alias.
+//!
+//! A `let` binds the guard only when the acquisition *terminates* the
+//! initializer chain at nesting depth 0 (`let g = m.lock();`, optionally
+//! behind `.unwrap()`/`.expect(…)`/`.await`/`?`). An acquisition inside a
+//! block expression (`let v = { let g = m.lock(); … };`), a `match`
+//! scrutinee, or a longer chain (`m.lock().stats()`) produces a
+//! temporary that dies with its own statement, so it is checked for
+//! same-statement awaits only. Ordered pairs whose second acquisition
+//! sits lexically *before* the first are loop-carried artifacts (the
+//! guard died at the end of the previous iteration) and are dropped.
+
+use crate::cfg::{build_cfg, Stmt};
+use crate::lexer::{Tok, TokKind};
+use crate::parser::FnDecl;
+
+/// Receiver words that make `.read()`/`.write()` count as acquisitions.
+const LOCKISH_WORDS: &[&str] = &["lock", "mutex", "rwlock", "rw"];
+
+/// A per-function concurrency finding (rule id is one of the
+/// `lock-held-across-await` / `lock-held-long` families).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockIssue {
+    /// Stable rule id.
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// An ordered acquisition: `second` acquired while `first` was held.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderedPair {
+    /// Lock already held.
+    pub first: String,
+    /// Lock acquired under it.
+    pub second: String,
+    /// Line of the second acquisition.
+    pub line: u32,
+    /// Column of the second acquisition.
+    pub col: u32,
+}
+
+/// Result of the per-function lock pass.
+#[derive(Clone, Debug, Default)]
+pub struct LockAnalysis {
+    /// Await-under-lock and lock-across-loop findings.
+    pub issues: Vec<LockIssue>,
+    /// Ordered pairs for global inversion detection.
+    pub pairs: Vec<OrderedPair>,
+}
+
+struct Acq {
+    block: usize,
+    stmt: usize,
+    line: u32,
+    col: u32,
+    lock_id: String,
+    guard: Option<String>,
+    scope: u32,
+}
+
+/// Runs the lock pass over one function.
+pub fn analyze_fn_locks(f: &FnDecl) -> LockAnalysis {
+    let graph = build_cfg(&f.body);
+    let mut out = LockAnalysis::default();
+    if graph.inconclusive {
+        return out;
+    }
+
+    // Collect acquisitions.
+    let mut acqs: Vec<Acq> = Vec::new();
+    for (b, s, stmt) in graph.stmts() {
+        if let Some((line, col, lock_id, binds)) = acquisition_in(f, stmt) {
+            let guard = if binds {
+                match &stmt.kind {
+                    crate::cfg::StmtKind::Let { names } => names.first().cloned(),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            acqs.push(Acq { block: b, stmt: s, line, col, lock_id, guard, scope: stmt.scope });
+        }
+    }
+
+    // Forward reachability per block.
+    let reach = reachability(&graph);
+
+    for acq in &acqs {
+        let Some(guard) = &acq.guard else {
+            // Temporary guard (`m.lock().x()` in one statement): only an
+            // await inside that same statement can overlap it.
+            let stmt = graph.blocks.get(acq.block).and_then(|blk| blk.stmts.get(acq.stmt));
+            if stmt.is_some_and(stmt_has_await) {
+                out.issues.push(LockIssue {
+                    rule: "lock-held-across-await",
+                    line: acq.line,
+                    col: acq.col,
+                    message: format!("lock `{}` held across `.await` in the same expression", acq.lock_id),
+                });
+            }
+            continue;
+        };
+
+        // Walk the live region: remaining stmts of the binding block, then
+        // every statement of every reachable block, scope-filtered.
+        let mut await_hit = false;
+        let mut loop_hit = false;
+        let mut visit = |b: usize, s: usize, stmt: &Stmt| {
+            if !graph.scope_within(stmt.scope, acq.scope) {
+                return false; // out of the guard's lexical extent
+            }
+            if is_drop_of(stmt, guard) {
+                return true; // kill
+            }
+            if stmt_has_await(stmt) && !await_hit {
+                await_hit = true;
+                out.issues.push(LockIssue {
+                    rule: "lock-held-across-await",
+                    line: stmt_line(stmt, acq.line),
+                    col: 1,
+                    message: format!("guard `{guard}` (lock `{}`) is held across `.await`", acq.lock_id),
+                });
+            }
+            if graph.blocks.get(b).is_some_and(|blk| blk.loop_head) && !loop_hit {
+                loop_hit = true;
+                out.issues.push(LockIssue {
+                    rule: "lock-held-long",
+                    line: acq.line,
+                    col: acq.col,
+                    message: format!(
+                        "guard `{guard}` (lock `{}`) is held across a loop — consider narrowing the critical section",
+                        acq.lock_id
+                    ),
+                });
+            }
+            if let Some(other) = acqs.iter().find(|o| o.block == b && o.stmt == s) {
+                // A second acquisition lexically before the first is a
+                // loop-carried artifact: the guard died at iteration end.
+                if other.lock_id != acq.lock_id
+                    && (other.line, other.col) > (acq.line, acq.col)
+                {
+                    out.pairs.push(OrderedPair {
+                        first: acq.lock_id.clone(),
+                        second: other.lock_id.clone(),
+                        line: other.line,
+                        col: other.col,
+                    });
+                }
+            }
+            false
+        };
+
+        // Same-block tail.
+        let mut killed = false;
+        let tail = graph.blocks.get(acq.block).map(|blk| blk.stmts.as_slice()).unwrap_or_default();
+        for (s, stmt) in tail.iter().enumerate().skip(acq.stmt + 1) {
+            if visit(acq.block, s, stmt) {
+                killed = true;
+                break;
+            }
+        }
+        if killed {
+            continue;
+        }
+        // Reachable blocks (kill inside one stops that block's tail only —
+        // conservative over-liveness keeps the pass simple and safe).
+        for &b in reach.get(acq.block).map(Vec::as_slice).unwrap_or_default() {
+            let stmts = graph.blocks.get(b).map(|blk| blk.stmts.as_slice()).unwrap_or_default();
+            for (s, stmt) in stmts.iter().enumerate() {
+                if visit(b, s, stmt) {
+                    break;
+                }
+            }
+        }
+    }
+
+    out.issues.sort_by_key(|i| (i.line, i.col, i.rule));
+    out.issues.dedup();
+    out.pairs.sort_by_key(|p| (p.line, p.col));
+    out.pairs.dedup();
+    out
+}
+
+/// Detects a lock acquisition in a statement; returns
+/// `(line, col, lock id, binds_guard)` — the last flag is true when a
+/// `let` statement would actually bind the guard (see module docs).
+fn acquisition_in(f: &FnDecl, stmt: &Stmt) -> Option<(u32, u32, String, bool)> {
+    let toks: Vec<&Tok> = stmt.toks.iter().collect();
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_call = i
+            .checked_sub(1)
+            .and_then(|j| toks.get(j))
+            .is_some_and(|p| p.is_punct('.'))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !is_call {
+            continue;
+        }
+        let recv = receiver_text(&toks, i);
+        let counts = match t.text.as_str() {
+            "lock" => true,
+            "read" | "write" => {
+                let lower = recv.to_lowercase();
+                LOCKISH_WORDS.iter().any(|w| lower.contains(w))
+            }
+            _ => false,
+        };
+        if counts {
+            let id = if let Some(rest) = recv.strip_prefix("self.") {
+                // Qualify `self.…` with the impl type so identical field
+                // names on different types do not alias.
+                let ty = f.qual.split(':').next().unwrap_or("");
+                format!("{ty}.{rest}")
+            } else if recv == "self" {
+                f.qual.split(':').next().unwrap_or("self").to_string()
+            } else {
+                recv
+            };
+            let binds = depth == 0 && chain_terminal(&toks, i);
+            return Some((t.line, t.col, id, binds));
+        }
+    }
+    None
+}
+
+/// True when the call at `callee_idx` ends its expression chain: after
+/// the argument list only `?`, `;`, `.await`, `.unwrap()`, or
+/// `.expect(…)` may follow. `m.lock().stats()` fails this — the guard is
+/// a temporary consumed by the chain, not the `let` binding.
+fn chain_terminal(toks: &[&Tok], callee_idx: usize) -> bool {
+    let Some(close) = group_end(toks, callee_idx + 1) else { return false };
+    let mut j = close + 1;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('?') || t.is_punct(';') {
+            j += 1;
+        } else if t.is_punct('.') {
+            match toks.get(j + 1) {
+                Some(n) if n.is_ident("await") => j += 2,
+                Some(n) if n.is_ident("unwrap") || n.is_ident("expect") => {
+                    match group_end(toks, j + 2) {
+                        Some(c) => j = c + 1,
+                        None => return false,
+                    }
+                }
+                _ => return false,
+            }
+        } else {
+            return false;
+        }
+    }
+    true
+}
+
+/// Index of the `)` matching the `(` expected at `open`.
+fn group_end(toks: &[&Tok], open: usize) -> Option<usize> {
+    if !toks.get(open)?.is_punct('(') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The dotted receiver chain before the method at `idx`, rendered as text.
+/// Expression keywords (`match self.x.lock()`) bound the chain so they do
+/// not get glued onto the lock identity.
+fn receiver_text(toks: &[&Tok], idx: usize) -> String {
+    let Some(dot) = idx.checked_sub(1) else { return String::new() };
+    let mut start = dot;
+    while let Some(t) = start.checked_sub(1).and_then(|j| toks.get(j)) {
+        if (t.kind == TokKind::Ident && !t.is_expr_keyword()) || t.is_punct('.') || t.is_punct(':')
+        {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    toks.get(start..dot)
+        .unwrap_or_default()
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+fn stmt_has_await(stmt: &Stmt) -> bool {
+    stmt.toks
+        .windows(2)
+        .any(|w| matches!(w, [dot, kw] if dot.is_punct('.') && kw.is_ident("await")))
+}
+
+fn is_drop_of(stmt: &Stmt, guard: &str) -> bool {
+    matches!(
+        stmt.toks.as_slice(),
+        [d, open, g, close, ..]
+            if d.is_ident("drop") && open.is_punct('(') && g.is_ident(guard) && close.is_punct(')')
+    )
+}
+
+fn stmt_line(stmt: &Stmt, fallback: u32) -> u32 {
+    if stmt.line > 0 {
+        stmt.line
+    } else {
+        fallback
+    }
+}
+
+/// Forward-reachable blocks (excluding the start block unless cyclic).
+fn reachability(graph: &crate::cfg::Cfg) -> Vec<Vec<usize>> {
+    let n = graph.blocks.len();
+    let mut out = Vec::with_capacity(n);
+    for block in &graph.blocks {
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = block.succs.clone();
+        while let Some(x) = stack.pop() {
+            let Some(slot) = seen.get_mut(x) else { continue };
+            if *slot {
+                continue;
+            }
+            *slot = true;
+            if let Some(succ) = graph.blocks.get(x) {
+                stack.extend(succ.succs.iter().copied());
+            }
+        }
+        out.push(seen.iter().enumerate().filter(|&(_, &s)| s).map(|(i, _)| i).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn run(src: &str) -> LockAnalysis {
+        let f = parse_file(src).fns.into_iter().next().expect("fn parsed");
+        analyze_fn_locks(&f)
+    }
+
+    #[test]
+    fn await_under_guard_detected() {
+        let a = run(
+            "async fn f(m: &Mutex<u32>) { let g = m.lock(); client.call().await; drop(g); }",
+        );
+        assert_eq!(a.issues.len(), 1, "{a:#?}");
+        assert_eq!(a.issues[0].rule, "lock-held-across-await");
+    }
+
+    #[test]
+    fn drop_before_await_is_clean() {
+        let a = run(
+            "async fn f(m: &Mutex<u32>) { let g = m.lock(); use_it(g); drop(g); client.call().await; }",
+        );
+        assert!(a.issues.is_empty(), "{a:#?}");
+    }
+
+    #[test]
+    fn guard_scope_ends_before_await() {
+        let a = run(
+            "async fn f(m: &Mutex<u32>) { { let g = m.lock(); use_it(g); } client.call().await; }",
+        );
+        assert!(a.issues.is_empty(), "lexical scope bounds liveness: {a:#?}");
+    }
+
+    #[test]
+    fn temporary_guard_across_await_in_one_statement() {
+        let a = run("async fn f(m: &Mutex<C>) { m.lock().refresh().await; }");
+        assert_eq!(a.issues.len(), 1, "{a:#?}");
+        assert_eq!(a.issues[0].rule, "lock-held-across-await");
+    }
+
+    #[test]
+    fn guard_across_loop_is_long() {
+        let a = run(
+            "fn f(m: &Mutex<Vec<u32>>) { let g = m.lock(); for x in items { g.push(x); } }",
+        );
+        assert_eq!(a.issues.len(), 1, "{a:#?}");
+        assert_eq!(a.issues[0].rule, "lock-held-long");
+    }
+
+    #[test]
+    fn guard_inside_loop_body_is_fine() {
+        let a = run("fn f(m: &Mutex<u32>) { for x in items { let g = m.lock(); use_it(g, x); } }");
+        assert!(a.issues.is_empty(), "per-iteration guard is the good pattern: {a:#?}");
+    }
+
+    #[test]
+    fn bare_loop_under_guard_detected() {
+        let a = run("fn f(m: &Mutex<u32>) { let g = m.lock(); loop { step(g); } }");
+        assert_eq!(a.issues.len(), 1, "{a:#?}");
+        assert_eq!(a.issues[0].rule, "lock-held-long");
+    }
+
+    #[test]
+    fn ordered_pair_recorded() {
+        let a = run("fn f(a: &Mutex<u32>, b: &Mutex<u32>) { let ga = a.lock(); let gb = b.lock(); use_both(ga, gb); }");
+        assert_eq!(a.pairs.len(), 1, "{a:#?}");
+        assert_eq!(a.pairs[0].first, "a");
+        assert_eq!(a.pairs[0].second, "b");
+    }
+
+    #[test]
+    fn self_receivers_qualified_by_impl_type() {
+        let a = run(
+            "impl Registry { fn f(&self) { let g = self.inner.lock(); let h = self.alarms.lock(); go(g, h); } }",
+        );
+        assert_eq!(a.pairs.len(), 1, "{a:#?}");
+        assert_eq!(a.pairs[0].first, "Registry.inner");
+        assert_eq!(a.pairs[0].second, "Registry.alarms");
+    }
+
+    #[test]
+    fn rwlock_read_counts_only_with_lockish_receiver() {
+        let a = run("fn f(s: &S) { let g = s.state_lock.read(); for x in xs { g.get(x); } }");
+        assert_eq!(a.issues.len(), 1, "rwlock read is an acquisition: {a:#?}");
+        let a = run("fn f(s: &S) { let g = s.file.read(); for x in xs { g.get(x); } }");
+        assert!(a.issues.is_empty(), "file read is not a lock: {a:#?}");
+    }
+
+    #[test]
+    fn block_expression_guard_is_statement_scoped() {
+        // The guard dies inside the block expression; the later loop runs
+        // without it.
+        let a = run(
+            "fn f(m: &Mutex<Vec<u32>>) { let v = { let g = m.lock(); g.snapshot() }; for x in v { use_it(x); } }",
+        );
+        assert!(a.issues.is_empty(), "{a:#?}");
+    }
+
+    #[test]
+    fn chained_call_does_not_bind_guard() {
+        // `m.lock().stats()` consumes the guard in the chain; `s` is plain
+        // data and the loop below is lock-free.
+        let a = run(
+            "fn f(m: &Mutex<S>) { let s = m.lock().stats(); for x in s { use_it(x); } }",
+        );
+        assert!(a.issues.is_empty(), "{a:#?}");
+    }
+
+    #[test]
+    fn unwrap_suffix_still_binds_guard() {
+        let a = run(
+            "fn f(m: &std::sync::Mutex<u32>) { let g = m.lock().unwrap(); for x in xs { g.get(x); } }",
+        );
+        assert_eq!(a.issues.len(), 1, "std mutex guard binds through unwrap: {a:#?}");
+        assert_eq!(a.issues.first().map(|i| i.rule), Some("lock-held-long"));
+    }
+
+    #[test]
+    fn loop_carried_pair_not_recorded() {
+        // `gb` dies at the end of each iteration; reaching `a.lock()` via
+        // the back edge must not record the pair (b, a).
+        let a = run(
+            "fn f(a: &Mutex<u32>, b: &Mutex<u32>) { for x in xs { let ga = a.lock(); let gb = b.lock(); use_both(ga, gb, x); } }",
+        );
+        assert_eq!(a.pairs.len(), 1, "{a:#?}");
+        assert!(a.pairs.iter().all(|p| (p.first.as_str(), p.second.as_str()) == ("a", "b")), "{a:#?}");
+    }
+
+    #[test]
+    fn keyword_not_glued_onto_receiver() {
+        let a = run(
+            "impl P { fn f(&self) { let g = match self.res.lock() { g => g }; for x in xs { g.get(x); } } }",
+        );
+        // The scrutinee lock is a temporary; nothing long-lived, and no
+        // `matchself` lock id may appear anywhere.
+        assert!(a.issues.iter().all(|i| !i.message.contains("matchself")), "{a:#?}");
+    }
+
+    #[test]
+    fn same_lock_not_a_pair() {
+        let a = run("fn f(m: &Mutex<u32>) { let g = m.lock(); let h = m.lock(); use_both(g, h); }");
+        assert!(a.pairs.is_empty(), "double-lock of one mutex is not an ordering pair: {a:#?}");
+    }
+}

@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! hc-lint [--root DIR] [--format human|json] [--baseline FILE]
-//!         [--write-baseline] [--list-rules]
+//!         [--write-baseline] [--prune-baseline] [--fail-stale]
+//!         [--lexical-phi] [--taint-report FILE]
+//!         [--list-rules] [--explain RULE-ID]
 //! ```
 //!
-//! Exit codes: `0` clean (vs. baseline), `1` new findings, `2` usage or
-//! I/O error.
+//! Exit codes: `0` clean (vs. baseline), `1` new findings (or stale
+//! baseline entries under `--fail-stale`), `2` usage or I/O error.
 
 #![forbid(unsafe_code)]
 
@@ -15,15 +17,21 @@ use std::process::ExitCode;
 
 use hc_lint::baseline::Baseline;
 use hc_lint::config::LintConfig;
+use hc_lint::diag::rule_by_id;
 use hc_lint::engine::analyze_workspace;
-use hc_lint::report::{json_report, render_human, render_rule_list};
+use hc_lint::report::{json_report, render_explain, render_human, render_rule_list, taint_report};
 
 struct Args {
     root: PathBuf,
     format: Format,
     baseline: Option<PathBuf>,
     write_baseline: bool,
+    prune_baseline: bool,
+    fail_stale: bool,
+    lexical_phi: bool,
+    taint_report: Option<PathBuf>,
     list_rules: bool,
+    explain: Option<String>,
 }
 
 #[derive(PartialEq)]
@@ -33,11 +41,21 @@ enum Format {
 }
 
 fn usage() -> &'static str {
-    "usage: hc-lint [--root DIR] [--format human|json] [--baseline FILE] [--write-baseline] [--list-rules]\n\
+    "usage: hc-lint [--root DIR] [--format human|json] [--baseline FILE]\n\
+     \x20              [--write-baseline] [--prune-baseline] [--fail-stale]\n\
+     \x20              [--lexical-phi] [--taint-report FILE]\n\
+     \x20              [--list-rules] [--explain RULE-ID]\n\
      \n\
-     Runs the workspace static-analysis rules (PHI-leak, panic-path,\n\
-     determinism, hygiene) over crates/*/src. See LINTS.md for the rule\n\
-     catalogue and suppression syntax.\n"
+     Runs the workspace static-analysis rules (PHI dataflow/taint,\n\
+     concurrency, panic-path, determinism, hygiene) over crates/*/src.\n\
+     See LINTS.md for the rule catalogue and suppression syntax.\n\
+     \n\
+     --prune-baseline  rewrite --baseline FILE dropping entries no\n\
+     \x20                 longer matched (ratchet down), then diff\n\
+     --fail-stale      exit 1 when the baseline carries unmatched debt\n\
+     --lexical-phi     name-only phi-fmt-leak (disable taint gating)\n\
+     --taint-report    write the dataflow summary artifact as JSON\n\
+     --explain         print one rule's full catalogue entry\n"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,7 +64,12 @@ fn parse_args() -> Result<Args, String> {
         format: Format::Human,
         baseline: None,
         write_baseline: false,
+        prune_baseline: false,
+        fail_stale: false,
+        lexical_phi: false,
+        taint_report: None,
         list_rules: false,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -65,13 +88,26 @@ fn parse_args() -> Result<Args, String> {
                 args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?));
             }
             "--write-baseline" => args.write_baseline = true,
+            "--prune-baseline" => args.prune_baseline = true,
+            "--fail-stale" => args.fail_stale = true,
+            "--lexical-phi" => args.lexical_phi = true,
+            "--taint-report" => {
+                args.taint_report =
+                    Some(PathBuf::from(it.next().ok_or("--taint-report needs a value")?));
+            }
             "--list-rules" => args.list_rules = true,
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a rule id")?);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
+    }
+    if args.prune_baseline && args.baseline.is_none() {
+        return Err("--prune-baseline needs --baseline FILE".to_string());
     }
     Ok(args)
 }
@@ -107,13 +143,43 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(id) = &args.explain {
+        return match rule_by_id(id) {
+            Some(rule) => {
+                print!("{}", render_explain(rule));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("hc-lint: unknown rule {id:?} — see --list-rules");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     if !args.root.join("crates").is_dir() {
         eprintln!("hc-lint: {} does not look like the workspace root (no crates/)", args.root.display());
         return ExitCode::from(2);
     }
 
-    let cfg = LintConfig::workspace_default();
+    let mut cfg = LintConfig::workspace_default();
+    cfg.lexical_phi = args.lexical_phi;
     let report = analyze_workspace(&args.root, &cfg);
+
+    if let Some(path) = &args.taint_report {
+        match serde_json::to_string(&taint_report(&report)) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("hc-lint: cannot write taint report {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("hc-lint: wrote taint report to {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("hc-lint: cannot serialise taint report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if args.write_baseline {
         let base = Baseline::from_findings(&report.findings);
@@ -135,7 +201,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let baseline = match &args.baseline {
+    let mut baseline = match &args.baseline {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(json) => match Baseline::from_json(&json) {
                 Ok(b) => b,
@@ -152,6 +218,25 @@ fn main() -> ExitCode {
         None => Baseline::empty(),
     };
 
+    if args.prune_baseline {
+        let pruned = baseline.pruned(&report.findings);
+        let dropped: i64 = baseline.entries.iter().map(|e| i64::from(e.count)).sum::<i64>()
+            - pruned.entries.iter().map(|e| i64::from(e.count)).sum::<i64>();
+        let path = args.baseline.as_deref().unwrap_or(Path::new("lint-baseline.json"));
+        if let Err(e) = std::fs::write(path, pruned.to_json()) {
+            eprintln!("hc-lint: cannot write pruned baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "hc-lint: pruned baseline {} — {} entr{} remain, {} finding budget(s) dropped",
+            path.display(),
+            pruned.entries.len(),
+            if pruned.entries.len() == 1 { "y" } else { "ies" },
+            dropped,
+        );
+        baseline = pruned;
+    }
+
     let diff = baseline.diff(&report.findings);
 
     match args.format {
@@ -167,9 +252,16 @@ fn main() -> ExitCode {
         }
     }
 
-    if diff.new_findings.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+    if !diff.new_findings.is_empty() {
+        return ExitCode::from(1);
     }
+    if args.fail_stale && diff.stale_entries > 0 {
+        eprintln!(
+            "hc-lint: --fail-stale — {} baseline entr{} carry unmatched debt; run --prune-baseline",
+            diff.stale_entries,
+            if diff.stale_entries == 1 { "y" } else { "ies" },
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }

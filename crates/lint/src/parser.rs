@@ -40,6 +40,56 @@ pub struct FileFacts {
     /// Lines carrying an `hc-lint: allow(rule, …)` directive, with the
     /// rule ids they allow (`*` allows everything).
     pub allows: Vec<AllowDirective>,
+    /// `unbounded()` channel constructions in non-test code.
+    pub unbounded_channels: Vec<UnboundedChannelSite>,
+    /// Function declarations with their body token streams — the input to
+    /// the dataflow layer ([`crate::cfg`], [`crate::taint`]).
+    pub fns: Vec<FnDecl>,
+}
+
+/// An `unbounded()` call site (crossbeam/std channel construction).
+#[derive(Clone, Debug)]
+pub struct UnboundedChannelSite {
+    /// Line of the `unbounded` identifier.
+    pub line: u32,
+    /// Column of the `unbounded` identifier.
+    pub col: u32,
+}
+
+/// One function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Names bound by the parameter pattern (one for `x: T`, several for
+    /// `(a, b): (A, B)`; `self` for receivers).
+    pub names: Vec<String>,
+    /// Identifier tokens appearing in the type (for PHI-type matching:
+    /// `&Patient` yields `["Patient"]`).
+    pub ty_idents: Vec<String>,
+    /// Whitespace-free rendering of the type, for messages.
+    pub ty_text: String,
+}
+
+/// A function with a body, extracted for dataflow analysis.
+#[derive(Clone, Debug)]
+pub struct FnDecl {
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` for methods in an `impl` block, else the bare name.
+    pub qual: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Identifier tokens of the return type (empty for `()`).
+    pub ret_idents: Vec<String>,
+    /// True when declared `async fn`.
+    pub is_async: bool,
+    /// True inside test code (`#[cfg(test)]` region or `#[test]` fn).
+    pub is_test: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Line of the body's closing brace (the analysed extent).
+    pub end_line: u32,
+    /// Body tokens (inside the braces, comments excluded).
+    pub body: Vec<Tok>,
 }
 
 /// A `#[derive(...)]` applied to a struct/enum/union.
@@ -164,14 +214,17 @@ const KEYWORDS: &[&str] = &[
     "where", "while", "yield",
 ];
 
-/// A code region with an extent, used for test tracking and function bodies.
-#[derive(Clone, Copy, Debug)]
+/// A code region with an extent, used for test tracking, function bodies,
+/// and `impl` blocks (whose type qualifies method names).
+#[derive(Clone, Debug)]
 struct Region {
     /// Depth *before* the opening brace; the region ends when a `}` would
     /// return to this depth.
     close_depth: u32,
     is_test: bool,
     is_fn_body: bool,
+    /// `Some(TypeName)` for an `impl` block region.
+    impl_type: Option<String>,
 }
 
 /// Attributes collected ahead of the next item.
@@ -271,7 +324,7 @@ pub fn parse_file(src: &str) -> FileFacts {
                             let is_test = pending.cfg_test
                                 || in_test
                                 || name.is_some_and(|t| t.text == "tests" || t.text == "test");
-                            regions.push(Region { close_depth: depth, is_test, is_fn_body: false });
+                            regions.push(Region { close_depth: depth, is_test, is_fn_body: false, impl_type: None });
                             depth += 1;
                             i += 3;
                         } else {
@@ -313,15 +366,16 @@ pub fn parse_file(src: &str) -> FileFacts {
                         if let Some(site) = parse_impl_header(&syn, i, in_test || pending.cfg_test) {
                             facts.trait_impls.push(site);
                         }
-                        if pending.cfg_test {
-                            // `#[cfg(test)] impl … { … }`: mark the body as test.
-                            if let Some(open) = find_body_open(&syn, i) {
-                                // Region opens when we later hit that `{`; simplest is
-                                // to push now keyed on current depth — the `{` at
-                                // `open` raises depth past close_depth as required.
-                                let _ = open;
-                                regions.push(Region { close_depth: depth, is_test: true, is_fn_body: false });
-                            }
+                        // Region opens when we later hit the body `{`;
+                        // pushing now keyed on the current depth works
+                        // because that `{` raises depth past close_depth.
+                        if find_body_open(&syn, i).is_some() {
+                            regions.push(Region {
+                                close_depth: depth,
+                                is_test: pending.cfg_test || in_test,
+                                is_fn_body: false,
+                                impl_type: impl_self_type(&syn, i),
+                            });
                         }
                         pending = PendingAttrs::default();
                         i += 1;
@@ -329,7 +383,15 @@ pub fn parse_file(src: &str) -> FileFacts {
                     "fn" => {
                         let is_test = in_test || pending.is_test_fn || pending.cfg_test;
                         if body_follows(&syn, i) {
-                            regions.push(Region { close_depth: depth, is_test, is_fn_body: true });
+                            let impl_type = regions
+                                .iter()
+                                .rev()
+                                .find_map(|r| r.impl_type.clone());
+                            let is_async = i > 0 && syn.get(i - 1).is_some_and(|t| t.is_ident("async"));
+                            if let Some(decl) = parse_fn_decl(&syn, i, impl_type, is_test, is_async) {
+                                facts.fns.push(decl);
+                            }
+                            regions.push(Region { close_depth: depth, is_test, is_fn_body: true, impl_type: None });
                         }
                         pending = PendingAttrs::default();
                         i += 1;
@@ -358,6 +420,17 @@ pub fn parse_file(src: &str) -> FileFacts {
                                     });
                                 }
                             }
+                        }
+                        i += 1;
+                    }
+                    "unbounded" => {
+                        // `unbounded()` / `channel::unbounded()` channel
+                        // construction (crossbeam-style MPMC).
+                        if !in_test && syn.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                            facts.unbounded_channels.push(UnboundedChannelSite {
+                                line: tok.line,
+                                col: tok.col,
+                            });
                         }
                         i += 1;
                     }
@@ -703,6 +776,168 @@ fn parse_impl_header(syn: &[&Tok], impl_idx: usize, test_only: bool) -> Option<I
         test_only,
         line,
     })
+}
+
+/// Skips a generic parameter list starting at `<` (index `j`), returning
+/// the index just past the matching `>`. `->` arrows inside bounds
+/// (`F: Fn(u32) -> u32`) do not close an angle.
+fn skip_angles(syn: &[&Tok], mut j: usize) -> usize {
+    let mut angle = 0i32;
+    while let Some(t) = syn.get(j) {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !syn.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct('-')) {
+            angle -= 1;
+            if angle == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The `Self` type tail of an `impl` block header — works for both
+/// inherent impls (`impl Foo<T>`) and trait impls (`impl Tr for Foo`).
+fn impl_self_type(syn: &[&Tok], impl_idx: usize) -> Option<String> {
+    let mut j = impl_idx + 1;
+    if syn.get(j).is_some_and(|t| t.is_punct('<')) {
+        j = skip_angles(syn, j);
+    }
+    // Walk to `{`/`where`, remembering the last path tail seen and
+    // whether a `for` split the header (trait impl: the type follows it).
+    let mut tail: Option<String> = None;
+    while let Some(t) = syn.get(j) {
+        if t.is_punct('{') || t.is_ident("where") {
+            break;
+        }
+        if t.is_ident("for") {
+            tail = None; // restart: the implementing type comes after `for`
+            j += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            tail = Some(t.text.clone());
+        }
+        if t.is_punct('<') {
+            j = skip_angles(syn, j);
+            continue;
+        }
+        j += 1;
+    }
+    tail
+}
+
+/// Parses the header and body extent of the `fn` at `fn_idx` into a
+/// [`FnDecl`]. Returns `None` for bodyless declarations and `fn` pointer
+/// types (`fn(u32) -> u32` in type position has no name).
+fn parse_fn_decl(
+    syn: &[&Tok],
+    fn_idx: usize,
+    impl_type: Option<String>,
+    is_test: bool,
+    is_async: bool,
+) -> Option<FnDecl> {
+    let fn_tok = syn.get(fn_idx)?;
+    let name_tok = syn.get(fn_idx + 1).filter(|t| t.kind == TokKind::Ident)?;
+    let name = name_tok.text.clone();
+    let mut j = fn_idx + 2;
+    if syn.get(j).is_some_and(|t| t.is_punct('<')) {
+        j = skip_angles(syn, j);
+    }
+    if !syn.get(j).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    let params_close = match_delim(syn, j, '(', ')');
+    let params = parse_params(syn.get(j + 1..params_close)?, impl_type.as_deref());
+    let mut k = params_close + 1;
+    // Return type: `-> Type` until `{` or `where`.
+    let mut ret_idents = Vec::new();
+    if syn.get(k).is_some_and(|t| t.is_punct('-')) && syn.get(k + 1).is_some_and(|t| t.is_punct('>')) {
+        k += 2;
+        while let Some(t) = syn.get(k) {
+            if t.is_punct('{') || t.is_ident("where") {
+                break;
+            }
+            if t.kind == TokKind::Ident {
+                ret_idents.push(t.text.clone());
+            }
+            k += 1;
+        }
+    }
+    let open = find_body_open(syn, fn_idx)?;
+    let close = match_delim(syn, open, '{', '}');
+    let body: Vec<Tok> = syn.get(open + 1..close)?.iter().map(|t| (*t).clone()).collect();
+    let end_line = syn.get(close).map_or(fn_tok.line, |t| t.line);
+    let qual = match &impl_type {
+        Some(ty) => format!("{ty}::{name}"),
+        None => name.clone(),
+    };
+    Some(FnDecl {
+        name,
+        qual,
+        params,
+        ret_idents,
+        is_async,
+        is_test,
+        line: fn_tok.line,
+        end_line,
+        body,
+    })
+}
+
+/// Splits a parameter list (tokens between the header parens) into
+/// [`Param`]s at top-level commas.
+fn parse_params(toks: &[&Tok], impl_type: Option<&str>) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut j = 0usize;
+    while j <= toks.len() {
+        let at_comma = toks.get(j).is_some_and(|t| t.is_punct(','));
+        if j == toks.len() || (at_comma && depth == 0) {
+            if let Some(seg) = toks.get(start..j) {
+                if !seg.is_empty() {
+                    params.push(parse_param(seg, impl_type));
+                }
+            }
+            start = j + 1;
+        } else if let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "<" => depth += 1,
+                ">" if !toks.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct('-')) => depth -= 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    params
+}
+
+/// Parses one parameter segment: `self` receivers, `name: Type`, and
+/// destructuring patterns `(a, b): (A, B)`.
+fn parse_param(seg: &[&Tok], impl_type: Option<&str>) -> Param {
+    // Receiver: any form of `self` before a possible `:` — `&mut self`,
+    // `self: Arc<Self>`.
+    let colon = seg.iter().position(|t| t.is_punct(':'));
+    let pattern = colon.and_then(|c| seg.get(..c)).unwrap_or(seg);
+    if pattern.iter().any(|t| t.is_ident("self")) {
+        return Param {
+            names: vec!["self".to_string()],
+            ty_idents: impl_type.map(|t| vec![t.to_string()]).unwrap_or_default(),
+            ty_text: impl_type.map(|t| format!("&{t}")).unwrap_or_else(|| "Self".to_string()),
+        };
+    }
+    let names = crate::cfg::pattern_bindings(pattern);
+    let ty = colon.and_then(|c| seg.get(c + 1..)).unwrap_or_default();
+    let ty_idents = ty
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect();
+    Param { names, ty_idents, ty_text: join_tokens(ty) }
 }
 
 /// Finds the `{` that opens the body of the item starting at `idx`

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use serde::Serialize;
 
 use crate::baseline::BaselineDiff;
-use crate::diag::{Finding, RULES};
+use crate::diag::{Finding, Rule, RULES};
 use crate::engine::Report;
 
 /// JSON report shape — stable output contract for CI artifact consumers.
@@ -109,4 +109,94 @@ pub fn render_rule_list() -> String {
         ));
     }
     out
+}
+
+/// Renders one rule's catalogue entry for `--explain <rule-id>`:
+/// metadata header plus the long help text re-wrapped to ~78 columns.
+pub fn render_explain(rule: &Rule) -> String {
+    let mut out = format!(
+        "{id}\n{underline}\nfamily:   {family}\nseverity: {severity}\nsummary:  {desc}\n\n",
+        id = rule.id,
+        underline = "=".repeat(rule.id.len()),
+        family = rule.family,
+        severity = rule.severity.as_str(),
+        desc = rule.description,
+    );
+    let mut col = 0usize;
+    for word in rule.help.split_whitespace() {
+        if col > 0 && col + 1 + word.len() > 78 {
+            out.push('\n');
+            col = 0;
+        } else if col > 0 {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(word);
+        col += word.len();
+    }
+    out.push('\n');
+    out
+}
+
+/// Dataflow-analysis artifact written by `--taint-report` — a CI-facing
+/// summary of what the inter-procedural pass saw, independent of which
+/// findings the baseline absorbed.
+#[derive(Clone, Debug, Serialize)]
+pub struct TaintReport {
+    /// Always `"hc-lint-taint"`.
+    pub tool: String,
+    /// Artifact schema version.
+    pub schema_version: u32,
+    /// Files analysed.
+    pub files_scanned: usize,
+    /// Functions with a computed summary (tests excluded).
+    pub functions_summarized: usize,
+    /// Functions recognised as sanitisers.
+    pub sanitizers: Vec<String>,
+    /// Functions whose body defeated the CFG builder (analysed
+    /// conservatively).
+    pub inconclusive_functions: Vec<String>,
+    /// Functions whose summary shows PHI reaching an export sink from at
+    /// least one parameter.
+    pub functions_with_param_to_sink: Vec<String>,
+    /// Functions whose summary returns PHI unconditionally.
+    pub functions_returning_phi: Vec<String>,
+    /// Call-graph edge count over resolved bare names.
+    pub callgraph_edges: usize,
+    /// Distinct ordered lock-acquisition pairs observed workspace-wide.
+    pub lock_order_pairs: usize,
+    /// Every dataflow/concurrency finding (families `taint` and `sync`)
+    /// before baseline filtering; inline `hc-lint: allow` suppressions are
+    /// already applied.
+    pub findings: Vec<Finding>,
+}
+
+/// Builds the `--taint-report` artifact from a finished run.
+pub fn taint_report(report: &Report) -> TaintReport {
+    let idx = &report.index;
+    let named = |pred: &dyn Fn(&crate::summaries::FnSummary) -> bool| -> Vec<String> {
+        idx.summaries
+            .iter()
+            .filter(|(_, s)| pred(s))
+            .map(|(n, _)| n.clone())
+            .collect()
+    };
+    TaintReport {
+        tool: "hc-lint-taint".to_string(),
+        schema_version: 1,
+        files_scanned: report.files_scanned,
+        functions_summarized: idx.summaries.len(),
+        sanitizers: named(&|s| s.is_sanitizer),
+        inconclusive_functions: named(&|s| s.inconclusive),
+        functions_with_param_to_sink: named(&|s| s.param_to_sink != 0),
+        functions_returning_phi: named(&|s| s.returns_phi),
+        callgraph_edges: idx.callgraph.edge_count(),
+        lock_order_pairs: idx.lock_pairs.len(),
+        findings: report
+            .findings
+            .iter()
+            .filter(|f| f.rule.starts_with("taint-") || f.rule.starts_with("lock-") || f.rule.starts_with("sync-"))
+            .cloned()
+            .collect(),
+    }
 }

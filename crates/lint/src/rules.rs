@@ -1,8 +1,13 @@
 //! The rule engine: turns per-file parse facts into findings.
 
+use std::collections::BTreeSet;
+
 use crate::config::LintConfig;
 use crate::diag::{rule_by_id, snippet_for, Finding, Severity};
 use crate::parser::FileFacts;
+use crate::summaries::WorkspaceIndex;
+use crate::locks;
+use crate::taint::{self, FlowKind};
 
 /// Traits whose presence on a PHI type constitutes a leak channel.
 const LEAK_TRAITS: &[&str] = &["Debug", "Display", "Serialize"];
@@ -18,11 +23,34 @@ pub struct FileContext {
     pub is_crate_root: bool,
 }
 
-/// Runs every applicable rule over one file's facts.
-pub fn apply_rules(cfg: &LintConfig, ctx: &FileContext, src: &str, facts: &FileFacts) -> Vec<Finding> {
-    let mut out = Vec::new();
+/// Per-file digest of the dataflow pass: sink flows plus the
+/// format-argument verdicts the taint-aware `phi-fmt-leak` gate consumes.
+#[derive(Debug, Default)]
+struct TaintData {
+    /// `(rule, line, col, message)` for every sink flow in the file.
+    flows: Vec<(&'static str, u32, u32, String)>,
+    /// Format args proven clean by a conclusive analysis.
+    fmt_clean: BTreeSet<(u32, String)>,
+    /// Format args carrying PHI taint.
+    fmt_tainted: BTreeSet<(u32, String)>,
+}
 
-    phi_rules(cfg, ctx, src, facts, &mut out);
+/// Runs every applicable rule over one file's facts. `index` carries the
+/// workspace-level dataflow state (function summaries, call graph, lock
+/// ordering) built by [`crate::engine`].
+pub fn apply_rules(
+    cfg: &LintConfig,
+    ctx: &FileContext,
+    src: &str,
+    facts: &FileFacts,
+    index: &WorkspaceIndex,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let td = run_taint(cfg, facts, index);
+
+    phi_rules(cfg, ctx, src, facts, &td, &mut out);
+    taint_rules(ctx, src, &td, &mut out);
+    sync_rules(ctx, src, facts, index, &mut out);
     panic_rules(cfg, ctx, src, facts, &mut out);
     determinism_rules(cfg, ctx, src, facts, &mut out);
     hygiene_rules(ctx, facts, &mut out);
@@ -53,7 +81,85 @@ fn push(out: &mut Vec<Finding>, rule_id: &str, ctx: &FileContext, src: &str, lin
     });
 }
 
-fn phi_rules(cfg: &LintConfig, ctx: &FileContext, src: &str, facts: &FileFacts, out: &mut Vec<Finding>) {
+/// Runs the taint engine over every non-test function in the file and
+/// folds the results into one per-file digest.
+fn run_taint(cfg: &LintConfig, facts: &FileFacts, index: &WorkspaceIndex) -> TaintData {
+    let mut td = TaintData::default();
+    for f in facts.fns.iter().filter(|f| !f.is_test) {
+        let analysis = taint::analyze_fn(cfg, f, &index.summaries);
+        for flow in &analysis.flows {
+            let rule = match flow.kind {
+                FlowKind::Fmt | FlowKind::Export => "taint-phi-to-sink",
+                FlowKind::SummaryExport => "taint-unsanitized-export",
+            };
+            td.flows.push((rule, flow.line, flow.col, flow.detail.clone()));
+        }
+        // Only a conclusive analysis may vouch that a PHI-named format
+        // argument is clean; taint evidence is kept either way.
+        if !analysis.inconclusive {
+            td.fmt_clean.extend(analysis.fmt_clean);
+        }
+        td.fmt_tainted.extend(analysis.fmt_tainted);
+    }
+    td
+}
+
+fn taint_rules(ctx: &FileContext, src: &str, td: &TaintData, out: &mut Vec<Finding>) {
+    for (rule, line, col, message) in &td.flows {
+        push(out, rule, ctx, src, *line, *col, message.clone());
+    }
+}
+
+fn sync_rules(ctx: &FileContext, src: &str, facts: &FileFacts, index: &WorkspaceIndex, out: &mut Vec<Finding>) {
+    for site in &facts.unbounded_channels {
+        push(
+            out,
+            "sync-unbounded-channel",
+            ctx,
+            src,
+            site.line,
+            site.col,
+            "`unbounded()` channel has no backpressure — size a bounded channel to the pipeline".to_string(),
+        );
+    }
+    for f in facts.fns.iter().filter(|f| !f.is_test) {
+        let la = locks::analyze_fn_locks(f);
+        for issue in &la.issues {
+            push(out, issue.rule, ctx, src, issue.line, issue.col, issue.message.clone());
+        }
+        for p in &la.pairs {
+            let reversed = (p.second.clone(), p.first.clone());
+            if let Some(site) = index.lock_pairs.get(&reversed) {
+                // Skip when the "other" site is this very pair (a file can
+                // legitimately take A then B twice without inversion).
+                if site.file == ctx.rel_path && site.line == p.line {
+                    continue;
+                }
+                push(
+                    out,
+                    "lock-order-inversion",
+                    ctx,
+                    src,
+                    p.line,
+                    p.col,
+                    format!(
+                        "acquires `{}` then `{}`, but `{}` ({}:{}) acquires them in the opposite order — pick one global lock order",
+                        p.first, p.second, site.qual, site.file, site.line
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn phi_rules(
+    cfg: &LintConfig,
+    ctx: &FileContext,
+    src: &str,
+    facts: &FileFacts,
+    td: &TaintData,
+    out: &mut Vec<Finding>,
+) {
     let path_allowed = cfg.phi_path_allowed(&ctx.rel_path);
 
     if !path_allowed {
@@ -106,9 +212,21 @@ fn phi_rules(cfg: &LintConfig, ctx: &FileContext, src: &str, facts: &FileFacts, 
     // modules: a `println!("{:?}", patient)` is a leak no matter where it
     // lives. (De-identification code that must log a PHI value uses an
     // inline allow.)
+    //
+    // In taint mode (the default) a PHI-*named* argument that the dataflow
+    // engine conclusively proved clean — e.g. rebound from a
+    // `privacy::deidentify(..)` result — is suppressed. Taint evidence,
+    // inconclusive analysis, or no dataflow coverage (macro outside any
+    // parsed fn body) all keep the lexical finding: the engine may only
+    // remove findings it can disprove, never hide ones it cannot see.
     for m in &facts.fmt_macros {
         for (ident, line, col) in &m.arg_idents {
             if let Some(ty) = cfg.matches_phi_ident(ident) {
+                let key = (*line, ident.clone());
+                let proven_clean = td.fmt_clean.contains(&key) && !td.fmt_tainted.contains(&key);
+                if proven_clean && !cfg.lexical_phi {
+                    continue;
+                }
                 push(
                     out,
                     "phi-fmt-leak",
@@ -245,7 +363,9 @@ mod tests {
 
     fn run(src: &str, c: &FileContext) -> Vec<Finding> {
         let cfg = LintConfig::workspace_default();
-        apply_rules(&cfg, c, src, &parse_file(src))
+        let facts = parse_file(src);
+        let index = WorkspaceIndex::for_file(&cfg, &c.rel_path, &facts);
+        apply_rules(&cfg, c, src, &facts, &index)
     }
 
     #[test]

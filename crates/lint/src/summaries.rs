@@ -1,0 +1,223 @@
+//! Per-function dataflow summaries and the workspace index the
+//! inter-procedural pass runs against.
+//!
+//! A [`FnSummary`] abstracts a function body to four facts the taint
+//! engine can compose at call sites without re-analysing the callee:
+//! which parameters flow to the return value, whether the return value
+//! is PHI regardless of arguments, which parameters reach an export
+//! sink, and whether the function sanitises. Summaries are computed by
+//! chaotic iteration ([`compute_summaries`]): `CONTEXT_ROUNDS` passes
+//! over every function, each using the previous round's table, which
+//! bounds the effective inter-procedural context depth while always
+//! terminating (summaries only grow).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::config::LintConfig;
+use crate::parser::FnDecl;
+use crate::taint;
+
+/// Inter-procedural context depth: summary facts propagate across at
+/// most this many call-graph edges.
+pub const CONTEXT_ROUNDS: usize = 3;
+
+/// The composable abstract of one function (see module docs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Bit `i` set ⇒ parameter `i` flows into the return value.
+    pub param_to_return: u64,
+    /// The return value carries PHI regardless of argument taint
+    /// (PHI-typed return, or a body source reaches `return`).
+    pub returns_phi: bool,
+    /// Bit `i` set ⇒ parameter `i` reaches an export sink in the body
+    /// (directly or through a summarised callee).
+    pub param_to_sink: u64,
+    /// The function is a sanitiser: calls to it kill taint.
+    pub is_sanitizer: bool,
+    /// The body's CFG was inconclusive; callers propagate argument taint
+    /// conservatively instead of trusting the (partial) summary.
+    pub inconclusive: bool,
+    /// This entry is a bare-name alias of a *method* (`Type::f` exposed
+    /// as `f`). Call sites with a non-`self` receiver must not apply it:
+    /// `path.display()` naming-colliding with `HumanName::display` is
+    /// noise, not resolution.
+    pub method_alias: bool,
+}
+
+/// The cross-file state shared by the rule pass: function summaries and
+/// the call graph they were computed over.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceIndex {
+    /// Summaries keyed by qualified name (`Type::method`), with bare-name
+    /// aliases for workspace-unique names (see [`compute_summaries`]).
+    /// Same-key collisions merge conservatively via [`FnSummary::merge`].
+    pub summaries: BTreeMap<String, FnSummary>,
+    /// Caller → callee edges over the same functions.
+    pub callgraph: CallGraph,
+    /// Ordered lock-acquisition pairs observed anywhere in the
+    /// workspace: `(first_lock, second_lock)` → one representative site
+    /// per pair, used by the `lock-order-inversion` rule.
+    pub lock_pairs: BTreeMap<(String, String), LockSite>,
+}
+
+/// Where a lock-acquisition pair was observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockSite {
+    /// Repo-relative file path.
+    pub file: String,
+    /// Function name (qualified).
+    pub qual: String,
+    /// 1-based line of the second acquisition.
+    pub line: u32,
+}
+
+impl WorkspaceIndex {
+    /// Builds the full cross-file index from parsed facts: summaries via
+    /// bounded chaotic iteration, the call graph, and one representative
+    /// site per ordered lock-acquisition pair. `files` pairs each file's
+    /// repo-relative path with its facts.
+    pub fn build(cfg: &LintConfig, files: &[(&str, &crate::parser::FileFacts)]) -> WorkspaceIndex {
+        let fns: Vec<&FnDecl> = files.iter().flat_map(|(_, facts)| facts.fns.iter()).collect();
+        let summaries = compute_summaries(cfg, &fns);
+        let callgraph = CallGraph::build(&fns);
+        let mut lock_pairs: BTreeMap<(String, String), LockSite> = BTreeMap::new();
+        for (file, facts) in files {
+            for f in facts.fns.iter().filter(|f| !f.is_test) {
+                for p in crate::locks::analyze_fn_locks(f).pairs {
+                    lock_pairs.entry((p.first, p.second)).or_insert(LockSite {
+                        file: (*file).to_string(),
+                        qual: f.qual.clone(),
+                        line: p.line,
+                    });
+                }
+            }
+        }
+        WorkspaceIndex { summaries, callgraph, lock_pairs }
+    }
+
+    /// Convenience for single-file analysis (fixtures, `analyze_source`).
+    pub fn for_file(cfg: &LintConfig, rel_path: &str, facts: &crate::parser::FileFacts) -> WorkspaceIndex {
+        WorkspaceIndex::build(cfg, &[(rel_path, facts)])
+    }
+}
+
+impl FnSummary {
+    /// Conservative union for same-name collisions across the workspace:
+    /// any alarming fact from either survives, sanitiser status only if
+    /// both agree (a non-sanitising collision must not silence flows).
+    pub fn merge(&mut self, other: &FnSummary) {
+        self.param_to_return |= other.param_to_return;
+        self.returns_phi |= other.returns_phi;
+        self.param_to_sink |= other.param_to_sink;
+        self.is_sanitizer &= other.is_sanitizer;
+        self.inconclusive |= other.inconclusive;
+        self.method_alias &= other.method_alias;
+    }
+}
+
+/// Computes the summary table for a set of functions by bounded chaotic
+/// iteration: each round re-summarises every function against the
+/// previous round's table.
+///
+/// Summaries are keyed by *qualified* name (`Type::method`, or the bare
+/// name for free functions). A bare-name alias is added only when exactly
+/// one definition carries that name workspace-wide: unqualified call
+/// sites (`x.f(..)`) then resolve precisely, while ubiquitous names like
+/// `new`/`get`/`write` — defined on dozens of unrelated types — stay
+/// unresolved rather than merging into a poisoned summary that would tag
+/// every `String::new()` as PHI.
+pub fn compute_summaries(cfg: &LintConfig, fns: &[&FnDecl]) -> BTreeMap<String, FnSummary> {
+    let mut quals_by_name: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for f in fns.iter().filter(|f| !f.is_test) {
+        quals_by_name.entry(f.name.as_str()).or_default().insert(f.qual.as_str());
+    }
+
+    let mut table: BTreeMap<String, FnSummary> = BTreeMap::new();
+    for round in 0..CONTEXT_ROUNDS {
+        let mut next: BTreeMap<String, FnSummary> = BTreeMap::new();
+        for f in fns {
+            if f.is_test {
+                continue;
+            }
+            let analysis = taint::analyze_fn(cfg, f, &table);
+            let summary = taint::summarize(cfg, f, &analysis);
+            next.entry(f.qual.clone())
+                .and_modify(|s| s.merge(&summary))
+                .or_insert(summary);
+        }
+        for (name, quals) in &quals_by_name {
+            if quals.len() != 1 || next.contains_key(*name) {
+                continue;
+            }
+            let Some(q) = quals.iter().next() else { continue };
+            if let Some(mut s) = next.get(*q).cloned() {
+                s.method_alias = q != name;
+                next.insert((*name).to_string(), s);
+            }
+        }
+        let stable = round > 0 && next == table;
+        table = next;
+        if stable {
+            break;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    #[test]
+    fn transitive_sink_propagates_across_rounds() {
+        // leaf exports its param; mid forwards to leaf; so mid's param
+        // reaches a sink too — that needs round 2.
+        let src = r#"
+            fn leaf(data: String) { export_csv(data); }
+            fn mid(data: String) { leaf(data); }
+            fn top(data: String) { mid(data); }
+        "#;
+        let facts = parse_file(src);
+        let fns: Vec<&FnDecl> = facts.fns.iter().collect();
+        let cfg = LintConfig::workspace_default();
+        let table = compute_summaries(&cfg, &fns);
+        assert_eq!(table["leaf"].param_to_sink, 1, "{table:#?}");
+        assert_eq!(table["mid"].param_to_sink, 1, "round 2: {table:#?}");
+        assert_eq!(table["top"].param_to_sink, 1, "round 3: {table:#?}");
+    }
+
+    #[test]
+    fn returns_phi_propagates_through_wrappers() {
+        let src = r#"
+            fn load(id: u64) -> Patient { db_get(id) }
+            fn cached_load(id: u64) -> Patient { load(id) }
+        "#;
+        let facts = parse_file(src);
+        let fns: Vec<&FnDecl> = facts.fns.iter().collect();
+        let cfg = LintConfig::workspace_default();
+        let table = compute_summaries(&cfg, &fns);
+        assert!(table["load"].returns_phi);
+        assert!(table["cached_load"].returns_phi);
+    }
+
+    #[test]
+    fn merge_is_conservative() {
+        let mut a = FnSummary { is_sanitizer: true, ..FnSummary::default() };
+        let b = FnSummary { param_to_sink: 1, is_sanitizer: false, ..FnSummary::default() };
+        a.merge(&b);
+        assert!(!a.is_sanitizer, "one non-sanitiser collision disables sanitising");
+        assert_eq!(a.param_to_sink, 1);
+    }
+
+    #[test]
+    fn test_fns_excluded_from_summaries() {
+        let src = "#[cfg(test)]\nmod tests { fn helper(p: Patient) { export_csv(p); } }";
+        let facts = parse_file(src);
+        let fns: Vec<&FnDecl> = facts.fns.iter().collect();
+        let cfg = LintConfig::workspace_default();
+        let table = compute_summaries(&cfg, &fns);
+        assert!(table.is_empty(), "{table:#?}");
+    }
+}

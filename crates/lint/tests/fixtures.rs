@@ -39,6 +39,19 @@ fn every_rule_family_catches_its_seeded_violations() {
     assert_eq!(counts.get("panic-macro"), Some(&2), "{counts:?}");
     assert_eq!(counts.get("panic-index"), Some(&2), "{counts:?}");
 
+    // Taint family (taint fixture plus the `write!` sinks inside the
+    // ingest and fhir `Display` impls; the sanitised twins and the
+    // inline-allowed flow must not be counted).
+    assert_eq!(counts.get("taint-phi-to-sink"), Some(&4), "{counts:?}");
+    assert_eq!(counts.get("taint-unsanitized-export"), Some(&1), "{counts:?}");
+
+    // Concurrency family (conc fixture; the order disagreement is
+    // reported once from each side).
+    assert_eq!(counts.get("lock-held-across-await"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("lock-held-long"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("lock-order-inversion"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("sync-unbounded-channel"), Some(&1), "{counts:?}");
+
     // Determinism family (cloudsim fixture).
     assert_eq!(counts.get("det-wallclock"), Some(&2), "{counts:?}");
     assert_eq!(counts.get("det-unordered-map"), Some(&2), "{counts:?}");
@@ -46,6 +59,31 @@ fn every_rule_family_catches_its_seeded_violations() {
     // Hygiene (cloudsim fixture lacks both headers; the others have them).
     assert_eq!(counts.get("hygiene-forbid-unsafe"), Some(&1), "{counts:?}");
     assert_eq!(counts.get("hygiene-missing-docs"), Some(&1), "{counts:?}");
+}
+
+#[test]
+fn sanitized_export_is_clean_and_unsanitized_twin_fires() {
+    let report = analyze_workspace(&fixture_root(), &LintConfig::workspace_default());
+    let taint_file: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("crates/taint/src/lib.rs"))
+        .collect();
+    // The raw variant fires on its `export_rows(patient)` call...
+    assert!(
+        taint_file
+            .iter()
+            .any(|f| f.rule == "taint-phi-to-sink" && f.snippet.contains("export_rows(patient)")),
+        "{taint_file:#?}"
+    );
+    // ...while the `privacy::deidentify(patient)` twins stay clean: the
+    // sanitiser's return value may be exported directly or relayed.
+    assert!(
+        !taint_file
+            .iter()
+            .any(|f| f.snippet.contains("export_rows(rows)") || f.snippet.contains("forward(row)")),
+        "{taint_file:#?}"
+    );
 }
 
 #[test]

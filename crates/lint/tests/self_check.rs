@@ -44,6 +44,23 @@ fn workspace_has_no_findings_beyond_baseline() {
 }
 
 #[test]
+fn baseline_carries_no_stale_entries() {
+    // Mirrors `hc-lint --fail-stale` in CI: every baselined budget must
+    // still correspond to a live finding, so fixed debt is ratcheted out
+    // with `--prune-baseline` instead of silently masking regressions.
+    let root = workspace_root();
+    let json = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is checked in");
+    let baseline = Baseline::from_json(&json).expect("lint-baseline.json parses");
+    let report = analyze_workspace(&root, &LintConfig::workspace_default());
+    let diff = baseline.diff(&report.findings);
+    assert_eq!(
+        diff.stale_entries, 0,
+        "stale baseline entries — run `cargo run -p hc-lint -- --baseline lint-baseline.json --prune-baseline`"
+    );
+}
+
+#[test]
 fn workspace_error_severity_rules_have_no_baselined_debt_growth() {
     // The PHI and determinism families are `error` severity: the baseline
     // may carry historical entries, but every entry must still correspond
