@@ -8,14 +8,11 @@
 
 use rand::Rng;
 
-/// Draws a Zipf(≈1) key over `n` keys.
+/// Draws a Zipf(≈1) key over `n` keys. Delegates to the platform-wide
+/// generator in [`hc_common::conc`] so benches and the concurrent
+/// workload driver sample the same distribution.
 pub fn zipf_key<R: Rng>(rng: &mut R, n: usize) -> usize {
-    loop {
-        let k = rng.gen_range(1..=n);
-        if rng.gen_bool(1.0 / k as f64) {
-            return k - 1;
-        }
-    }
+    hc_common::conc::zipf_key(rng, n)
 }
 
 /// A deterministic payload of `size` bytes.

@@ -40,13 +40,13 @@ impl<K> std::fmt::Debug for InvalidationBus<K> {
 }
 
 impl<K: Clone> InvalidationBus<K> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         InvalidationBus {
             subscribers: Mutex::new(Vec::new()),
         }
     }
 
-    fn subscribe(&self) -> Receiver<K> {
+    pub(crate) fn subscribe(&self) -> Receiver<K> {
         // Invalidation keys are tiny and drained on every cache access;
         // a bounded channel would deadlock the single-threaded simulation
         // when a burst of invalidations outruns the reader.
@@ -56,11 +56,18 @@ impl<K: Clone> InvalidationBus<K> {
         rx
     }
 
-    fn publish(&self, key: &K) {
-        // Dead subscribers are pruned lazily.
+    /// Publishes `key`, pruning subscribers whose receiver was dropped:
+    /// a disconnected send removes the sender immediately, so a dead
+    /// client costs at most one failed send, not one per publish.
+    pub(crate) fn publish(&self, key: &K) {
         self.subscribers
             .lock()
             .retain(|tx| tx.send(key.clone()).is_ok());
+    }
+
+    /// Live subscriber count (after any pruning done by publishes).
+    pub(crate) fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
     }
 }
 
@@ -92,6 +99,13 @@ impl<K: Clone + Eq + Hash, V: Clone> VersionedOrigin<K, V> {
     /// The current version of a key (0 = absent).
     pub fn version(&self, key: &K) -> u64 {
         self.entries.lock().get(key).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Number of live subscribers on the bus. Dropped clients are
+    /// pruned by the first publish that notices their dead receiver, so
+    /// this also observes that publishes stop paying for them.
+    pub fn subscriber_count(&self) -> usize {
+        self.bus.subscriber_count()
     }
 }
 
@@ -267,5 +281,27 @@ mod tests {
         origin.write("k".into(), 2);
         let mut a = client(&origin);
         assert_eq!(a.read(&"k".to_string()), Some(2));
+    }
+
+    #[test]
+    fn dropped_subscriber_stops_costing_publishes() {
+        let origin: Arc<VersionedOrigin<String, u64>> = VersionedOrigin::new();
+        let keep = client(&origin);
+        {
+            let _a = client(&origin);
+            let _b = client(&origin);
+            assert_eq!(origin.subscriber_count(), 3);
+        }
+        // The two dropped receivers are still registered until a publish
+        // notices them…
+        assert_eq!(origin.subscriber_count(), 3);
+        origin.write("k".into(), 1);
+        // …after which every later publish pays only for live clients.
+        assert_eq!(origin.subscriber_count(), 1);
+        origin.write("k".into(), 2);
+        assert_eq!(origin.subscriber_count(), 1);
+        drop(keep);
+        origin.write("k".into(), 3);
+        assert_eq!(origin.subscriber_count(), 0);
     }
 }

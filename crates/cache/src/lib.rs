@@ -18,6 +18,12 @@
 //! * [`invalidation`] — the multi-client consistency protocol: a
 //!   versioned origin publishes invalidations to every subscribed client
 //!   cache (the "cache consistency algorithms" §III calls for).
+//! * [`shard`] — the multi-core serving path: a lock-striped
+//!   [`shard::ShardedCache`] (N power-of-two stripes, seeded-hash
+//!   routing, per-shard eviction state and telemetry) and the sharded
+//!   invalidation protocol ([`shard::ShardedOrigin`] /
+//!   [`shard::ShardedClient`]) preserving the consistency semantics
+//!   above while letting reader threads proceed in parallel.
 //!
 //! # Examples
 //!
@@ -37,4 +43,5 @@
 pub mod invalidation;
 pub mod multilevel;
 pub mod policy;
+pub mod shard;
 pub mod stats;

@@ -13,6 +13,10 @@
 //!   that subsystems consult at named fault points, so resilience
 //!   experiments can script crashes, partitions, and latency spikes
 //!   reproducibly.
+//! * [`conc`] — concurrent-workload drivers: a seeded closed-loop
+//!   multi-thread load generator (per-thread Zipf streams) and a
+//!   deterministic virtual-time lock-contention model, shared by the
+//!   E18 scaling experiment and the concurrency soak tests.
 //!
 //! # Examples
 //!
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod conc;
 pub mod fault;
 pub mod hex;
 pub mod id;

@@ -8,8 +8,33 @@
 //! with a reference id → anchor `ingested`/`anonymized` provenance events
 //! on the ledger. Every upload gets a [`StatusUrl`] whose state advances
 //! through [`IngestionStatus`].
+//!
+//! # Concurrency model (worker pool + sequence-numbered merge)
+//!
+//! The stage sequence is split into two phases so the pipeline can use
+//! every core without giving up determinism:
+//!
+//! * **Prepare** (parallel, per-record pure): decrypt → validate →
+//!   malware scan → de-identify + anonymization verification. These
+//!   stages read shared services but mutate nothing except the upload's
+//!   own status, so `M` workers run them concurrently.
+//! * **Commit** (serialized, submission order): consent apply/check →
+//!   encrypt-at-rest + data-lake write → provenance anchoring. The
+//!   committer consumes prepared results through a reorder buffer keyed
+//!   by submission sequence number, so commits — and therefore consent
+//!   registry mutations, record-key RNG draws, reference-id assignment
+//!   and ledger anchor order — are byte-identical for *any* worker
+//!   count (the determinism regression test pins workers ∈ {1, 2, 8}).
+//!
+//! Rejection priority is preserved: although de-identification now runs
+//! before the consent check in wall time, the committer reports a
+//! consent rejection ahead of an anonymization rejection, matching the
+//! paper's stage order. [`IngestionPipeline::process_all_parallel`]
+//! bounds in-flight prepares (backpressure) and is wired into the same
+//! resilience ([`fault_points`]) and telemetry (`ingest.pool.*`) layers
+//! as the serial path.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -121,6 +146,51 @@ struct Job {
     sealed: Sealed,
 }
 
+/// Which [`PipelineStats`] counter a prepare-phase rejection bumps.
+/// Counting happens in the ordered commit phase so worker interleaving
+/// cannot reorder ledger posts relative to status updates.
+#[derive(Clone, Copy, Debug)]
+enum RejectCounter {
+    Integrity,
+    Validation,
+    Malware,
+}
+
+/// Outcome of the parallel *prepare* phase for one job.
+#[derive(Debug)]
+enum Prepared {
+    /// Every parallel stage passed; awaits the ordered commit phase.
+    Ready(Box<ReadyJob>),
+    /// Terminally rejected during prepare. A malware detection carries
+    /// the blockchain transaction to post (in submission order).
+    Rejected {
+        stage: String,
+        reason: String,
+        counter: RejectCounter,
+        malware_tx: Option<Transaction>,
+    },
+    /// A stage fault exhausted its retry budget during prepare.
+    DeadLettered { stage: String, reason: String },
+}
+
+/// A job that passed decrypt, validation, malware scan and
+/// de-identification, carrying everything the commit phase needs.
+#[derive(Debug)]
+struct ReadyJob {
+    /// This study's in-bundle consent resources, in bundle order.
+    consents: Vec<(String, bool)>,
+    /// Serialized de-identified bundle (the at-rest plaintext).
+    deid_bytes: Vec<u8>,
+    /// Hash of `deid_bytes`, anchored with the provenance events.
+    data_hash: sha256::Digest,
+    /// Original-id → pseudonym map produced by de-identification.
+    pseudonyms: HashMap<String, String>,
+    /// Residual PHI found by anonymization verification. Rejection is
+    /// reported in commit, *after* the consent check, so the serial
+    /// stage priority (consent before anonymization) is preserved.
+    violations: Vec<String>,
+}
+
 /// Stage names in pipeline order, used for `ingest.stage.<name>.wall_ns`
 /// histograms (the seventh entry times provenance anchoring).
 const STAGE_NAMES: [&str; 7] =
@@ -142,6 +212,9 @@ struct PipelineInstruments {
     dlq_depth: hc_telemetry::Gauge,
     anchors_buffered: hc_telemetry::Gauge,
     anchors_replayed: hc_telemetry::Counter,
+    pool_workers: hc_telemetry::Gauge,
+    pool_in_flight: hc_telemetry::Gauge,
+    pool_reorder_depth: hc_telemetry::Gauge,
 }
 
 /// Resilience state, installed by [`IngestionPipeline::enable_resilience`].
@@ -253,6 +326,9 @@ impl IngestionPipeline {
             dlq_depth: registry.gauge("ingest.dlq.depth"),
             anchors_buffered: registry.gauge("ingest.anchors.buffered"),
             anchors_replayed: registry.counter("ingest.anchors.replayed"),
+            pool_workers: registry.gauge("ingest.pool.workers"),
+            pool_in_flight: registry.gauge("ingest.pool.in_flight"),
+            pool_reorder_depth: registry.gauge("ingest.pool.reorder_depth"),
         }));
     }
 
@@ -468,11 +544,9 @@ impl IngestionPipeline {
         self.statuses.lock().get(&url.0).cloned()
     }
 
-    /// Processes one queued upload, returning its id; `None` if idle.
-    pub fn process_one(&self) -> Option<IngestionId> {
-        let job = self.rx.try_recv().ok()?;
-        let id = job.id;
-        let outcome = self.run_stages(&job);
+    /// Terminal bookkeeping every processing path shares: dead-letter
+    /// parking, outcome counters/gauges, and the status-map write.
+    fn finish_job(&self, job: &Job, outcome: IngestionStatus) {
         if let IngestionStatus::DeadLettered { ref stage, ref reason } = outcome {
             if let Some(res) = self.resilience.lock().as_mut() {
                 let at = res.clock.now();
@@ -496,7 +570,15 @@ impl IngestionPipeline {
             }
             inst.queue_depth.set(self.rx.len() as i64);
         }
-        self.statuses.lock().insert(id, outcome);
+        self.statuses.lock().insert(job.id, outcome);
+    }
+
+    /// Processes one queued upload, returning its id; `None` if idle.
+    pub fn process_one(&self) -> Option<IngestionId> {
+        let job = self.rx.try_recv().ok()?;
+        let id = job.id;
+        let outcome = self.run_stages(&job);
+        self.finish_job(&job, outcome);
         Some(id)
     }
 
@@ -509,20 +591,91 @@ impl IngestionPipeline {
         n
     }
 
-    /// Drains the queue on `workers` threads (the "asynchronous
-    /// communication process" of §II-B).
+    /// Drains the queue on a bounded pool of `workers` prepare threads
+    /// feeding a sequence-numbered merge (the "asynchronous
+    /// communication process" of §II-B, now multi-core).
+    ///
+    /// Workers run the parallel *prepare* phase; the calling thread
+    /// dispatches jobs (bounded in-flight for backpressure) and commits
+    /// prepared results strictly in submission order through a reorder
+    /// buffer. Stored records, provenance anchor order, consent registry
+    /// state and [`PipelineStats`] are therefore identical to the serial
+    /// [`IngestionPipeline::process_all`] path for any worker count.
+    /// Returns the number of jobs processed.
     pub fn process_all_parallel(&self, workers: usize) -> usize {
-        let processed = std::sync::atomic::AtomicUsize::new(0);
+        let workers = workers.max(1);
+        let inst = self.instruments();
+        if let Some(inst) = &inst {
+            inst.pool_workers.set(workers as i64);
+        }
+        // In-flight bound: one job per worker slot plus a full round of
+        // slack so the reorder buffer can absorb out-of-order finishes
+        // without stalling the workers.
+        let bound = workers * 2;
+        // Occupancy is enforced by the in-flight counter below, so the
+        // channels never hold more than `bound` entries.
+        // hc-lint: allow(sync-unbounded-channel)
+        let (work_tx, work_rx) = unbounded::<(u64, Job)>();
+        // hc-lint: allow(sync-unbounded-channel)
+        let (done_tx, done_rx) = unbounded::<(u64, Job, Prepared)>();
+        let mut processed = 0usize;
         std::thread::scope(|scope| {
-            for _ in 0..workers.max(1) {
-                scope.spawn(|| {
-                    while self.process_one().is_some() {
-                        processed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            for _ in 0..workers {
+                let work_rx = work_rx.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((seq, job)) = work_rx.recv() {
+                        let prepared = self.prepare_job(&job);
+                        if done_tx.send((seq, job, prepared)).is_err() {
+                            break;
+                        }
                     }
                 });
             }
+            let mut next_submit = 0u64;
+            let mut next_commit = 0u64;
+            let mut in_flight = 0usize;
+            let mut reorder: BTreeMap<u64, (Job, Prepared)> = BTreeMap::new();
+            loop {
+                // Feed workers up to the in-flight bound.
+                while in_flight < bound {
+                    let Ok(job) = self.rx.try_recv() else { break };
+                    if work_tx.send((next_submit, job)).is_err() {
+                        break;
+                    }
+                    next_submit += 1;
+                    in_flight += 1;
+                }
+                if in_flight == 0 {
+                    break; // staging queue drained, everything committed
+                }
+                // All in-flight sequence numbers form the contiguous
+                // range [next_commit, next_submit), so when the buffer
+                // is full it necessarily contains next_commit: the recv
+                // below always unblocks commits — no deadlock.
+                let Ok((seq, job, prepared)) = done_rx.recv() else { break };
+                reorder.insert(seq, (job, prepared));
+                while let Some((job, prepared)) = reorder.remove(&next_commit) {
+                    let outcome = self.commit_outcome(&job, prepared);
+                    self.finish_job(&job, outcome);
+                    next_commit += 1;
+                    in_flight -= 1;
+                    processed += 1;
+                }
+                if let Some(inst) = &inst {
+                    inst.pool_in_flight.set(in_flight as i64);
+                    inst.pool_reorder_depth.set(reorder.len() as i64);
+                }
+            }
+            // Disconnect the work channel so blocked workers exit before
+            // the scope joins them.
+            drop(work_tx);
         });
-        processed.into_inner()
+        if let Some(inst) = &inst {
+            inst.pool_in_flight.set(0);
+            inst.pool_reorder_depth.set(0);
+        }
+        processed
     }
 
     fn set_status(&self, id: IngestionId, status: IngestionStatus) {
@@ -619,7 +772,20 @@ impl IngestionPipeline {
         }
     }
 
+    /// The full serial stage sequence: parallel-safe prepare followed
+    /// immediately by the ordered commit (used by the inline path and
+    /// dead-letter replay; the worker pool calls the halves directly).
     fn run_stages(&self, job: &Job) -> IngestionStatus {
+        let prepared = self.prepare_job(job);
+        self.commit_outcome(job, prepared)
+    }
+
+    /// The parallel *prepare* phase: decrypt → validate → malware scan
+    /// → de-identify + anonymization verification. Touches no shared
+    /// mutable platform state beyond this upload's own status entry (and
+    /// the commutative retry/stats counters inside [`Self::stage_guard`]),
+    /// so any number of workers may run it concurrently.
+    fn prepare_job(&self, job: &Job) -> Prepared {
         let inst = self.instruments();
         // Stage timings feed the `ingest.stage.*_wall_ns` histograms,
         // which deliberately measure wall time (pipeline overhead), not
@@ -629,7 +795,8 @@ impl IngestionPipeline {
         // Records the wall time of stage `idx` and restarts the stopwatch.
         let mark = |idx: usize, start: &mut std::time::Instant| {
             if let Some(inst) = &inst {
-                inst.stage_wall[idx].record(start.elapsed().as_nanos() as u64);
+                // idx is a STAGE_NAMES index; the histogram Vec mirrors it.
+                inst.stage_wall[idx].record(start.elapsed().as_nanos() as u64); // hc-lint: allow(panic-index)
             }
             // hc-lint: allow(det-wallclock) — wall-clock stopwatch restart (see above)
             *start = std::time::Instant::now();
@@ -638,7 +805,10 @@ impl IngestionPipeline {
         // 1. Decrypt + integrity/authenticity verification.
         self.set_status(job.id, IngestionStatus::Decrypting);
         if let Err(reason) = self.stage_guard(fault_points::DECRYPT) {
-            return Self::dead_letter_status("decrypt", reason);
+            return Prepared::DeadLettered {
+                stage: "decrypt".to_owned(),
+                reason,
+            };
         }
         let ingest = Principal::Service("ingest".into());
         let bytes = match self.shared.kms.open(
@@ -649,8 +819,12 @@ impl IngestionPipeline {
         ) {
             Ok(b) => b,
             Err(e) => {
-                self.stats.lock().rejected_integrity += 1;
-                return self.reject("decrypt", e.to_string());
+                return Prepared::Rejected {
+                    stage: "decrypt".to_owned(),
+                    reason: e.to_string(),
+                    counter: RejectCounter::Integrity,
+                    malware_tx: None,
+                }
             }
         };
         mark(0, &mut stage_start);
@@ -658,50 +832,65 @@ impl IngestionPipeline {
         // 2. Validate / curate.
         self.set_status(job.id, IngestionStatus::Validating);
         if let Err(reason) = self.stage_guard(fault_points::VALIDATE) {
-            return Self::dead_letter_status("validate", reason);
+            return Prepared::DeadLettered {
+                stage: "validate".to_owned(),
+                reason,
+            };
         }
         let bundle = match Bundle::from_bytes(&bytes) {
             Ok(b) => b,
             Err(e) => {
-                self.stats.lock().rejected_validation += 1;
                 // A payload that decrypts cleanly but cannot even be
                 // parsed is a poison message: with resilience on it is
                 // parked for triage instead of silently dropped.
                 if self.resilience.lock().is_some() {
-                    return Self::dead_letter_status(
-                        "validate",
-                        format!("malformed bundle: {e}"),
-                    );
+                    self.stats.lock().rejected_validation += 1;
+                    return Prepared::DeadLettered {
+                        stage: "validate".to_owned(),
+                        reason: format!("malformed bundle: {e}"),
+                    };
                 }
-                return self.reject("validate", format!("malformed bundle: {e}"));
+                return Prepared::Rejected {
+                    stage: "validate".to_owned(),
+                    reason: format!("malformed bundle: {e}"),
+                    counter: RejectCounter::Validation,
+                    malware_tx: None,
+                };
             }
         };
         let report = self.validator.validate_bundle(&bundle);
         if !report.is_valid() {
-            self.stats.lock().rejected_validation += 1;
             let first = report
                 .issues
                 .first()
                 .map(|i| i.message.clone())
                 .unwrap_or_default();
-            return self.reject("validate", first);
+            return Prepared::Rejected {
+                stage: "validate".to_owned(),
+                reason: first,
+                counter: RejectCounter::Validation,
+                malware_tx: None,
+            };
         }
         mark(1, &mut stage_start);
 
         // 3. Malware filtration.
         self.set_status(job.id, IngestionStatus::Scanning);
         if let Err(reason) = self.stage_guard(fault_points::SCAN) {
-            return Self::dead_letter_status("malware-scan", reason);
+            return Prepared::DeadLettered {
+                stage: "malware-scan".to_owned(),
+                reason,
+            };
         }
         if let Some(detection) = self.scanner.scan(&bytes) {
-            self.stats.lock().rejected_malware += 1;
             // "update the blockchain with the information that the
-            // corresponding record … contains malware".
+            // corresponding record … contains malware". The transaction
+            // is built here but submitted by the ordered commit phase so
+            // the malware channel's history is worker-count independent.
             let payload = format!(
                 "scanner={};record={};offset={}",
                 detection.signature_name, job.id, detection.offset
             );
-            let mut provenance = self.shared.provenance.lock();
             let clock = SimClock::new();
             let tx = Transaction {
                 id: hc_common::id::TxId::from_raw(job.id.as_u128()),
@@ -711,12 +900,108 @@ impl IngestionPipeline {
                 submitter: "malware-filter".into(),
                 timestamp: clock.now(),
             };
-            let _ = provenance.ledger_mut().submit(vec![tx]);
-            return self.reject("malware-scan", format!("signature {}", detection.signature_name));
+            return Prepared::Rejected {
+                stage: "malware-scan".to_owned(),
+                reason: format!("signature {}", detection.signature_name),
+                counter: RejectCounter::Malware,
+                malware_tx: Some(tx),
+            };
         }
         mark(2, &mut stage_start);
 
-        // 4. Consent: apply in-bundle consents, then verify.
+        // 4. De-identify + anonymization verification (stage index 4;
+        // the consent stage, index 3, runs in the commit phase).
+        self.set_status(job.id, IngestionStatus::DeIdentifying);
+        if let Err(reason) = self.stage_guard(fault_points::DEID) {
+            return Prepared::DeadLettered {
+                stage: "de-identify".to_owned(),
+                reason,
+            };
+        }
+        let deidentified = deidentify_bundle(
+            &bundle,
+            &self.deid,
+            &self.shared.study.as_u128().to_le_bytes(),
+        );
+        let mut violations = Vec::new();
+        for resource in &deidentified.bundle {
+            violations.extend(scan_resource_for_phi(resource));
+        }
+        mark(4, &mut stage_start);
+
+        let consents = bundle
+            .entries
+            .iter()
+            .filter_map(|resource| match resource {
+                Resource::Consent(c) if c.study == self.shared.study_name => {
+                    Some((c.study.clone(), c.granted))
+                }
+                _ => None,
+            })
+            .collect();
+        let deid_bytes = deidentified.bundle.to_bytes();
+        let data_hash = sha256::hash(&deid_bytes);
+        Prepared::Ready(Box::new(ReadyJob {
+            consents,
+            deid_bytes,
+            data_hash,
+            pseudonyms: deidentified.pseudonyms,
+            violations,
+        }))
+    }
+
+    /// The ordered half of the pipeline: counts prepare-phase
+    /// rejections, posts malware detections to the blockchain, and runs
+    /// the commit stages for jobs that are ready. Must be called in
+    /// submission order for deterministic output.
+    fn commit_outcome(&self, job: &Job, prepared: Prepared) -> IngestionStatus {
+        match prepared {
+            Prepared::Ready(ready) => self.commit_prepared(job, *ready),
+            Prepared::Rejected {
+                stage,
+                reason,
+                counter,
+                malware_tx,
+            } => {
+                {
+                    let mut stats = self.stats.lock();
+                    match counter {
+                        RejectCounter::Integrity => stats.rejected_integrity += 1,
+                        RejectCounter::Validation => stats.rejected_validation += 1,
+                        RejectCounter::Malware => stats.rejected_malware += 1,
+                    }
+                }
+                if let Some(tx) = malware_tx {
+                    let mut provenance = self.shared.provenance.lock();
+                    let _ = provenance.ledger_mut().submit(vec![tx]);
+                }
+                self.reject(&stage, reason)
+            }
+            Prepared::DeadLettered { stage, reason } => {
+                Self::dead_letter_status(&stage, reason)
+            }
+        }
+    }
+
+    /// The serialized *commit* phase: consent apply/check →
+    /// encrypt-at-rest + data-lake write → provenance anchoring. All
+    /// consent registry mutations, record-key RNG draws, reference-id
+    /// assignment and ledger anchors happen here, in submission order.
+    fn commit_prepared(&self, job: &Job, ready: ReadyJob) -> IngestionStatus {
+        let inst = self.instruments();
+        // Commit-stage timings; wall-clock by design (see prepare_job).
+        // hc-lint: allow(det-wallclock)
+        let mut stage_start = std::time::Instant::now();
+        let mark = |idx: usize, start: &mut std::time::Instant| {
+            if let Some(inst) = &inst {
+                // idx is a STAGE_NAMES index; the histogram Vec mirrors it.
+                inst.stage_wall[idx].record(start.elapsed().as_nanos() as u64); // hc-lint: allow(panic-index)
+            }
+            // hc-lint: allow(det-wallclock) — wall-clock stopwatch restart (see above)
+            *start = std::time::Instant::now();
+        };
+
+        // 5. Consent: apply in-bundle consents, then verify.
         self.set_status(job.id, IngestionStatus::CheckingConsent);
         if let Err(reason) = self.stage_guard(fault_points::CONSENT) {
             return Self::dead_letter_status("consent", reason);
@@ -727,31 +1012,27 @@ impl IngestionPipeline {
             // bundle; the loop is bounded by the bundle's resources.
             // hc-lint: allow(lock-held-long)
             let mut consent = self.shared.consent.lock();
-            for resource in &bundle {
-                if let Resource::Consent(c) = resource {
-                    if c.study == self.shared.study_name {
-                        let action = if c.granted {
-                            consent.grant(job.credential.patient, self.shared.study, ConsentScope::FULL);
-                            ProvenanceAction::ConsentGranted
-                        } else {
-                            consent.revoke(job.credential.patient, self.shared.study);
-                            ProvenanceAction::ConsentRevoked
-                        };
-                        // Consent provenance "as required by GDPR and
-                        // HIPAA" (§IV-A) — anchored before the data is.
-                        self.anchor(ProvenanceEvent {
-                            record: ReferenceId::from_raw(job.id.as_u128()),
-                            data_hash: sha256::hash(c.study.as_bytes()),
-                            action,
-                            // `credential.patient` is the pseudonymous
-                            // PatientId (an opaque 128-bit id), not an
-                            // identified Patient record.
-                            // hc-lint: allow(phi-fmt-leak, taint-phi-to-sink)
-                            actor: format!("device:{}", job.credential.patient),
-                            detail: format!("study={}", c.study),
-                        });
-                    }
-                }
+            for (study, granted) in &ready.consents {
+                let action = if *granted {
+                    consent.grant(job.credential.patient, self.shared.study, ConsentScope::FULL);
+                    ProvenanceAction::ConsentGranted
+                } else {
+                    consent.revoke(job.credential.patient, self.shared.study);
+                    ProvenanceAction::ConsentRevoked
+                };
+                // Consent provenance "as required by GDPR and
+                // HIPAA" (§IV-A) — anchored before the data is.
+                self.anchor(ProvenanceEvent {
+                    record: ReferenceId::from_raw(job.id.as_u128()),
+                    data_hash: sha256::hash(study.as_bytes()),
+                    action,
+                    // `credential.patient` is the pseudonymous
+                    // PatientId (an opaque 128-bit id), not an
+                    // identified Patient record.
+                    // hc-lint: allow(phi-fmt-leak, taint-phi-to-sink)
+                    actor: format!("device:{}", job.credential.patient),
+                    detail: format!("study={study}"),
+                });
             }
             if !consent.allows_analytics(job.credential.patient, self.shared.study) {
                 drop(consent);
@@ -767,31 +1048,20 @@ impl IngestionPipeline {
         }
         mark(3, &mut stage_start);
 
-        // 5. De-identify + anonymization verification.
-        self.set_status(job.id, IngestionStatus::DeIdentifying);
-        if let Err(reason) = self.stage_guard(fault_points::DEID) {
-            return Self::dead_letter_status("de-identify", reason);
+        // Anonymization verdict (computed during prepare) reported after
+        // the consent check, preserving the serial rejection priority.
+        if !ready.violations.is_empty() {
+            self.stats.lock().rejected_anonymization += 1;
+            return self.reject("anonymization-verification", ready.violations.join("; "));
         }
-        let deidentified = deidentify_bundle(
-            &bundle,
-            &self.deid,
-            &self.shared.study.as_u128().to_le_bytes(),
-        );
-        for resource in &deidentified.bundle {
-            let violations = scan_resource_for_phi(resource);
-            if !violations.is_empty() {
-                self.stats.lock().rejected_anonymization += 1;
-                return self.reject("anonymization-verification", violations.join("; "));
-            }
-        }
-        mark(4, &mut stage_start);
 
         // 6. Encrypt at rest under a fresh per-record key and store.
         if let Err(reason) = self.stage_guard(fault_points::STORE) {
             return Self::dead_letter_status("store", reason);
         }
-        let deid_bytes = deidentified.bundle.to_bytes();
-        let data_hash = sha256::hash(&deid_bytes);
+        let ingest = Principal::Service("ingest".into());
+        let deid_bytes = ready.deid_bytes;
+        let data_hash = ready.data_hash;
         let record_key = {
             let mut rng = self.rng.lock();
             self.shared.kms.create_key(
@@ -828,7 +1098,7 @@ impl IngestionPipeline {
         self.shared
             .pseudonyms
             .lock()
-            .insert(reference, deidentified.pseudonyms);
+            .insert(reference, ready.pseudonyms);
         mark(5, &mut stage_start);
 
         // 7. Anchor provenance. Under a ledger partition these buffer

@@ -515,10 +515,8 @@ impl Builder<'_> {
                 match t.text.as_str() {
                     "(" | "[" | "{" | "<" => depth += 1,
                     ")" | "]" | "}" => depth -= 1,
-                    ">" => {
-                        if !self.tok(j.wrapping_sub(1)).is_some_and(|p| p.is_punct('-')) {
-                            depth -= 1;
-                        }
+                    ">" if !self.tok(j.wrapping_sub(1)).is_some_and(|p| p.is_punct('-')) => {
+                        depth -= 1;
                     }
                     "=" | ";" if depth == 0 => return j,
                     _ => {}

@@ -79,12 +79,10 @@ impl LintConfig {
 
     /// True when `name` (or its snake_case form) names a PHI type.
     pub fn matches_phi_ident(&self, ident: &str) -> Option<&str> {
-        for ty in &self.phi_types {
-            if ident == ty || ident == snake_case(ty) {
-                return Some(ty);
-            }
-        }
-        None
+        self.phi_types
+            .iter()
+            .find(|ty| ident == ty.as_str() || ident == snake_case(ty))
+            .map(String::as_str)
     }
 
     /// True when a repo-relative path is inside a PHI-allowed module.

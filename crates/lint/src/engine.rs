@@ -77,7 +77,7 @@ pub fn analyze_workspace(root: &Path, cfg: &LintConfig) -> Report {
 
     report
         .findings
-        .sort_by(|a, b| (a.file.clone(), a.line, a.col).cmp(&(b.file.clone(), b.line, b.col)));
+        .sort_by_key(|f| (f.file.clone(), f.line, f.col));
     report
 }
 

@@ -303,11 +303,12 @@ pub fn parse_file(src: &str) -> FileFacts {
                         // next item.
                         pending = PendingAttrs::default();
                     }
-                    "[" => {
-                        // Heuristic index detection (see IndexSite docs).
-                        if in_fn_body && !in_test && is_index_receiver(syn.get(i.wrapping_sub(1)).copied(), i > 0) {
-                            facts.index_sites.push(IndexSite { line: tok.line, col: tok.col });
-                        }
+                    // Heuristic index detection (see IndexSite docs).
+                    "[" if in_fn_body
+                        && !in_test
+                        && is_index_receiver(syn.get(i.wrapping_sub(1)).copied(), i > 0) =>
+                    {
+                        facts.index_sites.push(IndexSite { line: tok.line, col: tok.col });
                     }
                     _ => {}
                 }

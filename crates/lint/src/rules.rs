@@ -64,7 +64,7 @@ pub fn apply_rules(
         })
     });
 
-    out.sort_by(|a, b| (a.line, a.col, a.rule.clone()).cmp(&(b.line, b.col, b.rule.clone())));
+    out.sort_by_key(|f| (f.line, f.col, f.rule.clone()));
     out
 }
 

@@ -988,6 +988,115 @@ fn e16() {
     println!("both workloads under the 5% budget");
 }
 
+/// E18 — multi-core scaling of the sharded serving hot path: throughput
+/// and p99 vs. thread count, sharded (32 stripes) vs. global-lock
+/// (1 stripe) cache. The recorded table comes from the deterministic
+/// virtual-time contention model in [`hc_common::conc`]; a wall-clock
+/// calibration of the real [`ShardedCache`] is printed first (it is
+/// host-dependent and, on a single-core CI container, shows no
+/// separation — which is exactly why the recorded artefact is the
+/// model, not the wall clock).
+fn e18() {
+    use hc_cache::shard::{ShardRouter, ShardedCache};
+    use hc_common::conc::{self, SimOp};
+
+    header("E18", "cache scaling: sharded vs global lock, threads 1..8");
+    const KEYS: usize = 4096;
+    const SEED: u64 = 18;
+
+    // Part 1 — wall-clock calibration on this host. Single-thread rows
+    // measure the real per-op cost of the sharded data structure; the
+    // 8-thread rows are printed so multi-core hosts can see the real
+    // separation, but they are not recorded or asserted.
+    let calibrate = |shards: usize, threads: usize| {
+        let cache: ShardedCache<usize, u64, LruCache<usize, u64>> =
+            ShardedCache::lru(KEYS / 4, shards, SEED);
+        for k in 0..KEYS {
+            cache.put(k, k as u64);
+        }
+        let ops = if cfg!(debug_assertions) { 20_000 } else { 200_000 };
+        conc::run_closed_loop(threads, ops, SEED, |_, _, rng| {
+            let k = conc::zipf_key(rng, KEYS);
+            if rng.gen_bool(0.10) {
+                cache.put(k, 1);
+            } else {
+                std::hint::black_box(cache.get(&k));
+            }
+        })
+    };
+    println!("wall-clock calibration (host-dependent, not recorded):");
+    println!("{:<24} {:>10} {:>10}", "configuration", "Mops/s", "ns/op");
+    for &(shards, threads) in &[(1usize, 1usize), (32, 1), (1, 8), (32, 8)] {
+        let r = calibrate(shards, threads);
+        let ns_per_op = r.elapsed_ns as f64 * threads as f64 / r.total_ops as f64;
+        println!(
+            "{:<24} {:>10.2} {:>10.0}",
+            format!("{shards} shard(s) x{threads} thr"),
+            r.mops(),
+            ns_per_op
+        );
+    }
+
+    // Part 2 — the deterministic contention model (bit-reproducible;
+    // this is the table EXPERIMENTS.md records). The per-op costs are
+    // canonical constants in the order of magnitude of an in-memory
+    // hash-map access — 40 ns of lock-free routing/hash work, then a
+    // critical section of 140 ns (get + LRU touch) or 220 ns (put +
+    // eviction) — kept fixed rather than re-derived from the wall
+    // calibration above (which includes driver overhead such as the
+    // shim RNG's rejection sampling) so the table reproduces anywhere.
+    const WORK_NS: u64 = 40;
+    const READ_HOLD_NS: u64 = 140;
+    const WRITE_HOLD_NS: u64 = 220;
+    let model = |shards: usize, threads: usize| {
+        let router = ShardRouter::new(shards, SEED);
+        conc::simulate_locked_workload(shards, threads, 10_000, SEED, |_, _, rng| {
+            let k = conc::zipf_key(rng, KEYS);
+            SimOp {
+                lock: router.route(&k),
+                work_ns: WORK_NS,
+                hold_ns: if rng.gen_bool(0.10) {
+                    WRITE_HOLD_NS
+                } else {
+                    READ_HOLD_NS
+                },
+            }
+        })
+    };
+    println!();
+    println!(
+        "contention model (recorded): work {WORK_NS} ns, hold {READ_HOLD_NS}/{WRITE_HOLD_NS} ns \
+         read/write, 10% writes, Zipf over {KEYS} keys"
+    );
+    println!(
+        "{:<8} {:>13} {:>9} {:>14} {:>9} {:>9}",
+        "threads", "global Mops", "p99 ns", "sharded Mops", "p99 ns", "speedup"
+    );
+    let mut speedup_at_8 = 0.0;
+    for &threads in &[1usize, 2, 4, 8] {
+        let g = model(1, threads);
+        let s = model(32, threads);
+        let ratio = s.mops() / g.mops();
+        if threads == 8 {
+            speedup_at_8 = ratio;
+        }
+        println!(
+            "{threads:<8} {:>13.2} {:>9} {:>14.2} {:>9} {:>8.1}x",
+            g.mops(),
+            g.p99_ns,
+            s.mops(),
+            s.p99_ns,
+            ratio
+        );
+    }
+    assert!(
+        speedup_at_8 >= 3.0,
+        "sharding must deliver ≥3x the global-lock read throughput at 8 threads \
+         (got {speedup_at_8:.1}x)"
+    );
+    println!("sharded cache sustains {speedup_at_8:.1}x the global-lock throughput at 8 threads");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -1042,5 +1151,8 @@ fn main() {
     }
     if want("e16") {
         e16();
+    }
+    if want("e18") {
+        e18();
     }
 }

@@ -21,6 +21,7 @@ pub mod channel {
     struct QueueState<T> {
         items: VecDeque<T>,
         senders: usize,
+        receivers: usize,
     }
 
     /// The sending half of an unbounded channel.
@@ -62,6 +63,7 @@ pub mod channel {
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 senders: 1,
+                receivers: 1,
             }),
             ready: Condvar::new(),
         });
@@ -74,9 +76,14 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `value`; never blocks.
+        /// Enqueues `value`; never blocks. Fails (returning the value,
+        /// like real crossbeam) once every receiver has been dropped —
+        /// publishers rely on this to prune dead subscribers.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.queue.lock().expect("channel lock");
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
             state.items.push_back(value);
             drop(state);
             self.shared.ready.notify_one();
@@ -158,9 +165,16 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").receivers += 1;
             Receiver {
                 shared: Arc::clone(&self.shared),
             }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().expect("channel lock").receivers -= 1;
         }
     }
 
@@ -191,6 +205,16 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            let rx2 = rx.clone();
+            drop(rx);
+            assert_eq!(tx.send(1), Ok(()));
+            drop(rx2);
+            assert_eq!(tx.send(2), Err(SendError(2)));
         }
 
         #[test]

@@ -1,0 +1,172 @@
+//! Concurrent soak test for the sharded serving hot path.
+//!
+//! 8 writer threads hammer a [`ShardedOrigin`] with Zipf-distributed
+//! writes (each write publishes an invalidation on the sharded bus)
+//! while 8 reader threads serve through per-thread [`ShardedClient`]s.
+//! Two invariants are checked:
+//!
+//! * **Linearizability-lite**: every writer records the version it
+//!   created in a per-key atomic floor *after* the write is published;
+//!   every reader snapshots the floor *before* reading. A correct
+//!   write-invalidate protocol can then never serve a version below the
+//!   snapshot — an invalidated key is never served stale after the bus
+//!   delivered it.
+//! * **Accounting**: each client's per-shard statistics sum exactly to
+//!   its global [`CacheStats`] totals, and hits + misses equals the
+//!   number of reads issued (no lookup is lost or double-counted under
+//!   concurrency).
+//!
+//! The workload is seeded (override with `HC_SOAK_SEED`) and scaled
+//! down in debug builds so `cargo test` stays fast; CI runs it
+//! `--release` with two seeds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hc_cache::policy::LruCache;
+use hc_cache::shard::{ShardedCache, ShardedClient, ShardedOrigin};
+use hc_common::conc::ZipfStream;
+
+/// Value = (writer-tagged payload, version); key = record id.
+type SoakCache = ShardedCache<u64, (u64, u64), LruCache<u64, (u64, u64)>>;
+
+const WRITERS: usize = 8;
+const READERS: usize = 8;
+const SHARDS: usize = 8;
+const KEYS: usize = 256;
+
+fn soak_seed() -> u64 {
+    std::env::var("HC_SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x50AC)
+}
+
+fn ops_per_thread() -> u64 {
+    if cfg!(debug_assertions) {
+        2_000
+    } else {
+        20_000
+    }
+}
+
+#[test]
+fn sharded_cache_soak_holds_invariants_under_contention() {
+    let seed = soak_seed();
+    let ops = ops_per_thread();
+    let origin: Arc<ShardedOrigin<u64, u64>> = ShardedOrigin::new(SHARDS, seed);
+    // Version floors: floors[k] is a version known to be published for
+    // key k. Writers raise it after write() returns (the write and its
+    // invalidation are already on the bus by then).
+    let floors: Arc<Vec<AtomicU64>> = Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+
+    // Seed every key so readers always find a value once its floor is
+    // nonzero (write() itself guarantees that, but a warm start also
+    // exercises the hit path immediately).
+    for k in 0..KEYS as u64 {
+        let v = origin.write(k, k);
+        floors[k as usize].fetch_max(v, Ordering::Release);
+    }
+
+    let reader_reports: Vec<(hc_cache::stats::CacheStats, Vec<hc_cache::stats::CacheStats>, u64)> =
+        std::thread::scope(|scope| {
+            for t in 0..WRITERS {
+                let origin = Arc::clone(&origin);
+                let floors = Arc::clone(&floors);
+                scope.spawn(move || {
+                    let mut stream = ZipfStream::new(seed, t, KEYS);
+                    for i in 0..ops {
+                        let key = stream.next_key() as u64;
+                        let value = (t as u64) << 32 | i;
+                        let version = origin.write(key, value);
+                        floors[key as usize].fetch_max(version, Ordering::Release);
+                    }
+                });
+            }
+            let readers: Vec<_> = (0..READERS)
+                .map(|t| {
+                    let origin = Arc::clone(&origin);
+                    let floors = Arc::clone(&floors);
+                    scope.spawn(move || {
+                        // Small capacity (half the key space) so evictions
+                        // interleave with bus invalidations.
+                        let cache: SoakCache = ShardedCache::lru(KEYS / 2, SHARDS, seed);
+                        let mut client = ShardedClient::subscribe(origin, cache);
+                        // Offset the stream index so readers don't mirror
+                        // the writers' key sequence.
+                        let mut stream = ZipfStream::new(seed, WRITERS + t, KEYS);
+                        let mut reads = 0u64;
+                        for _ in 0..ops {
+                            let key = stream.next_key() as u64;
+                            let floor = floors[key as usize].load(Ordering::Acquire);
+                            let observed = client.read_versioned(&key);
+                            reads += 1;
+                            if floor > 0 {
+                                let (_, version) = observed.unwrap_or_else(|| {
+                                    panic!("key {key} has published version {floor} but read None")
+                                });
+                                assert!(
+                                    version >= floor,
+                                    "stale read: key {key} served version {version} < floor {floor}"
+                                );
+                            }
+                        }
+                        let stats = client.cache().stats();
+                        let per_shard = client.cache().shard_stats();
+                        (stats, per_shard, reads)
+                    })
+                })
+                .collect();
+            readers
+                .into_iter()
+                .map(|h| h.join().expect("reader thread panicked"))
+                .collect()
+        });
+
+    for (stats, per_shard, reads) in &reader_reports {
+        assert_eq!(per_shard.len(), SHARDS);
+        let sum_hits: u64 = per_shard.iter().map(|s| s.hits).sum();
+        let sum_misses: u64 = per_shard.iter().map(|s| s.misses).sum();
+        let sum_evictions: u64 = per_shard.iter().map(|s| s.evictions).sum();
+        let sum_invalidations: u64 = per_shard.iter().map(|s| s.invalidations).sum();
+        assert_eq!(sum_hits, stats.hits, "per-shard hits must sum to global");
+        assert_eq!(sum_misses, stats.misses, "per-shard misses must sum to global");
+        assert_eq!(sum_evictions, stats.evictions);
+        assert_eq!(sum_invalidations, stats.invalidations);
+        // Every read_versioned performs exactly one local lookup.
+        assert_eq!(
+            stats.lookups(),
+            *reads,
+            "hits + misses must equal reads issued"
+        );
+        assert!(stats.hits > 0, "the Zipf head must produce cache hits");
+    }
+
+    // Writers published at least one version per op; the origin must
+    // hold every key at (at least) its floor.
+    for k in 0..KEYS as u64 {
+        let floor = floors[k as usize].load(Ordering::Acquire);
+        let (_, version) = origin.read(&k).expect("seeded key present");
+        assert!(version >= floor);
+    }
+}
+
+#[test]
+fn dropped_reader_stops_costing_sharded_publishes() {
+    let seed = soak_seed();
+    let origin: Arc<ShardedOrigin<u64, u64>> = ShardedOrigin::new(4, seed);
+    {
+        let cache = ShardedCache::lru(64, 4, seed);
+        let _client: ShardedClient<u64, u64, _> = ShardedClient::subscribe(Arc::clone(&origin), cache);
+        assert!(origin.subscriber_counts().iter().all(|&c| c == 1));
+    }
+    // The dropped client's receivers linger until a publish on each
+    // shard notices the dead channel and prunes it.
+    for k in 0..64u64 {
+        origin.write(k, k);
+    }
+    assert!(
+        origin.subscriber_counts().iter().all(|&c| c == 0),
+        "publishes must prune the dropped client on every shard"
+    );
+}
