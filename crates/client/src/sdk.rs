@@ -15,6 +15,8 @@ use hc_common::clock::{SimClock, SimDuration};
 use hc_crypto::aead::{self, SecretKey, Sealed};
 use hc_fhir::bundle::Bundle;
 use hc_privacy::phi::{deidentify_bundle, DeidConfig, Deidentified};
+use hc_resilience::admission::Tier;
+use hc_resilience::TimeoutBudget;
 
 /// A simulated remote cloud store shared by clients and servers.
 pub type RemoteStore = Arc<Mutex<HashMap<String, Vec<u8>>>>;
@@ -48,6 +50,10 @@ pub enum ClientError {
     Offline,
     /// Decryption of a fetched record failed.
     DecryptFailed,
+    /// The request's deadline budget cannot cover the next hop, so the
+    /// client shed it *before* spending a server round trip on an answer
+    /// that would arrive too late anyway (deadline propagation).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ClientError {
@@ -55,6 +61,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Offline => f.write_str("client is offline"),
             ClientError::DecryptFailed => f.write_str("client-side decryption failed"),
+            ClientError::DeadlineExceeded => {
+                f.write_str("deadline budget exhausted before the next hop")
+            }
         }
     }
 }
@@ -80,6 +89,8 @@ pub struct EnhancedClient {
     pub local_latency: SimDuration,
     /// Latency of a server round trip.
     pub remote_latency: SimDuration,
+    /// Per-tier SLO budgets for tiered reads, indexed by [`Tier::index`].
+    tier_slos: [SimDuration; 3],
 }
 
 impl std::fmt::Debug for EnhancedClient {
@@ -104,7 +115,22 @@ impl EnhancedClient {
             queue: Vec::new(),
             local_latency: SimDuration::from_micros(5),
             remote_latency: SimDuration::from_millis(50),
+            tier_slos: [
+                SimDuration::from_millis(250),   // clinical
+                SimDuration::from_millis(1000),  // interactive
+                SimDuration::from_millis(10_000) // batch
+            ],
         }
+    }
+
+    /// The SLO budget a [`Tier`] request starts with at this client.
+    pub fn tier_slo(&self, tier: Tier) -> SimDuration {
+        self.tier_slos[tier.index()] // hc-lint: allow(panic-index)
+    }
+
+    /// Overrides a tier's SLO budget.
+    pub fn set_tier_slo(&mut self, tier: Tier, slo: SimDuration) {
+        self.tier_slos[tier.index()] = slo; // hc-lint: allow(panic-index)
     }
 
     /// Whether the client is currently disconnected.
@@ -165,6 +191,57 @@ impl EnhancedClient {
             value,
             latency: self.remote_latency,
         })
+    }
+
+    /// Reads a key under a deadline budget, shedding the remote hop when
+    /// the remaining budget cannot cover it.
+    ///
+    /// This is the client edge of the platform's deadline propagation:
+    /// the *same* budget (or a [`TimeoutBudget::child`] of it) travels
+    /// down the client → cache → origin chain, so time spent at one hop
+    /// shrinks what the next hop may spend. A cache hit only needs
+    /// `local_latency`; on a miss the server round trip is attempted
+    /// only if `remote_latency` still fits — otherwise the read fails
+    /// fast with [`ClientError::DeadlineExceeded`] *without* wasting a
+    /// round trip whose answer would be dead on arrival.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::DeadlineExceeded`] when the budget cannot cover
+    /// the required hop; [`ClientError::Offline`] as for
+    /// [`get`](Self::get).
+    pub fn get_within(
+        &mut self,
+        key: &str,
+        budget: TimeoutBudget,
+    ) -> Result<ClientRead, ClientError> {
+        if self.cache.get(&key.to_owned()).is_some() {
+            if !budget.admits(&self.clock, self.local_latency) {
+                return Err(ClientError::DeadlineExceeded);
+            }
+            return self.get(key);
+        }
+        if self.offline {
+            return Err(ClientError::Offline);
+        }
+        // The remote hop inherits what is left of the caller's budget,
+        // capped at one round trip; shed early if that cannot fit.
+        let hop = budget.child(&self.clock, self.remote_latency);
+        if !hop.admits(&self.clock, self.remote_latency) {
+            return Err(ClientError::DeadlineExceeded);
+        }
+        self.get(key)
+    }
+
+    /// Reads a key at a priority [`Tier`], starting a deadline budget
+    /// from the tier's SLO ([`tier_slo`](Self::tier_slo)).
+    ///
+    /// # Errors
+    ///
+    /// As for [`get_within`](Self::get_within).
+    pub fn get_tiered(&mut self, key: &str, tier: Tier) -> Result<ClientRead, ClientError> {
+        let budget = TimeoutBudget::starting_now(&self.clock, self.tier_slo(tier));
+        self.get_within(key, budget)
     }
 
     /// Writes raw bytes (queued while offline). The local cache is
@@ -383,5 +460,69 @@ mod tests {
         assert_eq!(read.served, Served::Absent);
         assert!(read.value.is_none());
         assert_eq!(client.get_encrypted("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn deadline_too_tight_for_remote_sheds_without_round_trip() {
+        let (mut client, remote, clock) = setup();
+        remote.lock().insert("k".into(), b"v".to_vec());
+        let before = clock.now();
+        // Budget smaller than one server round trip and the cache is
+        // cold: the client must fail fast, not pay 50 ms for a late
+        // answer.
+        let budget = TimeoutBudget::starting_now(&clock, SimDuration::from_millis(1));
+        assert_eq!(
+            client.get_within("k", budget).unwrap_err(),
+            ClientError::DeadlineExceeded
+        );
+        assert_eq!(clock.now(), before, "no latency charged for a shed read");
+        // A warm cache serves the same tight budget fine.
+        client.put("k", b"v".to_vec());
+        assert_eq!(
+            client
+                .get_within("k", TimeoutBudget::starting_now(&clock, SimDuration::from_millis(1)))
+                .unwrap()
+                .served,
+            Served::ClientCache
+        );
+    }
+
+    #[test]
+    fn budget_decrements_across_hops_not_per_call() {
+        let (mut client, remote, clock) = setup();
+        remote.lock().insert("a".into(), b"1".to_vec());
+        remote.lock().insert("b".into(), b"2".to_vec());
+        // 80 ms covers one 50 ms round trip, not two: the second cold
+        // read must be shed because the budget carried over, rather than
+        // being re-minted per call.
+        let budget = TimeoutBudget::starting_now(&clock, SimDuration::from_millis(80));
+        assert!(client.get_within("a", budget).is_ok());
+        assert_eq!(
+            client.get_within("b", budget).unwrap_err(),
+            ClientError::DeadlineExceeded
+        );
+    }
+
+    #[test]
+    fn tiered_reads_start_from_tier_slos() {
+        let (mut client, remote, _) = setup();
+        remote.lock().insert("k".into(), b"v".to_vec());
+        assert!(client.tier_slo(Tier::Clinical) < client.tier_slo(Tier::Batch));
+        // Clinical SLO tighter than a round trip: cold read shed.
+        client.set_tier_slo(Tier::Clinical, SimDuration::from_millis(10));
+        assert_eq!(
+            client.get_tiered("k", Tier::Clinical).unwrap_err(),
+            ClientError::DeadlineExceeded
+        );
+        // Batch has time for the origin.
+        assert_eq!(
+            client.get_tiered("k", Tier::Batch).unwrap().served,
+            Served::Remote
+        );
+        // …and now clinical is served from the warmed cache.
+        assert_eq!(
+            client.get_tiered("k", Tier::Clinical).unwrap().served,
+            Served::ClientCache
+        );
     }
 }

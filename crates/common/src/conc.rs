@@ -30,6 +30,7 @@ use std::sync::Barrier;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::clock::{SimDuration, SimInstant};
 use crate::rng::seeded_stream;
 
 /// RNG stream label space reserved for concurrency drivers; thread `t`
@@ -73,12 +74,147 @@ impl ZipfStream {
 }
 
 /// Draws a Zipf(≈1) key over `n` keys from any RNG.
+///
+/// Exact rejection sampler: acceptance probability is `H(n)/n`, so the
+/// expected RNG draws per key grow as `n / ln n`. Fine for the few
+/// thousand keys the cache experiments use; for population-scale
+/// keyspaces use [`zipf_key_fast`].
 pub fn zipf_key<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
     loop {
         let k = rng.gen_range(1..=n);
         if rng.gen_bool(1.0 / k as f64) {
             return k - 1;
         }
+    }
+}
+
+/// Draws an approximately Zipf(1) key over `n` keys in O(1).
+///
+/// Octave sampler: a 1/k distribution puts equal mass (`ln 2`) in every
+/// doubling interval `[2^o, 2^{o+1})`, so picking an octave uniformly
+/// and then a key uniformly inside it yields a stepwise-1/k law using
+/// only integer arithmetic — two RNG draws per key, bit-reproducible on
+/// any host, and no libm (`powf`) whose last-ulp behaviour varies. The
+/// partial top octave `[2^⌊log2 n⌋, n]` is unreachable (a vanishing
+/// fraction of the mass); keyspaces that are powers of two waste
+/// nothing.
+pub fn zipf_key_fast<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
+    let n = n.max(2);
+    // ⌊log2 n⌋ full octaves over 1-based keys 1..2^octaves.
+    let octaves = usize::BITS - 1 - n.leading_zeros();
+    let o = rng.gen_range(0..octaves);
+    let lo = 1usize << o;
+    let hi = (lo << 1).min(n + 1);
+    rng.gen_range(lo..hi) - 1
+}
+
+/// A deterministic population-scale load curve: a base user population
+/// modulated by a diurnal wave plus scripted flash-crowd windows.
+///
+/// The diurnal term is a *triangle* wave rather than a sinusoid so the
+/// curve is exact integer-friendly arithmetic (bit-reproducible across
+/// hosts, unlike `f64::sin` which may differ in the last ulp between
+/// libm implementations): concurrency peaks `amplitude` above base at
+/// mid-day and dips `amplitude` below at night. Flash crowds multiply
+/// the diurnal value inside `[start, end)` — the "everyone checks their
+/// results the morning a study publishes" scenario E19 stresses.
+///
+/// # Examples
+///
+/// ```
+/// use hc_common::clock::{SimDuration, SimInstant};
+/// use hc_common::conc::LoadCurve;
+///
+/// let day = SimDuration::from_secs(240);
+/// let curve = LoadCurve::new(1_000_000.0)
+///     .with_diurnal(0.4, day)
+///     .with_flash_crowd(
+///         SimInstant::from_nanos(day.as_nanos() / 2),
+///         SimInstant::from_nanos(day.as_nanos() / 2 + 10_000_000_000),
+///         10.0,
+///     );
+/// assert!(curve.users_at(SimInstant::ZERO) < 1_000_000.0); // night dip
+/// ```
+#[derive(Clone, Debug)]
+pub struct LoadCurve {
+    base_users: f64,
+    diurnal_amplitude: f64,
+    day: SimDuration,
+    flash: Vec<(SimInstant, SimInstant, f64)>,
+}
+
+impl LoadCurve {
+    /// A flat curve of `base_users` simulated concurrent users.
+    pub fn new(base_users: f64) -> Self {
+        LoadCurve {
+            base_users: base_users.max(0.0),
+            diurnal_amplitude: 0.0,
+            day: SimDuration::from_secs(86_400),
+            flash: Vec::new(),
+        }
+    }
+
+    /// Adds a diurnal triangle wave: concurrency swings ±`amplitude`
+    /// (fraction of base, clamped to `[0, 1]`) over one `day`, starting
+    /// at the night minimum at `t = 0` and peaking at mid-day.
+    #[must_use]
+    pub fn with_diurnal(mut self, amplitude: f64, day: SimDuration) -> Self {
+        self.diurnal_amplitude = amplitude.clamp(0.0, 1.0);
+        if day.as_nanos() > 0 {
+            self.day = day;
+        }
+        self
+    }
+
+    /// Multiplies the curve by `multiplier` inside `[start, end)`.
+    /// Overlapping windows compound.
+    #[must_use]
+    pub fn with_flash_crowd(
+        mut self,
+        start: SimInstant,
+        end: SimInstant,
+        multiplier: f64,
+    ) -> Self {
+        self.flash.push((start, end, multiplier.max(0.0)));
+        self
+    }
+
+    /// Concurrent users at instant `t`.
+    pub fn users_at(&self, t: SimInstant) -> f64 {
+        // Triangle wave in [-1, 1]: -1 at t=0 (night), +1 at day/2 (noon).
+        let day_ns = self.day.as_nanos();
+        let phase = (t.as_nanos() % day_ns) as f64 / day_ns as f64;
+        let tri = if phase < 0.5 {
+            4.0 * phase - 1.0
+        } else {
+            3.0 - 4.0 * phase
+        };
+        let mut users = self.base_users * (1.0 + self.diurnal_amplitude * tri);
+        for &(start, end, mult) in &self.flash {
+            if t >= start && t < end {
+                users *= mult;
+            }
+        }
+        users
+    }
+
+    /// The base population.
+    pub fn base_users(&self) -> f64 {
+        self.base_users
+    }
+
+    /// Peak concurrency over the curve's first day, sampled at `samples`
+    /// evenly spaced instants (includes flash windows).
+    pub fn peak_users(&self, samples: usize) -> f64 {
+        let samples = samples.max(2);
+        let mut peak = 0.0f64;
+        for i in 0..samples {
+            let t = SimInstant::from_nanos(
+                (self.day.as_nanos() / samples as u64).saturating_mul(i as u64),
+            );
+            peak = peak.max(self.users_at(t));
+        }
+        peak
     }
 }
 
@@ -255,6 +391,58 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn load_curve_diurnal_and_flash() {
+        let day = SimDuration::from_secs(100);
+        let curve = LoadCurve::new(1000.0)
+            .with_diurnal(0.4, day)
+            .with_flash_crowd(
+                SimInstant::from_nanos(SimDuration::from_secs(50).as_nanos()),
+                SimInstant::from_nanos(SimDuration::from_secs(60).as_nanos()),
+                10.0,
+            );
+        // Night minimum at t=0: base × (1 − 0.4).
+        assert!((curve.users_at(SimInstant::ZERO) - 600.0).abs() < 1e-9);
+        // Noon (t = day/2) inside the flash window: base × 1.4 × 10.
+        let noon = SimInstant::from_nanos(SimDuration::from_secs(50).as_nanos());
+        assert!((curve.users_at(noon) - 14_000.0).abs() < 1e-9);
+        // Just after the window closes: back to the diurnal value.
+        let after = SimInstant::from_nanos(SimDuration::from_secs(60).as_nanos());
+        assert!(curve.users_at(after) < 1400.0 + 1e-9);
+        // The curve is periodic.
+        let next_day = SimInstant::from_nanos(day.as_nanos());
+        assert!((curve.users_at(next_day) - 600.0).abs() < 1e-9);
+        assert!(curve.peak_users(1000) >= 13_900.0);
+    }
+
+    #[test]
+    fn zipf_key_fast_is_skewed_and_deterministic() {
+        const N: usize = 65_536; // 16 octaves
+        let mut rng = crate::rng::seeded(7);
+        let mut below_4096 = 0u32;
+        const DRAWS: u32 = 20_000;
+        for _ in 0..DRAWS {
+            let k = zipf_key_fast(&mut rng, N);
+            assert!(k < N);
+            if k < 4_096 {
+                below_4096 += 1;
+            }
+        }
+        // Octaves 0..12 of 16 land below 4096 ⇒ expect ~75% of draws.
+        let frac = f64::from(below_4096) / f64::from(DRAWS);
+        assert!((0.72..=0.78).contains(&frac), "hot fraction {frac}");
+        // Bit-reproducible for a fixed seed.
+        let a: Vec<usize> = {
+            let mut r = crate::rng::seeded(42);
+            (0..64).map(|_| zipf_key_fast(&mut r, N)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = crate::rng::seeded(42);
+            (0..64).map(|_| zipf_key_fast(&mut r, N)).collect()
+        };
+        assert_eq!(a, b);
+    }
 
     #[test]
     fn zipf_stream_is_deterministic_per_thread() {

@@ -34,4 +34,5 @@
 pub mod compliance;
 pub mod monitoring;
 pub mod platform;
+pub mod serving;
 pub mod studies;

@@ -68,6 +68,7 @@ pub struct CircuitBreaker {
     window_failures: u32,
     probe_successes: u32,
     probes_succeeded: u32,
+    probe_in_flight: bool,
     trips: u64,
     instruments: Option<BreakerInstruments>,
 }
@@ -93,6 +94,7 @@ impl CircuitBreaker {
             window_failures: 0,
             probe_successes: 2,
             probes_succeeded: 0,
+            probe_in_flight: false,
             trips: 0,
             instruments: None,
         }
@@ -166,18 +168,39 @@ impl CircuitBreaker {
         {
             self.set_state(BreakerState::HalfOpen);
             self.probes_succeeded = 0;
+            self.probe_in_flight = false;
         }
         self.state
     }
 
     /// Whether a request may proceed right now.
+    ///
+    /// In [`BreakerState::HalfOpen`] exactly one probe is admitted at a
+    /// time: the first `allow` after the cooldown returns `true` and
+    /// marks a probe in flight; further calls return `false` until the
+    /// probe's outcome is recorded ([`record_success`](Self::record_success)
+    /// / [`record_failure`](Self::record_failure)). Without this, a burst
+    /// of callers arriving together in half-open state would all pass and
+    /// hammer the still-recovering dependency.
     pub fn allow(&mut self) -> bool {
-        self.state() != BreakerState::Open
+        match self.state() {
+            BreakerState::Open => false,
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
     }
 
     /// Records a successful call.
     pub fn record_success(&mut self) {
         self.consecutive_failures = 0;
+        self.probe_in_flight = false;
         self.observe(false);
         if self.state() == BreakerState::HalfOpen {
             self.probes_succeeded += 1;
@@ -193,6 +216,7 @@ impl CircuitBreaker {
     /// Records a failed call.
     pub fn record_failure(&mut self) {
         self.consecutive_failures += 1;
+        self.probe_in_flight = false;
         self.observe(true);
         match self.state() {
             BreakerState::HalfOpen => self.trip(),
@@ -329,6 +353,42 @@ mod tests {
         b.record_failure();
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        // Regression: a burst of callers arriving together while the
+        // breaker is half-open must not all pass — only the first is
+        // admitted as the probe; the rest are rejected until the probe's
+        // outcome is recorded.
+        let clock = SimClock::new();
+        let mut b = breaker(&clock);
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        clock.advance(SimDuration::from_millis(100));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(), "first caller is the probe");
+        for _ in 0..5 {
+            assert!(!b.allow(), "burst peers must be rejected mid-probe");
+        }
+        // Probe succeeds: the next caller becomes the second probe.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow());
+        assert!(!b.allow());
+        // Probe failure re-opens, and the next half-open round again
+        // admits exactly one.
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        clock.advance(SimDuration::from_millis(100));
+        assert!(b.allow());
+        assert!(!b.allow());
+        b.record_success();
+        b.allow();
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow() && b.allow(), "closed state admits everyone");
     }
 
     #[test]

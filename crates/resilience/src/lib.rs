@@ -12,13 +12,20 @@
 //! * [`retry::RetryPolicy`] — exponential backoff with deterministic,
 //!   seeded jitter, an attempt budget, and a total-delay budget.
 //! * [`timeout::TimeoutBudget`] — a [`SimClock`](hc_common::SimClock)
-//!   deadline handed down through a call chain.
+//!   deadline handed down through a call chain ([`TimeoutBudget::child`]
+//!   derives the downstream hop's budget from the remaining time).
 //! * [`breaker::CircuitBreaker`] — closed / open / half-open state
-//!   machine tripped by consecutive failures or windowed failure rate.
+//!   machine tripped by consecutive failures or windowed failure rate;
+//!   half-open admits exactly one probe at a time.
 //! * [`dlq::DeadLetterQueue`] — a typed parking lot for poison inputs,
 //!   with replay support for post-recovery drains.
 //! * [`health`] — the `Healthy → Degraded → Unavailable` platform
 //!   health state machine fed by per-subsystem status.
+//! * [`admission::AdmissionController`] — token-bucket admission control
+//!   with per-tier priority reserves, the front door of the serving path.
+//! * [`shed::LoadShedder`] / [`shed::DegradedMode`] — queue-delay load
+//!   shedding with hysteresis, and sustained-shed-rate degraded-mode
+//!   tracking (both flap-proof by construction: thresholds + dwell).
 //!
 //! Everything runs on the simulated clock and seeded RNG from
 //! [`hc_common`], so resilience behavior under a scripted fault schedule
@@ -27,14 +34,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod breaker;
 pub mod dlq;
 pub mod health;
 pub mod retry;
+pub mod shed;
 pub mod timeout;
 
+pub use admission::{Admission, AdmissionController, Tier};
 pub use breaker::{BreakerError, BreakerState, CircuitBreaker};
 pub use dlq::{DeadLetter, DeadLetterQueue, ReplayReport};
 pub use health::{DegradationTracker, HealthState, SubsystemStatus};
 pub use retry::{RetryError, RetryPolicy};
+pub use shed::{DegradedConfig, DegradedMode, LoadShedder, ShedConfig, ShedReason};
 pub use timeout::TimeoutBudget;

@@ -1,10 +1,21 @@
 //! Deadline budgets on the simulated clock.
+//!
+//! A budget is an *absolute* deadline: every hop of a call chain that
+//! receives the same `TimeoutBudget` sees the remaining time shrink as
+//! the shared clock advances, so the budget decrements across hops by
+//! construction. The bug this design prevents is each hop creating a
+//! *fresh* per-call budget — a chain of three 50 ms hops then enjoys
+//! 150 ms while the caller believes it bounded the request at 50 ms. Use
+//! [`TimeoutBudget::child`] when a downstream hop should get the
+//! remaining time *capped* at its own limit (client → cache → origin in
+//! the serving path), and [`TimeoutBudget::admits`] to shed a request
+//! early once its SLO can no longer be met.
 
 use hc_common::clock::{SimClock, SimDuration, SimInstant};
 
 /// A deadline established when an operation starts, consulted at each
 /// step of a call chain. Cheap to copy and pass down.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TimeoutBudget {
     deadline: SimInstant,
 }
@@ -14,6 +25,18 @@ impl TimeoutBudget {
     pub fn starting_now(clock: &SimClock, limit: SimDuration) -> Self {
         TimeoutBudget {
             deadline: clock.now().saturating_add(limit),
+        }
+    }
+
+    /// The budget a downstream hop inherits: the remaining time, capped
+    /// at the hop's own `limit`. The child deadline is never later than
+    /// the parent's, so a chain of hops cannot spend more than the
+    /// original budget no matter how many per-hop caps it layers.
+    #[must_use]
+    pub fn child(&self, clock: &SimClock, limit: SimDuration) -> TimeoutBudget {
+        let capped = clock.now().saturating_add(limit);
+        TimeoutBudget {
+            deadline: self.deadline.min(capped),
         }
     }
 
@@ -46,6 +69,31 @@ impl TimeoutBudget {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn child_inherits_remaining_budget_across_hops() {
+        // client (100 µs total) → cache hop (cap 80 µs) → origin hop
+        // (cap 200 µs): the origin's cap must not resurrect time the
+        // upstream chain already spent.
+        let clock = SimClock::new();
+        let root = TimeoutBudget::starting_now(&clock, SimDuration::from_micros(100));
+        let cache_hop = root.child(&clock, SimDuration::from_micros(80));
+        assert_eq!(
+            cache_hop.remaining(&clock),
+            SimDuration::from_micros(80),
+            "tighter per-hop cap wins"
+        );
+        clock.advance(SimDuration::from_micros(70));
+        let origin_hop = cache_hop.child(&clock, SimDuration::from_micros(200));
+        assert_eq!(
+            origin_hop.remaining(&clock),
+            SimDuration::from_micros(10),
+            "downstream inherits the remaining budget, not a fresh one"
+        );
+        assert!(origin_hop.deadline() <= root.deadline());
+        clock.advance(SimDuration::from_micros(10));
+        assert!(origin_hop.expired(&clock));
+    }
 
     #[test]
     fn expires_after_limit() {

@@ -1,0 +1,195 @@
+//! Seeded soak of the degraded-mode hysteresis: sustained shedding
+//! enters degraded mode exactly once, sustained calm exits exactly once,
+//! the in-band region holds state, and jittery traffic shorter than the
+//! hysteresis windows never flaps. Property tests then sweep window
+//! counts and shed rates.
+//!
+//! The soak is seeded (override with `HC_SOAK_SEED`); CI's
+//! `overload-tests` job runs it `--release` under two seeds.
+
+use hc_common::clock::{SimClock, SimDuration};
+use hc_common::rng::seeded_stream;
+use hc_resilience::admission::Tier;
+use hc_resilience::shed::{DegradedConfig, DegradedMode, LoadShedder, ShedConfig};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn soak_seed() -> u64 {
+    std::env::var("HC_SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD16E)
+}
+
+fn controller(clock: &SimClock) -> DegradedMode {
+    DegradedMode::new(clock.clone(), DegradedConfig::default())
+}
+
+/// Feeds one full window of requests at the given shed rate, with the
+/// shed requests spread evenly, then rolls the clock past the window.
+fn window(clock: &SimClock, mode: &mut DegradedMode, requests: u64, shed_rate: f64) {
+    let shed_every = if shed_rate <= 0.0 {
+        u64::MAX
+    } else {
+        (1.0 / shed_rate).max(1.0) as u64
+    };
+    for i in 0..requests {
+        mode.on_request(i % shed_every == 0);
+    }
+    clock.advance(DegradedConfig::default().window);
+    mode.roll_window();
+}
+
+#[test]
+fn sustained_overload_enters_once_and_calm_exits_once() {
+    for round in 0..8u64 {
+        let seed = soak_seed().wrapping_add(round);
+        let mut rng = seeded_stream(seed, 0xD16E);
+        let clock = SimClock::new();
+        let mut mode = controller(&clock);
+        let cfg = DegradedConfig::default();
+
+        // Calm: rates strictly below the exit threshold.
+        for _ in 0..10 {
+            window(&clock, &mut mode, 1_000, rng.gen_range(0.0..cfg.exit_below));
+        }
+        assert!(!mode.is_degraded());
+        assert_eq!(mode.transitions(), 0, "calm traffic must not transition");
+
+        // Hot: rates at/above the enter threshold. One transition.
+        for _ in 0..10 {
+            window(&clock, &mut mode, 1_000, rng.gen_range(cfg.enter_above..0.9));
+        }
+        assert!(mode.is_degraded());
+        assert_eq!(mode.transitions(), 1, "a sustained burst enters exactly once");
+
+        // In the hysteresis band: state must hold, no transitions.
+        for _ in 0..10 {
+            let rate = rng.gen_range(cfg.exit_below * 1.5..cfg.enter_above * 0.9);
+            window(&clock, &mut mode, 1_000, rate);
+        }
+        assert!(mode.is_degraded(), "the band holds the degraded state");
+        assert_eq!(mode.transitions(), 1);
+
+        // Calm again: one clean exit.
+        for _ in 0..10 {
+            window(&clock, &mut mode, 1_000, rng.gen_range(0.0..cfg.exit_below));
+        }
+        assert!(!mode.is_degraded());
+        assert_eq!(mode.transitions(), 2, "recovery exits exactly once (seed {seed})");
+    }
+}
+
+#[test]
+fn jittery_bursts_shorter_than_hysteresis_never_flap() {
+    // Alternating hot/calm runs each shorter than enter_windows /
+    // exit_windows: neither streak can complete, so the controller must
+    // stay put for the whole soak.
+    let seed = soak_seed();
+    let mut rng = seeded_stream(seed, 0xF1A9);
+    let clock = SimClock::new();
+    let mut mode = controller(&clock);
+    let cfg = DegradedConfig::default();
+    for burst in 0..200u32 {
+        let hot = burst % 2 == 0;
+        let run = if hot {
+            rng.gen_range(1..cfg.enter_windows) // streak can never complete
+        } else {
+            rng.gen_range(1..cfg.exit_windows)
+        };
+        for _ in 0..run {
+            let rate = if hot {
+                rng.gen_range(cfg.enter_above..0.8)
+            } else {
+                rng.gen_range(0.0..cfg.exit_below)
+            };
+            window(&clock, &mut mode, 500, rate);
+        }
+    }
+    assert_eq!(
+        mode.transitions(),
+        0,
+        "bursts shorter than the hysteresis must never flap (seed {seed})"
+    );
+}
+
+#[test]
+fn shedder_dwell_bounds_flapping_under_noisy_delay() {
+    // An adversarial queue-delay signal that crosses the enter/exit
+    // thresholds every observation: without the dwell the shedder would
+    // flip thousands of times; with it, transitions are bounded by
+    // elapsed-time / min_dwell.
+    let seed = soak_seed();
+    let mut rng = seeded_stream(seed, 0x5EDD);
+    let clock = SimClock::new();
+    let cfg = ShedConfig {
+        ewma_alpha: 1.0, // undamped so the raw signal hits the thresholds
+        ..ShedConfig::default()
+    };
+    let min_dwell = cfg.min_dwell;
+    let mut shedder = LoadShedder::new(clock.clone(), cfg);
+    let total = SimDuration::from_secs(10);
+    let step = SimDuration::from_millis(1);
+    let steps = total.as_nanos() / step.as_nanos();
+    for i in 0..steps {
+        let noisy = if i % 2 == 0 {
+            SimDuration::from_millis(rng.gen_range(60..200)) // above enter
+        } else {
+            SimDuration::from_millis(rng.gen_range(0..15)) // below exit
+        };
+        shedder.observe(noisy);
+        let _ = shedder.should_shed(Tier::Batch);
+        clock.advance(step);
+    }
+    let ceiling = total.as_nanos() / min_dwell.as_nanos() + 1;
+    assert!(
+        shedder.transitions() <= ceiling,
+        "dwell must bound flapping: {} transitions > ceiling {ceiling} (seed {seed})",
+        shedder.transitions()
+    );
+    assert!(
+        shedder.transitions() >= 2,
+        "the adversarial signal should force at least one enter/exit cycle"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn enter_needs_the_full_streak(
+        hot_windows in 0u32..10,
+        rate_milli in 100u64..900, // 10%..90%, always >= enter_above
+    ) {
+        let clock = SimClock::new();
+        let mut mode = controller(&clock);
+        let cfg = DegradedConfig::default();
+        for _ in 0..hot_windows {
+            window(&clock, &mut mode, 500, rate_milli as f64 / 1_000.0);
+        }
+        prop_assert_eq!(
+            mode.is_degraded(),
+            hot_windows >= cfg.enter_windows,
+            "degraded iff the hot streak reaches enter_windows"
+        );
+    }
+
+    #[test]
+    fn exit_needs_the_full_calm_streak(calm_windows in 0u32..12) {
+        let clock = SimClock::new();
+        let mut mode = controller(&clock);
+        let cfg = DegradedConfig::default();
+        for _ in 0..cfg.enter_windows {
+            window(&clock, &mut mode, 500, 0.5);
+        }
+        prop_assert!(mode.is_degraded());
+        for _ in 0..calm_windows {
+            window(&clock, &mut mode, 500, 0.0);
+        }
+        prop_assert_eq!(
+            !mode.is_degraded(),
+            calm_windows >= cfg.exit_windows,
+            "healthy iff the calm streak reaches exit_windows"
+        );
+    }
+}

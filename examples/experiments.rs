@@ -1097,6 +1097,215 @@ fn e18() {
     println!("sharded cache sustains {speedup_at_8:.1}x the global-lock throughput at 8 threads");
 }
 
+/// E19 — overload-safe serving: a closed-loop million-user day with a
+/// 10x flash crowd, run unprotected / admission-only / fully protected,
+/// with hard SLO assertions on the protected run.
+fn e19() {
+    use hc_common::clock::SimInstant;
+    use hc_common::conc::LoadCurve;
+    use hc_core::serving::{
+        run_overload, OverloadReport, Protection, ServingConfig, ServingStack, WorkloadConfig,
+    };
+    use hc_resilience::admission::Tier;
+
+    header("E19", "overload-safe serving: admission + shedding under a 10x flash crowd");
+
+    // Debug builds run the same shape at 1/16 of the population and
+    // capacity (and half the simulated day) so the example stays quick;
+    // the recorded table is the release run.
+    let debug = cfg!(debug_assertions);
+    let users: f64 = if debug { 62_500.0 } else { 1_000_000.0 };
+    let cores: u32 = if debug { 1 } else { 16 };
+    let admission_rate: f64 = if debug { 2_000.0 } else { 28_000.0 };
+    // Release runs a flatter diurnal (higher overnight floor) and a
+    // slightly costlier origin round trip: both deepen the cold-start
+    // miss storm that the warmup assertions measure, without pushing the
+    // admitted flash load past serving capacity.
+    let diurnal_amplitude = if debug { 0.25 } else { 0.10 };
+    let miss_cost = if debug {
+        SimDuration::from_millis(2)
+    } else {
+        SimDuration::from_micros(2_200)
+    };
+    // The keyspace sets how long a cold cache stays cold: the miss storm
+    // lasts until the hot octaves are fetched, and that takes time
+    // proportional to keyspace / offered rate (hence the debug keyspace
+    // shrinks with the population, or the cache would never warm).
+    let cache_capacity = if debug { 16_384 } else { 131_072 };
+    let keyspace = if debug { 65_536 } else { 1_048_576 };
+    // Window lengths in simulated seconds: cold start, steady diurnal,
+    // 10x flash crowd, recovery.
+    let (warm, steady, flash, recover) = if debug { (10, 30, 15, 20) } else { (10, 50, 30, 60) };
+    let day = warm + steady + flash + recover;
+    let at = |secs: u64| SimInstant::from_nanos(SimDuration::from_secs(secs).as_nanos());
+    let flash_start = warm + steady;
+    let flash_end = flash_start + flash;
+
+    let clinical_slo = SimDuration::from_millis(250);
+    // The origin drains fetches slower than the front can miss when the
+    // cache is cold: 12k fetch/s (release) against ~15.7k cold misses/s,
+    // so the cold-start herd backs the origin up and miss cost inflates
+    // until the fills land.
+    let (origin_cores, origin_fetch_cost) = if debug {
+        (1, SimDuration::from_micros(1_333))
+    } else {
+        (12, SimDuration::from_millis(1))
+    };
+    let cfg = |protection| ServingConfig {
+        cores,
+        hit_cost: SimDuration::from_micros(50),
+        miss_cost,
+        origin_fetch_cost,
+        origin_cores,
+        cache_capacity,
+        cache_shards: if debug { 16 } else { 64 },
+        admission_rate,
+        admission_burst: admission_rate / 20.0,
+        tier_slos: [
+            clinical_slo,
+            SimDuration::from_millis(1_000),
+            SimDuration::from_millis(10_000),
+        ],
+        provenance_sample: 4_096,
+        degraded_provenance_sample: 65_536,
+        provenance_batch: 64,
+        protection,
+        ..ServingConfig::default()
+    };
+    let workload = WorkloadConfig {
+        curve: LoadCurve::new(users)
+            .with_diurnal(diurnal_amplitude, SimDuration::from_secs(day))
+            .with_flash_crowd(at(flash_start), at(flash_end), 10.0),
+        req_per_user_per_sec: 0.02,
+        tier_mix: [0.10, 0.60, 0.30],
+        keyspace,
+        duration: SimDuration::from_secs(day),
+        tick: SimDuration::from_millis(1),
+        seed: 19,
+        windows: vec![
+            ("warmup".to_owned(), at(0), at(warm)),
+            ("steady".to_owned(), at(warm), at(flash_start)),
+            ("flash".to_owned(), at(flash_start), at(flash_end)),
+            ("recovery".to_owned(), at(flash_end), at(day)),
+        ],
+    };
+
+    println!(
+        "closed loop: {:.2}M users base (peak {:.1}M with 10x flash), 0.02 req/user/s, \
+         tiers 10/60/30, Zipf {keyspace} keys, cache {cache_capacity}",
+        users / 1e6,
+        workload.curve.peak_users(4096) / 1e6,
+    );
+    println!(
+        "capacity: {cores} core(s), hit 50us, miss {}us+origin queue ({origin_cores} origin \
+         core(s) x {}us/fetch), admission {admission_rate:.0} req/s; \
+         windows warmup 0-{warm}s, steady, flash(10x) {flash_start}-{flash_end}s, recovery -{day}s",
+        miss_cost.as_nanos() / 1_000,
+        origin_fetch_cost.as_nanos() / 1_000
+    );
+    println!();
+    println!(
+        "{:<11} {:<9} {:>10} {:>10} {:>7} {:>14} {:>12} {:>5}",
+        "protection", "window", "offered/s", "goodput/s", "shed%", "clin p999(ms)", "int p999(ms)", "deg"
+    );
+
+    let mut reports: Vec<OverloadReport> = Vec::new();
+    for protection in [Protection::None, Protection::AdmissionOnly, Protection::Full] {
+        let report = run_overload(
+            ServingStack::new(SimClock::new(), cfg(protection)),
+            &workload,
+        );
+        for window in &report.windows {
+            let clin = &window.tiers[Tier::Clinical.index()];
+            let inter = &window.tiers[Tier::Interactive.index()];
+            println!(
+                "{:<11} {:<9} {:>10.0} {:>10.0} {:>6.1}% {:>14.1} {:>12.1} {:>5}",
+                protection.label(),
+                window.label,
+                window.offered() as f64 / window.span_secs,
+                window.goodput_rps(),
+                window.shed_rate() * 100.0,
+                clin.p999_us as f64 / 1e3,
+                inter.p999_us as f64 / 1e3,
+                report.degraded_transitions,
+            );
+        }
+        reports.push(report);
+    }
+    let (base, admission_only, full) = (&reports[0], &reports[1], &reports[2]);
+
+    // Hard SLO assertions (the experiment fails loudly if overload
+    // protection regresses).
+    let slo_ms = clinical_slo.as_nanos() / 1_000_000;
+    let full_flash = full.window("flash").unwrap();
+    let base_flash = base.window("flash").unwrap();
+    let full_clin = &full_flash.tiers[Tier::Clinical.index()];
+    let base_clin = &base_flash.tiers[Tier::Clinical.index()];
+    let goodput_floor = 0.9 * admission_rate;
+
+    assert!(
+        full_clin.p999_us <= slo_ms * 1_000,
+        "protected flash clinical p999 {}us must be within the {slo_ms}ms SLO",
+        full_clin.p999_us
+    );
+    assert!(
+        full_flash.goodput_rps() >= goodput_floor,
+        "protected flash goodput {:.0}/s must be >=90% of the {admission_rate:.0}/s admitted capacity",
+        full_flash.goodput_rps()
+    );
+    assert!(
+        base_clin.p999_us > slo_ms * 1_000,
+        "unprotected flash clinical p999 {}us should violate the SLO",
+        base_clin.p999_us
+    );
+    assert!(
+        base_flash.goodput_rps() < 0.5 * full_flash.goodput_rps(),
+        "unprotected goodput should collapse under the flash crowd"
+    );
+    // The shedder (not admission) is what saves the cold-start miss
+    // storm: with admission alone the warmup queue blows the SLO.
+    let ao_warm = &admission_only.window("warmup").unwrap().tiers[Tier::Clinical.index()];
+    let full_warm = &full.window("warmup").unwrap().tiers[Tier::Clinical.index()];
+    assert!(
+        ao_warm.p999_us > slo_ms * 1_000 && full_warm.p999_us <= slo_ms * 1_000,
+        "warmup miss storm: admission-only p999 {}us vs full {}us (SLO {slo_ms}ms)",
+        ao_warm.p999_us,
+        full_warm.p999_us
+    );
+    // Tiered shedding starves batch before clinical.
+    let full_all = &full.overall;
+    assert!(
+        full_all.tiers[Tier::Batch.index()].shed_rate()
+            > full_all.tiers[Tier::Clinical.index()].shed_rate(),
+        "batch must shed at a higher rate than clinical"
+    );
+    // Degraded mode enters under the sustained shed and exits after —
+    // an even number of clean transitions, none left dangling.
+    assert!(
+        full.degraded_transitions >= 2
+            && full.degraded_transitions % 2 == 0
+            && full.degraded_transitions <= 6
+            && !full.degraded_at_end,
+        "degraded mode must enter and exit cleanly (got {} transitions, degraded_at_end={})",
+        full.degraded_transitions,
+        full.degraded_at_end
+    );
+    println!();
+    println!(
+        "SLO: protected flash clinical p999 {:.1}ms <= {slo_ms}ms, goodput {:.0}/s >= {:.0}/s, \
+         baseline p999 {:.1}ms violates; degraded transitions {} (clean): PASS",
+        full_clin.p999_us as f64 / 1e3,
+        full_flash.goodput_rps(),
+        goodput_floor,
+        base_clin.p999_us as f64 / 1e3,
+        full.degraded_transitions
+    );
+    println!(
+        "provenance: {} sampled access events, ledger height {}; cache hit ratio {:.3}",
+        full.provenance_recorded, full.ledger_height, full.cache_hit_ratio
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -1154,5 +1363,8 @@ fn main() {
     }
     if want("e18") {
         e18();
+    }
+    if want("e19") {
+        e19();
     }
 }

@@ -1,0 +1,193 @@
+//! Reduced-scale E19 SLO assertions: the overload-protected serving
+//! stack must keep clinical latency inside its SLO through a 10x flash
+//! crowd while an unprotected stack demonstrably violates it.
+//!
+//! This is the tier-1 mirror of the full E19 experiment
+//! (`cargo run --release --example experiments -- e19`): the same
+//! closed loop at a population small enough for debug builds. The
+//! workload is seeded (override with `HC_SOAK_SEED`); CI's
+//! `overload-tests` job runs it `--release` with two seeds.
+
+use hc_common::clock::{SimClock, SimDuration, SimInstant};
+use hc_common::conc::LoadCurve;
+use hc_core::serving::{
+    run_overload, OverloadReport, Protection, ServingConfig, ServingStack, WorkloadConfig,
+};
+use hc_resilience::admission::Tier;
+use hc_resilience::HealthState;
+
+fn seed() -> u64 {
+    std::env::var("HC_SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE19)
+}
+
+const CLINICAL_SLO: SimDuration = SimDuration::from_millis(250);
+const ADMISSION_RATE: f64 = 2_000.0;
+
+fn config(protection: Protection) -> ServingConfig {
+    ServingConfig {
+        cores: 1,
+        hit_cost: SimDuration::from_micros(50),
+        miss_cost: SimDuration::from_millis(2),
+        origin_fetch_cost: SimDuration::from_micros(1_333),
+        origin_cores: 1,
+        cache_capacity: 16_384,
+        cache_shards: 16,
+        admission_rate: ADMISSION_RATE,
+        admission_burst: ADMISSION_RATE / 20.0,
+        tier_slos: [
+            CLINICAL_SLO,
+            SimDuration::from_millis(1_000),
+            SimDuration::from_millis(10_000),
+        ],
+        provenance_sample: 4_096,
+        degraded_provenance_sample: 65_536,
+        provenance_batch: 64,
+        protection,
+        ..ServingConfig::default()
+    }
+}
+
+/// Same shape as E19 at 1/16 scale: cold start, steady diurnal, 10x
+/// flash crowd, recovery.
+fn workload() -> WorkloadConfig {
+    let at = |secs: u64| SimInstant::from_nanos(SimDuration::from_secs(secs).as_nanos());
+    let day = 75;
+    WorkloadConfig {
+        curve: LoadCurve::new(62_500.0)
+            .with_diurnal(0.25, SimDuration::from_secs(day))
+            .with_flash_crowd(at(40), at(55), 10.0),
+        req_per_user_per_sec: 0.02,
+        tier_mix: [0.10, 0.60, 0.30],
+        keyspace: 65_536,
+        duration: SimDuration::from_secs(day),
+        tick: SimDuration::from_millis(1),
+        seed: seed(),
+        windows: vec![
+            ("warmup".to_owned(), at(0), at(10)),
+            ("steady".to_owned(), at(10), at(40)),
+            ("flash".to_owned(), at(40), at(55)),
+            ("recovery".to_owned(), at(55), at(day)),
+        ],
+    }
+}
+
+fn run(protection: Protection) -> OverloadReport {
+    run_overload(ServingStack::new(SimClock::new(), config(protection)), &workload())
+}
+
+#[test]
+fn protected_flash_crowd_meets_clinical_slo() {
+    let report = run(Protection::Full);
+    let flash = report.window("flash").unwrap();
+    let clinical = &flash.tiers[Tier::Clinical.index()];
+    assert!(
+        u128::from(clinical.p999_us) * 1_000 <= CLINICAL_SLO.as_nanos() as u128,
+        "protected flash clinical p999 {}us exceeds the SLO",
+        clinical.p999_us
+    );
+    assert!(
+        flash.goodput_rps() >= 0.9 * ADMISSION_RATE,
+        "protected flash goodput {:.0}/s below 90% of the {ADMISSION_RATE}/s admitted capacity",
+        flash.goodput_rps()
+    );
+    // Priorities: batch starves before clinical.
+    assert!(
+        report.overall.tiers[Tier::Batch.index()].shed_rate()
+            > report.overall.tiers[Tier::Clinical.index()].shed_rate()
+    );
+}
+
+#[test]
+fn unprotected_flash_crowd_violates_slo() {
+    let report = run(Protection::None);
+    let flash = report.window("flash").unwrap();
+    let clinical = &flash.tiers[Tier::Clinical.index()];
+    assert!(
+        u128::from(clinical.p999_us) * 1_000 > CLINICAL_SLO.as_nanos() as u128,
+        "without protection the flash crowd should blow the clinical SLO \
+         (p999 {}us)",
+        clinical.p999_us
+    );
+    assert_eq!(report.overall.shed_rate(), 0.0, "baseline sheds nothing");
+}
+
+#[test]
+fn shedder_rescues_the_cold_start_miss_storm_admission_cannot() {
+    let admission_only = run(Protection::AdmissionOnly);
+    let full = run(Protection::Full);
+    let ao = &admission_only.window("warmup").unwrap().tiers[Tier::Clinical.index()];
+    let fp = &full.window("warmup").unwrap().tiers[Tier::Clinical.index()];
+    let slo_us = CLINICAL_SLO.as_nanos() / 1_000;
+    assert!(
+        ao.p999_us > slo_us,
+        "admission alone should not contain the cold-cache miss storm \
+         (warmup p999 {}us)",
+        ao.p999_us
+    );
+    assert!(
+        fp.p999_us <= slo_us,
+        "the load shedder must contain the miss storm (warmup p999 {}us)",
+        fp.p999_us
+    );
+}
+
+#[test]
+fn degraded_mode_enters_and_exits_cleanly() {
+    let report = run(Protection::Full);
+    assert!(
+        report.degraded_transitions >= 2,
+        "sustained shedding must enter degraded mode at least once"
+    );
+    assert_eq!(
+        report.degraded_transitions % 2,
+        0,
+        "every degraded entry must be matched by an exit"
+    );
+    assert!(
+        report.degraded_transitions <= 6,
+        "hysteresis must prevent flapping (saw {} transitions)",
+        report.degraded_transitions
+    );
+    assert!(!report.degraded_at_end, "the run must end healthy");
+}
+
+#[test]
+fn health_tracker_reflects_degraded_serving() {
+    // Drive the stack directly through an overload burst and watch the
+    // platform health fold the serving subsystem in and out.
+    let clock = SimClock::new();
+    let mut stack = ServingStack::new(clock.clone(), config(Protection::Full));
+    assert_eq!(stack.health(), HealthState::Healthy);
+    // Saturate: far more offered than the 1-core stack can admit.
+    for step in 0..200_000u64 {
+        let _ = stack.request(Tier::Interactive, step % 16_384);
+        if step % 20 == 0 {
+            clock.advance(SimDuration::from_millis(1));
+            stack.drain(SimDuration::from_millis(1));
+        }
+    }
+    assert!(stack.is_degraded());
+    assert_eq!(
+        stack.health(),
+        HealthState::Degraded(vec!["serving".to_owned()])
+    );
+    // Silence: windows roll over with no shed traffic and health recovers.
+    for _ in 0..20 {
+        clock.advance(SimDuration::from_secs(1));
+        stack.drain(SimDuration::from_secs(1));
+    }
+    assert!(!stack.is_degraded());
+    assert_eq!(stack.health(), HealthState::Healthy);
+}
+
+#[test]
+fn report_is_deterministic_for_a_seed() {
+    let a = run(Protection::Full);
+    let b = run(Protection::Full);
+    assert_eq!(format!("{:?}", a.overall), format!("{:?}", b.overall));
+    assert_eq!(a.degraded_transitions, b.degraded_transitions);
+    assert_eq!(a.ledger_height, b.ledger_height);
+}
