@@ -1,4 +1,4 @@
-//! Shared workload generators for the E1–E12 criterion benches.
+//! Shared workload generators for the E1–E20 criterion benches.
 //!
 //! Each bench target regenerates the wall-clock side of one experiment
 //! from EXPERIMENTS.md; the simulated-latency side (the model) is printed

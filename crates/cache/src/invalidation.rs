@@ -12,9 +12,10 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use crate::policy::CachePolicy;
@@ -26,9 +27,12 @@ pub struct VersionedOrigin<K, V> {
     bus: InvalidationBus<K>,
 }
 
+type SubscriberList<K> = Mutex<Vec<(u64, Sender<K>)>>;
+
 /// The invalidation bus: fan-out of written keys to subscribers.
 pub struct InvalidationBus<K> {
-    subscribers: Mutex<Vec<Sender<K>>>,
+    subscribers: Arc<SubscriberList<K>>,
+    next_id: AtomicU64,
 }
 
 impl<K> std::fmt::Debug for InvalidationBus<K> {
@@ -39,33 +43,79 @@ impl<K> std::fmt::Debug for InvalidationBus<K> {
     }
 }
 
+/// A live subscription to an [`InvalidationBus`].
+///
+/// Holds the receiving end of the invalidation channel plus a weak
+/// back-reference to the bus's subscriber list: dropping a
+/// `Subscription` removes its sender slot *immediately*, rather than
+/// waiting for the next publish to notice the dead receiver. Without
+/// this, a crashed fleet node that never publishes again would leak
+/// its subscriber slot forever.
+pub struct Subscription<K> {
+    rx: crossbeam::channel::Receiver<K>,
+    id: u64,
+    list: Weak<SubscriberList<K>>,
+}
+
+impl<K> std::fmt::Debug for Subscription<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription").field("id", &self.id).finish()
+    }
+}
+
+impl<K> Subscription<K> {
+    /// Receives the next pending invalidation, if any.
+    pub fn try_recv(&self) -> Result<K, TryRecvError> {
+        self.rx.try_recv()
+    }
+}
+
+impl<K> Drop for Subscription<K> {
+    fn drop(&mut self) {
+        // The bus may already be gone (Weak fails to upgrade) — fine:
+        // its subscriber list died with it.
+        if let Some(list) = self.list.upgrade() {
+            list.lock().retain(|(id, _)| *id != self.id);
+        }
+    }
+}
+
 impl<K: Clone> InvalidationBus<K> {
     pub(crate) fn new() -> Self {
         InvalidationBus {
-            subscribers: Mutex::new(Vec::new()),
+            subscribers: Arc::new(Mutex::new(Vec::new())),
+            next_id: AtomicU64::new(0),
         }
     }
 
-    pub(crate) fn subscribe(&self) -> Receiver<K> {
+    pub(crate) fn subscribe(&self) -> Subscription<K> {
         // Invalidation keys are tiny and drained on every cache access;
         // a bounded channel would deadlock the single-threaded simulation
         // when a burst of invalidations outruns the reader.
         // hc-lint: allow(sync-unbounded-channel)
         let (tx, rx) = unbounded();
-        self.subscribers.lock().push(tx);
-        rx
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subscribers.lock().push((id, tx));
+        Subscription {
+            rx,
+            id,
+            list: Arc::downgrade(&self.subscribers),
+        }
     }
 
-    /// Publishes `key`, pruning subscribers whose receiver was dropped:
-    /// a disconnected send removes the sender immediately, so a dead
-    /// client costs at most one failed send, not one per publish.
+    /// Publishes `key`. Slots are normally reclaimed by
+    /// [`Subscription`]'s `Drop`; the disconnected-send check here is a
+    /// backstop for receivers dropped without their guard (e.g. a
+    /// `mem::forget`-style leak), so a dead client can still cost at
+    /// most one failed send.
     pub(crate) fn publish(&self, key: &K) {
         self.subscribers
             .lock()
-            .retain(|tx| tx.send(key.clone()).is_ok());
+            .retain(|(_, tx)| tx.send(key.clone()).is_ok());
     }
 
-    /// Live subscriber count (after any pruning done by publishes).
+    /// Live subscriber count. Dropped subscriptions prune themselves,
+    /// so this reflects drops immediately — no publish required.
     pub(crate) fn subscriber_count(&self) -> usize {
         self.subscribers.lock().len()
     }
@@ -101,9 +151,8 @@ impl<K: Clone + Eq + Hash, V: Clone> VersionedOrigin<K, V> {
         self.entries.lock().get(key).map(|(_, v)| *v).unwrap_or(0)
     }
 
-    /// Number of live subscribers on the bus. Dropped clients are
-    /// pruned by the first publish that notices their dead receiver, so
-    /// this also observes that publishes stop paying for them.
+    /// Number of live subscribers on the bus. Dropped clients prune
+    /// their slot on drop, so this reflects them immediately.
     pub fn subscriber_count(&self) -> usize {
         self.bus.subscriber_count()
     }
@@ -122,7 +171,7 @@ impl<K: Clone + Eq + Hash, V: Clone> Default for VersionedOrigin<K, V> {
 pub struct ConsistentClient<K, V, C> {
     origin: Arc<VersionedOrigin<K, V>>,
     cache: C,
-    inbox: Receiver<K>,
+    inbox: Subscription<K>,
     stale_reads: u64,
     _value: std::marker::PhantomData<V>,
 }
@@ -284,7 +333,7 @@ mod tests {
     }
 
     #[test]
-    fn dropped_subscriber_stops_costing_publishes() {
+    fn dropped_subscriber_frees_slot_without_a_publish() {
         let origin: Arc<VersionedOrigin<String, u64>> = VersionedOrigin::new();
         let keep = client(&origin);
         {
@@ -292,16 +341,25 @@ mod tests {
             let _b = client(&origin);
             assert_eq!(origin.subscriber_count(), 3);
         }
-        // The two dropped receivers are still registered until a publish
-        // notices them…
-        assert_eq!(origin.subscriber_count(), 3);
-        origin.write("k".into(), 1);
-        // …after which every later publish pays only for live clients.
+        // Regression: pruning used to happen only inside publish, so a
+        // subscriber that crashed and never saw another write leaked its
+        // slot forever. Drop now reclaims it eagerly.
         assert_eq!(origin.subscriber_count(), 1);
-        origin.write("k".into(), 2);
+        origin.write("k".into(), 1);
         assert_eq!(origin.subscriber_count(), 1);
         drop(keep);
-        origin.write("k".into(), 3);
         assert_eq!(origin.subscriber_count(), 0);
+        // Publishing into an empty bus is a no-op, not an error.
+        origin.write("k".into(), 2);
+        assert_eq!(origin.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn subscription_outliving_bus_drops_cleanly() {
+        let bus: InvalidationBus<u64> = InvalidationBus::new();
+        let sub = bus.subscribe();
+        drop(bus);
+        // The Weak back-reference fails to upgrade; Drop must not panic.
+        drop(sub);
     }
 }

@@ -24,6 +24,12 @@
 //!   invalidation protocol ([`shard::ShardedOrigin`] /
 //!   [`shard::ShardedClient`]) preserving the consistency semantics
 //!   above while letting reader threads proceed in parallel.
+//! * [`fleet`] — the multi-node serving path: a consistent-hash ring
+//!   of cache nodes placed across simulated regions
+//!   ([`fleet::CacheFleet`]), with R-way replication, read-repair, and
+//!   write-invalidation fan-out riding the calibrated network model;
+//!   node failure is absorbed by per-node circuit breakers and
+//!   deadline budgets from `hc-resilience`.
 //!
 //! # Examples
 //!
@@ -39,7 +45,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
+pub mod fleet;
 pub mod invalidation;
 pub mod multilevel;
 pub mod policy;

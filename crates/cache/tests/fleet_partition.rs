@@ -1,0 +1,145 @@
+//! Partition soak: a region drops off the network mid-write, the fleet
+//! keeps serving from the reachable replicas, and after the heal
+//! read-repair plus the parked invalidation backlog converge every
+//! replica. Seeded (override with `HC_SOAK_SEED`); CI's `fleet-tests`
+//! job runs it with two rotated seeds.
+
+use hc_cache::fleet::{CacheFleet, FleetConfig};
+use hc_cloudsim::net::{Location, NetworkModel};
+use hc_common::clock::{SimClock, SimDuration};
+use hc_resilience::timeout::TimeoutBudget;
+
+fn seed() -> u64 {
+    std::env::var("HC_SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE20)
+}
+
+const KEYS: u64 = 512;
+const PARTITIONED_REGION: usize = 2;
+
+fn budget(clock: &SimClock) -> TimeoutBudget {
+    TimeoutBudget::starting_now(clock, SimDuration::from_secs(1))
+}
+
+/// Writes land while region 2 is unreachable; its replicas go stale.
+/// After the heal, parked invalidations flush and repair reads rewrite
+/// every stale copy — no replica is left behind.
+#[test]
+fn read_repair_converges_all_replicas_after_heal() {
+    let clock = SimClock::new();
+    let cfg = FleetConfig {
+        seed: seed(),
+        ..FleetConfig::default()
+    };
+    let network = cfg.network;
+    let breaker_cooldown = cfg.breaker_cooldown;
+    let mut fleet: CacheFleet<u64, u64> = CacheFleet::with_topology(cfg, clock.clone(), 3, 2);
+    let writer = Location::new(0, 0);
+    let reader = Location::new(1, 0);
+
+    // Baseline: every replica of every key at version 1.
+    for k in 0..KEYS {
+        fleet.fill(&k, &k, 1, writer);
+    }
+    for k in 0..KEYS {
+        assert!(fleet.replica_versions(&k).iter().all(|&(_, v)| v == 1));
+    }
+
+    // Region 2 drops off the network. Keys 0 mod 3 are overwritten at
+    // version 2, keys 1 mod 3 are invalidated, keys 2 mod 3 untouched.
+    // Reads during the outage must still hit (R=3 spans three regions,
+    // so at least one replica stays reachable) while the unreachable
+    // probes trip breakers.
+    fleet.partition_region(PARTITIONED_REGION);
+    let tick = SimDuration::from_millis(10);
+    for k in 0..KEYS {
+        match k % 3 {
+            0 => fleet.fill(&k, &(k + 1_000), 2, writer),
+            1 => fleet.write_invalidate(&k, writer),
+            _ => {}
+        }
+        if k % 16 == 0 {
+            let read = fleet.read(&k, reader, &budget(&clock));
+            assert!(read.is_hit() || k % 3 == 1, "key {k} lost during partition");
+            clock.advance(tick);
+            fleet.tick(clock.now());
+        }
+    }
+    assert!(fleet.parked_deliveries() > 0, "cross-partition invalidations must park");
+    assert!(fleet.stats().probe_failures > 0, "unreachable probes must be observed");
+
+    // Heal, let the parked backlog land and breakers cool down, then
+    // read every key twice (first read may be the breaker's half-open
+    // probe) to trigger read-repair on the divergent replicas.
+    fleet.heal_region(PARTITIONED_REGION);
+    clock.advance(network.inter_latency.saturating_mul(2).saturating_add(breaker_cooldown));
+    fleet.tick(clock.now());
+    assert_eq!(fleet.parked_deliveries(), 0, "heal must flush the parking lot");
+    for _pass in 0..2 {
+        for k in 0..KEYS {
+            let _ = fleet.read(&k, reader, &budget(&clock));
+        }
+        clock.advance(tick);
+        fleet.tick(clock.now());
+    }
+
+    for k in 0..KEYS {
+        let versions = fleet.replica_versions(&k);
+        let want = match k % 3 {
+            0 => 2, // overwritten during the outage
+            1 => 0, // invalidated: parked delivery lands post-heal
+            _ => 1, // untouched
+        };
+        assert!(
+            versions.iter().all(|&(_, v)| v == want),
+            "key {k}: replicas {versions:?} did not converge to version {want}"
+        );
+    }
+    assert!(fleet.stats().read_repairs > 0, "stale region-2 copies must be repaired");
+}
+
+/// A crashed node comes back empty; repair reads rebuild its copies
+/// from the surviving replicas.
+#[test]
+fn restored_node_is_rebuilt_by_read_repair() {
+    let clock = SimClock::new();
+    let cfg = FleetConfig {
+        seed: seed().wrapping_add(1),
+        network: NetworkModel::default(),
+        ..FleetConfig::default()
+    };
+    let cooldown = cfg.breaker_cooldown;
+    let mut fleet: CacheFleet<u64, u64> = CacheFleet::with_topology(cfg, clock.clone(), 3, 2);
+    let writer = Location::new(0, 0);
+    for k in 0..KEYS {
+        fleet.fill(&k, &k, 1, writer);
+    }
+
+    fleet.crash_node(0);
+    // Reads during the crash trip node 0's breaker.
+    for k in 0..64 {
+        let _ = fleet.read(&k, writer, &budget(&clock));
+        clock.advance(SimDuration::from_millis(10));
+        fleet.tick(clock.now());
+    }
+    fleet.restore_node(0);
+    clock.advance(cooldown.saturating_add(SimDuration::from_millis(10)));
+    fleet.tick(clock.now());
+
+    for _pass in 0..2 {
+        for k in 0..KEYS {
+            let _ = fleet.read(&k, writer, &budget(&clock));
+        }
+        clock.advance(SimDuration::from_millis(10));
+        fleet.tick(clock.now());
+    }
+    for k in 0..KEYS {
+        assert!(
+            fleet.replica_versions(&k).iter().all(|&(_, v)| v == 1),
+            "key {k}: restored node still missing its copy"
+        );
+    }
+    assert!(fleet.stats().read_repairs > 0);
+}

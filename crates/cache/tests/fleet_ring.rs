@@ -1,0 +1,105 @@
+//! Seeded property tests for the consistent-hash ring: assignment is
+//! deterministic (and join-order invariant), balanced (max/min node
+//! load ratio ≤ 1.25 at 256 vnodes), and membership changes move only
+//! the affected arcs.
+
+use hc_cache::fleet::HashRing;
+use proptest::prelude::*;
+
+fn keys(n: u64) -> Vec<u64> {
+    (0..n).collect()
+}
+
+fn build(seed: u64, vnodes: usize, nodes: &[usize]) -> HashRing {
+    let mut ring = HashRing::new(seed, vnodes);
+    for &n in nodes {
+        ring.add_node(n);
+    }
+    ring
+}
+
+fn ratio(ring: &HashRing, sample: &[u64]) -> f64 {
+    let counts = ring.load_counts(sample);
+    let min = counts.iter().map(|&(_, c)| c).min().unwrap_or(0);
+    let max = counts.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    max as f64 / min.max(1) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The same `(seed, vnodes, membership)` always yields the same
+    /// replica sets — regardless of the order nodes joined in.
+    #[test]
+    fn assignment_is_deterministic_and_join_order_invariant(
+        seed in any::<u64>(),
+        nodes in 2usize..=12,
+    ) {
+        let forward: Vec<usize> = (0..nodes).collect();
+        let reverse: Vec<usize> = (0..nodes).rev().collect();
+        let a = build(seed, 64, &forward);
+        let b = build(seed, 64, &forward);
+        let c = build(seed, 64, &reverse);
+        for k in 0..512u64 {
+            let set = a.replicas(&k, 3);
+            prop_assert_eq!(&set, &b.replicas(&k, 3), "same history must agree");
+            prop_assert_eq!(&set, &c.replicas(&k, 3), "join order must not matter");
+            prop_assert_eq!(set.len(), 3.min(nodes));
+            let mut distinct = set.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), 3.min(nodes), "replicas must be distinct");
+        }
+    }
+
+    /// At 256 vnodes the heaviest node carries at most 1.25x the
+    /// lightest, for any seed and any fleet size up to 12.
+    #[test]
+    fn ring_is_balanced_at_256_vnodes(
+        seed in any::<u64>(),
+        nodes in 2usize..=12,
+    ) {
+        let members: Vec<usize> = (0..nodes).collect();
+        let ring = build(seed, 256, &members);
+        let sample = keys(65_536);
+        let r = ratio(&ring, &sample);
+        prop_assert!(r <= 1.25, "max/min load ratio {r:.3} > 1.25 ({nodes} nodes, seed {seed})");
+    }
+
+    /// A leave re-homes only the leaver's keys; every key the leaver did
+    /// not own keeps its primary.
+    #[test]
+    fn leave_moves_only_the_lost_arcs(
+        seed in any::<u64>(),
+        nodes in 3usize..=12,
+    ) {
+        let members: Vec<usize> = (0..nodes).collect();
+        let before = build(seed, 64, &members);
+        let mut after = before.clone();
+        let leaver = nodes / 2;
+        after.remove_node(leaver);
+        for k in 0..2_048u64 {
+            if before.primary(&k) != Some(leaver) {
+                prop_assert_eq!(before.primary(&k), after.primary(&k));
+            } else {
+                prop_assert_ne!(after.primary(&k), Some(leaver));
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "calibration sweep, run by hand with --nocapture"]
+fn calibrate_balance() {
+    let sample = keys(65_536);
+    for nodes in [4usize, 6, 8, 12] {
+        for vnodes in [128usize, 256] {
+            let mut worst: f64 = 0.0;
+            for seed in 0..64u64 {
+                let members: Vec<usize> = (0..nodes).collect();
+                worst = worst.max(ratio(&build(seed, vnodes, &members), &sample));
+            }
+            println!("nodes={nodes} vnodes={vnodes} worst-of-64-seeds={worst:.3}");
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //!   ship-data-vs-ship-compute comparison.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod des;
 pub mod gateway;

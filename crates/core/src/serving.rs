@@ -41,8 +41,10 @@
 //! drives the ledger on a private clock: provenance ordering is
 //! preserved, serving timing is not distorted.
 
+use hc_cache::fleet::{CacheFleet, FleetConfig, FleetRead};
 use hc_cache::shard::ShardedCache;
 use hc_cache::stats::CacheStats;
+use hc_cloudsim::net::{Location, NetworkModel};
 use hc_common::clock::{SimClock, SimDuration, SimInstant};
 use hc_common::conc::{percentile, zipf_key_fast, LoadCurve};
 use hc_common::rng::seeded_stream;
@@ -78,6 +80,55 @@ impl Protection {
             Protection::None => "none",
             Protection::AdmissionOnly => "admission",
             Protection::Full => "full",
+        }
+    }
+}
+
+/// Configuration of the optional distributed cache fleet tier: a
+/// replicated, region-aware [`CacheFleet`] probed between the local
+/// cache and the origin. Local miss → fleet read (paying the replica
+/// round trip on the calibrated network) → origin only when the fleet
+/// misses too. `None` (the default) keeps the PR-6 single-process path
+/// bit-identical.
+#[derive(Clone, Debug)]
+pub struct FleetTierConfig {
+    /// Regions hosting cache nodes.
+    pub regions: usize,
+    /// Cache nodes per region.
+    pub nodes_per_region: usize,
+    /// Replicas per key.
+    pub replication: usize,
+    /// Virtual nodes per member on the ring.
+    pub vnodes: usize,
+    /// Entry capacity of each fleet node.
+    pub node_capacity: usize,
+    /// Lock stripes inside each fleet node (non-zero power of two).
+    pub node_shards: usize,
+    /// Where the serving front door sits on the topology.
+    pub client: Location,
+    /// Latency/bandwidth model for fleet traffic.
+    pub network: NetworkModel,
+    /// Fault schedule: `(node, crash_at, restore_at)` windows applied
+    /// deterministically as the simulated clock passes them.
+    pub crash_windows: Vec<(usize, SimInstant, SimInstant)>,
+    /// Fault schedule: `(region, cut_at, heal_at)` partition windows.
+    pub partition_windows: Vec<(usize, SimInstant, SimInstant)>,
+}
+
+impl Default for FleetTierConfig {
+    fn default() -> Self {
+        FleetTierConfig {
+            regions: 3,
+            nodes_per_region: 2,
+            replication: 3,
+            vnodes: 128,
+            node_capacity: 4096,
+            node_shards: 8,
+            // Region 0, on a host of its own next to the region's nodes.
+            client: Location::new(0, 99),
+            network: NetworkModel::default(),
+            crash_windows: Vec::new(),
+            partition_windows: Vec::new(),
         }
     }
 }
@@ -125,6 +176,9 @@ pub struct ServingConfig {
     pub protection: Protection,
     /// Deterministic seed for shard routing.
     pub seed: u64,
+    /// Optional distributed cache fleet between the local cache and the
+    /// origin. `None` preserves the single-process serving path exactly.
+    pub fleet: Option<FleetTierConfig>,
 }
 
 impl Default for ServingConfig {
@@ -151,6 +205,7 @@ impl Default for ServingConfig {
             provenance_batch: 64,
             protection: Protection::Full,
             seed: 0x5E12_71E5,
+            fleet: None,
         }
     }
 }
@@ -191,6 +246,87 @@ struct SloInstruments {
     origin_delay_us: Gauge,
 }
 
+/// The fleet tier plus its fault schedule's progress flags.
+struct FleetTier {
+    fleet: CacheFleet<u64, u64>,
+    client: Location,
+    crash_windows: Vec<(usize, SimInstant, SimInstant)>,
+    partition_windows: Vec<(usize, SimInstant, SimInstant)>,
+    /// Per crash window: (crash applied, restore applied).
+    crash_state: Vec<(bool, bool)>,
+    /// Per partition window: (cut applied, heal applied).
+    partition_state: Vec<(bool, bool)>,
+}
+
+impl FleetTier {
+    fn new(cfg: &FleetTierConfig, clock: SimClock, seed: u64) -> Self {
+        let fleet_cfg = FleetConfig {
+            replication: cfg.replication,
+            vnodes: cfg.vnodes,
+            node_capacity: cfg.node_capacity,
+            node_shards: cfg.node_shards,
+            seed: hc_common::rng::split(seed, 0xF1EE7),
+            network: cfg.network,
+            ..FleetConfig::default()
+        };
+        let fleet =
+            CacheFleet::with_topology(fleet_cfg, clock, cfg.regions, cfg.nodes_per_region);
+        FleetTier {
+            fleet,
+            client: cfg.client,
+            crash_state: vec![(false, false); cfg.crash_windows.len()],
+            partition_state: vec![(false, false); cfg.partition_windows.len()],
+            crash_windows: cfg.crash_windows.clone(),
+            partition_windows: cfg.partition_windows.clone(),
+        }
+    }
+
+    /// Fires every crash/restore and cut/heal whose scheduled instant
+    /// the clock has passed. Idempotent per window edge.
+    fn apply_schedule(&mut self, now: SimInstant) {
+        for i in 0..self.crash_windows.len() {
+            let (node, start, end) = self.crash_windows[i]; // hc-lint: allow(panic-index)
+            let (crashed, restored) = self.crash_state[i]; // hc-lint: allow(panic-index)
+            if !crashed && now >= start {
+                self.fleet.crash_node(node);
+                self.crash_state[i].0 = true; // hc-lint: allow(panic-index)
+            } else if crashed && !restored && now >= end {
+                self.fleet.restore_node(node);
+                self.crash_state[i].1 = true; // hc-lint: allow(panic-index)
+            }
+        }
+        for i in 0..self.partition_windows.len() {
+            let (region, start, end) = self.partition_windows[i]; // hc-lint: allow(panic-index)
+            let (cut, healed) = self.partition_state[i]; // hc-lint: allow(panic-index)
+            if !cut && now >= start {
+                self.fleet.partition_region(region);
+                self.partition_state[i].0 = true; // hc-lint: allow(panic-index)
+            } else if cut && !healed && now >= end {
+                self.fleet.heal_region(region);
+                self.partition_state[i].1 = true; // hc-lint: allow(panic-index)
+            }
+        }
+    }
+}
+
+/// Fleet-tier outcomes over a closed-loop run, carried by
+/// [`OverloadReport`] when the fleet is configured.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetReportStats {
+    /// Fleet reads served by some replica.
+    pub hits: u64,
+    /// Fleet reads no replica could serve.
+    pub misses: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_ratio: f64,
+    /// Probes that found a node dead or unreachable.
+    pub probe_failures: u64,
+    /// Probes suppressed by an open per-node circuit breaker.
+    pub breaker_skips: u64,
+    /// Stale or missing replica copies rewritten by read-repair.
+    pub read_repairs: u64,
+}
+
 /// The overload-protected serving stack: admission → shedding → deadline
 /// → sharded cache → origin, with degraded-mode tracking and sampled
 /// ledger provenance.
@@ -202,6 +338,7 @@ pub struct ServingStack {
     degraded: DegradedMode,
     tracker: DegradationTracker,
     cache: ShardedCache<u64, u64, hc_cache::policy::LruCache<u64, u64>>,
+    fleet: Option<FleetTier>,
     provenance: Option<ProvenanceNetwork>,
     /// Backlog of admitted-but-unserved work, in nanoseconds of service
     /// time across all cores.
@@ -231,6 +368,10 @@ impl ServingStack {
         let shedder = LoadShedder::new(clock.clone(), cfg.shed);
         let degraded = DegradedMode::new(clock.clone(), cfg.degraded);
         let cache = ShardedCache::lru(cfg.cache_capacity, cfg.cache_shards.max(1), cfg.seed);
+        let fleet = cfg
+            .fleet
+            .as_ref()
+            .map(|fc| FleetTier::new(fc, clock.clone(), cfg.seed));
         let provenance = (cfg.provenance_sample > 0).then(|| {
             let ledger_clock = SimClock::new();
             let cluster = PbftCluster::new(4, SimDuration::from_millis(1), ledger_clock.clone())
@@ -249,6 +390,7 @@ impl ServingStack {
             degraded,
             tracker,
             cache,
+            fleet,
             provenance,
             backlog_ns: 0,
             origin_backlog_ns: 0,
@@ -270,6 +412,9 @@ impl ServingStack {
         self.admission.instrument(registry);
         self.shedder.instrument(registry);
         self.degraded.instrument(registry);
+        if let Some(tier) = self.fleet.as_mut() {
+            tier.fleet.instrument(registry);
+        }
         let inst = SloInstruments {
             offered: registry.counter("slo.offered"),
             served: registry.counter("slo.served"),
@@ -327,13 +472,33 @@ impl ServingStack {
         // Probe the cache before the deadline check: hit vs. miss decides
         // the true service cost (a miss waits out the origin's queue),
         // and a deadline-aware server sheds exactly the requests whose
-        // known cost cannot fit in the remaining budget.
-        let hit = self.cache.get(&key).is_some();
-        let cost = if hit {
+        // known cost cannot fit in the remaining budget. On a local miss
+        // the fleet (when configured) is probed next: a fleet hit pays
+        // the serving replica's round trip; a fleet miss pays the probe
+        // fan-out before falling through to the origin.
+        let local_hit = self.cache.get(&key).is_some();
+        let mut fleet_served = false;
+        let cost = if local_hit {
             self.cfg.hit_cost
+        } else if let Some(tier_state) = self.fleet.as_mut() {
+            match tier_state.fleet.read(&key, tier_state.client, &budget) {
+                FleetRead::Hit { cost: rtt, .. } => {
+                    fleet_served = true;
+                    // The response carried the value, so the local cache
+                    // warms synchronously — no origin fetch to wait on.
+                    self.cache.put(key, 1);
+                    self.cfg.hit_cost.saturating_add(rtt)
+                }
+                FleetRead::Miss { cost: probe } => self
+                    .cfg
+                    .miss_cost
+                    .saturating_add(origin_delay)
+                    .saturating_add(probe),
+            }
         } else {
             self.cfg.miss_cost.saturating_add(origin_delay)
         };
+        let hit = local_hit || fleet_served;
         let latency = queue_delay.saturating_add(cost);
         if self.cfg.protection == Protection::Full {
             // Deadline propagation: the service hop inherits what is
@@ -395,7 +560,16 @@ impl ServingStack {
                 break;
             }
             self.cache.put(key, 1);
+            // An origin fetch warms the fleet too: the fill propagates
+            // to every live replica of the key.
+            if let Some(tier) = self.fleet.as_mut() {
+                tier.fleet.fill(&key, &1, 1, tier.client);
+            }
             self.pending_fills.pop();
+        }
+        if let Some(tier) = self.fleet.as_mut() {
+            tier.apply_schedule(now);
+            tier.fleet.tick(now);
         }
         self.degraded.roll_window();
         self.sync_health();
@@ -482,6 +656,26 @@ impl ServingStack {
     /// Highest origin queue delay observed so far.
     pub fn peak_origin_delay(&self) -> SimDuration {
         self.peak_origin_delay
+    }
+
+    /// Fleet-tier outcomes so far, `None` when no fleet is configured.
+    pub fn fleet_report(&self) -> Option<FleetReportStats> {
+        self.fleet.as_ref().map(|tier| {
+            let s = tier.fleet.stats();
+            let reads = s.hits + s.misses;
+            FleetReportStats {
+                hits: s.hits,
+                misses: s.misses,
+                hit_ratio: if reads > 0 {
+                    s.hits as f64 / reads as f64
+                } else {
+                    0.0
+                },
+                probe_failures: s.probe_failures,
+                breaker_skips: s.breaker_skips,
+                read_repairs: s.read_repairs,
+            }
+        })
     }
 
     /// Provenance events recorded (committed or pending) and record
@@ -632,6 +826,8 @@ pub struct OverloadReport {
     pub ledger_height: u64,
     /// Peak concurrent users offered by the load curve.
     pub peak_users: f64,
+    /// Fleet-tier outcomes, when a fleet was configured.
+    pub fleet: Option<FleetReportStats>,
 }
 
 impl OverloadReport {
@@ -741,6 +937,7 @@ pub fn run_overload(mut stack: ServingStack, workload: &WorkloadConfig) -> Overl
 
     let ledger_height = stack.finish_provenance();
     let (provenance_recorded, _) = stack.provenance_counts();
+    let fleet = stack.fleet_report();
     OverloadReport {
         protection,
         overall: overall.finish("overall".to_owned(), workload.duration),
@@ -759,6 +956,7 @@ pub fn run_overload(mut stack: ServingStack, workload: &WorkloadConfig) -> Overl
         provenance_recorded,
         ledger_height,
         peak_users: workload.curve.peak_users(4096),
+        fleet,
     }
 }
 
@@ -916,6 +1114,60 @@ mod tests {
             report.overall.offered(),
             "windows tile the run"
         );
+    }
+
+    #[test]
+    fn fleet_tier_serves_local_misses_before_origin() {
+        let mut cfg = small_cfg(Protection::Full);
+        cfg.cache_capacity = 64; // tiny local cache → plenty of fleet reads
+        cfg.fleet = Some(FleetTierConfig {
+            node_capacity: 8_192,
+            ..FleetTierConfig::default()
+        });
+        let stack = ServingStack::new(SimClock::new(), cfg);
+        // Re-read-heavy workload: a keyspace small enough that keys the
+        // tiny local cache evicts come around again while the fleet
+        // still holds them.
+        let mut wl = workload(17, 10, 2_000.0);
+        wl.keyspace = 500;
+        let report = run_overload(stack, &wl);
+        let fleet = report.fleet.expect("fleet stats must be reported");
+        assert!(fleet.hits + fleet.misses > 0, "local misses probed the fleet");
+        assert!(
+            fleet.hit_ratio > 0.5,
+            "origin fills warm the fleet, so evicted-then-reread keys hit it: {}",
+            fleet.hit_ratio
+        );
+    }
+
+    #[test]
+    fn fleet_crash_schedule_fires_and_replication_masks_it() {
+        let s = |secs: u64| SimInstant::from_nanos(SimDuration::from_secs(secs).as_nanos());
+        let mut cfg = small_cfg(Protection::Full);
+        cfg.cache_capacity = 64;
+        cfg.fleet = Some(FleetTierConfig {
+            node_capacity: 8_192,
+            crash_windows: vec![(0, s(3), s(7))],
+            ..FleetTierConfig::default()
+        });
+        let stack = ServingStack::new(SimClock::new(), cfg);
+        let mut wl = workload(23, 10, 2_000.0);
+        wl.keyspace = 500;
+        let report = run_overload(stack, &wl);
+        let fleet = report.fleet.expect("fleet stats must be reported");
+        assert!(fleet.probe_failures > 0, "the crashed node was probed");
+        assert!(
+            fleet.hit_ratio > 0.4,
+            "R=3 keeps serving through one crash: {}",
+            fleet.hit_ratio
+        );
+    }
+
+    #[test]
+    fn disabled_fleet_keeps_the_report_shape() {
+        let stack = ServingStack::new(SimClock::new(), small_cfg(Protection::Full));
+        let report = run_overload(stack, &workload(7, 2, 1_000.0));
+        assert!(report.fleet.is_none());
     }
 
     #[test]

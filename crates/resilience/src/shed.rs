@@ -321,7 +321,7 @@ impl DegradedMode {
     }
 
     /// Closes the current window if it has elapsed, updating streaks and
-    /// possibly the degraded flag. Called from [`on_request`], but also
+    /// possibly the degraded flag. Called from [`Self::on_request`], but also
     /// safe to call from a timer tick during silence.
     pub fn roll_window(&mut self) {
         let now = self.clock.now();

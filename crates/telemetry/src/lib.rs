@@ -16,7 +16,7 @@
 //!
 //! Metric names follow `subsystem.component.metric` (see
 //! `OBSERVABILITY.md` at the repository root for the full catalogue and
-//! how experiments E1–E16 map onto it).
+//! how experiments E1–E20 map onto it).
 //!
 //! ```
 //! use hc_telemetry::Registry;

@@ -1306,6 +1306,320 @@ fn e19() {
     );
 }
 
+fn e20() {
+    use hc_cache::fleet::{CacheFleet, FleetConfig, HashRing};
+    use hc_cloudsim::net::Location;
+    use hc_common::clock::SimInstant;
+    use hc_common::conc::LoadCurve;
+    use hc_core::serving::{
+        run_overload, FleetTierConfig, Protection, ServingConfig, ServingStack, WorkloadConfig,
+    };
+    use hc_resilience::admission::Tier;
+
+    header(
+        "E20",
+        "distributed cache fleet: ring balance, failover, and invalidation staleness",
+    );
+
+    // ---- Part A: ring balance and rebalance cost --------------------
+    let nodes = 12usize;
+    let sample: Vec<u64> = (0..65_536).collect();
+    println!("ring: {nodes} nodes, 65536-key sample, seeded placement");
+    println!("{:<8} {:>10} {:>10} {:>9}", "vnodes", "min keys", "max keys", "max/min");
+    let mut ratio_at_256 = f64::NAN;
+    for vnodes in [64usize, 128, 256] {
+        let mut ring = HashRing::new(0xE20, vnodes);
+        for n in 0..nodes {
+            ring.add_node(n);
+        }
+        let counts = ring.load_counts(&sample);
+        let min = counts.iter().map(|&(_, c)| c).min().unwrap_or(0);
+        let max = counts.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        let ratio = max as f64 / min.max(1) as f64;
+        if vnodes == 256 {
+            ratio_at_256 = ratio;
+        }
+        println!("{vnodes:<8} {min:>10} {max:>10} {ratio:>9.3}");
+    }
+    assert!(
+        ratio_at_256 <= 1.25,
+        "at 256 vnodes the max/min node load ratio must be <= 1.25, got {ratio_at_256:.3}"
+    );
+    let mut before = HashRing::new(0xE20, 256);
+    for n in 0..nodes {
+        before.add_node(n);
+    }
+    let mut joined = before.clone();
+    joined.add_node(nodes);
+    let mut left = before.clone();
+    left.remove_node(nodes - 1);
+    let join_moved = before.moved_fraction(&joined, &sample);
+    let leave_moved = before.moved_fraction(&left, &sample);
+    println!(
+        "rebalance: join 12->13 moves {:.1}% of keys (ideal {:.1}%), leave 12->11 moves {:.1}% \
+         (ideal {:.1}%)",
+        join_moved * 100.0,
+        100.0 / (nodes + 1) as f64,
+        leave_moved * 100.0,
+        100.0 / nodes as f64
+    );
+    assert!(
+        join_moved < 1.5 / (nodes + 1) as f64,
+        "consistent hashing: a join must move ~1/(n+1) of keys, moved {join_moved:.3}"
+    );
+    assert!(
+        leave_moved < 1.5 / nodes as f64,
+        "consistent hashing: a leave must move only the lost node's arc, moved {leave_moved:.3}"
+    );
+
+    // ---- Part B: closed loop through node crash and partition -------
+    // Debug builds shrink the population and capacity 8x; the recorded
+    // table is the release run. `cores` models concurrent request slots
+    // (a slot blocked on a replica round trip holds no CPU, so slots
+    // outnumber physical cores the way async executors oversubscribe).
+    let debug = cfg!(debug_assertions);
+    let users: f64 = if debug { 62_500.0 } else { 500_000.0 };
+    let cores: u32 = if debug { 32 } else { 256 };
+    let admission_rate: f64 = if debug { 1_500.0 } else { 12_000.0 };
+    let keyspace = if debug { 8_192 } else { 32_768 };
+    let local_capacity = if debug { 2_048 } else { 8_192 };
+    let node_capacity = if debug { 8_192 } else { 32_768 };
+    let origin_cores = if debug { 4 } else { 32 };
+    let clinical_slo = SimDuration::from_millis(250);
+    let at = |secs: u64| SimInstant::from_nanos(SimDuration::from_secs(secs).as_nanos());
+    // Windows: cold start, steady, fault injected, recovered.
+    let (warm_end, fault_start, fault_end, day) = (10u64, 20u64, 35u64, 45u64);
+
+    let fleet_cfg = |crash: Vec<(usize, SimInstant, SimInstant)>,
+                     partition: Vec<(usize, SimInstant, SimInstant)>| {
+        FleetTierConfig {
+            regions: 3,
+            nodes_per_region: 2,
+            replication: 3,
+            vnodes: 256,
+            node_capacity,
+            node_shards: 8,
+            crash_windows: crash,
+            partition_windows: partition,
+            ..FleetTierConfig::default()
+        }
+    };
+    let cfg = |fleet: FleetTierConfig| ServingConfig {
+        cores,
+        hit_cost: SimDuration::from_micros(50),
+        miss_cost: SimDuration::from_micros(800),
+        origin_fetch_cost: SimDuration::from_millis(1),
+        origin_cores,
+        cache_capacity: local_capacity,
+        cache_shards: if debug { 8 } else { 32 },
+        admission_rate,
+        admission_burst: admission_rate / 20.0,
+        tier_slos: [
+            clinical_slo,
+            SimDuration::from_millis(1_000),
+            SimDuration::from_millis(10_000),
+        ],
+        protection: Protection::Full,
+        fleet: Some(fleet),
+        ..ServingConfig::default()
+    };
+    let workload = WorkloadConfig {
+        curve: LoadCurve::new(users),
+        req_per_user_per_sec: 0.02,
+        tier_mix: [0.10, 0.60, 0.30],
+        keyspace,
+        duration: SimDuration::from_secs(day),
+        tick: SimDuration::from_millis(1),
+        seed: 20,
+        windows: vec![
+            ("warmup".to_owned(), at(0), at(warm_end)),
+            ("steady".to_owned(), at(warm_end), at(fault_start)),
+            ("fault".to_owned(), at(fault_start), at(fault_end)),
+            ("recovered".to_owned(), at(fault_end), at(day)),
+        ],
+    };
+    println!();
+    println!(
+        "closed loop: {:.0}k users, 0.02 req/user/s, Zipf {keyspace} keys; local cache \
+         {local_capacity}, fleet 3 regions x 2 nodes, R=3, node capacity {node_capacity}; \
+         fault window {fault_start}-{fault_end}s of {day}s",
+        users / 1e3
+    );
+    println!(
+        "{:<10} {:<10} {:>10} {:>7} {:>14}",
+        "scenario", "window", "goodput/s", "shed%", "clin p999(ms)"
+    );
+    let scenarios: Vec<(&str, FleetTierConfig)> = vec![
+        ("healthy", fleet_cfg(vec![], vec![])),
+        (
+            "crash",
+            fleet_cfg(vec![(0, at(fault_start), at(fault_end))], vec![]),
+        ),
+        (
+            "partition",
+            fleet_cfg(vec![], vec![(2, at(fault_start), at(fault_end))]),
+        ),
+    ];
+    let mut reports = Vec::new();
+    for (label, fc) in scenarios {
+        let report = run_overload(ServingStack::new(SimClock::new(), cfg(fc)), &workload);
+        let fleet = report.fleet.expect("fleet is configured");
+        for window in &report.windows {
+            let clin = &window.tiers[Tier::Clinical.index()];
+            println!(
+                "{:<10} {:<10} {:>10.0} {:>6.1}% {:>14.1}",
+                label,
+                window.label,
+                window.goodput_rps(),
+                window.shed_rate() * 100.0,
+                clin.p999_us as f64 / 1e3,
+            );
+        }
+        println!(
+            "{:<10} fleet: hit ratio {:.3}, probe failures {}, breaker skips {}, read repairs {}",
+            label, fleet.hit_ratio, fleet.probe_failures, fleet.breaker_skips, fleet.read_repairs
+        );
+        reports.push((label, report));
+    }
+
+    let healthy = &reports[0].1;
+    let crash = &reports[1].1;
+    let partition = &reports[2].1;
+    let healthy_fleet = healthy.fleet.as_ref().unwrap();
+    let crash_fleet = crash.fleet.as_ref().unwrap();
+    let slo_us = clinical_slo.as_nanos() / 1_000;
+
+    // Hard assertions: R=3 masks one crashed node.
+    assert!(
+        crash_fleet.hit_ratio >= 0.9 * healthy_fleet.hit_ratio,
+        "with one node crashed, fleet hit ratio {:.3} must stay >= 90% of the no-failure \
+         run's {:.3}",
+        crash_fleet.hit_ratio,
+        healthy_fleet.hit_ratio
+    );
+    for (label, report) in [("crash", crash), ("partition", partition)] {
+        for window in ["steady", "fault", "recovered"] {
+            let clin = &report.window(window).unwrap().tiers[Tier::Clinical.index()];
+            assert!(
+                clin.p999_us <= slo_us,
+                "{label}/{window}: clinical p999 {}us must stay within the {}ms SLO",
+                clin.p999_us,
+                slo_us / 1_000
+            );
+        }
+    }
+    assert!(
+        crash_fleet.probe_failures > 0 && crash_fleet.breaker_skips > 0,
+        "the crashed node must be probed, then fast-failed by its breaker"
+    );
+    assert!(
+        crash_fleet.read_repairs > healthy_fleet.read_repairs,
+        "the restored node comes back cold; read-repair must rewrite its copies"
+    );
+    println!(
+        "failover: crash-run fleet hit ratio {:.3} >= 0.9x healthy {:.3}; clinical p999 within \
+         {}ms SLO through crash and partition: PASS",
+        crash_fleet.hit_ratio,
+        healthy_fleet.hit_ratio,
+        slo_us / 1_000
+    );
+
+    // ---- Part C: invalidation staleness -----------------------------
+    // Writes publish invalidations that ride the network model to every
+    // replica. The staleness window (write -> last replica invalidated)
+    // must be bounded by one inter-cloud one-way latency plus the tick
+    // budget; through a partition it grows by exactly the outage, never
+    // unboundedly.
+    let clock = SimClock::new();
+    let tick = SimDuration::from_millis(1);
+    let mut fleet: CacheFleet<u64, u64> = CacheFleet::with_topology(
+        FleetConfig {
+            replication: 3,
+            vnodes: 256,
+            node_capacity,
+            seed: 0xE20,
+            ..FleetConfig::default()
+        },
+        clock.clone(),
+        3,
+        2,
+    );
+    let writer = Location::new(0, 0);
+    let writes = if debug { 2_000u64 } else { 10_000 };
+    for k in 0..writes {
+        fleet.fill(&k, &k, 1, writer);
+    }
+    for k in 0..writes {
+        fleet.write_invalidate(&k, writer);
+        clock.advance(tick);
+        fleet.tick(clock.now());
+    }
+    // Drain the tail of the fan-out.
+    clock.advance(fleet_inter_latency());
+    fleet.tick(clock.now());
+    let no_partition_staleness = fleet.stats().max_staleness;
+    let bound = fleet_inter_latency().saturating_mul(2).saturating_add(tick);
+    println!();
+    println!(
+        "invalidation: {writes} writes, max staleness {:.2}ms (bound: inter-cloud RTT \
+         {:.0}ms + {:.0}ms tick)",
+        no_partition_staleness.as_nanos() as f64 / 1e6,
+        fleet_inter_latency().saturating_mul(2).as_nanos() as f64 / 1e6,
+        tick.as_nanos() as f64 / 1e6
+    );
+    assert!(
+        no_partition_staleness <= bound,
+        "staleness {}ns must be bounded by one inter-cloud RTT + tick budget {}ns",
+        no_partition_staleness.as_nanos(),
+        bound.as_nanos()
+    );
+    assert_eq!(fleet.pending_deliveries(), 0, "fan-out fully drained");
+
+    // Partition a region mid-write: parked deliveries land after the
+    // heal, so staleness = outage + one delivery latency, no more.
+    let outage = SimDuration::from_secs(2);
+    fleet.partition_region(2);
+    for k in 0..256u64 {
+        fleet.write_invalidate(&k, writer);
+    }
+    clock.advance(outage);
+    fleet.tick(clock.now());
+    let parked = fleet.parked_deliveries();
+    fleet.heal_region(2);
+    clock.advance(fleet_inter_latency());
+    fleet.tick(clock.now());
+    let partition_staleness = fleet.stats().max_staleness;
+    let partition_bound = outage.saturating_add(bound);
+    println!(
+        "partition: {parked} deliveries parked through a {:.0}s outage; max staleness {:.2}ms \
+         <= outage + RTT + tick {:.2}ms; all replicas converged",
+        outage.as_secs_f64(),
+        partition_staleness.as_nanos() as f64 / 1e6,
+        partition_bound.as_nanos() as f64 / 1e6
+    );
+    assert!(parked > 0, "cross-partition deliveries must park, not drop");
+    assert!(
+        partition_staleness <= partition_bound,
+        "post-heal staleness {}ns must be bounded by outage + RTT + tick {}ns",
+        partition_staleness.as_nanos(),
+        partition_bound.as_nanos()
+    );
+    assert_eq!(fleet.parked_deliveries(), 0, "heal flushes the parking lot");
+    for k in 0..256u64 {
+        assert!(
+            fleet.replica_versions(&k).iter().all(|&(_, v)| v == 0),
+            "every replica of key {k} must be invalidated after the heal"
+        );
+    }
+    println!("staleness bounded, replicas converged after heal: PASS");
+}
+
+/// The calibrated inter-cloud one-way latency (50 ms), shared by E20's
+/// staleness bounds.
+fn fleet_inter_latency() -> SimDuration {
+    hc_cloudsim::net::NetworkModel::default().inter_latency
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -1366,5 +1680,8 @@ fn main() {
     }
     if want("e19") {
         e19();
+    }
+    if want("e20") {
+        e20();
     }
 }
