@@ -120,6 +120,19 @@ impl ConsentRegistry {
     pub fn events(&self) -> &[ConsentEvent] {
         &self.events
     }
+
+    /// Every active grant as `(patient, group, scope)`, sorted for
+    /// deterministic scans — the posture scanner's view of who consented
+    /// to what.
+    pub fn grants(&self) -> Vec<(PatientId, GroupId, ConsentScope)> {
+        let mut all: Vec<(PatientId, GroupId, ConsentScope)> = self
+            .grants
+            .iter()
+            .map(|(&(p, g), &scope)| (p, g, scope))
+            .collect();
+        all.sort_by_key(|&(p, g, _)| (p, g));
+        all
+    }
 }
 
 #[cfg(test)]

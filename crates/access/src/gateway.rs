@@ -48,6 +48,9 @@ pub struct AccessRecord {
     pub user: Option<UserId>,
     /// The API operation name.
     pub operation: String,
+    /// The permission the operation required — the observed-use signal the
+    /// posture scanner compares against granted role permissions.
+    pub permission: Permission,
     /// Whether it was allowed.
     pub allowed: bool,
     /// When.
@@ -130,6 +133,7 @@ impl ApiGateway {
                 self.audit.push(AccessRecord {
                     user: None,
                     operation: operation.to_owned(),
+                    permission: required,
                     allowed: false,
                     at: now,
                 });
@@ -140,6 +144,7 @@ impl ApiGateway {
             self.audit.push(AccessRecord {
                 user: Some(user),
                 operation: operation.to_owned(),
+                permission: required,
                 allowed: false,
                 at: now,
             });
@@ -149,6 +154,7 @@ impl ApiGateway {
             self.audit.push(AccessRecord {
                 user: Some(user),
                 operation: operation.to_owned(),
+                permission: required,
                 allowed: false,
                 at: now,
             });
@@ -157,6 +163,7 @@ impl ApiGateway {
         self.audit.push(AccessRecord {
             user: Some(user),
             operation: operation.to_owned(),
+            permission: required,
             allowed: true,
             at: now,
         });

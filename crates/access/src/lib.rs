@@ -24,6 +24,7 @@
 //!   audited allow/deny.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod consent;
 pub mod gateway;

@@ -79,11 +79,15 @@ impl Role {
         self.permissions.contains(&permission)
     }
 
-    /// Platform administrator: everything.
+    /// Platform administrator: full control of infrastructure and keys,
+    /// but **no plaintext PHI access**. Administering patient-data
+    /// resources (lifecycle, retention, crypto-shredding) does not require
+    /// reading them, and the posture scanner's over-privilege rule
+    /// (`posture-admin-on-phi-path`) treats admin-class principals holding
+    /// PHI read/write as a deployment defect.
     pub fn admin() -> Self {
         let mut permissions = BTreeSet::new();
         for kind in [
-            ResourceKind::PatientData,
             ResourceKind::AnonymizedData,
             ResourceKind::Model,
             ResourceKind::Service,
@@ -95,6 +99,7 @@ impl Role {
                 permissions.insert(Permission::new(kind, action));
             }
         }
+        permissions.insert(Permission::new(ResourceKind::PatientData, Action::Admin));
         Role {
             name: "admin".into(),
             permissions,
@@ -150,10 +155,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn admin_allows_everything() {
+    fn admin_controls_infrastructure_but_not_plaintext_phi() {
         let admin = Role::admin();
         assert!(admin.allows(Permission::new(ResourceKind::Key, Action::Admin)));
-        assert!(admin.allows(Permission::new(ResourceKind::PatientData, Action::Read)));
+        assert!(admin.allows(Permission::new(ResourceKind::Service, Action::Write)));
+        assert!(admin.allows(Permission::new(ResourceKind::PatientData, Action::Admin)));
+        assert!(!admin.allows(Permission::new(ResourceKind::PatientData, Action::Read)));
+        assert!(!admin.allows(Permission::new(ResourceKind::PatientData, Action::Write)));
     }
 
     #[test]

@@ -341,6 +341,31 @@ impl RbacEngine {
     pub fn env_name(&self, env: EnvId) -> Option<&str> {
         self.envs.get(&env).map(|e| e.name.as_str())
     }
+
+    /// A role definition by name.
+    pub fn role(&self, name: &str) -> Option<&Role> {
+        self.roles.get(name)
+    }
+
+    /// Every registered role, sorted by name for deterministic scans.
+    pub fn roles(&self) -> Vec<&Role> {
+        let mut all: Vec<&Role> = self.roles.values().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Every role assignment as `(user, org, env, role names)`, sorted by
+    /// scope for deterministic scans. This is the posture scanner's view of
+    /// who holds what, and where.
+    pub fn assignments(&self) -> Vec<(UserId, OrgId, EnvId, Vec<String>)> {
+        let mut all: Vec<(UserId, OrgId, EnvId, Vec<String>)> = self
+            .assignments
+            .iter()
+            .map(|(&(user, org, env), roles)| (user, org, env, roles.clone()))
+            .collect();
+        all.sort_by_key(|&(u, o, e, _)| (u, o, e));
+        all
+    }
 }
 
 #[cfg(test)]

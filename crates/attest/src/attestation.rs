@@ -38,11 +38,27 @@ impl Verdict {
     }
 }
 
+/// One subject's most recent attestation outcome, as recorded by
+/// [`AttestationService::verify_quote_for`] /
+/// [`AttestationService::verify_chained_quote_for`]. The posture scanner
+/// reads these to tell workloads that were verified from workloads whose
+/// quote chain was never checked.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SubjectVerdict {
+    /// The attested subject (host, VM, or container name).
+    pub subject: String,
+    /// Whether the latest quote verification succeeded.
+    pub trusted: bool,
+    /// Failure reasons from the latest verification (empty when trusted).
+    pub failures: Vec<String>,
+}
+
 /// The attestation service (paper Fig. 1).
 #[derive(Debug, Default)]
 pub struct AttestationService {
     golden: HashMap<String, Digest>,
     trusted_roots: HashSet<MerklePublicKey>,
+    verdicts: HashMap<String, SubjectVerdict>,
     attestations: u64,
     rejections: u64,
 }
@@ -181,6 +197,73 @@ impl AttestationService {
             self.trusted_roots.remove(&quote.signer);
         }
         verdict
+    }
+
+    /// [`Self::verify_quote`] that also records the verdict against a named
+    /// subject, so later posture scans can audit which workloads were
+    /// actually verified.
+    pub fn verify_quote_for(
+        &mut self,
+        subject: &str,
+        quote: &Quote,
+        claimed_stack: &[Component],
+        expected_nonce: &[u8],
+    ) -> Verdict {
+        let verdict = self.verify_quote(quote, claimed_stack, expected_nonce);
+        self.record_verdict(subject, &verdict);
+        verdict
+    }
+
+    /// [`Self::verify_chained_quote`] that also records the verdict against
+    /// a named subject.
+    pub fn verify_chained_quote_for(
+        &mut self,
+        subject: &str,
+        quote: &Quote,
+        chain: &[VtpmCertificate],
+        claimed_stack: &[Component],
+        expected_nonce: &[u8],
+    ) -> Verdict {
+        let verdict = self.verify_chained_quote(quote, chain, claimed_stack, expected_nonce);
+        self.record_verdict(subject, &verdict);
+        verdict
+    }
+
+    fn record_verdict(&mut self, subject: &str, verdict: &Verdict) {
+        self.verdicts.insert(
+            subject.to_owned(),
+            SubjectVerdict {
+                subject: subject.to_owned(),
+                trusted: verdict.trusted,
+                failures: verdict.failures.clone(),
+            },
+        );
+    }
+
+    /// The latest recorded verdict for `subject`, if any quote was ever
+    /// verified against that name.
+    pub fn verdict_for(&self, subject: &str) -> Option<&SubjectVerdict> {
+        self.verdicts.get(subject)
+    }
+
+    /// Every subject's latest verdict, sorted by subject name for
+    /// deterministic scans.
+    pub fn subject_verdicts(&self) -> Vec<&SubjectVerdict> {
+        let mut all: Vec<&SubjectVerdict> = self.verdicts.values().collect();
+        all.sort_by(|a, b| a.subject.cmp(&b.subject));
+        all
+    }
+
+    /// Every registered golden measurement as `(component name, digest)`,
+    /// sorted by name for deterministic scans.
+    pub fn golden_measurements(&self) -> Vec<(String, Digest)> {
+        let mut all: Vec<(String, Digest)> = self
+            .golden
+            .iter()
+            .map(|(name, &digest)| (name.clone(), digest))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
     }
 
     /// `(total attestations, rejections)` so far.

@@ -44,6 +44,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod attestation;
 pub mod change;

@@ -1,0 +1,177 @@
+//! `verify_chained_quote` edge cases: missing golden values, stale
+//! (superseded) measurements, and untrusted signers.
+//!
+//! The posture scanner's attest family leans on these verdicts — a
+//! workload is only as trustworthy as the chain verification that
+//! admitted it — so each failure mode must produce a distinct,
+//! non-trusted verdict rather than silently passing.
+
+use hc_attest::attestation::AttestationService;
+use hc_attest::measure::{measured_boot, Component, Layer};
+use hc_attest::tpm::Tpm;
+use hc_crypto::sha256;
+
+const NONCE: &[u8] = b"chain-test-nonce";
+
+struct Chain {
+    service: AttestationService,
+    quote: hc_attest::tpm::Quote,
+    certs: Vec<hc_attest::tpm::VtpmCertificate>,
+    stack: Vec<Component>,
+}
+
+/// Builds a hardware TPM → vTPM → container TPM chain quoting one
+/// container component, with the hardware key trusted and (optionally)
+/// the component's golden measurement registered.
+fn build_chain(seed: u64, register_golden: bool) -> Chain {
+    let mut rng = hc_common::rng::seeded(seed);
+    let mut service = AttestationService::new();
+
+    let mut hw = Tpm::generate(&mut rng, "hw-root");
+    service.trust_signer(hw.public_key());
+
+    let mut vtpm = hw.spawn_vtpm(&mut rng, "vm-1").expect("hw keys fresh");
+    let mut ctpm = vtpm.spawn_vtpm(&mut rng, "container-1").expect("vm keys fresh");
+
+    let component = Component::new(Layer::Container, "ehr-frontend:v1", b"ehr-layers-v1");
+    if register_golden {
+        service.register_golden(&component);
+    }
+    let stack = vec![component];
+    let quote = measured_boot(&mut ctpm, &stack, NONCE).expect("fresh TPM");
+    let certs = vec![
+        ctpm.certificate().cloned().expect("vTPM has a certificate"),
+        vtpm.certificate().cloned().expect("vTPM has a certificate"),
+    ];
+    Chain {
+        service,
+        quote,
+        certs,
+        stack,
+    }
+}
+
+#[test]
+fn full_chain_with_golden_is_trusted() {
+    let mut chain = build_chain(1, true);
+    let verdict =
+        chain
+            .service
+            .verify_chained_quote_for("vm-1/ehr-frontend:v1", &chain.quote, &chain.certs, &chain.stack, NONCE);
+    assert!(verdict.trusted, "failures: {:?}", verdict.failures);
+    let recorded = chain
+        .service
+        .verdict_for("vm-1/ehr-frontend:v1")
+        .expect("verdict recorded under the subject");
+    assert!(recorded.trusted);
+}
+
+#[test]
+fn missing_golden_value_fails_closed() {
+    let mut chain = build_chain(2, false);
+    let verdict = chain
+        .service
+        .verify_chained_quote(&chain.quote, &chain.certs, &chain.stack, NONCE);
+    assert!(!verdict.trusted);
+    assert!(
+        verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("no golden value")),
+        "failures: {:?}",
+        verdict.failures
+    );
+}
+
+#[test]
+fn superseded_golden_measurement_rejects_old_build() {
+    let mut chain = build_chain(3, true);
+    // Change management approves a new build; the golden value moves on
+    // while the container still runs (and quotes) the old layers.
+    chain
+        .service
+        .update_golden("ehr-frontend:v1", sha256::hash(b"ehr-layers-v2"));
+    let verdict = chain
+        .service
+        .verify_chained_quote(&chain.quote, &chain.certs, &chain.stack, NONCE);
+    assert!(!verdict.trusted);
+    assert!(
+        verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("PCR values diverge")),
+        "failures: {:?}",
+        verdict.failures
+    );
+}
+
+#[test]
+fn untrusted_hardware_root_rejects_the_whole_chain() {
+    let mut chain = build_chain(4, true);
+    // A structurally valid chain signed by hardware nobody vouched for.
+    let mut fresh = AttestationService::new();
+    let component = Component::new(Layer::Container, "ehr-frontend:v1", b"ehr-layers-v1");
+    fresh.register_golden(&component);
+    let verdict = fresh.verify_chained_quote(&chain.quote, &chain.certs, &chain.stack, NONCE);
+    assert!(!verdict.trusted);
+    assert!(
+        verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("trusted root")),
+        "failures: {:?}",
+        verdict.failures
+    );
+    // The original service (which trusts the root) still accepts it.
+    let ok = chain
+        .service
+        .verify_chained_quote(&chain.quote, &chain.certs, &chain.stack, NONCE);
+    assert!(ok.trusted);
+}
+
+#[test]
+fn truncated_chain_does_not_reach_the_root() {
+    let mut chain = build_chain(5, true);
+    // Dropping the vTPM certificate leaves the container cert's parent
+    // (the vTPM key) as the chain head — which is not a trusted root.
+    let truncated: Vec<_> = chain.certs.first().cloned().into_iter().collect();
+    let verdict = chain
+        .service
+        .verify_chained_quote(&chain.quote, &truncated, &chain.stack, NONCE);
+    assert!(!verdict.trusted);
+    assert!(
+        verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("trusted root")),
+        "failures: {:?}",
+        verdict.failures
+    );
+
+    // An empty chain demotes the quote to direct-signer verification,
+    // and a container TPM key is no trusted root either.
+    let verdict = chain
+        .service
+        .verify_chained_quote(&chain.quote, &[], &chain.stack, NONCE);
+    assert!(!verdict.trusted);
+}
+
+#[test]
+fn replayed_nonce_is_rejected_even_with_valid_chain() {
+    let mut chain = build_chain(6, true);
+    let verdict = chain.service.verify_chained_quote(
+        &chain.quote,
+        &chain.certs,
+        &chain.stack,
+        b"different-session-nonce",
+    );
+    assert!(!verdict.trusted);
+    assert!(
+        verdict
+            .failures
+            .iter()
+            .any(|f| f.contains("nonce")),
+        "failures: {:?}",
+        verdict.failures
+    );
+}

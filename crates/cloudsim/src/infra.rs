@@ -284,6 +284,27 @@ impl InfraCloud {
     pub fn vm_count(&self) -> usize {
         self.vms.len()
     }
+
+    /// Every live container, in id order (BTreeMap iteration) — the posture
+    /// scanner's walk over running workloads.
+    pub fn containers(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values()
+    }
+
+    /// Every live VM, in id order.
+    pub fn vms(&self) -> impl Iterator<Item = &Vm> {
+        self.vms.values()
+    }
+
+    /// A VM by id.
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.get(&id)
+    }
+
+    /// A host by id.
+    pub fn host(&self, id: HostId) -> Option<&Host> {
+        self.hosts.iter().find(|h| h.id == id)
+    }
 }
 
 #[cfg(test)]

@@ -439,7 +439,9 @@ impl HealthCloudPlatform {
         attestation.trust_signer(tpm.public_key());
         let nonce = b"platform-boot-nonce";
         let quote = measured_boot(&mut tpm, stack, nonce).expect("fresh TPM has keys");
-        let verdict = attestation.verify_quote(&quote, stack, nonce);
+        // Record the verdict against the host's name so posture scans can
+        // later distinguish verified workloads from never-verified ones.
+        let verdict = attestation.verify_quote_for(host_name, &quote, stack, nonce);
         (tpm, verdict)
     }
 

@@ -235,6 +235,36 @@ impl KeyManagementSystem {
     pub fn audit_log(&self) -> Vec<KmsAuditEvent> {
         self.audit.read().clone()
     }
+
+    /// Snapshot of the live key table (metadata only — wrapped key material
+    /// is never exposed), sorted by key id for deterministic scans. This is
+    /// what the posture scanner audits for over-broad grants and liveness.
+    pub fn key_table(&self) -> Vec<KeyInfo> {
+        let mut table: Vec<KeyInfo> = self
+            .keys
+            .read()
+            .iter()
+            .map(|(&id, entry)| KeyInfo {
+                id,
+                authorized: entry.authorized.clone(),
+                generation: entry.generation,
+            })
+            .collect();
+        table.sort_by_key(|k| k.id);
+        table
+    }
+}
+
+/// Metadata for one live key, as reported by
+/// [`KeyManagementSystem::key_table`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KeyInfo {
+    /// The key id.
+    pub id: KeyId,
+    /// Principals authorized to seal/open under the key.
+    pub authorized: Vec<Principal>,
+    /// Current DEK generation (bumped by rotation).
+    pub generation: u32,
 }
 
 impl std::fmt::Debug for KeyManagementSystem {

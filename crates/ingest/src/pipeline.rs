@@ -1080,6 +1080,11 @@ impl IngestionPipeline {
             Ok(b) => b,
             Err(e) => return self.reject("store", e.to_string()),
         };
+        // Envelope-encryption provenance travels with the stored version:
+        // `enc` names the scheme and `dek` the wrapping KMS key, so the
+        // posture scanner can verify every PHI record is sealed under a
+        // *live* key without touching payload bytes.
+        let dek_tag = record_key.as_u128().to_string();
         let reference = {
             let mut rng = self.rng.lock();
             let mut lake = self.shared.lake.lock();
@@ -1089,6 +1094,8 @@ impl IngestionPipeline {
                 &[
                     ("study", self.shared.study_name.as_str()),
                     ("kind", "bundle"),
+                    ("enc", "envelope-v1"),
+                    ("dek", dek_tag.as_str()),
                 ],
             );
             lake.map_identity(reference, job.credential.patient);

@@ -1,4 +1,4 @@
-//! Baseline ("ratchet") support.
+//! Baseline ("ratchet") support, shared by every ratcheting analyser.
 //!
 //! The workspace predates `hc-lint`, so hundreds of findings exist on day
 //! one. Rather than drowning the signal, a checked-in baseline records the
@@ -6,12 +6,48 @@
 //! findings beyond the baseline; fixing debt and re-running with
 //! `--write-baseline` shrinks the file. The ratchet only goes down: the
 //! baseline is regenerated from current findings, never hand-edited up.
+//!
+//! The machinery is finding-agnostic: anything implementing
+//! [`FingerprintParts`] — source-lint [`Finding`]s here, deployment-posture
+//! findings in `hc-posture` — shares one baseline file format and the same
+//! `--write-baseline`/`--prune-baseline`/`--fail-stale` semantics.
 
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::diag::Finding;
+
+/// The three components of a ratchet fingerprint. Implemented by any
+/// finding type that wants baseline support; fingerprints deliberately
+/// exclude positional detail (line numbers, entity counts) so unrelated
+/// churn does not invalidate accepted debt.
+pub trait FingerprintParts {
+    /// Stable rule id (first fingerprint component).
+    fn rule_id(&self) -> &str;
+    /// Subject path — a repo-relative file for source lints, a
+    /// `deployment://` entity path for posture findings.
+    fn subject(&self) -> &str;
+    /// Normalised content key — the offending source line for source
+    /// lints, a stable violation key for posture findings.
+    fn key(&self) -> &str;
+    /// The full `rule|subject|key` fingerprint.
+    fn fingerprint(&self) -> String {
+        format!("{}|{}|{}", self.rule_id(), self.subject(), self.key())
+    }
+}
+
+impl FingerprintParts for Finding {
+    fn rule_id(&self) -> &str {
+        &self.rule
+    }
+    fn subject(&self) -> &str {
+        &self.file
+    }
+    fn key(&self) -> &str {
+        &self.snippet
+    }
+}
 
 /// Serialized baseline file.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -35,16 +71,23 @@ pub struct BaselineEntry {
     pub count: u32,
 }
 
-/// Outcome of comparing findings to a baseline.
-#[derive(Clone, Debug, Default)]
-pub struct BaselineDiff {
+/// Outcome of comparing findings to a baseline. Generic over the finding
+/// type (defaulting to source-lint [`Finding`]s) so posture scans reuse it.
+#[derive(Clone, Debug)]
+pub struct BaselineDiff<F = Finding> {
     /// Findings not covered by the baseline — these fail the run.
-    pub new_findings: Vec<Finding>,
+    pub new_findings: Vec<F>,
     /// Number of findings absorbed by the baseline.
     pub baselined: usize,
     /// Baseline entries whose counts exceed current findings (debt paid
     /// down; `--write-baseline` will drop them).
     pub stale_entries: usize,
+}
+
+impl<F> Default for BaselineDiff<F> {
+    fn default() -> Self {
+        BaselineDiff { new_findings: Vec::new(), baselined: 0, stale_entries: 0 }
+    }
 }
 
 impl Baseline {
@@ -54,11 +97,11 @@ impl Baseline {
     }
 
     /// Builds a baseline that accepts exactly the given findings.
-    pub fn from_findings(findings: &[Finding]) -> Self {
+    pub fn from_findings<F: FingerprintParts>(findings: &[F]) -> Self {
         let mut counts: BTreeMap<(String, String, String), u32> = BTreeMap::new();
         for f in findings {
             *counts
-                .entry((f.rule.clone(), f.file.clone(), f.snippet.clone()))
+                .entry((f.rule_id().to_string(), f.subject().to_string(), f.key().to_string()))
                 .or_insert(0) += 1;
         }
         Baseline {
@@ -89,11 +132,11 @@ impl Baseline {
     /// budget a regression could hide under. Entries are merged by
     /// fingerprint and re-sorted, so pruning also canonicalises a
     /// hand-edited file.
-    pub fn pruned(&self, findings: &[Finding]) -> Baseline {
+    pub fn pruned<F: FingerprintParts>(&self, findings: &[F]) -> Baseline {
         let mut current: BTreeMap<(String, String, String), u32> = BTreeMap::new();
         for f in findings {
             *current
-                .entry((f.rule.clone(), f.file.clone(), f.snippet.clone()))
+                .entry((f.rule_id().to_string(), f.subject().to_string(), f.key().to_string()))
                 .or_insert(0) += 1;
         }
         let mut kept: BTreeMap<(String, String, String), u32> = BTreeMap::new();
@@ -117,14 +160,14 @@ impl Baseline {
 
     /// Splits `findings` into baselined and new, consuming baseline budget
     /// per fingerprint.
-    pub fn diff(&self, findings: &[Finding]) -> BaselineDiff {
+    pub fn diff<F: FingerprintParts + Clone>(&self, findings: &[F]) -> BaselineDiff<F> {
         let mut budget: BTreeMap<String, u32> = BTreeMap::new();
         for e in &self.entries {
             *budget.entry(format!("{}|{}|{}", e.rule, e.file, e.key)).or_insert(0) += e.count;
         }
         let mut diff = BaselineDiff::default();
         for f in findings {
-            let fp = f.fingerprint();
+            let fp = FingerprintParts::fingerprint(f);
             match budget.get_mut(&fp) {
                 Some(n) if *n > 0 => {
                     *n -= 1;

@@ -53,7 +53,7 @@ pub mod rules;
 pub mod summaries;
 pub mod taint;
 
-pub use baseline::{Baseline, BaselineDiff};
+pub use baseline::{Baseline, BaselineDiff, FingerprintParts};
 pub use config::LintConfig;
 pub use diag::{Finding, Rule, Severity, RULES};
 pub use engine::{analyze_source, analyze_workspace, Report};

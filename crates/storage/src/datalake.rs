@@ -102,6 +102,34 @@ struct RecordEntry {
     tombstoned: bool,
 }
 
+/// Metadata-only audit view of one record, from
+/// [`DataLake::audit_records`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecordAudit {
+    /// The record's reference id.
+    pub reference: ReferenceId,
+    /// Whether the record is tombstoned (phase one of deletion).
+    pub tombstoned: bool,
+    /// The patient this reference maps to, when an identity mapping exists
+    /// (identified PHI rather than de-identified derivatives).
+    pub patient: Option<PatientId>,
+    /// Per-version metadata, oldest first.
+    pub versions: Vec<VersionAudit>,
+}
+
+/// Metadata-only audit view of one stored version.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VersionAudit {
+    /// 1-based version number.
+    pub version: u32,
+    /// The version's metadata tags.
+    pub tags: BTreeMap<String, String>,
+    /// Storage tier.
+    pub tier: Tier,
+    /// Payload length in bytes (bytes themselves are never exposed).
+    pub payload_len: usize,
+}
+
 /// The data lake.
 pub struct DataLake {
     clock: SimClock,
@@ -442,6 +470,34 @@ impl DataLake {
     /// Number of live (non-tombstoned) records.
     pub fn live_count(&self) -> usize {
         self.records.values().filter(|e| !e.tombstoned).count()
+    }
+
+    /// Read-only audit view over every stored record, sorted by reference
+    /// id for deterministic scans. Exposes per-version metadata (tags,
+    /// tier, payload length) but never payload bytes — the posture
+    /// scanner's encryption-at-rest audit runs on this.
+    pub fn audit_records(&self) -> Vec<RecordAudit> {
+        let mut all: Vec<RecordAudit> = self
+            .records
+            .iter()
+            .map(|(&reference, entry)| RecordAudit {
+                reference,
+                tombstoned: entry.tombstoned,
+                patient: self.identity_map.get(&reference).copied(),
+                versions: entry
+                    .versions
+                    .iter()
+                    .map(|v| VersionAudit {
+                        version: v.version,
+                        tags: v.tags.clone(),
+                        tier: v.tier,
+                        payload_len: v.data.len(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        all.sort_by_key(|r| r.reference);
+        all
     }
 
     /// The WAL (for recovery and fault-injection tests).
