@@ -1,0 +1,71 @@
+//! E22 — concurrency checker: sweep cost, planted-defect detection,
+//! and schedule replay.
+//!
+//! The experiment's recorded table comes from the CLI
+//! (`cargo run --release -p hc-mc -- sweep` / `self-check` /
+//! `cross-check`); this bench tracks that the CI `model-check` gate
+//! stays cheap: the full DPOR sweep of the clean registry, finding the
+//! planted lost-update, and replaying the canonical ABBA deadlock
+//! schedule are all measured as driver cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use hc_mc::explore::{explore, replay, Bounds, Strategy};
+use hc_mc::model;
+
+fn bounds() -> Bounds {
+    Bounds {
+        preemptions: 2,
+        max_schedules: 100_000,
+        budget: Duration::from_secs(60),
+    }
+}
+
+fn bench_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e22_mc");
+
+    // The whole CI sweep: every clean model, bounded-exhaustive DPOR.
+    group.bench_function("dpor_sweep_clean_registry", |b| {
+        b.iter(|| {
+            let mut schedules = 0usize;
+            for m in model::registry() {
+                let x = explore(&m, Strategy::Dpor, &bounds(), false);
+                assert!(x.is_clean() && x.exhausted, "{} regressed", m.name);
+                schedules += x.schedules;
+            }
+            black_box(schedules)
+        })
+    });
+
+    // Time-to-first-counter-example for the planted lost-update.
+    let racy = model::find("fixtures.racy-counter").expect("planted fixture registered");
+    group.bench_function("find_planted_lost_update", |b| {
+        b.iter(|| {
+            let x = explore(black_box(&racy), Strategy::Dpor, &bounds(), true);
+            assert!(!x.counter_examples.is_empty());
+            black_box(x.schedules)
+        })
+    });
+
+    // Replaying one emitted schedule: the cost of reproducing a finding.
+    let abba = model::find("fixtures.abba-deadlock").expect("planted fixture registered");
+    let ce = explore(&abba, Strategy::Dpor, &bounds(), true)
+        .counter_examples
+        .into_iter()
+        .next()
+        .expect("ABBA deadlock found");
+    group.bench_function("replay_abba_schedule", |b| {
+        b.iter(|| {
+            let outcome = replay(black_box(&abba), &ce.schedule);
+            assert!(outcome.deadlock);
+            black_box(outcome.schedule.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

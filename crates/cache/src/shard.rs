@@ -361,6 +361,9 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedOrigin<K, V> {
         let version = {
             let mut entries = self.entries[s].lock(); // hc-lint: allow(panic-index)
             let version = entries.get(&key).map(|(_, v)| v + 1).unwrap_or(1);
+            if hc_common::conc::mc::active() {
+                hc_common::conc::mc::write(&format!("cache.origin.shard{s}"));
+            }
             entries.insert(key.clone(), (value, version));
             version
         };
@@ -370,7 +373,12 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedOrigin<K, V> {
 
     /// Reads the current value and version from the key's shard.
     pub fn read(&self, key: &K) -> Option<(V, u64)> {
-        self.entries[self.router.route(key)].lock().get(key).cloned() // hc-lint: allow(panic-index)
+        let s = self.router.route(key);
+        let entries = self.entries[s].lock(); // hc-lint: allow(panic-index)
+        if hc_common::conc::mc::active() {
+            hc_common::conc::mc::read(&format!("cache.origin.shard{s}"));
+        }
+        entries.get(key).cloned()
     }
 
     /// The current version of a key (0 = absent).

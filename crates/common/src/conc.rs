@@ -24,6 +24,8 @@
 //! share: Zipf(≈1) is the canonical skewed read distribution for cache
 //! workloads (hot EMR records dominate reads).
 
+pub mod mc;
+
 use std::collections::BinaryHeap;
 use std::sync::Barrier;
 

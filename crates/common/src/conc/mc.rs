@@ -1,0 +1,119 @@
+//! Concurrency-checker annotations: logical shared-memory accesses,
+//! voluntary scheduling points, and invariant checks.
+//!
+//! Product code marks the handful of *logical* shared locations whose
+//! cross-thread ordering matters (a published version floor, a breaker's
+//! probe slot, a replica's version counter) with [`read`] /
+//! [`write`](fn@write).
+//! Rust's type system already rules out physical data races in this
+//! `#![forbid(unsafe_code)]` workspace; what these annotations expose is
+//! the layer above — *semantic* races where two threads touch the same
+//! logical state without a happens-before edge between them, which is
+//! exactly what the `hc-mc` vector-clock engine detects.
+//!
+//! With the `mc` feature off (the default for every production build)
+//! all functions here compile to empty `#[inline(always)]` bodies: no
+//! branch, no atomic load, nothing to measure. With the feature on they
+//! forward to the probe installed via `parking_lot::mc`, which costs one
+//! relaxed atomic load when no checker is attached.
+
+/// Whether a checker probe is installed. Compiles to `false` without
+/// the `mc` feature, so `if mc::active() { ... }` blocks — used where a
+/// location name must be formatted at runtime — vanish from production
+/// builds.
+#[cfg(feature = "mc")]
+#[inline]
+pub fn active() -> bool {
+    parking_lot::mc::active()
+}
+
+/// Whether a checker probe is installed. Compiles to `false` without
+/// the `mc` feature, so `if mc::active() { ... }` blocks — used where a
+/// location name must be formatted at runtime — vanish from production
+/// builds.
+#[cfg(not(feature = "mc"))]
+#[inline(always)]
+pub fn active() -> bool {
+    false
+}
+
+/// Records a logical read of location `loc`.
+#[inline(always)]
+pub fn read(loc: &str) {
+    access(loc, false);
+}
+
+/// Records a logical write of location `loc`.
+#[inline(always)]
+pub fn write(loc: &str) {
+    access(loc, true);
+}
+
+/// Records a logical access of `loc`; `is_write` selects the mode.
+#[cfg(feature = "mc")]
+#[inline]
+pub fn access(loc: &str, is_write: bool) {
+    parking_lot::mc::emit(parking_lot::mc::ProbeEvent::Access {
+        loc,
+        write: is_write,
+    });
+}
+
+/// Records a logical access of `loc`; `is_write` selects the mode.
+#[cfg(not(feature = "mc"))]
+#[inline(always)]
+pub fn access(loc: &str, is_write: bool) {
+    let _ = (loc, is_write);
+}
+
+/// A voluntary scheduling point: under the controlled scheduler another
+/// thread may be interleaved here; otherwise a no-op.
+#[cfg(feature = "mc")]
+#[inline]
+pub fn yield_point() {
+    parking_lot::mc::emit(parking_lot::mc::ProbeEvent::Yield);
+}
+
+/// A voluntary scheduling point: under the controlled scheduler another
+/// thread may be interleaved here; otherwise a no-op.
+#[cfg(not(feature = "mc"))]
+#[inline(always)]
+pub fn yield_point() {}
+
+/// Reports an invariant violation to the checker when `cond` is false.
+/// Unlike `assert!`, this never panics — the model checker collects the
+/// violation together with the schedule that produced it, and uncontrolled
+/// runs simply ignore it.
+#[inline(always)]
+pub fn check(cond: bool, msg: &str) {
+    if !cond {
+        violation(msg);
+    }
+}
+
+/// Reports an unconditional invariant violation to the checker.
+#[cfg(feature = "mc")]
+#[inline]
+pub fn violation(msg: &str) {
+    parking_lot::mc::emit(parking_lot::mc::ProbeEvent::Violation { msg });
+}
+
+/// Reports an unconditional invariant violation to the checker.
+#[cfg(not(feature = "mc"))]
+#[inline(always)]
+pub fn violation(msg: &str) {
+    let _ = msg;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn annotations_are_callable_in_any_configuration() {
+        super::read("loc.a");
+        super::write("loc.a");
+        super::yield_point();
+        super::check(true, "never fires");
+        // `check(false, ..)` must not panic even when it reports.
+        super::check(false, "reported, not panicked");
+    }
+}

@@ -211,6 +211,143 @@ impl PbftCluster {
     }
 }
 
+/// How many consensus slots the pipeline keeps in flight.
+pub const PIPELINE_SLOTS: usize = 2;
+
+/// Per-slot vote bookkeeping for [`PhasePipeline`].
+#[derive(Debug, Default)]
+struct SlotVotes {
+    prepares: usize,
+    commits: usize,
+    /// The slot has a commit quorum and is waiting for (or has had) its
+    /// in-order turn in the log.
+    ready: bool,
+    committed: bool,
+}
+
+/// A two-slot PBFT phase pipeline: the concurrency precursor for
+/// pipelined consensus (ROADMAP item 1).
+///
+/// [`PbftCluster`] runs one instance at a time; a real PBFT deployment
+/// overlaps instances — slot `s+1` gathers prepare votes while slot `s`
+/// is still collecting commits. The safety obligation that overlap
+/// introduces is *in-order commitment*: slot 1 must never apply before
+/// slot 0, however the votes interleave. This type models exactly that
+/// obligation with real locks so the model checker can drive every
+/// interleaving of two voting replicas: per-slot vote state behind its
+/// own mutex, and a shared commit log that defers ready slots until all
+/// predecessors have committed. Lock nesting is strictly log → slot, so
+/// the pipeline is also a clean specimen for lock-order analysis.
+#[derive(Debug)]
+pub struct PhasePipeline {
+    quorum: usize,
+    slots: [parking_lot::Mutex<SlotVotes>; PIPELINE_SLOTS],
+    log: parking_lot::Mutex<Vec<usize>>,
+}
+
+impl PhasePipeline {
+    /// A pipeline for an `n`-peer cluster (n ≥ 4), committing on the
+    /// PBFT quorum `2f + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConsensusError::TooFewPeers`] for `n < 4`.
+    pub fn new(n: usize) -> Result<Self, ConsensusError> {
+        if n < 4 {
+            return Err(ConsensusError::TooFewPeers(n));
+        }
+        let f = (n - 1) / 3;
+        Ok(PhasePipeline {
+            quorum: 2 * f + 1,
+            slots: [
+                parking_lot::Mutex::new(SlotVotes::default()),
+                parking_lot::Mutex::new(SlotVotes::default()),
+            ],
+            log: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The commit quorum.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Records one prepare vote for `slot`; returns whether the slot has
+    /// reached its prepare quorum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= PIPELINE_SLOTS`.
+    pub fn prepare(&self, slot: usize) -> bool {
+        let mut votes = self.slots[slot].lock(); // hc-lint: allow(panic-index)
+        if hc_common::conc::mc::active() {
+            hc_common::conc::mc::write(&format!("ledger.pipeline.slot{slot}"));
+        }
+        votes.prepares += 1;
+        votes.prepares >= self.quorum
+    }
+
+    /// Records one commit vote for `slot`. When the vote completes the
+    /// commit quorum the slot becomes *ready*, and every ready slot whose
+    /// predecessors have all committed is flushed to the log — in order,
+    /// whatever order the quorums completed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= PIPELINE_SLOTS`.
+    pub fn commit_vote(&self, slot: usize) {
+        {
+            let mut votes = self.slots[slot].lock(); // hc-lint: allow(panic-index)
+            if hc_common::conc::mc::active() {
+                hc_common::conc::mc::write(&format!("ledger.pipeline.slot{slot}"));
+            }
+            votes.commits += 1;
+            if votes.commits >= self.quorum {
+                votes.ready = true;
+            }
+        }
+        self.flush_ready();
+    }
+
+    /// Appends every in-order ready slot to the commit log. Nesting is
+    /// log → slot only; vote paths never hold a slot lock while taking
+    /// the log.
+    fn flush_ready(&self) {
+        // The log guard spans the drain loop on purpose: in-order commit
+        // is atomic per flush, and the loop is bounded by PIPELINE_SLOTS.
+        // hc-lint: allow(lock-held-long)
+        let mut log = self.log.lock();
+        loop {
+            let next = log.len();
+            if next >= PIPELINE_SLOTS {
+                return;
+            }
+            let mut votes = self.slots[next].lock(); // hc-lint: allow(panic-index)
+            if !votes.ready || votes.committed {
+                return;
+            }
+            votes.committed = true;
+            hc_common::conc::mc::write("ledger.pipeline.log");
+            hc_common::conc::mc::check(
+                log.len() == next,
+                "pipeline commit log skipped a sequence number",
+            );
+            log.push(next);
+        }
+    }
+
+    /// The committed slots, in commit order.
+    pub fn committed(&self) -> Vec<usize> {
+        self.log.lock().clone()
+    }
+
+    /// Whether the log is an in-order prefix of the slot sequence — the
+    /// pipeline's safety invariant.
+    pub fn in_order(&self) -> bool {
+        self.committed().iter().copied().eq(0..self.committed().len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +460,43 @@ mod tests {
         let _ = c.propose().unwrap();
         assert_eq!(clock.now().as_millis(), 12);
         assert!(c.total_messages() > 0);
+    }
+
+    #[test]
+    fn pipeline_commits_in_order_even_when_slot1_quorum_lands_first() {
+        let p = PhasePipeline::new(4).unwrap(); // quorum = 3
+        for _ in 0..3 {
+            p.prepare(1);
+            p.commit_vote(1);
+        }
+        // Slot 1 has its quorum but must wait for slot 0.
+        assert!(p.committed().is_empty());
+        for _ in 0..3 {
+            p.prepare(0);
+            p.commit_vote(0);
+        }
+        assert_eq!(p.committed(), vec![0, 1]);
+        assert!(p.in_order());
+    }
+
+    #[test]
+    fn pipeline_needs_a_quorum_per_slot() {
+        let p = PhasePipeline::new(7).unwrap(); // quorum = 5
+        assert_eq!(p.quorum(), 5);
+        for _ in 0..4 {
+            p.commit_vote(0);
+        }
+        assert!(p.committed().is_empty(), "4 < 5 votes must not commit");
+        p.commit_vote(0);
+        assert_eq!(p.committed(), vec![0]);
+    }
+
+    #[test]
+    fn pipeline_rejects_tiny_clusters() {
+        assert_eq!(
+            PhasePipeline::new(3).unwrap_err(),
+            ConsensusError::TooFewPeers(3)
+        );
     }
 
     #[test]

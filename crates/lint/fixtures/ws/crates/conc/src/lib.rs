@@ -1,12 +1,15 @@
 //! Fixture: concurrency-lint violations on the CFG lock tracker.
 //!
 //! Seeded findings:
-//! * 1 × `lock-held-across-await` (guard still live at the yield point)
+//! * 2 × `lock-held-across-await` (guard still live at the yield point;
+//!   match-scrutinee guard live through an awaiting arm)
 //! * 1 × `lock-held-long` (guard spans a whole loop)
-//! * 2 × `lock-order-inversion` (`post` and `unpost` disagree on order;
-//!   each side of the disagreement is reported once)
+//! * 3 × `lock-order-inversion` (`post` and `unpost` disagree on order,
+//!   and `audit` re-inverts `post` with one-statement temporaries; each
+//!   side of a disagreement is reported once)
 //! * 1 × `sync-unbounded-channel` (one more suppressed inline)
-//! The drop-before-await and per-iteration-guard twins must stay clean.
+//! The drop-before-await, per-iteration-guard, and bind-before-match
+//! twins must stay clean.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,6 +68,31 @@ pub fn unpost(ledger: &Ledger) {
     let c = ledger.credit.lock();
     let d = ledger.debit.lock();
     settle(d, c);
+}
+
+/// Violation: the scrutinee temporary keeps the routing table locked
+/// through every arm, so the slow arm awaits with the lock held.
+pub async fn route(table: &Mutex<RoutingTable>) {
+    match table.lock().kind() {
+        RouteKind::Fast => serve_local(),
+        RouteKind::Slow => fetch_remote().await,
+    }
+}
+
+/// Clean twin: the temporary dies with the binding statement, so the
+/// match (and its awaiting arm) runs lock-free.
+pub async fn route_unlocked(table: &Mutex<RoutingTable>) {
+    let kind = table.lock().kind();
+    match kind {
+        RouteKind::Fast => serve_local(),
+        RouteKind::Slow => fetch_remote().await,
+    }
+}
+
+/// Violation: one-statement temporaries still order — credit before
+/// debit here inverts `post`.
+pub fn audit(ledger: &Ledger) -> u64 {
+    checksum(ledger.credit.lock(), ledger.debit.lock())
 }
 
 /// Violation: no backpressure between producer and consumer.

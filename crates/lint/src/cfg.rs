@@ -60,6 +60,11 @@ pub struct Stmt {
     pub scope: u32,
     /// True when the statement contains a `?` (adds an early-return edge).
     pub has_question: bool,
+    /// For a `match` scrutinee [`StmtKind::Cond`]: the scope id that
+    /// covers exactly the arm bodies. Rust keeps scrutinee temporaries
+    /// alive until the end of the whole `match`, so a lock guard born in
+    /// the scrutinee is live throughout this scope.
+    pub scrutinee_scope: Option<u32>,
 }
 
 /// A basic block.
@@ -198,7 +203,7 @@ impl Builder<'_> {
             self.edge(block, self.exit);
         }
         if let Some(blk) = self.blocks.get_mut(block) {
-            blk.stmts.push(Stmt { kind, toks, line, scope, has_question });
+            blk.stmts.push(Stmt { kind, toks, line, scope, has_question, scrutinee_scope: None });
         }
     }
 
@@ -588,7 +593,13 @@ impl Builder<'_> {
             .find_top_level(i + 1, limit, |t| t.is_punct('{'))
             .unwrap_or(limit);
         let scrut = (i + 1, body_open);
+        // One scope spans all arm bodies; scrutinee temporaries (and the
+        // locks they hold) live exactly that long.
+        let match_scope = self.new_scope(scope);
         self.push_stmt(cur, StmtKind::Cond, scrut, scope);
+        if let Some(st) = self.blocks.get_mut(cur).and_then(|b| b.stmts.last_mut()) {
+            st.scrutinee_scope = Some(match_scope);
+        }
         let body_end = self.group_end(body_open, '{', '}', limit);
         let inner_end = body_end.saturating_sub(1);
 
@@ -623,7 +634,7 @@ impl Builder<'_> {
 
             // Arm body: a `{…}` group, or an expression until top-level `,`.
             let body_start = arrow + 2;
-            let child = self.new_scope(scope);
+            let child = self.new_scope(match_scope);
             let (arm_end_blk, next_j) = if self.is_punct_at(body_start, '{') {
                 let close = self.group_end(body_start, '{', '}', inner_end);
                 let endb = self.stmts_range(body_start + 1, close.saturating_sub(1), arm_blk, child, false);

@@ -22,12 +22,18 @@
 //! A `let` binds the guard only when the acquisition *terminates* the
 //! initializer chain at nesting depth 0 (`let g = m.lock();`, optionally
 //! behind `.unwrap()`/`.expect(…)`/`.await`/`?`). An acquisition inside a
-//! block expression (`let v = { let g = m.lock(); … };`), a `match`
-//! scrutinee, or a longer chain (`m.lock().stats()`) produces a
-//! temporary that dies with its own statement, so it is checked for
-//! same-statement awaits only. Ordered pairs whose second acquisition
-//! sits lexically *before* the first are loop-carried artifacts (the
-//! guard died at the end of the previous iteration) and are dropped.
+//! block expression (`let v = { let g = m.lock(); … };`) or a longer
+//! chain (`m.lock().stats()`) produces a temporary that dies with its
+//! own statement — but temporaries still participate: two acquisitions
+//! inside one statement overlap for the statement's lifetime and record
+//! an ordered pair, and a statement containing `.await` holds every
+//! temporary across the suspension. A `match` *scrutinee* temporary is
+//! special: Rust keeps it alive until the end of the whole `match`, so a
+//! scrutinee guard is live through every arm body — awaits and further
+//! acquisitions inside the arms are reported against it. Ordered pairs
+//! whose second acquisition sits lexically *before* the first are
+//! loop-carried artifacts (the guard died at the end of the previous
+//! iteration) and are dropped.
 
 use crate::cfg::{build_cfg, Stmt};
 use crate::lexer::{Tok, TokKind};
@@ -90,10 +96,27 @@ pub fn analyze_fn_locks(f: &FnDecl) -> LockAnalysis {
         return out;
     }
 
-    // Collect acquisitions.
+    // Collect acquisitions — all of them: a statement can acquire
+    // several locks as temporaries (`settle(a.lock(), b.lock())`).
     let mut acqs: Vec<Acq> = Vec::new();
     for (b, s, stmt) in graph.stmts() {
-        if let Some((line, col, lock_id, binds)) = acquisition_in(f, stmt) {
+        let found = acquisitions_in(f, stmt);
+        // Statement-scoped temporaries overlap for the statement's
+        // lifetime: later acquisitions in the same statement are ordered
+        // under earlier ones exactly like nested guards.
+        for (i, first) in found.iter().enumerate() {
+            for later in found.iter().skip(i + 1) {
+                if later.2 != first.2 {
+                    out.pairs.push(OrderedPair {
+                        first: first.2.clone(),
+                        second: later.2.clone(),
+                        line: later.0,
+                        col: later.1,
+                    });
+                }
+            }
+        }
+        for (line, col, lock_id, binds) in found {
             let guard = if binds {
                 match &stmt.kind {
                     crate::cfg::StmtKind::Let { names } => names.first().cloned(),
@@ -111,8 +134,8 @@ pub fn analyze_fn_locks(f: &FnDecl) -> LockAnalysis {
 
     for acq in &acqs {
         let Some(guard) = &acq.guard else {
-            // Temporary guard (`m.lock().x()` in one statement): only an
-            // await inside that same statement can overlap it.
+            // Temporary guard (`m.lock().x()` in one statement): an
+            // await inside that same statement overlaps it.
             let stmt = graph.blocks.get(acq.block).and_then(|blk| blk.stmts.get(acq.stmt));
             if stmt.is_some_and(stmt_has_await) {
                 out.issues.push(LockIssue {
@@ -121,6 +144,43 @@ pub fn analyze_fn_locks(f: &FnDecl) -> LockAnalysis {
                     col: acq.col,
                     message: format!("lock `{}` held across `.await` in the same expression", acq.lock_id),
                 });
+            }
+            // A `match` scrutinee temporary lives until the end of the
+            // whole match: the lock is held across every arm body.
+            if let Some(ms) = stmt.and_then(|s| s.scrutinee_scope) {
+                let mut await_hit = false;
+                for &b in reach.get(acq.block).map(Vec::as_slice).unwrap_or_default() {
+                    let stmts = graph.blocks.get(b).map(|blk| blk.stmts.as_slice()).unwrap_or_default();
+                    for (s2, st) in stmts.iter().enumerate() {
+                        if !graph.scope_within(st.scope, ms) {
+                            continue; // past the match — the temporary is dead
+                        }
+                        if stmt_has_await(st) && !await_hit {
+                            await_hit = true;
+                            out.issues.push(LockIssue {
+                                rule: "lock-held-across-await",
+                                line: stmt_line(st, acq.line),
+                                col: 1,
+                                message: format!(
+                                    "match-scrutinee lock `{}` is held across `.await` — scrutinee temporaries live until the end of the `match`",
+                                    acq.lock_id
+                                ),
+                            });
+                        }
+                        for other in acqs.iter().filter(|o| o.block == b && o.stmt == s2) {
+                            if other.lock_id != acq.lock_id
+                                && (other.line, other.col) > (acq.line, acq.col)
+                            {
+                                out.pairs.push(OrderedPair {
+                                    first: acq.lock_id.clone(),
+                                    second: other.lock_id.clone(),
+                                    line: other.line,
+                                    col: other.col,
+                                });
+                            }
+                        }
+                    }
+                }
             }
             continue;
         };
@@ -157,7 +217,7 @@ pub fn analyze_fn_locks(f: &FnDecl) -> LockAnalysis {
                     ),
                 });
             }
-            if let Some(other) = acqs.iter().find(|o| o.block == b && o.stmt == s) {
+            for other in acqs.iter().filter(|o| o.block == b && o.stmt == s) {
                 // A second acquisition lexically before the first is a
                 // loop-carried artifact: the guard died at iteration end.
                 if other.lock_id != acq.lock_id
@@ -205,11 +265,14 @@ pub fn analyze_fn_locks(f: &FnDecl) -> LockAnalysis {
     out
 }
 
-/// Detects a lock acquisition in a statement; returns
-/// `(line, col, lock id, binds_guard)` — the last flag is true when a
-/// `let` statement would actually bind the guard (see module docs).
-fn acquisition_in(f: &FnDecl, stmt: &Stmt) -> Option<(u32, u32, String, bool)> {
+/// Detects every lock acquisition in a statement; returns
+/// `(line, col, lock id, binds_guard)` tuples in token order — the last
+/// flag is true when a `let` statement would actually bind the guard
+/// (see module docs). At most one acquisition per statement can bind (a
+/// binding acquisition terminates the chain), the rest are temporaries.
+fn acquisitions_in(f: &FnDecl, stmt: &Stmt) -> Vec<(u32, u32, String, bool)> {
     let toks: Vec<&Tok> = stmt.toks.iter().collect();
+    let mut found = Vec::new();
     let mut depth = 0usize;
     for (i, t) in toks.iter().enumerate() {
         if t.kind == TokKind::Punct {
@@ -252,10 +315,10 @@ fn acquisition_in(f: &FnDecl, stmt: &Stmt) -> Option<(u32, u32, String, bool)> {
                 recv
             };
             let binds = depth == 0 && chain_terminal(&toks, i);
-            return Some((t.line, t.col, id, binds));
+            found.push((t.line, t.col, id, binds));
         }
     }
-    None
+    found
 }
 
 /// True when the call at `callee_idx` ends its expression chain: after
@@ -516,5 +579,61 @@ mod tests {
     fn same_lock_not_a_pair() {
         let a = run("fn f(m: &Mutex<u32>) { let g = m.lock(); let h = m.lock(); use_both(g, h); }");
         assert!(a.pairs.is_empty(), "double-lock of one mutex is not an ordering pair: {a:#?}");
+    }
+
+    #[test]
+    fn match_scrutinee_guard_across_await_in_arm() {
+        // The scrutinee temporary lives until the end of the match, so
+        // the await in the slow arm suspends with the lock held.
+        let a = run(
+            "async fn f(t: &Mutex<Table>) { match t.lock().kind() { Kind::Fast => serve(), Kind::Slow => fetch_remote().await, } }",
+        );
+        assert!(
+            a.issues.iter().any(|i| i.rule == "lock-held-across-await"
+                && i.message.contains("match-scrutinee")),
+            "{a:#?}"
+        );
+    }
+
+    #[test]
+    fn binding_before_match_keeps_arms_lock_free() {
+        // Clean twin: the temporary dies with the `let` statement; the
+        // match runs on plain data.
+        let a = run(
+            "async fn f(t: &Mutex<Table>) { let kind = t.lock().kind(); match kind { Kind::Fast => serve(), Kind::Slow => fetch_remote().await, } }",
+        );
+        assert!(a.issues.is_empty(), "{a:#?}");
+    }
+
+    #[test]
+    fn await_after_match_not_charged_to_scrutinee() {
+        let a = run(
+            "async fn f(t: &Mutex<Table>) { match t.lock().kind() { Kind::Fast => serve(), _ => miss(), } fetch_remote().await; }",
+        );
+        assert!(
+            a.issues.iter().all(|i| !i.message.contains("match-scrutinee")),
+            "the scrutinee temporary dies at the end of the match: {a:#?}"
+        );
+    }
+
+    #[test]
+    fn same_statement_temporaries_form_ordered_pair() {
+        let a = run("fn f(a: &Mutex<u64>, b: &Mutex<u64>) { settle(a.lock(), b.lock()); }");
+        assert_eq!(a.pairs.len(), 1, "{a:#?}");
+        assert_eq!((a.pairs[0].first.as_str(), a.pairs[0].second.as_str()), ("a", "b"));
+    }
+
+    #[test]
+    fn scrutinee_orders_before_arm_acquisition() {
+        // `a` is held (scrutinee temporary) while the arm takes `b`.
+        let a = run(
+            "fn f(a: &Mutex<S>, b: &Mutex<u64>) { match a.lock().kind() { Kind::Fast => { let g = b.lock(); use_it(g); } _ => skip(), } }",
+        );
+        assert!(
+            a.pairs
+                .iter()
+                .any(|p| (p.first.as_str(), p.second.as_str()) == ("a", "b")),
+            "{a:#?}"
+        );
     }
 }

@@ -3,12 +3,13 @@
 //! ```text
 //! hc-lint [--root DIR] [--format human|json] [--baseline FILE]
 //!         [--write-baseline] [--prune-baseline] [--fail-stale]
-//!         [--lexical-phi] [--taint-report FILE]
+//!         [--lexical-phi] [--taint-report FILE] [--cross-check FILE]
 //!         [--list-rules] [--explain RULE-ID]
 //! ```
 //!
 //! Exit codes: `0` clean (vs. baseline), `1` new findings (or stale
-//! baseline entries under `--fail-stale`), `2` usage or I/O error.
+//! baseline entries under `--fail-stale`, or an indecisive verdict
+//! under `--cross-check`), `2` usage or I/O error.
 
 #![forbid(unsafe_code)]
 
@@ -19,7 +20,10 @@ use hc_lint::baseline::Baseline;
 use hc_lint::config::LintConfig;
 use hc_lint::diag::rule_by_id;
 use hc_lint::engine::analyze_workspace;
-use hc_lint::report::{json_report, render_explain, render_human, render_rule_list, taint_report};
+use hc_lint::report::{
+    cross_check_summary, json_report, parse_mc_verdicts, render_cross_check, render_explain,
+    render_human, render_rule_list, taint_report,
+};
 
 struct Args {
     root: PathBuf,
@@ -30,6 +34,7 @@ struct Args {
     fail_stale: bool,
     lexical_phi: bool,
     taint_report: Option<PathBuf>,
+    cross_check: Option<PathBuf>,
     list_rules: bool,
     explain: Option<String>,
 }
@@ -44,7 +49,7 @@ fn usage() -> &'static str {
     "usage: hc-lint [--root DIR] [--format human|json] [--baseline FILE]\n\
      \x20              [--write-baseline] [--prune-baseline] [--fail-stale]\n\
      \x20              [--lexical-phi] [--taint-report FILE]\n\
-     \x20              [--list-rules] [--explain RULE-ID]\n\
+     \x20              [--cross-check FILE] [--list-rules] [--explain RULE-ID]\n\
      \n\
      Runs the workspace static-analysis rules (PHI dataflow/taint,\n\
      concurrency, panic-path, determinism, hygiene) over crates/*/src.\n\
@@ -55,6 +60,10 @@ fn usage() -> &'static str {
      --fail-stale      exit 1 when the baseline carries unmatched debt\n\
      --lexical-phi     name-only phi-fmt-leak (disable taint gating)\n\
      --taint-report    write the dataflow summary artifact as JSON\n\
+     --cross-check     merge an `hc-mc cross-check` verdicts artifact:\n\
+     \x20                 every lock-order-inversion finding is reported\n\
+     \x20                 confirmed / unrealizable, and the run fails when\n\
+     \x20                 any finding is unmodeled or missing a verdict\n\
      --explain         print one rule's full catalogue entry\n"
 }
 
@@ -68,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         fail_stale: false,
         lexical_phi: false,
         taint_report: None,
+        cross_check: None,
         list_rules: false,
         explain: None,
     };
@@ -94,6 +104,10 @@ fn parse_args() -> Result<Args, String> {
             "--taint-report" => {
                 args.taint_report =
                     Some(PathBuf::from(it.next().ok_or("--taint-report needs a value")?));
+            }
+            "--cross-check" => {
+                args.cross_check =
+                    Some(PathBuf::from(it.next().ok_or("--cross-check needs a value")?));
             }
             "--list-rules" => args.list_rules = true,
             "--explain" => {
@@ -239,10 +253,34 @@ fn main() -> ExitCode {
 
     let diff = baseline.diff(&report.findings);
 
+    let cross = match &args.cross_check {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(json) => match parse_mc_verdicts(&json) {
+                Ok(verdicts) => Some(cross_check_summary(&report, &verdicts)),
+                Err(e) => {
+                    eprintln!("hc-lint: malformed cross-check artifact {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("hc-lint: cannot read cross-check artifact {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
     match args.format {
-        Format::Human => print!("{}", render_human(&report, &diff)),
+        Format::Human => {
+            print!("{}", render_human(&report, &diff));
+            if let Some(cross) = &cross {
+                print!("{}", render_cross_check(&report, cross));
+            }
+        }
         Format::Json => {
-            match serde_json::to_string(&json_report(&report, &diff)) {
+            let mut jr = json_report(&report, &diff);
+            jr.cross_check = cross.clone();
+            match serde_json::to_string(&jr) {
                 Ok(json) => println!("{json}"),
                 Err(e) => {
                     eprintln!("hc-lint: cannot serialise report: {e}");
@@ -254,6 +292,16 @@ fn main() -> ExitCode {
 
     if !diff.new_findings.is_empty() {
         return ExitCode::from(1);
+    }
+    if let Some(cross) = &cross {
+        if !cross.decisive() {
+            eprintln!(
+                "hc-lint: --cross-check — {} unmodeled / {} unverified lock-order finding(s); \
+                 every inversion needs a confirmed-or-unrealizable verdict",
+                cross.unmodeled, cross.unverified,
+            );
+            return ExitCode::from(1);
+        }
     }
     if args.fail_stale && diff.stale_entries > 0 {
         eprintln!(

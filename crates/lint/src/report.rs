@@ -1,8 +1,9 @@
-//! Human and JSON rendering of analysis results.
+//! Human and JSON rendering of analysis results, plus the merge of
+//! `hc-mc cross-check` verdicts back into the lint report.
 
 use std::collections::BTreeMap;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::baseline::BaselineDiff;
 use crate::diag::{Finding, Rule, RULES};
@@ -27,6 +28,155 @@ pub struct JsonReport {
     pub new_findings: Vec<Finding>,
     /// Per-rule totals (before baseline filtering), rule id → count.
     pub totals_by_rule: BTreeMap<String, usize>,
+    /// Model-checker verdict summary, present when `--cross-check` merged
+    /// an `hc-mc` artifact into this run.
+    pub cross_check: Option<CrossCheckSummary>,
+}
+
+/// One verdict read from an `hc-mc cross-check` artifact. The shape is
+/// mirrored here rather than imported: `hc-mc` depends on `hc-lint`, so
+/// the lint side re-declares the (stable, versioned) artifact contract.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct McVerdict {
+    /// Workspace-relative file of the static finding.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// 1-based column of the finding.
+    pub col: u32,
+    /// The two lock identities, in the finding's acquisition order.
+    pub locks: Vec<String>,
+    /// `"Confirmed"`, `"Unrealizable"`, or `"Unmodeled"`.
+    pub verdict: String,
+    /// Model that decided the verdict (absent for unmodeled).
+    pub model: Option<String>,
+    /// The deadlocking schedule (confirmed only).
+    pub schedule: Vec<usize>,
+    /// Schedules explored across covering models.
+    pub schedules_explored: usize,
+}
+
+/// Summary of the static↔dynamic merge for the JSON report.
+#[derive(Clone, Debug, Serialize)]
+pub struct CrossCheckSummary {
+    /// `lock-order-inversion` findings in this run.
+    pub inversions: usize,
+    /// Findings confirmed with a deadlocking schedule.
+    pub confirmed: usize,
+    /// Findings declared unrealizable within explored models and bounds.
+    pub unrealizable: usize,
+    /// Findings with no covering model (missing model — not a pass).
+    pub unmodeled: usize,
+    /// Findings the artifact does not mention at all (stale artifact).
+    pub unverified: usize,
+    /// The verdicts, matched or not, as read from the artifact.
+    pub verdicts: Vec<McVerdict>,
+}
+
+#[derive(Deserialize)]
+struct McCrossCheckFile {
+    verdicts: Vec<McVerdict>,
+}
+
+#[derive(Deserialize)]
+struct McArtifactFile {
+    cross_check: Option<McCrossCheckFile>,
+}
+
+/// Parses an `hc-mc` verdicts file: either a bare cross-check report
+/// (`{"tool":"hc-mc",…,"verdicts":[…]}`) or the combined artifact that
+/// wraps it under a `cross_check` key.
+pub fn parse_mc_verdicts(json: &str) -> Result<Vec<McVerdict>, String> {
+    if let Ok(direct) = serde_json::from_str::<McCrossCheckFile>(json) {
+        return Ok(direct.verdicts);
+    }
+    match serde_json::from_str::<McArtifactFile>(json) {
+        Ok(McArtifactFile { cross_check: Some(c) }) => Ok(c.verdicts),
+        Ok(_) => Err("artifact has no cross-check section".to_string()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Joins hc-mc verdicts onto this run's `lock-order-inversion` findings
+/// by (file, line, col). Findings the artifact does not mention count as
+/// `unverified` — the artifact is stale relative to the source tree.
+pub fn cross_check_summary(report: &Report, verdicts: &[McVerdict]) -> CrossCheckSummary {
+    let mut summary = CrossCheckSummary {
+        inversions: 0,
+        confirmed: 0,
+        unrealizable: 0,
+        unmodeled: 0,
+        unverified: 0,
+        verdicts: verdicts.to_vec(),
+    };
+    for f in report.findings.iter().filter(|f| f.rule == "lock-order-inversion") {
+        summary.inversions += 1;
+        let v = verdicts
+            .iter()
+            .find(|v| v.file == f.file && v.line == f.line && v.col == f.col);
+        match v.map(|v| v.verdict.as_str()) {
+            Some("Confirmed") => summary.confirmed += 1,
+            Some("Unrealizable") => summary.unrealizable += 1,
+            Some(_) => summary.unmodeled += 1,
+            None => summary.unverified += 1,
+        }
+    }
+    summary
+}
+
+/// Whether every inversion finding carries a decisive verdict
+/// (confirmed or unrealizable) — the CI gate for the closed loop.
+impl CrossCheckSummary {
+    /// True when no finding is unmodeled or unverified.
+    pub fn decisive(&self) -> bool {
+        self.unmodeled == 0 && self.unverified == 0
+    }
+}
+
+/// Renders the cross-check section for human output.
+pub fn render_cross_check(report: &Report, summary: &CrossCheckSummary) -> String {
+    let mut out = String::from("\nmodel-checker cross-check (hc-mc):\n");
+    for f in report.findings.iter().filter(|f| f.rule == "lock-order-inversion") {
+        let v = summary
+            .verdicts
+            .iter()
+            .find(|v| v.file == f.file && v.line == f.line && v.col == f.col);
+        match v {
+            Some(v) if v.verdict == "Confirmed" => out.push_str(&format!(
+                "  {}:{}:{} CONFIRMED — model {} deadlocks under schedule {:?} ({} schedule(s) explored); replay with `hc-mc replay`\n",
+                f.file,
+                f.line,
+                f.col,
+                v.model.as_deref().unwrap_or("?"),
+                v.schedule,
+                v.schedules_explored,
+            )),
+            Some(v) if v.verdict == "Unrealizable" => out.push_str(&format!(
+                "  {}:{}:{} unrealizable — {} schedule(s) exhausted without deadlock (within modeled bounds)\n",
+                f.file, f.line, f.col, v.schedules_explored,
+            )),
+            Some(_) => out.push_str(&format!(
+                "  {}:{}:{} UNMODELED — no registered model binds [{}]; add one to crates/mc/src/model.rs\n",
+                f.file,
+                f.line,
+                f.col,
+                f.message.split('`').nth(1).unwrap_or("?"),
+            )),
+            None => out.push_str(&format!(
+                "  {}:{}:{} unverified — artifact does not mention this finding; re-run `hc-mc cross-check`\n",
+                f.file, f.line, f.col,
+            )),
+        }
+    }
+    out.push_str(&format!(
+        "  {} inversion(s): {} confirmed, {} unrealizable, {} unmodeled, {} unverified\n",
+        summary.inversions,
+        summary.confirmed,
+        summary.unrealizable,
+        summary.unmodeled,
+        summary.unverified,
+    ));
+    out
 }
 
 /// Builds the JSON report object.
@@ -44,6 +194,7 @@ pub fn json_report(report: &Report, diff: &BaselineDiff) -> JsonReport {
         stale_baseline_entries: diff.stale_entries,
         new_findings: diff.new_findings.clone(),
         totals_by_rule: totals,
+        cross_check: None,
     }
 }
 
@@ -198,5 +349,35 @@ pub fn taint_report(report: &Report) -> TaintReport {
             .filter(|f| f.rule.starts_with("taint-") || f.rule.starts_with("lock-") || f.rule.starts_with("sync-"))
             .cloned()
             .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BARE: &str = r#"{"tool":"hc-mc","schema_version":1,"findings":1,"verdicts":[{"file":"crates/x/src/lib.rs","line":7,"col":9,"locks":["a","b"],"verdict":"Confirmed","model":"m","schedule":[0,1,0],"schedules_explored":4}]}"#;
+
+    #[test]
+    fn parses_bare_cross_check_report() {
+        let v = parse_mc_verdicts(BARE).expect("bare shape parses");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].verdict, "Confirmed");
+        assert_eq!(v[0].schedule, vec![0, 1, 0]);
+        assert_eq!(v[0].model.as_deref(), Some("m"));
+    }
+
+    #[test]
+    fn parses_wrapped_artifact() {
+        let wrapped = format!(r#"{{"tool":"hc-mc","cross_check":{BARE}}}"#);
+        let v = parse_mc_verdicts(&wrapped).expect("wrapped shape parses");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].file, "crates/x/src/lib.rs");
+    }
+
+    #[test]
+    fn rejects_artifact_without_verdicts() {
+        assert!(parse_mc_verdicts(r#"{"tool":"hc-mc"}"#).is_err());
+        assert!(parse_mc_verdicts("not json").is_err());
     }
 }

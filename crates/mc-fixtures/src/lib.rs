@@ -1,0 +1,133 @@
+//! Planted concurrency defects for the `hc-mc` self-check.
+//!
+//! Every type here carries a deliberate bug (or its corrected twin) in a
+//! shape the checker must catch — the self-check fails the build if it
+//! stops catching them:
+//!
+//! * [`RacyCounter::bump_lost_update`] — the classic read-then-write
+//!   lost update split across two critical sections. The logical write
+//!   annotation between them races under happens-before, and the
+//!   explorer finds an interleaving where an increment is lost.
+//! * [`RacyCounter::bump_atomic`] — the corrected twin: one critical
+//!   section, provably race-free, used to pin the no-false-positive
+//!   direction.
+//! * [`AbbaPair`] — two locks taken in opposite orders by two methods:
+//!   statically a `lock-order-inversion` for `hc-lint`, dynamically an
+//!   ABBA deadlock the controlled scheduler drives into.
+//!
+//! This crate is a test fixture: nothing in it should be used by product
+//! code, and its planted static findings are baselined (and cross-check
+//! confirmed) rather than fixed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hc_common::conc::mc;
+use parking_lot::Mutex;
+
+/// A counter whose buggy increment path loses updates under contention.
+#[derive(Debug, Default)]
+pub struct RacyCounter {
+    inner: Mutex<u64>,
+}
+
+impl RacyCounter {
+    /// An empty counter.
+    pub const fn new() -> Self {
+        RacyCounter {
+            inner: Mutex::new(0),
+        }
+    }
+
+    /// PLANTED BUG: reads the value in one critical section and writes
+    /// the incremented value in another. Two threads interleaved between
+    /// the sections both read the same value and one increment is lost.
+    pub fn bump_lost_update(&self) {
+        let seen = *self.inner.lock();
+        // The logical counter state is read and re-derived outside any
+        // lock here — this is the racing access the HB engine flags.
+        mc::write("fixtures.racy_counter");
+        *self.inner.lock() = seen + 1;
+    }
+
+    /// The corrected twin: read-modify-write in one critical section.
+    pub fn bump_atomic(&self) {
+        let mut value = self.inner.lock();
+        mc::write("fixtures.racy_counter.atomic");
+        *value += 1;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        *self.inner.lock()
+    }
+}
+
+/// Two accounts guarded by two locks that the buggy paths acquire in
+/// opposite orders.
+#[derive(Debug, Default)]
+pub struct AbbaPair {
+    debit: Mutex<i64>,
+    credit: Mutex<i64>,
+}
+
+impl AbbaPair {
+    /// A pair with both balances zero.
+    pub const fn new() -> Self {
+        AbbaPair {
+            debit: Mutex::new(0),
+            credit: Mutex::new(0),
+        }
+    }
+
+    /// Acquires `debit` then `credit` (the A→B order).
+    pub fn transfer_forward(&self, amount: i64) {
+        let mut d = self.debit.lock();
+        let mut c = self.credit.lock();
+        *d -= amount;
+        *c += amount;
+    }
+
+    /// PLANTED BUG: acquires `credit` then `debit` — the reversed B→A
+    /// order. Together with [`Self::transfer_forward`] this is a static
+    /// `lock-order-inversion` and, under the right two-thread schedule,
+    /// a real ABBA deadlock.
+    pub fn transfer_reverse(&self, amount: i64) {
+        let mut c = self.credit.lock();
+        let mut d = self.debit.lock();
+        *c -= amount;
+        *d += amount;
+    }
+
+    /// The model-checker identities of the two locks, in (debit, credit)
+    /// order, so models can bind schedule reports to the static finding.
+    pub fn lock_ids(&self) -> (u64, u64) {
+        (self.debit.mc_object_id(), self.credit.mc_object_id())
+    }
+
+    /// Net balance across both accounts (always 0 when quiescent).
+    pub fn net(&self) -> i64 {
+        *self.debit.lock() + *self.credit.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_paths_count_when_uncontended() {
+        let c = RacyCounter::new();
+        c.bump_lost_update();
+        c.bump_atomic();
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn transfers_conserve_balance_when_uncontended() {
+        let p = AbbaPair::new();
+        p.transfer_forward(10);
+        p.transfer_reverse(4);
+        assert_eq!(p.net(), 0);
+    }
+}

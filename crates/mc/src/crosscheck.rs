@@ -1,0 +1,249 @@
+//! The static↔dynamic loop: every `lock-order-inversion` finding from
+//! `hc-lint` gets a model-checker verdict.
+//!
+//! The static rule reasons over receiver-text lock identities and flags
+//! *potential* inversions; the model checker owns a registry of models
+//! whose instantiations bind those same identities to runtime lock
+//! objects ([`crate::model::ModelRun::lock_names`]). For each finding
+//! the cross-check explores every model that binds both named locks:
+//!
+//! * a deadlock counter-example involving exactly those locks →
+//!   **confirmed**, with the replayable schedule attached;
+//! * every covering model exhausts its bounded state space without such
+//!   a deadlock → **unrealizable** (within the explored models and
+//!   bounds — the verdict names both);
+//! * no registered model binds the pair → **unmodeled**, which the CI
+//!   gate treats as a missing model, not a pass.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::explore::{explore, Bounds, Strategy};
+use crate::model;
+
+/// The verdict attached to one static finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerdictKind {
+    /// A deadlocking schedule over the named locks exists.
+    Confirmed,
+    /// Bounded exploration of every covering model found no deadlock.
+    Unrealizable,
+    /// No registered model binds this lock pair.
+    Unmodeled,
+}
+
+impl VerdictKind {
+    /// Lower-case label for artifacts and human output.
+    pub fn label(self) -> &'static str {
+        match self {
+            VerdictKind::Confirmed => "confirmed",
+            VerdictKind::Unrealizable => "unrealizable",
+            VerdictKind::Unmodeled => "unmodeled",
+        }
+    }
+}
+
+/// One cross-checked finding.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Finding location (workspace-relative), mirroring hc-lint.
+    pub file: String,
+    /// 1-based line of the second acquisition.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The two lock identities, in the finding's acquisition order.
+    pub locks: Vec<String>,
+    /// The verdict.
+    pub verdict: VerdictKind,
+    /// Model that decided the verdict (absent for unmodeled).
+    pub model: Option<String>,
+    /// The deadlocking schedule (confirmed only) — replay with
+    /// `hc-mc replay`.
+    pub schedule: Vec<usize>,
+    /// Schedules explored across covering models.
+    pub schedules_explored: usize,
+}
+
+/// The `hc-mc cross-check` artifact; `hc-lint --cross-check FILE`
+/// merges it back into the lint report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CrossCheckReport {
+    /// Always `"hc-mc"`.
+    pub tool: String,
+    /// Artifact schema version.
+    pub schema_version: u32,
+    /// `lock-order-inversion` findings examined.
+    pub findings: usize,
+    /// One verdict per finding.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl CrossCheckReport {
+    /// Whether every finding got a decisive (non-unmodeled) verdict.
+    pub fn decisive(&self) -> bool {
+        self.verdicts
+            .iter()
+            .all(|v| v.verdict != VerdictKind::Unmodeled)
+    }
+}
+
+/// Pulls the two lock identities out of a `lock-order-inversion`
+/// message (``acquires `A` then `B`, …``).
+pub fn extract_pair(message: &str) -> Option<(String, String)> {
+    let mut ticked = message.split('`');
+    let _prefix = ticked.next()?;
+    let first = ticked.next()?.to_string();
+    let _then = ticked.next()?;
+    let second = ticked.next()?.to_string();
+    if first.is_empty() || second.is_empty() {
+        return None;
+    }
+    Some((first, second))
+}
+
+/// Runs hc-lint over `root` and attaches a verdict to every
+/// `lock-order-inversion` finding.
+pub fn cross_check(root: &Path, bounds: &Bounds) -> CrossCheckReport {
+    let cfg = hc_lint::config::LintConfig::workspace_default();
+    let lint = hc_lint::engine::analyze_workspace(root, &cfg);
+    let inversions: Vec<&hc_lint::diag::Finding> = lint
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-order-inversion")
+        .collect();
+
+    // Explore each covering model once per distinct lock pair (both
+    // directions of an inversion share the same unordered pair).
+    let mut cache: BTreeMap<Vec<String>, PairOutcome> = BTreeMap::new();
+    let mut verdicts = Vec::new();
+    for finding in &inversions {
+        let Some((a, b)) = extract_pair(&finding.message) else {
+            verdicts.push(Verdict {
+                file: finding.file.clone(),
+                line: finding.line,
+                col: finding.col,
+                locks: Vec::new(),
+                verdict: VerdictKind::Unmodeled,
+                model: None,
+                schedule: Vec::new(),
+                schedules_explored: 0,
+            });
+            continue;
+        };
+        let mut key = vec![a.clone(), b.clone()];
+        key.sort();
+        let outcome = cache
+            .entry(key)
+            .or_insert_with_key(|k| decide_pair(k, bounds));
+        verdicts.push(Verdict {
+            file: finding.file.clone(),
+            line: finding.line,
+            col: finding.col,
+            locks: vec![a, b],
+            verdict: outcome.verdict,
+            model: outcome.model.clone(),
+            schedule: outcome.schedule.clone(),
+            schedules_explored: outcome.schedules,
+        });
+    }
+
+    CrossCheckReport {
+        tool: "hc-mc".to_string(),
+        schema_version: 1,
+        findings: inversions.len(),
+        verdicts,
+    }
+}
+
+struct PairOutcome {
+    verdict: VerdictKind,
+    model: Option<String>,
+    schedule: Vec<usize>,
+    schedules: usize,
+}
+
+/// Explores every model binding both locks of `pair` (sorted) and
+/// reduces the results to one verdict.
+fn decide_pair(pair: &[String], bounds: &Bounds) -> PairOutcome {
+    let mut covering = 0usize;
+    let mut schedules = 0usize;
+    let mut clean_model: Option<String> = None;
+    for m in model::registry().into_iter().chain(model::planted()) {
+        let names: Vec<String> = m
+            .instantiate()
+            .lock_names
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
+        if !pair.iter().all(|l| names.contains(l)) {
+            continue;
+        }
+        covering += 1;
+        let result = explore(&m, Strategy::Dpor, bounds, false);
+        schedules += result.schedules;
+        if let Some(ce) = result
+            .counter_examples
+            .iter()
+            .find(|ce| ce.deadlock && pair.iter().all(|l| ce.deadlock_locks.contains(l)))
+        {
+            return PairOutcome {
+                verdict: VerdictKind::Confirmed,
+                model: Some(m.name.to_string()),
+                schedule: ce.schedule.clone(),
+                schedules,
+            };
+        }
+        if result.exhausted {
+            clean_model = Some(m.name.to_string());
+        }
+    }
+    if covering == 0 {
+        PairOutcome {
+            verdict: VerdictKind::Unmodeled,
+            model: None,
+            schedule: Vec::new(),
+            schedules,
+        }
+    } else {
+        PairOutcome {
+            verdict: VerdictKind::Unrealizable,
+            model: clean_model,
+            schedule: Vec::new(),
+            schedules,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_extraction_parses_the_rule_message() {
+        let msg = "acquires `AbbaPair.credit` then `AbbaPair.debit`, but `AbbaPair::transfer_forward` (crates/mc-fixtures/src/lib.rs:83) acquires them in the opposite order — pick one global lock order";
+        assert_eq!(
+            extract_pair(msg),
+            Some(("AbbaPair.credit".to_string(), "AbbaPair.debit".to_string()))
+        );
+        assert_eq!(extract_pair("no backticks here"), None);
+    }
+
+    #[test]
+    fn planted_abba_pair_is_confirmed_with_a_schedule() {
+        let pair = vec!["AbbaPair.credit".to_string(), "AbbaPair.debit".to_string()];
+        let out = decide_pair(&pair, &Bounds::default());
+        assert_eq!(out.verdict, VerdictKind::Confirmed, "planted inversion must confirm");
+        assert!(!out.schedule.is_empty(), "confirmed verdict carries a schedule");
+        assert_eq!(out.model.as_deref(), Some("fixtures.abba-deadlock"));
+    }
+
+    #[test]
+    fn unknown_pair_is_unmodeled() {
+        let pair = vec!["Nope.a".to_string(), "Nope.b".to_string()];
+        let out = decide_pair(&pair, &Bounds::default());
+        assert_eq!(out.verdict, VerdictKind::Unmodeled);
+    }
+}

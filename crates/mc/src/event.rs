@@ -1,0 +1,343 @@
+//! The owned trace vocabulary shared by both engines.
+//!
+//! [`parking_lot::mc::ProbeEvent`] is a borrowed, allocation-free view
+//! emitted from the instrumented shims; this module owns the same
+//! vocabulary ([`EventKind`]) plus the thread attribution a probe adds
+//! ([`TraceEvent`]), so traces can outlive the execution that produced
+//! them, be serialized into artifacts, and be replayed through the
+//! happens-before engine offline.
+
+use parking_lot::mc::{LockKind, ObjectId, ProbeEvent};
+use serde::{Deserialize, Serialize};
+
+/// Which acquisition mode a lock event concerns (owned mirror of
+/// [`parking_lot::mc::LockKind`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Exclusive mutex acquisition.
+    Mutex,
+    /// Shared rwlock acquisition.
+    Read,
+    /// Exclusive rwlock acquisition.
+    Write,
+}
+
+impl From<LockKind> for Mode {
+    fn from(kind: LockKind) -> Self {
+        match kind {
+            LockKind::Mutex => Mode::Mutex,
+            LockKind::RwRead => Mode::Read,
+            LockKind::RwWrite => Mode::Write,
+        }
+    }
+}
+
+impl Mode {
+    /// Whether two holds of this mode exclude each other (shared reads
+    /// coexist; everything else conflicts).
+    pub fn exclusive(self) -> bool {
+        !matches!(self, Mode::Read)
+    }
+}
+
+/// One owned trace event (see [`parking_lot::mc::ProbeEvent`] for the
+/// pre/post semantics of each variant).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Pre: blocking acquisition of a lock.
+    Acquire {
+        /// Lock identity.
+        lock: ObjectId,
+        /// Acquisition mode.
+        mode: Mode,
+    },
+    /// Post: the acquisition completed.
+    Acquired {
+        /// Lock identity.
+        lock: ObjectId,
+        /// Acquisition mode.
+        mode: Mode,
+    },
+    /// Pre: non-blocking acquisition attempt.
+    TryAcquire {
+        /// Lock identity.
+        lock: ObjectId,
+        /// Acquisition mode.
+        mode: Mode,
+    },
+    /// Post: outcome of the attempt.
+    TryAcquired {
+        /// Lock identity.
+        lock: ObjectId,
+        /// Acquisition mode.
+        mode: Mode,
+        /// Whether the lock was obtained.
+        acquired: bool,
+    },
+    /// Pre: release of a held lock.
+    Release {
+        /// Lock identity.
+        lock: ObjectId,
+        /// Mode it was held in.
+        mode: Mode,
+    },
+    /// Pre: channel enqueue.
+    ChanSend {
+        /// Channel identity.
+        chan: ObjectId,
+    },
+    /// Post: enqueue outcome.
+    ChanSent {
+        /// Channel identity.
+        chan: ObjectId,
+        /// Whether the message was queued (false: no receivers left).
+        delivered: bool,
+    },
+    /// Pre: blocking channel receive.
+    ChanRecv {
+        /// Channel identity.
+        chan: ObjectId,
+    },
+    /// Pre: non-blocking channel receive.
+    ChanTryRecv {
+        /// Channel identity.
+        chan: ObjectId,
+    },
+    /// Post: receive outcome.
+    ChanReceived {
+        /// Channel identity.
+        chan: ObjectId,
+        /// Whether a message was dequeued.
+        got: bool,
+    },
+    /// Post: endpoint counts changed (clone/drop).
+    ChanEndpoints {
+        /// Channel identity.
+        chan: ObjectId,
+        /// Live senders.
+        senders: usize,
+        /// Live receivers.
+        receivers: usize,
+    },
+    /// Pre: a logical shared-memory access annotation.
+    Access {
+        /// Logical location name.
+        loc: String,
+        /// Whether the access mutates the location.
+        write: bool,
+    },
+    /// Pre: a voluntary scheduling point.
+    Yield,
+    /// Post: model code observed an invariant violation.
+    Violation {
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl EventKind {
+    /// Converts a borrowed probe event into the owned form.
+    pub fn from_probe(ev: &ProbeEvent<'_>) -> Self {
+        match *ev {
+            ProbeEvent::Acquire { lock, kind } => EventKind::Acquire { lock, mode: kind.into() },
+            ProbeEvent::Acquired { lock, kind } => EventKind::Acquired { lock, mode: kind.into() },
+            ProbeEvent::TryAcquire { lock, kind } => {
+                EventKind::TryAcquire { lock, mode: kind.into() }
+            }
+            ProbeEvent::TryAcquired { lock, kind, acquired } => {
+                EventKind::TryAcquired { lock, mode: kind.into(), acquired }
+            }
+            ProbeEvent::Release { lock, kind } => EventKind::Release { lock, mode: kind.into() },
+            ProbeEvent::ChanSend { chan } => EventKind::ChanSend { chan },
+            ProbeEvent::ChanSent { chan, delivered } => EventKind::ChanSent { chan, delivered },
+            ProbeEvent::ChanRecv { chan } => EventKind::ChanRecv { chan },
+            ProbeEvent::ChanTryRecv { chan } => EventKind::ChanTryRecv { chan },
+            ProbeEvent::ChanReceived { chan, got } => EventKind::ChanReceived { chan, got },
+            ProbeEvent::ChanEndpoints { chan, senders, receivers } => {
+                EventKind::ChanEndpoints { chan, senders, receivers }
+            }
+            ProbeEvent::Access { loc, write } => {
+                EventKind::Access { loc: loc.to_string(), write }
+            }
+            ProbeEvent::Yield => EventKind::Yield,
+            ProbeEvent::Violation { msg } => EventKind::Violation { msg: msg.to_string() },
+        }
+    }
+
+    /// Whether this is a *pre* event — a scheduling point the controlled
+    /// scheduler gates on. Post events are outcome notifications.
+    pub fn is_pre(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Acquire { .. }
+                | EventKind::TryAcquire { .. }
+                | EventKind::Release { .. }
+                | EventKind::ChanSend { .. }
+                | EventKind::ChanRecv { .. }
+                | EventKind::ChanTryRecv { .. }
+                | EventKind::Access { .. }
+                | EventKind::Yield
+        )
+    }
+
+    /// Whether two pending operations are *dependent*: executing them in
+    /// the two possible orders can lead to observably different states.
+    /// Independent pairs commute, so DPOR never branches on them.
+    pub fn dependent(&self, other: &EventKind) -> bool {
+        use EventKind as E;
+        match (self, other) {
+            // Lock operations on the same lock conflict unless both are
+            // shared reads.
+            (
+                E::Acquire { lock: a, mode: ma } | E::TryAcquire { lock: a, mode: ma }
+                | E::Release { lock: a, mode: ma },
+                E::Acquire { lock: b, mode: mb } | E::TryAcquire { lock: b, mode: mb }
+                | E::Release { lock: b, mode: mb },
+            ) => a == b && (ma.exclusive() || mb.exclusive()),
+            // Channel operations on the same channel: send/recv pairs and
+            // recv/recv pairs conflict (who gets the message); send/send
+            // conflicts on FIFO order.
+            (
+                E::ChanSend { chan: a } | E::ChanRecv { chan: a } | E::ChanTryRecv { chan: a },
+                E::ChanSend { chan: b } | E::ChanRecv { chan: b } | E::ChanTryRecv { chan: b },
+            ) => a == b,
+            // Same logical location with at least one write.
+            (E::Access { loc: a, write: wa }, E::Access { loc: b, write: wb }) => {
+                a == b && (*wa || *wb)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One event attributed to a dense thread index.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Dense thread index (see [`Trace::thread_names`]).
+    pub tid: usize,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A complete recorded execution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable name per dense thread index.
+    pub thread_names: Vec<String>,
+    /// Events in global observation order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of distinct threads observed.
+    pub fn threads(&self) -> usize {
+        self.thread_names.len()
+    }
+
+    /// The trace with object ids renumbered densely in first-appearance
+    /// order. Object ids are allocated process-globally, so two runs of
+    /// the *same* schedule over fresh model state differ only by id —
+    /// canonical form is what replay determinism compares.
+    pub fn canonicalized(&self) -> Trace {
+        use std::collections::HashMap;
+        let mut map: HashMap<ObjectId, ObjectId> = HashMap::new();
+        let mut renum = |id: ObjectId| -> ObjectId {
+            let next = map.len() as ObjectId;
+            *map.entry(id).or_insert(next)
+        };
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let kind = match &e.kind {
+                    EventKind::Acquire { lock, mode } => {
+                        EventKind::Acquire { lock: renum(*lock), mode: *mode }
+                    }
+                    EventKind::Acquired { lock, mode } => {
+                        EventKind::Acquired { lock: renum(*lock), mode: *mode }
+                    }
+                    EventKind::TryAcquire { lock, mode } => {
+                        EventKind::TryAcquire { lock: renum(*lock), mode: *mode }
+                    }
+                    EventKind::TryAcquired { lock, mode, acquired } => EventKind::TryAcquired {
+                        lock: renum(*lock),
+                        mode: *mode,
+                        acquired: *acquired,
+                    },
+                    EventKind::Release { lock, mode } => {
+                        EventKind::Release { lock: renum(*lock), mode: *mode }
+                    }
+                    EventKind::ChanSend { chan } => EventKind::ChanSend { chan: renum(*chan) },
+                    EventKind::ChanSent { chan, delivered } => {
+                        EventKind::ChanSent { chan: renum(*chan), delivered: *delivered }
+                    }
+                    EventKind::ChanRecv { chan } => EventKind::ChanRecv { chan: renum(*chan) },
+                    EventKind::ChanTryRecv { chan } => {
+                        EventKind::ChanTryRecv { chan: renum(*chan) }
+                    }
+                    EventKind::ChanReceived { chan, got } => {
+                        EventKind::ChanReceived { chan: renum(*chan), got: *got }
+                    }
+                    EventKind::ChanEndpoints { chan, senders, receivers } => {
+                        EventKind::ChanEndpoints {
+                            chan: renum(*chan),
+                            senders: *senders,
+                            receivers: *receivers,
+                        }
+                    }
+                    other => other.clone(),
+                };
+                TraceEvent { tid: e.tid, kind }
+            })
+            .collect();
+        Trace { thread_names: self.thread_names.clone(), events }
+    }
+
+    /// Messages of all recorded violations, in order.
+    pub fn violations(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Violation { msg } => Some(msg.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependence_is_object_sensitive() {
+        let a1 = EventKind::Acquire { lock: 1, mode: Mode::Mutex };
+        let a2 = EventKind::Acquire { lock: 2, mode: Mode::Mutex };
+        assert!(a1.dependent(&a1.clone()));
+        assert!(!a1.dependent(&a2));
+        let r1 = EventKind::Acquire { lock: 1, mode: Mode::Read };
+        assert!(!r1.dependent(&r1.clone()), "shared reads commute");
+        let w = EventKind::Access { loc: "x".into(), write: true };
+        let r = EventKind::Access { loc: "x".into(), write: false };
+        let r_other = EventKind::Access { loc: "y".into(), write: false };
+        assert!(w.dependent(&r));
+        assert!(!r.dependent(&r.clone()), "read/read commutes");
+        assert!(!w.dependent(&r_other));
+    }
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        let trace = Trace {
+            thread_names: vec!["t0".into(), "t1".into()],
+            events: vec![
+                TraceEvent { tid: 0, kind: EventKind::Acquire { lock: 7, mode: Mode::Mutex } },
+                TraceEvent { tid: 1, kind: EventKind::Access { loc: "v".into(), write: true } },
+                TraceEvent { tid: 0, kind: EventKind::Violation { msg: "boom".into() } },
+            ],
+        };
+        let json = serde_json::to_string(&trace).expect("serialize");
+        let back: Trace = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.events, trace.events);
+        assert_eq!(back.violations(), vec!["boom"]);
+    }
+}

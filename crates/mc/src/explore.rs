@@ -1,0 +1,391 @@
+//! Bounded schedule exploration: stateless DFS over schedule prefixes
+//! with a preemption bound and optional dynamic partial-order reduction.
+//!
+//! Each execution runs a model under the controlled scheduler
+//! ([`crate::sched::run`]) following a prescribed prefix; at every
+//! decision past the prefix the scheduler takes its deterministic
+//! default. From the resulting [`StepInfo`](crate::sched::StepInfo) log the explorer derives
+//! *alternative* prefixes — same decisions up to step `i`, then a
+//! different enabled thread — and pushes them onto the frontier. Under
+//! [`Strategy::Dpor`] an alternative is only queued when its pending
+//! operation is dependent with the one actually chosen (independent
+//! operations commute, so both orders reach the same state).
+//!
+//! The preemption bound caps how many *preemptive* alternatives a
+//! schedule may contain: branching to a thread while the previous runner
+//! is still enabled costs one preemption. Most real concurrency bugs
+//! manifest within two preemptions, which keeps small models exhaustive
+//! in well under a second.
+
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::hb;
+use crate::model::Model;
+use crate::sched::{self, RunOutcome};
+
+/// How alternatives are generated at each decision point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Branch on every enabled alternative (full preemption-bounded
+    /// enumeration; baseline for measuring DPOR's reduction).
+    Exhaustive,
+    /// Branch only on alternatives whose pending operation is dependent
+    /// with the chosen one (sleep-set-free DPOR; sound for safety
+    /// properties under the same preemption bound).
+    Dpor,
+}
+
+/// Exploration limits.
+#[derive(Clone, Debug)]
+pub struct Bounds {
+    /// Maximum preemptions per schedule (CHESS-style context bound).
+    pub preemptions: usize,
+    /// Hard cap on schedules executed (safety net).
+    pub max_schedules: usize,
+    /// Wall-clock budget; exploration stops early when exceeded.
+    pub budget: Duration,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            preemptions: 2,
+            max_schedules: 100_000,
+            budget: Duration::from_secs(60),
+        }
+    }
+}
+
+/// A schedule that violated something, packaged for replay.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CounterExample {
+    /// The full schedule (thread index per decision) — replaying it
+    /// through [`replay`] reproduces the identical failure.
+    pub schedule: Vec<usize>,
+    /// Violation messages (invariant failures, panics, deadlock).
+    pub violations: Vec<String>,
+    /// Whether the failure was a deadlock.
+    pub deadlock: bool,
+    /// Static identities of the locks involved in the deadlock, resolved
+    /// through the model's `lock_names` binding (empty when unnamed).
+    pub deadlock_locks: Vec<String>,
+    /// Data races the happens-before engine found in the failing trace.
+    pub races: Vec<String>,
+}
+
+/// Summary of one exploration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Exploration {
+    /// Model name.
+    pub model: String,
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Preemption bound.
+    pub preemption_bound: usize,
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// Whether the frontier drained (state space exhausted within the
+    /// bound) rather than a budget/cap stopping exploration early.
+    pub exhausted: bool,
+    /// Wall-clock time spent, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Violating schedules found (empty for a clean model).
+    pub counter_examples: Vec<CounterExample>,
+    /// Distinct race reports seen across all explored traces.
+    pub races: Vec<String>,
+    /// Distinct lock-order cycles seen across all explored traces
+    /// (lock object-ids, canonically rotated).
+    pub cycles: Vec<Vec<u64>>,
+}
+
+impl Exploration {
+    /// True when nothing bad was observed.
+    pub fn is_clean(&self) -> bool {
+        self.counter_examples.is_empty() && self.races.is_empty()
+    }
+}
+
+fn race_key(trace_races: &[hb::Race]) -> Vec<String> {
+    trace_races
+        .iter()
+        .map(|r| {
+            format!(
+                "{}: {} by t{} vs {} by t{}",
+                r.loc,
+                if r.first.write { "write" } else { "read" },
+                r.first.tid,
+                if r.second.write { "write" } else { "read" },
+                r.second.tid,
+            )
+        })
+        .collect()
+}
+
+/// Explores `model` under `strategy` within `bounds`. Stops at the first
+/// counter-example when `stop_at_first` is set (replay/CI use); otherwise
+/// keeps going until the frontier drains or a bound trips.
+pub fn explore(
+    model: &Model,
+    strategy: Strategy,
+    bounds: &Bounds,
+    stop_at_first: bool,
+) -> Exploration {
+    let _session = crate::session::acquire();
+    let started = Instant::now();
+    let mut frontier: VecDeque<Vec<usize>> = VecDeque::new();
+    frontier.push_back(Vec::new());
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    seen.insert(Vec::new());
+
+    let mut out = Exploration {
+        model: model.name.to_string(),
+        strategy,
+        preemption_bound: bounds.preemptions,
+        schedules: 0,
+        exhausted: false,
+        elapsed_ms: 0,
+        counter_examples: Vec::new(),
+        races: Vec::new(),
+        cycles: Vec::new(),
+    };
+    let mut race_set: HashSet<String> = HashSet::new();
+    let mut cycle_set: HashSet<Vec<u64>> = HashSet::new();
+
+    while let Some(prefix) = frontier.pop_front() {
+        if out.schedules >= bounds.max_schedules || started.elapsed() > bounds.budget {
+            break;
+        }
+        let run = model.instantiate();
+        let lock_names = run.lock_names;
+        let outcome = sched::run(run.bodies, run.finale, &prefix);
+        if outcome.infeasible {
+            // A prefix can go stale when an earlier branch changed
+            // enabledness downstream; dropping it is sound because every
+            // feasible alternative was queued from the run that spawned it.
+            continue;
+        }
+        out.schedules += 1;
+
+        let report = hb::analyze(&outcome.trace);
+        for key in race_key(&report.races) {
+            if race_set.insert(key.clone()) {
+                out.races.push(key);
+            }
+        }
+        for cycle in &report.cycles {
+            if cycle_set.insert(cycle.locks.clone()) {
+                out.cycles.push(cycle.locks.clone());
+            }
+        }
+
+        if !outcome.violations.is_empty() || outcome.deadlock {
+            out.counter_examples.push(CounterExample {
+                schedule: outcome.schedule.clone(),
+                violations: outcome.violations.clone(),
+                deadlock: outcome.deadlock,
+                deadlock_locks: lock_names
+                    .iter()
+                    .filter(|(_, id)| outcome.deadlock_locks.contains(id))
+                    .map(|(name, _)| name.clone())
+                    .collect(),
+                races: race_key(&report.races),
+            });
+            if stop_at_first {
+                out.elapsed_ms = started.elapsed().as_millis() as u64;
+                return out;
+            }
+            // Do not expand alternatives from a torn-down execution: its
+            // step log stops at the failure, and every prefix up to that
+            // point was already queued by the runs that led here.
+            continue;
+        }
+
+        queue_alternatives(&outcome, &prefix, strategy, bounds, &mut seen, &mut frontier);
+    }
+
+    out.exhausted = frontier.is_empty() && out.schedules < bounds.max_schedules;
+    out.elapsed_ms = started.elapsed().as_millis() as u64;
+    out
+}
+
+/// Derives alternative prefixes from a completed run's decision log.
+///
+/// `Exhaustive` branches to every enabled alternative at every decision
+/// past the prescribed prefix. `Dpor` derives backtrack points the
+/// Flanagan–Godefroid way, from *executed* steps: for every pair of
+/// dependent steps `i < j` run by different threads, re-schedule step
+/// `j`'s thread at index `i` (or, when it was not yet enabled there,
+/// every enabled alternative — it may need another thread to run first
+/// to become enabled). Comparing only *pending* operations would be
+/// unsound: a thread parked at its start-of-thread `Yield` looks
+/// independent of everything while all its real conflicts sit behind it.
+fn queue_alternatives(
+    outcome: &RunOutcome,
+    prefix: &[usize],
+    strategy: Strategy,
+    bounds: &Bounds,
+    seen: &mut HashSet<Vec<usize>>,
+    frontier: &mut VecDeque<Vec<usize>>,
+) {
+    // Preemptions committed before each step: branching at step `i`
+    // inherits the preemption count of schedule[..i].
+    let mut preempt_before = vec![0usize; outcome.steps.len() + 1];
+    for (i, step) in outcome.steps.iter().enumerate() {
+        preempt_before[i + 1] = preempt_before[i] + usize::from(step.preemption); // hc-lint: allow(panic-index)
+    }
+
+    let mut queue_branch = |i: usize, alt: usize| {
+        let step = &outcome.steps[i]; // hc-lint: allow(panic-index)
+        if alt == step.chosen || !step.enabled.iter().any(|&(t, _)| t == alt) {
+            return;
+        }
+        // Scheduling `alt` here preempts iff the previous runner (chosen
+        // at i-1) is still enabled at i and is not `alt`.
+        let prev = i.checked_sub(1).map(|j| outcome.schedule[j]); // hc-lint: allow(panic-index)
+        let is_preemption =
+            prev.is_some_and(|p| p != alt && step.enabled.iter().any(|&(t, _)| t == p));
+        if preempt_before[i] + usize::from(is_preemption) > bounds.preemptions { // hc-lint: allow(panic-index)
+            return;
+        }
+        let mut branch: Vec<usize> = outcome.schedule.get(..i).unwrap_or_default().to_vec();
+        branch.push(alt);
+        if seen.insert(branch.clone()) {
+            frontier.push_back(branch);
+        }
+    };
+
+    match strategy {
+        Strategy::Exhaustive => {
+            for (i, step) in outcome.steps.iter().enumerate().skip(prefix.len()) {
+                for &(alt, _) in &step.enabled {
+                    queue_branch(i, alt);
+                }
+            }
+        }
+        Strategy::Dpor => {
+            for j in 0..outcome.steps.len() {
+                for i in 0..j {
+                    let (si, sj) = (&outcome.steps[i], &outcome.steps[j]); // hc-lint: allow(panic-index)
+                    if si.chosen == sj.chosen || !si.op.dependent(&sj.op) {
+                        continue;
+                    }
+                    if si.enabled.iter().any(|&(t, _)| t == sj.chosen) {
+                        queue_branch(i, sj.chosen);
+                    } else {
+                        // Step j's thread was disabled at i: something
+                        // else must run first, so backtrack every
+                        // alternative.
+                        for &(alt, _) in &si.enabled.clone() {
+                            queue_branch(i, alt);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Re-executes `model` under exactly `schedule`. Deterministic: the same
+/// schedule yields the same trace, the same violations, the same
+/// everything — this is what makes a counter-example an artifact rather
+/// than an anecdote.
+pub fn replay(model: &Model, schedule: &[usize]) -> RunOutcome {
+    let _session = crate::session::acquire();
+    let run = model.instantiate();
+    sched::run(run.bodies, run.finale, schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, ModelRun};
+    use std::sync::Arc;
+
+    fn racy_model() -> Model {
+        Model {
+            name: "test.racy-counter",
+            description: "planted lost-update",
+            factory: Box::new(|| {
+                let c = Arc::new(mc_fixtures::RacyCounter::new());
+                let (c1, c2, cf) = (Arc::clone(&c), Arc::clone(&c), Arc::clone(&c));
+                ModelRun {
+                    bodies: vec![
+                        Box::new(move || c1.bump_lost_update()),
+                        Box::new(move || c2.bump_lost_update()),
+                    ],
+                    finale: Some(Box::new(move || {
+                        hc_common::conc::mc::check(cf.get() == 2, "lost update");
+                    })),
+                    lock_names: Vec::new(),
+                }
+            }),
+        }
+    }
+
+    fn clean_model() -> Model {
+        Model {
+            name: "test.atomic-counter",
+            description: "single critical section",
+            factory: Box::new(|| {
+                let c = Arc::new(mc_fixtures::RacyCounter::new());
+                let (c1, c2, cf) = (Arc::clone(&c), Arc::clone(&c), Arc::clone(&c));
+                ModelRun {
+                    bodies: vec![
+                        Box::new(move || c1.bump_atomic()),
+                        Box::new(move || c2.bump_atomic()),
+                    ],
+                    finale: Some(Box::new(move || {
+                        hc_common::conc::mc::check(cf.get() == 2, "atomic bump lost");
+                    })),
+                    lock_names: Vec::new(),
+                }
+            }),
+        }
+    }
+
+    #[test]
+    fn planted_lost_update_is_found_and_replayable() {
+        let model = racy_model();
+        let found = explore(&model, Strategy::Dpor, &Bounds::default(), true);
+        assert!(
+            !found.counter_examples.is_empty(),
+            "explorer must find the planted race: {found:?}"
+        );
+        let ce = &found.counter_examples[0]; // hc-lint: allow(panic-index)
+        assert!(!ce.races.is_empty(), "HB engine flags the same schedule: {ce:?}");
+        // Replay determinism: same schedule, same failure.
+        let replayed = replay(&model, &ce.schedule);
+        assert_eq!(replayed.violations, ce.violations);
+        let replayed_again = replay(&model, &ce.schedule);
+        assert_eq!(
+            replayed_again.trace.canonicalized().events,
+            replayed.trace.canonicalized().events
+        );
+    }
+
+    #[test]
+    fn clean_model_exhausts_without_violations() {
+        let model = clean_model();
+        let swept = explore(&model, Strategy::Dpor, &Bounds::default(), false);
+        assert!(swept.exhausted, "small model must exhaust: {swept:?}");
+        assert!(swept.is_clean(), "{swept:?}");
+        assert!(swept.schedules >= 2, "at least both orders run: {}", swept.schedules);
+    }
+
+    #[test]
+    fn dpor_explores_no_more_schedules_than_exhaustive() {
+        let model = clean_model();
+        let full = explore(&model, Strategy::Exhaustive, &Bounds::default(), false);
+        let dpor = explore(&model, Strategy::Dpor, &Bounds::default(), false);
+        assert!(full.exhausted && dpor.exhausted);
+        assert!(
+            dpor.schedules <= full.schedules,
+            "dpor {} > exhaustive {}",
+            dpor.schedules,
+            full.schedules
+        );
+    }
+}

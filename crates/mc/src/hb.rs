@@ -1,0 +1,441 @@
+//! Happens-before analysis over recorded traces: a FastTrack-style
+//! vector-clock race detector plus an observed lock-order cycle scan.
+//!
+//! The detector replays a [`Trace`] maintaining, per thread, a vector
+//! clock `C_t`; per lock, a release clock `L_m` joined into an acquiring
+//! thread's clock; and per channel, a FIFO queue of sender clocks joined
+//! at the matching receive (our channel shim is FIFO, so message
+//! identity is positional). Logical locations annotated via
+//! `hc_common::conc::mc` carry FastTrack epochs: a write is one
+//! `(thread, clock)` pair, reads a per-thread vector. Two accesses to
+//! the same location race when neither's epoch is contained in the
+//! other thread's clock at access time and at least one is a write.
+//!
+//! The lock-order scan rebuilds each thread's held-set from
+//! acquire/release events and accumulates a directed `first → second`
+//! edge per nested acquisition; any cycle in that graph is an observed
+//! lock-order inversion (ABBA and longer).
+//!
+//! Soundness notes (see LINTS.md): the detector sees *logical* accesses
+//! only — unannotated shared state is invisible; rwlock read-side
+//! releases still join the lock clock, so read-read orderings add
+//! happens-before edges a weaker detector would not (possible false
+//! negatives, never false positives on annotated state).
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::mc::ObjectId;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventKind, Trace};
+
+/// A vector clock over dense thread indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock(Vec<u32>);
+
+impl VectorClock {
+    /// The component for `tid` (0 when never ticked).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets component `tid` to `value`, growing as needed.
+    pub fn set(&mut self, tid: usize, value: u32) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = value; // hc-lint: allow(panic-index)
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// One racing access site.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AccessSite {
+    /// Thread that performed the access.
+    pub tid: usize,
+    /// Index into the trace's event vector.
+    pub event: usize,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+/// An unsynchronized access pair on one logical location.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Race {
+    /// The logical location name.
+    pub loc: String,
+    /// The earlier access (trace order).
+    pub first: AccessSite,
+    /// The later access that raced with it.
+    pub second: AccessSite,
+}
+
+/// An observed lock-order cycle (`locks[i]` was held while acquiring
+/// `locks[(i + 1) % n]`, for every `i`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LockCycle {
+    /// Lock identities around the cycle.
+    pub locks: Vec<ObjectId>,
+    /// One witness trace-event index per edge.
+    pub witnesses: Vec<usize>,
+}
+
+/// Everything the happens-before pass found in one trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct HbReport {
+    /// Unsynchronized access pairs.
+    pub races: Vec<Race>,
+    /// Observed lock-order cycles.
+    pub cycles: Vec<LockCycle>,
+}
+
+impl HbReport {
+    /// Whether the trace was clean.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty() && self.cycles.is_empty()
+    }
+}
+
+/// Per-location FastTrack state.
+#[derive(Default)]
+struct LocState {
+    /// Last write epoch: (tid, clock, event index).
+    write: Option<(usize, u32, usize)>,
+    /// Per-thread last read: tid → (clock, event index).
+    reads: HashMap<usize, (u32, usize)>,
+}
+
+/// Runs the full happens-before pass over `trace`.
+pub fn analyze(trace: &Trace) -> HbReport {
+    let mut report = HbReport::default();
+    let threads = trace.threads().max(
+        trace.events.iter().map(|e| e.tid + 1).max().unwrap_or(0),
+    );
+
+    // Each thread starts at clock 1 so fresh epochs are never confused
+    // with the all-zero "empty" clock.
+    let mut clocks: Vec<VectorClock> = (0..threads)
+        .map(|t| {
+            let mut vc = VectorClock::default();
+            vc.set(t, 1);
+            vc
+        })
+        .collect();
+    let mut lock_clocks: HashMap<ObjectId, VectorClock> = HashMap::new();
+    let mut chan_queues: HashMap<ObjectId, VecDeque<VectorClock>> = HashMap::new();
+    let mut locations: HashMap<String, LocState> = HashMap::new();
+
+    // Lock-order state: per-thread held locks with the acquiring event,
+    // and the global first→second edge map.
+    let mut held: Vec<Vec<(ObjectId, usize)>> = vec![Vec::new(); threads];
+    let mut edges: HashMap<(ObjectId, ObjectId), usize> = HashMap::new();
+
+    for (idx, ev) in trace.events.iter().enumerate() {
+        let t = ev.tid;
+        if t >= clocks.len() {
+            continue; // malformed trace; skip rather than panic
+        }
+        match &ev.kind {
+            EventKind::Acquired { lock, .. }
+            | EventKind::TryAcquired { lock, acquired: true, .. } => {
+                if let Some(lc) = lock_clocks.get(lock) {
+                    clocks[t].join(lc); // hc-lint: allow(panic-index)
+                }
+                for &(h, _) in &held[t] { // hc-lint: allow(panic-index)
+                    if h != *lock {
+                        edges.entry((h, *lock)).or_insert(idx);
+                    }
+                }
+                held[t].push((*lock, idx)); // hc-lint: allow(panic-index)
+            }
+            EventKind::Release { lock, .. } => {
+                let ct = clocks[t].clone(); // hc-lint: allow(panic-index)
+                lock_clocks.entry(*lock).or_default().join(&ct);
+                let tick = clocks[t].get(t) + 1; // hc-lint: allow(panic-index)
+                clocks[t].set(t, tick); // hc-lint: allow(panic-index)
+                if let Some(pos) = held[t].iter().rposition(|&(h, _)| h == *lock) { // hc-lint: allow(panic-index)
+                    held[t].remove(pos); // hc-lint: allow(panic-index)
+                }
+            }
+            EventKind::ChanSent { chan, delivered: true } => {
+                let ct = clocks[t].clone(); // hc-lint: allow(panic-index)
+                chan_queues.entry(*chan).or_default().push_back(ct);
+                let tick = clocks[t].get(t) + 1; // hc-lint: allow(panic-index)
+                clocks[t].set(t, tick); // hc-lint: allow(panic-index)
+            }
+            EventKind::ChanReceived { chan, got: true } => {
+                if let Some(vc) = chan_queues.entry(*chan).or_default().pop_front() {
+                    clocks[t].join(&vc); // hc-lint: allow(panic-index)
+                }
+            }
+            EventKind::Access { loc, write } => {
+                let ct = &clocks[t]; // hc-lint: allow(panic-index)
+                let state = locations.entry(loc.clone()).or_default();
+                // A prior write not contained in our clock races with any
+                // access; prior reads race only with a write.
+                if let Some((wt, wc, wi)) = state.write {
+                    if wt != t && ct.get(wt) < wc {
+                        report.races.push(Race {
+                            loc: loc.clone(),
+                            first: AccessSite { tid: wt, event: wi, write: true },
+                            second: AccessSite { tid: t, event: idx, write: *write },
+                        });
+                    }
+                }
+                if *write {
+                    for (&rt, &(rc, ri)) in &state.reads {
+                        if rt != t && ct.get(rt) < rc {
+                            report.races.push(Race {
+                                loc: loc.clone(),
+                                first: AccessSite { tid: rt, event: ri, write: false },
+                                second: AccessSite { tid: t, event: idx, write: true },
+                            });
+                        }
+                    }
+                    state.write = Some((t, ct.get(t), idx));
+                    state.reads.clear();
+                } else {
+                    state.reads.insert(t, (ct.get(t), idx));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    report.cycles = find_cycles(&edges);
+    // Deterministic output independent of hash iteration order.
+    report.races.sort_by(|a, b| {
+        (a.first.event, a.second.event).cmp(&(b.first.event, b.second.event))
+    });
+    report.races.dedup_by(|a, b| {
+        a.loc == b.loc && a.first.event == b.first.event && a.second.event == b.second.event
+    });
+    report
+}
+
+/// Finds elementary cycles in the lock-order edge graph via DFS with
+/// three-color marking; reports each cycle once, rotated to start at its
+/// smallest lock id.
+fn find_cycles(edges: &HashMap<(ObjectId, ObjectId), usize>) -> Vec<LockCycle> {
+    let mut adj: HashMap<ObjectId, Vec<ObjectId>> = HashMap::new();
+    for &(a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    for succs in adj.values_mut() {
+        succs.sort_unstable();
+    }
+    let mut nodes: Vec<ObjectId> = adj.keys().copied().collect();
+    nodes.sort_unstable();
+
+    let mut done: HashMap<ObjectId, bool> = HashMap::new(); // true = fully explored
+    let mut found: Vec<Vec<ObjectId>> = Vec::new();
+    let mut seen_keys: std::collections::HashSet<Vec<ObjectId>> = std::collections::HashSet::new();
+
+    for &start in &nodes {
+        if done.contains_key(&start) {
+            continue;
+        }
+        // Iterative DFS tracking the current path.
+        let mut path: Vec<ObjectId> = Vec::new();
+        let mut stack: Vec<(ObjectId, usize)> = vec![(start, 0)];
+        while let Some(&(node, next)) = stack.last() {
+            if next == 0 {
+                path.push(node);
+            }
+            let succs = adj.get(&node).map(Vec::as_slice).unwrap_or_default();
+            if let Some(&succ) = succs.get(next) {
+                if let Some(top) = stack.last_mut() {
+                    top.1 += 1;
+                }
+                if let Some(pos) = path.iter().position(|&n| n == succ) {
+                    let cycle: Vec<ObjectId> = path[pos..].to_vec(); // hc-lint: allow(panic-index)
+                    let key = canonical(&cycle);
+                    if seen_keys.insert(key.clone()) {
+                        found.push(key);
+                    }
+                } else if !done.get(&succ).copied().unwrap_or(false) {
+                    stack.push((succ, 0));
+                }
+            } else {
+                done.insert(node, true);
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+
+    found
+        .into_iter()
+        .map(|locks| {
+            let witnesses = locks
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| {
+                    let b = locks[(i + 1) % locks.len()]; // hc-lint: allow(panic-index)
+                    edges.get(&(a, b)).copied().unwrap_or(0)
+                })
+                .collect();
+            LockCycle { locks, witnesses }
+        })
+        .collect()
+}
+
+/// Rotates `cycle` to start at its smallest element.
+fn canonical(cycle: &[ObjectId]) -> Vec<ObjectId> {
+    let Some(min_pos) = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &v)| v)
+        .map(|(i, _)| i)
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min_pos..]); // hc-lint: allow(panic-index)
+    out.extend_from_slice(&cycle[..min_pos]); // hc-lint: allow(panic-index)
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Mode, TraceEvent};
+
+    fn ev(tid: usize, kind: EventKind) -> TraceEvent {
+        TraceEvent { tid, kind }
+    }
+
+    fn acq(tid: usize, lock: ObjectId) -> TraceEvent {
+        ev(tid, EventKind::Acquired { lock, mode: Mode::Mutex })
+    }
+
+    fn rel(tid: usize, lock: ObjectId) -> TraceEvent {
+        ev(tid, EventKind::Release { lock, mode: Mode::Mutex })
+    }
+
+    fn acc(tid: usize, loc: &str, write: bool) -> TraceEvent {
+        ev(tid, EventKind::Access { loc: loc.into(), write })
+    }
+
+    fn trace(events: Vec<TraceEvent>) -> Trace {
+        let threads = events.iter().map(|e| e.tid + 1).max().unwrap_or(0);
+        Trace {
+            thread_names: (0..threads).map(|t| format!("t{t}")).collect(),
+            events,
+        }
+    }
+
+    #[test]
+    fn write_write_race_without_synchronization() {
+        let t = trace(vec![acc(0, "x", true), acc(1, "x", true)]);
+        let r = analyze(&t);
+        assert_eq!(r.races.len(), 1, "{r:?}");
+        assert_eq!(r.races[0].loc, "x");
+    }
+
+    #[test]
+    fn lock_protected_accesses_do_not_race() {
+        let t = trace(vec![
+            acq(0, 1),
+            acc(0, "x", true),
+            rel(0, 1),
+            acq(1, 1),
+            acc(1, "x", true),
+            rel(1, 1),
+        ]);
+        let r = analyze(&t);
+        assert!(r.races.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn access_between_critical_sections_races() {
+        // The lost-update shape: each thread reads under the lock, then
+        // touches the logical location between its two critical sections.
+        let t = trace(vec![
+            acq(0, 1),
+            rel(0, 1),
+            acc(0, "counter", true),
+            acq(1, 1),
+            rel(1, 1),
+            acc(1, "counter", true),
+        ]);
+        let r = analyze(&t);
+        assert_eq!(r.races.len(), 1, "release ticks isolate the access: {r:?}");
+    }
+
+    #[test]
+    fn channel_send_receive_orders_accesses() {
+        let t = trace(vec![
+            acc(0, "x", true),
+            ev(0, EventKind::ChanSent { chan: 9, delivered: true }),
+            ev(1, EventKind::ChanReceived { chan: 9, got: true }),
+            acc(1, "x", false),
+        ]);
+        let r = analyze(&t);
+        assert!(r.races.is_empty(), "message passing is an HB edge: {r:?}");
+    }
+
+    #[test]
+    fn read_read_does_not_race_but_read_write_does() {
+        let t = trace(vec![acc(0, "x", false), acc(1, "x", false)]);
+        assert!(analyze(&t).races.is_empty());
+        let t = trace(vec![acc(0, "x", false), acc(1, "x", true)]);
+        assert_eq!(analyze(&t).races.len(), 1);
+    }
+
+    #[test]
+    fn abba_lock_order_cycle_detected() {
+        // Thread 0 nests 1→2, thread 1 nests 2→1 — no deadlock in this
+        // trace, but the order graph has a 2-cycle.
+        let t = trace(vec![
+            acq(0, 1),
+            acq(0, 2),
+            rel(0, 2),
+            rel(0, 1),
+            acq(1, 2),
+            acq(1, 1),
+            rel(1, 1),
+            rel(1, 2),
+        ]);
+        let r = analyze(&t);
+        assert_eq!(r.cycles.len(), 1, "{r:?}");
+        assert_eq!(r.cycles[0].locks, vec![1, 2]);
+    }
+
+    #[test]
+    fn consistent_nesting_has_no_cycle() {
+        let t = trace(vec![
+            acq(0, 1),
+            acq(0, 2),
+            rel(0, 2),
+            rel(0, 1),
+            acq(1, 1),
+            acq(1, 2),
+            rel(1, 2),
+            rel(1, 1),
+        ]);
+        assert!(analyze(&t).cycles.is_empty());
+    }
+
+    #[test]
+    fn three_way_cycle_detected() {
+        let t = trace(vec![
+            acq(0, 1), acq(0, 2), rel(0, 2), rel(0, 1),
+            acq(1, 2), acq(1, 3), rel(1, 3), rel(1, 2),
+            acq(2, 3), acq(2, 1), rel(2, 1), rel(2, 3),
+        ]);
+        let r = analyze(&t);
+        assert_eq!(r.cycles.len(), 1, "{r:?}");
+        assert_eq!(r.cycles[0].locks.len(), 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! `hc-mc` — the concurrency checker for the trusted healthcare
+//! analytics platform.
+//!
+//! Two engines share one event vocabulary ([`event`]), interposed on the
+//! vendored lock and channel shims behind the `mc` cargo feature
+//! (production builds carry zero instrumentation):
+//!
+//! * **Happens-before race detection** ([`hb`]) — a FastTrack-style
+//!   vector-clock analysis over traces recorded ([`record`]) from real
+//!   executions (the soak tests), flagging unsynchronized access pairs
+//!   and observed lock-order cycles even when this particular run got
+//!   lucky.
+//! * **Bounded schedule exploration** ([`sched`], [`explore`]) — a
+//!   controlled cooperative scheduler that owns every interleaving
+//!   decision, driven by a preemption-bounded DPOR explorer over small
+//!   registered models ([`model`]) of the platform's concurrency core.
+//!   Counter-examples are deterministic schedules: replaying one
+//!   reproduces the identical failure, event for event.
+//!
+//! The two engines close the loop with `hc-lint`: static
+//! `lock-order-inversion` findings are confirmed (with a deadlocking
+//! schedule) or declared unrealizable by exploration ([`crosscheck`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crosscheck;
+pub mod event;
+pub mod explore;
+pub mod hb;
+pub mod metrics;
+pub mod model;
+pub mod record;
+pub mod report;
+pub mod sched;
+pub mod session;

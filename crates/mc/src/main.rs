@@ -1,0 +1,358 @@
+//! `hc-mc` CLI.
+//!
+//! ```text
+//! hc-mc list
+//! hc-mc self-check [--json FILE]
+//! hc-mc sweep [--budget-secs N] [--preemptions N]
+//!             [--strategy dpor|exhaustive] [--json FILE]
+//! hc-mc cross-check [--root DIR] [--budget-secs N] [--json FILE]
+//! hc-mc replay --model NAME --schedule 0,0,1,1
+//! ```
+//!
+//! Exit codes: `0` success (self-check caught everything / sweep clean /
+//! cross-check decisive / replay reproduced a violation when one was
+//! expected), `1` check failure, `2` usage error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use hc_mc::crosscheck::{cross_check, CrossCheckReport};
+use hc_mc::explore::{explore, replay, Bounds, Strategy};
+use hc_mc::hb;
+use hc_mc::model;
+use hc_mc::report::{McArtifact, SelfCheckReport, SelfCheckResult, SweepReport};
+
+fn usage() -> &'static str {
+    "usage: hc-mc <list|self-check|sweep|cross-check|replay> [options]\n\
+     \n\
+     list                      print registered models (clean + planted)\n\
+     self-check                prove both engines still catch every\n\
+     \x20                         planted defect, deterministically\n\
+     sweep                     bounded-exhaustive exploration of every\n\
+     \x20                         clean model (E22 / CI model-check)\n\
+     cross-check               verdict every static lock-order-inversion\n\
+     \x20                         finding: confirmed | unrealizable\n\
+     replay                    re-execute one model under one schedule\n\
+     \n\
+     --json FILE               write the JSON artifact\n\
+     --budget-secs N           wall-clock budget (default 60)\n\
+     --preemptions N           preemption bound (default 2)\n\
+     --strategy dpor|exhaustive  alternative generation (default dpor)\n\
+     --root DIR                workspace root for cross-check\n\
+     --model NAME              model for replay\n\
+     --schedule A,B,C          comma-separated thread indices for replay\n"
+}
+
+struct Opts {
+    json: Option<PathBuf>,
+    budget_secs: u64,
+    preemptions: usize,
+    strategy: Strategy,
+    root: PathBuf,
+    model: Option<String>,
+    schedule: Vec<usize>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        json: None,
+        budget_secs: 60,
+        preemptions: 2,
+        strategy: Strategy::Dpor,
+        root: default_root(),
+        model: None,
+        schedule: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = Some(PathBuf::from(it.next().ok_or("--json needs a value")?)),
+            "--budget-secs" => {
+                opts.budget_secs = it
+                    .next()
+                    .ok_or("--budget-secs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--budget-secs: {e}"))?;
+            }
+            "--preemptions" => {
+                opts.preemptions = it
+                    .next()
+                    .ok_or("--preemptions needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--preemptions: {e}"))?;
+            }
+            "--strategy" => {
+                opts.strategy = match it.next().map(String::as_str) {
+                    Some("dpor") => Strategy::Dpor,
+                    Some("exhaustive") => Strategy::Exhaustive,
+                    other => return Err(format!("--strategy must be dpor|exhaustive, got {other:?}")),
+                };
+            }
+            "--root" => opts.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--model" => opts.model = Some(it.next().ok_or("--model needs a value")?.clone()),
+            "--schedule" => {
+                let spec = it.next().ok_or("--schedule needs a value")?;
+                opts.schedule = spec
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("--schedule: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Workspace root: cwd when it holds `crates/`, else two levels above
+/// this crate's manifest.
+fn default_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(cwd)
+}
+
+fn bounds(opts: &Opts) -> Bounds {
+    Bounds {
+        preemptions: opts.preemptions,
+        max_schedules: 100_000,
+        budget: Duration::from_secs(opts.budget_secs),
+    }
+}
+
+fn write_artifact(path: Option<&Path>, artifact: &McArtifact) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    let json = serde_json::to_string(artifact).map_err(|e| format!("serialise artifact: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!("hc-mc: wrote artifact to {}", path.display());
+    Ok(())
+}
+
+fn cmd_list() -> ExitCode {
+    println!("clean models (sweep / E22):");
+    for m in model::registry() {
+        println!("  {:28} {}", m.name, m.description);
+    }
+    println!("planted models (self-check):");
+    for m in model::planted() {
+        println!("  {:28} {}", m.name, m.description);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_self_check(opts: &Opts) -> Result<ExitCode, String> {
+    let bounds = bounds(opts);
+    let mut results = Vec::new();
+    for m in model::planted() {
+        let found = explore(&m, opts.strategy, &bounds, true);
+        let ce = found.counter_examples.first();
+        let caught_by_explorer = ce.is_some();
+        // The HB engine must independently flag the failing execution:
+        // a data race in the trace, or a lock-order cycle.
+        let caught_by_hb = ce.is_some_and(|c| !c.races.is_empty() || !c.deadlock_locks.is_empty())
+            || !found.races.is_empty()
+            || !found.cycles.is_empty();
+        let (schedule, replay_deterministic) = match ce {
+            Some(c) => {
+                let first = replay(&m, &c.schedule);
+                let second = replay(&m, &c.schedule);
+                let deterministic = first.violations == c.violations
+                    && second.violations == first.violations
+                    && second.trace.canonicalized().events == first.trace.canonicalized().events
+                    && first.deadlock == c.deadlock;
+                (c.schedule.clone(), deterministic)
+            }
+            None => (Vec::new(), false),
+        };
+        let result = SelfCheckResult {
+            model: m.name.to_string(),
+            caught_by_explorer,
+            caught_by_hb,
+            schedule,
+            replay_deterministic,
+            schedules_to_find: found.schedules,
+        };
+        println!(
+            "self-check {:24} explorer={} hb={} replay={} ({} schedule(s), schedule {:?})",
+            result.model,
+            if result.caught_by_explorer { "caught" } else { "MISSED" },
+            if result.caught_by_hb { "caught" } else { "MISSED" },
+            if result.replay_deterministic { "deterministic" } else { "UNSTABLE" },
+            result.schedules_to_find,
+            result.schedule,
+        );
+        results.push(result);
+    }
+    let passed = results.iter().all(SelfCheckResult::passed);
+    let report = SelfCheckReport {
+        tool: "hc-mc".to_string(),
+        schema_version: 1,
+        passed,
+        results,
+    };
+    let mut artifact = McArtifact::empty();
+    artifact.self_check = Some(report);
+    write_artifact(opts.json.as_deref(), &artifact)?;
+    if passed {
+        println!("hc-mc self-check: PASS");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("hc-mc self-check: FAIL — a planted defect went uncaught");
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<ExitCode, String> {
+    let bounds = bounds(opts);
+    let registry = hc_telemetry::Registry::new();
+    let instruments = hc_mc::metrics::McInstruments::new(&registry);
+    let mut explorations = Vec::new();
+    for m in model::registry() {
+        let result = explore(&m, opts.strategy, &bounds, false);
+        instruments.observe_exploration(&result);
+        println!(
+            "sweep {:32} {} schedule(s) in {} ms — {}{}",
+            result.model,
+            result.schedules,
+            result.elapsed_ms,
+            if result.is_clean() { "clean" } else { "VIOLATIONS" },
+            if result.exhausted { ", exhausted" } else { ", TRUNCATED" },
+        );
+        for ce in &result.counter_examples {
+            println!("    counter-example schedule {:?}: {:?}", ce.schedule, ce.violations);
+        }
+        for race in &result.races {
+            println!("    race: {race}");
+        }
+        explorations.push(result);
+    }
+    let snap = registry.snapshot();
+    println!(
+        "mc.schedules_explored={} mc.races_found={} mc.violations={} mc.deadlocks={}",
+        snap.counter("mc.schedules_explored").unwrap_or(0),
+        snap.counter("mc.races_found").unwrap_or(0),
+        snap.counter("mc.violations").unwrap_or(0),
+        snap.counter("mc.deadlocks").unwrap_or(0),
+    );
+    let report = SweepReport::new(explorations);
+    let clean = report.clean;
+    let mut artifact = McArtifact::empty();
+    artifact.sweep = Some(report);
+    write_artifact(opts.json.as_deref(), &artifact)?;
+    if clean {
+        println!("hc-mc sweep: PASS (all models exhausted clean)");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("hc-mc sweep: FAIL");
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn cmd_cross_check(opts: &Opts) -> Result<ExitCode, String> {
+    if !opts.root.join("crates").is_dir() {
+        return Err(format!(
+            "{} does not look like the workspace root (no crates/)",
+            opts.root.display()
+        ));
+    }
+    let report: CrossCheckReport = cross_check(&opts.root, &bounds(opts));
+    for v in &report.verdicts {
+        println!(
+            "cross-check {}:{}:{} [{} ↔ {}] — {}{}",
+            v.file,
+            v.line,
+            v.col,
+            v.locks.first().map(String::as_str).unwrap_or("?"),
+            v.locks.get(1).map(String::as_str).unwrap_or("?"),
+            v.verdict.label(),
+            match v.verdict {
+                hc_mc::crosscheck::VerdictKind::Confirmed =>
+                    format!(" (model {}, schedule {:?})", v.model.as_deref().unwrap_or("?"), v.schedule),
+                _ => format!(" ({} schedule(s) explored)", v.schedules_explored),
+            },
+        );
+    }
+    let decisive = report.decisive();
+    println!(
+        "hc-mc cross-check: {} finding(s), {}",
+        report.findings,
+        if decisive { "all decisive" } else { "UNMODELED pairs present" },
+    );
+    let mut artifact = McArtifact::empty();
+    artifact.cross_check = Some(report);
+    write_artifact(opts.json.as_deref(), &artifact)?;
+    Ok(if decisive { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
+    let name = opts.model.as_deref().ok_or("replay needs --model NAME")?;
+    let m = model::find(name).ok_or_else(|| format!("unknown model {name:?} — see `hc-mc list`"))?;
+    let outcome = replay(&m, &opts.schedule);
+    let report = hb::analyze(&outcome.trace);
+    println!(
+        "replay {name} schedule {:?}: {} event(s), deadlock={}, {} violation(s), {} race(s)",
+        outcome.schedule,
+        outcome.trace.events.len(),
+        outcome.deadlock,
+        outcome.violations.len(),
+        report.races.len(),
+    );
+    for v in &outcome.violations {
+        println!("  violation: {v}");
+    }
+    for r in &report.races {
+        println!("  race at {}: t{} vs t{}", r.loc, r.first.tid, r.second.tid);
+    }
+    if outcome.infeasible {
+        println!("  schedule was infeasible at step {}", outcome.schedule.len());
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hc-mc: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "list" => return cmd_list(),
+        "self-check" => cmd_self_check(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "cross-check" => cmd_cross_check(&opts),
+        "replay" => cmd_replay(&opts),
+        "--help" | "-h" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("hc-mc: unknown command {other:?}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("hc-mc: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! `mc.*` telemetry: checker activity mirrored into the platform
+//! registry, so model-checking runs show up in the same snapshot
+//! pipeline as every other subsystem (see OBSERVABILITY.md).
+
+use hc_telemetry::{Counter, Registry};
+
+use crate::event::Trace;
+use crate::explore::Exploration;
+use crate::hb::HbReport;
+
+/// Registry handles for the checker (`mc.*`).
+#[derive(Clone, Debug)]
+pub struct McInstruments {
+    schedules: Counter,
+    races: Counter,
+    violations: Counter,
+    deadlocks: Counter,
+    events: Counter,
+}
+
+impl McInstruments {
+    /// Binds the `mc.*` counters in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        McInstruments {
+            schedules: registry.counter("mc.schedules_explored"),
+            races: registry.counter("mc.races_found"),
+            violations: registry.counter("mc.violations"),
+            deadlocks: registry.counter("mc.deadlocks"),
+            events: registry.counter("mc.events_recorded"),
+        }
+    }
+
+    /// Accounts one finished exploration.
+    pub fn observe_exploration(&self, exploration: &Exploration) {
+        self.schedules.add(exploration.schedules as u64);
+        self.races.add(exploration.races.len() as u64);
+        let (mut violations, mut deadlocks) = (0u64, 0u64);
+        for ce in &exploration.counter_examples {
+            violations += ce.violations.len() as u64;
+            deadlocks += u64::from(ce.deadlock);
+        }
+        self.violations.add(violations);
+        self.deadlocks.add(deadlocks);
+    }
+
+    /// Accounts one recorded trace and its happens-before analysis.
+    pub fn observe_trace(&self, trace: &Trace, report: &HbReport) {
+        self.events.add(trace.events.len() as u64);
+        self.races.add(report.races.len() as u64);
+        self.violations.add(trace.violations().len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceEvent};
+
+    #[test]
+    fn counters_track_trace_and_exploration_activity() {
+        let registry = Registry::new();
+        let inst = McInstruments::new(&registry);
+        let trace = Trace {
+            thread_names: vec!["t0".into()],
+            events: vec![
+                TraceEvent { tid: 0, kind: EventKind::Yield },
+                TraceEvent { tid: 0, kind: EventKind::Violation { msg: "boom".into() } },
+            ],
+        };
+        inst.observe_trace(&trace, &HbReport::default());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("mc.events_recorded"), Some(2));
+        assert_eq!(snap.counter("mc.violations"), Some(1));
+        assert_eq!(snap.counter("mc.races_found"), Some(0));
+    }
+}

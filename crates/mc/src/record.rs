@@ -1,0 +1,139 @@
+//! Passive trace recording: run instrumented code at full speed and
+//! keep every probe event for offline happens-before analysis.
+//!
+//! Unlike the controlled scheduler, the recorder never blocks a thread —
+//! the interleaving observed is whatever the OS produced, which is
+//! exactly what the soak-test race scans want: one real execution,
+//! checked exhaustively for *unsynchronized* access pairs that happened
+//! to not misbehave this time.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+
+use parking_lot::mc::{self, Probe, ProbeEvent};
+
+use crate::event::{EventKind, Trace, TraceEvent};
+use crate::session::SessionGuard;
+
+/// State behind the recorder's own (uninstrumented) lock.
+#[derive(Default)]
+struct RecState {
+    ids: HashMap<ThreadId, usize>,
+    names: Vec<String>,
+    events: Vec<TraceEvent>,
+}
+
+/// A [`Probe`] that appends every event to an owned trace, interning
+/// thread identities into dense indices in first-seen order.
+#[derive(Default)]
+pub struct TraceRecorder {
+    state: Mutex<RecState>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts the recorded trace, leaving the recorder empty.
+    pub fn take(&self) -> Trace {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Trace {
+            thread_names: std::mem::take(&mut st.names),
+            events: std::mem::take(&mut st.events),
+        }
+    }
+}
+
+impl Probe for TraceRecorder {
+    fn event(&self, ev: ProbeEvent<'_>) {
+        let kind = EventKind::from_probe(&ev);
+        let current = std::thread::current();
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let next = st.ids.len();
+        let tid = *st.ids.entry(current.id()).or_insert(next);
+        if tid == st.names.len() {
+            st.names.push(
+                current
+                    .name()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("thread-{tid}")),
+            );
+        }
+        st.events.push(TraceEvent { tid, kind });
+    }
+}
+
+/// An exclusive recording window: holds the process-wide checker session
+/// (so concurrent tests cannot interleave their events) and installs a
+/// [`TraceRecorder`] as the global probe until [`finish`](Self::finish).
+pub struct RecordingSession {
+    _guard: SessionGuard,
+    recorder: Arc<TraceRecorder>,
+}
+
+impl RecordingSession {
+    /// Starts recording all probe events process-wide.
+    pub fn start() -> Self {
+        let guard = crate::session::acquire();
+        let recorder = Arc::new(TraceRecorder::new());
+        mc::set_probe(recorder.clone());
+        RecordingSession {
+            _guard: guard,
+            recorder,
+        }
+    }
+
+    /// Stops recording and returns the trace.
+    pub fn finish(self) -> Trace {
+        mc::clear_probe();
+        self.recorder.take()
+        // `self._guard` drops here, releasing the session.
+    }
+}
+
+impl Drop for RecordingSession {
+    fn drop(&mut self) {
+        // `finish` already cleared the probe; clearing twice is harmless,
+        // and a panicking test must not leave a dangling recorder behind.
+        mc::clear_probe();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Mode;
+
+    #[test]
+    fn records_lock_and_annotation_events_across_threads() {
+        let session = RecordingSession::start();
+        let m = Arc::new(parking_lot::Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let handle = std::thread::Builder::new()
+            .name("rec-worker".into())
+            .spawn(move || {
+                *m2.lock() += 1;
+                hc_common::conc::mc::write("rec.test");
+            })
+            .expect("spawn");
+        *m.lock() += 1;
+        handle.join().expect("join");
+        let trace = session.finish();
+        assert!(trace.threads() >= 2, "two threads observed: {trace:?}");
+        assert!(trace.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Acquired { mode: Mode::Mutex, .. }
+        )));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::Access { loc, write: true } if loc == "rec.test")));
+        assert!(trace
+            .thread_names
+            .iter()
+            .any(|n| n == "rec-worker"));
+    }
+}

@@ -1,0 +1,138 @@
+//! JSON artifact shapes for the `hc-mc` CLI (the CI `model-check` job
+//! uploads these).
+
+use serde::{Deserialize, Serialize};
+
+use crate::crosscheck::CrossCheckReport;
+use crate::explore::Exploration;
+
+/// One planted-defect model's self-check outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SelfCheckResult {
+    /// Model name.
+    pub model: String,
+    /// The explorer found a violating schedule.
+    pub caught_by_explorer: bool,
+    /// The happens-before engine flagged the failing trace (race or
+    /// lock-order cycle).
+    pub caught_by_hb: bool,
+    /// The counter-example schedule.
+    pub schedule: Vec<usize>,
+    /// Replaying the schedule reproduced the identical violations twice.
+    pub replay_deterministic: bool,
+    /// Schedules explored before the counter-example surfaced.
+    pub schedules_to_find: usize,
+}
+
+impl SelfCheckResult {
+    /// Whether this planted defect was fully caught.
+    pub fn passed(&self) -> bool {
+        self.caught_by_explorer && self.caught_by_hb && self.replay_deterministic
+    }
+}
+
+/// The `hc-mc self-check` artifact: the checker proving it still
+/// catches every planted defect.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SelfCheckReport {
+    /// Always `"hc-mc"`.
+    pub tool: String,
+    /// Artifact schema version.
+    pub schema_version: u32,
+    /// All planted defects caught by both engines, deterministically.
+    pub passed: bool,
+    /// Per-model outcomes.
+    pub results: Vec<SelfCheckResult>,
+}
+
+/// The `hc-mc sweep` artifact: bounded-exhaustive exploration of every
+/// clean registered model (E22).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Always `"hc-mc"`.
+    pub tool: String,
+    /// Artifact schema version.
+    pub schema_version: u32,
+    /// Every model exhausted its bounded state space with zero
+    /// violations and zero races.
+    pub clean: bool,
+    /// Per-model explorations.
+    pub models: Vec<Exploration>,
+}
+
+impl SweepReport {
+    /// Builds the sweep artifact, computing the `clean` rollup.
+    pub fn new(models: Vec<Exploration>) -> Self {
+        SweepReport {
+            tool: "hc-mc".to_string(),
+            schema_version: 1,
+            clean: models.iter().all(|m| m.is_clean() && m.exhausted),
+            models,
+        }
+    }
+}
+
+/// The combined artifact the CI job uploads (absent sections were not
+/// run in that invocation).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct McArtifact {
+    /// Always `"hc-mc"`.
+    pub tool: String,
+    /// Artifact schema version.
+    pub schema_version: u32,
+    /// Self-check section.
+    pub self_check: Option<SelfCheckReport>,
+    /// Sweep section.
+    pub sweep: Option<SweepReport>,
+    /// Cross-check section.
+    pub cross_check: Option<CrossCheckReport>,
+}
+
+impl McArtifact {
+    /// An artifact with every section empty.
+    pub fn empty() -> Self {
+        McArtifact {
+            tool: "hc-mc".to_string(),
+            schema_version: 1,
+            self_check: None,
+            sweep: None,
+            cross_check: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_rollup_requires_exhaustion_and_cleanliness() {
+        let clean = Exploration {
+            model: "m".into(),
+            strategy: crate::explore::Strategy::Dpor,
+            preemption_bound: 2,
+            schedules: 3,
+            exhausted: true,
+            elapsed_ms: 1,
+            counter_examples: Vec::new(),
+            races: Vec::new(),
+            cycles: Vec::new(),
+        };
+        assert!(SweepReport::new(vec![clean.clone()]).clean);
+        let mut truncated = clean;
+        truncated.exhausted = false;
+        assert!(
+            !SweepReport::new(vec![truncated]).clean,
+            "a budget-truncated sweep must not report clean"
+        );
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let artifact = McArtifact::empty();
+        let json = serde_json::to_string(&artifact).expect("serialize");
+        let back: McArtifact = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.tool, "hc-mc");
+        assert!(back.sweep.is_none());
+    }
+}

@@ -1,0 +1,568 @@
+//! The controlled cooperative scheduler: real threads, one runner at a
+//! time, every interleaving decision owned by the coordinator.
+//!
+//! Worker threads run real model code against the instrumented shims.
+//! Each *pre* event (see [`crate::event::EventKind::is_pre`]) parks the
+//! calling thread until the coordinator both *schedules* it (its turn in
+//! the interleaving under exploration) and the operation is *enabled*
+//! (its real execution cannot block: the lock is free, the channel
+//! non-empty). Because only enabled operations are ever granted and only
+//! one thread runs between grants, the underlying `std::sync` primitives
+//! never contend — the scheduler, not the OS, owns the interleaving,
+//! which is what makes a schedule a replayable artifact.
+//!
+//! When no pending operation is enabled the model has deadlocked; the
+//! coordinator records the violation and tears the execution down by
+//! unwinding every parked worker with a [`CancelToken`] panic (guards
+//! drop, real locks release, threads join — no leaks).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::ThreadId;
+
+use parking_lot::mc::{self, ObjectId, Probe, ProbeEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventKind, Mode, Trace, TraceEvent};
+use crate::session::CancelToken;
+
+/// Safety net against runaway models: a single execution may take at
+/// most this many scheduling decisions.
+const MAX_STEPS: usize = 20_000;
+
+/// Who currently holds a lock, in the scheduler's book-keeping.
+#[derive(Debug, Default)]
+struct LockState {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+impl LockState {
+    fn free_for(&self, mode: Mode, tid: usize) -> bool {
+        // A thread is never granted an acquisition that would self-block
+        // (re-entrant locking deadlocks std primitives), so holding it
+        // yourself also counts as "not free".
+        let _ = tid;
+        match mode {
+            Mode::Read => self.writer.is_none(),
+            Mode::Mutex | Mode::Write => self.writer.is_none() && self.readers.is_empty(),
+        }
+    }
+}
+
+/// Channel occupancy and endpoint counts, as far as the probe has seen.
+#[derive(Debug)]
+struct ChanState {
+    len: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+impl Default for ChanState {
+    fn default() -> Self {
+        // Channels are born with one sender and one receiver; the probe
+        // only hears about subsequent clones/drops.
+        ChanState { len: 0, senders: 1, receivers: 1 }
+    }
+}
+
+/// One scheduling decision, with everything DPOR needs to branch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StepInfo {
+    /// Thread granted at this step.
+    pub chosen: usize,
+    /// The operation it was granted.
+    pub op: EventKind,
+    /// Every thread that was enabled at this step, with its pending op.
+    pub enabled: Vec<(usize, EventKind)>,
+    /// Whether this grant preempted a still-enabled previous runner.
+    pub preemption: bool,
+}
+
+/// Everything one controlled execution produced.
+#[derive(Clone, Debug, Default)]
+pub struct RunOutcome {
+    /// The observed event trace.
+    pub trace: Trace,
+    /// The schedule actually taken (thread index per decision).
+    pub schedule: Vec<usize>,
+    /// Per-decision metadata for exploration.
+    pub steps: Vec<StepInfo>,
+    /// Invariant violations, panics, and deadlocks, as messages.
+    pub violations: Vec<String>,
+    /// Whether the execution deadlocked.
+    pub deadlock: bool,
+    /// Lock identities the deadlocked threads were blocked on.
+    pub deadlock_locks: Vec<ObjectId>,
+    /// A prescribed schedule step named a thread that was not enabled
+    /// (stale prefix — the caller should discard this run).
+    pub infeasible: bool,
+    /// Preemption count of the taken schedule.
+    pub preemptions: usize,
+}
+
+struct State {
+    tids: HashMap<ThreadId, usize>,
+    names: Vec<String>,
+    registered: usize,
+    expected: usize,
+    pending: Vec<Option<EventKind>>,
+    granted: Vec<bool>,
+    finished: Vec<bool>,
+    cancelled: bool,
+    locks: HashMap<ObjectId, LockState>,
+    chans: HashMap<ObjectId, ChanState>,
+    trace: Vec<TraceEvent>,
+    violations: Vec<String>,
+}
+
+impl State {
+    /// Whether `tid`'s pending operation could run right now without
+    /// blocking on a real primitive.
+    fn enabled(&self, tid: usize) -> bool {
+        let Some(Some(op)) = self.pending.get(tid) else {
+            return false;
+        };
+        match op {
+            EventKind::Acquire { lock, mode } => self
+                .locks
+                .get(lock)
+                .map(|l| l.free_for(*mode, tid))
+                .unwrap_or(true),
+            EventKind::ChanRecv { chan } => {
+                let st = self.chans.get(chan);
+                st.map(|c| c.len > 0 || c.senders == 0).unwrap_or(false)
+            }
+            _ => true,
+        }
+    }
+
+    /// Applies the state effect of an outcome (post) event.
+    fn apply_post(&mut self, tid: usize, kind: &EventKind) {
+        match kind {
+            EventKind::Acquired { lock, mode }
+            | EventKind::TryAcquired { lock, mode, acquired: true } => {
+                let entry = self.locks.entry(*lock).or_default();
+                match mode {
+                    Mode::Read => entry.readers.push(tid),
+                    Mode::Mutex | Mode::Write => entry.writer = Some(tid),
+                }
+            }
+            EventKind::ChanSent { chan, delivered: true } => {
+                self.chans.entry(*chan).or_default().len += 1;
+            }
+            EventKind::ChanReceived { chan, got: true } => {
+                let entry = self.chans.entry(*chan).or_default();
+                entry.len = entry.len.saturating_sub(1);
+            }
+            EventKind::ChanEndpoints { chan, senders, receivers } => {
+                let entry = self.chans.entry(*chan).or_default();
+                entry.senders = *senders;
+                entry.receivers = *receivers;
+            }
+            EventKind::Violation { msg } => {
+                self.violations.push(msg.clone());
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies the state effect of a granted pre event (only releases
+    /// change object state before their real operation completes).
+    fn apply_pre(&mut self, tid: usize, kind: &EventKind) {
+        if let EventKind::Release { lock, mode } = kind {
+            let entry = self.locks.entry(*lock).or_default();
+            match mode {
+                Mode::Read => entry.readers.retain(|&r| r != tid),
+                Mode::Mutex | Mode::Write => {
+                    if entry.writer == Some(tid) {
+                        entry.writer = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A thread is settled when it is finished, or parked at a pending
+    /// operation it has not yet been granted.
+    fn all_settled(&self) -> bool {
+        self.registered == self.expected
+            && (0..self.expected).all(|t| {
+                self.finished.get(t).copied().unwrap_or(false)
+                    || (self.pending.get(t).is_some_and(Option::is_some)
+                        && !self.granted.get(t).copied().unwrap_or(false))
+            })
+    }
+}
+
+/// The coordinator + probe for one controlled execution.
+pub struct Controller {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Controller {
+    fn new(expected: usize) -> Self {
+        Controller {
+            state: Mutex::new(State {
+                tids: HashMap::new(),
+                names: Vec::new(),
+                registered: 0,
+                expected,
+                pending: vec![None; expected],
+                granted: vec![false; expected],
+                finished: vec![false; expected],
+                cancelled: false,
+                locks: HashMap::new(),
+                chans: HashMap::new(),
+                trace: Vec::new(),
+                violations: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Worker side: binds the calling thread to dense index `tid` and
+    /// parks at the start-of-thread scheduling point.
+    fn register_and_park(&self, tid: usize, name: String) {
+        // The name-table fill below is O(threads) under the state lock —
+        // registration happens once per worker, before any scheduling.
+        // hc-lint: allow(lock-held-long)
+        let mut st = self.lock();
+        st.tids.insert(std::thread::current().id(), tid);
+        while st.names.len() <= tid {
+            st.names.push(String::new());
+        }
+        st.names[tid] = name; // hc-lint: allow(panic-index)
+        st.registered += 1;
+        st.pending[tid] = Some(EventKind::Yield); // hc-lint: allow(panic-index)
+        self.cv.notify_all();
+        self.park_for_grant(st, tid);
+    }
+
+    /// Parks until granted (applying the granted op) or cancelled
+    /// (unwinding the worker).
+    fn park_for_grant(&self, mut st: MutexGuard<'_, State>, tid: usize) {
+        while !st.granted[tid] && !st.cancelled { // hc-lint: allow(panic-index)
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.cancelled && !st.granted[tid] { // hc-lint: allow(panic-index)
+            drop(st);
+            std::panic::panic_any(CancelToken);
+        }
+        st.granted[tid] = false; // hc-lint: allow(panic-index)
+        if let Some(op) = st.pending[tid].take() { // hc-lint: allow(panic-index)
+            st.apply_pre(tid, &op);
+            st.trace.push(TraceEvent { tid, kind: op });
+        }
+        self.cv.notify_all();
+    }
+
+    /// Worker side: marks the thread finished (with an optional panic
+    /// message recorded as a violation).
+    fn finish(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.finished[tid] = true; // hc-lint: allow(panic-index)
+        st.pending[tid] = None; // hc-lint: allow(panic-index)
+        if let Some(msg) = panic_msg {
+            st.violations.push(format!("thread {tid} panicked: {msg}"));
+        }
+        self.cv.notify_all();
+    }
+}
+
+impl Probe for Controller {
+    fn event(&self, ev: ProbeEvent<'_>) {
+        let kind = EventKind::from_probe(&ev);
+        let id = std::thread::current().id();
+        let mut st = self.lock();
+        let Some(&tid) = st.tids.get(&id) else {
+            // Unregistered thread (the coordinator during model setup or
+            // finale, or an unrelated test): keep object state accurate
+            // and capture violations, but never park or trace.
+            if st.cancelled {
+                return;
+            }
+            st.apply_post(usize::MAX, &kind);
+            st.apply_pre(usize::MAX, &kind);
+            return;
+        };
+        if st.cancelled {
+            return; // teardown unwind in progress — let everything through
+        }
+        if kind.is_pre() {
+            if std::thread::panicking() {
+                // Unwinding through a real panic: releases must apply
+                // immediately (no coordinator turn is coming).
+                st.apply_pre(tid, &kind);
+                st.trace.push(TraceEvent { tid, kind });
+                return;
+            }
+            st.pending[tid] = Some(kind); // hc-lint: allow(panic-index)
+            self.cv.notify_all();
+            self.park_for_grant(st, tid);
+        } else {
+            st.apply_post(tid, &kind);
+            st.trace.push(TraceEvent { tid, kind });
+        }
+    }
+}
+
+/// Runs `bodies` to completion under a freshly installed controller,
+/// following `prefix` for the first decisions and a deterministic
+/// default afterwards (keep the current thread while enabled, else the
+/// lowest enabled index). `finale`, when present, runs on the
+/// coordinator after all workers join — its `mc::check` violations are
+/// captured like any other.
+///
+/// The caller must hold the checker session (see [`crate::session`]).
+pub fn run(
+    bodies: Vec<Box<dyn FnOnce() + Send>>,
+    finale: Option<Box<dyn FnOnce() + '_>>,
+    prefix: &[usize],
+) -> RunOutcome {
+    let n = bodies.len();
+    let ctrl = Arc::new(Controller::new(n));
+    mc::set_probe(ctrl.clone());
+
+    let handles: Vec<_> = bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let ctrl = Arc::clone(&ctrl);
+            let name = format!("mc-{i}");
+            std::thread::Builder::new()
+                .name(name.clone())
+                .spawn(move || {
+                    ctrl.register_and_park(i, name);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+                    let panic_msg = match result {
+                        Ok(()) => None,
+                        Err(payload) => {
+                            if payload.downcast_ref::<CancelToken>().is_some() {
+                                None // routine teardown
+                            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                                Some((*s).to_string())
+                            } else if let Some(s) = payload.downcast_ref::<String>() {
+                                Some(s.clone())
+                            } else {
+                                Some("non-string panic payload".to_string())
+                            }
+                        }
+                    };
+                    ctrl.finish(i, panic_msg);
+                })
+                .expect("spawn model thread") // hc-lint: allow(panic-expect)
+        })
+        .collect();
+
+    let mut outcome = coordinate(&ctrl, prefix);
+
+    for h in handles {
+        let _ = h.join();
+    }
+    if !outcome.deadlock && !outcome.infeasible {
+        if let Some(f) = finale {
+            f(); // coordinator is unregistered: violations captured, no parking
+        }
+    }
+    mc::clear_probe();
+
+    let mut st = ctrl.lock();
+    outcome.trace = Trace {
+        thread_names: std::mem::take(&mut st.names),
+        events: std::mem::take(&mut st.trace),
+    };
+    outcome.violations = std::mem::take(&mut st.violations);
+    outcome
+}
+
+/// The coordinator loop: waits for quiescence, picks, grants, repeats.
+fn coordinate(ctrl: &Controller, prefix: &[usize]) -> RunOutcome {
+    let mut outcome = RunOutcome::default();
+    let mut last: Option<usize> = None;
+    // The coordinator owns the state for the whole run by design; the
+    // condvar wait releases the lock at every quiescence point.
+    // hc-lint: allow(lock-held-long)
+    let mut st = ctrl.lock();
+    loop {
+        while !st.all_settled() {
+            st = ctrl
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let live: Vec<usize> = (0..st.expected)
+            .filter(|&t| !st.finished[t]) // hc-lint: allow(panic-index)
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let enabled: Vec<(usize, EventKind)> = live
+            .iter()
+            .copied()
+            .filter(|&t| st.enabled(t))
+            .filter_map(|t| st.pending[t].clone().map(|op| (t, op))) // hc-lint: allow(panic-index)
+            .collect();
+        if enabled.is_empty() {
+            // Deadlock: name the locks the blocked threads want.
+            let mut wanted: Vec<ObjectId> = Vec::new();
+            for &t in &live {
+                if let Some(EventKind::Acquire { lock, .. }) = st.pending[t] { // hc-lint: allow(panic-index)
+                    wanted.push(lock);
+                }
+            }
+            wanted.sort_unstable();
+            wanted.dedup();
+            // Raw object ids are allocation-order dependent; keep the
+            // message replay-stable and carry the ids in `deadlock_locks`.
+            st.violations.push(format!(
+                "deadlock: threads {live:?} blocked waiting on {} lock(s)",
+                wanted.len()
+            ));
+            outcome.deadlock = true;
+            outcome.deadlock_locks = wanted;
+            st.cancelled = true;
+            ctrl.cv.notify_all();
+            break;
+        }
+        if outcome.schedule.len() >= MAX_STEPS {
+            st.violations
+                .push(format!("step limit exceeded ({MAX_STEPS} decisions)"));
+            st.cancelled = true;
+            ctrl.cv.notify_all();
+            break;
+        }
+
+        let step_index = outcome.schedule.len();
+        let chosen = if let Some(&want) = prefix.get(step_index) {
+            if enabled.iter().any(|&(t, _)| t == want) {
+                want
+            } else {
+                outcome.infeasible = true;
+                st.cancelled = true;
+                ctrl.cv.notify_all();
+                break;
+            }
+        } else if last.is_some_and(|p| enabled.iter().any(|&(t, _)| t == p)) {
+            last.unwrap_or(0)
+        } else {
+            enabled.first().map(|&(t, _)| t).unwrap_or(0)
+        };
+
+        let preemption = last.is_some_and(|p| {
+            p != chosen && !st.finished[p] && enabled.iter().any(|&(t, _)| t == p) // hc-lint: allow(panic-index)
+        });
+        if preemption {
+            outcome.preemptions += 1;
+        }
+        let op = st.pending[chosen].clone().unwrap_or(EventKind::Yield); // hc-lint: allow(panic-index)
+        outcome.steps.push(StepInfo {
+            chosen,
+            op,
+            enabled: enabled.clone(),
+            preemption,
+        });
+        outcome.schedule.push(chosen);
+        last = Some(chosen);
+
+        st.granted[chosen] = true; // hc-lint: allow(panic-index)
+        ctrl.cv.notify_all();
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session;
+
+    fn counter_bodies(
+        m: Arc<parking_lot::Mutex<u32>>,
+    ) -> Vec<Box<dyn FnOnce() + Send>> {
+        (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                Box::new(move || {
+                    *m.lock() += 1;
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_increments_complete_under_default_schedule() {
+        let _session = session::acquire();
+        let m = Arc::new(parking_lot::Mutex::new(0u32));
+        let outcome = run(counter_bodies(Arc::clone(&m)), None, &[]);
+        assert!(!outcome.deadlock, "{outcome:?}");
+        assert!(outcome.violations.is_empty(), "{outcome:?}");
+        assert_eq!(*m.lock(), 2);
+        assert!(outcome.schedule.len() >= 4, "{:?}", outcome.schedule);
+    }
+
+    #[test]
+    fn prescribed_schedule_is_followed_and_deterministic() {
+        let _session = session::acquire();
+        let m = Arc::new(parking_lot::Mutex::new(0u32));
+        let first = run(counter_bodies(Arc::clone(&m)), None, &[]);
+        let m2 = Arc::new(parking_lot::Mutex::new(0u32));
+        let second = run(counter_bodies(m2), None, &first.schedule);
+        assert!(!second.infeasible);
+        assert_eq!(second.schedule, first.schedule);
+        assert_eq!(
+            second.trace.canonicalized().events,
+            first.trace.canonicalized().events,
+            "replay reproduces the trace modulo object-id allocation"
+        );
+    }
+
+    #[test]
+    fn abba_deadlock_is_driven_and_torn_down() {
+        let _session = session::acquire();
+        let a = Arc::new(parking_lot::Mutex::new(0u32));
+        let b = Arc::new(parking_lot::Mutex::new(0u32));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(move || {
+                let _ga = a1.lock();
+                let _gb = b1.lock();
+            }),
+            Box::new(move || {
+                let _gb = b2.lock();
+                let _ga = a2.lock();
+            }),
+        ];
+        // Schedule: t0 start, t0 acquire a, t1 start, t1 acquire b — now
+        // t0 wants b (held) and t1 wants a (held): deadlock.
+        let outcome = run(bodies, None, &[0, 0, 1, 1]);
+        assert!(outcome.deadlock, "{outcome:?}");
+        assert_eq!(outcome.deadlock_locks.len(), 2);
+        assert!(outcome.violations.iter().any(|v| v.contains("deadlock")));
+    }
+
+    #[test]
+    fn finale_violations_are_captured() {
+        let _session = session::acquire();
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(|| {})];
+        let outcome = run(
+            bodies,
+            Some(Box::new(|| {
+                hc_common::conc::mc::check(false, "finale invariant failed");
+            })),
+            &[],
+        );
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("finale invariant failed")), "{outcome:?}");
+    }
+}

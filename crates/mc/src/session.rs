@@ -1,0 +1,44 @@
+//! Process-wide checker session: exactly one probe owner at a time.
+//!
+//! The probe installed via `parking_lot::mc` is process-global, and
+//! `cargo test` runs many tests concurrently in one process — so every
+//! recording or exploration window must hold this lock for its whole
+//! duration. Tests that never install a probe are unaffected (their
+//! events hit the inactive fast path and vanish).
+
+use std::sync::{Mutex, MutexGuard, Once, PoisonError};
+
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// Guard over the exclusive checker session.
+pub struct SessionGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+/// Acquires the process-wide session, blocking until any other session
+/// finishes. Also installs (once) the panic-hook filter that silences
+/// the checker's internal cancellation unwinds.
+pub fn acquire() -> SessionGuard {
+    install_cancel_filter();
+    SessionGuard(SESSION.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+/// Payload used to unwind worker threads when an execution is abandoned
+/// (deadlock teardown, infeasible replay prefix). Caught by the worker
+/// wrapper; never escapes the checker.
+pub struct CancelToken;
+
+static HOOK: Once = Once::new();
+
+/// Chains a panic hook that drops [`CancelToken`] unwinds silently and
+/// forwards everything else to the previously installed hook. Installed
+/// once per process; teardown unwinds are routine during deadlock
+/// exploration and must not spam stderr.
+fn install_cancel_filter() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CancelToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}

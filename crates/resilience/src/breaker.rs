@@ -187,9 +187,11 @@ impl CircuitBreaker {
             BreakerState::Open => false,
             BreakerState::Closed => true,
             BreakerState::HalfOpen => {
+                hc_common::conc::mc::read("breaker.probe_in_flight");
                 if self.probe_in_flight {
                     false
                 } else {
+                    hc_common::conc::mc::write("breaker.probe_in_flight");
                     self.probe_in_flight = true;
                     true
                 }

@@ -350,6 +350,14 @@ impl DegradedMode {
                 self.hot_streak >= self.cfg.enter_windows
             };
             if next != self.degraded {
+                hc_common::conc::mc::write("shed.degraded");
+                // Hysteresis invariant: entering requires a full hot
+                // streak, leaving a full calm streak — never both zero.
+                hc_common::conc::mc::check(
+                    self.hot_streak >= self.cfg.enter_windows
+                        || self.calm_streak >= self.cfg.exit_windows,
+                    "degraded flag flipped without a completed streak",
+                );
                 self.degraded = next;
                 self.transitions += 1;
                 if let Some(inst) = &self.instruments {
@@ -368,6 +376,7 @@ impl DegradedMode {
 
     /// Whether the serving path is currently degraded.
     pub fn is_degraded(&self) -> bool {
+        hc_common::conc::mc::read("shed.degraded");
         self.degraded
     }
 

@@ -13,9 +13,26 @@ pub mod channel {
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
 
+    #[cfg(feature = "mc")]
+    use parking_lot::mc;
+
     struct Shared<T> {
+        #[cfg(feature = "mc")]
+        mc_id: mc::ObjectId,
         queue: Mutex<QueueState<T>>,
         ready: Condvar,
+    }
+
+    #[cfg(feature = "mc")]
+    impl<T> Shared<T> {
+        /// Reports the post-change endpoint counts to the probe.
+        fn emit_endpoints(&self, senders: usize, receivers: usize) {
+            mc::emit(mc::ProbeEvent::ChanEndpoints {
+                chan: self.mc_id,
+                senders,
+                receivers,
+            });
+        }
     }
 
     struct QueueState<T> {
@@ -60,6 +77,8 @@ pub mod channel {
     /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
+            #[cfg(feature = "mc")]
+            mc_id: mc::fresh_object_id(),
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 senders: 1,
@@ -80,13 +99,28 @@ pub mod channel {
         /// like real crossbeam) once every receiver has been dropped —
         /// publishers rely on this to prune dead subscribers.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            #[cfg(feature = "mc")]
+            mc::emit(mc::ProbeEvent::ChanSend {
+                chan: self.shared.mc_id,
+            });
             let mut state = self.shared.queue.lock().expect("channel lock");
             if state.receivers == 0 {
+                drop(state);
+                #[cfg(feature = "mc")]
+                mc::emit(mc::ProbeEvent::ChanSent {
+                    chan: self.shared.mc_id,
+                    delivered: false,
+                });
                 return Err(SendError(value));
             }
             state.items.push_back(value);
             drop(state);
             self.shared.ready.notify_one();
+            #[cfg(feature = "mc")]
+            mc::emit(mc::ProbeEvent::ChanSent {
+                chan: self.shared.mc_id,
+                delivered: true,
+            });
             Ok(())
         }
 
@@ -99,11 +133,23 @@ pub mod channel {
         pub fn is_empty(&self) -> bool {
             self.len() == 0
         }
+
+        /// The model-checker identity of the underlying channel.
+        #[cfg(feature = "mc")]
+        pub fn mc_object_id(&self) -> mc::ObjectId {
+            self.shared.mc_id
+        }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.shared.queue.lock().expect("channel lock").senders += 1;
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.senders += 1;
+            #[cfg(feature = "mc")]
+            let (s, r) = (state.senders, state.receivers);
+            drop(state);
+            #[cfg(feature = "mc")]
+            self.shared.emit_endpoints(s, r);
             Sender {
                 shared: Arc::clone(&self.shared),
             }
@@ -114,10 +160,15 @@ pub mod channel {
         fn drop(&mut self) {
             let mut state = self.shared.queue.lock().expect("channel lock");
             state.senders -= 1;
-            if state.senders == 0 {
-                drop(state);
+            let last = state.senders == 0;
+            #[cfg(feature = "mc")]
+            let (s, r) = (state.senders, state.receivers);
+            drop(state);
+            if last {
                 self.shared.ready.notify_all();
             }
+            #[cfg(feature = "mc")]
+            self.shared.emit_endpoints(s, r);
         }
     }
 
@@ -130,26 +181,48 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Dequeues without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            #[cfg(feature = "mc")]
+            mc::emit(mc::ProbeEvent::ChanTryRecv {
+                chan: self.shared.mc_id,
+            });
             let mut state = self.shared.queue.lock().expect("channel lock");
-            match state.items.pop_front() {
+            let out = match state.items.pop_front() {
                 Some(v) => Ok(v),
                 None if state.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
-            }
+            };
+            drop(state);
+            #[cfg(feature = "mc")]
+            mc::emit(mc::ProbeEvent::ChanReceived {
+                chan: self.shared.mc_id,
+                got: out.is_ok(),
+            });
+            out
         }
 
         /// Blocks until a message arrives or all senders drop.
         pub fn recv(&self) -> Result<T, RecvError> {
+            #[cfg(feature = "mc")]
+            mc::emit(mc::ProbeEvent::ChanRecv {
+                chan: self.shared.mc_id,
+            });
             let mut state = self.shared.queue.lock().expect("channel lock");
-            loop {
+            let out = loop {
                 if let Some(v) = state.items.pop_front() {
-                    return Ok(v);
+                    break Ok(v);
                 }
                 if state.senders == 0 {
-                    return Err(RecvError);
+                    break Err(RecvError);
                 }
                 state = self.shared.ready.wait(state).expect("channel lock");
-            }
+            };
+            drop(state);
+            #[cfg(feature = "mc")]
+            mc::emit(mc::ProbeEvent::ChanReceived {
+                chan: self.shared.mc_id,
+                got: out.is_ok(),
+            });
+            out
         }
 
         /// Number of queued messages.
@@ -161,11 +234,23 @@ pub mod channel {
         pub fn is_empty(&self) -> bool {
             self.len() == 0
         }
+
+        /// The model-checker identity of the underlying channel.
+        #[cfg(feature = "mc")]
+        pub fn mc_object_id(&self) -> mc::ObjectId {
+            self.shared.mc_id
+        }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.shared.queue.lock().expect("channel lock").receivers += 1;
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.receivers += 1;
+            #[cfg(feature = "mc")]
+            let (s, r) = (state.senders, state.receivers);
+            drop(state);
+            #[cfg(feature = "mc")]
+            self.shared.emit_endpoints(s, r);
             Receiver {
                 shared: Arc::clone(&self.shared),
             }
@@ -174,7 +259,13 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.queue.lock().expect("channel lock").receivers -= 1;
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.receivers -= 1;
+            #[cfg(feature = "mc")]
+            let (s, r) = (state.senders, state.receivers);
+            drop(state);
+            #[cfg(feature = "mc")]
+            self.shared.emit_endpoints(s, r);
         }
     }
 

@@ -8,21 +8,40 @@
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
+#[cfg(feature = "mc")]
+pub mod mc;
+
 /// A non-poisoning mutual-exclusion lock.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "mc")]
+    mc_id: std::sync::atomic::AtomicU64,
     inner: std::sync::Mutex<T>,
 }
 
 /// The guard returned by [`Mutex::lock`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "mc")]
+    mc_id: mc::ObjectId,
     inner: std::sync::MutexGuard<'a, T>,
+}
+
+#[cfg(feature = "mc")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        mc::emit(mc::ProbeEvent::Release {
+            lock: self.mc_id,
+            kind: mc::LockKind::Mutex,
+        });
+    }
 }
 
 impl<T> Mutex<T> {
     /// Wraps `value` in a mutex.
     pub const fn new(value: T) -> Self {
         Mutex {
+            #[cfg(feature = "mc")]
+            mc_id: std::sync::atomic::AtomicU64::new(0),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -38,23 +57,69 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard {
+        #[cfg(feature = "mc")]
+        let id = {
+            let id = mc::lazy_object_id(&self.mc_id);
+            mc::emit(mc::ProbeEvent::Acquire {
+                lock: id,
+                kind: mc::LockKind::Mutex,
+            });
+            id
+        };
+        let guard = MutexGuard {
+            #[cfg(feature = "mc")]
+            mc_id: id,
             inner: self
                 .inner
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
-        }
+        };
+        #[cfg(feature = "mc")]
+        mc::emit(mc::ProbeEvent::Acquired {
+            lock: id,
+            kind: mc::LockKind::Mutex,
+        });
+        guard
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(guard) => Some(MutexGuard { inner: guard }),
+        #[cfg(feature = "mc")]
+        let id = {
+            let id = mc::lazy_object_id(&self.mc_id);
+            mc::emit(mc::ProbeEvent::TryAcquire {
+                lock: id,
+                kind: mc::LockKind::Mutex,
+            });
+            id
+        };
+        let out = match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard {
+                #[cfg(feature = "mc")]
+                mc_id: id,
+                inner: guard,
+            }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                #[cfg(feature = "mc")]
+                mc_id: id,
                 inner: p.into_inner(),
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        };
+        #[cfg(feature = "mc")]
+        mc::emit(mc::ProbeEvent::TryAcquired {
+            lock: id,
+            kind: mc::LockKind::Mutex,
+            acquired: out.is_some(),
+        });
+        out
+    }
+
+    /// The model-checker identity of this lock (assigning one on first
+    /// use). Lets harness code name locks for race/cycle reports.
+    #[cfg(feature = "mc")]
+    pub fn mc_object_id(&self) -> mc::ObjectId {
+        mc::lazy_object_id(&self.mc_id)
     }
 
     /// Mutable access without locking (exclusive borrow proves uniqueness).
@@ -90,23 +155,51 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 /// A non-poisoning reader-writer lock.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "mc")]
+    mc_id: std::sync::atomic::AtomicU64,
     inner: std::sync::RwLock<T>,
 }
 
 /// The shared guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "mc")]
+    mc_id: mc::ObjectId,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
 /// The exclusive guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "mc")]
+    mc_id: mc::ObjectId,
     inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(feature = "mc")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        mc::emit(mc::ProbeEvent::Release {
+            lock: self.mc_id,
+            kind: mc::LockKind::RwRead,
+        });
+    }
+}
+
+#[cfg(feature = "mc")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        mc::emit(mc::ProbeEvent::Release {
+            lock: self.mc_id,
+            kind: mc::LockKind::RwWrite,
+        });
+    }
 }
 
 impl<T> RwLock<T> {
     /// Wraps `value` in a reader-writer lock.
     pub const fn new(value: T) -> Self {
         RwLock {
+            #[cfg(feature = "mc")]
+            mc_id: std::sync::atomic::AtomicU64::new(0),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -115,22 +208,63 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard {
+        #[cfg(feature = "mc")]
+        let id = {
+            let id = mc::lazy_object_id(&self.mc_id);
+            mc::emit(mc::ProbeEvent::Acquire {
+                lock: id,
+                kind: mc::LockKind::RwRead,
+            });
+            id
+        };
+        let guard = RwLockReadGuard {
+            #[cfg(feature = "mc")]
+            mc_id: id,
             inner: self
                 .inner
                 .read()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
-        }
+        };
+        #[cfg(feature = "mc")]
+        mc::emit(mc::ProbeEvent::Acquired {
+            lock: id,
+            kind: mc::LockKind::RwRead,
+        });
+        guard
     }
 
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard {
+        #[cfg(feature = "mc")]
+        let id = {
+            let id = mc::lazy_object_id(&self.mc_id);
+            mc::emit(mc::ProbeEvent::Acquire {
+                lock: id,
+                kind: mc::LockKind::RwWrite,
+            });
+            id
+        };
+        let guard = RwLockWriteGuard {
+            #[cfg(feature = "mc")]
+            mc_id: id,
             inner: self
                 .inner
                 .write()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
-        }
+        };
+        #[cfg(feature = "mc")]
+        mc::emit(mc::ProbeEvent::Acquired {
+            lock: id,
+            kind: mc::LockKind::RwWrite,
+        });
+        guard
+    }
+
+    /// The model-checker identity of this lock (assigning one on first
+    /// use).
+    #[cfg(feature = "mc")]
+    pub fn mc_object_id(&self) -> mc::ObjectId {
+        mc::lazy_object_id(&self.mc_id)
     }
 }
 

@@ -1,0 +1,214 @@
+//! Happens-before race scans over recorded soak traces.
+//!
+//! Each test runs a scaled-down version of a real concurrent workload
+//! (the sharded-cache soak, a fleet partition/heal sequence, a
+//! degraded-mode hysteresis workload) under a [`RecordingSession`], then
+//! feeds the trace to the vector-clock engine and asserts it is clean:
+//! no unsynchronized logical-access pairs, no observed lock-order
+//! cycles. The workloads are seeded (override with `HC_SOAK_SEED`) so a
+//! failure reproduces; the recorder serializes on the process-global
+//! checker session, so these tests never observe each other's events.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hc_cache::fleet::{CacheFleet, FleetConfig};
+use hc_cache::shard::{ShardedCache, ShardedClient, ShardedOrigin};
+use hc_cloudsim::net::Location;
+use hc_common::clock::{SimClock, SimDuration};
+use hc_common::conc::ZipfStream;
+use hc_mc::hb;
+use hc_mc::record::RecordingSession;
+use hc_resilience::shed::{DegradedConfig, DegradedMode};
+use hc_resilience::TimeoutBudget;
+
+const WRITERS: usize = 4;
+const READERS: usize = 4;
+const SHARDS: usize = 4;
+const KEYS: usize = 64;
+const OPS: u64 = 300;
+
+fn soak_seed() -> u64 {
+    std::env::var("HC_SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x50AC)
+}
+
+#[test]
+fn sharded_cache_soak_trace_is_race_free() {
+    let seed = soak_seed();
+    let session = RecordingSession::start();
+
+    let origin: Arc<ShardedOrigin<u64, u64>> = ShardedOrigin::new(SHARDS, seed);
+    let floors: Arc<Vec<AtomicU64>> = Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+    for k in 0..KEYS as u64 {
+        let v = origin.write(k, k);
+        floors[k as usize].fetch_max(v, Ordering::Release);
+    }
+    std::thread::scope(|scope| {
+        for t in 0..WRITERS {
+            let origin = Arc::clone(&origin);
+            let floors = Arc::clone(&floors);
+            scope.spawn(move || {
+                let mut stream = ZipfStream::new(seed, t, KEYS);
+                for i in 0..OPS {
+                    let key = stream.next_key() as u64;
+                    let version = origin.write(key, (t as u64) << 32 | i);
+                    floors[key as usize].fetch_max(version, Ordering::Release);
+                }
+            });
+        }
+        for t in 0..READERS {
+            let origin = Arc::clone(&origin);
+            scope.spawn(move || {
+                let cache = ShardedCache::lru(KEYS / 2, SHARDS, seed);
+                let mut client = ShardedClient::subscribe(origin, cache);
+                let mut stream = ZipfStream::new(seed, WRITERS + t, KEYS);
+                for _ in 0..OPS {
+                    let key = stream.next_key() as u64;
+                    let _ = client.read_versioned(&key);
+                }
+            });
+        }
+    });
+
+    let trace = session.finish();
+    assert!(
+        trace.threads() > WRITERS + READERS,
+        "recorder missed the soak threads: {} thread(s)",
+        trace.threads()
+    );
+    assert!(!trace.events.is_empty(), "soak produced an empty trace");
+    let report = hb::analyze(&trace);
+    assert!(
+        report.is_clean(),
+        "sharded-cache soak trace (seed {seed:#x}) is not race-free: {report:#?}"
+    );
+}
+
+#[test]
+fn fleet_partition_sequence_trace_is_race_free() {
+    let seed = soak_seed();
+    let clock = SimClock::new();
+    let cfg = FleetConfig {
+        seed,
+        ..FleetConfig::default()
+    };
+    let mut fleet: CacheFleet<u64, u64> = CacheFleet::with_topology(cfg, clock.clone(), 3, 2);
+    let writer = Location::new(0, 0);
+    let client_loc = Location::new(1, 1);
+    for k in 0..16u64 {
+        fleet.fill(&k, &k, 1, writer);
+    }
+    let fleet = Arc::new(parking_lot::Mutex::new(fleet));
+
+    let session = RecordingSession::start();
+    std::thread::scope(|scope| {
+        // Writer: partitions a region, publishes new versions, heals,
+        // then ticks the simulated network forward so parked deliveries
+        // drain.
+        let (fleet_w, clock_w) = (Arc::clone(&fleet), clock.clone());
+        scope.spawn(move || {
+            fleet_w.lock().partition_region(1);
+            for k in 0..16u64 {
+                let mut f = fleet_w.lock();
+                f.write_invalidate(&k, writer);
+                f.fill(&k, &(k + 100), 2, writer);
+            }
+            fleet_w.lock().heal_region(1);
+            for _ in 0..8 {
+                clock_w.advance(SimDuration::from_millis(250));
+                let now = clock_w.now();
+                fleet_w.lock().tick(now);
+            }
+        });
+        // Reader: serves through the partitioned region; read-repair
+        // races the invalidation fanout.
+        let (fleet_r, clock_r) = (Arc::clone(&fleet), clock.clone());
+        scope.spawn(move || {
+            for k in 0..16u64 {
+                let budget = TimeoutBudget::starting_now(&clock_r, SimDuration::from_secs(1));
+                let mut f = fleet_r.lock();
+                let _ = f.read(&k, client_loc, &budget);
+            }
+        });
+    });
+    let trace = session.finish();
+
+    assert!(!trace.events.is_empty(), "fleet workload left no trace");
+    let report = hb::analyze(&trace);
+    assert!(
+        report.is_clean(),
+        "fleet partition/heal trace (seed {seed:#x}) is not race-free: {report:#?}"
+    );
+
+    // The sequence must also have done real work: after the heal and a
+    // final read-repair pass, no parked delivery lingers and no replica
+    // holds a version older than its peers (0 = invalidated, awaiting
+    // the next fill).
+    let mut f = fleet.lock();
+    assert_eq!(f.parked_deliveries(), 0, "heal left deliveries parked");
+    for k in 0..16u64 {
+        let budget = TimeoutBudget::starting_now(&clock, SimDuration::from_secs(1));
+        let _ = f.read(&k, client_loc, &budget);
+        let versions = f.replica_versions(&k);
+        let newest = versions.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        assert!(
+            versions.iter().all(|&(_, v)| v == 0 || v == newest),
+            "key {k} left a stale replica behind: {versions:?}"
+        );
+    }
+}
+
+#[test]
+fn degraded_mode_workload_trace_is_race_free() {
+    let clock = SimClock::new();
+    let cfg = DegradedConfig {
+        window: SimDuration::from_millis(10),
+        enter_above: 0.5,
+        exit_below: 0.1,
+        enter_windows: 2,
+        exit_windows: 2,
+    };
+    let dm = Arc::new(parking_lot::Mutex::new(DegradedMode::new(clock.clone(), cfg)));
+
+    let session = RecordingSession::start();
+    std::thread::scope(|scope| {
+        // Hot path: alternating hot and cool windows drive the
+        // hysteresis streaks in both directions.
+        let (dm_hot, clock_hot) = (Arc::clone(&dm), clock.clone());
+        scope.spawn(move || {
+            for window in 0..12u32 {
+                let shed_all = (window / 3) % 2 == 0;
+                for _ in 0..20 {
+                    dm_hot.lock().on_request(shed_all);
+                }
+                clock_hot.advance(SimDuration::from_millis(10));
+                dm_hot.lock().roll_window();
+            }
+        });
+        // Observer: polls the flag while windows roll, like the
+        // admission controller does.
+        let dm_obs = Arc::clone(&dm);
+        scope.spawn(move || {
+            for _ in 0..100 {
+                let _ = dm_obs.lock().is_degraded();
+            }
+        });
+    });
+    let trace = session.finish();
+
+    assert!(!trace.events.is_empty(), "degraded workload left no trace");
+    let report = hb::analyze(&trace);
+    assert!(
+        report.is_clean(),
+        "degraded-mode trace is not race-free: {report:#?}"
+    );
+    // Hot/cool streaks of 3 windows against 2-window hysteresis must
+    // have flipped the flag at least once without tearing.
+    assert!(
+        dm.lock().transitions() >= 1,
+        "workload never exercised a degraded transition"
+    );
+}
