@@ -1,11 +1,12 @@
-//! E4 — blockchain commit cost vs peer count and batch size.
+//! E4 — blockchain commit cost vs peer count and batch size, plus the
+//! pipelined engine and the parallel validation stream.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hc_common::clock::{SimClock, SimDuration, SimInstant};
 use hc_common::id::TxId;
 use hc_ledger::block::Transaction;
 use hc_ledger::chain::Ledger;
-use hc_ledger::consensus::PbftCluster;
+use hc_ledger::consensus::{PbftCluster, PipelinedCluster};
 use hc_ledger::policy::ProvenancePolicy;
 use std::hint::black_box;
 
@@ -73,5 +74,59 @@ fn bench_verify_chain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_consensus, bench_ledger_submit, bench_verify_chain);
+fn bench_pipelined_propose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_pipelined_propose");
+    for peers in [4usize, 7, 13] {
+        group.bench_with_input(BenchmarkId::from_parameter(peers), &peers, |b, &peers| {
+            let mut cluster =
+                PipelinedCluster::new(peers, 16, SimDuration::from_millis(1), SimClock::new())
+                    .unwrap();
+            b.iter(|| black_box(cluster.propose().unwrap().messages))
+        });
+    }
+    group.finish();
+}
+
+fn bench_submit_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_submit_stream");
+    group.sample_size(20);
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                let mut i = 0u128;
+                b.iter(|| {
+                    let clock = SimClock::new();
+                    let cluster =
+                        PipelinedCluster::new(4, 16, SimDuration::from_millis(1), clock.clone())
+                            .unwrap();
+                    let mut ledger = Ledger::new_pipelined(cluster, clock);
+                    ledger.install_policy(Box::new(ProvenancePolicy));
+                    let batches: Vec<Vec<Transaction>> = (0..32)
+                        .map(|_| {
+                            (0..16)
+                                .map(|_| {
+                                    i += 1;
+                                    tx(i)
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    black_box(ledger.submit_stream(batches, workers).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_consensus,
+    bench_ledger_submit,
+    bench_verify_chain,
+    bench_pipelined_propose,
+    bench_submit_stream
+);
 criterion_main!(benches);

@@ -23,8 +23,13 @@
 //! [`ZipfStream`] supplies the per-thread key distribution both drivers
 //! share: Zipf(≈1) is the canonical skewed read distribution for cache
 //! workloads (hot EMR records dominate reads).
+//!
+//! [`pool`] hosts the shared bounded worker pool with deterministic
+//! in-order merge (the E18 pattern) reused by the ingestion pipeline and
+//! the ledger's parallel block validation.
 
 pub mod mc;
+pub mod pool;
 
 use std::collections::BinaryHeap;
 use std::sync::Barrier;

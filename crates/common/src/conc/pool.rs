@@ -1,0 +1,191 @@
+//! A bounded worker pool with sequence-numbered in-order merge.
+//!
+//! This is the E18 concurrency pattern extracted from the ingestion
+//! pipeline so every subsystem with a "parallel prepare, deterministic
+//! commit" shape can reuse it: jobs are pulled from a source, fanned out
+//! to a bounded pool of prepare workers, and their results are committed
+//! strictly in submission order through a reorder buffer. The committed
+//! output is therefore byte-identical to a serial loop for any worker
+//! count — the property the ledger's pipelined block validation and the
+//! ingest pool both assert in their differential tests.
+//!
+//! The in-flight bound (`2 × workers`) provides backpressure: the
+//! dispatcher never floods the channels, and when the reorder buffer is
+//! full it necessarily contains the next commit sequence, so the merge
+//! loop cannot deadlock.
+
+use crossbeam::channel::unbounded;
+
+/// A snapshot of pool occupancy, surfaced to the caller's telemetry
+/// after every commit wave.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PoolProgress {
+    /// Jobs dispatched to workers but not yet committed.
+    pub in_flight: usize,
+    /// Prepared results parked out of order, awaiting predecessors.
+    pub reorder_depth: usize,
+}
+
+/// Drains `pull` through `workers` parallel `prepare` threads, feeding a
+/// sequence-numbered merge that calls `commit` strictly in pull order.
+/// `observe` receives occupancy after each commit wave (pass a no-op
+/// closure when telemetry is not wired). Returns the number of jobs
+/// committed.
+///
+/// `prepare` runs concurrently on worker threads and must not mutate
+/// shared state that `commit` reads — the determinism guarantee is that
+/// every side effect of the job happens in `commit`, in order.
+pub fn ordered_pipeline<J, P>(
+    workers: usize,
+    pull: &mut dyn FnMut() -> Option<J>,
+    prepare: &(dyn Fn(&J) -> P + Sync),
+    commit: &mut dyn FnMut(J, P),
+    observe: &mut dyn FnMut(PoolProgress),
+) -> usize
+where
+    J: Send,
+    P: Send,
+{
+    let workers = workers.max(1);
+    // One job per worker slot plus a full round of slack so the reorder
+    // buffer can absorb out-of-order finishes without stalling workers.
+    let bound = workers * 2;
+    // Occupancy is enforced by the in-flight counter below, so the
+    // channels never hold more than `bound` entries.
+    // hc-lint: allow(sync-unbounded-channel)
+    let (work_tx, work_rx) = unbounded::<(u64, J)>();
+    // hc-lint: allow(sync-unbounded-channel)
+    let (done_tx, done_rx) = unbounded::<(u64, J, P)>();
+    let mut processed = 0usize;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok((seq, job)) = work_rx.recv() {
+                    let prepared = prepare(&job);
+                    if done_tx.send((seq, job, prepared)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        let mut next_submit = 0u64;
+        let mut next_commit = 0u64;
+        let mut in_flight = 0usize;
+        let mut reorder: std::collections::BTreeMap<u64, (J, P)> = std::collections::BTreeMap::new();
+        loop {
+            // Feed workers up to the in-flight bound.
+            while in_flight < bound {
+                let Some(job) = pull() else { break };
+                if work_tx.send((next_submit, job)).is_err() {
+                    break;
+                }
+                next_submit += 1;
+                in_flight += 1;
+            }
+            if in_flight == 0 {
+                break; // source drained, everything committed
+            }
+            // All in-flight sequence numbers form the contiguous range
+            // [next_commit, next_submit), so when the buffer is full it
+            // necessarily contains next_commit: the recv below always
+            // unblocks commits — no deadlock.
+            let Ok((seq, job, prepared)) = done_rx.recv() else { break };
+            reorder.insert(seq, (job, prepared));
+            while let Some((job, prepared)) = reorder.remove(&next_commit) {
+                commit(job, prepared);
+                next_commit += 1;
+                in_flight -= 1;
+                processed += 1;
+            }
+            observe(PoolProgress {
+                in_flight,
+                reorder_depth: reorder.len(),
+            });
+        }
+        // Disconnect the work channel so blocked workers exit before the
+        // scope joins them.
+        drop(work_tx);
+    });
+    observe(PoolProgress::default());
+    processed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_square_sum(workers: usize, n: u64) -> (Vec<u64>, usize) {
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        let processed = ordered_pipeline(
+            workers,
+            &mut || {
+                if next < n {
+                    next += 1;
+                    Some(next - 1)
+                } else {
+                    None
+                }
+            },
+            &|&j| j * j,
+            &mut |_, sq| out.push(sq),
+            &mut |_| {},
+        );
+        (out, processed)
+    }
+
+    #[test]
+    fn commits_in_pull_order_for_any_worker_count() {
+        let (serial, _) = run_square_sum(1, 200);
+        for workers in [2usize, 4, 8] {
+            let (parallel, n) = run_square_sum(workers, 200);
+            assert_eq!(n, 200);
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_source_is_a_noop() {
+        let processed = ordered_pipeline(
+            4,
+            &mut || None::<u64>,
+            &|&j| j,
+            &mut |_, _| panic!("nothing to commit"),
+            &mut |_| {},
+        );
+        assert_eq!(processed, 0);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let (out, n) = run_square_sum(0, 10);
+        assert_eq!(n, 10);
+        assert_eq!(out, (0u64..10).map(|j| j * j).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn progress_reaches_zero_at_end() {
+        let mut last = PoolProgress {
+            in_flight: 99,
+            reorder_depth: 99,
+        };
+        let mut next = 0u64;
+        ordered_pipeline(
+            3,
+            &mut || {
+                if next < 50 {
+                    next += 1;
+                    Some(next)
+                } else {
+                    None
+                }
+            },
+            &|&j| j,
+            &mut |_, _| {},
+            &mut |p| last = p,
+        );
+        assert_eq!(last, PoolProgress::default());
+    }
+}

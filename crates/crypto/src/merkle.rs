@@ -48,6 +48,23 @@ pub struct InclusionProof {
     pub steps: Vec<ProofStep>,
 }
 
+/// A position-bound inclusion proof: commits to the leaf *index* and the
+/// tree's leaf count, so a verifier recomputes every sibling direction
+/// itself instead of trusting direction bits in the proof. Used by the
+/// ledger's checkpoint/prefix audit proofs, where the claimed position
+/// (block height, transaction index) is part of the statement being
+/// verified.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct IndexedProof {
+    /// The leaf position this proof speaks for.
+    pub index: u64,
+    /// Total number of leaves in the tree at proof time.
+    pub leaf_count: u64,
+    /// Bottom-up sibling digests; levels where the node is promoted
+    /// (odd tail) contribute no entry.
+    pub siblings: Vec<Digest>,
+}
+
 impl MerkleTree {
     /// Builds a tree from leaf byte values.
     ///
@@ -127,6 +144,58 @@ impl MerkleTree {
         }
         InclusionProof { steps }
     }
+
+    /// Produces a position-bound inclusion proof for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn prove_indexed(&self, index: usize) -> IndexedProof {
+        assert!(index < self.len(), "leaf index out of bounds");
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] { // hc-lint: allow(panic-index) a tree always has at least a leaf level plus the root level
+            let sibling_idx = if idx.is_multiple_of(2) { idx + 1 } else { idx - 1 };
+            if sibling_idx < level.len() {
+                siblings.push(level[sibling_idx]); // hc-lint: allow(panic-index) bounds-checked on the line above
+            }
+            idx /= 2;
+        }
+        IndexedProof {
+            index: index as u64,
+            leaf_count: self.len() as u64,
+            siblings,
+        }
+    }
+}
+
+/// Verifies a position-bound proof: `leaf` must sit at `proof.index` in a
+/// tree of `proof.leaf_count` leaves whose root is `root`. Directions are
+/// recomputed from the index and level widths (odd tails promote), so a
+/// proof cannot be replayed for a different position.
+pub fn verify_indexed(leaf: Digest, proof: &IndexedProof, root: &Digest) -> bool {
+    if proof.index >= proof.leaf_count || proof.leaf_count == 0 {
+        return false;
+    }
+    let mut running = leaf;
+    let mut idx = proof.index;
+    let mut width = proof.leaf_count;
+    let mut steps = proof.siblings.iter();
+    while width > 1 {
+        if idx.is_multiple_of(2) {
+            if idx + 1 < width {
+                let Some(sibling) = steps.next() else { return false };
+                running = node_hash(&running, sibling);
+            }
+            // Odd tail: the node promotes unchanged, no sibling consumed.
+        } else {
+            let Some(sibling) = steps.next() else { return false };
+            running = node_hash(sibling, &running);
+        }
+        idx /= 2;
+        width = width.div_ceil(2);
+    }
+    steps.next().is_none() && running == *root
 }
 
 /// Verifies that `leaf_data` at some position hashes up to `root` via `proof`.
@@ -209,7 +278,73 @@ mod tests {
         assert_ne!(t1.root(), t2.root());
     }
 
+    #[test]
+    fn indexed_proofs_verify_for_all_leaves() {
+        for n in 1..=17usize {
+            let leaves: Vec<Vec<u8>> = (0..n as u8).map(|i| vec![i; 3]).collect();
+            let t = MerkleTree::from_leaves(&leaves);
+            for (i, leaf) in leaves.iter().enumerate() {
+                let proof = t.prove_indexed(i);
+                assert!(
+                    verify_indexed(leaf_hash(leaf), &proof, &t.root()),
+                    "n={n} leaf {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_proof_rejects_wrong_position() {
+        let leaves: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i]).collect();
+        let t = MerkleTree::from_leaves(&leaves);
+        let mut proof = t.prove_indexed(3);
+        proof.index = 4; // claim a different position with the same path
+        assert!(!verify_indexed(leaf_hash(&leaves[3]), &proof, &t.root()));
+        let mut proof = t.prove_indexed(3);
+        proof.leaf_count = 9; // lie about the tree size
+        assert!(!verify_indexed(leaf_hash(&leaves[3]), &proof, &t.root()));
+    }
+
+    #[test]
+    fn indexed_proof_rejects_tampered_siblings_and_bounds() {
+        let leaves: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i]).collect();
+        let t = MerkleTree::from_leaves(&leaves);
+        let mut proof = t.prove_indexed(2);
+        proof.siblings[0] = leaf_hash(b"evil");
+        assert!(!verify_indexed(leaf_hash(&leaves[2]), &proof, &t.root()));
+        // Truncated and padded paths both fail.
+        let mut short = t.prove_indexed(2);
+        short.siblings.pop();
+        assert!(!verify_indexed(leaf_hash(&leaves[2]), &short, &t.root()));
+        let mut long = t.prove_indexed(2);
+        long.siblings.push(Digest::ZERO);
+        assert!(!verify_indexed(leaf_hash(&leaves[2]), &long, &t.root()));
+        // Out-of-range index never verifies.
+        let mut oob = t.prove_indexed(2);
+        oob.index = 7;
+        assert!(!verify_indexed(leaf_hash(&leaves[2]), &oob, &t.root()));
+    }
+
     proptest! {
+        #[test]
+        fn indexed_inclusion_holds_for_random_trees(
+            leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..50),
+            pick in any::<usize>(),
+        ) {
+            let t = MerkleTree::from_leaves(&leaves);
+            let idx = pick % leaves.len();
+            let proof = t.prove_indexed(idx);
+            prop_assert!(verify_indexed(leaf_hash(&leaves[idx]), &proof, &t.root()));
+            // The same path never verifies at any other index.
+            for other in 0..leaves.len() {
+                if other != idx {
+                    let mut forged = proof.clone();
+                    forged.index = other as u64;
+                    prop_assert!(!verify_indexed(leaf_hash(&leaves[idx]), &forged, &t.root()));
+                }
+            }
+        }
+
         #[test]
         fn inclusion_holds_for_random_trees(
             leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..40),

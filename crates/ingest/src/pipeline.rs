@@ -34,7 +34,7 @@
 //! resilience ([`fault_points`]) and telemetry (`ingest.pool.*`) layers
 //! as the serial path.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -608,74 +608,21 @@ impl IngestionPipeline {
         if let Some(inst) = &inst {
             inst.pool_workers.set(workers as i64);
         }
-        // In-flight bound: one job per worker slot plus a full round of
-        // slack so the reorder buffer can absorb out-of-order finishes
-        // without stalling the workers.
-        let bound = workers * 2;
-        // Occupancy is enforced by the in-flight counter below, so the
-        // channels never hold more than `bound` entries.
-        // hc-lint: allow(sync-unbounded-channel)
-        let (work_tx, work_rx) = unbounded::<(u64, Job)>();
-        // hc-lint: allow(sync-unbounded-channel)
-        let (done_tx, done_rx) = unbounded::<(u64, Job, Prepared)>();
-        let mut processed = 0usize;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let work_rx = work_rx.clone();
-                let done_tx = done_tx.clone();
-                scope.spawn(move || {
-                    while let Ok((seq, job)) = work_rx.recv() {
-                        let prepared = self.prepare_job(&job);
-                        if done_tx.send((seq, job, prepared)).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            let mut next_submit = 0u64;
-            let mut next_commit = 0u64;
-            let mut in_flight = 0usize;
-            let mut reorder: BTreeMap<u64, (Job, Prepared)> = BTreeMap::new();
-            loop {
-                // Feed workers up to the in-flight bound.
-                while in_flight < bound {
-                    let Ok(job) = self.rx.try_recv() else { break };
-                    if work_tx.send((next_submit, job)).is_err() {
-                        break;
-                    }
-                    next_submit += 1;
-                    in_flight += 1;
-                }
-                if in_flight == 0 {
-                    break; // staging queue drained, everything committed
-                }
-                // All in-flight sequence numbers form the contiguous
-                // range [next_commit, next_submit), so when the buffer
-                // is full it necessarily contains next_commit: the recv
-                // below always unblocks commits — no deadlock.
-                let Ok((seq, job, prepared)) = done_rx.recv() else { break };
-                reorder.insert(seq, (job, prepared));
-                while let Some((job, prepared)) = reorder.remove(&next_commit) {
-                    let outcome = self.commit_outcome(&job, prepared);
-                    self.finish_job(&job, outcome);
-                    next_commit += 1;
-                    in_flight -= 1;
-                    processed += 1;
-                }
+        hc_common::conc::pool::ordered_pipeline(
+            workers,
+            &mut || self.rx.try_recv().ok(),
+            &|job| self.prepare_job(job),
+            &mut |job, prepared| {
+                let outcome = self.commit_outcome(&job, prepared);
+                self.finish_job(&job, outcome);
+            },
+            &mut |progress| {
                 if let Some(inst) = &inst {
-                    inst.pool_in_flight.set(in_flight as i64);
-                    inst.pool_reorder_depth.set(reorder.len() as i64);
+                    inst.pool_in_flight.set(progress.in_flight as i64);
+                    inst.pool_reorder_depth.set(progress.reorder_depth as i64);
                 }
-            }
-            // Disconnect the work channel so blocked workers exit before
-            // the scope joins them.
-            drop(work_tx);
-        });
-        if let Some(inst) = &inst {
-            inst.pool_in_flight.set(0);
-            inst.pool_reorder_depth.set(0);
-        }
-        processed
+            },
+        )
     }
 
     fn set_status(&self, id: IngestionId, status: IngestionStatus) {

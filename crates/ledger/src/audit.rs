@@ -11,10 +11,23 @@
 //! E4 bench demonstrates alongside the throughput comparison.
 
 use hc_common::clock::{SimClock, SimDuration, SimInstant};
-use hc_common::id::ReferenceId;
+use hc_common::id::{ReferenceId, TxId};
 
-use crate::chain::{ChainStatus, Ledger};
+use crate::chain::{BlockProof, ChainStatus, Checkpoint, EventProof, Ledger, ProofError};
 use crate::provenance::{ProvenanceAction, ProvenanceEvent};
+
+/// Verifies a compact event proof against a checkpoint — the auditor's
+/// stateless check: no ledger access, no chain replay, just Merkle paths
+/// and the rolling checkpoint anchor. See [`EventProof::verify`].
+pub fn verify_event_proof(proof: &EventProof, checkpoint: &Checkpoint) -> bool {
+    proof.verify(checkpoint)
+}
+
+/// Verifies a compact block-header proof against a checkpoint; the claim
+/// that survives body pruning. See [`BlockProof::verify`].
+pub fn verify_block_proof(proof: &BlockProof, checkpoint: &Checkpoint) -> bool {
+    proof.verify(checkpoint)
+}
 
 /// A read-only audit facade over a ledger.
 pub struct AuditorView<'a> {
@@ -64,6 +77,33 @@ impl<'a> AuditorView<'a> {
             }
         }
         counts
+    }
+
+    /// Builds a compact, independently verifiable proof that an event is
+    /// committed under the newest checkpoint (transaction → block root →
+    /// interval root → state root).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProofError`]: notably
+    /// [`ProofError::BodyPruned`] when the body is behind the pruning
+    /// watermark — fall back to [`AuditorView::prove_block`] there.
+    pub fn prove_event(&self, height: u64, tx_id: TxId) -> Result<EventProof, ProofError> {
+        self.ledger.prove_event(height, tx_id)
+    }
+
+    /// Builds a header-level proof, available for pruned heights too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProofError`].
+    pub fn prove_block(&self, height: u64) -> Result<BlockProof, ProofError> {
+        self.ledger.prove_block(height)
+    }
+
+    /// The newest checkpoint to verify proofs against, if sealed.
+    pub fn latest_checkpoint(&self) -> Option<&Checkpoint> {
+        self.ledger.latest_checkpoint()
     }
 
     /// Checks the GDPR deletion obligation: a record that was ingested

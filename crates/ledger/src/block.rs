@@ -40,6 +40,35 @@ impl Transaction {
     }
 }
 
+/// The consensus-covered header fields of a [`Block`]: everything needed
+/// to verify hash-chain linkage and serve Merkle proofs after the block's
+/// transaction body has been pruned behind a checkpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Hash of the previous block ([`Digest::ZERO`] for genesis).
+    pub prev_hash: Digest,
+    /// Merkle root over the (possibly pruned) transactions.
+    pub merkle_root: Digest,
+    /// Block timestamp.
+    pub timestamp: SimInstant,
+    /// How many transactions the body carried.
+    pub tx_count: u64,
+    /// The block hash, recomputable from the fields above.
+    pub hash: Digest,
+}
+
+impl BlockHeader {
+    /// Whether the header hash matches its own fields — the only
+    /// consistency a pruned block can still prove locally. Body-level
+    /// claims are delegated to Merkle proofs against `merkle_root`.
+    pub fn is_consistent(&self) -> bool {
+        Block::compute_hash(self.height, &self.prev_hash, &self.merkle_root, self.timestamp)
+            == self.hash
+    }
+}
+
 /// A block of the hash chain.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct Block {
@@ -70,11 +99,26 @@ impl Block {
         transactions: Vec<Transaction>,
     ) -> Self {
         assert!(!transactions.is_empty(), "blocks must carry transactions");
-        let leaf_hashes: Vec<Digest> = transactions
-            .iter()
-            .map(|t| hc_crypto::merkle::leaf_hash(t.hash().as_bytes()))
-            .collect();
-        let merkle_root = MerkleTree::from_leaf_hashes(leaf_hashes).root();
+        let merkle_root = Self::transactions_root(&transactions);
+        Self::from_parts(height, prev_hash, merkle_root, timestamp, transactions)
+    }
+
+    /// Assembles a block from a Merkle root computed elsewhere (the
+    /// parallel validation path computes roots on worker threads and
+    /// commits in order). The root is trusted; [`Block::build`] is the
+    /// safe constructor when no precomputed root exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transactions` is empty — empty blocks are not committed.
+    pub fn from_parts(
+        height: u64,
+        prev_hash: Digest,
+        merkle_root: Digest,
+        timestamp: SimInstant,
+        transactions: Vec<Transaction>,
+    ) -> Self {
+        assert!(!transactions.is_empty(), "blocks must carry transactions");
         let hash = Self::compute_hash(height, &prev_hash, &merkle_root, timestamp);
         Block {
             height,
@@ -84,6 +128,54 @@ impl Block {
             transactions,
             hash,
         }
+    }
+
+    /// The Merkle root over a transaction batch.
+    pub fn transactions_root(transactions: &[Transaction]) -> Digest {
+        let leaf_hashes: Vec<Digest> = transactions
+            .iter()
+            .map(|t| hc_crypto::merkle::leaf_hash(t.hash().as_bytes()))
+            .collect();
+        MerkleTree::from_leaf_hashes(leaf_hashes).root()
+    }
+
+    /// The deterministic block timestamp for a batch: the latest
+    /// transaction timestamp. Derived from content rather than the
+    /// committing replica's clock so sequential and pipelined commits of
+    /// the same batches produce byte-identical chains.
+    pub fn stamp(transactions: &[Transaction]) -> SimInstant {
+        transactions
+            .iter()
+            .map(|t| t.timestamp)
+            .max()
+            .unwrap_or(SimInstant::ZERO)
+    }
+
+    /// This block's consensus-covered header.
+    pub fn header(&self) -> BlockHeader {
+        BlockHeader {
+            height: self.height,
+            prev_hash: self.prev_hash,
+            merkle_root: self.merkle_root,
+            timestamp: self.timestamp,
+            tx_count: self.transactions.len() as u64,
+            hash: self.hash,
+        }
+    }
+
+    /// Approximate in-memory bytes held by the transaction body — the
+    /// storage that checkpoint pruning reclaims.
+    pub fn body_bytes(&self) -> u64 {
+        self.transactions
+            .iter()
+            .map(|t| {
+                (std::mem::size_of::<Transaction>()
+                    + t.channel.len()
+                    + t.kind.len()
+                    + t.payload.len()
+                    + t.submitter.len()) as u64
+            })
+            .sum()
     }
 
     /// The header hash function.
@@ -174,5 +266,40 @@ mod tests {
     #[should_panic(expected = "must carry transactions")]
     fn empty_block_panics() {
         let _ = Block::build(0, Digest::ZERO, SimInstant::ZERO, vec![]);
+    }
+
+    #[test]
+    fn from_parts_matches_build() {
+        let txs = vec![tx(1, "ingested"), tx(2, "accessed")];
+        let built = Block::build(3, Digest::ZERO, SimInstant::from_nanos(9), txs.clone());
+        let root = Block::transactions_root(&txs);
+        let parts = Block::from_parts(3, Digest::ZERO, root, SimInstant::from_nanos(9), txs);
+        assert_eq!(built, parts);
+    }
+
+    #[test]
+    fn stamp_is_latest_transaction_time() {
+        let txs = vec![tx(5, "ingested"), tx(2, "accessed"), tx(4, "exported")];
+        assert_eq!(Block::stamp(&txs), SimInstant::from_nanos(5));
+        assert_eq!(Block::stamp(&[]), SimInstant::ZERO);
+    }
+
+    #[test]
+    fn header_round_trips_consistency() {
+        let b = Block::build(0, Digest::ZERO, SimInstant::ZERO, vec![tx(1, "ingested")]);
+        let mut h = b.header();
+        assert!(h.is_consistent());
+        assert_eq!(h.tx_count, 1);
+        h.merkle_root = Digest::ZERO;
+        assert!(!h.is_consistent(), "tampered header must fail");
+    }
+
+    #[test]
+    fn body_bytes_counts_payloads() {
+        let small = Block::build(0, Digest::ZERO, SimInstant::ZERO, vec![tx(1, "a")]);
+        let mut big_tx = tx(2, "a");
+        big_tx.payload = vec![0u8; 4096];
+        let big = Block::build(0, Digest::ZERO, SimInstant::ZERO, vec![big_tx]);
+        assert!(big.body_bytes() > small.body_bytes() + 4000);
     }
 }

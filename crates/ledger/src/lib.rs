@@ -8,12 +8,19 @@
 //! not to store the PHI data on the fully replicated de-centralized
 //! ledger" — the chain holds handles, hashes and event metadata.
 //!
-//! * [`block`] — transactions and hash-chained, Merkle-rooted blocks.
+//! * [`block`] — transactions and hash-chained, Merkle-rooted blocks,
+//!   plus the prunable [`block::BlockHeader`] form.
 //! * [`consensus`] — a PBFT-style three-phase consensus simulation over a
 //!   fixed peer set with crash-fault injection and view changes; it
-//!   accounts messages and simulated latency for E4.
+//!   accounts messages and simulated latency for E4. Two engines exist:
+//!   the sequential [`consensus::PbftCluster`] and the windowed
+//!   [`consensus::PipelinedCluster`], whose in-order commitment runs
+//!   through the model-checked [`consensus::SlotWindow`].
 //! * [`chain`] — the ledger: policy-validated append, full-chain
-//!   verification, channel-scoped queries.
+//!   verification, channel-scoped queries, parallel block validation
+//!   ([`chain::Ledger::submit_stream`]), and Merkle checkpointing with
+//!   body pruning and compact audit proofs ([`chain::EventProof`],
+//!   [`chain::BlockProof`], [`chain::PrefixProof`]).
 //! * [`policy`] — "smart contract" validation hooks per channel (the
 //!   paper's malware / privacy / provenance networks).
 //! * [`provenance`] — the HCLS event vocabulary (ingested, accessed,

@@ -13,7 +13,7 @@ use hc_telemetry::{Counter, Gauge, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::block::Transaction;
-use crate::chain::{Ledger, LedgerError};
+use crate::chain::{Ledger, LedgerError, StreamOutcome};
 use crate::consensus::ConsensusOutcome;
 
 /// What happened to a record.
@@ -147,7 +147,8 @@ impl ProvenanceNetwork {
     /// failures, pending-batch depth, and a simulated anchor-latency
     /// histogram). Also instruments the underlying consensus cluster.
     pub fn instrument(&mut self, registry: &Registry) {
-        self.ledger.cluster_mut().instrument(registry);
+        self.ledger.engine_mut().instrument(registry);
+        self.ledger.instrument(registry);
         self.instruments = Some(ProvenanceInstruments {
             events: registry.counter("ledger.provenance.events"),
             blocks: registry.counter("ledger.provenance.blocks"),
@@ -200,6 +201,58 @@ impl ProvenanceNetwork {
                 Err(_) => inst.flush_failures.inc(),
             }
         }
+        outcome
+    }
+
+    /// Records a whole event stream at once: events are packed into
+    /// `batch_size` batches and committed through
+    /// [`Ledger::submit_stream`] — block validation fans out across
+    /// `workers` threads and, with the pipelined engine, consensus
+    /// instances overlap up to the window. Events are converted to
+    /// transactions up front (one clock read per event, before any
+    /// commit advances the clock), so the committed chain is
+    /// byte-identical across engines and worker counts for the same
+    /// event stream.
+    ///
+    /// Any events already pending from [`ProvenanceNetwork::record`] are
+    /// committed first, at the head of the stream.
+    ///
+    /// # Errors
+    ///
+    /// The first [`LedgerError`] hit; batches before it stay committed.
+    pub fn record_stream(
+        &mut self,
+        events: &[ProvenanceEvent],
+        workers: usize,
+    ) -> Result<StreamOutcome, LedgerError> {
+        let mut batches: Vec<Vec<Transaction>> = Vec::new();
+        let mut current = std::mem::take(&mut self.pending);
+        for event in events {
+            self.next_tx += 1;
+            let tx = event
+                .to_transaction(TxId::from_raw(self.next_tx), &self.clock)
+                .map_err(|e| LedgerError::Encoding(e.to_string()))?;
+            current.push(tx);
+            if current.len() >= self.batch_size {
+                batches.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            batches.push(current);
+        }
+        let blocks = batches.len() as u64;
+        let outcome = self.ledger.submit_stream(batches, workers);
+        if let Some(inst) = &self.instruments {
+            inst.pending.set(0);
+            match &outcome {
+                Ok(o) => {
+                    inst.events.add(o.transactions);
+                    inst.blocks.add(o.blocks);
+                }
+                Err(_) => inst.flush_failures.inc(),
+            }
+        }
+        debug_assert!(outcome.is_err() || outcome.as_ref().is_ok_and(|o| o.blocks == blocks));
         outcome
     }
 
@@ -324,6 +377,29 @@ mod tests {
         let outcome = net.flush().unwrap();
         assert!(outcome.committed);
         assert_eq!(net.ledger().height(), 1);
+    }
+
+    #[test]
+    fn record_stream_is_engine_independent() {
+        use crate::consensus::PipelinedCluster;
+
+        let events: Vec<ProvenanceEvent> = (0..25)
+            .map(|i| event(i, ProvenanceAction::Ingested))
+            .collect();
+        let mut serial = network(4); // sequential engine
+        let base = serial.record_stream(&events, 1).unwrap();
+        assert_eq!(base.blocks, 7); // ceil(25 / 4)
+        assert_eq!(base.transactions, 25);
+
+        let clock = SimClock::new();
+        let cluster =
+            PipelinedCluster::new(4, 8, SimDuration::from_millis(1), clock.clone()).unwrap();
+        let mut ledger = Ledger::new_pipelined(cluster, clock.clone());
+        ledger.install_policy(Box::new(crate::policy::ProvenancePolicy));
+        let mut streamed = ProvenanceNetwork::new(ledger, clock, 4);
+        let out = streamed.record_stream(&events, 4).unwrap();
+        assert_eq!(out, base);
+        assert_eq!(streamed.ledger().blocks(), serial.ledger().blocks());
     }
 
     #[test]

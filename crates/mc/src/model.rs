@@ -15,7 +15,7 @@ use hc_cache::shard::{ShardedCache, ShardedClient, ShardedOrigin};
 use hc_cloudsim::net::Location;
 use hc_common::clock::{SimClock, SimDuration};
 use hc_common::conc::mc;
-use hc_ledger::consensus::PhasePipeline;
+use hc_ledger::consensus::SlotWindow;
 use hc_resilience::shed::{DegradedConfig, DegradedMode};
 use hc_resilience::{CircuitBreaker, TimeoutBudget};
 
@@ -244,36 +244,53 @@ fn fleet_read_repair() -> Model {
     }
 }
 
-fn phase_pipeline() -> Model {
+fn slot_window() -> Model {
     Model {
-        name: "ledger.phase-pipeline",
-        description: "two-slot PBFT pipeline commits in order whatever order quorums complete",
+        name: "ledger.slot-window",
+        description: "pipelined PBFT slot window commits in order whatever order quorums complete",
         factory: Box::new(|| {
             // A 4-peer cluster always clears the n >= 4 floor; the
             // factory has no error channel, so an impossible rejection
-            // may abort the checker run.
-            let p = Arc::new(PhasePipeline::new(4).unwrap_or_else(|e| {
+            // may abort the checker run. This is the same SlotWindow
+            // PipelinedCluster uses in production, opened over a
+            // 3-deep in-flight window with a 2-slot ring so seq 2
+            // contends for seq 0's recycled slot.
+            let w = Arc::new(SlotWindow::new(4, 2).unwrap_or_else(|e| {
                 unreachable!("4 peers is a valid cluster: {e}") // hc-lint: allow(panic-macro)
             }));
-            // Two commit votes per slot land during setup; the two model
-            // threads deliver the quorum-completing third votes in every
-            // order the explorer can produce.
-            for slot in 0..2 {
-                p.prepare(slot);
-                p.commit_vote(slot);
-                p.commit_vote(slot);
+            w.open(0);
+            w.open(1);
+            // Two commit votes per open slot land during setup; the model
+            // threads deliver the quorum-completing third votes — and the
+            // seq-2 recycle attempt — in every order the explorer can
+            // produce.
+            for seq in 0..2u64 {
+                w.prepare(seq);
+                w.commit_vote(seq);
+                w.commit_vote(seq);
             }
-            let (p0, p1, pf) = (Arc::clone(&p), Arc::clone(&p), Arc::clone(&p));
+            let (w0, w1, wf) = (Arc::clone(&w), Arc::clone(&w), Arc::clone(&w));
             ModelRun {
                 bodies: vec![
-                    Box::new(move || p0.commit_vote(0)),
-                    Box::new(move || p1.commit_vote(1)),
+                    Box::new(move || w0.commit_vote(0)),
+                    Box::new(move || {
+                        w1.commit_vote(1);
+                        // Recycling seq 0's ring slot for seq 2 must
+                        // only succeed once seq 0 has committed.
+                        let recycled = w1.open(2);
+                        mc::check(
+                            !recycled || w1.committed().first() == Some(&0),
+                            "ring slot recycled before its occupant committed",
+                        );
+                    }),
                 ],
                 finale: Some(Box::new(move || {
+                    let log = wf.committed();
                     mc::check(
-                        pf.committed() == vec![0, 1],
-                        "pipeline failed to commit both slots in order",
+                        log.first() == Some(&0) && log.get(1) == Some(&1),
+                        "slot window failed to commit both sequences in order",
                     );
+                    mc::check(wf.in_order(), "commit log is not an in-order prefix");
                 })),
                 lock_names: Vec::new(),
             }
@@ -335,7 +352,7 @@ pub fn registry() -> Vec<Model> {
         breaker_half_open(),
         degraded_hysteresis(),
         fleet_read_repair(),
-        phase_pipeline(),
+        slot_window(),
     ]
 }
 
